@@ -1,0 +1,112 @@
+//! Cost of the §4.3 admission check as a function of established
+//! connections and priority levels — the operational concern the paper
+//! raises in §4.3 discussion 2 ("the computation ... increases
+//! proportionally with the number of priority levels").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcac_bitstream::{Rate, Time, TrafficContract, VbrParams};
+use rtcac_cac::{ConnectionId, ConnectionRequest, Priority, Switch, SwitchConfig};
+use rtcac_net::LinkId;
+use rtcac_rational::ratio;
+use std::hint::black_box;
+
+fn contract(k: u64) -> TrafficContract {
+    TrafficContract::vbr(
+        VbrParams::new(
+            Rate::new(ratio(1, 40 + (k % 11) as i128)),
+            Rate::new(ratio(1, 600 + (k % 17) as i128)),
+            2 + k % 6,
+        )
+        .unwrap(),
+    )
+}
+
+/// A switch preloaded with `n` established connections spread over 4
+/// incoming links and `levels` priorities. Quantization keeps the
+/// exact-rational denominators of the heterogeneous contracts bounded
+/// (the production configuration for large switches).
+fn loaded_switch(n: u64, levels: u8) -> Switch {
+    let config = SwitchConfig::uniform(levels, Time::from_integer(500))
+        .unwrap()
+        .with_quantization(4096)
+        .unwrap();
+    let mut sw = Switch::new(config);
+    for k in 0..n {
+        let request = ConnectionRequest::new(
+            contract(k),
+            Time::from_integer(64),
+            LinkId::external((k % 4) as u32),
+            LinkId::external(100),
+            Priority::new((k % levels as u64) as u8),
+        );
+        let decision = sw.admit(ConnectionId::new(k), request).unwrap();
+        assert!(decision.is_admitted(), "bench preload must fit");
+    }
+    sw
+}
+
+fn bench_check_vs_connections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cac_check_vs_connections");
+    group.sample_size(20);
+    for n in [8u64, 32, 128] {
+        let sw = loaded_switch(n, 1);
+        let probe = ConnectionRequest::new(
+            contract(9999),
+            Time::from_integer(64),
+            LinkId::external(1),
+            LinkId::external(100),
+            Priority::HIGHEST,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(sw.check(black_box(&probe)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_check_vs_priorities(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cac_check_vs_priorities");
+    group.sample_size(20);
+    for levels in [1u8, 2, 4] {
+        let sw = loaded_switch(64, levels);
+        let probe = ConnectionRequest::new(
+            contract(9999),
+            Time::from_integer(64),
+            LinkId::external(1),
+            LinkId::external(100),
+            Priority::HIGHEST,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, _| {
+            b.iter(|| black_box(sw.check(black_box(&probe)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_admit_release_cycle(c: &mut Criterion) {
+    c.bench_function("cac_admit_release_cycle_64_established", |b| {
+        let sw = loaded_switch(64, 1);
+        let probe = ConnectionRequest::new(
+            contract(4242),
+            Time::from_integer(64),
+            LinkId::external(2),
+            LinkId::external(100),
+            Priority::HIGHEST,
+        );
+        b.iter(|| {
+            let mut sw = sw.clone();
+            let d = sw.admit(ConnectionId::new(999_999), probe).unwrap();
+            assert!(d.is_admitted());
+            sw.release(ConnectionId::new(999_999)).unwrap();
+            black_box(sw.connection_count())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_check_vs_connections,
+    bench_check_vs_priorities,
+    bench_admit_release_cycle
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Throughput of the cell-level simulator: slots per second for the
+//! bound-validation scenarios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtcac_bitstream::{CbrParams, Rate, TrafficContract};
+use rtcac_cac::{ConnectionId, Priority};
+use rtcac_net::builders;
+use rtcac_rational::ratio;
+use rtcac_sim::{Simulation, TrafficPattern};
+use std::hint::black_box;
+
+fn ring_sim(terminals: usize) -> Simulation {
+    let sr = builders::star_ring(8, terminals).unwrap();
+    let mut sim = Simulation::new(sr.topology());
+    let mut id = 0u64;
+    for node in 0..8 {
+        for t in 0..terminals {
+            let route = sr.ring_route_from_terminal(node, t, 7).unwrap();
+            let contract = TrafficContract::cbr(
+                CbrParams::new(Rate::new(ratio(1, (16 * terminals) as i128 * 2))).unwrap(),
+            );
+            sim.add_connection(
+                ConnectionId::new(id),
+                route,
+                Priority::HIGHEST,
+                contract,
+                TrafficPattern::Greedy,
+            )
+            .unwrap();
+            id += 1;
+        }
+    }
+    sim
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_slots");
+    group.sample_size(10);
+    const SLOTS: u64 = 20_000;
+    group.throughput(Throughput::Elements(SLOTS));
+    for terminals in [1usize, 4] {
+        let sim = ring_sim(terminals);
+        group.bench_with_input(
+            BenchmarkId::new("ring8", terminals),
+            &terminals,
+            |b, _| b.iter(|| black_box(sim.run(SLOTS).total_drops())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

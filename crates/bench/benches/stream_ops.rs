@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the bit-stream algebra (Algorithms 2.1,
+//! 3.1-3.4, 4.1): the per-operation cost that dominates a CAC check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcac_bitstream::{BitStream, Rate, Time, TrafficContract, VbrParams};
+use rtcac_rational::ratio;
+use std::hint::black_box;
+
+/// A worst-case VBR stream with distinct small-rational parameters so
+/// aggregates accumulate many distinct breakpoints.
+fn vbr_stream(k: i128) -> BitStream {
+    let pcr = ratio(1, 2 + (k % 7));
+    let scr = ratio(1, 20 + k % 13);
+    TrafficContract::vbr(
+        VbrParams::new(Rate::new(pcr), Rate::new(scr), 4 + (k % 9) as u64).unwrap(),
+    )
+    .worst_case_stream()
+}
+
+fn aggregate(n: i128) -> BitStream {
+    let parts: Vec<BitStream> = (0..n).map(vbr_stream).collect();
+    BitStream::multiplex_all(&parts)
+}
+
+fn bench_multiplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiplex");
+    for n in [2i128, 16, 64, 256] {
+        let agg = aggregate(n);
+        let one = vbr_stream(n + 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(agg.multiplex(black_box(&one))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter");
+    for n in [2i128, 16, 64, 256] {
+        let agg = aggregate(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(agg.filter()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay");
+    let s = vbr_stream(3);
+    for cdv in [32i128, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(cdv), &cdv, |b, &cdv| {
+            b.iter(|| black_box(s.delay(Time::from_integer(cdv))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_delay_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay_bound");
+    for n in [2i128, 16, 64, 256] {
+        let arrival = aggregate(n);
+        let interference = aggregate(n / 2).filter();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(arrival.delay_bound(black_box(&interference)).ok()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_worst_case_stream(c: &mut Criterion) {
+    c.bench_function("algorithm_2_1_contract_to_stream", |b| {
+        let contract = TrafficContract::vbr(
+            VbrParams::new(Rate::new(ratio(1, 3)), Rate::new(ratio(1, 17)), 12).unwrap(),
+        );
+        b.iter(|| black_box(contract.worst_case_stream()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_multiplex,
+    bench_filter,
+    bench_delay,
+    bench_delay_bound,
+    bench_worst_case_stream
+);
+criterion_main!(benches);

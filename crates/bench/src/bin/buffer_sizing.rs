@@ -1,0 +1,46 @@
+//! **Buffer sizing**: the per-node FIFO queue needed to carry a given
+//! symmetric cyclic load — the §5 design feedback loop ("the outcomes
+//! of the CAC check also help to set network parameters such as ring
+//! node buffer sizes").
+//!
+//! The computed worst-case per-port delay *is* the queue occupancy the
+//! port must absorb, so the table reads directly as "cells of buffer
+//! per ring node per priority".
+
+use rtcac_bench::{columns, f, header, row, series};
+use rtcac_cac::Priority;
+use rtcac_rational::ratio;
+use rtcac_rtnet::workload;
+
+fn main() {
+    header(
+        "artifact",
+        "buffer sizing: required ring-node queue (cells) vs load (section 5 design use)",
+    );
+    header("setup", "16 ring nodes, symmetric cyclic traffic, hard CAC");
+    for terminals in [1usize, 4, 8, 16] {
+        series(format!("N={terminals}"));
+        columns(&["load", "required_queue_cells", "fits_32_cell_queue"]);
+        for step in 1..=19i128 {
+            let load = ratio(step, 20);
+            let analysis = match workload::symmetric(16, terminals, load) {
+                Ok(a) => a,
+                Err(_) => break,
+            };
+            match analysis.port_bound(0, Priority::HIGHEST) {
+                Ok(bound) => {
+                    let cells = bound.as_ratio().ceil();
+                    row(&[
+                        f(load.to_f64()),
+                        cells.to_string(),
+                        (cells <= 32).to_string(),
+                    ]);
+                }
+                Err(_) => {
+                    row(&[f(load.to_f64()), "overload".into(), "false".into()]);
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! **Failover capacity**: cyclic traffic a dual-ring RTnet can keep
+//! serving after a single link failure (the Figure 9 fault-tolerance
+//! design), vs. the healthy ring.
+//!
+//! Healthy operation uses full-circle broadcasts; after a primary-link
+//! failure each broadcast wraps into a forward branch (primary ring)
+//! and a backward branch (secondary ring). The sweep finds the largest
+//! symmetric load at which every broadcast is (re-)established.
+
+use rtcac_bench::{columns, f, header, row};
+use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract};
+use rtcac_cac::{Priority, SwitchConfig};
+use rtcac_net::builders;
+use rtcac_rational::{ratio, Ratio};
+use rtcac_rtnet::failover;
+use rtcac_signaling::{CdvPolicy, Network, SetupRequest};
+
+const RING: usize = 8;
+const TERMS: usize = 2;
+const BOUND: i128 = 32;
+
+fn request(load: Ratio) -> SetupRequest {
+    let pcr = load / ratio((RING * TERMS) as i128, 1);
+    SetupRequest::new(
+        TrafficContract::cbr(CbrParams::new(Rate::new(pcr)).unwrap()),
+        Priority::HIGHEST,
+        Time::from_integer(1_000_000),
+    )
+}
+
+/// All broadcasts established on the healthy ring?
+fn healthy_ok(load: Ratio) -> bool {
+    let sr = builders::dual_star_ring(RING, TERMS).unwrap();
+    let config = SwitchConfig::uniform(1, Time::from_integer(BOUND)).unwrap();
+    let mut network = Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
+    for node in 0..RING {
+        for term in 0..TERMS {
+            let route = sr.ring_route_from_terminal(node, term, RING - 1).unwrap();
+            if !network.setup(&route, request(load)).unwrap().is_connected() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// All broadcasts re-established after link 0 fails?
+fn wrapped_ok(load: Ratio) -> bool {
+    let sr = builders::dual_star_ring(RING, TERMS).unwrap();
+    let config = SwitchConfig::uniform(1, Time::from_integer(BOUND)).unwrap();
+    let mut network = Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
+    let sources: Vec<(usize, usize)> = (0..RING)
+        .flat_map(|n| (0..TERMS).map(move |t| (n, t)))
+        .collect();
+    let report =
+        failover::reestablish(&mut network, &sr, 0, &sources, request(load)).unwrap();
+    report.lost == 0
+}
+
+fn max_load(mut ok: impl FnMut(Ratio) -> bool) -> Ratio {
+    let (mut lo, mut hi) = (Ratio::ZERO, Ratio::ONE);
+    if ok(hi) {
+        return hi;
+    }
+    for _ in 0..7 {
+        let mid = (lo + hi) / ratio(2, 1);
+        if ok(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn main() {
+    header(
+        "artifact",
+        "failover: capacity before vs after a single ring link failure (Figure 9 design)",
+    );
+    header(
+        "setup",
+        format!("{RING} dual-ring nodes x {TERMS} terminals, {BOUND}-cell queues, hard CAC"),
+    );
+    columns(&["configuration", "max_symmetric_load"]);
+    let healthy = max_load(healthy_ok);
+    let wrapped = max_load(wrapped_ok);
+    row(&["healthy_ring".into(), f(healthy.to_f64())]);
+    row(&["after_link_failure".into(), f(wrapped.to_f64())]);
+    header(
+        "capacity_retained",
+        f(if healthy.is_positive() {
+            wrapped.to_f64() / healthy.to_f64()
+        } else {
+            0.0
+        }),
+    );
+}

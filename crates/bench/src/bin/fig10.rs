@@ -1,0 +1,27 @@
+//! Regenerates **Figure 10**: end-to-end queueing delay bounds vs
+//! symmetric cyclic load for N ∈ {1, 4, 8, 16} terminals per node.
+
+use rtcac_bench::{columns, f, header, row, series};
+use rtcac_rtnet::experiments::fig10;
+
+fn main() {
+    let fig = fig10::run(fig10::Params::default()).expect("figure 10 sweep");
+    header("artifact", "Figure 10: end-to-end queueing delay bounds");
+    header("setup", "16 ring nodes, symmetric CBR broadcast, hard CAC, 32-cell queues");
+    for s in &fig.series {
+        series(format!("N={}", s.terminals));
+        columns(&["load", "load_Mbps", "per_hop_cells", "e2e_cells"]);
+        for p in &s.points {
+            row(&[
+                f(p.load.to_f64()),
+                f(p.load_mbps),
+                f(p.per_hop_cells),
+                f(p.end_to_end_cells),
+            ]);
+        }
+        header(
+            "max_admissible_load",
+            f(s.max_admissible_load.to_f64()),
+        );
+    }
+}

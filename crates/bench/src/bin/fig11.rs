@@ -1,0 +1,22 @@
+//! Regenerates **Figure 11**: admissible total bandwidth vs the big
+//! terminal's traffic share, for N ∈ {1, 8, 16}.
+
+use rtcac_bench::{columns, f, header, row, series};
+use rtcac_rtnet::experiments::fig11;
+
+fn main() {
+    let fig = fig11::run(fig11::Params::default()).expect("figure 11 sweep");
+    header("artifact", "Figure 11: asymmetric cyclic traffic support");
+    header("setup", "16 ring nodes, one terminal takes share p, hard CAC");
+    for s in &fig.series {
+        series(format!("N={}", s.terminals));
+        columns(&["p", "max_load", "max_load_Mbps"]);
+        for pt in &s.points {
+            row(&[
+                f(pt.share.to_f64()),
+                f(pt.max_load.to_f64()),
+                f(pt.max_load_mbps),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates **Figure 12**: capacity with one vs two priority
+//! levels under asymmetric load.
+
+use rtcac_bench::{columns, f, header, row};
+use rtcac_rtnet::experiments::fig12;
+
+fn main() {
+    let fig = fig12::run(fig12::Params::default()).expect("figure 12 sweep");
+    header("artifact", "Figure 12: one vs two priority levels");
+    header(
+        "setup",
+        format!(
+            "16 ring nodes, N={} terminals, 32-cell high / 64-cell low queues",
+            fig.terminals
+        ),
+    );
+    columns(&["p", "one_priority", "two_priorities", "smalls_low", "big_low"]);
+    for pt in &fig.points {
+        row(&[
+            f(pt.share.to_f64()),
+            f(pt.one_priority.to_f64()),
+            f(pt.two_priorities.to_f64()),
+            f(pt.smalls_low.to_f64()),
+            f(pt.big_low.to_f64()),
+        ]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Figure 13**: soft vs hard CAC capacity under
+//! asymmetric load.
+
+use rtcac_bench::{columns, f, header, row};
+use rtcac_rtnet::experiments::fig13;
+
+fn main() {
+    let fig = fig13::run(fig13::Params::default()).expect("figure 13 sweep");
+    header("artifact", "Figure 13: soft vs hard CAC");
+    header(
+        "setup",
+        format!(
+            "16 ring nodes, N={} terminals, square-root vs summed CDV",
+            fig.terminals
+        ),
+    );
+    columns(&["p", "hard", "soft"]);
+    for pt in &fig.points {
+        row(&[
+            f(pt.share.to_f64()),
+            f(pt.hard.to_f64()),
+            f(pt.soft.to_f64()),
+        ]);
+    }
+}

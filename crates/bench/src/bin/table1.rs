@@ -1,0 +1,41 @@
+//! Regenerates **Table 1** (cyclic transmission classes) with CAC
+//! feasibility verdicts.
+
+use rtcac_bench::{columns, f, header, row};
+use rtcac_rtnet::experiments::table1;
+
+fn main() {
+    let table = table1::run(table1::Params::default()).expect("table 1 analysis");
+    header("artifact", "Table 1: types of cyclic transmission");
+    header(
+        "setup",
+        "16 ring nodes, 16 terminals per node, class traffic split symmetrically",
+    );
+    columns(&[
+        "class",
+        "period_ms",
+        "delay_ms",
+        "memory_KB",
+        "bandwidth_Mbps",
+        "load",
+        "admissible",
+        "e2e_bound_cells",
+        "meets_deadline",
+    ]);
+    for r in &table.rows {
+        row(&[
+            r.class.name().replace(' ', "_"),
+            r.class.period_ms().to_string(),
+            r.class.delay_ms().to_string(),
+            r.class.memory_kb().to_string(),
+            f(r.bandwidth_mbps.to_f64()),
+            f(r.load.to_f64()),
+            r.admissible.to_string(),
+            r.end_to_end_cells
+                .map(|t| f(t.to_f64()))
+                .unwrap_or_else(|| "-".into()),
+            r.meets_deadline.to_string(),
+        ]);
+    }
+    header("combined_load", f(table.combined_load.to_f64()));
+}

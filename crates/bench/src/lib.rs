@@ -1,0 +1,50 @@
+//! Shared formatting helpers for the table/figure regeneration
+//! binaries.
+//!
+//! Each binary in `src/bin/` reproduces one artifact of the paper's
+//! evaluation section and prints it in a gnuplot-friendly format:
+//! `# comment` headers, whitespace-separated columns, blank lines
+//! between series. See `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Prints a `# key: value` header line.
+pub fn header(key: &str, value: impl Display) {
+    println!("# {key}: {value}");
+}
+
+/// Prints a `# columns: ...` line describing the data columns.
+pub fn columns(names: &[&str]) {
+    println!("# columns: {}", names.join(" "));
+}
+
+/// Prints one whitespace-separated data row.
+pub fn row(values: &[String]) {
+    println!("{}", values.join(" "));
+}
+
+/// Formats an `f64` with three decimals (plot precision).
+pub fn f(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Starts a named series block (gnuplot `index` separation).
+pub fn series(name: impl Display) {
+    println!();
+    println!("# series: {name}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_formats_three_decimals() {
+        assert_eq!(f(0.5), "0.500");
+        assert_eq!(f(1.0 / 3.0), "0.333");
+    }
+}

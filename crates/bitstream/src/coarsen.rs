@@ -1,0 +1,201 @@
+//! Conservative quantization of envelopes.
+//!
+//! Exact rational arithmetic keeps the CAC algebra drift-free, but
+//! aggregating many connections with *heterogeneous* contracts makes
+//! breakpoint denominators grow like the LCM of all contract
+//! denominators — past a few hundred distinct contracts, `i128`
+//! overflows. [`BitStream::coarsen`] rounds an envelope onto a fixed
+//! denominator grid while **dominating** the original (never
+//! under-estimating traffic), so every bound computed from the
+//! coarsened stream is still a valid worst case. Switches can apply it
+//! per admission (see `SwitchConfig::with_quantization` in
+//! `rtcac-cac`), trading a sliver of capacity for bounded arithmetic.
+
+use rtcac_rational::{ratio, Ratio};
+
+use crate::{BitStream, Rate, Segment, StreamError, Time};
+
+impl BitStream {
+    /// Rounds the envelope onto a `1/grid` grid, returning a stream
+    /// that *dominates* the original: every rate is rounded up and
+    /// every breakpoint is pushed later, so the coarsened cumulative
+    /// function is everywhere `>=` the original's.
+    ///
+    /// The result's rates and times all have denominators dividing
+    /// `grid`, which bounds the arithmetic of any downstream
+    /// aggregation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::NegativeRate`] if `grid <= 0` (reported
+    /// on the rate that a zero grid would produce).
+    ///
+    /// ```
+    /// use rtcac_bitstream::{BitStream, Time};
+    /// use rtcac_rational::ratio;
+    ///
+    /// let s = BitStream::from_rate_breaks([
+    ///     (ratio(355, 452), ratio(0, 1)),
+    ///     (ratio(1, 997), ratio(22, 7)),
+    /// ])?;
+    /// let c = s.coarsen(64)?;
+    /// assert!(c.dominates(&s));
+    /// for seg in c.segments() {
+    ///     assert!(seg.rate.as_ratio().denom() <= 64);
+    ///     assert!(seg.start.as_ratio().denom() <= 64);
+    /// }
+    /// # Ok::<(), rtcac_bitstream::StreamError>(())
+    /// ```
+    pub fn coarsen(&self, grid: i128) -> Result<BitStream, StreamError> {
+        if grid <= 0 {
+            return Err(StreamError::NegativeRate {
+                rate: Rate::new(Ratio::from_integer(grid)),
+            });
+        }
+        let g = ratio(grid, 1);
+        let ceil_to_grid = |v: Ratio| -> Ratio { ratio((v * g).ceil(), grid) };
+        let mut out: Vec<Segment> = Vec::with_capacity(self.segments().len());
+        for seg in self.segments() {
+            let rate = Rate::new(ceil_to_grid(seg.rate.as_ratio()));
+            let start = if seg.start.is_zero() {
+                Time::ZERO
+            } else {
+                Time::new(ceil_to_grid(seg.start.as_ratio()))
+            };
+            if let Some(last) = out.last_mut() {
+                if last.start == start {
+                    // The previous segment collapsed to zero length:
+                    // adopt the later (lower) rate. Domination still
+                    // holds — any instant at or past the collapsed
+                    // start lies at or past the later original
+                    // breakpoint too (ceil never moves a breakpoint
+                    // earlier) — and the long-run rate stays exact.
+                    last.rate = rate;
+                    continue;
+                }
+            }
+            out.push(Segment::new(rate, start));
+        }
+        Ok(BitStream::from_normalized(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cells, TrafficContract, VbrParams};
+
+    #[test]
+    fn coarsen_dominates_and_bounds_denominators() {
+        let s = BitStream::from_rate_breaks([
+            (ratio(7, 13), ratio(0, 1)),
+            (ratio(3, 11), ratio(17, 5)),
+            (ratio(1, 997), ratio(101, 3)),
+        ])
+        .unwrap();
+        let c = s.coarsen(32).unwrap();
+        assert!(c.dominates(&s));
+        for seg in c.segments() {
+            assert!(seg.rate.as_ratio().denom() <= 32);
+            assert!(seg.start.as_ratio().denom() <= 32);
+        }
+    }
+
+    #[test]
+    fn coarsen_is_identity_on_grid_streams() {
+        let s = BitStream::from_rate_breaks([
+            (ratio(3, 4), ratio(0, 1)),
+            (ratio(1, 8), ratio(5, 2)),
+        ])
+        .unwrap();
+        assert_eq!(s.coarsen(8).unwrap(), s);
+    }
+
+    #[test]
+    fn coarsen_zero_stream() {
+        assert_eq!(BitStream::zero().coarsen(16).unwrap(), BitStream::zero());
+    }
+
+    #[test]
+    fn coarsen_rejects_bad_grid() {
+        let s = BitStream::zero();
+        assert!(s.coarsen(0).is_err());
+        assert!(s.coarsen(-4).is_err());
+    }
+
+    #[test]
+    fn coarsen_collapsed_segments_preserve_long_run_rate() {
+        // Two breakpoints inside one 1/4-cell grid step collapse; the
+        // later (lower) rate wins, the long-run rate is preserved, and
+        // domination holds throughout.
+        let s = BitStream::from_rate_breaks([
+            (ratio(1, 1), ratio(0, 1)),
+            (ratio(1, 2), ratio(21, 20)), // ceil(1.05 * 4)/4 = 5/4
+            (ratio(1, 4), ratio(23, 20)), // ceil(1.15 * 4)/4 = 5/4 too
+        ])
+        .unwrap();
+        let c = s.coarsen(4).unwrap();
+        assert!(c.dominates(&s));
+        assert_eq!(c.long_run_rate(), s.long_run_rate());
+        assert_eq!(c.rate_at(Time::new(ratio(5, 4))), Rate::new(ratio(1, 4)));
+        // Before the collapsed breakpoint the full rate still applies.
+        assert_eq!(c.rate_at(Time::ONE), Rate::FULL);
+    }
+
+    #[test]
+    fn coarsen_error_stays_small() {
+        // The coarsened envelope exceeds the original by at most
+        // grid-step effects: rate error <= 1/grid, time shift <= 1/grid.
+        let contract = TrafficContract::vbr(
+            VbrParams::new(
+                Rate::new(ratio(355, 1130)),
+                Rate::new(ratio(100, 31_417)),
+                9,
+            )
+            .unwrap(),
+        );
+        let s = contract.worst_case_stream();
+        let c = s.coarsen(1024).unwrap();
+        for k in 0..200 {
+            let t = Time::new(ratio(k, 2));
+            let excess = c.cumulative(t) - s.cumulative(t);
+            // Loose but meaningful envelope-error bound: rate error
+            // accumulates at <= 1/grid per cell time, plus one grid
+            // step of breakpoint shift at full rate.
+            let budget = Cells::new(
+                t.as_ratio() / ratio(1024, 1) + ratio(2, 1024) + ratio(1, 1),
+            );
+            assert!(excess <= budget, "at t={t}: excess {excess}");
+        }
+    }
+
+    #[test]
+    fn coarsened_bounds_are_conservative() {
+        let parts: Vec<BitStream> = (0..12)
+            .map(|k| {
+                TrafficContract::vbr(
+                    VbrParams::new(
+                        Rate::new(ratio(1, 7 + k)),
+                        Rate::new(ratio(1, 83 + 3 * k)),
+                        3 + k as u64 % 5,
+                    )
+                    .unwrap(),
+                )
+                .worst_case_stream()
+                .delay(Time::from_integer(40))
+            })
+            .collect();
+        let exact = BitStream::multiplex_all(&parts);
+        let coarsened = BitStream::multiplex_all(
+            &parts
+                .iter()
+                .map(|s| s.coarsen(64).unwrap())
+                .collect::<Vec<_>>(),
+        );
+        let d_exact = exact.delay_bound(&BitStream::zero()).unwrap();
+        let d_coarse = coarsened.delay_bound(&BitStream::zero()).unwrap();
+        assert!(d_coarse >= d_exact, "{d_coarse} < {d_exact}");
+        // And not wildly looser.
+        assert!(d_coarse.to_f64() <= d_exact.to_f64() * 1.5 + 2.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Piecewise-linear cumulative curves.
+//!
+//! A [`BitStream`] is a step function of *rate*; its integral is a
+//! piecewise-linear, non-decreasing *cumulative* curve. Algorithm 4.1
+//! (the queueing delay bound) is the maximum horizontal deviation
+//! between the arrival curve of the priority class and the leftover
+//! service curve under higher-priority interference. Both are
+//! [`PiecewiseLinear`] values here.
+
+use rtcac_rational::Ratio;
+
+use crate::{BitStream, Cells, Rate, Time};
+
+/// A non-decreasing piecewise-linear curve starting at `(0, 0)`.
+///
+/// `knots[i]` is the curve value at the start of linear piece `i`;
+/// `slopes[i]` applies on `[knots[i].0, knots[i+1].0)`, with the last
+/// slope extending to infinity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PiecewiseLinear {
+    knots: Vec<(Time, Cells)>,
+    slopes: Vec<Ratio>,
+}
+
+impl PiecewiseLinear {
+    /// The cumulative arrival curve `A(t) = ∫₀ᵗ r(u) du` of a stream.
+    pub(crate) fn arrival(stream: &BitStream) -> PiecewiseLinear {
+        let segs = stream.segments();
+        let mut knots = Vec::with_capacity(segs.len());
+        let mut slopes = Vec::with_capacity(segs.len());
+        let mut value = Cells::ZERO;
+        let mut prev: Option<(Rate, Time)> = None;
+        for seg in segs {
+            if let Some((rate, start)) = prev {
+                value += rate * (seg.start - start);
+            }
+            knots.push((seg.start, value));
+            slopes.push(seg.rate.as_ratio());
+            prev = Some((seg.rate, seg.start));
+        }
+        PiecewiseLinear { knots, slopes }
+    }
+
+    /// The leftover service curve `C(t) = ∫₀ᵗ (1 − r₁(u)) du` available
+    /// to a priority class under higher-priority interference `r₁`.
+    ///
+    /// The caller must ensure `r₁ <= 1` everywhere (i.e. the
+    /// interference stream has been filtered, Algorithm 3.4).
+    pub(crate) fn leftover_service(higher: &BitStream) -> PiecewiseLinear {
+        let segs = higher.segments();
+        let mut knots = Vec::with_capacity(segs.len());
+        let mut slopes = Vec::with_capacity(segs.len());
+        let mut value = Cells::ZERO;
+        let mut prev: Option<(Ratio, Time)> = None;
+        for seg in segs {
+            if let Some((slope, start)) = prev {
+                value += Rate::new(slope) * (seg.start - start);
+            }
+            let slope = Ratio::ONE - seg.rate.as_ratio();
+            debug_assert!(
+                !slope.is_negative(),
+                "leftover_service: interference above link rate"
+            );
+            knots.push((seg.start, value));
+            slopes.push(slope);
+            prev = Some((slope, seg.start));
+        }
+        PiecewiseLinear { knots, slopes }
+    }
+
+    /// Curve value at time `t >= 0`.
+    pub(crate) fn value_at(&self, t: Time) -> Cells {
+        debug_assert!(!t.is_negative());
+        let idx = match self.knots.binary_search_by(|(kt, _)| kt.cmp(&t)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let (kt, kv) = self.knots[idx];
+        kv + Rate::new(self.slopes[idx]) * (t - kt)
+    }
+
+    /// The slope of the last (infinite) piece.
+    pub(crate) fn final_slope(&self) -> Ratio {
+        *self.slopes.last().expect("curve has at least one piece")
+    }
+
+    /// The earliest time at which the curve reaches `v`, or `None` if it
+    /// never does (curve saturates below `v`).
+    pub(crate) fn first_time_reaching(&self, v: Cells) -> Option<Time> {
+        if v <= Cells::ZERO {
+            return Some(Time::ZERO);
+        }
+        for (i, &(kt, kv)) in self.knots.iter().enumerate() {
+            let slope = Rate::new(self.slopes[i]);
+            let end = self.knots.get(i + 1);
+            match end {
+                Some(&(next_t, next_v)) => {
+                    if next_v >= v {
+                        // Reached within this piece (slope > 0 because the
+                        // value strictly increased).
+                        if kv >= v {
+                            return Some(kt);
+                        }
+                        return Some(kt + (v - kv) / slope);
+                    }
+                    let _ = next_t;
+                }
+                None => {
+                    if kv >= v {
+                        return Some(kt);
+                    }
+                    if slope.as_ratio().is_positive() {
+                        return Some(kt + (v - kv) / slope);
+                    }
+                    return None;
+                }
+            }
+        }
+        unreachable!("loop always returns on the last piece")
+    }
+
+    /// The slope in effect at time `t` (right-continuous: a knot time
+    /// reports the slope of the piece that starts there).
+    pub(crate) fn slope_at(&self, t: Time) -> Ratio {
+        debug_assert!(!t.is_negative());
+        let idx = match self.knots.binary_search_by(|(kt, _)| kt.cmp(&t)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        self.slopes[idx]
+    }
+
+    /// The earliest time at which the curve *strictly exceeds* `v` —
+    /// the right limit of the pseudo-inverse. Differs from
+    /// [`Self::first_time_reaching`] exactly when the curve has a
+    /// plateau at value `v`. Returns `None` if the curve saturates at
+    /// or below `v`.
+    pub(crate) fn first_time_strictly_exceeding(&self, v: Cells) -> Option<Time> {
+        let t0 = self.first_time_reaching(v)?;
+        if self.value_at(t0) > v {
+            return Some(t0);
+        }
+        // The curve equals v at t0; it strictly exceeds v as soon as a
+        // positive slope resumes.
+        let idx = match self.knots.binary_search_by(|(kt, _)| kt.cmp(&t0)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        for i in idx..self.slopes.len() {
+            if self.slopes[i].is_positive() {
+                return Some(t0.max(self.knots[i].0));
+            }
+        }
+        None
+    }
+
+    /// Times of all knots.
+    pub(crate) fn knot_times(&self) -> impl Iterator<Item = Time> + '_ {
+        self.knots.iter().map(|&(t, _)| t)
+    }
+
+    /// Knot values.
+    pub(crate) fn knot_values(&self) -> impl Iterator<Item = Cells> + '_ {
+        self.knots.iter().map(|&(_, v)| v)
+    }
+}
+
+/// The maximum horizontal deviation `max_t [ C⁻¹(A(t)) − t ]` between an
+/// arrival curve `A` and a service curve `C` — the worst-case FIFO
+/// queueing delay. Returns `None` when the deviation is unbounded
+/// (long-run arrival rate exceeds long-run service rate, or the service
+/// saturates below the total arrival volume).
+pub(crate) fn horizontal_deviation(a: &PiecewiseLinear, c: &PiecewiseLinear) -> Option<Time> {
+    let ra = a.final_slope();
+    let rc = c.final_slope();
+    if ra > rc {
+        return None;
+    }
+    if ra == rc && rc.is_zero() {
+        // Both curves saturate; the service must cover the total volume.
+        let a_max = a.knot_values().last().expect("non-empty");
+        let c_max = c.knot_values().last().expect("non-empty");
+        if a_max > c_max {
+            return None;
+        }
+    }
+    // Candidate times: knots of A, plus preimages (under A) of the
+    // values C takes at its knots. Between consecutive candidates the
+    // deviation is affine, so the maximum is attained at a candidate.
+    let mut candidates: Vec<Time> = a.knot_times().collect();
+    for v in c.knot_values() {
+        if let Some(t) = a.first_time_reaching(v) {
+            candidates.push(t);
+        }
+    }
+    let mut best = Time::ZERO;
+    for t in candidates {
+        let v = a.value_at(t);
+        // Departure of the bit arriving exactly at t…
+        let g = c.first_time_reaching(v)?;
+        // …and of bits arriving immediately after t (the supremum is
+        // approached from the right when C has a plateau at value v and
+        // traffic is still arriving).
+        let g = if a.slope_at(t).is_positive() {
+            match c.first_time_strictly_exceeding(v) {
+                Some(g_right) => g.max(g_right),
+                // Still arriving while the service has saturated at v:
+                // unbounded (defensive; the stability pre-check should
+                // have caught this).
+                None => return None,
+            }
+        } else {
+            g
+        };
+        let d = g - t;
+        if d > best {
+            best = d;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_rational::ratio;
+
+    fn stream(pairs: &[(i128, i128, i128, i128)]) -> BitStream {
+        BitStream::from_rate_breaks(
+            pairs
+                .iter()
+                .map(|&(rn, rd, tn, td)| (ratio(rn, rd), ratio(tn, td))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arrival_values() {
+        // Rate 1 on [0,4), then 1/4.
+        let s = stream(&[(1, 1, 0, 1), (1, 4, 4, 1)]);
+        let a = PiecewiseLinear::arrival(&s);
+        assert_eq!(a.value_at(Time::ZERO), Cells::ZERO);
+        assert_eq!(a.value_at(Time::from_integer(4)), Cells::from_integer(4));
+        assert_eq!(a.value_at(Time::from_integer(8)), Cells::from_integer(5));
+        assert_eq!(a.final_slope(), ratio(1, 4));
+    }
+
+    #[test]
+    fn leftover_service_values() {
+        // Higher-priority interference: rate 1 on [0,2), then 1/2.
+        let h = stream(&[(1, 1, 0, 1), (1, 2, 2, 1)]);
+        let c = PiecewiseLinear::leftover_service(&h);
+        // No service while interference saturates the link.
+        assert_eq!(c.value_at(Time::from_integer(2)), Cells::ZERO);
+        assert_eq!(c.value_at(Time::from_integer(6)), Cells::from_integer(2));
+        assert_eq!(c.final_slope(), ratio(1, 2));
+    }
+
+    #[test]
+    fn first_time_reaching_with_plateau() {
+        let h = stream(&[(1, 1, 0, 1), (1, 2, 2, 1)]);
+        let c = PiecewiseLinear::leftover_service(&h);
+        assert_eq!(c.first_time_reaching(Cells::ZERO), Some(Time::ZERO));
+        // First cell of leftover service completes at t = 2 + 2 = 4.
+        assert_eq!(
+            c.first_time_reaching(Cells::ONE),
+            Some(Time::from_integer(4))
+        );
+    }
+
+    #[test]
+    fn first_time_reaching_saturated() {
+        // Arrival that stops: rate 1 on [0, 3), then zero.
+        let s = stream(&[(1, 1, 0, 1), (0, 1, 3, 1)]);
+        let a = PiecewiseLinear::arrival(&s);
+        assert_eq!(
+            a.first_time_reaching(Cells::from_integer(3)),
+            Some(Time::from_integer(3))
+        );
+        assert_eq!(a.first_time_reaching(Cells::from_integer(4)), None);
+    }
+
+    #[test]
+    fn deviation_simple_burst() {
+        // Burst: rate 2 for 3 cell times then 0, full service.
+        let s = stream(&[(2, 1, 0, 1), (0, 1, 3, 1)]);
+        let a = PiecewiseLinear::arrival(&s);
+        let c = PiecewiseLinear::leftover_service(&BitStream::zero());
+        // Backlog peaks at 3 cells at t=3; last bit waits 3 cell times.
+        assert_eq!(
+            horizontal_deviation(&a, &c),
+            Some(Time::from_integer(3))
+        );
+    }
+
+    #[test]
+    fn deviation_unbounded_on_overload() {
+        let s = stream(&[(3, 2, 0, 1)]);
+        let a = PiecewiseLinear::arrival(&s);
+        let c = PiecewiseLinear::leftover_service(&BitStream::zero());
+        assert_eq!(horizontal_deviation(&a, &c), None);
+    }
+
+    #[test]
+    fn deviation_zero_for_light_traffic() {
+        let s = stream(&[(1, 2, 0, 1)]);
+        let a = PiecewiseLinear::arrival(&s);
+        let c = PiecewiseLinear::leftover_service(&BitStream::zero());
+        assert_eq!(horizontal_deviation(&a, &c), Some(Time::ZERO));
+    }
+
+    #[test]
+    fn deviation_with_interference() {
+        // Arrival: 1/2 constant. Interference: full rate for 4 cell
+        // times then zero. During [0,4) nothing is served; 2 cells
+        // accumulate; the bit arriving at t=4^- waits until service
+        // catches up: C(t) = t - 4, A(t) = t/2 -> g(t) = t/2 + 4,
+        // D(t) = 4 - t/2, max at t=0: D = 4.
+        let s = stream(&[(1, 2, 0, 1)]);
+        let h = stream(&[(1, 1, 0, 1), (0, 1, 4, 1)]);
+        let a = PiecewiseLinear::arrival(&s);
+        let c = PiecewiseLinear::leftover_service(&h);
+        assert_eq!(
+            horizontal_deviation(&a, &c),
+            Some(Time::from_integer(4))
+        );
+    }
+
+    #[test]
+    fn deviation_equal_final_slopes_saturating() {
+        // Arrival: 2 cells then stop. Service: zero after 1 cell served.
+        let s = stream(&[(1, 1, 0, 1), (0, 1, 2, 1)]);
+        let h_blocking = stream(&[(0, 1, 0, 1)]); // no interference
+        let a = PiecewiseLinear::arrival(&s);
+        // Service saturating at 1 cell: interference becomes full rate
+        // after 1 cell time.
+        let h = BitStream::from_rate_breaks([(ratio(0, 1), ratio(0, 1))]).unwrap();
+        let _ = (h, h_blocking);
+        // Construct service directly: full for 1 cell time, then zero
+        // leftover (interference rate 1 after t=1) — but interference
+        // must be non-increasing, so model via curve arithmetic instead:
+        // here we only verify the saturation comparison path using two
+        // flat curves.
+        let a_sat = PiecewiseLinear::arrival(&s); // saturates at 2
+        let c_sat = PiecewiseLinear::arrival(&stream(&[(1, 1, 0, 1), (0, 1, 1, 1)])); // saturates at 1
+        assert_eq!(horizontal_deviation(&a_sat, &c_sat), None);
+        let c_big = PiecewiseLinear::arrival(&stream(&[(1, 1, 0, 1), (0, 1, 5, 1)]));
+        assert!(horizontal_deviation(&a_sat, &c_big).is_some());
+        let _ = a;
+    }
+}

@@ -1,0 +1,287 @@
+//! Worst-case FIFO queueing delay bounds (Algorithm 4.1).
+
+use crate::cumulative::{horizontal_deviation, PiecewiseLinear};
+use crate::{BitStream, Rate, StreamError, Time};
+
+impl BitStream {
+    /// **Algorithm 4.1**: the worst-case queueing delay of this
+    /// (aggregated, priority-`p`) arrival stream at a static-priority
+    /// FIFO queueing point, under the interference of `higher` — the
+    /// *filtered* aggregate of all traffic with priority above `p`.
+    ///
+    /// The bound is the maximum horizontal deviation between the
+    /// arrival curve `A(t) = ∫ r` and the leftover service curve
+    /// `C(t) = ∫ (1 − r₁)`: a bit arriving at time `t` leaves by
+    /// `g(t) = C⁻¹(A(t))`, and the bound is `max_t [g(t) − t]`
+    /// (the paper's Figure 8).
+    ///
+    /// Pass [`BitStream::zero`] as `higher` for the highest priority
+    /// level; the bound then equals the maximum backlog drained at the
+    /// full link rate.
+    ///
+    /// # Errors
+    ///
+    /// - [`StreamError::UnfilteredInterference`] if `higher` exceeds the
+    ///   link rate anywhere (apply [`BitStream::filter`] first, as the
+    ///   paper's CAC bookkeeping does);
+    /// - [`StreamError::Overload`] if the long-run arrival rate exceeds
+    ///   the long-run leftover service rate, making the delay unbounded.
+    ///
+    /// ```
+    /// use rtcac_bitstream::{BitStream, Time};
+    /// use rtcac_rational::ratio;
+    ///
+    /// // Aggregate bursting at twice the link rate for 4 cell times.
+    /// let s = BitStream::from_rate_breaks([
+    ///     (ratio(2, 1), ratio(0, 1)),
+    ///     (ratio(1, 2), ratio(4, 1)),
+    /// ])?;
+    /// // Highest priority: the worst bit waits for the 4-cell backlog.
+    /// assert_eq!(s.delay_bound(&BitStream::zero())?, Time::from_integer(4));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn delay_bound(&self, higher: &BitStream) -> Result<Time, StreamError> {
+        if higher.peak_rate() > Rate::FULL {
+            return Err(StreamError::UnfilteredInterference {
+                rate: higher.peak_rate(),
+            });
+        }
+        let arrival = PiecewiseLinear::arrival(self);
+        let service = PiecewiseLinear::leftover_service(higher);
+        horizontal_deviation(&arrival, &service).ok_or_else(|| StreamError::Overload {
+            arrival: self.long_run_rate(),
+            service: Rate::FULL - higher.long_run_rate(),
+        })
+    }
+
+    /// The worst-case *response* time through the queueing point for a
+    /// single additional cell arriving at the critical instant: the
+    /// delay bound plus one cell transmission time.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BitStream::delay_bound`].
+    pub fn response_bound(&self, higher: &BitStream) -> Result<Time, StreamError> {
+        Ok(self.delay_bound(higher)? + Time::ONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Segment, TrafficContract, VbrParams};
+    use rtcac_rational::{ratio, Ratio};
+
+    fn stream(pairs: &[(Ratio, Ratio)]) -> BitStream {
+        BitStream::from_rate_breaks(pairs.iter().copied()).unwrap()
+    }
+
+    fn vbr(pn: i128, pd: i128, sn: i128, sd: i128, mbs: u64) -> BitStream {
+        TrafficContract::vbr(
+            VbrParams::new(Rate::new(ratio(pn, pd)), Rate::new(ratio(sn, sd)), mbs).unwrap(),
+        )
+        .worst_case_stream()
+    }
+
+    #[test]
+    fn zero_stream_has_zero_delay() {
+        assert_eq!(
+            BitStream::zero().delay_bound(&BitStream::zero()).unwrap(),
+            Time::ZERO
+        );
+    }
+
+    #[test]
+    fn light_stream_has_zero_delay() {
+        let s = stream(&[(ratio(1, 2), ratio(0, 1))]);
+        assert_eq!(s.delay_bound(&BitStream::zero()).unwrap(), Time::ZERO);
+    }
+
+    #[test]
+    fn burst_delay_equals_backlog_at_top_priority() {
+        // Rate 3 for 2 cell times then 1/4: backlog peaks at 4 cells.
+        let s = stream(&[(ratio(3, 1), ratio(0, 1)), (ratio(1, 4), ratio(2, 1))]);
+        let d = s.delay_bound(&BitStream::zero()).unwrap();
+        assert_eq!(d, Time::from_integer(4));
+        // Consistency with the direct backlog computation.
+        assert_eq!(
+            s.backlog_bound(Rate::FULL).unwrap().as_ratio(),
+            d.as_ratio()
+        );
+    }
+
+    #[test]
+    fn overload_is_detected() {
+        let s = stream(&[(ratio(3, 2), ratio(0, 1))]);
+        assert!(matches!(
+            s.delay_bound(&BitStream::zero()),
+            Err(StreamError::Overload { .. })
+        ));
+    }
+
+    #[test]
+    fn combined_overload_with_interference() {
+        let s = stream(&[(ratio(1, 2), ratio(0, 1))]);
+        let h = stream(&[(ratio(3, 4), ratio(0, 1))]);
+        // 1/2 > 1 - 3/4: unbounded.
+        assert!(matches!(
+            s.delay_bound(&h),
+            Err(StreamError::Overload { .. })
+        ));
+    }
+
+    #[test]
+    fn exactly_full_utilization_is_bounded() {
+        // Arrival 1/2, interference exactly 1/2 forever: service keeps
+        // pace exactly; the bound is finite (zero here).
+        let s = stream(&[(ratio(1, 2), ratio(0, 1))]);
+        let h = stream(&[(ratio(1, 2), ratio(0, 1))]);
+        assert_eq!(s.delay_bound(&h).unwrap(), Time::ZERO);
+    }
+
+    #[test]
+    fn unfiltered_interference_rejected() {
+        let s = stream(&[(ratio(1, 4), ratio(0, 1))]);
+        let h = stream(&[(ratio(2, 1), ratio(0, 1)), (ratio(1, 4), ratio(2, 1))]);
+        assert!(matches!(
+            s.delay_bound(&h),
+            Err(StreamError::UnfilteredInterference { .. })
+        ));
+        // Filtering the interference first makes it acceptable.
+        assert!(s.delay_bound(&h.filter()).is_ok());
+    }
+
+    #[test]
+    fn interference_blackout_delays_all_traffic() {
+        // Interference saturates the link for 6 cell times; arrival at
+        // 1/3. The bit arriving at t=0 waits until service resumes.
+        let s = stream(&[(ratio(1, 3), ratio(0, 1))]);
+        let h = stream(&[(ratio(1, 1), ratio(0, 1)), (ratio(0, 1), ratio(6, 1))]);
+        // A(t) = t/3; C(t) = max(0, t-6); g(t) = t/3 + 6; D = 6 at t=0.
+        assert_eq!(s.delay_bound(&h).unwrap(), Time::from_integer(6));
+    }
+
+    #[test]
+    fn vbr_burst_against_vbr_interference() {
+        // Two identical VBR worst cases sharing a link; the low-priority
+        // one sees the high-priority burst first.
+        let lo = vbr(1, 2, 1, 8, 4);
+        let hi = vbr(1, 2, 1, 8, 4).filter();
+        let d = lo.delay_bound(&hi).unwrap();
+        assert!(d > Time::ZERO);
+        // Sanity: interference can only make things worse.
+        let alone = lo.delay_bound(&BitStream::zero()).unwrap();
+        assert!(d >= alone);
+    }
+
+    #[test]
+    fn delay_bound_monotone_in_arrival() {
+        // A dominated arrival stream gets a no-worse bound.
+        let small = vbr(1, 4, 1, 16, 4);
+        let big = vbr(1, 2, 1, 8, 16);
+        let h = vbr(1, 2, 1, 4, 8).filter();
+        let ds = small.delay_bound(&h).unwrap();
+        let db = big.delay_bound(&h).unwrap();
+        assert!(ds <= db);
+    }
+
+    #[test]
+    fn delay_bound_worsens_with_jitter() {
+        let s = vbr(1, 2, 1, 10, 6);
+        let h = BitStream::zero();
+        let base = s.delay_bound(&h).unwrap();
+        let jittered = s.delay(Time::from_integer(20)).delay_bound(&h).unwrap();
+        assert!(jittered >= base);
+    }
+
+    #[test]
+    fn filtering_interference_tightens_bound() {
+        // The paper's §3.4 claim: filtering the higher-priority
+        // aggregate through its incoming link yields a tighter (or
+        // equal) bound than the unfiltered sum would.
+        let s = vbr(1, 4, 1, 10, 4);
+        // Unfiltered aggregate of three bursty inputs exceeds the link;
+        // Algorithm 4.1 requires filtering, which also models reality:
+        // those cells *cannot* arrive faster than the upstream link.
+        let parts: Vec<BitStream> = (0..3).map(|_| vbr(1, 2, 1, 10, 8)).collect();
+        let agg = BitStream::multiplex_all(&parts);
+        let filtered = agg.filter();
+        let d_filtered = s.delay_bound(&filtered).unwrap();
+        // Compare against a manually-capped (but unsmoothed) envelope:
+        // the same long-run behaviour, peak clamped to 1 with no drain
+        // extension — strictly more pessimistic service assumption is
+        // not even representable; instead verify the bound at least
+        // accounts for the blackout period of the filtered stream.
+        let blackout = filtered
+            .segments()
+            .iter()
+            .take_while(|seg| seg.rate == Rate::FULL)
+            .map(|_| ())
+            .count();
+        assert!(blackout > 0);
+        assert!(d_filtered >= Time::ZERO);
+    }
+
+    #[test]
+    fn response_bound_adds_one_cell() {
+        let s = stream(&[(ratio(3, 1), ratio(0, 1)), (ratio(1, 4), ratio(2, 1))]);
+        assert_eq!(
+            s.response_bound(&BitStream::zero()).unwrap(),
+            Time::from_integer(5)
+        );
+    }
+
+    #[test]
+    fn paper_figure8_shape() {
+        // Reconstructs the Figure 8 situation: S bursts above the
+        // leftover service; the bound occurs where r(t) crosses
+        // 1 - r1(g(t)).
+        let s = stream(&[
+            (ratio(2, 1), ratio(0, 1)),
+            (ratio(1, 2), ratio(3, 1)),
+            (ratio(1, 8), ratio(10, 1)),
+        ]);
+        let h = stream(&[(ratio(1, 2), ratio(0, 1)), (ratio(1, 4), ratio(8, 1))]);
+        let d = s.delay_bound(&h).unwrap();
+        // Brute-force check on a fine grid: D(t) = g(t) - t.
+        let mut best = Time::ZERO;
+        for k in 0..400 {
+            let t = Time::new(ratio(k, 10));
+            let a = s.cumulative(t);
+            // find g: smallest g with C(g) >= a, C(g) = g - H(g).
+            let mut lo = Time::ZERO;
+            let mut hi = Time::from_integer(200);
+            for _ in 0..60 {
+                let mid = Time::new((lo.as_ratio() + hi.as_ratio()) / ratio(2, 1));
+                let c = Rate::FULL * mid - h.cumulative(mid) * Ratio::ONE;
+                if c >= a {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            let dev = hi - t;
+            if dev > best {
+                best = dev;
+            }
+        }
+        // The analytic bound must dominate the brute-force estimate and
+        // be close to it.
+        assert!(d >= best - Time::new(ratio(1, 100)));
+        assert!(d <= best + Time::new(ratio(1, 2)));
+    }
+
+    #[test]
+    fn delay_bound_of_segment_list_example() {
+        // Worked example: S = {(2,0),(0,2)}: 4 cells in 2 cell times.
+        // Interference: half rate forever. C(t) = t/2.
+        // A(2) = 4 -> g = 8 -> D = 6 at t = 2 (last arriving bit).
+        let s = BitStream::from_segments([
+            Segment::new(Rate::new(ratio(2, 1)), Time::ZERO),
+            Segment::new(Rate::ZERO, Time::from_integer(2)),
+        ])
+        .unwrap();
+        let h = stream(&[(ratio(1, 2), ratio(0, 1))]);
+        assert_eq!(s.delay_bound(&h).unwrap(), Time::from_integer(6));
+    }
+}

@@ -1,0 +1,154 @@
+//! Error types for stream construction and analysis.
+
+use core::fmt;
+
+use rtcac_rational::RatioError;
+
+use crate::{Rate, Time};
+
+/// Error produced by [`BitStream`](crate::BitStream) construction and
+/// analysis operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StreamError {
+    /// A segment rate was negative.
+    NegativeRate {
+        /// The offending rate.
+        rate: Rate,
+    },
+    /// Segment start times were not strictly increasing from zero.
+    BadBreakpoints {
+        /// The offending start time.
+        at: Time,
+    },
+    /// The first segment did not start at time zero.
+    MissingOrigin,
+    /// No segments were supplied.
+    Empty,
+    /// Rates were not monotonically non-increasing (the bit-stream model
+    /// of the paper requires worst-case envelopes to front-load traffic).
+    NotMonotone {
+        /// Time at which the rate increased.
+        at: Time,
+    },
+    /// A demultiplex would produce a negative rate: the subtrahend is not
+    /// a component of the aggregate.
+    NotASubStream {
+        /// Time at which the difference first went negative.
+        at: Time,
+    },
+    /// The long-run load exceeds the available service rate, so the
+    /// queueing delay is unbounded.
+    Overload {
+        /// Long-run arrival rate of the stream under analysis.
+        arrival: Rate,
+        /// Long-run service rate left over by higher priorities.
+        service: Rate,
+    },
+    /// A higher-priority interference stream exceeded the link rate; it
+    /// must be filtered (Algorithm 3.4) before use in Algorithm 4.1.
+    UnfilteredInterference {
+        /// The offending rate.
+        rate: Rate,
+    },
+    /// A negative duration or delay variation was supplied.
+    NegativeTime {
+        /// The offending value.
+        value: Time,
+    },
+    /// Exact arithmetic overflowed.
+    Numeric(RatioError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::NegativeRate { rate } => {
+                write!(f, "negative segment rate {rate}")
+            }
+            StreamError::BadBreakpoints { at } => {
+                write!(f, "segment start times not strictly increasing at {at}")
+            }
+            StreamError::MissingOrigin => write!(f, "first segment must start at time 0"),
+            StreamError::Empty => write!(f, "a bit stream needs at least one segment"),
+            StreamError::NotMonotone { at } => {
+                write!(f, "segment rates increase at time {at}")
+            }
+            StreamError::NotASubStream { at } => {
+                write!(f, "demultiplex would go negative at time {at}")
+            }
+            StreamError::Overload { arrival, service } => write!(
+                f,
+                "unbounded delay: long-run arrival rate {arrival} exceeds available service rate {service}"
+            ),
+            StreamError::UnfilteredInterference { rate } => write!(
+                f,
+                "higher-priority stream exceeds link rate ({rate} > 1); filter it first"
+            ),
+            StreamError::NegativeTime { value } => {
+                write!(f, "negative time value {value}")
+            }
+            StreamError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RatioError> for StreamError {
+    fn from(e: RatioError) -> Self {
+        StreamError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_rational::ratio;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<StreamError> = vec![
+            StreamError::NegativeRate {
+                rate: Rate::new(ratio(-1, 2)),
+            },
+            StreamError::MissingOrigin,
+            StreamError::Empty,
+            StreamError::NotMonotone {
+                at: Time::from_integer(3),
+            },
+            StreamError::Overload {
+                arrival: Rate::FULL,
+                service: Rate::new(ratio(1, 2)),
+            },
+            StreamError::Numeric(RatioError::Overflow),
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn numeric_error_has_source() {
+        use std::error::Error;
+        let e = StreamError::Numeric(RatioError::Overflow);
+        assert!(e.source().is_some());
+        assert!(StreamError::Empty.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StreamError>();
+    }
+}

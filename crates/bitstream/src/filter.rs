@@ -1,0 +1,270 @@
+//! Link filtering of bit streams (Algorithm 3.4) and the shared
+//! "clamp by a service line" smoothing primitive also used by
+//! Algorithm 3.1 (delay).
+
+use crate::{BitStream, Cells, Rate, Segment, StreamError, Time};
+
+impl BitStream {
+    /// **Algorithm 3.4**: the stream that exits a transmission link of
+    /// full (normalized) bandwidth 1 when this stream enters it.
+    ///
+    /// While the arrival rate exceeds the link rate a queue builds up
+    /// and the output is clamped to rate 1; once the queue drains the
+    /// output follows the input. Formally the output envelope is
+    /// `min(t, R(t))`. Filtering *smooths* aggregates and is what makes
+    /// the paper's delay bounds tighter than \[9\]'s (§3.4).
+    ///
+    /// If the long-run input rate exceeds the link rate the queue never
+    /// drains and the output is a constant full-rate stream.
+    ///
+    /// ```
+    /// use rtcac_bitstream::{BitStream, Rate};
+    /// use rtcac_rational::ratio;
+    ///
+    /// // Aggregate bursting at 2x the link rate for 3 cell times.
+    /// let s = BitStream::from_rate_breaks([
+    ///     (ratio(2, 1), ratio(0, 1)),
+    ///     (ratio(1, 4), ratio(3, 1)),
+    /// ])?;
+    /// let f = s.filter();
+    /// assert_eq!(f.peak_rate(), Rate::FULL);
+    /// // 3 excess cells drain at rate 1 - 1/4 = 3/4: t' = 3 + 4 = 7.
+    /// assert_eq!(f.segments()[1].start.as_ratio(), ratio(7, 1));
+    /// # Ok::<(), rtcac_bitstream::StreamError>(())
+    /// ```
+    pub fn filter(&self) -> BitStream {
+        self.filter_at(Rate::FULL)
+            .expect("full link rate is always valid")
+    }
+
+    /// [`BitStream::filter`] generalized to an arbitrary positive link
+    /// capacity (useful for modeling sub-rate links or shaped trunks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::NegativeRate`] if `capacity <= 0`.
+    pub fn filter_at(&self, capacity: Rate) -> Result<BitStream, StreamError> {
+        if !capacity.is_positive() {
+            return Err(StreamError::NegativeRate { rate: capacity });
+        }
+        Ok(smooth(Cells::ZERO, self.segments().to_vec(), capacity))
+    }
+}
+
+/// The envelope `min(capacity · t, backlog + ∫₀ᵗ r(u) du)` expressed as
+/// a bit stream: the traffic that exits a `capacity`-rate server that
+/// starts with `backlog` queued cells and then receives `segments`.
+///
+/// This is the common core of Algorithm 3.4 (`backlog = 0`) and
+/// Algorithm 3.1 (`backlog` = bits clumped by jitter, `segments` = the
+/// time-shifted remainder).
+pub(crate) fn smooth(backlog: Cells, segments: Vec<Segment>, capacity: Rate) -> BitStream {
+    debug_assert!(capacity.is_positive());
+    debug_assert!(!backlog.is_negative());
+    // Fast path: nothing queued and never above capacity.
+    if backlog.is_zero() && segments.iter().all(|s| s.rate <= capacity) {
+        return BitStream::from_normalized(segments);
+    }
+    // Walk segments tracking the queue; find the drain time t'.
+    let mut queue = backlog;
+    for (i, seg) in segments.iter().enumerate() {
+        let next_start = segments.get(i + 1).map(|s| s.start);
+        let drain_rate = capacity - seg.rate; // positive when draining
+        match next_start {
+            Some(end) => {
+                let span = end - seg.start;
+                if drain_rate.is_positive() {
+                    let can_drain = drain_rate * span;
+                    if can_drain >= queue {
+                        let t_drain = seg.start + queue / drain_rate;
+                        return clamped_output(&segments, i, t_drain, capacity);
+                    }
+                    queue -= can_drain;
+                } else {
+                    queue += (seg.rate - capacity) * span;
+                }
+            }
+            None => {
+                if drain_rate.is_positive() {
+                    let t_drain = seg.start + queue / drain_rate;
+                    return clamped_output(&segments, i, t_drain, capacity);
+                }
+                // Last rate >= capacity with a backlog: never drains.
+                return BitStream::from_normalized(vec![Segment::new(capacity, Time::ZERO)]);
+            }
+        }
+    }
+    unreachable!("segment walk always returns on the last segment")
+}
+
+/// Builds the output stream: `capacity` on `[0, t_drain)`, then the
+/// input from segment `i` onward.
+fn clamped_output(
+    segments: &[Segment],
+    i: usize,
+    t_drain: Time,
+    capacity: Rate,
+) -> BitStream {
+    let mut out = Vec::with_capacity(segments.len() - i + 1);
+    if t_drain.is_positive() {
+        out.push(Segment::new(capacity, Time::ZERO));
+    }
+    // The draining segment resumes at t_drain (zero-length if the queue
+    // drains exactly at its end; the dedupe below drops it).
+    let resume = Segment::new(segments[i].rate, t_drain);
+    let mut tail: Vec<Segment> = Vec::with_capacity(segments.len() - i);
+    tail.push(resume);
+    tail.extend(segments.iter().skip(i + 1).copied());
+    for seg in tail {
+        if let Some(last) = out.last_mut() {
+            if last.start == seg.start {
+                last.rate = seg.rate;
+                continue;
+            }
+        }
+        out.push(seg);
+    }
+    BitStream::from_normalized(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_rational::{ratio, Ratio};
+
+    fn stream(pairs: &[(Ratio, Ratio)]) -> BitStream {
+        BitStream::from_rate_breaks(pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn filter_passthrough_when_under_capacity() {
+        let s = stream(&[(ratio(1, 1), ratio(0, 1)), (ratio(1, 4), ratio(5, 1))]);
+        assert_eq!(s.filter(), s);
+        assert_eq!(BitStream::zero().filter(), BitStream::zero());
+    }
+
+    #[test]
+    fn filter_clamps_burst_paper_figure7() {
+        // Figure 7 shape: burst above link rate, then drain.
+        // Rate 3 on [0,2): queue grows to 4. Then rate 1/2: drains at
+        // 1/2 per cell time -> empty at t = 2 + 8 = 10.
+        let s = stream(&[(ratio(3, 1), ratio(0, 1)), (ratio(1, 2), ratio(2, 1))]);
+        let f = s.filter();
+        assert_eq!(
+            f,
+            stream(&[(ratio(1, 1), ratio(0, 1)), (ratio(1, 2), ratio(10, 1))])
+        );
+    }
+
+    #[test]
+    fn filter_conserves_cumulative_after_drain() {
+        let s = stream(&[(ratio(3, 1), ratio(0, 1)), (ratio(1, 2), ratio(2, 1))]);
+        let f = s.filter();
+        // After the queue drains the same total volume has passed.
+        for t in 10..15 {
+            let t = Time::from_integer(t);
+            assert_eq!(f.cumulative(t), s.cumulative(t));
+        }
+        // While clamped the output is exactly the line t.
+        for t in 1..10 {
+            let t = Time::from_integer(t);
+            assert_eq!(f.cumulative(t), Cells::new(t.as_ratio()));
+        }
+    }
+
+    #[test]
+    fn filter_output_never_exceeds_input_envelope() {
+        let s = stream(&[
+            (ratio(5, 2), ratio(0, 1)),
+            (ratio(3, 2), ratio(4, 1)),
+            (ratio(1, 4), ratio(8, 1)),
+        ]);
+        let f = s.filter();
+        for t in 0..30 {
+            let t = Time::from_integer(t);
+            assert!(f.cumulative(t) <= s.cumulative(t));
+            assert!(f.rate_at(t) <= Rate::FULL);
+        }
+    }
+
+    #[test]
+    fn filter_drain_spanning_multiple_segments() {
+        // Queue of 2 after [0,2) at rate 2; rate 3/4 on [2,4) drains
+        // 1/2; rate 1/2 after drains the rest at t = 4 + 3 = 7.
+        let s = stream(&[
+            (ratio(2, 1), ratio(0, 1)),
+            (ratio(3, 4), ratio(2, 1)),
+            (ratio(1, 2), ratio(4, 1)),
+        ]);
+        let f = s.filter();
+        assert_eq!(
+            f,
+            stream(&[(ratio(1, 1), ratio(0, 1)), (ratio(1, 2), ratio(7, 1))])
+        );
+    }
+
+    #[test]
+    fn filter_exact_drain_at_breakpoint() {
+        // Queue of 1 after [0,1) at rate 2; drains exactly during [1,2)
+        // at rate 0: t' = 2 == next breakpoint.
+        let s = stream(&[
+            (ratio(2, 1), ratio(0, 1)),
+            (ratio(0, 1), ratio(1, 1)),
+        ]);
+        let f = s.filter();
+        assert_eq!(
+            f,
+            stream(&[(ratio(1, 1), ratio(0, 1)), (ratio(0, 1), ratio(2, 1))])
+        );
+    }
+
+    #[test]
+    fn filter_overloaded_saturates() {
+        let s = stream(&[(ratio(3, 2), ratio(0, 1))]);
+        assert_eq!(s.filter(), stream(&[(ratio(1, 1), ratio(0, 1))]));
+    }
+
+    #[test]
+    fn filter_at_custom_capacity() {
+        let s = stream(&[(ratio(1, 1), ratio(0, 1)), (ratio(1, 8), ratio(2, 1))]);
+        let f = s.filter_at(Rate::new(ratio(1, 2))).unwrap();
+        // Queue of 1 builds over [0,2); drains at 3/8 -> t' = 2 + 8/3.
+        assert_eq!(
+            f,
+            stream(&[(ratio(1, 2), ratio(0, 1)), (ratio(1, 8), ratio(14, 3))])
+        );
+    }
+
+    #[test]
+    fn filter_at_rejects_nonpositive_capacity() {
+        let s = stream(&[(ratio(1, 2), ratio(0, 1))]);
+        assert!(s.filter_at(Rate::ZERO).is_err());
+        assert!(s.filter_at(Rate::new(ratio(-1, 2))).is_err());
+    }
+
+    #[test]
+    fn filter_is_idempotent() {
+        let s = stream(&[
+            (ratio(4, 1), ratio(0, 1)),
+            (ratio(2, 1), ratio(1, 1)),
+            (ratio(1, 8), ratio(3, 1)),
+        ]);
+        let once = s.filter();
+        assert_eq!(once.filter(), once);
+    }
+
+    #[test]
+    fn smooth_with_initial_backlog() {
+        // Pure backlog of 3 cells, zero-rate input afterwards: the
+        // output is rate 1 for 3 cell times.
+        let out = smooth(
+            Cells::from_integer(3),
+            vec![Segment::new(Rate::ZERO, Time::ZERO)],
+            Rate::FULL,
+        );
+        assert_eq!(
+            out,
+            stream(&[(ratio(1, 1), ratio(0, 1)), (ratio(0, 1), ratio(3, 1))])
+        );
+    }
+}

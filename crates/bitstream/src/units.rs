@@ -1,0 +1,311 @@
+//! Dimensioned newtypes for the bit-stream algebra.
+//!
+//! The paper works in normalized units: time in *cell times*, rates as
+//! fractions of the link bandwidth. These newtypes keep rates, times and
+//! traffic volumes from being mixed up ([C-NEWTYPE]): `Rate * Time`
+//! yields [`Cells`], `Cells / Rate` yields [`Time`], and dimensionally
+//! nonsensical operations do not compile.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use core::str::FromStr;
+
+use rtcac_rational::{Ratio, RatioError};
+
+macro_rules! unit_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(Ratio);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(Ratio::ZERO);
+
+            /// Wraps a raw [`Ratio`] value.
+            pub const fn new(value: Ratio) -> $name {
+                $name(value)
+            }
+
+            /// Creates the value from an integer count of base units.
+            pub const fn from_integer(value: i128) -> $name {
+                $name(Ratio::from_integer(value))
+            }
+
+            /// The underlying exact rational value.
+            pub const fn as_ratio(&self) -> Ratio {
+                self.0
+            }
+
+            /// Whether the value is exactly zero.
+            pub const fn is_zero(&self) -> bool {
+                self.0.is_zero()
+            }
+
+            /// Whether the value is strictly positive.
+            pub const fn is_positive(&self) -> bool {
+                self.0.is_positive()
+            }
+
+            /// Whether the value is strictly negative.
+            pub const fn is_negative(&self) -> bool {
+                self.0.is_negative()
+            }
+
+            /// Inexact `f64` view, for reporting only.
+            pub fn to_f64(&self) -> f64 {
+                self.0.to_f64()
+            }
+
+            /// The smaller of two values.
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// The larger of two values.
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.0, f)
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = RatioError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                Ok($name(s.parse()?))
+            }
+        }
+
+        impl From<Ratio> for $name {
+            fn from(value: Ratio) -> Self {
+                $name(value)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<Ratio> for $name {
+            type Output = $name;
+            fn mul(self, rhs: Ratio) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<Ratio> for $name {
+            type Output = $name;
+            /// # Panics
+            ///
+            /// Panics if `rhs` is zero.
+            fn div(self, rhs: Ratio) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a $name>>(iter: I) -> $name {
+                iter.copied().sum()
+            }
+        }
+    };
+}
+
+unit_newtype! {
+    /// A transmission rate, normalized to the link bandwidth
+    /// (1 = one cell per cell time = full link rate).
+    Rate
+}
+
+unit_newtype! {
+    /// A duration or instant measured in cell times (the time to send
+    /// one cell at full link bandwidth; ~2.7 µs at 155 Mbps).
+    Time
+}
+
+unit_newtype! {
+    /// An amount of traffic measured in cells (equivalently, the time
+    /// the full link would need to carry it).
+    Cells
+}
+
+impl Rate {
+    /// The full link rate (1 cell per cell time).
+    pub const FULL: Rate = Rate(Ratio::ONE);
+}
+
+impl Time {
+    /// One cell time.
+    pub const ONE: Time = Time(Ratio::ONE);
+}
+
+impl Cells {
+    /// One cell.
+    pub const ONE: Cells = Cells(Ratio::ONE);
+}
+
+impl Mul<Time> for Rate {
+    type Output = Cells;
+
+    /// Traffic volume carried at `self` for a duration.
+    fn mul(self, rhs: Time) -> Cells {
+        Cells(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Rate> for Time {
+    type Output = Cells;
+
+    fn mul(self, rhs: Rate) -> Cells {
+        rhs * self
+    }
+}
+
+impl Div<Rate> for Cells {
+    type Output = Time;
+
+    /// The time needed to carry this volume at the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Rate) -> Time {
+        Time(self.0 / rhs.0)
+    }
+}
+
+impl Div<Time> for Cells {
+    type Output = Rate;
+
+    /// The average rate over a duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Time) -> Rate {
+        Rate(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_rational::ratio;
+
+    #[test]
+    fn dimensional_products() {
+        let r = Rate::new(ratio(1, 4));
+        let t = Time::from_integer(8);
+        assert_eq!(r * t, Cells::from_integer(2));
+        assert_eq!(t * r, Cells::from_integer(2));
+        assert_eq!(Cells::from_integer(2) / r, t);
+        assert_eq!(Cells::from_integer(2) / t, r);
+    }
+
+    #[test]
+    fn additive_ops() {
+        let a = Time::from_integer(3);
+        let b = Time::from_integer(4);
+        assert_eq!(a + b, Time::from_integer(7));
+        assert_eq!(b - a, Time::ONE);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Time::from_integer(7));
+        c -= b;
+        assert_eq!(c, a);
+        assert_eq!(-a, Time::from_integer(-3));
+    }
+
+    #[test]
+    fn scaling_by_ratio() {
+        let r = Rate::new(ratio(1, 2));
+        assert_eq!(r * ratio(1, 2), Rate::new(ratio(1, 4)));
+        assert_eq!(r / ratio(2, 1), Rate::new(ratio(1, 4)));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Rate::new(ratio(1, 3));
+        let b = Rate::new(ratio(1, 2));
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn sums() {
+        let rates = [Rate::new(ratio(1, 4)); 4];
+        let total: Rate = rates.iter().sum();
+        assert_eq!(total, Rate::FULL);
+    }
+
+    #[test]
+    fn constants_and_predicates() {
+        assert!(Rate::ZERO.is_zero());
+        assert!(Rate::FULL.is_positive());
+        assert!((-Time::ONE).is_negative());
+        assert_eq!(Time::default(), Time::ZERO);
+    }
+
+    #[test]
+    fn display_parse() {
+        let r: Rate = "1/2".parse().unwrap();
+        assert_eq!(r, Rate::new(ratio(1, 2)));
+        assert_eq!(r.to_string(), "1/2");
+        assert_eq!(format!("{:?}", r), "Rate(1/2)");
+    }
+
+    #[test]
+    fn f64_view() {
+        assert_eq!(Rate::new(ratio(3, 4)).to_f64(), 0.75);
+    }
+}

@@ -1,0 +1,210 @@
+//! The **peak bandwidth allocation** baseline — the conventional CAC
+//! the paper's introduction argues against.
+//!
+//! Peak allocation admits a connection as long as the sum of peak cell
+//! rates on each outgoing link stays within the link bandwidth. The
+//! introduction explains why this is *not* sufficient for hard
+//! real-time guarantees: jitter introduced at upstream nodes lets cells
+//! arrive faster than their source rate, so the aggregated arrival rate
+//! can transiently exceed the link bandwidth and queueing delays become
+//! unpredictable. [`PeakAllocation`] implements the baseline so the
+//! claim can be quantified (see the `baseline_peak` benchmark binary
+//! and the `baseline_peak_allocation` integration tests).
+
+use std::collections::BTreeMap;
+
+use rtcac_bitstream::Rate;
+use rtcac_net::LinkId;
+
+use crate::{CacError, ConnectionId, ConnectionRequest};
+
+/// A peak-bandwidth-allocation admission controller: admits while
+/// `Σ PCR <= capacity` per outgoing link. No delay bounds are computed
+/// or guaranteed.
+///
+/// # Examples
+///
+/// ```
+/// use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract};
+/// use rtcac_cac::{baseline::PeakAllocation, ConnectionId, ConnectionRequest, Priority};
+/// use rtcac_net::LinkId;
+/// use rtcac_rational::ratio;
+///
+/// let mut cac = PeakAllocation::new();
+/// let contract = TrafficContract::cbr(CbrParams::new(Rate::new(ratio(2, 3)))?);
+/// let request = ConnectionRequest::new(
+///     contract,
+///     Time::ZERO,
+///     LinkId::external(0),
+///     LinkId::external(1),
+///     Priority::HIGHEST,
+/// );
+/// assert!(cac.admit(ConnectionId::new(1), request)?);
+/// // A second 2/3-peak connection exceeds the link: rejected.
+/// let request2 = ConnectionRequest::new(
+///     contract,
+///     Time::ZERO,
+///     LinkId::external(2),
+///     LinkId::external(1),
+///     Priority::HIGHEST,
+/// );
+/// assert!(!cac.admit(ConnectionId::new(2), request2)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PeakAllocation {
+    allocated: BTreeMap<LinkId, Rate>,
+    connections: BTreeMap<ConnectionId, ConnectionRequest>,
+}
+
+impl PeakAllocation {
+    /// Creates an empty controller.
+    pub fn new() -> PeakAllocation {
+        PeakAllocation::default()
+    }
+
+    /// The peak bandwidth currently allocated on a link.
+    pub fn allocated(&self, link: LinkId) -> Rate {
+        self.allocated.get(&link).copied().unwrap_or(Rate::ZERO)
+    }
+
+    /// Number of admitted connections.
+    pub fn connection_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Whether the request fits under peak allocation (no commitment).
+    pub fn check(&self, request: &ConnectionRequest) -> bool {
+        self.allocated(request.out_link()) + request.contract().pcr() <= Rate::FULL
+    }
+
+    /// Admits the connection if the aggregated peak bandwidth on its
+    /// outgoing link stays within the link. Returns whether it was
+    /// admitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::DuplicateConnection`] for a reused id.
+    pub fn admit(
+        &mut self,
+        id: ConnectionId,
+        request: ConnectionRequest,
+    ) -> Result<bool, CacError> {
+        if self.connections.contains_key(&id) {
+            return Err(CacError::DuplicateConnection(id));
+        }
+        if !self.check(&request) {
+            return Ok(false);
+        }
+        *self
+            .allocated
+            .entry(request.out_link())
+            .or_insert(Rate::ZERO) += request.contract().pcr();
+        self.connections.insert(id, request);
+        Ok(true)
+    }
+
+    /// Releases an admitted connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::UnknownConnection`] for an unknown id.
+    pub fn release(&mut self, id: ConnectionId) -> Result<ConnectionRequest, CacError> {
+        let request = self
+            .connections
+            .remove(&id)
+            .ok_or(CacError::UnknownConnection(id))?;
+        if let Some(rate) = self.allocated.get_mut(&request.out_link()) {
+            *rate -= request.contract().pcr();
+        }
+        Ok(request)
+    }
+
+    /// The admitted requests (e.g. to re-analyze them with the
+    /// worst-case machinery).
+    pub fn connections(
+        &self,
+    ) -> impl Iterator<Item = (ConnectionId, &ConnectionRequest)> + '_ {
+        self.connections.iter().map(|(&id, r)| (id, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Priority;
+    use rtcac_bitstream::{CbrParams, Time, TrafficContract};
+    use rtcac_rational::ratio;
+
+    fn request(pcr_num: i128, pcr_den: i128, in_link: u32) -> ConnectionRequest {
+        ConnectionRequest::new(
+            TrafficContract::cbr(
+                CbrParams::new(Rate::new(ratio(pcr_num, pcr_den))).unwrap(),
+            ),
+            Time::from_integer(64),
+            LinkId::external(in_link),
+            LinkId::external(100),
+            Priority::HIGHEST,
+        )
+    }
+
+    #[test]
+    fn admits_up_to_link_capacity() {
+        let mut cac = PeakAllocation::new();
+        for k in 0..4 {
+            assert!(cac
+                .admit(ConnectionId::new(k), request(1, 4, k as u32))
+                .unwrap());
+        }
+        // The link is exactly full; the next one is rejected.
+        assert!(!cac.admit(ConnectionId::new(9), request(1, 4, 9)).unwrap());
+        assert_eq!(cac.allocated(LinkId::external(100)), Rate::FULL);
+        assert_eq!(cac.connection_count(), 4);
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut cac = PeakAllocation::new();
+        cac.admit(ConnectionId::new(1), request(2, 3, 0)).unwrap();
+        assert!(!cac.admit(ConnectionId::new(2), request(2, 3, 1)).unwrap());
+        cac.release(ConnectionId::new(1)).unwrap();
+        assert!(cac.admit(ConnectionId::new(2), request(2, 3, 1)).unwrap());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids() {
+        let mut cac = PeakAllocation::new();
+        cac.admit(ConnectionId::new(1), request(1, 8, 0)).unwrap();
+        assert!(matches!(
+            cac.admit(ConnectionId::new(1), request(1, 8, 1)),
+            Err(CacError::DuplicateConnection(_))
+        ));
+        assert!(matches!(
+            cac.release(ConnectionId::new(5)),
+            Err(CacError::UnknownConnection(_))
+        ));
+    }
+
+    #[test]
+    fn peak_allocation_ignores_jitter_risk() {
+        // The intro's criticism, stated as a test: peak allocation
+        // happily fills the link with jitter-distorted CBR connections
+        // whose worst-case queueing delay (per the paper's analysis)
+        // blows past any small FIFO queue.
+        let mut peak = PeakAllocation::new();
+        let mut streams = Vec::new();
+        for k in 0..10u64 {
+            let req = request(1, 10, k as u32);
+            assert!(peak.admit(ConnectionId::new(k), req).unwrap());
+            streams.push(req.arrival_stream());
+        }
+        let aggregate = rtcac_bitstream::BitStream::multiplex_all(&streams);
+        let bound = aggregate
+            .delay_bound(&rtcac_bitstream::BitStream::zero())
+            .unwrap();
+        assert!(
+            bound > Time::from_integer(32),
+            "worst-case delay {bound} should exceed a 32-cell queue"
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Switch configuration: priority levels and advertised delay bounds.
+
+use core::fmt;
+
+use rtcac_bitstream::Time;
+
+use crate::CacError;
+
+/// A static transmission priority level. `0` is the **highest**
+/// priority; larger values are lower priorities (served only when all
+/// higher-priority FIFO queues are empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Priority(u8);
+
+impl Priority {
+    /// The highest priority level (served first).
+    pub const HIGHEST: Priority = Priority(0);
+
+    /// Creates a priority level (`0` = highest).
+    pub const fn new(level: u8) -> Priority {
+        Priority(level)
+    }
+
+    /// The numeric level (`0` = highest).
+    pub const fn level(&self) -> u8 {
+        self.0
+    }
+
+    /// Whether `self` is served strictly before `other`.
+    pub fn outranks(&self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u8> for Priority {
+    fn from(level: u8) -> Self {
+        Priority(level)
+    }
+}
+
+/// Configuration of a CAC-managed switch: how many real-time priority
+/// levels it serves and the **fixed** queueing delay bound it advertises
+/// for each (paper §4.1: the bound equals the FIFO queue size in cells,
+/// so meeting the bound also guarantees zero loss).
+///
+/// # Examples
+///
+/// ```
+/// use rtcac_bitstream::Time;
+/// use rtcac_cac::{Priority, SwitchConfig};
+///
+/// // Two real-time levels: a 32-cell high-priority queue and a
+/// // 64-cell low-priority queue.
+/// let config = SwitchConfig::with_bounds([
+///     Time::from_integer(32),
+///     Time::from_integer(64),
+/// ])?;
+/// assert_eq!(config.levels(), 2);
+/// assert_eq!(config.bound(Priority::new(1))?, Time::from_integer(64));
+/// # Ok::<(), rtcac_cac::CacError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SwitchConfig {
+    bounds: Vec<Time>,
+    quantization: Option<i128>,
+}
+
+impl SwitchConfig {
+    /// A configuration with `levels` priority levels, all advertising
+    /// the same delay bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::BadConfig`] if `levels == 0` or the bound is
+    /// not positive.
+    pub fn uniform(levels: u8, bound: Time) -> Result<SwitchConfig, CacError> {
+        SwitchConfig::with_bounds(vec![bound; levels as usize])
+    }
+
+    /// A configuration with one bound per priority level, highest
+    /// priority first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::BadConfig`] if the list is empty, longer
+    /// than 255 levels, or any bound is not positive.
+    pub fn with_bounds<I>(bounds: I) -> Result<SwitchConfig, CacError>
+    where
+        I: IntoIterator<Item = Time>,
+    {
+        let bounds: Vec<Time> = bounds.into_iter().collect();
+        if bounds.is_empty() {
+            return Err(CacError::BadConfig("at least one priority level required"));
+        }
+        if bounds.len() > u8::MAX as usize {
+            return Err(CacError::BadConfig("too many priority levels"));
+        }
+        if bounds.iter().any(|b| !b.is_positive()) {
+            return Err(CacError::BadConfig("delay bounds must be positive"));
+        }
+        Ok(SwitchConfig {
+            bounds,
+            quantization: None,
+        })
+    }
+
+    /// Enables conservative arrival-stream quantization: every admitted
+    /// connection's worst-case stream is coarsened onto a `1/grid`
+    /// denominator grid (see `BitStream::coarsen`) before entering the
+    /// switch tables.
+    ///
+    /// Quantization dominates the exact envelopes, so all guarantees
+    /// remain valid; it trades a sliver of capacity for arithmetic
+    /// whose denominators cannot compound across hundreds of
+    /// heterogeneous contracts (without it, exact `i128` rationals can
+    /// overflow near ~100 connections with coprime contract rates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::BadConfig`] if `grid` is not positive.
+    pub fn with_quantization(mut self, grid: i128) -> Result<SwitchConfig, CacError> {
+        if grid <= 0 {
+            return Err(CacError::BadConfig("quantization grid must be positive"));
+        }
+        self.quantization = Some(grid);
+        Ok(self)
+    }
+
+    /// The configured quantization grid, if any.
+    pub fn quantization(&self) -> Option<i128> {
+        self.quantization
+    }
+
+    /// Number of real-time priority levels.
+    pub fn levels(&self) -> u8 {
+        self.bounds.len() as u8
+    }
+
+    /// The advertised delay bound (equivalently, FIFO queue size in
+    /// cells) of a priority level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::UnknownPriority`] for a level the switch does
+    /// not serve.
+    pub fn bound(&self, priority: Priority) -> Result<Time, CacError> {
+        self.bounds
+            .get(priority.level() as usize)
+            .copied()
+            .ok_or(CacError::UnknownPriority(priority))
+    }
+
+    /// All priority levels, highest first.
+    pub fn priorities(&self) -> impl Iterator<Item = Priority> + '_ {
+        (0..self.bounds.len() as u8).map(Priority::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::HIGHEST.outranks(Priority::new(1)));
+        assert!(!Priority::new(1).outranks(Priority::new(1)));
+        assert!(!Priority::new(2).outranks(Priority::new(1)));
+        assert!(Priority::new(1) < Priority::new(2));
+        assert_eq!(Priority::from(3u8).level(), 3);
+        assert_eq!(Priority::new(2).to_string(), "p2");
+    }
+
+    #[test]
+    fn uniform_config() {
+        let c = SwitchConfig::uniform(3, Time::from_integer(32)).unwrap();
+        assert_eq!(c.levels(), 3);
+        for p in c.priorities() {
+            assert_eq!(c.bound(p).unwrap(), Time::from_integer(32));
+        }
+    }
+
+    #[test]
+    fn with_bounds_per_level() {
+        let c = SwitchConfig::with_bounds([
+            Time::from_integer(16),
+            Time::from_integer(64),
+        ])
+        .unwrap();
+        assert_eq!(c.bound(Priority::HIGHEST).unwrap(), Time::from_integer(16));
+        assert_eq!(c.bound(Priority::new(1)).unwrap(), Time::from_integer(64));
+        assert!(matches!(
+            c.bound(Priority::new(2)),
+            Err(CacError::UnknownPriority(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(SwitchConfig::uniform(0, Time::from_integer(32)).is_err());
+        assert!(SwitchConfig::uniform(1, Time::ZERO).is_err());
+        assert!(SwitchConfig::uniform(1, Time::from_integer(-3)).is_err());
+        assert!(SwitchConfig::with_bounds(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn quantization_configuration() {
+        let c = SwitchConfig::uniform(1, Time::from_integer(32))
+            .unwrap()
+            .with_quantization(64)
+            .unwrap();
+        assert_eq!(c.quantization(), Some(64));
+        assert!(SwitchConfig::uniform(1, Time::from_integer(32))
+            .unwrap()
+            .with_quantization(0)
+            .is_err());
+        assert_eq!(
+            SwitchConfig::uniform(1, Time::from_integer(32))
+                .unwrap()
+                .quantization(),
+            None
+        );
+    }
+
+    #[test]
+    fn priorities_iterate_highest_first() {
+        let c = SwitchConfig::uniform(3, Time::from_integer(8)).unwrap();
+        let levels: Vec<u8> = c.priorities().map(|p| p.level()).collect();
+        assert_eq!(levels, vec![0, 1, 2]);
+    }
+}

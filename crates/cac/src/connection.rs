@@ -1,0 +1,145 @@
+//! Connection identifiers and per-switch admission requests.
+
+use core::fmt;
+
+use rtcac_bitstream::{BitStream, Time, TrafficContract};
+use rtcac_net::LinkId;
+
+use crate::Priority;
+
+/// Globally unique identifier of a real-time connection (VC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ConnectionId(u64);
+
+impl ConnectionId {
+    /// Creates a connection id from a raw value.
+    pub const fn new(raw: u64) -> ConnectionId {
+        ConnectionId(raw)
+    }
+
+    /// The raw value.
+    pub const fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ConnectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vc{}", self.0)
+    }
+}
+
+/// A connection's admission parameters as seen by **one switch**: the
+/// source traffic contract, the cell delay variation accumulated over
+/// *upstream* queueing points, the incoming and outgoing links at this
+/// switch, and the transmission priority (paper §4.3: the switch stores
+/// `(PCR, SCR, MBS, CDV)` per connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ConnectionRequest {
+    contract: TrafficContract,
+    cdv: Time,
+    in_link: LinkId,
+    out_link: LinkId,
+    priority: Priority,
+}
+
+impl ConnectionRequest {
+    /// Creates a per-switch admission request.
+    pub fn new(
+        contract: TrafficContract,
+        cdv: Time,
+        in_link: LinkId,
+        out_link: LinkId,
+        priority: Priority,
+    ) -> ConnectionRequest {
+        ConnectionRequest {
+            contract,
+            cdv,
+            in_link,
+            out_link,
+            priority,
+        }
+    }
+
+    /// The source traffic contract.
+    pub fn contract(&self) -> TrafficContract {
+        self.contract
+    }
+
+    /// Accumulated cell delay variation over upstream queueing points.
+    pub fn cdv(&self) -> Time {
+        self.cdv
+    }
+
+    /// The incoming link at this switch.
+    pub fn in_link(&self) -> LinkId {
+        self.in_link
+    }
+
+    /// The outgoing link at this switch.
+    pub fn out_link(&self) -> LinkId {
+        self.out_link
+    }
+
+    /// The transmission priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// **Step 1** of the §4.3 admission check: the worst-case arrival
+    /// stream of this connection at the switch — the contract's
+    /// worst-case generation (Algorithm 2.1) distorted by the
+    /// accumulated upstream jitter (Algorithm 3.1).
+    pub fn arrival_stream(&self) -> BitStream {
+        self.contract.worst_case_stream().delay(self.cdv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_bitstream::{CbrParams, Rate};
+    use rtcac_rational::ratio;
+
+    fn request() -> ConnectionRequest {
+        let contract =
+            TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, 8))).unwrap());
+        ConnectionRequest::new(
+            contract,
+            Time::from_integer(32),
+            LinkId::external(0),
+            LinkId::external(1),
+            Priority::HIGHEST,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let r = request();
+        assert_eq!(r.cdv(), Time::from_integer(32));
+        assert_eq!(r.in_link(), LinkId::external(0));
+        assert_eq!(r.out_link(), LinkId::external(1));
+        assert_eq!(r.priority(), Priority::HIGHEST);
+        assert_eq!(r.contract().pcr(), Rate::new(ratio(1, 8)));
+    }
+
+    #[test]
+    fn arrival_stream_reflects_cdv() {
+        let r = request();
+        let fresh = r.contract().worst_case_stream();
+        let arrived = r.arrival_stream();
+        assert_eq!(arrived, fresh.delay(Time::from_integer(32)));
+        // Jitter clumps traffic: the arrival envelope dominates.
+        let t = Time::from_integer(4);
+        assert!(arrived.cumulative(t) >= fresh.cumulative(t));
+    }
+
+    #[test]
+    fn connection_id_display() {
+        assert_eq!(ConnectionId::new(7).to_string(), "vc7");
+        assert_eq!(ConnectionId::new(7).raw(), 7);
+        assert!(ConnectionId::new(1) < ConnectionId::new(2));
+    }
+}

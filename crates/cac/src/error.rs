@@ -1,0 +1,170 @@
+//! Errors and rejection reasons for admission control.
+
+use core::fmt;
+
+use rtcac_bitstream::{StreamError, Time};
+use rtcac_net::LinkId;
+
+use crate::{ConnectionId, Priority};
+
+/// Why a connection request failed the CAC check. A rejection is a
+/// *normal outcome* of admission control, not a programming error —
+/// hence it is carried in [`AdmissionDecision::Rejected`], not in
+/// [`CacError`].
+///
+/// [`AdmissionDecision::Rejected`]: crate::AdmissionDecision::Rejected
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// Admitting the connection would push the computed worst-case
+    /// queueing delay of `priority` past the switch's advertised bound.
+    BoundExceeded {
+        /// The outgoing link whose queue would overrun.
+        out_link: LinkId,
+        /// The priority level whose bound would be violated (the new
+        /// connection's own level, or a lower one it would disturb).
+        priority: Priority,
+        /// The computed worst-case delay with the connection added.
+        computed: Time,
+        /// The switch's advertised bound for that level.
+        advertised: Time,
+    },
+    /// The long-run load at the outgoing link would exceed its
+    /// capacity, making the worst-case delay unbounded.
+    Overload {
+        /// The outgoing link that would saturate.
+        out_link: LinkId,
+        /// The priority level at which the overload was detected.
+        priority: Priority,
+    },
+    /// The long-run load of the connections sharing the *incoming*
+    /// link would exceed its capacity — they could never all arrive
+    /// (detected before link filtering would mask it).
+    IncomingOverload {
+        /// The incoming link that would saturate.
+        in_link: LinkId,
+        /// The priority level of the aggregate that saturates it.
+        priority: Priority,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::BoundExceeded {
+                out_link,
+                priority,
+                computed,
+                advertised,
+            } => write!(
+                f,
+                "delay bound exceeded at link {out_link} priority {priority}: computed {computed} > advertised {advertised} cell times"
+            ),
+            RejectReason::Overload { out_link, priority } => write!(
+                f,
+                "long-run overload at link {out_link} priority {priority}: worst-case delay unbounded"
+            ),
+            RejectReason::IncomingOverload { in_link, priority } => write!(
+                f,
+                "long-run overload on incoming link {in_link} priority {priority}: aggregate exceeds link bandwidth"
+            ),
+        }
+    }
+}
+
+/// Error produced by misusing the CAC API (as opposed to a legitimate
+/// admission rejection, which is [`RejectReason`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacError {
+    /// The priority level is not served by this switch.
+    UnknownPriority(Priority),
+    /// No connection with this id is established at the switch.
+    UnknownConnection(ConnectionId),
+    /// A connection with this id is already established at the switch.
+    DuplicateConnection(ConnectionId),
+    /// Invalid switch configuration.
+    BadConfig(&'static str),
+    /// A stream computation failed (numeric overflow or invalid
+    /// stream); indicates an internal inconsistency.
+    Stream(StreamError),
+}
+
+impl fmt::Display for CacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacError::UnknownPriority(p) => {
+                write!(f, "priority {p} is not served by this switch")
+            }
+            CacError::UnknownConnection(id) => {
+                write!(f, "connection {id} is not established at this switch")
+            }
+            CacError::DuplicateConnection(id) => {
+                write!(f, "connection {id} is already established at this switch")
+            }
+            CacError::BadConfig(what) => write!(f, "invalid switch configuration: {what}"),
+            CacError::Stream(e) => write!(f, "stream computation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StreamError> for CacError {
+    fn from(e: StreamError) -> Self {
+        CacError::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_reason_messages() {
+        let r = RejectReason::BoundExceeded {
+            out_link: LinkId::external(1),
+            priority: Priority::HIGHEST,
+            computed: Time::from_integer(40),
+            advertised: Time::from_integer(32),
+        };
+        let msg = r.to_string();
+        assert!(msg.contains("40"));
+        assert!(msg.contains("32"));
+        let o = RejectReason::Overload {
+            out_link: LinkId::external(1),
+            priority: Priority::new(1),
+        };
+        assert!(o.to_string().contains("unbounded"));
+    }
+
+    #[test]
+    fn cac_error_messages_and_source() {
+        use std::error::Error;
+        let cases: Vec<CacError> = vec![
+            CacError::UnknownPriority(Priority::new(9)),
+            CacError::UnknownConnection(ConnectionId::new(5)),
+            CacError::DuplicateConnection(ConnectionId::new(5)),
+            CacError::BadConfig("nope"),
+            CacError::Stream(StreamError::Empty),
+        ];
+        for e in &cases {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(cases[4].source().is_some());
+        assert!(cases[0].source().is_none());
+    }
+
+    #[test]
+    fn stream_error_converts() {
+        let e: CacError = StreamError::Empty.into();
+        assert!(matches!(e, CacError::Stream(StreamError::Empty)));
+    }
+}

@@ -1,0 +1,679 @@
+//! The [`Switch`]: stateful per-switch admission control (§4.3).
+
+use std::collections::BTreeMap;
+
+use rtcac_bitstream::{BitStream, Rate, StreamError, Time};
+use rtcac_net::LinkId;
+
+use crate::tables::Tables;
+use crate::{
+    CacError, ConnectionId, ConnectionRequest, Priority, RejectReason, SwitchConfig,
+};
+
+/// The outcome of a CAC check: either the connection fits (with the
+/// computed worst-case bounds as evidence) or it must be rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// The connection can be established at this switch.
+    Admitted(AdmissionReport),
+    /// The connection would violate a delay bound guarantee.
+    Rejected(RejectReason),
+}
+
+impl AdmissionDecision {
+    /// Whether the decision is an admission.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, AdmissionDecision::Admitted(_))
+    }
+}
+
+/// Evidence produced by a successful CAC check: the computed worst-case
+/// queueing delay at the connection's outgoing link for its own
+/// priority and for every lower priority it could have disturbed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionReport {
+    out_link: LinkId,
+    bounds: Vec<(Priority, Time)>,
+}
+
+impl AdmissionReport {
+    /// The outgoing link the report applies to.
+    pub fn out_link(&self) -> LinkId {
+        self.out_link
+    }
+
+    /// The computed worst-case delays, highest priority first.
+    pub fn bounds(&self) -> &[(Priority, Time)] {
+        &self.bounds
+    }
+
+    /// The computed worst-case delay for one priority level, if it was
+    /// part of the check.
+    pub fn bound_for(&self, priority: Priority) -> Option<Time> {
+        self.bounds
+            .iter()
+            .find(|(p, _)| *p == priority)
+            .map(|&(_, d)| d)
+    }
+}
+
+/// A CAC-managed static-priority FIFO switch.
+///
+/// Holds the §4.3 stream tables and the set of established connections,
+/// and implements the six-step admission check. See the crate-level
+/// example for a full walkthrough.
+///
+/// A connection may hold several *legs* at one switch — one per
+/// outgoing link — which is how point-to-multipoint VCs reserve every
+/// branch port of their tree under a single connection id.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    config: SwitchConfig,
+    tables: Tables,
+    connections: BTreeMap<(ConnectionId, LinkId), (ConnectionRequest, BitStream)>,
+}
+
+impl Switch {
+    /// Creates a switch with the given priority configuration.
+    pub fn new(config: SwitchConfig) -> Switch {
+        Switch {
+            config,
+            tables: Tables::new(),
+            connections: BTreeMap::new(),
+        }
+    }
+
+    /// The switch's configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+
+    /// The fixed queueing delay bound the switch advertises for a
+    /// priority level (paper §4.1: equal to the FIFO queue size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::UnknownPriority`] for an unserved level.
+    pub fn advertised_bound(&self, priority: Priority) -> Result<Time, CacError> {
+        self.config.bound(priority)
+    }
+
+    /// Number of established connection legs (one per connection and
+    /// outgoing link; a unicast connection has exactly one).
+    pub fn connection_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Whether a connection holds any leg here.
+    pub fn has_connection(&self, id: ConnectionId) -> bool {
+        self.connections.keys().any(|&(cid, _)| cid == id)
+    }
+
+    /// The established connection legs and their admission parameters.
+    pub fn connections(
+        &self,
+    ) -> impl Iterator<Item = (ConnectionId, &ConnectionRequest)> + '_ {
+        self.connections
+            .iter()
+            .map(|(&(id, _), (req, _))| (id, req))
+    }
+
+    /// The long-run (sustained) load admitted on an outgoing link,
+    /// normalized to the link bandwidth.
+    pub fn sustained_load(&self, out_link: LinkId) -> Rate {
+        self.connections
+            .values()
+            .filter(|(req, _)| req.out_link() == out_link)
+            .map(|(req, _)| req.contract().sustained_rate())
+            .sum()
+    }
+
+    /// **Steps 1–6 of §4.3**: checks whether a new connection fits,
+    /// without mutating the switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::UnknownPriority`] if the requested priority
+    /// is not served, or [`CacError::Stream`] on an internal numeric
+    /// failure. A connection that merely does not fit is reported as
+    /// [`AdmissionDecision::Rejected`], not as an error.
+    pub fn check(&self, request: &ConnectionRequest) -> Result<AdmissionDecision, CacError> {
+        let p = request.priority();
+        let advertised = self.config.bound(p)?;
+        let (i, j) = (request.in_link(), request.out_link());
+
+        // Step 1: worst-case arrival stream of the new connection
+        // (coarsened onto the configured grid, if any — a dominating
+        // approximation, so all bounds stay valid).
+        let s = self.arrival_of(request)?;
+
+        // The incoming link itself must be able to carry the new
+        // connection in the long run; without this check, filtering
+        // would silently truncate an infeasible aggregate to the link
+        // rate and hide the overload.
+        if self.tables.in_link_long_run(i) + s.long_run_rate() > Rate::FULL {
+            return Ok(AdmissionDecision::Rejected(
+                RejectReason::IncomingOverload {
+                    in_link: i,
+                    priority: p,
+                },
+            ));
+        }
+
+        // Step 2: updated incoming aggregate and its link-filtered form.
+        let sia_new = self.tables.arrival(i, j, p).multiplex(&s);
+        let sif_new = sia_new.filter();
+
+        // Step 3: updated output aggregate — swap in-link i's old
+        // contribution for the new one.
+        let soa_new = self
+            .tables
+            .output_aggregate_excluding(j, p, Some(i))
+            .multiplex(&sif_new);
+
+        // Step 4: delay bound at the connection's own priority under
+        // the (unchanged) higher-priority interference.
+        let sof = self.tables.interference(j, p);
+        let mut bounds = Vec::new();
+        match Self::bound_or_reject(&soa_new, &sof, j, p, advertised)? {
+            Ok(d) => bounds.push((p, d)),
+            Err(reason) => return Ok(AdmissionDecision::Rejected(reason)),
+        }
+
+        // Step 5–6: every lower priority must still meet its bound with
+        // the new connection added to its interference.
+        for p1 in self.config.priorities() {
+            if !p.outranks(p1) {
+                continue;
+            }
+            let advertised1 = self.config.bound(p1)?;
+            let soa1 = self.tables.output_aggregate(j, p1);
+            if soa1.is_zero() {
+                bounds.push((p1, Time::ZERO));
+                continue;
+            }
+            let sof1 = self.tables.interference_with(j, p1, Some((i, &s)));
+            match Self::bound_or_reject(&soa1, &sof1, j, p1, advertised1)? {
+                Ok(d) => bounds.push((p1, d)),
+                Err(reason) => return Ok(AdmissionDecision::Rejected(reason)),
+            }
+        }
+
+        Ok(AdmissionDecision::Admitted(AdmissionReport {
+            out_link: j,
+            bounds,
+        }))
+    }
+
+    /// Runs the CAC check and, if it passes, commits the connection
+    /// leg to the switch tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::DuplicateConnection`] if `id` already holds
+    /// a leg on the same outgoing link (another outgoing link is a new
+    /// multicast branch, which is fine), plus the conditions of
+    /// [`Switch::check`].
+    pub fn admit(
+        &mut self,
+        id: ConnectionId,
+        request: ConnectionRequest,
+    ) -> Result<AdmissionDecision, CacError> {
+        if self.connections.contains_key(&(id, request.out_link())) {
+            return Err(CacError::DuplicateConnection(id));
+        }
+        let decision = self.check(&request)?;
+        if decision.is_admitted() {
+            let s = self.arrival_of(&request)?;
+            self.tables
+                .add(request.in_link(), request.out_link(), request.priority(), &s);
+            self.connections.insert((id, request.out_link()), (request, s));
+        }
+        Ok(decision)
+    }
+
+    /// Tears down every leg of an established connection, returning
+    /// their admission parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::UnknownConnection`] if `id` holds no leg
+    /// here.
+    pub fn release(&mut self, id: ConnectionId) -> Result<Vec<ConnectionRequest>, CacError> {
+        let leg_keys: Vec<(ConnectionId, LinkId)> = self
+            .connections
+            .keys()
+            .filter(|&&(cid, _)| cid == id)
+            .copied()
+            .collect();
+        if leg_keys.is_empty() {
+            return Err(CacError::UnknownConnection(id));
+        }
+        let mut released = Vec::with_capacity(leg_keys.len());
+        for key in leg_keys {
+            let (request, _) = self.connections.remove(&key).expect("key just listed");
+            released.push(request);
+        }
+        // Rebuild every affected aggregate from the remaining legs
+        // (exact, and immune to accumulated demultiplex ordering).
+        for request in &released {
+            let key = (request.in_link(), request.out_link(), request.priority());
+            let rebuilt = BitStream::multiplex_all(
+                self.connections
+                    .values()
+                    .filter(|(r, _)| (r.in_link(), r.out_link(), r.priority()) == key)
+                    .map(|(_, s)| s),
+            );
+            self.tables
+                .set(request.in_link(), request.out_link(), request.priority(), rebuilt);
+        }
+        Ok(released)
+    }
+
+    /// The current computed worst-case queueing delay for a priority at
+    /// an outgoing link, given the established connections only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::UnknownPriority`] for an unserved level or
+    /// [`CacError::Stream`] if the established traffic is overloaded
+    /// (cannot happen if all admissions went through [`Switch::admit`]).
+    pub fn computed_bound(&self, out_link: LinkId, priority: Priority) -> Result<Time, CacError> {
+        self.config.bound(priority)?;
+        let soa = self.tables.output_aggregate(out_link, priority);
+        if soa.is_zero() {
+            return Ok(Time::ZERO);
+        }
+        let sof = self.tables.interference(out_link, priority);
+        soa.delay_bound(&sof).map_err(CacError::from)
+    }
+
+    /// All outgoing links with established traffic.
+    pub fn active_out_links(&self) -> Vec<LinkId> {
+        self.tables.out_links().into_iter().collect()
+    }
+
+    /// The (possibly quantized) worst-case arrival stream of a request.
+    fn arrival_of(&self, request: &ConnectionRequest) -> Result<BitStream, CacError> {
+        let s = request.arrival_stream();
+        match self.config.quantization() {
+            Some(grid) => s.coarsen(grid).map_err(CacError::from),
+            None => Ok(s),
+        }
+    }
+
+    fn bound_or_reject(
+        arrival: &BitStream,
+        interference: &BitStream,
+        out_link: LinkId,
+        priority: Priority,
+        advertised: Time,
+    ) -> Result<Result<Time, RejectReason>, CacError> {
+        match arrival.delay_bound(interference) {
+            Ok(d) if d <= advertised => Ok(Ok(d)),
+            Ok(d) => Ok(Err(RejectReason::BoundExceeded {
+                out_link,
+                priority,
+                computed: d,
+                advertised,
+            })),
+            Err(StreamError::Overload { .. }) => Ok(Err(RejectReason::Overload {
+                out_link,
+                priority,
+            })),
+            Err(e) => Err(CacError::Stream(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_bitstream::{CbrParams, TrafficContract, VbrParams};
+    use rtcac_rational::ratio;
+
+    fn l(n: u32) -> LinkId {
+        LinkId::external(n)
+    }
+
+    fn cbr(num: i128, den: i128) -> TrafficContract {
+        TrafficContract::cbr(CbrParams::new(Rate::new(ratio(num, den))).unwrap())
+    }
+
+    fn vbr(pn: i128, pd: i128, sn: i128, sd: i128, mbs: u64) -> TrafficContract {
+        TrafficContract::vbr(
+            VbrParams::new(Rate::new(ratio(pn, pd)), Rate::new(ratio(sn, sd)), mbs).unwrap(),
+        )
+    }
+
+    fn one_level_switch(bound: i128) -> Switch {
+        Switch::new(SwitchConfig::uniform(1, Time::from_integer(bound)).unwrap())
+    }
+
+    fn request(contract: TrafficContract, cdv: i128, i: u32, p: u8) -> ConnectionRequest {
+        ConnectionRequest::new(
+            contract,
+            Time::from_integer(cdv),
+            l(i),
+            l(100),
+            Priority::new(p),
+        )
+    }
+
+    #[test]
+    fn admit_single_connection() {
+        let mut sw = one_level_switch(32);
+        let d = sw
+            .admit(ConnectionId::new(1), request(cbr(1, 8), 0, 0, 0))
+            .unwrap();
+        assert!(d.is_admitted());
+        assert_eq!(sw.connection_count(), 1);
+        assert!(sw.has_connection(ConnectionId::new(1)));
+        assert_eq!(sw.sustained_load(l(100)), Rate::new(ratio(1, 8)));
+    }
+
+    #[test]
+    fn check_does_not_mutate() {
+        let sw = one_level_switch(32);
+        let before = sw.connection_count();
+        let _ = sw.check(&request(cbr(1, 8), 0, 0, 0)).unwrap();
+        assert_eq!(sw.connection_count(), before);
+        assert_eq!(sw.computed_bound(l(100), Priority::HIGHEST).unwrap(), Time::ZERO);
+    }
+
+    #[test]
+    fn duplicate_id_is_error() {
+        let mut sw = one_level_switch(32);
+        sw.admit(ConnectionId::new(1), request(cbr(1, 8), 0, 0, 0))
+            .unwrap();
+        assert!(matches!(
+            sw.admit(ConnectionId::new(1), request(cbr(1, 8), 0, 1, 0)),
+            Err(CacError::DuplicateConnection(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_priority_is_error() {
+        let sw = one_level_switch(32);
+        assert!(matches!(
+            sw.check(&request(cbr(1, 8), 0, 0, 3)),
+            Err(CacError::UnknownPriority(_))
+        ));
+    }
+
+    #[test]
+    fn overload_rejected() {
+        let mut sw = one_level_switch(1_000_000);
+        // Two CBR connections at 3/5 each: long-run 6/5 > 1.
+        let d1 = sw
+            .admit(ConnectionId::new(1), request(cbr(3, 5), 0, 0, 0))
+            .unwrap();
+        assert!(d1.is_admitted());
+        let d2 = sw
+            .admit(ConnectionId::new(2), request(cbr(3, 5), 0, 1, 0))
+            .unwrap();
+        assert!(matches!(
+            d2,
+            AdmissionDecision::Rejected(RejectReason::Overload { .. })
+        ));
+        assert_eq!(sw.connection_count(), 1);
+    }
+
+    #[test]
+    fn bound_exceeded_rejected_with_jitter() {
+        // A tight 2-cell bound; jittered CBR connections clump into
+        // bursts that eventually exceed it.
+        let mut sw = one_level_switch(2);
+        let mut admitted = 0;
+        for k in 0..8 {
+            let d = sw
+                .admit(
+                    ConnectionId::new(k),
+                    request(cbr(1, 10), 40, k as u32, 0),
+                )
+                .unwrap();
+            match d {
+                AdmissionDecision::Admitted(_) => admitted += 1,
+                AdmissionDecision::Rejected(RejectReason::BoundExceeded {
+                    computed,
+                    advertised,
+                    ..
+                }) => {
+                    assert!(computed > advertised);
+                    break;
+                }
+                AdmissionDecision::Rejected(r) => panic!("unexpected: {r}"),
+            }
+        }
+        assert!(admitted >= 1, "at least one connection must fit");
+        assert!(admitted < 8, "the tight bound must eventually reject");
+        // The committed state still honors the bound.
+        let d = sw.computed_bound(l(100), Priority::HIGHEST).unwrap();
+        assert!(d <= Time::from_integer(2));
+    }
+
+    #[test]
+    fn admission_report_contains_bounds() {
+        let mut sw = one_level_switch(32);
+        match sw
+            .admit(ConnectionId::new(1), request(vbr(1, 2, 1, 10, 6), 16, 0, 0))
+            .unwrap()
+        {
+            AdmissionDecision::Admitted(report) => {
+                assert_eq!(report.out_link(), l(100));
+                let b = report.bound_for(Priority::HIGHEST).unwrap();
+                assert!(b <= Time::from_integer(32));
+                assert_eq!(report.bounds().len(), 1);
+            }
+            other => panic!("expected admission, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut sw = one_level_switch(4);
+        // Fill until rejection.
+        let mut ids = Vec::new();
+        for k in 0..20 {
+            let d = sw
+                .admit(ConnectionId::new(k), request(cbr(1, 10), 30, k as u32, 0))
+                .unwrap();
+            if d.is_admitted() {
+                ids.push(ConnectionId::new(k));
+            } else {
+                break;
+            }
+        }
+        let full = sw.connection_count();
+        assert!(full > 0);
+        // Releasing one connection must allow a similar one back in.
+        let released = sw.release(ids[0]).unwrap();
+        assert_eq!(released.len(), 1);
+        assert_eq!(sw.connection_count(), full - 1);
+        let d = sw.admit(ConnectionId::new(99), released[0]).unwrap();
+        assert!(d.is_admitted());
+        assert_eq!(sw.connection_count(), full);
+    }
+
+    #[test]
+    fn release_unknown_is_error() {
+        let mut sw = one_level_switch(32);
+        assert!(matches!(
+            sw.release(ConnectionId::new(9)),
+            Err(CacError::UnknownConnection(_))
+        ));
+    }
+
+    #[test]
+    fn lower_priority_protected_from_new_higher_traffic() {
+        // Level 0: 8-cell bound; level 1: 8-cell bound.
+        let config = SwitchConfig::with_bounds([
+            Time::from_integer(8),
+            Time::from_integer(8),
+        ])
+        .unwrap();
+        let mut sw = Switch::new(config);
+        // Fill priority 1 close to its bound with jittered CBR traffic.
+        let mut k = 0u64;
+        loop {
+            let d = sw
+                .admit(ConnectionId::new(k), request(cbr(1, 12), 60, k as u32, 1))
+                .unwrap();
+            k += 1;
+            if !d.is_admitted() || k > 30 {
+                break;
+            }
+        }
+        let low_before = sw.computed_bound(l(100), Priority::new(1)).unwrap();
+        assert!(low_before <= Time::from_integer(8));
+        // Now a big bursty high-priority connection: its own bound may
+        // hold (small aggregate at level 0) but it must not wreck level
+        // 1. Admission must either reject it or keep level 1's computed
+        // bound within the advertised one.
+        let d = sw
+            .admit(
+                ConnectionId::new(999),
+                request(vbr(1, 1, 1, 3, 32), 60, 99, 0),
+            )
+            .unwrap();
+        let low_after = sw.computed_bound(l(100), Priority::new(1)).unwrap();
+        assert!(
+            low_after <= Time::from_integer(8),
+            "lower priority bound violated after {d:?}"
+        );
+    }
+
+    #[test]
+    fn higher_priority_unaffected_by_lower_admission() {
+        let config = SwitchConfig::with_bounds([
+            Time::from_integer(8),
+            Time::from_integer(64),
+        ])
+        .unwrap();
+        let mut sw = Switch::new(config);
+        sw.admit(ConnectionId::new(1), request(cbr(1, 4), 20, 0, 0))
+            .unwrap();
+        let hi_before = sw.computed_bound(l(100), Priority::HIGHEST).unwrap();
+        // Admit lower-priority traffic.
+        sw.admit(ConnectionId::new(2), request(vbr(1, 2, 1, 5, 16), 20, 1, 1))
+            .unwrap();
+        let hi_after = sw.computed_bound(l(100), Priority::HIGHEST).unwrap();
+        assert_eq!(hi_before, hi_after);
+    }
+
+    #[test]
+    fn report_covers_lower_levels() {
+        let config = SwitchConfig::with_bounds([
+            Time::from_integer(16),
+            Time::from_integer(64),
+        ])
+        .unwrap();
+        let mut sw = Switch::new(config);
+        sw.admit(ConnectionId::new(1), request(cbr(1, 4), 10, 0, 1))
+            .unwrap();
+        match sw
+            .admit(ConnectionId::new(2), request(cbr(1, 4), 10, 1, 0))
+            .unwrap()
+        {
+            AdmissionDecision::Admitted(report) => {
+                assert!(report.bound_for(Priority::HIGHEST).is_some());
+                assert!(report.bound_for(Priority::new(1)).is_some());
+            }
+            other => panic!("expected admission, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connections_iterator() {
+        let mut sw = one_level_switch(32);
+        sw.admit(ConnectionId::new(5), request(cbr(1, 8), 0, 0, 0))
+            .unwrap();
+        let listed: Vec<ConnectionId> = sw.connections().map(|(id, _)| id).collect();
+        assert_eq!(listed, vec![ConnectionId::new(5)]);
+        assert_eq!(sw.active_out_links(), vec![l(100)]);
+    }
+
+    #[test]
+    fn quantized_switch_is_sound_and_scales() {
+        // Heterogeneous contracts whose exact aggregation would blow up
+        // i128 denominators: quantization keeps arithmetic bounded and
+        // the committed state still honors the advertised bound.
+        let config = SwitchConfig::uniform(1, Time::from_integer(500))
+            .unwrap()
+            .with_quantization(4096)
+            .unwrap();
+        let mut sw = Switch::new(config);
+        for k in 0..128u64 {
+            let contract = vbr(
+                1,
+                40 + (k % 11) as i128,
+                1,
+                600 + (k % 17) as i128,
+                2 + k % 6,
+            );
+            let req = ConnectionRequest::new(
+                contract,
+                Time::from_integer(64),
+                l((k % 4) as u32),
+                l(100),
+                Priority::HIGHEST,
+            );
+            let decision = sw.admit(ConnectionId::new(k), req).unwrap();
+            assert!(decision.is_admitted(), "connection {k} rejected");
+        }
+        let bound = sw.computed_bound(l(100), Priority::HIGHEST).unwrap();
+        assert!(bound <= Time::from_integer(500));
+        // Quantized bounds dominate the per-connection exact ones: the
+        // quantized aggregate is built from dominating envelopes.
+        assert_eq!(sw.connection_count(), 128);
+    }
+
+    #[test]
+    fn multicast_legs_share_one_id() {
+        // One p2mp connection reserving two output ports of the same
+        // switch under a single id.
+        let config = SwitchConfig::uniform(1, Time::from_integer(32)).unwrap();
+        let mut sw = Switch::new(config);
+        let id = ConnectionId::new(7);
+        let leg = |out: u32| {
+            ConnectionRequest::new(
+                cbr(1, 8),
+                Time::from_integer(16),
+                l(0),
+                l(out),
+                Priority::HIGHEST,
+            )
+        };
+        assert!(sw.admit(id, leg(100)).unwrap().is_admitted());
+        assert!(sw.admit(id, leg(101)).unwrap().is_admitted());
+        // Same id, same out link: rejected as a duplicate.
+        assert!(matches!(
+            sw.admit(id, leg(100)),
+            Err(CacError::DuplicateConnection(_))
+        ));
+        assert_eq!(sw.connection_count(), 2);
+        assert!(sw.has_connection(id));
+        // Release removes both legs and frees both ports.
+        let released = sw.release(id).unwrap();
+        assert_eq!(released.len(), 2);
+        assert_eq!(sw.connection_count(), 0);
+        assert_eq!(
+            sw.computed_bound(l(100), Priority::HIGHEST).unwrap(),
+            Time::ZERO
+        );
+        assert_eq!(
+            sw.computed_bound(l(101), Priority::HIGHEST).unwrap(),
+            Time::ZERO
+        );
+    }
+
+    #[test]
+    fn advertised_bound_matches_config() {
+        let sw = one_level_switch(32);
+        assert_eq!(
+            sw.advertised_bound(Priority::HIGHEST).unwrap(),
+            Time::from_integer(32)
+        );
+        assert!(sw.advertised_bound(Priority::new(1)).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the per-switch admission control: whatever
+//! sequence of admissions and releases happens, the committed state
+//! always honors the advertised guarantees.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rtcac_bitstream::{Rate, Time, TrafficContract, VbrParams};
+use rtcac_cac::{
+    ConnectionId, ConnectionRequest, Priority, Switch, SwitchConfig,
+};
+use rtcac_net::LinkId;
+use rtcac_rational::ratio;
+
+/// A compact encoding of one operation against the switch.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Try to admit a connection with these small parameters.
+    Admit {
+        pcr_den: i128,
+        scr_extra_den: i128,
+        mbs: u64,
+        cdv: i128,
+        in_link: u32,
+        priority: u8,
+    },
+    /// Release the k-th live connection (mod live count).
+    Release(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (2i128..=24, 0i128..=60, 1u64..=8, 0i128..=96, 0u32..=3, 0u8..=1).prop_map(
+            |(pcr_den, scr_extra_den, mbs, cdv, in_link, priority)| Op::Admit {
+                pcr_den,
+                scr_extra_den,
+                mbs,
+                cdv,
+                in_link,
+                priority,
+            }
+        ),
+        1 => (0usize..16).prop_map(Op::Release),
+    ]
+}
+
+fn request_of(op: &Op) -> Option<ConnectionRequest> {
+    let Op::Admit {
+        pcr_den,
+        scr_extra_den,
+        mbs,
+        cdv,
+        in_link,
+        priority,
+    } = op
+    else {
+        return None;
+    };
+    let pcr = ratio(1, *pcr_den);
+    let scr = ratio(1, *pcr_den + *scr_extra_den);
+    let contract = TrafficContract::vbr(
+        VbrParams::new(Rate::new(pcr), Rate::new(scr), *mbs).expect("valid by construction"),
+    );
+    Some(ConnectionRequest::new(
+        contract,
+        Time::from_integer(*cdv),
+        LinkId::external(*in_link),
+        LinkId::external(100),
+        Priority::new(*priority),
+    ))
+}
+
+fn two_level_switch() -> Switch {
+    Switch::new(
+        SwitchConfig::with_bounds([Time::from_integer(24), Time::from_integer(96)]).unwrap(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any operation sequence, every priority's computed bound
+    /// fits its advertised bound — the committed state never violates
+    /// the guarantee the switch hands out.
+    #[test]
+    fn committed_state_always_honors_bounds(ops in vec(arb_op(), 1..40)) {
+        let mut sw = two_level_switch();
+        let mut live: Vec<ConnectionId> = Vec::new();
+        let mut next = 0u64;
+        for op in &ops {
+            match op {
+                Op::Admit { .. } => {
+                    let req = request_of(op).unwrap();
+                    let id = ConnectionId::new(next);
+                    next += 1;
+                    if sw.admit(id, req).unwrap().is_admitted() {
+                        live.push(id);
+                    }
+                }
+                Op::Release(k) => {
+                    if !live.is_empty() {
+                        let id = live.remove(k % live.len());
+                        sw.release(id).unwrap();
+                    }
+                }
+            }
+            for p in [Priority::new(0), Priority::new(1)] {
+                let bound = sw.computed_bound(LinkId::external(100), p).unwrap();
+                let advertised = sw.advertised_bound(p).unwrap();
+                prop_assert!(
+                    bound <= advertised,
+                    "priority {p}: {bound} > {advertised} after {op:?}"
+                );
+            }
+        }
+        prop_assert_eq!(sw.connection_count(), live.len());
+    }
+
+    /// `check` never mutates and always agrees with the subsequent
+    /// `admit` on the same request.
+    #[test]
+    fn check_is_pure_and_consistent_with_admit(ops in vec(arb_op(), 1..20)) {
+        let mut sw = two_level_switch();
+        let mut next = 0u64;
+        for op in &ops {
+            if let Some(req) = request_of(op) {
+                let checked = sw.check(&req).unwrap().is_admitted();
+                let count_before = sw.connection_count();
+                prop_assert_eq!(sw.connection_count(), count_before);
+                let admitted = sw
+                    .admit(ConnectionId::new(next), req)
+                    .unwrap()
+                    .is_admitted();
+                next += 1;
+                prop_assert_eq!(checked, admitted);
+            }
+        }
+    }
+
+    /// Admit-then-release is a perfect no-op on the observable state
+    /// (exact arithmetic: the bounds are bit-identical).
+    #[test]
+    fn admit_release_roundtrip_is_identity(
+        setup in vec(arb_op(), 0..12),
+        probe in arb_op().prop_filter("admit only", |op| matches!(op, Op::Admit { .. })),
+    ) {
+        let mut sw = two_level_switch();
+        let mut next = 0u64;
+        for op in &setup {
+            if let Some(req) = request_of(op) {
+                let _ = sw.admit(ConnectionId::new(next), req).unwrap();
+                next += 1;
+            }
+        }
+        let before: Vec<_> = [Priority::new(0), Priority::new(1)]
+            .iter()
+            .map(|&p| sw.computed_bound(LinkId::external(100), p).unwrap())
+            .collect();
+        let req = request_of(&probe).unwrap();
+        let id = ConnectionId::new(9_999);
+        if sw.admit(id, req).unwrap().is_admitted() {
+            sw.release(id).unwrap();
+        }
+        let after: Vec<_> = [Priority::new(0), Priority::new(1)]
+            .iter()
+            .map(|&p| sw.computed_bound(LinkId::external(100), p).unwrap())
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Total sustained load of admitted connections never exceeds the
+    /// link bandwidth (a consequence the admission must enforce).
+    #[test]
+    fn sustained_load_never_exceeds_link(ops in vec(arb_op(), 1..40)) {
+        let mut sw = two_level_switch();
+        let mut next = 0u64;
+        for op in &ops {
+            if let Some(req) = request_of(op) {
+                let _ = sw.admit(ConnectionId::new(next), req).unwrap();
+                next += 1;
+            }
+        }
+        prop_assert!(sw.sustained_load(LinkId::external(100)) <= Rate::FULL);
+    }
+}

@@ -1,0 +1,73 @@
+//! CLI error type.
+
+use core::fmt;
+
+/// Error produced by scenario parsing or command execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CliError {
+    /// A scenario line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A name referenced an undefined entity.
+    Unknown {
+        /// The kind of entity ("node", "link", …).
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// Invalid command-line usage.
+    Usage(String),
+    /// A domain-layer failure (topology, CAC, signaling, analysis).
+    Domain(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            CliError::Unknown { kind, name } => write!(f, "unknown {kind} '{name}'"),
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Domain(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    /// Wraps any domain error with context.
+    pub fn domain(e: impl fmt::Display) -> CliError {
+        CliError::Domain(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let cases = [
+            CliError::Parse {
+                line: 3,
+                message: "bad rate".into(),
+            },
+            CliError::Unknown {
+                kind: "link",
+                name: "l9".into(),
+            },
+            CliError::Usage("missing --pcr".into()),
+            CliError::Domain("overload".into()),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

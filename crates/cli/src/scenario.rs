@@ -1,0 +1,531 @@
+//! The scenario file format: a line-based description of a network and
+//! the connections to establish over it.
+//!
+//! ```text
+//! # comments start with '#'; blank lines are ignored.
+//! policy hard                      # or: policy soft
+//!
+//! switch s1 bounds=32,64           # one queue bound per priority level
+//! endsystem h1
+//! endsystem h2
+//!
+//! link up   h1 s1                  # link NAME FROM TO [capacity=a/b]
+//! link down s1 h2
+//!
+//! # connect NAME route=LINK,LINK,… contract=cbr:PCR | vbr:PCR,SCR,MBS
+//! #         [priority=N] [delay=CELLS]
+//! connect c1 route=up,down contract=cbr:1/8 priority=0 delay=64
+//! connect c2 route=up,down contract=vbr:1/4,1/20,8 delay=128
+//!
+//! # Or let breadth-first search pick the shortest route:
+//! connect c3 from=h1 to=h2 contract=cbr:1/16
+//!
+//! # Point-to-multipoint: a tree of links (cells duplicate at branch
+//! # switches).
+//! mconnect b1 tree=up,down,down2 contract=cbr:1/32 delay=96
+//! ```
+//!
+//! Rates are exact rationals (`1/8` or decimals like `0.125`),
+//! normalized to the link bandwidth; delays are in cell times.
+
+use std::collections::BTreeMap;
+
+use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract, VbrParams};
+use rtcac_cac::{Priority, SwitchConfig};
+use rtcac_net::{LinkId, MulticastTree, NodeId, Route, Topology};
+use rtcac_rational::Ratio;
+use rtcac_signaling::{CdvPolicy, SetupRequest};
+
+use crate::CliError;
+
+/// How a connection's cells travel.
+#[derive(Debug, Clone)]
+pub enum RouteKind {
+    /// A unicast path.
+    Unicast(Route),
+    /// A point-to-multipoint tree.
+    Multicast(MulticastTree),
+}
+
+/// One connection to establish.
+#[derive(Debug, Clone)]
+pub struct ConnectionSpec {
+    /// Scenario-local name.
+    pub name: String,
+    /// The validated route or tree.
+    pub route: RouteKind,
+    /// The setup request (contract, priority, delay bound).
+    pub request: SetupRequest,
+}
+
+/// A parsed scenario: topology, per-switch configs, CDV policy and the
+/// ordered connection list.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The network graph.
+    pub topology: Topology,
+    /// Per-switch queue configuration.
+    pub switch_configs: BTreeMap<NodeId, SwitchConfig>,
+    /// CDV accumulation policy.
+    pub policy: CdvPolicy,
+    /// Connections in file order.
+    pub connections: Vec<ConnectionSpec>,
+    names: BTreeMap<String, NodeId>,
+    link_names: BTreeMap<String, LinkId>,
+}
+
+impl Scenario {
+    /// Parses a scenario from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Parse`] with the offending line number, or
+    /// [`CliError::Unknown`] for dangling references.
+    pub fn parse(text: &str) -> Result<Scenario, CliError> {
+        let mut topology = Topology::new();
+        let mut names: BTreeMap<String, NodeId> = BTreeMap::new();
+        let mut link_names: BTreeMap<String, LinkId> = BTreeMap::new();
+        let mut switch_configs = BTreeMap::new();
+        let mut policy = CdvPolicy::Hard;
+        let mut pending_connects: Vec<(usize, Vec<String>)> = Vec::new();
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let tokens: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+            let err = |message: String| CliError::Parse {
+                line: line_no,
+                message,
+            };
+            match tokens[0].as_str() {
+                "policy" => {
+                    policy = match tokens.get(1).map(String::as_str) {
+                        Some("hard") => CdvPolicy::Hard,
+                        Some("soft") => CdvPolicy::SoftSqrt,
+                        other => {
+                            return Err(err(format!(
+                                "policy must be 'hard' or 'soft', got {other:?}"
+                            )))
+                        }
+                    };
+                }
+                "switch" => {
+                    let name = tokens
+                        .get(1)
+                        .ok_or_else(|| err("switch needs a name".into()))?;
+                    if names.contains_key(name) {
+                        return Err(err(format!("duplicate node '{name}'")));
+                    }
+                    let mut bounds = vec![Time::from_integer(32)];
+                    for opt in &tokens[2..] {
+                        if let Some(list) = opt.strip_prefix("bounds=") {
+                            bounds = list
+                                .split(',')
+                                .map(|b| {
+                                    b.parse::<Ratio>()
+                                        .map(Time::new)
+                                        .map_err(|e| err(format!("bad bound '{b}': {e}")))
+                                })
+                                .collect::<Result<Vec<Time>, CliError>>()?;
+                        } else {
+                            return Err(err(format!("unknown switch option '{opt}'")));
+                        }
+                    }
+                    let id = topology.add_switch(name.clone());
+                    let config =
+                        SwitchConfig::with_bounds(bounds).map_err(CliError::domain)?;
+                    switch_configs.insert(id, config);
+                    names.insert(name.clone(), id);
+                }
+                "endsystem" => {
+                    let name = tokens
+                        .get(1)
+                        .ok_or_else(|| err("endsystem needs a name".into()))?;
+                    if names.contains_key(name) {
+                        return Err(err(format!("duplicate node '{name}'")));
+                    }
+                    let id = topology.add_end_system(name.clone());
+                    names.insert(name.clone(), id);
+                }
+                "link" => {
+                    let [_, name, from, to] = &tokens[..] else {
+                        let mut it = tokens.iter().skip(1);
+                        let (Some(name), Some(from), Some(to)) =
+                            (it.next(), it.next(), it.next())
+                        else {
+                            return Err(err("link needs NAME FROM TO".into()));
+                        };
+                        let capacity = parse_capacity(&tokens[4..], line_no)?;
+                        add_link(
+                            &mut topology,
+                            &mut link_names,
+                            &names,
+                            name,
+                            from,
+                            to,
+                            capacity,
+                            line_no,
+                        )?;
+                        continue;
+                    };
+                    add_link(
+                        &mut topology,
+                        &mut link_names,
+                        &names,
+                        name,
+                        from,
+                        to,
+                        Rate::FULL,
+                        line_no,
+                    )?;
+                }
+                "connect" | "mconnect" => pending_connects.push((line_no, tokens)),
+                other => return Err(err(format!("unknown directive '{other}'"))),
+            }
+        }
+
+        // Resolve connections once all links exist.
+        let mut connections = Vec::with_capacity(pending_connects.len());
+        for (line_no, tokens) in pending_connects {
+            connections.push(parse_connect(
+                &topology,
+                &names,
+                &link_names,
+                &tokens,
+                line_no,
+            )?);
+        }
+
+        Ok(Scenario {
+            topology,
+            switch_configs,
+            policy,
+            connections,
+            names,
+            link_names,
+        })
+    }
+
+    /// Looks up a node by scenario name.
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// Looks up a link by scenario name.
+    pub fn link(&self, name: &str) -> Option<LinkId> {
+        self.link_names.get(name).copied()
+    }
+
+    /// The scenario name of a link, for reporting.
+    pub fn link_name(&self, id: LinkId) -> Option<&str> {
+        self.link_names
+            .iter()
+            .find(|(_, &l)| l == id)
+            .map(|(n, _)| n.as_str())
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn add_link(
+    topology: &mut Topology,
+    link_names: &mut BTreeMap<String, LinkId>,
+    names: &BTreeMap<String, NodeId>,
+    name: &str,
+    from: &str,
+    to: &str,
+    capacity: Rate,
+    line: usize,
+) -> Result<(), CliError> {
+    if link_names.contains_key(name) {
+        return Err(CliError::Parse {
+            line,
+            message: format!("duplicate link '{name}'"),
+        });
+    }
+    let from = *names.get(from).ok_or_else(|| CliError::Unknown {
+        kind: "node",
+        name: from.into(),
+    })?;
+    let to = *names.get(to).ok_or_else(|| CliError::Unknown {
+        kind: "node",
+        name: to.into(),
+    })?;
+    let id = topology
+        .add_link_with_capacity(from, to, capacity)
+        .map_err(CliError::domain)?;
+    link_names.insert(name.to_owned(), id);
+    Ok(())
+}
+
+fn parse_capacity(options: &[String], line: usize) -> Result<Rate, CliError> {
+    match options.first() {
+        None => Ok(Rate::FULL),
+        Some(opt) => match opt.strip_prefix("capacity=") {
+            Some(v) => v.parse::<Ratio>().map(Rate::new).map_err(|e| CliError::Parse {
+                line,
+                message: format!("bad capacity '{v}': {e}"),
+            }),
+            None => Err(CliError::Parse {
+                line,
+                message: format!("unknown link option '{opt}'"),
+            }),
+        },
+    }
+}
+
+fn parse_connect(
+    topology: &Topology,
+    node_names: &BTreeMap<String, NodeId>,
+    link_names: &BTreeMap<String, LinkId>,
+    tokens: &[String],
+    line: usize,
+) -> Result<ConnectionSpec, CliError> {
+    let err = |message: String| CliError::Parse { line, message };
+    let multicast = tokens[0] == "mconnect";
+    let name = tokens
+        .get(1)
+        .ok_or_else(|| err("connect needs a name".into()))?
+        .clone();
+    let mut route: Option<RouteKind> = None;
+    let mut from: Option<NodeId> = None;
+    let mut to: Option<NodeId> = None;
+    let mut contract: Option<TrafficContract> = None;
+    let mut priority = Priority::HIGHEST;
+    let mut delay = Time::from_integer(1_000_000);
+    let resolve_links = |list: &str| -> Result<Vec<LinkId>, CliError> {
+        list.split(',')
+            .map(|n| {
+                link_names.get(n).copied().ok_or(CliError::Unknown {
+                    kind: "link",
+                    name: n.into(),
+                })
+            })
+            .collect()
+    };
+    let resolve_node = |n: &str| -> Result<NodeId, CliError> {
+        node_names.get(n).copied().ok_or(CliError::Unknown {
+            kind: "node",
+            name: n.into(),
+        })
+    };
+    for opt in &tokens[2..] {
+        if let Some(list) = opt.strip_prefix("route=") {
+            let links = resolve_links(list)?;
+            route = Some(RouteKind::Unicast(
+                Route::new(topology, links).map_err(CliError::domain)?,
+            ));
+        } else if let Some(list) = opt.strip_prefix("tree=") {
+            let links = resolve_links(list)?;
+            route = Some(RouteKind::Multicast(
+                MulticastTree::new(topology, links).map_err(CliError::domain)?,
+            ));
+        } else if let Some(n) = opt.strip_prefix("from=") {
+            from = Some(resolve_node(n)?);
+        } else if let Some(n) = opt.strip_prefix("to=") {
+            to = Some(resolve_node(n)?);
+        } else if let Some(spec) = opt.strip_prefix("contract=") {
+            contract = Some(parse_contract(spec, line)?);
+        } else if let Some(p) = opt.strip_prefix("priority=") {
+            let level: u8 = p
+                .parse()
+                .map_err(|_| err(format!("bad priority '{p}'")))?;
+            priority = Priority::new(level);
+        } else if let Some(d) = opt.strip_prefix("delay=") {
+            delay = d
+                .parse::<Ratio>()
+                .map(Time::new)
+                .map_err(|e| err(format!("bad delay '{d}': {e}")))?;
+        } else {
+            return Err(err(format!("unknown connect option '{opt}'")));
+        }
+    }
+    let route = match (route, from, to) {
+        (Some(r), None, None) => r,
+        (None, Some(from), Some(to)) if !multicast => RouteKind::Unicast(
+            topology.shortest_route(from, to).map_err(CliError::domain)?,
+        ),
+        (None, _, _) if multicast => {
+            return Err(err("mconnect needs tree=".into()));
+        }
+        _ => {
+            return Err(err(
+                "connect needs either route=/tree= or from=+to=".into(),
+            ))
+        }
+    };
+    if multicast && matches!(route, RouteKind::Unicast(_)) {
+        return Err(err("mconnect needs tree=, not route=".into()));
+    }
+    let contract = contract.ok_or_else(|| err("connect needs contract=".into()))?;
+    Ok(ConnectionSpec {
+        name,
+        route,
+        request: SetupRequest::new(contract, priority, delay),
+    })
+}
+
+fn parse_contract(spec: &str, line: usize) -> Result<TrafficContract, CliError> {
+    let err = |message: String| CliError::Parse { line, message };
+    if let Some(rate) = spec.strip_prefix("cbr:") {
+        let pcr: Ratio = rate
+            .parse()
+            .map_err(|e| err(format!("bad cbr rate '{rate}': {e}")))?;
+        return Ok(TrafficContract::Cbr(
+            CbrParams::new(Rate::new(pcr)).map_err(CliError::domain)?,
+        ));
+    }
+    if let Some(params) = spec.strip_prefix("vbr:") {
+        let parts: Vec<&str> = params.split(',').collect();
+        let [pcr, scr, mbs] = parts[..] else {
+            return Err(err(format!("vbr needs PCR,SCR,MBS, got '{params}'")));
+        };
+        let pcr: Ratio = pcr
+            .parse()
+            .map_err(|e| err(format!("bad vbr pcr '{pcr}': {e}")))?;
+        let scr: Ratio = scr
+            .parse()
+            .map_err(|e| err(format!("bad vbr scr '{scr}': {e}")))?;
+        let mbs: u64 = mbs
+            .parse()
+            .map_err(|_| err(format!("bad vbr mbs '{mbs}'")))?;
+        return Ok(TrafficContract::Vbr(
+            VbrParams::new(Rate::new(pcr), Rate::new(scr), mbs).map_err(CliError::domain)?,
+        ));
+    }
+    Err(err(format!("contract must be cbr:… or vbr:…, got '{spec}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# a two-switch line
+policy soft
+switch s1 bounds=32,64
+switch s2 bounds=32,64
+endsystem h1
+endsystem h2
+link up   h1 s1
+link mid  s1 s2   # inter-switch
+link down s2 h2
+connect c1 route=up,mid,down contract=cbr:1/8 priority=0 delay=64
+connect c2 route=up,mid,down contract=vbr:1/4,1/20,8 priority=1 delay=0.5
+"#;
+
+    #[test]
+    fn parses_complete_scenario() {
+        let s = Scenario::parse(GOOD).unwrap();
+        assert_eq!(s.topology.switches().count(), 2);
+        assert_eq!(s.topology.end_systems().count(), 2);
+        assert_eq!(s.topology.links().len(), 3);
+        assert_eq!(s.connections.len(), 2);
+        assert_eq!(s.policy, CdvPolicy::SoftSqrt);
+        let c2 = &s.connections[1];
+        assert_eq!(c2.request.priority(), Priority::new(1));
+        assert_eq!(c2.request.contract().mbs(), 8);
+        assert!(s.node("s1").is_some());
+        assert!(s.link("mid").is_some());
+        assert_eq!(s.link_name(s.link("mid").unwrap()), Some("mid"));
+    }
+
+    #[test]
+    fn default_policy_is_hard() {
+        let s = Scenario::parse("switch s1\n").unwrap();
+        assert_eq!(s.policy, CdvPolicy::Hard);
+        // Default bound is one 32-cell level.
+        let id = s.node("s1").unwrap();
+        assert_eq!(
+            s.switch_configs[&id].bound(Priority::HIGHEST).unwrap(),
+            Time::from_integer(32)
+        );
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let bad = "switch s1\nnonsense here\n";
+        match Scenario::parse(bad) {
+            Err(CliError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicates_and_unknowns() {
+        assert!(matches!(
+            Scenario::parse("switch a\nswitch a\n"),
+            Err(CliError::Parse { .. })
+        ));
+        assert!(matches!(
+            Scenario::parse("switch a\nlink l a b\n"),
+            Err(CliError::Unknown { kind: "node", .. })
+        ));
+        assert!(matches!(
+            Scenario::parse(
+                "endsystem h\nswitch s\nlink up h s\nconnect c route=up,ghost contract=cbr:1/8\n"
+            ),
+            Err(CliError::Unknown { kind: "link", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_contracts() {
+        let base = "endsystem h\nswitch s\nendsystem d\nlink up h s\nlink down s d\n";
+        for bad in [
+            "connect c route=up,down contract=cbr:5/1\n", // pcr > 1
+            "connect c route=up,down contract=vbr:1/4,1/2,8\n", // scr > pcr
+            "connect c route=up,down contract=vbr:1/4,1/8\n", // missing mbs
+            "connect c route=up,down contract=xyz:1\n",
+            "connect c route=up,down\n", // missing contract
+            "connect c contract=cbr:1/8\n", // missing route
+        ] {
+            let text = format!("{base}{bad}");
+            assert!(Scenario::parse(&text).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn auto_route_and_multicast() {
+        let text = "\nswitch s\nendsystem h1\nendsystem h2\nendsystem h3\n\
+link up h1 s\nlink d2 s h2\nlink d3 s h3\n\
+connect auto from=h1 to=h2 contract=cbr:1/16\n\
+mconnect cast tree=up,d2,d3 contract=cbr:1/32 delay=64\n";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.connections.len(), 2);
+        match &s.connections[0].route {
+            RouteKind::Unicast(r) => assert_eq!(r.hops(), 2),
+            other => panic!("expected unicast, got {other:?}"),
+        }
+        match &s.connections[1].route {
+            RouteKind::Multicast(t) => assert_eq!(t.leaves().len(), 2),
+            other => panic!("expected multicast, got {other:?}"),
+        }
+        // mconnect without tree= is rejected.
+        assert!(Scenario::parse(
+            "switch s\nendsystem h\nlink up h s\nmconnect x from=h to=s contract=cbr:1/8\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn decimal_rates_and_capacity() {
+        let s = Scenario::parse(
+            "endsystem h\nswitch s\nlink up h s capacity=0.5\n",
+        )
+        .unwrap();
+        let l = s.link("up").unwrap();
+        assert_eq!(
+            s.topology.link(l).unwrap().capacity(),
+            Rate::new(rtcac_rational::ratio(1, 2))
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let s = Scenario::parse("\n# hi\n  # indented comment\nswitch s1 # trailing\n").unwrap();
+        assert_eq!(s.topology.switches().count(), 1);
+    }
+}

@@ -1,0 +1,511 @@
+//! Canonical topology builders: line, ring, star, and the paper's
+//! RTnet star-ring (Figure 9).
+
+use crate::{LinkId, MulticastTree, NetError, NodeId, Route, Topology};
+
+/// A line of `n` switches `s0 -> s1 -> … -> s(n-1)`, with an end system
+/// feeding `s0` and another fed by `s(n-1)`.
+///
+/// Returns the topology, the source end system, the switches in order,
+/// and the sink end system.
+///
+/// # Errors
+///
+/// Returns [`NetError::BadParameter`] if `n == 0`.
+pub fn line(n: usize) -> Result<(Topology, NodeId, Vec<NodeId>, NodeId), NetError> {
+    if n == 0 {
+        return Err(NetError::BadParameter("line needs at least one switch"));
+    }
+    let mut t = Topology::new();
+    let src = t.add_end_system("src");
+    let switches: Vec<NodeId> = (0..n).map(|i| t.add_switch(format!("s{i}"))).collect();
+    let dst = t.add_end_system("dst");
+    t.add_link(src, switches[0])?;
+    for w in switches.windows(2) {
+        t.add_link(w[0], w[1])?;
+    }
+    t.add_link(switches[n - 1], dst)?;
+    Ok((t, src, switches, dst))
+}
+
+/// A unidirectional ring of `n` switches, `s(i) -> s((i+1) mod n)`.
+///
+/// Returns the topology, the switches, and the ring links in order
+/// (`links[i]` goes from `switches[i]`).
+///
+/// # Errors
+///
+/// Returns [`NetError::BadParameter`] if `n < 2`.
+pub fn ring(n: usize) -> Result<(Topology, Vec<NodeId>, Vec<LinkId>), NetError> {
+    if n < 2 {
+        return Err(NetError::BadParameter("ring needs at least two switches"));
+    }
+    let mut t = Topology::new();
+    let switches: Vec<NodeId> = (0..n).map(|i| t.add_switch(format!("ring{i}"))).collect();
+    let mut links = Vec::with_capacity(n);
+    for i in 0..n {
+        links.push(t.add_link(switches[i], switches[(i + 1) % n])?);
+    }
+    Ok((t, switches, links))
+}
+
+/// A star: one central switch with `n` end systems attached by duplex
+/// links.
+///
+/// Returns the topology, the center, and the leaves.
+///
+/// # Errors
+///
+/// Returns [`NetError::BadParameter`] if `n == 0`.
+pub fn star(n: usize) -> Result<(Topology, NodeId, Vec<NodeId>), NetError> {
+    if n == 0 {
+        return Err(NetError::BadParameter("star needs at least one leaf"));
+    }
+    let mut t = Topology::new();
+    let center = t.add_switch("center");
+    let mut leaves = Vec::with_capacity(n);
+    for i in 0..n {
+        let leaf = t.add_end_system(format!("h{i}"));
+        t.add_duplex(leaf, center)?;
+        leaves.push(leaf);
+    }
+    Ok((t, center, leaves))
+}
+
+/// The RTnet star-ring topology of the paper's Figure 9, with handles
+/// to every element needed by the §5 experiments.
+#[derive(Debug, Clone)]
+pub struct StarRing {
+    topology: Topology,
+    ring: Vec<NodeId>,
+    ring_links: Vec<LinkId>,
+    reverse_links: Vec<LinkId>,
+    terminals: Vec<Vec<NodeId>>,
+    uplinks: Vec<Vec<LinkId>>,
+    downlinks: Vec<Vec<LinkId>>,
+}
+
+/// Builds an RTnet star-ring: `ring_nodes` switches on a unidirectional
+/// ring, each with `terminals_per_node` end systems attached by duplex
+/// access links (paper Figure 9; the paper's RTnet uses up to 16 ring
+/// nodes and up to 16 terminals per node).
+///
+/// # Errors
+///
+/// Returns [`NetError::BadParameter`] unless `ring_nodes >= 2` and
+/// `terminals_per_node >= 1`.
+///
+/// ```
+/// use rtcac_net::builders::star_ring;
+/// let sr = star_ring(16, 16)?;
+/// assert_eq!(sr.topology().switches().count(), 16);
+/// assert_eq!(sr.topology().end_systems().count(), 256);
+/// # Ok::<(), rtcac_net::NetError>(())
+/// ```
+pub fn star_ring(ring_nodes: usize, terminals_per_node: usize) -> Result<StarRing, NetError> {
+    star_ring_impl(ring_nodes, terminals_per_node, false)
+}
+
+/// [`star_ring`] with the secondary (counter-rotating) ring of the
+/// paper's dual-link design (Figure 9: "dual 155 Mbps links"), enabling
+/// FDDI-style wrap-around after a link failure — see
+/// [`StarRing::reverse_link`] and the `rtcac-rtnet` failover module.
+///
+/// # Errors
+///
+/// Same conditions as [`star_ring`].
+pub fn dual_star_ring(
+    ring_nodes: usize,
+    terminals_per_node: usize,
+) -> Result<StarRing, NetError> {
+    star_ring_impl(ring_nodes, terminals_per_node, true)
+}
+
+fn star_ring_impl(
+    ring_nodes: usize,
+    terminals_per_node: usize,
+    dual: bool,
+) -> Result<StarRing, NetError> {
+    if ring_nodes < 2 {
+        return Err(NetError::BadParameter(
+            "star_ring needs at least two ring nodes",
+        ));
+    }
+    if terminals_per_node == 0 {
+        return Err(NetError::BadParameter(
+            "star_ring needs at least one terminal per node",
+        ));
+    }
+    let mut t = Topology::new();
+    let ring: Vec<NodeId> = (0..ring_nodes)
+        .map(|i| t.add_switch(format!("ring{i}")))
+        .collect();
+    let mut ring_links = Vec::with_capacity(ring_nodes);
+    for i in 0..ring_nodes {
+        ring_links.push(t.add_link(ring[i], ring[(i + 1) % ring_nodes])?);
+    }
+    let mut reverse_links = Vec::new();
+    if dual {
+        // reverse_links[i]: the secondary link departing node i towards
+        // node (i - 1) mod n.
+        for i in 0..ring_nodes {
+            let prev = (i + ring_nodes - 1) % ring_nodes;
+            reverse_links.push(t.add_link(ring[i], ring[prev])?);
+        }
+    }
+    let mut terminals = Vec::with_capacity(ring_nodes);
+    let mut uplinks = Vec::with_capacity(ring_nodes);
+    let mut downlinks = Vec::with_capacity(ring_nodes);
+    for (i, &node) in ring.iter().enumerate() {
+        let mut terms = Vec::with_capacity(terminals_per_node);
+        let mut ups = Vec::with_capacity(terminals_per_node);
+        let mut downs = Vec::with_capacity(terminals_per_node);
+        for j in 0..terminals_per_node {
+            let term = t.add_end_system(format!("t{i}.{j}"));
+            let (up, down) = t.add_duplex(term, node)?;
+            terms.push(term);
+            ups.push(up);
+            downs.push(down);
+        }
+        terminals.push(terms);
+        uplinks.push(ups);
+        downlinks.push(downs);
+    }
+    Ok(StarRing {
+        topology: t,
+        ring,
+        ring_links,
+        reverse_links,
+        terminals,
+        uplinks,
+        downlinks,
+    })
+}
+
+impl StarRing {
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of ring nodes.
+    pub fn ring_len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Number of terminals attached to each ring node.
+    pub fn terminals_per_node(&self) -> usize {
+        self.terminals[0].len()
+    }
+
+    /// The ring switches, in ring order.
+    pub fn ring_nodes(&self) -> &[NodeId] {
+        &self.ring
+    }
+
+    /// The ring link departing ring node `i` (towards `(i+1) mod n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadParameter`] if `i` is out of range.
+    pub fn ring_link(&self, i: usize) -> Result<LinkId, NetError> {
+        self.ring_links
+            .get(i)
+            .copied()
+            .ok_or(NetError::BadParameter("ring node index out of range"))
+    }
+
+    /// Whether this star-ring was built with the secondary
+    /// (counter-rotating) ring ([`dual_star_ring`]).
+    pub fn is_dual(&self) -> bool {
+        !self.reverse_links.is_empty()
+    }
+
+    /// The secondary ring link departing node `i` (towards
+    /// `(i-1) mod n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadParameter`] if `i` is out of range or the
+    /// topology was built without the secondary ring.
+    pub fn reverse_link(&self, i: usize) -> Result<LinkId, NetError> {
+        self.reverse_links
+            .get(i)
+            .copied()
+            .ok_or(NetError::BadParameter(
+                "no secondary ring (build with dual_star_ring) or index out of range",
+            ))
+    }
+
+    /// A route from terminal `j` of ring node `i` travelling `hops`
+    /// *secondary* ring links backward, ending at node
+    /// `(i - hops) mod n`. Used for wrap-around failover.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadParameter`] for out-of-range indices,
+    /// `hops == 0`, `hops >= ring_len`, or a single-ring topology.
+    pub fn reverse_route_from_terminal(
+        &self,
+        i: usize,
+        j: usize,
+        hops: usize,
+    ) -> Result<Route, NetError> {
+        if hops == 0 || hops >= self.ring.len() {
+            return Err(NetError::BadParameter("hops must be in 1..ring_len"));
+        }
+        let n = self.ring.len();
+        let mut links = vec![self.uplink(i, j)?];
+        for k in 0..hops {
+            links.push(self.reverse_link((i + n - k) % n)?);
+        }
+        Route::new(&self.topology, links)
+    }
+
+    /// The terminals attached to ring node `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadParameter`] if `i` is out of range.
+    pub fn terminals(&self, i: usize) -> Result<&[NodeId], NetError> {
+        self.terminals
+            .get(i)
+            .map(|v| v.as_slice())
+            .ok_or(NetError::BadParameter("ring node index out of range"))
+    }
+
+    /// The access link from terminal `j` of ring node `i` up to the
+    /// ring node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadParameter`] if an index is out of range.
+    pub fn uplink(&self, i: usize, j: usize) -> Result<LinkId, NetError> {
+        self.uplinks
+            .get(i)
+            .and_then(|v| v.get(j))
+            .copied()
+            .ok_or(NetError::BadParameter("terminal index out of range"))
+    }
+
+    /// The access link from ring node `i` down to its terminal `j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadParameter`] if an index is out of range.
+    pub fn downlink(&self, i: usize, j: usize) -> Result<LinkId, NetError> {
+        self.downlinks
+            .get(i)
+            .and_then(|v| v.get(j))
+            .copied()
+            .ok_or(NetError::BadParameter("terminal index out of range"))
+    }
+
+    /// A route from terminal `j` of ring node `i` that travels `hops`
+    /// ring links forward, ending at ring node `(i + hops) mod n`.
+    ///
+    /// This is the transit path of a cyclic-transmission broadcast: a
+    /// cell injected at the terminal crosses the source node's ring
+    /// output port and `hops - 1` further ring ports (paper §5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadParameter`] for out-of-range indices,
+    /// `hops == 0`, or `hops >= ring_len` (the cell would lap itself).
+    pub fn ring_route_from_terminal(
+        &self,
+        i: usize,
+        j: usize,
+        hops: usize,
+    ) -> Result<Route, NetError> {
+        if hops == 0 || hops >= self.ring.len() {
+            return Err(NetError::BadParameter(
+                "hops must be in 1..ring_len",
+            ));
+        }
+        let mut links = vec![self.uplink(i, j)?];
+        for k in 0..hops {
+            links.push(self.ring_link((i + k) % self.ring.len())?);
+        }
+        Route::new(&self.topology, links)
+    }
+
+    /// The cyclic-transmission broadcast tree of terminal `(i, j)`: up
+    /// its access link, forward around the whole ring, and down to
+    /// every other terminal (a point-to-multipoint VC reaching all
+    /// `ring_len × terminals − 1` receivers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadParameter`] for out-of-range indices.
+    pub fn broadcast_tree(&self, i: usize, j: usize) -> Result<MulticastTree, NetError> {
+        let n = self.ring.len();
+        let terms = self.terminals_per_node();
+        let mut links = vec![self.uplink(i, j)?];
+        // Ring chain: n - 1 links reach every other ring node.
+        for k in 0..n - 1 {
+            links.push(self.ring_link((i + k) % n)?);
+        }
+        // Drop-offs: every terminal except the source.
+        for node in 0..n {
+            for term in 0..terms {
+                if (node, term) != (i, j) {
+                    links.push(self.downlink(node, term)?);
+                }
+            }
+        }
+        MulticastTree::new(&self.topology, links)
+    }
+
+    /// A full terminal-to-terminal route: up from the source terminal,
+    /// forward around the ring, and down to the destination terminal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadParameter`] for out-of-range indices or a
+    /// source and destination on the same ring node position with the
+    /// same index (self-route).
+    pub fn terminal_route(
+        &self,
+        src: (usize, usize),
+        dst: (usize, usize),
+    ) -> Result<Route, NetError> {
+        if src == dst {
+            return Err(NetError::BadParameter("route to self"));
+        }
+        let n = self.ring.len();
+        let mut links = vec![self.uplink(src.0, src.1)?];
+        let hops = (dst.0 + n - src.0) % n;
+        for k in 0..hops {
+            links.push(self.ring_link((src.0 + k) % n)?);
+        }
+        links.push(self.downlink(dst.0, dst.1)?);
+        Route::new(&self.topology, links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_builder() {
+        let (t, src, switches, dst) = line(3).unwrap();
+        assert_eq!(switches.len(), 3);
+        assert_eq!(t.links().len(), 4);
+        let r = Route::from_nodes(
+            &t,
+            std::iter::once(src)
+                .chain(switches.iter().copied())
+                .chain(std::iter::once(dst)),
+        )
+        .unwrap();
+        assert_eq!(r.hops(), 4);
+        assert_eq!(r.switch_hops(&t).unwrap(), switches);
+        assert!(line(0).is_err());
+    }
+
+    #[test]
+    fn ring_builder() {
+        let (t, switches, links) = ring(4).unwrap();
+        assert_eq!(switches.len(), 4);
+        assert_eq!(links.len(), 4);
+        // Each switch has exactly one ring in-link and one out-link.
+        for &s in &switches {
+            assert_eq!(t.links_from(s).count(), 1);
+            assert_eq!(t.links_into(s).count(), 1);
+        }
+        // The ring closes: link i goes i -> (i+1) mod n.
+        assert_eq!(t.link(links[3]).unwrap().to(), switches[0]);
+        assert!(ring(1).is_err());
+    }
+
+    #[test]
+    fn star_builder() {
+        let (t, center, leaves) = star(5).unwrap();
+        assert_eq!(leaves.len(), 5);
+        assert_eq!(t.links_from(center).count(), 5);
+        assert_eq!(t.links_into(center).count(), 5);
+        assert!(star(0).is_err());
+    }
+
+    #[test]
+    fn star_ring_shape() {
+        let sr = star_ring(4, 3).unwrap();
+        assert_eq!(sr.ring_len(), 4);
+        assert_eq!(sr.terminals_per_node(), 3);
+        assert_eq!(sr.topology().switches().count(), 4);
+        assert_eq!(sr.topology().end_systems().count(), 12);
+        // links: 4 ring + 12 duplex * 2.
+        assert_eq!(sr.topology().links().len(), 4 + 24);
+        assert!(star_ring(1, 1).is_err());
+        assert!(star_ring(4, 0).is_err());
+    }
+
+    #[test]
+    fn star_ring_routes() {
+        let sr = star_ring(4, 2).unwrap();
+        let r = sr.ring_route_from_terminal(1, 0, 3).unwrap();
+        // Access link + 3 ring links; queueing at 3 ring output ports.
+        assert_eq!(r.hops(), 4);
+        let qps = r.queueing_points(sr.topology()).unwrap();
+        assert_eq!(qps.len(), 3);
+        assert_eq!(qps[0].0, sr.ring_nodes()[1]);
+        assert_eq!(qps[2].0, sr.ring_nodes()[3]);
+        assert_eq!(
+            r.destination(sr.topology()).unwrap(),
+            sr.ring_nodes()[0]
+        );
+        assert!(sr.ring_route_from_terminal(0, 0, 0).is_err());
+        assert!(sr.ring_route_from_terminal(0, 0, 4).is_err());
+    }
+
+    #[test]
+    fn star_ring_terminal_route() {
+        let sr = star_ring(4, 2).unwrap();
+        // Same-node different terminal: up then down, no ring hops.
+        let r = sr.terminal_route((2, 0), (2, 1)).unwrap();
+        assert_eq!(r.hops(), 2);
+        assert_eq!(r.switch_hops(sr.topology()).unwrap().len(), 1);
+        // Wrap-around route 3 -> 1 crosses 2 ring links.
+        let r = sr.terminal_route((3, 0), (1, 1)).unwrap();
+        assert_eq!(r.hops(), 4);
+        assert_eq!(
+            r.destination(sr.topology()).unwrap(),
+            sr.terminals(1).unwrap()[1]
+        );
+        assert!(sr.terminal_route((0, 0), (0, 0)).is_err());
+    }
+
+    #[test]
+    fn broadcast_tree_reaches_every_other_terminal() {
+        let sr = star_ring(4, 2).unwrap();
+        let tree = sr.broadcast_tree(1, 0).unwrap();
+        assert_eq!(tree.root(), sr.terminals(1).unwrap()[0]);
+        // Leaves: all 8 terminals minus the source.
+        assert_eq!(tree.leaves().len(), 7);
+        // Links: 1 uplink + 3 ring + 7 downlinks.
+        assert_eq!(tree.links().len(), 11);
+        // Queueing points: all tree links departing switches.
+        let qps = tree.queueing_points(sr.topology()).unwrap();
+        assert_eq!(qps.len(), 10);
+        assert!(sr.broadcast_tree(9, 0).is_err());
+    }
+
+    #[test]
+    fn star_ring_link_accessors() {
+        let sr = star_ring(3, 2).unwrap();
+        let up = sr.uplink(1, 1).unwrap();
+        let down = sr.downlink(1, 1).unwrap();
+        let t = sr.topology();
+        assert_eq!(t.link(up).unwrap().to(), sr.ring_nodes()[1]);
+        assert_eq!(t.link(down).unwrap().from(), sr.ring_nodes()[1]);
+        assert_eq!(
+            t.link(sr.ring_link(2).unwrap()).unwrap().to(),
+            sr.ring_nodes()[0]
+        );
+        assert!(sr.uplink(9, 0).is_err());
+        assert!(sr.downlink(0, 9).is_err());
+        assert!(sr.ring_link(5).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for topology and route validation.
+
+use core::fmt;
+
+use crate::{LinkId, NodeId};
+
+/// Error produced by topology construction and route validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A node id did not exist in the topology.
+    UnknownNode(NodeId),
+    /// A link id did not exist in the topology.
+    UnknownLink(LinkId),
+    /// A link's endpoints were the same node.
+    SelfLoop(NodeId),
+    /// A link with the same endpoints already exists.
+    DuplicateLink {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+    },
+    /// No link connects the two nodes.
+    NoSuchLink {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+    },
+    /// Consecutive route links did not share a node.
+    DisconnectedRoute {
+        /// The link whose source does not match the previous link's
+        /// destination.
+        at: LinkId,
+    },
+    /// A route must contain at least one link.
+    EmptyRoute,
+    /// A link capacity was zero or negative.
+    BadCapacity,
+    /// An operation required a switch but the node is an end system.
+    NotASwitch(NodeId),
+    /// A builder parameter was out of range (e.g. a ring of one node).
+    BadParameter(&'static str),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            NetError::UnknownLink(id) => write!(f, "unknown link {id}"),
+            NetError::SelfLoop(id) => write!(f, "link endpoints are both {id}"),
+            NetError::DuplicateLink { from, to } => {
+                write!(f, "link {from} -> {to} already exists")
+            }
+            NetError::NoSuchLink { from, to } => {
+                write!(f, "no link connects {from} -> {to}")
+            }
+            NetError::DisconnectedRoute { at } => {
+                write!(f, "route is not contiguous at link {at}")
+            }
+            NetError::EmptyRoute => write!(f, "route has no links"),
+            NetError::BadCapacity => write!(f, "link capacity must be positive"),
+            NetError::NotASwitch(id) => write!(f, "node {id} is not a switch"),
+            NetError::BadParameter(what) => write!(f, "invalid builder parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_nonempty() {
+        let cases = [
+            NetError::UnknownNode(NodeId(1)),
+            NetError::UnknownLink(LinkId(2)),
+            NetError::SelfLoop(NodeId(0)),
+            NetError::DuplicateLink {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            NetError::NoSuchLink {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            NetError::DisconnectedRoute { at: LinkId(3) },
+            NetError::EmptyRoute,
+            NetError::BadCapacity,
+            NetError::NotASwitch(NodeId(9)),
+            NetError::BadParameter("n must be >= 2"),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

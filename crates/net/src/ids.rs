@@ -1,0 +1,85 @@
+//! Typed identifiers for topology elements.
+
+use core::fmt;
+
+/// Identifier of a node (switch or end system) within a [`Topology`].
+///
+/// [`Topology`]: crate::Topology
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of the node.
+    pub const fn index(&self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id that is not tied to any [`Topology`] — useful when
+    /// driving a standalone switch or simulator component whose ports
+    /// are pure labels.
+    ///
+    /// Ids created this way are only valid for topology lookups if a
+    /// node with this index actually exists there.
+    ///
+    /// [`Topology`]: crate::Topology
+    pub const fn external(index: u32) -> NodeId {
+        NodeId(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a unidirectional link within a [`Topology`].
+///
+/// [`Topology`]: crate::Topology
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// The raw index of the link.
+    pub const fn index(&self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id that is not tied to any [`Topology`] — useful when
+    /// driving a standalone switch whose ports are pure labels.
+    ///
+    /// Ids created this way are only valid for topology lookups if a
+    /// link with this index actually exists there.
+    ///
+    /// [`Topology`]: crate::Topology
+    pub const fn external(index: u32) -> LinkId {
+        LinkId(index)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(7).to_string(), "l7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(LinkId(0) < LinkId(5));
+        assert_eq!(NodeId(4).index(), 4);
+        assert_eq!(LinkId(9).index(), 9);
+    }
+}

@@ -1,0 +1,422 @@
+//! Point-to-multipoint routes (ATM p2mp VCs).
+//!
+//! RTnet's cyclic transmission is a *broadcast*: one source terminal
+//! updates every other terminal. ATM implements this with
+//! point-to-multipoint virtual connections — a tree of links rooted at
+//! the source, with cells duplicated at branch switches. A
+//! [`MulticastTree`] is the validated route object for such a
+//! connection; the signaling layer admits it at every `(switch, out
+//! link)` of the tree and the simulator duplicates cells at branches.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{LinkId, NetError, NodeId, Topology};
+
+/// A validated point-to-multipoint route: a set of links forming a
+/// tree rooted at a source node.
+///
+/// Invariants (checked at construction):
+///
+/// - non-empty, no duplicate links;
+/// - exactly one node (the root) has outgoing tree links but no
+///   incoming tree link;
+/// - every other link's tail is reached by exactly one tree link (no
+///   cycles, no diamonds);
+/// - every intermediate (forwarding) node is a switch.
+///
+/// # Examples
+///
+/// ```
+/// use rtcac_net::{MulticastTree, Topology};
+///
+/// let mut t = Topology::new();
+/// let src = t.add_end_system("src");
+/// let sw = t.add_switch("sw");
+/// let a = t.add_end_system("a");
+/// let b = t.add_end_system("b");
+/// let up = t.add_link(src, sw)?;
+/// let da = t.add_link(sw, a)?;
+/// let db = t.add_link(sw, b)?;
+///
+/// let tree = MulticastTree::new(&t, [up, da, db])?;
+/// assert_eq!(tree.root(), src);
+/// assert_eq!(tree.leaves().len(), 2);
+/// assert_eq!(tree.queueing_points(&t)?.len(), 2); // sw's two ports
+/// # Ok::<(), rtcac_net::NetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MulticastTree {
+    root: NodeId,
+    links: Vec<LinkId>,
+    /// Depth of each link in the tree: the number of links on the path
+    /// from the root up to and including it.
+    depths: Vec<usize>,
+    /// The tree link entering each link's tail (None for root links).
+    parents: Vec<Option<LinkId>>,
+    leaves: Vec<NodeId>,
+}
+
+impl MulticastTree {
+    /// Builds and validates a multicast tree from a set of links.
+    ///
+    /// # Errors
+    ///
+    /// - [`NetError::EmptyRoute`] for an empty set;
+    /// - [`NetError::UnknownLink`] for foreign links;
+    /// - [`NetError::DisconnectedRoute`] if the links do not form a
+    ///   single tree rooted at one node (duplicates, cycles, joins, or
+    ///   disconnected pieces);
+    /// - [`NetError::NotASwitch`] if a forwarding node is an end
+    ///   system.
+    pub fn new<I>(topology: &Topology, links: I) -> Result<MulticastTree, NetError>
+    where
+        I: IntoIterator<Item = LinkId>,
+    {
+        let links: Vec<LinkId> = links.into_iter().collect();
+        if links.is_empty() {
+            return Err(NetError::EmptyRoute);
+        }
+        let mut seen = BTreeSet::new();
+        // in-tree incoming link per node.
+        let mut parent: BTreeMap<NodeId, LinkId> = BTreeMap::new();
+        let mut tails: BTreeSet<NodeId> = BTreeSet::new();
+        for &id in &links {
+            let link = topology.link(id)?;
+            if !seen.insert(id) {
+                return Err(NetError::DisconnectedRoute { at: id });
+            }
+            if parent.insert(link.to(), id).is_some() {
+                // Two tree links enter the same node: not a tree.
+                return Err(NetError::DisconnectedRoute { at: id });
+            }
+            tails.insert(link.from());
+        }
+        // The root: a tail that no tree link enters.
+        let parent_of_tail = parent.clone();
+        let mut roots = tails
+            .iter()
+            .copied()
+            .filter(|n| !parent.contains_key(n));
+        let root = roots.next().ok_or(NetError::DisconnectedRoute {
+            at: links[0],
+        })?;
+        if roots.next().is_some() {
+            return Err(NetError::DisconnectedRoute { at: links[0] });
+        }
+        // Depth-first from the root to confirm connectivity, compute
+        // depths, and verify forwarding nodes are switches.
+        let mut out_links: BTreeMap<NodeId, Vec<LinkId>> = BTreeMap::new();
+        for &id in &links {
+            let link = topology.link(id)?;
+            out_links.entry(link.from()).or_default().push(id);
+        }
+        for (&node, outs) in &out_links {
+            if node != root && !outs.is_empty() && !topology.node(node)?.is_switch() {
+                return Err(NetError::NotASwitch(node));
+            }
+        }
+        let mut depths: BTreeMap<LinkId, usize> = BTreeMap::new();
+        let mut leaves = Vec::new();
+        let mut stack = vec![(root, 0usize)];
+        let mut visited_links = 0usize;
+        while let Some((node, depth)) = stack.pop() {
+            match out_links.get(&node) {
+                Some(outs) => {
+                    for &id in outs {
+                        depths.insert(id, depth + 1);
+                        visited_links += 1;
+                        stack.push((topology.link(id)?.to(), depth + 1));
+                    }
+                }
+                None => leaves.push(node),
+            }
+        }
+        if visited_links != links.len() {
+            // Some links were unreachable from the root.
+            return Err(NetError::DisconnectedRoute { at: links[0] });
+        }
+        leaves.sort();
+        let parents = links
+            .iter()
+            .map(|&id| {
+                let tail = topology.link(id).expect("validated").from();
+                parent_of_tail.get(&tail).copied()
+            })
+            .collect();
+        let depths = links.iter().map(|id| depths[id]).collect();
+        Ok(MulticastTree {
+            root,
+            links,
+            depths,
+            parents,
+            leaves,
+        })
+    }
+
+    /// The source node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The tree's links (construction order).
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// The destination nodes (tree nodes with no outgoing tree link).
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// The depth of a link: links on the root path up to and including
+    /// it.
+    pub fn depth(&self, link: LinkId) -> Option<usize> {
+        self.links
+            .iter()
+            .position(|&l| l == link)
+            .map(|i| self.depths[i])
+    }
+
+    /// The `(switch, out link, upstream queueing points)` admission
+    /// points of the tree: every tree link departing a switch, with the
+    /// number of switch ports crossed before it on its root path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] if the tree belongs to a
+    /// different topology.
+    pub fn queueing_points(
+        &self,
+        topology: &Topology,
+    ) -> Result<Vec<(NodeId, LinkId, usize)>, NetError> {
+        let mut out = Vec::new();
+        for (idx, &id) in self.links.iter().enumerate() {
+            let from = topology.link(id)?.from();
+            if topology.node(from)?.is_switch() {
+                // Upstream queueing points = switch-departing links on
+                // the root path before this one. The root access link
+                // (depth 1) is not a queueing point when the root is an
+                // end system, so subtract it from the depth count.
+                let depth = self.depths[idx];
+                let root_is_switch = topology.node(self.root)?.is_switch();
+                let upstream = if root_is_switch { depth - 1 } else { depth - 2 };
+                out.push((from, id, upstream));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The tree link entering `link`'s tail node, or `None` for a link
+    /// departing the root.
+    pub fn parent(&self, link: LinkId) -> Option<LinkId> {
+        self.links
+            .iter()
+            .position(|&l| l == link)
+            .and_then(|i| self.parents[i])
+    }
+
+    /// The root path of a link: every tree link from the root down to
+    /// and including `link`. `None` if the link is not in the tree.
+    pub fn root_path(&self, link: LinkId) -> Option<Vec<LinkId>> {
+        if !self.links.contains(&link) {
+            return None;
+        }
+        let mut path = vec![link];
+        let mut current = link;
+        while let Some(p) = self.parent(current) {
+            path.push(p);
+            current = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The leaf at the end of each root-to-leaf path, with the path's
+    /// links (used for per-destination delay guarantees).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] for a foreign topology.
+    pub fn leaf_paths(
+        &self,
+        topology: &Topology,
+    ) -> Result<Vec<(NodeId, Vec<LinkId>)>, NetError> {
+        let mut out = Vec::with_capacity(self.leaves.len());
+        for &id in &self.links {
+            let to = topology.link(id)?.to();
+            if self.leaves.contains(&to) {
+                out.push((to, self.root_path(id).expect("own link")));
+            }
+        }
+        out.sort_by_key(|(n, _)| *n);
+        Ok(out)
+    }
+
+    /// The links departing `node` within the tree (used by the
+    /// simulator to duplicate cells at branches).
+    pub fn links_from(&self, topology: &Topology, node: NodeId) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .copied()
+            .filter(|&id| {
+                topology
+                    .link(id)
+                    .map(|l| l.from() == node)
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// src -> sw1 -> {a, sw2 -> {b, c}}.
+    fn two_level() -> (Topology, Vec<NodeId>, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let src = t.add_end_system("src");
+        let sw1 = t.add_switch("sw1");
+        let sw2 = t.add_switch("sw2");
+        let a = t.add_end_system("a");
+        let b = t.add_end_system("b");
+        let c = t.add_end_system("c");
+        let up = t.add_link(src, sw1).unwrap();
+        let da = t.add_link(sw1, a).unwrap();
+        let trunk = t.add_link(sw1, sw2).unwrap();
+        let db = t.add_link(sw2, b).unwrap();
+        let dc = t.add_link(sw2, c).unwrap();
+        (t, vec![src, sw1, sw2, a, b, c], vec![up, da, trunk, db, dc])
+    }
+
+    #[test]
+    fn builds_two_level_tree() {
+        let (t, nodes, links) = two_level();
+        let tree = MulticastTree::new(&t, links.clone()).unwrap();
+        assert_eq!(tree.root(), nodes[0]);
+        assert_eq!(tree.leaves(), &[nodes[3], nodes[4], nodes[5]]);
+        assert_eq!(tree.depth(links[0]), Some(1)); // up
+        assert_eq!(tree.depth(links[2]), Some(2)); // trunk
+        assert_eq!(tree.depth(links[3]), Some(3)); // db
+        let qps = tree.queueing_points(&t).unwrap();
+        assert_eq!(qps.len(), 4); // da, trunk, db, dc
+        // da and trunk have 0 upstream switch ports; db/dc have 1.
+        let upstream: BTreeMap<LinkId, usize> =
+            qps.iter().map(|&(_, l, u)| (l, u)).collect();
+        assert_eq!(upstream[&links[1]], 0);
+        assert_eq!(upstream[&links[2]], 0);
+        assert_eq!(upstream[&links[3]], 1);
+        assert_eq!(upstream[&links[4]], 1);
+    }
+
+    #[test]
+    fn root_paths_and_leaf_paths() {
+        let (t, nodes, links) = two_level();
+        let tree = MulticastTree::new(&t, links.clone()).unwrap();
+        assert_eq!(tree.root_path(links[0]), Some(vec![links[0]]));
+        assert_eq!(
+            tree.root_path(links[3]),
+            Some(vec![links[0], links[2], links[3]])
+        );
+        assert_eq!(tree.parent(links[2]), Some(links[0]));
+        assert_eq!(tree.parent(links[0]), None);
+        let lp = tree.leaf_paths(&t).unwrap();
+        assert_eq!(lp.len(), 3);
+        assert_eq!(lp[0], (nodes[3], vec![links[0], links[1]]));
+        assert_eq!(lp[1], (nodes[4], vec![links[0], links[2], links[3]]));
+    }
+
+    #[test]
+    fn links_from_finds_branches() {
+        let (t, nodes, links) = two_level();
+        let tree = MulticastTree::new(&t, links.clone()).unwrap();
+        let from_sw1 = tree.links_from(&t, nodes[1]);
+        assert_eq!(from_sw1.len(), 2);
+        assert!(from_sw1.contains(&links[1]) && from_sw1.contains(&links[2]));
+        assert!(tree.links_from(&t, nodes[3]).is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        let (t, _, links) = two_level();
+        assert_eq!(
+            MulticastTree::new(&t, std::iter::empty()),
+            Err(NetError::EmptyRoute)
+        );
+        assert!(matches!(
+            MulticastTree::new(&t, [links[0], links[0]]),
+            Err(NetError::DisconnectedRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_disconnected_pieces() {
+        let (t, _, links) = two_level();
+        // up + db: db's tail (sw2) is not reached by the tree.
+        assert!(matches!(
+            MulticastTree::new(&t, [links[0], links[3]]),
+            Err(NetError::DisconnectedRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_joins() {
+        // Two links entering the same node.
+        let mut t = Topology::new();
+        let a = t.add_end_system("a");
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let d = t.add_end_system("d");
+        let l1 = t.add_link(a, s1).unwrap();
+        let l2 = t.add_link(a, s2).unwrap();
+        let l3 = t.add_link(s1, d).unwrap();
+        let l4 = t.add_link(s2, d).unwrap();
+        assert!(matches!(
+            MulticastTree::new(&t, [l1, l2, l3, l4]),
+            Err(NetError::DisconnectedRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_forwarding_end_system() {
+        let mut t = Topology::new();
+        let a = t.add_end_system("a");
+        let b = t.add_end_system("b");
+        let c = t.add_end_system("c");
+        let l1 = t.add_link(a, b).unwrap();
+        let l2 = t.add_link(b, c).unwrap();
+        assert_eq!(
+            MulticastTree::new(&t, [l1, l2]),
+            Err(NetError::NotASwitch(b))
+        );
+    }
+
+    #[test]
+    fn single_link_tree() {
+        let mut t = Topology::new();
+        let a = t.add_end_system("a");
+        let b = t.add_end_system("b");
+        let l = t.add_link(a, b).unwrap();
+        let tree = MulticastTree::new(&t, [l]).unwrap();
+        assert_eq!(tree.root(), a);
+        assert_eq!(tree.leaves(), &[b]);
+        // No switch ports: direct wire.
+        assert!(tree.queueing_points(&t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn switch_rooted_tree() {
+        let mut t = Topology::new();
+        let sw = t.add_switch("sw");
+        let a = t.add_end_system("a");
+        let b = t.add_end_system("b");
+        let la = t.add_link(sw, a).unwrap();
+        let lb = t.add_link(sw, b).unwrap();
+        let tree = MulticastTree::new(&t, [la, lb]).unwrap();
+        assert_eq!(tree.root(), sw);
+        let qps = tree.queueing_points(&t).unwrap();
+        assert_eq!(qps.len(), 2);
+        assert!(qps.iter().all(|&(_, _, upstream)| upstream == 0));
+    }
+}

@@ -1,0 +1,277 @@
+//! Validated routes through a [`Topology`].
+
+use crate::{LinkId, NetError, NodeId, Topology};
+
+/// A contiguous directed path of links.
+///
+/// The paper's connection setup (§4.1) sends a SETUP message along a
+/// preselected route; every link on the route is a potential queueing
+/// point at its sending node's output port.
+///
+/// # Examples
+///
+/// ```
+/// use rtcac_net::{Route, Topology};
+///
+/// let mut t = Topology::new();
+/// let a = t.add_end_system("a");
+/// let s1 = t.add_switch("s1");
+/// let s2 = t.add_switch("s2");
+/// let b = t.add_end_system("b");
+/// t.add_link(a, s1)?;
+/// t.add_link(s1, s2)?;
+/// t.add_link(s2, b)?;
+///
+/// let route = Route::from_nodes(&t, [a, s1, s2, b])?;
+/// assert_eq!(route.source(&t)?, a);
+/// assert_eq!(route.destination(&t)?, b);
+/// assert_eq!(route.switch_hops(&t)?, vec![s1, s2]);
+/// # Ok::<(), rtcac_net::NetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Route {
+    links: Vec<LinkId>,
+}
+
+impl Route {
+    /// Builds a route from an ordered list of link ids, validating that
+    /// consecutive links share a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyRoute`], [`NetError::UnknownLink`], or
+    /// [`NetError::DisconnectedRoute`].
+    pub fn new<I>(topology: &Topology, links: I) -> Result<Route, NetError>
+    where
+        I: IntoIterator<Item = LinkId>,
+    {
+        let links: Vec<LinkId> = links.into_iter().collect();
+        if links.is_empty() {
+            return Err(NetError::EmptyRoute);
+        }
+        let mut prev_to: Option<NodeId> = None;
+        for &id in &links {
+            let link = topology.link(id)?;
+            if let Some(expected) = prev_to {
+                if link.from() != expected {
+                    return Err(NetError::DisconnectedRoute { at: id });
+                }
+            }
+            prev_to = Some(link.to());
+        }
+        Ok(Route { links })
+    }
+
+    /// Builds a route from an ordered list of nodes, resolving each
+    /// consecutive pair to a link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyRoute`] for fewer than two nodes and
+    /// [`NetError::NoSuchLink`] for non-adjacent consecutive nodes.
+    pub fn from_nodes<I>(topology: &Topology, nodes: I) -> Result<Route, NetError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let nodes: Vec<NodeId> = nodes.into_iter().collect();
+        if nodes.len() < 2 {
+            return Err(NetError::EmptyRoute);
+        }
+        let mut links = Vec::with_capacity(nodes.len() - 1);
+        for pair in nodes.windows(2) {
+            links.push(topology.find_link(pair[0], pair[1])?);
+        }
+        Ok(Route { links })
+    }
+
+    /// The links of the route, in travel order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Number of links (hops) on the route.
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The node the route starts from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] if the route belongs to a
+    /// different topology.
+    pub fn source(&self, topology: &Topology) -> Result<NodeId, NetError> {
+        Ok(topology.link(self.links[0])?.from())
+    }
+
+    /// The node the route ends at.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] if the route belongs to a
+    /// different topology.
+    pub fn destination(&self, topology: &Topology) -> Result<NodeId, NetError> {
+        Ok(topology.link(self.links[self.links.len() - 1])?.to())
+    }
+
+    /// The ordered nodes the route visits (source, intermediates,
+    /// destination).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] if the route belongs to a
+    /// different topology.
+    pub fn nodes(&self, topology: &Topology) -> Result<Vec<NodeId>, NetError> {
+        let mut out = Vec::with_capacity(self.links.len() + 1);
+        out.push(self.source(topology)?);
+        for &id in &self.links {
+            out.push(topology.link(id)?.to());
+        }
+        Ok(out)
+    }
+
+    /// The switches the route crosses, in order — the nodes that run a
+    /// CAC check and contribute queueing delay.
+    ///
+    /// A switch is counted when the route *departs* from it (its output
+    /// port queues the connection's cells), so the destination is never
+    /// included and the source is included only if it is itself a
+    /// switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] if the route belongs to a
+    /// different topology.
+    pub fn switch_hops(&self, topology: &Topology) -> Result<Vec<NodeId>, NetError> {
+        let mut out = Vec::new();
+        for &id in &self.links {
+            let from = topology.link(id)?.from();
+            if topology.node(from)?.is_switch() {
+                out.push(from);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `(switch, outgoing link)` queueing points of the route, in
+    /// order. Each pair identifies one output port whose FIFO queue the
+    /// connection's cells traverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] if the route belongs to a
+    /// different topology.
+    pub fn queueing_points(&self, topology: &Topology) -> Result<Vec<(NodeId, LinkId)>, NetError> {
+        let mut out = Vec::new();
+        for &id in &self.links {
+            let from = topology.link(id)?.from();
+            if topology.node(from)?.is_switch() {
+                out.push((from, id));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The link by which the route *enters* the given node, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] if the route belongs to a
+    /// different topology.
+    pub fn incoming_link(
+        &self,
+        topology: &Topology,
+        node: NodeId,
+    ) -> Result<Option<LinkId>, NetError> {
+        for &id in &self.links {
+            if topology.link(id)?.to() == node {
+                return Ok(Some(id));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (Topology, Vec<NodeId>, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let a = t.add_end_system("a");
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let b = t.add_end_system("b");
+        let l1 = t.add_link(a, s1).unwrap();
+        let l2 = t.add_link(s1, s2).unwrap();
+        let l3 = t.add_link(s2, b).unwrap();
+        (t, vec![a, s1, s2, b], vec![l1, l2, l3])
+    }
+
+    #[test]
+    fn route_from_links() {
+        let (t, nodes, links) = line3();
+        let r = Route::new(&t, links.clone()).unwrap();
+        assert_eq!(r.hops(), 3);
+        assert_eq!(r.source(&t).unwrap(), nodes[0]);
+        assert_eq!(r.destination(&t).unwrap(), nodes[3]);
+        assert_eq!(r.nodes(&t).unwrap(), nodes);
+    }
+
+    #[test]
+    fn route_from_nodes() {
+        let (t, nodes, links) = line3();
+        let r = Route::from_nodes(&t, nodes).unwrap();
+        assert_eq!(r.links(), links.as_slice());
+    }
+
+    #[test]
+    fn empty_route_rejected() {
+        let (t, _, _) = line3();
+        assert_eq!(
+            Route::new(&t, core::iter::empty()),
+            Err(NetError::EmptyRoute)
+        );
+        assert_eq!(
+            Route::from_nodes(&t, [NodeId(0)]),
+            Err(NetError::EmptyRoute)
+        );
+    }
+
+    #[test]
+    fn disconnected_route_rejected() {
+        let (t, _, links) = line3();
+        assert!(matches!(
+            Route::new(&t, [links[0], links[2]]),
+            Err(NetError::DisconnectedRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn nonadjacent_nodes_rejected() {
+        let (t, nodes, _) = line3();
+        assert!(matches!(
+            Route::from_nodes(&t, [nodes[0], nodes[2]]),
+            Err(NetError::NoSuchLink { .. })
+        ));
+    }
+
+    #[test]
+    fn switch_hops_exclude_end_systems() {
+        let (t, nodes, links) = line3();
+        let r = Route::new(&t, links.clone()).unwrap();
+        assert_eq!(r.switch_hops(&t).unwrap(), vec![nodes[1], nodes[2]]);
+        let qp = r.queueing_points(&t).unwrap();
+        assert_eq!(qp, vec![(nodes[1], links[1]), (nodes[2], links[2])]);
+    }
+
+    #[test]
+    fn incoming_link_lookup() {
+        let (t, nodes, links) = line3();
+        let r = Route::new(&t, links.clone()).unwrap();
+        assert_eq!(r.incoming_link(&t, nodes[1]).unwrap(), Some(links[0]));
+        assert_eq!(r.incoming_link(&t, nodes[2]).unwrap(), Some(links[1]));
+        assert_eq!(r.incoming_link(&t, nodes[0]).unwrap(), None);
+    }
+}

@@ -1,0 +1,488 @@
+//! The [`Topology`] graph: nodes and unidirectional links.
+
+use rtcac_bitstream::Rate;
+
+use crate::{LinkId, NetError, NodeId};
+
+/// The role a node plays in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NodeKind {
+    /// A switching node with priority FIFO output queues; runs CAC.
+    Switch,
+    /// A terminal / end system: sources and sinks traffic, shapes at
+    /// the source, does not queue transit traffic.
+    EndSystem,
+}
+
+/// A node of the topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Node {
+    id: NodeId,
+    name: String,
+    kind: NodeKind,
+}
+
+impl Node {
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's role.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Whether the node is a switch.
+    pub fn is_switch(&self) -> bool {
+        self.kind == NodeKind::Switch
+    }
+}
+
+/// A unidirectional transmission link.
+///
+/// Capacities are normalized to the reference link bandwidth of the
+/// network (1 = e.g. 155 Mbps in RTnet), matching the paper's units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Link {
+    id: LinkId,
+    from: NodeId,
+    to: NodeId,
+    capacity: Rate,
+}
+
+impl Link {
+    /// The link's identifier.
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// The sending node.
+    pub fn from(&self) -> NodeId {
+        self.from
+    }
+
+    /// The receiving node.
+    pub fn to(&self) -> NodeId {
+        self.to
+    }
+
+    /// The link capacity, normalized to the reference bandwidth.
+    pub fn capacity(&self) -> Rate {
+        self.capacity
+    }
+}
+
+/// A validated directed graph of switches, end systems and links.
+///
+/// # Examples
+///
+/// ```
+/// use rtcac_net::{NodeKind, Topology};
+///
+/// let mut t = Topology::new();
+/// let host = t.add_end_system("host");
+/// let sw = t.add_switch("sw0");
+/// let up = t.add_link(host, sw)?;
+/// assert_eq!(t.link(up)?.to(), sw);
+/// assert_eq!(t.node(sw)?.kind(), NodeKind::Switch);
+/// # Ok::<(), rtcac_net::NetError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds a switch node and returns its id.
+    pub fn add_switch(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name, NodeKind::Switch)
+    }
+
+    /// Adds an end-system node and returns its id.
+    pub fn add_end_system(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name, NodeKind::EndSystem)
+    }
+
+    /// Adds a node of the given kind and returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+            kind,
+        });
+        id
+    }
+
+    /// Adds a full-rate unidirectional link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`], [`NetError::SelfLoop`], or
+    /// [`NetError::DuplicateLink`].
+    pub fn add_link(&mut self, from: NodeId, to: NodeId) -> Result<LinkId, NetError> {
+        self.add_link_with_capacity(from, to, Rate::FULL)
+    }
+
+    /// Adds a unidirectional link with an explicit capacity.
+    ///
+    /// # Errors
+    ///
+    /// As [`Topology::add_link`], plus [`NetError::BadCapacity`] for a
+    /// non-positive capacity.
+    pub fn add_link_with_capacity(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        capacity: Rate,
+    ) -> Result<LinkId, NetError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(NetError::SelfLoop(from));
+        }
+        if !capacity.is_positive() {
+            return Err(NetError::BadCapacity);
+        }
+        if self.find_link(from, to).is_ok() {
+            return Err(NetError::DuplicateLink { from, to });
+        }
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            id,
+            from,
+            to,
+            capacity,
+        });
+        Ok(id)
+    }
+
+    /// Adds a pair of opposite links (a "duplex" connection).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Topology::add_link`].
+    pub fn add_duplex(&mut self, a: NodeId, b: NodeId) -> Result<(LinkId, LinkId), NetError> {
+        let ab = self.add_link(a, b)?;
+        let ba = self.add_link(b, a)?;
+        Ok((ab, ba))
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for an id from another
+    /// topology.
+    pub fn node(&self, id: NodeId) -> Result<&Node, NetError> {
+        self.nodes
+            .get(id.index())
+            .ok_or(NetError::UnknownNode(id))
+    }
+
+    /// Looks up a link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] for an id from another
+    /// topology.
+    pub fn link(&self, id: LinkId) -> Result<&Link, NetError> {
+        self.links
+            .get(id.index())
+            .ok_or(NetError::UnknownLink(id))
+    }
+
+    /// The link from `from` to `to`, if one exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NoSuchLink`] if the nodes are not adjacent.
+    pub fn find_link(&self, from: NodeId, to: NodeId) -> Result<LinkId, NetError> {
+        self.links
+            .iter()
+            .find(|l| l.from == from && l.to == to)
+            .map(|l| l.id)
+            .ok_or(NetError::NoSuchLink { from, to })
+    }
+
+    /// All links departing `node`.
+    pub fn links_from(&self, node: NodeId) -> impl Iterator<Item = &Link> + '_ {
+        self.links.iter().filter(move |l| l.from == node)
+    }
+
+    /// All links arriving at `node`.
+    pub fn links_into(&self, node: NodeId) -> impl Iterator<Item = &Link> + '_ {
+        self.links.iter().filter(move |l| l.to == node)
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// All switch nodes.
+    pub fn switches(&self) -> impl Iterator<Item = &Node> + '_ {
+        self.nodes.iter().filter(|n| n.is_switch())
+    }
+
+    /// All end-system nodes.
+    pub fn end_systems(&self) -> impl Iterator<Item = &Node> + '_ {
+        self.nodes.iter().filter(|n| !n.is_switch())
+    }
+
+    /// The shortest route (fewest links) from `from` to `to`, found by
+    /// breadth-first search. Intermediate nodes are restricted to
+    /// switches (end systems do not forward).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for foreign ids and
+    /// [`NetError::NoSuchLink`] when no forwarding path exists.
+    ///
+    /// ```
+    /// use rtcac_net::Topology;
+    ///
+    /// let mut t = Topology::new();
+    /// let a = t.add_end_system("a");
+    /// let s1 = t.add_switch("s1");
+    /// let s2 = t.add_switch("s2");
+    /// let b = t.add_end_system("b");
+    /// t.add_link(a, s1)?;
+    /// t.add_link(s1, s2)?;
+    /// t.add_link(s2, b)?;
+    /// let route = t.shortest_route(a, b)?;
+    /// assert_eq!(route.hops(), 3);
+    /// # Ok::<(), rtcac_net::NetError>(())
+    /// ```
+    pub fn shortest_route(&self, from: NodeId, to: NodeId) -> Result<crate::Route, NetError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(NetError::NoSuchLink { from, to });
+        }
+        // BFS over nodes; predecessors remember the link used.
+        let mut pred: Vec<Option<LinkId>> = vec![None; self.nodes.len()];
+        let mut visited = vec![false; self.nodes.len()];
+        visited[from.index()] = true;
+        let mut queue = std::collections::VecDeque::from([from]);
+        'search: while let Some(node) = queue.pop_front() {
+            // Only the source and switches may forward.
+            if node != from && !self.nodes[node.index()].is_switch() {
+                continue;
+            }
+            for link in self.links_from(node) {
+                let next = link.to();
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    pred[next.index()] = Some(link.id());
+                    if next == to {
+                        break 'search;
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        let mut links = Vec::new();
+        let mut current = to;
+        while current != from {
+            let Some(link) = pred[current.index()] else {
+                return Err(NetError::NoSuchLink { from, to });
+            };
+            links.push(link);
+            current = self.links[link.index()].from;
+        }
+        links.reverse();
+        crate::Route::new(self, links)
+    }
+
+    fn check_node(&self, id: NodeId) -> Result<(), NetError> {
+        if id.index() < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(NetError::UnknownNode(id))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_rational::ratio;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Topology::new();
+        let a = t.add_end_system("a");
+        let s = t.add_switch("s");
+        let b = t.add_end_system("b");
+        let l1 = t.add_link(a, s).unwrap();
+        let l2 = t.add_link(s, b).unwrap();
+        assert_eq!(t.nodes().len(), 3);
+        assert_eq!(t.links().len(), 2);
+        assert_eq!(t.node(s).unwrap().name(), "s");
+        assert!(t.node(s).unwrap().is_switch());
+        assert!(!t.node(a).unwrap().is_switch());
+        assert_eq!(t.link(l1).unwrap().from(), a);
+        assert_eq!(t.link(l2).unwrap().to(), b);
+        assert_eq!(t.find_link(a, s).unwrap(), l1);
+        assert_eq!(t.links_from(s).count(), 1);
+        assert_eq!(t.links_into(s).count(), 1);
+        assert_eq!(t.switches().count(), 1);
+        assert_eq!(t.end_systems().count(), 2);
+    }
+
+    #[test]
+    fn default_capacity_is_full() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a");
+        let b = t.add_switch("b");
+        let l = t.add_link(a, b).unwrap();
+        assert_eq!(t.link(l).unwrap().capacity(), Rate::FULL);
+    }
+
+    #[test]
+    fn custom_capacity() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a");
+        let b = t.add_switch("b");
+        let l = t
+            .add_link_with_capacity(a, b, Rate::new(ratio(1, 4)))
+            .unwrap();
+        assert_eq!(t.link(l).unwrap().capacity(), Rate::new(ratio(1, 4)));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a");
+        assert_eq!(t.add_link(a, a), Err(NetError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn rejects_duplicate() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a");
+        let b = t.add_switch("b");
+        t.add_link(a, b).unwrap();
+        assert!(matches!(
+            t.add_link(a, b),
+            Err(NetError::DuplicateLink { .. })
+        ));
+        // The reverse direction is a different link.
+        assert!(t.add_link(b, a).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a");
+        let ghost = NodeId(99);
+        assert_eq!(t.add_link(a, ghost), Err(NetError::UnknownNode(ghost)));
+        assert_eq!(
+            t.node(ghost).unwrap_err(),
+            NetError::UnknownNode(ghost)
+        );
+        assert_eq!(
+            t.link(LinkId(0)).unwrap_err(),
+            NetError::UnknownLink(LinkId(0))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_capacity() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a");
+        let b = t.add_switch("b");
+        assert_eq!(
+            t.add_link_with_capacity(a, b, Rate::ZERO),
+            Err(NetError::BadCapacity)
+        );
+    }
+
+    #[test]
+    fn duplex_creates_both_directions() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a");
+        let b = t.add_switch("b");
+        let (ab, ba) = t.add_duplex(a, b).unwrap();
+        assert_eq!(t.link(ab).unwrap().from(), a);
+        assert_eq!(t.link(ba).unwrap().from(), b);
+    }
+
+    #[test]
+    fn shortest_route_bfs() {
+        // Diamond with a shortcut: a -> s1 -> {s2 -> s4, s3} -> d, and
+        // s1 -> s4 directly.
+        let mut t = Topology::new();
+        let a = t.add_end_system("a");
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let s4 = t.add_switch("s4");
+        let d = t.add_end_system("d");
+        t.add_link(a, s1).unwrap();
+        t.add_link(s1, s2).unwrap();
+        t.add_link(s2, s4).unwrap();
+        let shortcut = t.add_link(s1, s4).unwrap();
+        t.add_link(s4, d).unwrap();
+        let route = t.shortest_route(a, d).unwrap();
+        assert_eq!(route.hops(), 3);
+        assert!(route.links().contains(&shortcut));
+    }
+
+    #[test]
+    fn shortest_route_does_not_forward_through_end_systems() {
+        // a -> b (end system) -> c: no forwarding path.
+        let mut t = Topology::new();
+        let a = t.add_end_system("a");
+        let b = t.add_end_system("b");
+        let c = t.add_end_system("c");
+        t.add_link(a, b).unwrap();
+        t.add_link(b, c).unwrap();
+        assert!(matches!(
+            t.shortest_route(a, c),
+            Err(NetError::NoSuchLink { .. })
+        ));
+        // The direct hop is fine (the source may be an end system).
+        assert_eq!(t.shortest_route(a, b).unwrap().hops(), 1);
+    }
+
+    #[test]
+    fn shortest_route_rejects_self_and_unknown() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a");
+        assert!(t.shortest_route(a, a).is_err());
+        assert!(t.shortest_route(a, NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn no_such_link() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a");
+        let b = t.add_switch("b");
+        assert!(matches!(
+            t.find_link(a, b),
+            Err(NetError::NoSuchLink { .. })
+        ));
+    }
+}

@@ -1,0 +1,137 @@
+//! Formatting and parsing for [`Ratio`].
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::{Ratio, RatioError};
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "Ratio({})", self.numer())
+        } else {
+            write!(f, "Ratio({}/{})", self.numer(), self.denom())
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.numer())
+        } else {
+            write!(f, "{}/{}", self.numer(), self.denom())
+        }
+    }
+}
+
+impl FromStr for Ratio {
+    type Err = RatioError;
+
+    /// Parses `"a/b"`, a plain integer `"a"`, or a decimal `"a.b"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError::Parse`] on malformed input and
+    /// [`RatioError::ZeroDenominator`] on `"a/0"`.
+    ///
+    /// ```
+    /// use rtcac_rational::{ratio, Ratio};
+    /// assert_eq!("3/4".parse::<Ratio>()?, ratio(3, 4));
+    /// assert_eq!("-2".parse::<Ratio>()?, ratio(-2, 1));
+    /// assert_eq!("0.25".parse::<Ratio>()?, ratio(1, 4));
+    /// # Ok::<(), rtcac_rational::RatioError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Some((num, den)) = s.split_once('/') {
+            let num: i128 = num.trim().parse().map_err(|_| RatioError::Parse)?;
+            let den: i128 = den.trim().parse().map_err(|_| RatioError::Parse)?;
+            return Ratio::new(num, den);
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            let negative = int_part.trim_start().starts_with('-');
+            let int: i128 = if int_part == "-" || int_part.is_empty() {
+                0
+            } else {
+                int_part.parse().map_err(|_| RatioError::Parse)?
+            };
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(RatioError::Parse);
+            }
+            if frac_part.len() > 30 {
+                return Err(RatioError::Overflow);
+            }
+            let frac: i128 = frac_part.parse().map_err(|_| RatioError::Parse)?;
+            let scale = 10i128
+                .checked_pow(frac_part.len() as u32)
+                .ok_or(RatioError::Overflow)?;
+            let frac_ratio = Ratio::new(frac, scale)?;
+            let int_ratio = Ratio::from_integer(int.abs());
+            let magnitude = int_ratio
+                .checked_add(frac_ratio)
+                .ok_or(RatioError::Overflow)?;
+            return if negative {
+                Ok(-magnitude)
+            } else {
+                Ok(magnitude)
+            };
+        }
+        let num: i128 = s.parse().map_err(|_| RatioError::Parse)?;
+        Ok(Ratio::from_integer(num))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ratio, Ratio, RatioError};
+
+    #[test]
+    fn display_integer_and_fraction() {
+        assert_eq!(ratio(4, 2).to_string(), "2");
+        assert_eq!(ratio(3, 4).to_string(), "3/4");
+        assert_eq!(ratio(-3, 4).to_string(), "-3/4");
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert_eq!(format!("{:?}", Ratio::ZERO), "Ratio(0)");
+        assert_eq!(format!("{:?}", ratio(1, 2)), "Ratio(1/2)");
+    }
+
+    #[test]
+    fn parse_fraction() {
+        assert_eq!("3/4".parse::<Ratio>().unwrap(), ratio(3, 4));
+        assert_eq!(" -6 / 8 ".parse::<Ratio>().unwrap(), ratio(-3, 4));
+    }
+
+    #[test]
+    fn parse_integer() {
+        assert_eq!("42".parse::<Ratio>().unwrap(), ratio(42, 1));
+        assert_eq!("-7".parse::<Ratio>().unwrap(), ratio(-7, 1));
+    }
+
+    #[test]
+    fn parse_decimal() {
+        assert_eq!("0.5".parse::<Ratio>().unwrap(), ratio(1, 2));
+        assert_eq!("1.25".parse::<Ratio>().unwrap(), ratio(5, 4));
+        assert_eq!("-0.75".parse::<Ratio>().unwrap(), ratio(-3, 4));
+        assert_eq!("-.5".parse::<Ratio>().unwrap(), ratio(-1, 2));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!("abc".parse::<Ratio>(), Err(RatioError::Parse));
+        assert_eq!("1/0".parse::<Ratio>(), Err(RatioError::ZeroDenominator));
+        assert_eq!("1.".parse::<Ratio>(), Err(RatioError::Parse));
+        assert_eq!("1.2x".parse::<Ratio>(), Err(RatioError::Parse));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for r in [ratio(3, 7), ratio(-12, 5), Ratio::ZERO, ratio(100, 1)] {
+            let s = r.to_string();
+            assert_eq!(s.parse::<Ratio>().unwrap(), r);
+        }
+    }
+}

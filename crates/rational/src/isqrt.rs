@@ -1,0 +1,177 @@
+//! Integer and rational square roots.
+//!
+//! The soft CAC scheme (paper §4.3, discussion 1) accumulates cell delay
+//! variation as the square root of the sum of squared per-hop bounds.
+//! Square roots of rationals are generally irrational, so we expose
+//! *directional* bounds: [`sqrt_upper`] (safe for conservative CDV
+//! accumulation) and [`sqrt_lower`].
+
+use crate::{Ratio, RatioError};
+
+/// Floor of the square root of a non-negative integer.
+///
+/// # Panics
+///
+/// Panics if `n < 0`.
+///
+/// ```
+/// use rtcac_rational::isqrt_floor;
+/// assert_eq!(isqrt_floor(0), 0);
+/// assert_eq!(isqrt_floor(15), 3);
+/// assert_eq!(isqrt_floor(16), 4);
+/// assert_eq!(isqrt_floor(17), 4);
+/// ```
+pub fn isqrt_floor(n: i128) -> i128 {
+    assert!(n >= 0, "isqrt_floor: negative input");
+    if n < 2 {
+        return n;
+    }
+    // Newton's method with an f64 seed, corrected to exactness.
+    let mut x = (n as f64).sqrt() as i128;
+    // Guard against f64 imprecision on huge inputs.
+    while x.checked_mul(x).is_none_or(|sq| sq > n) {
+        x -= 1;
+    }
+    while (x + 1).checked_mul(x + 1).is_some_and(|sq| sq <= n) {
+        x += 1;
+    }
+    x
+}
+
+/// A rational `u` with `u * u >= x` and `u` within `1 / precision` of
+/// the true square root. Suitable for conservative (safe-side)
+/// accumulation of delay variation.
+///
+/// # Errors
+///
+/// Returns [`RatioError::Overflow`] if the scaled intermediate exceeds
+/// `i128`, and [`RatioError::Parse`] if `x` is negative or
+/// `precision <= 0`.
+///
+/// ```
+/// use rtcac_rational::{ratio, sqrt_upper};
+/// let u = sqrt_upper(ratio(2, 1), 1_000_000)?;
+/// assert!(u * u >= ratio(2, 1));
+/// assert!((u.to_f64() - 2f64.sqrt()).abs() < 1e-5);
+/// # Ok::<(), rtcac_rational::RatioError>(())
+/// ```
+pub fn sqrt_upper(x: Ratio, precision: i128) -> Result<Ratio, RatioError> {
+    sqrt_impl(x, precision, true)
+}
+
+/// A rational `l` with `l * l <= x` and `l` within `1 / precision` of
+/// the true square root.
+///
+/// # Errors
+///
+/// Same conditions as [`sqrt_upper`].
+///
+/// ```
+/// use rtcac_rational::{ratio, sqrt_lower};
+/// let l = sqrt_lower(ratio(2, 1), 1_000_000)?;
+/// assert!(l * l <= ratio(2, 1));
+/// # Ok::<(), rtcac_rational::RatioError>(())
+/// ```
+pub fn sqrt_lower(x: Ratio, precision: i128) -> Result<Ratio, RatioError> {
+    sqrt_impl(x, precision, false)
+}
+
+fn sqrt_impl(x: Ratio, precision: i128, upper: bool) -> Result<Ratio, RatioError> {
+    if x.is_negative() || precision <= 0 {
+        return Err(RatioError::Parse);
+    }
+    if x.is_zero() {
+        return Ok(Ratio::ZERO);
+    }
+    // sqrt(n/d) = sqrt(n*d)/d. Scale by precision^2 for accuracy:
+    // sqrt(x) ~= isqrt(x * p^2) / p, floor version; +1 for the ceiling.
+    let p2 = precision
+        .checked_mul(precision)
+        .ok_or(RatioError::Overflow)?;
+    let scaled = x
+        .checked_mul(Ratio::from_integer(p2))
+        .ok_or(RatioError::Overflow)?;
+    // floor(scaled) underestimates; isqrt of it underestimates sqrt.
+    let inner = scaled.floor();
+    let root = isqrt_floor(inner);
+    if upper {
+        // (root + 1)^2 > inner >= floor(x * p^2) might still be below
+        // x * p^2's true sqrt only if scaled wasn't integral; adding one
+        // more unit covers the fractional remainder: (root+1)/p >= sqrt(x).
+        Ratio::new(root + 1, precision)
+    } else {
+        // root/p <= sqrt(floor(x*p^2))/p <= sqrt(x).
+        Ratio::new(root, precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio;
+
+    #[test]
+    fn isqrt_small_values() {
+        let expect = [0, 1, 1, 1, 2, 2, 2, 2, 2, 3, 3];
+        for (n, &e) in expect.iter().enumerate() {
+            assert_eq!(isqrt_floor(n as i128), e, "isqrt({n})");
+        }
+    }
+
+    #[test]
+    fn isqrt_perfect_squares() {
+        for k in [0i128, 1, 2, 17, 1_000, 1 << 30] {
+            assert_eq!(isqrt_floor(k * k), k);
+            if k > 0 {
+                assert_eq!(isqrt_floor(k * k + 1), k);
+                assert_eq!(isqrt_floor(k * k - 1), k - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn isqrt_huge() {
+        let n = i128::MAX;
+        let r = isqrt_floor(n);
+        assert!(r.checked_mul(r).unwrap() <= n);
+        assert!((r + 1).checked_mul(r + 1).is_none_or(|sq| sq > n));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn isqrt_negative_panics() {
+        isqrt_floor(-1);
+    }
+
+    #[test]
+    fn sqrt_bounds_bracket_true_root() {
+        for (n, d) in [(2, 1), (1, 2), (9, 4), (370, 1), (32, 1)] {
+            let x = ratio(n, d);
+            let u = sqrt_upper(x, 1_000_000).unwrap();
+            let l = sqrt_lower(x, 1_000_000).unwrap();
+            assert!(u * u >= x, "upper bound fails for {n}/{d}");
+            assert!(l * l <= x, "lower bound fails for {n}/{d}");
+            assert!(u - l <= ratio(2, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn sqrt_exact_on_perfect_squares() {
+        let u = sqrt_upper(ratio(9, 1), 1_000).unwrap();
+        let l = sqrt_lower(ratio(9, 1), 1_000).unwrap();
+        assert!(l <= ratio(3, 1) && ratio(3, 1) <= u);
+    }
+
+    #[test]
+    fn sqrt_zero() {
+        assert_eq!(sqrt_upper(Ratio::ZERO, 100).unwrap(), Ratio::ZERO);
+        assert_eq!(sqrt_lower(Ratio::ZERO, 100).unwrap(), Ratio::ZERO);
+    }
+
+    #[test]
+    fn sqrt_rejects_negative_and_bad_precision() {
+        assert!(sqrt_upper(ratio(-1, 1), 100).is_err());
+        assert!(sqrt_upper(ratio(1, 1), 0).is_err());
+        assert!(sqrt_lower(ratio(1, 1), -5).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for `rtcac-rational`.
+
+use proptest::prelude::*;
+use rtcac_rational::{isqrt_floor, ratio, sqrt_lower, sqrt_upper, Ratio};
+
+/// A ratio with bounded components so arithmetic chains never overflow.
+fn small_ratio() -> impl Strategy<Value = Ratio> {
+    (-1_000_000i128..=1_000_000, 1i128..=1_000_000).prop_map(|(n, d)| ratio(n, d))
+}
+
+fn nonneg_ratio() -> impl Strategy<Value = Ratio> {
+    (0i128..=1_000_000, 1i128..=1_000_000).prop_map(|(n, d)| ratio(n, d))
+}
+
+proptest! {
+    #[test]
+    fn construction_always_reduced(n in -10_000i128..=10_000, d in 1i128..=10_000) {
+        let r = ratio(n, d);
+        let g = {
+            let (mut a, mut b) = (r.numer().abs(), r.denom());
+            while b != 0 { let t = a % b; a = b; b = t; }
+            a
+        };
+        prop_assert!(r.denom() > 0);
+        prop_assert!(g == 1 || r.numer() == 0);
+    }
+
+    #[test]
+    fn add_commutative(a in small_ratio(), b in small_ratio()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associative(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutative(a in small_ratio(), b in small_ratio()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn sub_inverts_add(a in small_ratio(), b in small_ratio()) {
+        prop_assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn div_inverts_mul(a in small_ratio(), b in small_ratio()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!((a * b) / b, a);
+    }
+
+    #[test]
+    fn ordering_consistent_with_f64(a in small_ratio(), b in small_ratio()) {
+        // f64 comparison may tie for distinct close rationals but must
+        // never reverse a strict rational ordering.
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        } else if a > b {
+            prop_assert!(a.to_f64() >= b.to_f64());
+        } else {
+            prop_assert_eq!(a.to_f64(), b.to_f64());
+        }
+    }
+
+    #[test]
+    fn ordering_transitive(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2]);
+        prop_assert!(v[0] <= v[2]);
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in small_ratio()) {
+        let f = a.floor();
+        let c = a.ceil();
+        prop_assert!(Ratio::from_integer(f) <= a);
+        prop_assert!(a <= Ratio::from_integer(c));
+        prop_assert!(c - f <= 1);
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in small_ratio()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Ratio>().unwrap(), a);
+    }
+
+    #[test]
+    fn isqrt_is_floor_sqrt(n in 0i128..=1_000_000_000_000) {
+        let r = isqrt_floor(n);
+        prop_assert!(r * r <= n);
+        prop_assert!((r + 1) * (r + 1) > n);
+    }
+
+    #[test]
+    fn sqrt_bounds_bracket(x in nonneg_ratio()) {
+        let u = sqrt_upper(x, 1_000_000).unwrap();
+        let l = sqrt_lower(x, 1_000_000).unwrap();
+        prop_assert!(u * u >= x);
+        prop_assert!(l * l <= x);
+        prop_assert!(l <= u);
+    }
+
+    #[test]
+    fn approx_f64_within_tolerance(n in -1_000i128..=1_000, d in 1i128..=1_000) {
+        let truth = ratio(n, d);
+        let approx = Ratio::approx_f64(truth.to_f64(), 1_000_000).unwrap();
+        prop_assert!((approx - truth).abs() <= ratio(1, 100_000));
+    }
+}

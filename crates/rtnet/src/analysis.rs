@@ -1,0 +1,587 @@
+//! Worst-case queueing analysis of broadcast traffic on the RTnet ring.
+//!
+//! Every terminal's cyclic-transmission connection is broadcast: it
+//! enters the ring at its node's ring output port and traverses
+//! `ring_nodes − 1` consecutive ring links, reaching every other node.
+//! Ring link `j` therefore carries the connections of the nodes `0` to
+//! `span − 1` hops upstream; a connection `m` hops from home has
+//! accumulated `m` queueing points of cell delay variation.
+//!
+//! [`RingAnalysis`] builds each port's worst-case aggregate with the
+//! paper's bit-stream algebra — per-connection jitter distortion
+//! (Algorithm 3.1), per-incoming-link filtering (Algorithm 3.4),
+//! multiplexing (Algorithm 3.2) — and bounds its queueing delay
+//! (Algorithm 4.1), per priority level.
+
+use core::fmt;
+
+use rtcac_bitstream::{BitStream, ContractError, StreamError, Time};
+use rtcac_cac::Priority;
+use rtcac_rational::{sqrt_upper, RatioError};
+
+/// Precision denominator for soft (square-root) CDV accumulation.
+const SQRT_PRECISION: i128 = 1_000_000;
+
+/// Error produced by the RTnet analysis and experiment drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtnetError {
+    /// Stream algebra failure (overload shows up here).
+    Stream(StreamError),
+    /// Invalid traffic contract while building a workload.
+    Contract(ContractError),
+    /// Exact arithmetic failure.
+    Numeric(RatioError),
+    /// Invalid analysis parameter.
+    BadParameter(&'static str),
+    /// A priority level outside the configured bounds.
+    UnknownPriority(Priority),
+}
+
+impl fmt::Display for RtnetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtnetError::Stream(e) => write!(f, "stream analysis failed: {e}"),
+            RtnetError::Contract(e) => write!(f, "invalid traffic contract: {e}"),
+            RtnetError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            RtnetError::BadParameter(what) => write!(f, "invalid parameter: {what}"),
+            RtnetError::UnknownPriority(p) => write!(f, "priority {p} is not configured"),
+        }
+    }
+}
+
+impl std::error::Error for RtnetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RtnetError::Stream(e) => Some(e),
+            RtnetError::Contract(e) => Some(e),
+            RtnetError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StreamError> for RtnetError {
+    fn from(e: StreamError) -> Self {
+        RtnetError::Stream(e)
+    }
+}
+
+impl From<ContractError> for RtnetError {
+    fn from(e: ContractError) -> Self {
+        RtnetError::Contract(e)
+    }
+}
+
+impl From<RatioError> for RtnetError {
+    fn from(e: RatioError) -> Self {
+        RtnetError::Numeric(e)
+    }
+}
+
+/// How a connection's CDV grows with the number of upstream hops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CdvMode {
+    /// Hard: `m` hops contribute `m · bound` (worst case, §4.3).
+    #[default]
+    Hard,
+    /// Soft: `m` hops contribute `bound · √m` (square-root summation,
+    /// §4.3 discussion 1; rounded up).
+    SoftSqrt,
+    /// No accumulation at all: sources arrive undistorted. Used as the
+    /// seed of the iterative (fixed-point) CDV scheme and for
+    /// best-case comparisons.
+    None,
+}
+
+/// Worst-case queueing analysis of broadcast traffic on a
+/// unidirectional ring of static-priority FIFO switches.
+///
+/// See the [crate-level documentation](crate) and
+/// [`workload`](crate::workload) for convenient constructors.
+#[derive(Debug, Clone)]
+pub struct RingAnalysis {
+    ring_nodes: usize,
+    span: usize,
+    hop_bounds: Vec<Time>,
+    cdv_mode: CdvMode,
+    /// Per ring node: the source worst-case stream and priority of each
+    /// connection entering the ring there.
+    node_sources: Vec<Vec<(BitStream, Priority)>>,
+}
+
+impl RingAnalysis {
+    /// Creates an empty analysis for a ring of `ring_nodes` switches
+    /// whose output ports advertise `hop_bounds` (one per priority
+    /// level, highest first). Broadcasts span `ring_nodes − 1` links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtnetError::BadParameter`] for fewer than two ring
+    /// nodes, no priority levels, or non-positive bounds.
+    pub fn new(
+        ring_nodes: usize,
+        hop_bounds: Vec<Time>,
+        cdv_mode: CdvMode,
+    ) -> Result<RingAnalysis, RtnetError> {
+        if ring_nodes < 2 {
+            return Err(RtnetError::BadParameter("need at least two ring nodes"));
+        }
+        if hop_bounds.is_empty() {
+            return Err(RtnetError::BadParameter("need at least one priority level"));
+        }
+        if hop_bounds.iter().any(|b| !b.is_positive()) {
+            return Err(RtnetError::BadParameter("hop bounds must be positive"));
+        }
+        Ok(RingAnalysis {
+            ring_nodes,
+            span: ring_nodes - 1,
+            hop_bounds,
+            cdv_mode,
+            node_sources: vec![Vec::new(); ring_nodes],
+        })
+    }
+
+    /// Number of ring nodes.
+    pub fn ring_nodes(&self) -> usize {
+        self.ring_nodes
+    }
+
+    /// Ring links each broadcast traverses.
+    pub fn span(&self) -> usize {
+        self.span
+    }
+
+    /// Priority levels configured.
+    pub fn levels(&self) -> u8 {
+        self.hop_bounds.len() as u8
+    }
+
+    /// The advertised per-hop bound of a priority level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtnetError::UnknownPriority`] for an unconfigured
+    /// level.
+    pub fn hop_bound(&self, priority: Priority) -> Result<Time, RtnetError> {
+        self.hop_bounds
+            .get(priority.level() as usize)
+            .copied()
+            .ok_or(RtnetError::UnknownPriority(priority))
+    }
+
+    /// Registers a broadcast connection entering the ring at `node`
+    /// with the given worst-case *source* stream (CDV zero — the
+    /// analysis adds per-hop jitter itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtnetError::BadParameter`] for an out-of-range node or
+    /// [`RtnetError::UnknownPriority`] for an unconfigured level.
+    pub fn add_connection(
+        &mut self,
+        node: usize,
+        source: BitStream,
+        priority: Priority,
+    ) -> Result<(), RtnetError> {
+        if node >= self.ring_nodes {
+            return Err(RtnetError::BadParameter("ring node index out of range"));
+        }
+        self.hop_bound(priority)?;
+        if !source.is_zero() {
+            self.node_sources[node].push((source, priority));
+        }
+        Ok(())
+    }
+
+    /// The CDV a connection of `priority` has accumulated after `m`
+    /// upstream queueing points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtnetError::UnknownPriority`] or a numeric failure in
+    /// the soft square root.
+    pub fn cdv_after_hops(&self, m: usize, priority: Priority) -> Result<Time, RtnetError> {
+        let bound = self.hop_bound(priority)?;
+        match self.cdv_mode {
+            CdvMode::None => Ok(Time::ZERO),
+            CdvMode::Hard => {
+                Ok(Time::new(bound.as_ratio() * rtcac_rational::ratio(m as i128, 1)))
+            }
+            CdvMode::SoftSqrt => {
+                let root = sqrt_upper(
+                    rtcac_rational::ratio(m as i128, 1),
+                    SQRT_PRECISION,
+                )?;
+                // The square-root estimate can never exceed the hard
+                // sum; clamp away the upward rounding of the root.
+                let hard = bound.as_ratio() * rtcac_rational::ratio(m as i128, 1);
+                Ok(Time::new((bound.as_ratio() * root).min(hard)))
+            }
+        }
+    }
+
+    /// The aggregate stream of `node`'s connections at `priority`, as
+    /// distorted after `m` hops of jitter (each connection delayed
+    /// individually per Algorithm 3.1, then multiplexed).
+    fn node_aggregate(
+        &self,
+        node: usize,
+        priority: Priority,
+        m: usize,
+    ) -> Result<BitStream, RtnetError> {
+        let cdv = self.cdv_after_hops(m, priority)?;
+        let mut agg = BitStream::zero();
+        for (stream, p) in &self.node_sources[node] {
+            if *p == priority {
+                agg = agg.multiplex(&stream.delay(cdv));
+            }
+        }
+        Ok(agg)
+    }
+
+    /// The worst-case aggregate of `priority` traffic arriving at ring
+    /// output port `port`: the filtered ring-in transit aggregate plus
+    /// the local terminals' (individually filtered) streams.
+    pub fn port_arrival(&self, port: usize, priority: Priority) -> Result<BitStream, RtnetError> {
+        self.check_port(port)?;
+        // Transit traffic shares the single ring-in link: multiplex all
+        // upstream node aggregates, then filter once.
+        let mut ring_in = BitStream::zero();
+        for m in 1..self.span {
+            let node = (port + self.ring_nodes - m) % self.ring_nodes;
+            ring_in = ring_in.multiplex(&self.node_aggregate(node, priority, m)?);
+        }
+        let mut arrival = ring_in.filter();
+        // Local terminals each arrive on a dedicated uplink.
+        for (stream, p) in &self.node_sources[port] {
+            if *p == priority {
+                arrival = arrival.multiplex(&stream.filter());
+            }
+        }
+        Ok(arrival)
+    }
+
+    /// The filtered higher-priority interference at `port` seen by
+    /// `priority` (the paper's `Sof(j)(p)`).
+    pub fn port_interference(
+        &self,
+        port: usize,
+        priority: Priority,
+    ) -> Result<BitStream, RtnetError> {
+        self.check_port(port)?;
+        let mut total = BitStream::zero();
+        // Ring-in link: all higher-priority transit traffic, filtered
+        // by that one link.
+        let mut ring_in = BitStream::zero();
+        for m in 1..self.span {
+            let node = (port + self.ring_nodes - m) % self.ring_nodes;
+            for level in 0..self.levels() {
+                let p = Priority::new(level);
+                if p.outranks(priority) {
+                    ring_in = ring_in.multiplex(&self.node_aggregate(node, p, m)?);
+                }
+            }
+        }
+        total = total.multiplex(&ring_in.filter());
+        // Local uplinks: each terminal's higher-priority stream,
+        // filtered per uplink.
+        for (stream, p) in &self.node_sources[port] {
+            if p.outranks(priority) {
+                total = total.multiplex(&stream.filter());
+            }
+        }
+        Ok(total.filter())
+    }
+
+    /// The computed worst-case queueing delay at one ring output port
+    /// for one priority (Algorithm 4.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtnetError::Stream`] carrying
+    /// [`StreamError::Overload`] when the port is overloaded in the
+    /// long run.
+    pub fn port_bound(&self, port: usize, priority: Priority) -> Result<Time, RtnetError> {
+        let arrival = self.port_arrival(port, priority)?;
+        if arrival.is_zero() {
+            return Ok(Time::ZERO);
+        }
+        let interference = self.port_interference(port, priority)?;
+        Ok(arrival.delay_bound(&interference)?)
+    }
+
+    /// The computed bounds of every port for one priority. Symmetric
+    /// workloads are detected and computed once.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingAnalysis::port_bound`].
+    pub fn port_bounds(&self, priority: Priority) -> Result<Vec<Time>, RtnetError> {
+        if self.is_symmetric() {
+            let d = self.port_bound(0, priority)?;
+            return Ok(vec![d; self.ring_nodes]);
+        }
+        (0..self.ring_nodes)
+            .map(|j| self.port_bound(j, priority))
+            .collect()
+    }
+
+    /// Whether the whole load passes the hard CAC check: every port's
+    /// computed bound, at every priority, fits the advertised bound.
+    ///
+    /// Long-run overload counts as inadmissible (not as an error).
+    ///
+    /// # Errors
+    ///
+    /// Returns only internal numeric failures.
+    pub fn admissible(&self) -> Result<bool, RtnetError> {
+        for level in 0..self.levels() {
+            let p = Priority::new(level);
+            let advertised = self.hop_bound(p)?;
+            match self.port_bounds(p) {
+                Ok(bounds) => {
+                    if bounds.iter().any(|d| *d > advertised) {
+                        return Ok(false);
+                    }
+                }
+                Err(RtnetError::Stream(StreamError::Overload { .. })) => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// The worst end-to-end queueing delay bound over all broadcast
+    /// connections of a priority: the maximum over source nodes of the
+    /// summed computed bounds along the `span` consecutive ports the
+    /// broadcast crosses.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingAnalysis::port_bound`].
+    pub fn end_to_end_bound(&self, priority: Priority) -> Result<Time, RtnetError> {
+        let bounds = self.port_bounds(priority)?;
+        let mut worst = Time::ZERO;
+        for start in 0..self.ring_nodes {
+            if self.node_sources[start]
+                .iter()
+                .all(|(_, p)| *p != priority)
+            {
+                continue;
+            }
+            let total: Time = (0..self.span)
+                .map(|m| bounds[(start + m) % self.ring_nodes])
+                .sum();
+            worst = worst.max(total);
+        }
+        Ok(worst)
+    }
+
+    fn is_symmetric(&self) -> bool {
+        self.node_sources
+            .windows(2)
+            .all(|w| w[0] == w[1])
+    }
+
+    fn check_port(&self, port: usize) -> Result<(), RtnetError> {
+        if port < self.ring_nodes {
+            Ok(())
+        } else {
+            Err(RtnetError::BadParameter("port index out of range"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_bitstream::{CbrParams, Rate, TrafficContract};
+    use rtcac_rational::ratio;
+
+    fn cbr_stream(num: i128, den: i128) -> BitStream {
+        TrafficContract::cbr(CbrParams::new(Rate::new(ratio(num, den))).unwrap())
+            .worst_case_stream()
+    }
+
+    fn bounds32() -> Vec<Time> {
+        vec![Time::from_integer(32)]
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(RingAnalysis::new(1, bounds32(), CdvMode::Hard).is_err());
+        assert!(RingAnalysis::new(4, vec![], CdvMode::Hard).is_err());
+        assert!(RingAnalysis::new(4, vec![Time::ZERO], CdvMode::Hard).is_err());
+        let a = RingAnalysis::new(4, bounds32(), CdvMode::Hard).unwrap();
+        assert_eq!(a.ring_nodes(), 4);
+        assert_eq!(a.span(), 3);
+        assert_eq!(a.levels(), 1);
+    }
+
+    #[test]
+    fn add_connection_validation() {
+        let mut a = RingAnalysis::new(4, bounds32(), CdvMode::Hard).unwrap();
+        assert!(a
+            .add_connection(0, cbr_stream(1, 10), Priority::HIGHEST)
+            .is_ok());
+        assert!(a
+            .add_connection(9, cbr_stream(1, 10), Priority::HIGHEST)
+            .is_err());
+        assert!(a
+            .add_connection(0, cbr_stream(1, 10), Priority::new(1))
+            .is_err());
+    }
+
+    #[test]
+    fn cdv_accumulation_modes() {
+        let hard = RingAnalysis::new(16, bounds32(), CdvMode::Hard).unwrap();
+        assert_eq!(
+            hard.cdv_after_hops(4, Priority::HIGHEST).unwrap(),
+            Time::from_integer(128)
+        );
+        assert_eq!(
+            hard.cdv_after_hops(0, Priority::HIGHEST).unwrap(),
+            Time::ZERO
+        );
+        let soft = RingAnalysis::new(16, bounds32(), CdvMode::SoftSqrt).unwrap();
+        let c4 = soft.cdv_after_hops(4, Priority::HIGHEST).unwrap();
+        // sqrt(4) * 32 = 64 (rounded up within precision).
+        assert!(c4 >= Time::from_integer(64));
+        assert!(c4 < Time::from_integer(65));
+        // Soft never exceeds hard.
+        for m in 0..15 {
+            assert!(
+                soft.cdv_after_hops(m, Priority::HIGHEST).unwrap()
+                    <= hard.cdv_after_hops(m, Priority::HIGHEST).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_ring_is_admissible_with_zero_bounds() {
+        let a = RingAnalysis::new(8, bounds32(), CdvMode::Hard).unwrap();
+        assert!(a.admissible().unwrap());
+        assert_eq!(a.port_bound(0, Priority::HIGHEST).unwrap(), Time::ZERO);
+        assert_eq!(
+            a.end_to_end_bound(Priority::HIGHEST).unwrap(),
+            Time::ZERO
+        );
+    }
+
+    #[test]
+    fn symmetric_detection_and_bounds() {
+        let mut a = RingAnalysis::new(8, bounds32(), CdvMode::Hard).unwrap();
+        for node in 0..8 {
+            a.add_connection(node, cbr_stream(1, 20), Priority::HIGHEST)
+                .unwrap();
+        }
+        let bounds = a.port_bounds(Priority::HIGHEST).unwrap();
+        assert_eq!(bounds.len(), 8);
+        assert!(bounds.windows(2).all(|w| w[0] == w[1]));
+        // End to end = span * per-hop.
+        let e2e = a.end_to_end_bound(Priority::HIGHEST).unwrap();
+        assert_eq!(
+            e2e.as_ratio(),
+            bounds[0].as_ratio() * ratio(7, 1)
+        );
+    }
+
+    #[test]
+    fn load_increases_bounds() {
+        let mut light = RingAnalysis::new(8, bounds32(), CdvMode::Hard).unwrap();
+        let mut heavy = RingAnalysis::new(8, bounds32(), CdvMode::Hard).unwrap();
+        for node in 0..8 {
+            light
+                .add_connection(node, cbr_stream(1, 40), Priority::HIGHEST)
+                .unwrap();
+            heavy
+                .add_connection(node, cbr_stream(1, 10), Priority::HIGHEST)
+                .unwrap();
+        }
+        let dl = light.port_bound(0, Priority::HIGHEST).unwrap();
+        let dh = heavy.port_bound(0, Priority::HIGHEST).unwrap();
+        assert!(dh >= dl);
+    }
+
+    #[test]
+    fn soft_cdv_gives_tighter_bounds() {
+        let make = |mode| {
+            let mut a = RingAnalysis::new(16, bounds32(), mode).unwrap();
+            for node in 0..16 {
+                a.add_connection(node, cbr_stream(1, 25), Priority::HIGHEST)
+                    .unwrap();
+            }
+            a
+        };
+        let hard = make(CdvMode::Hard).port_bound(0, Priority::HIGHEST).unwrap();
+        let soft = make(CdvMode::SoftSqrt)
+            .port_bound(0, Priority::HIGHEST)
+            .unwrap();
+        assert!(soft <= hard);
+    }
+
+    #[test]
+    fn overload_is_inadmissible_not_error() {
+        let mut a = RingAnalysis::new(4, bounds32(), CdvMode::Hard).unwrap();
+        // Each node injects 1/2; each link carries 3 nodes' traffic =
+        // 3/2 > 1 long run.
+        for node in 0..4 {
+            a.add_connection(node, cbr_stream(1, 2), Priority::HIGHEST)
+                .unwrap();
+        }
+        assert!(!a.admissible().unwrap());
+        assert!(matches!(
+            a.port_bound(0, Priority::HIGHEST),
+            Err(RtnetError::Stream(StreamError::Overload { .. }))
+        ));
+    }
+
+    #[test]
+    fn two_priorities_interference() {
+        let mut a = RingAnalysis::new(
+            8,
+            vec![Time::from_integer(32), Time::from_integer(64)],
+            CdvMode::Hard,
+        )
+        .unwrap();
+        for node in 0..8 {
+            a.add_connection(node, cbr_stream(1, 30), Priority::HIGHEST)
+                .unwrap();
+            a.add_connection(node, cbr_stream(1, 30), Priority::new(1))
+                .unwrap();
+        }
+        // The high priority sees no interference.
+        assert!(a.port_interference(0, Priority::HIGHEST).unwrap().is_zero());
+        // The low priority sees the filtered high-priority aggregate.
+        let sof = a.port_interference(0, Priority::new(1)).unwrap();
+        assert!(!sof.is_zero());
+        assert!(sof.peak_rate() <= Rate::FULL);
+        // And its bound is at least the high priority's.
+        let d0 = a.port_bound(0, Priority::HIGHEST).unwrap();
+        let d1 = a.port_bound(0, Priority::new(1)).unwrap();
+        assert!(d1 >= d0);
+    }
+
+    #[test]
+    fn asymmetric_ports_differ() {
+        let mut a = RingAnalysis::new(8, bounds32(), CdvMode::Hard).unwrap();
+        a.add_connection(0, cbr_stream(1, 3), Priority::HIGHEST)
+            .unwrap();
+        for node in 1..8 {
+            a.add_connection(node, cbr_stream(1, 50), Priority::HIGHEST)
+                .unwrap();
+        }
+        let bounds = a.port_bounds(Priority::HIGHEST).unwrap();
+        // Not all ports identical under asymmetric load.
+        assert!(bounds.windows(2).any(|w| w[0] != w[1]));
+        // End-to-end picks the worst broadcast path: at least the
+        // average path (total minus one port) and at most every port.
+        let e2e = a.end_to_end_bound(Priority::HIGHEST).unwrap();
+        let total: Time = bounds.iter().copied().sum();
+        let min_port = *bounds.iter().min().unwrap();
+        assert!(e2e >= total - min_port - *bounds.iter().max().unwrap());
+        assert!(e2e <= total);
+        assert!(e2e.is_positive());
+    }
+}

@@ -1,0 +1,155 @@
+//! Cyclic transmission classes — the paper's Table 1.
+//!
+//! Cyclic transmission implements a real-time distributed shared
+//! memory: each terminal periodically broadcasts its portion of the
+//! shared memory. RTnet supports three classes, each with an update
+//! period, a maximum allowed update delay, and a maximum shared-memory
+//! size; the required bandwidth follows.
+
+use rtcac_bitstream::{CbrParams, ContractError, Rate, Time, TrafficContract};
+use rtcac_rational::{ratio, Ratio};
+
+use crate::units;
+
+/// One cyclic transmission class (a row of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CyclicClass {
+    name: &'static str,
+    period_ms: i128,
+    delay_ms: i128,
+    memory_kb: i128,
+}
+
+/// The high-speed class: 1 ms period, 4 KB shared memory.
+pub const HIGH_SPEED: CyclicClass = CyclicClass {
+    name: "high speed",
+    period_ms: 1,
+    delay_ms: 1,
+    memory_kb: 4,
+};
+
+/// The medium-speed class: 30 ms period, 64 KB shared memory.
+pub const MEDIUM_SPEED: CyclicClass = CyclicClass {
+    name: "medium speed",
+    period_ms: 30,
+    delay_ms: 30,
+    memory_kb: 64,
+};
+
+/// The low-speed class: 150 ms period, 128 KB shared memory.
+pub const LOW_SPEED: CyclicClass = CyclicClass {
+    name: "low speed",
+    period_ms: 150,
+    delay_ms: 150,
+    memory_kb: 128,
+};
+
+/// All three classes of Table 1, fastest first.
+pub const ALL_CLASSES: [CyclicClass; 3] = [HIGH_SPEED, MEDIUM_SPEED, LOW_SPEED];
+
+impl CyclicClass {
+    /// The class name as printed in Table 1.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Memory update period in milliseconds.
+    pub fn period_ms(&self) -> i128 {
+        self.period_ms
+    }
+
+    /// Maximum allowable update delay in milliseconds.
+    pub fn delay_ms(&self) -> i128 {
+        self.delay_ms
+    }
+
+    /// Maximum shared-memory size in KB.
+    pub fn memory_kb(&self) -> i128 {
+        self.memory_kb
+    }
+
+    /// The maximum bandwidth the class requires in Mbps: the whole
+    /// shared memory broadcast once per period
+    /// (`memory · 8 / period`, with KB = 1024 bytes).
+    ///
+    /// ```
+    /// use rtcac_rtnet::cyclic;
+    /// // High speed: 4 KB per ms = 32.8 Mbps (the paper rounds to 32).
+    /// let bw = cyclic::HIGH_SPEED.bandwidth_mbps();
+    /// assert!(bw.to_f64() > 32.0 && bw.to_f64() < 33.0);
+    /// ```
+    pub fn bandwidth_mbps(&self) -> Ratio {
+        // memory_kb * 1024 bytes * 8 bits / (period_ms * 10^3 µs)
+        // expressed in Mbps = bits per µs.
+        ratio(self.memory_kb * 1024 * 8, self.period_ms * 1_000)
+    }
+
+    /// The class's bandwidth as a normalized rate on a 155 Mbps link.
+    pub fn bandwidth_rate(&self) -> Rate {
+        units::mbps_to_rate(self.bandwidth_mbps())
+    }
+
+    /// The class's delay requirement in cell times.
+    pub fn delay_cells(&self) -> Time {
+        units::ms_to_cells(ratio(self.delay_ms, 1))
+    }
+
+    /// A CBR contract carrying a `share` fraction of the class's
+    /// bandwidth (e.g. one terminal's slice of the shared memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContractError::NonPositivePcr`] for a zero share and
+    /// [`ContractError::PcrExceedsLink`] if the share exceeds the link.
+    pub fn contract_for_share(&self, share: Ratio) -> Result<TrafficContract, ContractError> {
+        let pcr = Rate::new(self.bandwidth_rate().as_ratio() * share);
+        Ok(TrafficContract::Cbr(CbrParams::new(pcr)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_bandwidths_match_paper() {
+        // Paper rows: 32, 17.5, 6.8 Mbps. Our exact computation (KB =
+        // 1024) gives 32.8, 17.5, 7.0 — the paper's own rows round
+        // inconsistently; all agree within 3%.
+        let hs = HIGH_SPEED.bandwidth_mbps().to_f64();
+        let ms = MEDIUM_SPEED.bandwidth_mbps().to_f64();
+        let ls = LOW_SPEED.bandwidth_mbps().to_f64();
+        assert!((hs - 32.0).abs() / 32.0 < 0.03, "high speed: {hs}");
+        assert!((ms - 17.5).abs() / 17.5 < 0.03, "medium speed: {ms}");
+        assert!((ls - 6.8).abs() / 6.8 < 0.03, "low speed: {ls}");
+    }
+
+    #[test]
+    fn table1_periods_and_delays() {
+        assert_eq!(HIGH_SPEED.period_ms(), 1);
+        assert_eq!(MEDIUM_SPEED.delay_ms(), 30);
+        assert_eq!(LOW_SPEED.memory_kb(), 128);
+        assert_eq!(HIGH_SPEED.delay_cells(), rtcac_bitstream::Time::from_integer(370));
+        assert_eq!(ALL_CLASSES.len(), 3);
+        assert_eq!(HIGH_SPEED.name(), "high speed");
+    }
+
+    #[test]
+    fn total_cyclic_load_fits_the_link() {
+        // The design claim behind Table 1: all three classes together
+        // need well under the 155 Mbps link.
+        let total: f64 = ALL_CLASSES
+            .iter()
+            .map(|c| c.bandwidth_mbps().to_f64())
+            .sum();
+        assert!(total < 155.0 * 0.5, "total cyclic load {total} Mbps");
+    }
+
+    #[test]
+    fn contract_for_share() {
+        let c = HIGH_SPEED.contract_for_share(ratio(1, 16)).unwrap();
+        let expected = HIGH_SPEED.bandwidth_rate().as_ratio() / ratio(16, 1);
+        assert_eq!(c.pcr().as_ratio(), expected);
+        assert!(HIGH_SPEED.contract_for_share(ratio(0, 1)).is_err());
+    }
+}

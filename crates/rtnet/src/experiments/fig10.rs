@@ -1,0 +1,189 @@
+//! **Figure 10**: end-to-end queueing delay bounds of symmetric cyclic
+//! traffic as a function of total load, for N ∈ {1, 4, 8, 16}
+//! terminals per ring node.
+//!
+//! Each terminal opens a broadcast CBR connection with
+//! `PCR = B / (16 N)`; the hard CAC scheme computes the worst-case
+//! per-port bound (identical at every port by symmetry) and the
+//! end-to-end bound is its sum over the 15 ring hops. A series ends at
+//! the largest load that still passes the CAC check (computed per-hop
+//! bound within the 32-cell queue).
+
+use rtcac_cac::Priority;
+use rtcac_rational::{ratio, Ratio};
+
+use crate::{units, workload, RtnetError};
+
+/// Sweep parameters. The defaults reproduce the paper's setup.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Ring nodes (paper: 16).
+    pub ring_nodes: usize,
+    /// Terminals-per-node values to sweep (paper: 1, 4, 8, 16).
+    pub terminals: Vec<usize>,
+    /// Number of load steps across (0, 1) (paper plots ~0.05 grid).
+    pub load_steps: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            ring_nodes: units::RING_NODES,
+            terminals: vec![1, 4, 8, 16],
+            load_steps: 20,
+        }
+    }
+}
+
+/// One measured point of a Figure 10 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Total normalized cyclic load `B`.
+    pub load: Ratio,
+    /// The same load in Mbps (155 Mbps link).
+    pub load_mbps: f64,
+    /// Computed worst-case per-hop queueing delay, in cell times.
+    pub per_hop_cells: f64,
+    /// End-to-end queueing delay bound over the 15-hop broadcast, in
+    /// cell times.
+    pub end_to_end_cells: f64,
+}
+
+/// One curve (fixed N).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Terminals per ring node.
+    pub terminals: usize,
+    /// Admissible points, by increasing load.
+    pub points: Vec<Point>,
+    /// The largest admissible load encountered by the sweep.
+    pub max_admissible_load: Ratio,
+}
+
+/// The full Figure 10 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10 {
+    /// One series per terminals-per-node value.
+    pub series: Vec<Series>,
+}
+
+/// Runs the Figure 10 sweep.
+///
+/// # Errors
+///
+/// Propagates internal numeric failures; overload at a sweep point
+/// simply terminates that series.
+pub fn run(params: Params) -> Result<Fig10, RtnetError> {
+    let mut series = Vec::with_capacity(params.terminals.len());
+    for &n in &params.terminals {
+        let mut points = Vec::new();
+        let mut max_load = Ratio::ZERO;
+        for step in 1..=params.load_steps {
+            let load = ratio(step as i128, params.load_steps as i128);
+            let analysis = workload::symmetric(params.ring_nodes, n, load)?;
+            if !analysis.admissible()? {
+                break;
+            }
+            let per_hop = analysis.port_bound(0, Priority::HIGHEST)?;
+            let e2e = analysis.end_to_end_bound(Priority::HIGHEST)?;
+            max_load = load;
+            points.push(Point {
+                load,
+                load_mbps: units::rate_to_mbps(rtcac_bitstream::Rate::new(load)).to_f64(),
+                per_hop_cells: per_hop.to_f64(),
+                end_to_end_cells: e2e.to_f64(),
+            });
+        }
+        series.push(Series {
+            terminals: n,
+            points,
+            max_admissible_load: max_load,
+        });
+    }
+    Ok(Fig10 { series })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Params {
+        Params {
+            ring_nodes: 16,
+            terminals: vec![1, 16],
+            load_steps: 10,
+        }
+    }
+
+    #[test]
+    fn delay_grows_with_load() {
+        let fig = run(small_params()).unwrap();
+        for s in &fig.series {
+            assert!(s.points.len() >= 2, "N={} too few points", s.terminals);
+            for w in s.points.windows(2) {
+                assert!(
+                    w[1].end_to_end_cells >= w[0].end_to_end_cells,
+                    "N={}: delay must grow with load",
+                    s.terminals
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burstier_nodes_support_less_traffic() {
+        // The paper's headline: N=16 saturates around 35% while N=1
+        // reaches ~75%.
+        let fig = run(small_params()).unwrap();
+        let n1 = &fig.series[0];
+        let n16 = &fig.series[1];
+        assert!(n1.max_admissible_load > n16.max_admissible_load);
+    }
+
+    #[test]
+    fn paper_anchor_points() {
+        // N=1 supports ~75% (delay under 370 cells = 1 ms); N=16
+        // supports ~35%.
+        let fig = run(Params {
+            ring_nodes: 16,
+            terminals: vec![1, 16],
+            load_steps: 20,
+        })
+        .unwrap();
+        let n1 = &fig.series[0];
+        assert!(
+            n1.max_admissible_load.to_f64() >= 0.70,
+            "N=1 supports {:.2}",
+            n1.max_admissible_load.to_f64()
+        );
+        let at_75 = n1
+            .points
+            .iter()
+            .find(|p| (p.load.to_f64() - 0.75).abs() < 1e-9);
+        if let Some(p) = at_75 {
+            assert!(
+                p.end_to_end_cells <= 420.0,
+                "N=1 at 75%: {} cells",
+                p.end_to_end_cells
+            );
+        }
+        let n16 = &fig.series[1];
+        let max16 = n16.max_admissible_load.to_f64();
+        assert!(
+            (0.25..=0.55).contains(&max16),
+            "N=16 supports {max16:.2}"
+        );
+    }
+
+    #[test]
+    fn per_hop_within_queue_everywhere() {
+        let fig = run(small_params()).unwrap();
+        for s in &fig.series {
+            for p in &s.points {
+                assert!(p.per_hop_cells <= 32.0 + 1e-9);
+                // e2e = 15 hops * per-hop for the symmetric case.
+                assert!((p.end_to_end_cells - 15.0 * p.per_hop_cells).abs() < 1e-6);
+            }
+        }
+    }
+}

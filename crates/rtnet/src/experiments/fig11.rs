@@ -1,0 +1,161 @@
+//! **Figure 11**: total admissible cyclic bandwidth under asymmetric
+//! load, as a function of the big terminal's share `p`, for
+//! N ∈ {1, 8, 16}.
+//!
+//! One terminal generates `p` of the total traffic; the rest is split
+//! equally among the other `16N − 1` terminals. For each `p` the
+//! driver binary-searches the largest total load that passes the hard
+//! CAC check at every ring port.
+
+use rtcac_rational::{ratio, Ratio};
+
+use crate::experiments::{asymmetric_admissible, max_admissible_load, PrioritySplit};
+use crate::{units, CdvMode, RtnetError};
+
+/// Sweep parameters. Defaults reproduce the paper's setup.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Ring nodes (paper: 16).
+    pub ring_nodes: usize,
+    /// Terminals-per-node values to sweep (paper: 1, 8, 16).
+    pub terminals: Vec<usize>,
+    /// Number of `p` grid steps across [0, 1].
+    pub share_steps: u32,
+    /// Binary search iterations (resolution `1/2^iters` of the link).
+    pub search_iters: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            ring_nodes: units::RING_NODES,
+            terminals: vec![1, 8, 16],
+            share_steps: 20,
+            search_iters: 7,
+        }
+    }
+}
+
+/// One point of a Figure 11 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// The big terminal's share `p` of the total traffic.
+    pub share: Ratio,
+    /// Largest admissible total load (normalized).
+    pub max_load: Ratio,
+    /// The same in Mbps.
+    pub max_load_mbps: f64,
+}
+
+/// One curve (fixed N).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Terminals per ring node.
+    pub terminals: usize,
+    /// Points by increasing share.
+    pub points: Vec<Point>,
+}
+
+/// The full Figure 11 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11 {
+    /// One series per terminals-per-node value.
+    pub series: Vec<Series>,
+}
+
+/// Runs the Figure 11 sweep.
+///
+/// # Errors
+///
+/// Propagates internal numeric failures.
+pub fn run(params: Params) -> Result<Fig11, RtnetError> {
+    let mut series = Vec::with_capacity(params.terminals.len());
+    for &n in &params.terminals {
+        let mut points = Vec::with_capacity(params.share_steps as usize + 1);
+        for step in 0..=params.share_steps {
+            let share = ratio(step as i128, params.share_steps as i128);
+            let max_load = max_admissible_load(
+                asymmetric_admissible(params.ring_nodes, n, share, CdvMode::Hard, PrioritySplit::SingleLevel),
+                params.search_iters,
+            )?;
+            points.push(Point {
+                share,
+                max_load,
+                max_load_mbps: units::rate_to_mbps(rtcac_bitstream::Rate::new(max_load))
+                    .to_f64(),
+            });
+        }
+        series.push(Series {
+            terminals: n,
+            points,
+        });
+    }
+    Ok(Fig11 { series })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Params {
+        Params {
+            ring_nodes: 16,
+            terminals: vec![1, 16],
+            share_steps: 4,
+            search_iters: 5,
+        }
+    }
+
+    #[test]
+    fn supported_traffic_decreases_with_asymmetry() {
+        // Across the meaningful range the capacity falls as one
+        // terminal hogs a larger share. (At exactly p = 1 the workload
+        // degenerates to a single smooth CBR connection with no
+        // contention at all, so the capacity rebounds to the full
+        // link — an honest consequence of the paper's own worst-case
+        // model; see EXPERIMENTS.md.)
+        let fig = run(quick()).unwrap();
+        for s in &fig.series {
+            let p0 = s.points[0].max_load; // p = 0
+            let p50 = s.points[2].max_load; // p = 0.5
+            let p75 = s.points[3].max_load; // p = 0.75
+            assert!(
+                p50 <= p0 && p75 <= p0,
+                "N={}: capacity must fall with asymmetry ({p0} -> {p50} -> {p75})",
+                s.terminals
+            );
+        }
+    }
+
+    #[test]
+    fn burstier_nodes_support_less() {
+        let fig = run(quick()).unwrap();
+        let n1 = &fig.series[0];
+        let n16 = &fig.series[1];
+        // At every shared grid point, N=16 supports at most N=1 + slack.
+        for (a, b) in n1.points.iter().zip(&n16.points) {
+            assert!(
+                b.max_load <= a.max_load + rtcac_rational::ratio(1, 16),
+                "p={}: N16 {} vs N1 {}",
+                a.share,
+                b.max_load,
+                a.max_load
+            );
+        }
+    }
+
+    #[test]
+    fn all_points_positive_capacity() {
+        let fig = run(quick()).unwrap();
+        for s in &fig.series {
+            for p in &s.points {
+                assert!(
+                    p.max_load.is_positive(),
+                    "N={} p={} found zero capacity",
+                    s.terminals,
+                    p.share
+                );
+            }
+        }
+    }
+}

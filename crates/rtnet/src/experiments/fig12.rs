@@ -1,0 +1,169 @@
+//! **Figure 12**: extra cyclic capacity gained by serving real-time
+//! traffic at two priority levels instead of one.
+//!
+//! Setup as in Figure 11 (asymmetric load, N terminals per node). A
+//! two-priority switch lets the operator *choose* an assignment of
+//! connections to levels (32-cell high-priority queue, 64-cell
+//! low-priority queue); the supported capacity is the best assignment's
+//! capacity. The driver evaluates every [`PrioritySplit`]:
+//!
+//! - `SmallsLow` — the many small connections (collectively the bursty
+//!   aggregate, and the delay-tolerant one) use the deeper 64-cell
+//!   queue; the big terminal keeps the 32-cell level. This is where
+//!   the gains come from at low asymmetry.
+//! - `BigLow` — the big connection demoted instead. An ablation
+//!   result: a low-priority connection must wait out the whole
+//!   high-priority worst-case burst (one simultaneous cell per
+//!   upstream connection), which the 64-cell bound cannot cover at
+//!   scale, so this split admits almost nothing.
+//! - `SingleLevel` — using only the high level (always available).
+//!
+//! The "2 priorities" curve is the pointwise best of the three; the
+//! per-split numbers are also reported.
+
+use rtcac_rational::{ratio, Ratio};
+
+use crate::experiments::{asymmetric_admissible, max_admissible_load, PrioritySplit};
+use crate::{units, CdvMode, RtnetError};
+
+/// Sweep parameters. Defaults reproduce the paper's setup with N = 16.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Ring nodes (paper: 16).
+    pub ring_nodes: usize,
+    /// Terminals per ring node.
+    pub terminals: usize,
+    /// Number of `p` grid steps across [0, 1].
+    pub share_steps: u32,
+    /// Binary search iterations.
+    pub search_iters: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            ring_nodes: units::RING_NODES,
+            terminals: 16,
+            share_steps: 20,
+            search_iters: 7,
+        }
+    }
+}
+
+/// One point of the Figure 12 comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// The big terminal's share `p`.
+    pub share: Ratio,
+    /// Largest admissible load with a single priority level.
+    pub one_priority: Ratio,
+    /// Largest admissible load with two levels (best assignment).
+    pub two_priorities: Ratio,
+    /// Capacity of the `SmallsLow` assignment.
+    pub smalls_low: Ratio,
+    /// Capacity of the `BigLow` assignment (ablation).
+    pub big_low: Ratio,
+}
+
+/// The full Figure 12 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12 {
+    /// Terminals per ring node used.
+    pub terminals: usize,
+    /// Points by increasing share.
+    pub points: Vec<Point>,
+}
+
+/// Runs the Figure 12 comparison.
+///
+/// # Errors
+///
+/// Propagates internal numeric failures.
+pub fn run(params: Params) -> Result<Fig12, RtnetError> {
+    let mut points = Vec::with_capacity(params.share_steps as usize + 1);
+    for step in 0..=params.share_steps {
+        let share = ratio(step as i128, params.share_steps as i128);
+        let search = |split: PrioritySplit| {
+            max_admissible_load(
+                asymmetric_admissible(
+                    params.ring_nodes,
+                    params.terminals,
+                    share,
+                    CdvMode::Hard,
+                    split,
+                ),
+                params.search_iters,
+            )
+        };
+        let one = search(PrioritySplit::SingleLevel)?;
+        let smalls_low = search(PrioritySplit::SmallsLow)?;
+        let big_low = search(PrioritySplit::BigLow)?;
+        points.push(Point {
+            share,
+            one_priority: one,
+            two_priorities: one.max(smalls_low).max(big_low),
+            smalls_low,
+            big_low,
+        });
+    }
+    Ok(Fig12 {
+        terminals: params.terminals,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Params {
+        Params {
+            ring_nodes: 16,
+            terminals: 8,
+            share_steps: 4,
+            search_iters: 5,
+        }
+    }
+
+    #[test]
+    fn two_priorities_never_worse() {
+        let fig = run(quick()).unwrap();
+        for p in &fig.points {
+            assert!(
+                p.two_priorities >= p.one_priority,
+                "p={}: two priorities {} worse than one {}",
+                p.share,
+                p.two_priorities,
+                p.one_priority
+            );
+        }
+    }
+
+    #[test]
+    fn two_priorities_help_somewhere() {
+        // Moving the delay-tolerant small aggregate to the deeper
+        // low-priority queue must buy extra capacity at least at low
+        // asymmetry.
+        let fig = run(quick()).unwrap();
+        let gained = fig
+            .points
+            .iter()
+            .any(|p| p.two_priorities > p.one_priority);
+        assert!(gained, "two priorities never helped: {:?}", fig.points);
+    }
+
+    #[test]
+    fn demoting_the_big_connection_is_hopeless_at_scale() {
+        // The ablation claim: with 8 terminals per node, the BigLow
+        // split is dominated by the blackout of ~100 simultaneous
+        // higher-priority cells.
+        let fig = run(quick()).unwrap();
+        // At p = 0.5 the big connection exists and must wait out the
+        // high-priority burst.
+        let mid = &fig.points[2];
+        assert!(
+            mid.big_low < mid.smalls_low.max(mid.one_priority),
+            "expected BigLow to underperform: {mid:?}"
+        );
+    }
+}

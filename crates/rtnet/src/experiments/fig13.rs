@@ -1,0 +1,132 @@
+//! **Figure 13**: extra cyclic capacity gained by the soft CAC scheme
+//! (square-root CDV accumulation) over the hard scheme.
+//!
+//! Setup as in Figure 11. The soft scheme estimates a connection's
+//! accumulated jitter after `m` hops as `32·√m` instead of `32·m` —
+//! not a worst-case guarantee, but appropriate for soft real-time
+//! connections (§4.3 discussion 1).
+
+use rtcac_rational::{ratio, Ratio};
+
+use crate::experiments::{asymmetric_admissible, max_admissible_load, PrioritySplit};
+use crate::{units, CdvMode, RtnetError};
+
+/// Sweep parameters. Defaults reproduce the paper's setup with N = 16.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Ring nodes (paper: 16).
+    pub ring_nodes: usize,
+    /// Terminals per ring node.
+    pub terminals: usize,
+    /// Number of `p` grid steps across [0, 1].
+    pub share_steps: u32,
+    /// Binary search iterations.
+    pub search_iters: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            ring_nodes: units::RING_NODES,
+            terminals: 16,
+            share_steps: 20,
+            search_iters: 7,
+        }
+    }
+}
+
+/// One point of the Figure 13 comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// The big terminal's share `p`.
+    pub share: Ratio,
+    /// Largest admissible load under the hard CAC scheme.
+    pub hard: Ratio,
+    /// Largest admissible load under the soft CAC scheme.
+    pub soft: Ratio,
+}
+
+/// The full Figure 13 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13 {
+    /// Terminals per ring node used.
+    pub terminals: usize,
+    /// Points by increasing share.
+    pub points: Vec<Point>,
+}
+
+/// Runs the Figure 13 comparison.
+///
+/// # Errors
+///
+/// Propagates internal numeric failures.
+pub fn run(params: Params) -> Result<Fig13, RtnetError> {
+    let mut points = Vec::with_capacity(params.share_steps as usize + 1);
+    for step in 0..=params.share_steps {
+        let share = ratio(step as i128, params.share_steps as i128);
+        let hard = max_admissible_load(
+            asymmetric_admissible(
+                params.ring_nodes,
+                params.terminals,
+                share,
+                CdvMode::Hard,
+                PrioritySplit::SingleLevel,
+            ),
+            params.search_iters,
+        )?;
+        let soft = max_admissible_load(
+            asymmetric_admissible(
+                params.ring_nodes,
+                params.terminals,
+                share,
+                CdvMode::SoftSqrt,
+                PrioritySplit::SingleLevel,
+            ),
+            params.search_iters,
+        )?;
+        points.push(Point { share, hard, soft });
+    }
+    Ok(Fig13 {
+        terminals: params.terminals,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Params {
+        Params {
+            ring_nodes: 16,
+            terminals: 8,
+            share_steps: 4,
+            search_iters: 6,
+        }
+    }
+
+    #[test]
+    fn soft_never_admits_less() {
+        let fig = run(quick()).unwrap();
+        let tolerance = ratio(1, 32);
+        for p in &fig.points {
+            assert!(
+                p.soft + tolerance >= p.hard,
+                "p={}: soft {} below hard {}",
+                p.share,
+                p.soft,
+                p.hard
+            );
+        }
+    }
+
+    #[test]
+    fn soft_gains_capacity_somewhere() {
+        let fig = run(quick()).unwrap();
+        assert!(
+            fig.points.iter().any(|p| p.soft > p.hard),
+            "soft CAC never helped: {:?}",
+            fig.points
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Experiment drivers, one per paper artifact.
+//!
+//! Each module reproduces one table or figure of §5 and returns the
+//! same rows/series the paper reports:
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`table1`] | Table 1 — cyclic transmission classes |
+//! | [`fig10`]  | Figure 10 — end-to-end delay bound vs symmetric load |
+//! | [`fig11`]  | Figure 11 — admissible bandwidth vs asymmetry |
+//! | [`fig12`]  | Figure 12 — one vs two priority levels |
+//! | [`fig13`]  | Figure 13 — soft vs hard CAC |
+//!
+//! The drivers return plain data structures; the `rtcac-bench` binaries
+//! print them in the paper's format.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod table1;
+
+use rtcac_rational::{ratio, Ratio};
+
+use crate::{workload, RtnetError};
+pub use crate::workload::PrioritySplit;
+
+/// Binary-searches the largest admissible total load in `[0, 1]` for a
+/// workload family, to a resolution of `1/2^iterations`.
+///
+/// `admissible(load)` must be monotone (more load never becomes
+/// admissible again); the §5 workloads are.
+pub(crate) fn max_admissible_load(
+    mut admissible: impl FnMut(Ratio) -> Result<bool, RtnetError>,
+    iterations: u32,
+) -> Result<Ratio, RtnetError> {
+    let mut lo = Ratio::ZERO; // known admissible (empty network)
+    let mut hi = Ratio::ONE; // pushed down when inadmissible
+    if admissible(hi)? {
+        return Ok(hi);
+    }
+    for _ in 0..iterations {
+        let mid = (lo + hi) / ratio(2, 1);
+        if admissible(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// Convenience: the admissibility closure for asymmetric single- or
+/// two-priority workloads used by Figures 11–13.
+pub(crate) fn asymmetric_admissible(
+    ring_nodes: usize,
+    terminals: usize,
+    big_share: Ratio,
+    mode: crate::CdvMode,
+    split: PrioritySplit,
+) -> impl FnMut(Ratio) -> Result<bool, RtnetError> {
+    move |load: Ratio| {
+        if !load.is_positive() {
+            return Ok(true);
+        }
+        workload::asymmetric_with(ring_nodes, terminals, load, big_share, mode, split)?
+            .admissible()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_search_converges() {
+        // Admissible iff load <= 3/8.
+        let result = max_admissible_load(|b| Ok(b <= ratio(3, 8)), 10).unwrap();
+        assert!(result <= ratio(3, 8));
+        assert!(result >= ratio(3, 8) - ratio(1, 1 << 9));
+    }
+
+    #[test]
+    fn binary_search_full_link() {
+        let result = max_admissible_load(|_| Ok(true), 10).unwrap();
+        assert_eq!(result, Ratio::ONE);
+    }
+
+    #[test]
+    fn binary_search_nothing_fits() {
+        let result = max_admissible_load(|b| Ok(b.is_zero()), 6).unwrap();
+        assert!(result < ratio(1, 32));
+    }
+}

@@ -1,0 +1,137 @@
+//! **Table 1**: the three cyclic transmission classes, their computed
+//! bandwidth requirements, and a CAC feasibility verdict for each.
+//!
+//! Beyond reprinting the table, the driver runs the hard CAC check for
+//! each class on the reference RTnet (16 ring nodes, 16 terminals,
+//! class traffic split symmetrically) and reports whether the class's
+//! delay requirement is met — the design validation the paper
+//! describes in §5.
+
+use rtcac_bitstream::Time;
+use rtcac_cac::Priority;
+use rtcac_rational::Ratio;
+
+use crate::cyclic::{CyclicClass, ALL_CLASSES};
+use crate::{units, workload, RtnetError};
+
+/// Parameters for the feasibility check.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Ring nodes (paper: 16).
+    pub ring_nodes: usize,
+    /// Terminals per ring node (paper maximum: 16).
+    pub terminals: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            ring_nodes: units::RING_NODES,
+            terminals: 16,
+        }
+    }
+}
+
+/// One row of the reproduced Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The class.
+    pub class: CyclicClass,
+    /// Computed bandwidth in Mbps (the paper's last column).
+    pub bandwidth_mbps: Ratio,
+    /// Normalized load the class puts on the ring.
+    pub load: Ratio,
+    /// Whether the class alone passes the hard CAC check.
+    pub admissible: bool,
+    /// End-to-end queueing delay bound for the class's traffic, in
+    /// cell times (when admissible).
+    pub end_to_end_cells: Option<Time>,
+    /// The class's delay requirement in cell times.
+    pub required_cells: Time,
+    /// Whether the delay requirement is met.
+    pub meets_deadline: bool,
+}
+
+/// The reproduced Table 1 with feasibility verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Rows in the paper's order (high, medium, low speed).
+    pub rows: Vec<Row>,
+    /// Whether all three classes together fit the link in the long run.
+    pub combined_load: Ratio,
+}
+
+/// Builds the table.
+///
+/// # Errors
+///
+/// Propagates internal numeric failures.
+pub fn run(params: Params) -> Result<Table1, RtnetError> {
+    let mut rows = Vec::with_capacity(ALL_CLASSES.len());
+    let mut combined_load = Ratio::ZERO;
+    for class in ALL_CLASSES {
+        let load = class.bandwidth_rate().as_ratio();
+        combined_load += load;
+        let analysis = workload::symmetric(params.ring_nodes, params.terminals, load)?;
+        let admissible = analysis.admissible()?;
+        let (end_to_end_cells, meets_deadline) = if admissible {
+            let e2e = analysis.end_to_end_bound(Priority::HIGHEST)?;
+            (Some(e2e), e2e <= class.delay_cells())
+        } else {
+            (None, false)
+        };
+        rows.push(Row {
+            class,
+            bandwidth_mbps: class.bandwidth_mbps(),
+            load,
+            admissible,
+            end_to_end_cells,
+            required_cells: class.delay_cells(),
+            meets_deadline,
+        });
+    }
+    Ok(Table1 {
+        rows,
+        combined_load,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_classes_individually_supported() {
+        let table = run(Params::default()).unwrap();
+        assert_eq!(table.rows.len(), 3);
+        for row in &table.rows {
+            assert!(
+                row.admissible,
+                "{} not admissible at load {}",
+                row.class.name(),
+                row.load
+            );
+            assert!(
+                row.meets_deadline,
+                "{} misses deadline: bound {:?} vs required {}",
+                row.class.name(),
+                row.end_to_end_cells,
+                row.required_cells
+            );
+        }
+    }
+
+    #[test]
+    fn combined_load_fits_link() {
+        let table = run(Params::default()).unwrap();
+        assert!(table.combined_load < Ratio::ONE);
+    }
+
+    #[test]
+    fn bandwidth_ordering_matches_paper() {
+        let table = run(Params::default()).unwrap();
+        // High speed needs the most bandwidth, low speed the least.
+        assert!(table.rows[0].bandwidth_mbps > table.rows[1].bandwidth_mbps);
+        assert!(table.rows[1].bandwidth_mbps > table.rows[2].bandwidth_mbps);
+    }
+}

@@ -1,0 +1,305 @@
+//! Ring wrap-around after a link failure — the fault-tolerance design
+//! of the paper's Figure 9 ("the network can tolerate any single
+//! link/node failure by using a hardware ring wrap-around technology
+//! similar to that used in FDDI networks").
+//!
+//! RTnet ring nodes are joined by *dual* links. When the primary link
+//! from node `f` to node `f+1` fails, a broadcast from node `k` can no
+//! longer circle the ring; instead it splits into two branches:
+//!
+//! - **forward** on the primary ring from `k` up to the failure point
+//!   `f`, and
+//! - **backward** on the secondary ring from `k` down to `f+1`,
+//!
+//! which together still reach every other node. This module plans those
+//! branch routes and re-establishes a network's connections after a
+//! failure, so the capacity cost of surviving a fault can be measured
+//! (`cargo run -p rtcac-bench --bin failover`).
+
+use rtcac_cac::Priority;
+use rtcac_net::{NetError, Route, StarRing};
+use rtcac_signaling::{Network, SetupOutcome, SetupRequest, SignalError};
+
+use crate::RtnetError;
+
+/// The two branch routes replacing a full-circle broadcast from
+/// `src_node` after the primary link `failed` (from node `failed` to
+/// `failed + 1`) is lost. Either branch is `None` when it would have
+/// zero hops (the source sits right next to the failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchRoutes {
+    /// Forward branch on the primary ring (towards the failure).
+    pub forward: Option<Route>,
+    /// Backward branch on the secondary ring (away from the failure).
+    pub backward: Option<Route>,
+}
+
+impl BranchRoutes {
+    /// Total ring hops across both branches (always `ring_len - 1`:
+    /// every other node is still reached exactly once).
+    pub fn total_hops(&self) -> usize {
+        let f = self
+            .forward
+            .as_ref()
+            .map(|r| r.links().len() - 1)
+            .unwrap_or(0);
+        let b = self
+            .backward
+            .as_ref()
+            .map(|r| r.links().len() - 1)
+            .unwrap_or(0);
+        f + b
+    }
+}
+
+/// Plans the wrap-around branch routes for a broadcast entering the
+/// ring at `(src_node, src_term)` after primary link `failed` is lost.
+///
+/// # Errors
+///
+/// Returns [`NetError::BadParameter`] if the star-ring has no secondary
+/// ring or an index is out of range.
+pub fn branch_routes(
+    sr: &StarRing,
+    src_node: usize,
+    src_term: usize,
+    failed: usize,
+) -> Result<BranchRoutes, NetError> {
+    if !sr.is_dual() {
+        return Err(NetError::BadParameter(
+            "wrap-around needs a dual ring (builders::dual_star_ring)",
+        ));
+    }
+    let n = sr.ring_len();
+    if failed >= n || src_node >= n {
+        return Err(NetError::BadParameter("index out of range"));
+    }
+    // Forward: from src_node along primary links src..failed, reaching
+    // node `failed` (hops = distance to the failure's tail node).
+    let fwd_hops = (failed + n - src_node) % n;
+    let forward = if fwd_hops > 0 {
+        Some(sr.ring_route_from_terminal(src_node, src_term, fwd_hops)?)
+    } else {
+        None
+    };
+    // Backward: from src_node along secondary links down to the node
+    // just past the failure (failed + 1).
+    let bwd_hops = (src_node + n - (failed + 1)) % n;
+    let backward = if bwd_hops > 0 {
+        Some(sr.reverse_route_from_terminal(src_node, src_term, bwd_hops)?)
+    } else {
+        None
+    };
+    Ok(BranchRoutes { forward, backward })
+}
+
+/// Outcome of re-establishing a broadcast population after a failure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// Broadcasts whose surviving branches were all re-admitted.
+    pub reestablished: usize,
+    /// Broadcasts that could not be fully re-admitted (some branch was
+    /// rejected; its partial reservations were rolled back).
+    pub lost: usize,
+}
+
+/// Re-establishes one broadcast per `(node, terminal)` pair in
+/// `sources` over the wrapped ring, using `request` for every branch.
+/// Partially admitted broadcasts are rolled back and counted as lost.
+///
+/// # Errors
+///
+/// Propagates topology/signaling failures ([`RtnetError::BadParameter`]
+/// wraps them); rejections are counted, not raised.
+pub fn reestablish(
+    network: &mut Network,
+    sr: &StarRing,
+    failed: usize,
+    sources: &[(usize, usize)],
+    request: SetupRequest,
+) -> Result<FailoverReport, RtnetError> {
+    let mut report = FailoverReport::default();
+    for &(node, term) in sources {
+        let branches = branch_routes(sr, node, term, failed)
+            .map_err(|_| RtnetError::BadParameter("invalid failover route"))?;
+        let mut ids = Vec::new();
+        let mut ok = true;
+        for route in [&branches.forward, &branches.backward]
+            .into_iter()
+            .flatten()
+        {
+            match network
+                .setup(route, request)
+                .map_err(signal_to_rtnet)?
+            {
+                SetupOutcome::Connected(info) => ids.push(info.id()),
+                SetupOutcome::Rejected(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            report.reestablished += 1;
+        } else {
+            for id in ids {
+                network.teardown(id).map_err(signal_to_rtnet)?;
+            }
+            report.lost += 1;
+        }
+    }
+    Ok(report)
+}
+
+fn signal_to_rtnet(_e: SignalError) -> RtnetError {
+    RtnetError::BadParameter("signaling failure during failover")
+}
+
+/// The end-to-end queueing delay bound guaranteed to the *worst*
+/// surviving branch (the longest one), for capacity planning: after a
+/// wrap the longest branch has up to `ring_len - 1` hops, same as the
+/// healthy broadcast, but both directions now share each node's ports.
+///
+/// # Errors
+///
+/// Propagates signaling failures.
+pub fn worst_branch_guarantee(
+    network: &Network,
+    sr: &StarRing,
+    failed: usize,
+    priority: Priority,
+) -> Result<rtcac_bitstream::Time, RtnetError> {
+    let mut worst = rtcac_bitstream::Time::ZERO;
+    for node in 0..sr.ring_len() {
+        let branches = branch_routes(sr, node, 0, failed)
+            .map_err(|_| RtnetError::BadParameter("invalid failover route"))?;
+        for route in [&branches.forward, &branches.backward]
+            .into_iter()
+            .flatten()
+        {
+            let d = network
+                .achievable_delay(route, priority)
+                .map_err(signal_to_rtnet)?;
+            worst = worst.max(d);
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract};
+    use rtcac_cac::SwitchConfig;
+    use rtcac_net::builders;
+    use rtcac_rational::ratio;
+    use rtcac_signaling::CdvPolicy;
+
+    fn request(load_den: i128) -> SetupRequest {
+        SetupRequest::new(
+            TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, load_den))).unwrap()),
+            Priority::HIGHEST,
+            Time::from_integer(100_000),
+        )
+    }
+
+    #[test]
+    fn branches_cover_all_other_nodes() {
+        let sr = builders::dual_star_ring(6, 1).unwrap();
+        for failed in 0..6 {
+            for src in 0..6 {
+                let b = branch_routes(&sr, src, 0, failed).unwrap();
+                assert_eq!(b.total_hops(), 5, "src {src} failed {failed}");
+                // Collect every ring node reached by either branch.
+                let mut reached = std::collections::BTreeSet::new();
+                for route in [&b.forward, &b.backward].into_iter().flatten() {
+                    for node in route.nodes(sr.topology()).unwrap() {
+                        if let Some(pos) =
+                            sr.ring_nodes().iter().position(|&r| r == node)
+                        {
+                            reached.insert(pos);
+                        }
+                    }
+                }
+                assert_eq!(reached.len(), 6, "src {src} failed {failed}: {reached:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn branches_avoid_the_failed_link() {
+        let sr = builders::dual_star_ring(5, 1).unwrap();
+        for failed in 0..5 {
+            let failed_link = sr.ring_link(failed).unwrap();
+            for src in 0..5 {
+                let b = branch_routes(&sr, src, 0, failed).unwrap();
+                for route in [&b.forward, &b.backward].into_iter().flatten() {
+                    assert!(
+                        !route.links().contains(&failed_link),
+                        "src {src} failed {failed} uses the dead link"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn source_adjacent_to_failure_has_one_branch() {
+        let sr = builders::dual_star_ring(4, 1).unwrap();
+        // Source at node f: forward branch has 0 hops -> None.
+        let b = branch_routes(&sr, 2, 0, 2).unwrap();
+        assert!(b.forward.is_none());
+        assert!(b.backward.is_some());
+        // Source at node f+1: backward branch has 0 hops -> None.
+        let b = branch_routes(&sr, 3, 0, 2).unwrap();
+        assert!(b.forward.is_some());
+        assert!(b.backward.is_none());
+    }
+
+    #[test]
+    fn single_ring_topology_rejected() {
+        let sr = builders::star_ring(4, 1).unwrap();
+        assert!(branch_routes(&sr, 0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn reestablish_light_load_survives() {
+        let sr = builders::dual_star_ring(5, 1).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(32)).unwrap();
+        let mut network =
+            Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
+        let sources: Vec<(usize, usize)> = (0..5).map(|n| (n, 0)).collect();
+        let report = reestablish(&mut network, &sr, 2, &sources, request(50)).unwrap();
+        assert_eq!(report.reestablished, 5);
+        assert_eq!(report.lost, 0);
+        // Two branch connections per broadcast except the two adjacent
+        // sources (one branch each): 2*5 - 2 = 8.
+        assert_eq!(network.connections().count(), 8);
+    }
+
+    #[test]
+    fn reestablish_heavy_load_loses_broadcasts() {
+        let sr = builders::dual_star_ring(5, 1).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(8)).unwrap();
+        let mut network =
+            Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
+        let sources: Vec<(usize, usize)> = (0..5).map(|n| (n, 0)).collect();
+        let report = reestablish(&mut network, &sr, 0, &sources, request(4)).unwrap();
+        assert!(report.lost > 0, "{report:?}");
+        // Lost broadcasts left no partial reservations behind: every
+        // established connection belongs to a fully-admitted broadcast.
+        // (Adjacent sources have 1 branch, others 2.)
+        let conns = network.connections().count();
+        assert!(conns <= 2 * report.reestablished);
+    }
+
+    #[test]
+    fn worst_branch_guarantee_reported() {
+        let sr = builders::dual_star_ring(6, 1).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(32)).unwrap();
+        let network = Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
+        let g = worst_branch_guarantee(&network, &sr, 3, Priority::HIGHEST).unwrap();
+        // The longest branch after a wrap has ring_len - 1 = 5 hops.
+        assert_eq!(g, Time::from_integer(5 * 32));
+    }
+}

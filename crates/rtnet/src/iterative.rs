@@ -1,0 +1,215 @@
+//! Iterative (fixed-point) CDV propagation — the design alternative
+//! the paper *rejects* in §4.3 ("the CAC algorithms proposed in this
+//! paper avoid iteration procedures in the delay bound calculation by
+//! having each switch provide fixed delay bounds to connections
+//! regardless of the current traffic load").
+//!
+//! With fixed advertised bounds, a connection's CDV after `m` hops is
+//! `m · D_adv` even when the actual computed bounds are much smaller.
+//! The alternative iterates: compute the port bounds with some CDV
+//! assumption, feed the *computed* bounds back in as the next CDV
+//! assumption, and repeat. The iteration is monotone from below, so a
+//! few rounds give the self-consistent (tighter) bound; comparing
+//! capacities quantifies what the paper's simpler design costs
+//! (`cargo run -p rtcac-bench --bin ablation_cdv`).
+
+use rtcac_bitstream::{StreamError, Time};
+use rtcac_cac::Priority;
+use rtcac_rational::ratio;
+
+use crate::{CdvMode, RingAnalysis, RtnetError};
+
+/// Granularity the iterated CDV is rounded *up* to between steps
+/// (1/256 of a cell time). Rounding up keeps every step conservative
+/// and stops exact-rational denominators from compounding across
+/// iterations; convergence at `ceil(D(X)) == X` still certifies the
+/// sound self-consistency condition `D(X) <= X`.
+const GRID: i128 = 256;
+
+fn ceil_to_grid(t: Time) -> Time {
+    let scaled = (t.as_ratio() * ratio(GRID, 1)).ceil();
+    Time::new(ratio(scaled, GRID))
+}
+
+/// The result of the fixed-point iteration for a symmetric load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedPoint {
+    /// The self-consistent per-hop bound (every port, by symmetry).
+    pub per_hop: Time,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Whether the last two iterations agreed exactly.
+    pub converged: bool,
+}
+
+/// Computes the self-consistent per-hop bound of the symmetric
+/// workload by fixed-point iteration: start from `D = 0`, recompute
+/// port bounds with per-hop CDV `m · D`, repeat.
+///
+/// The iteration is monotone non-decreasing (larger CDV assumptions
+/// yield larger envelopes and bounds), so it either converges or
+/// diverges past any finite bound; divergence surfaces as
+/// [`StreamError::Overload`] or as `converged == false`.
+///
+/// # Errors
+///
+/// Returns [`RtnetError::Stream`] carrying [`StreamError::Overload`]
+/// when the load is infeasible even with zero CDV.
+pub fn symmetric_fixed_point(
+    ring_nodes: usize,
+    terminals: usize,
+    load: rtcac_rational::Ratio,
+    max_iterations: u32,
+) -> Result<FixedPoint, RtnetError> {
+    let mut current = Time::ZERO;
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < max_iterations {
+        iterations += 1;
+        let next = ceil_to_grid(bound_with_hop_cdv(
+            ring_nodes, terminals, load, current,
+        )?);
+        if next == current {
+            converged = true;
+            break;
+        }
+        current = next;
+    }
+    Ok(FixedPoint {
+        per_hop: current,
+        iterations,
+        converged,
+    })
+}
+
+/// One iteration step: the symmetric per-port bound when every
+/// connection's CDV grows by `hop_cdv` per upstream hop.
+fn bound_with_hop_cdv(
+    ring_nodes: usize,
+    terminals: usize,
+    load: rtcac_rational::Ratio,
+    hop_cdv: Time,
+) -> Result<Time, RtnetError> {
+    let analysis = if hop_cdv.is_zero() {
+        // Iteration seed: sources arrive undistorted.
+        symmetric_with_mode(ring_nodes, terminals, load, Time::ONE, CdvMode::None)?
+    } else {
+        symmetric_with_mode(ring_nodes, terminals, load, hop_cdv, CdvMode::Hard)?
+    };
+    analysis
+        .port_bound(0, Priority::HIGHEST)
+        .map_err(strip_overload_context)
+}
+
+fn symmetric_with_mode(
+    ring_nodes: usize,
+    terminals: usize,
+    load: rtcac_rational::Ratio,
+    hop_bound: Time,
+    mode: CdvMode,
+) -> Result<RingAnalysis, RtnetError> {
+    // The workload builder hard-codes the 32-cell bound; rebuild the
+    // same symmetric population on a custom-bound analysis.
+    let mut analysis = RingAnalysis::new(ring_nodes, vec![hop_bound], mode)?;
+    let all = ring_nodes * terminals;
+    let pcr = load / rtcac_rational::ratio(all as i128, 1);
+    let stream = rtcac_bitstream::TrafficContract::cbr_with_rate(pcr)
+        .map_err(RtnetError::from)?
+        .worst_case_stream();
+    for node in 0..ring_nodes {
+        for _ in 0..terminals {
+            analysis.add_connection(node, stream.clone(), Priority::HIGHEST)?;
+        }
+    }
+    Ok(analysis)
+}
+
+fn strip_overload_context(e: RtnetError) -> RtnetError {
+    match e {
+        RtnetError::Stream(StreamError::Overload { arrival, service }) => {
+            RtnetError::Stream(StreamError::Overload { arrival, service })
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use rtcac_rational::ratio;
+
+    #[test]
+    fn fixed_point_converges_and_is_tighter_than_advertised() {
+        let fp = symmetric_fixed_point(16, 16, ratio(7, 20), 32).unwrap();
+        assert!(fp.converged, "{fp:?}");
+        // The paper's fixed-CDV analysis at the same load computes a
+        // ~25-cell per-hop bound (Figure 10); the self-consistent bound
+        // must be no larger.
+        let fixed = workload::symmetric(16, 16, ratio(7, 20))
+            .unwrap()
+            .port_bound(0, Priority::HIGHEST)
+            .unwrap();
+        assert!(fp.per_hop <= fixed, "{} > {}", fp.per_hop, fixed);
+        assert!(fp.per_hop.is_positive());
+    }
+
+    #[test]
+    fn fixed_point_monotone_iterations() {
+        // Manually run two steps and verify monotonicity from zero.
+        let load = ratio(1, 2);
+        let d0 = bound_with_hop_cdv(16, 4, load, Time::ZERO).unwrap();
+        let d1 = bound_with_hop_cdv(16, 4, load, d0).unwrap();
+        assert!(d1 >= d0);
+        let d2 = bound_with_hop_cdv(16, 4, load, d1).unwrap();
+        assert!(d2 >= d1);
+    }
+
+    #[test]
+    fn fixed_point_detects_overload() {
+        // Load > 16/15 per-link long run is infeasible even with zero CDV.
+        let result = symmetric_fixed_point(16, 1, ratio(1, 1), 8);
+        // Load 1.0: per-link 15/16 < 1 is feasible long-run; bound is
+        // finite but large — it must simply not error.
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn fixed_point_vs_advertised_scheme_frontier() {
+        // The ablation *finding* (see EXPERIMENTS.md): the iterated
+        // self-consistent bound is tighter than the fixed-advertised
+        // scheme at light loads, but at the admission frontier the
+        // computed bound approaches the advertised 32 anyway, so both
+        // schemes admit exactly the same loads on this grid — the
+        // paper's "fixed bounds, no iteration" simplification is free.
+        let mut fixed_max = ratio(0, 1);
+        let mut iterated_max = ratio(0, 1);
+        for step in 1..=12i128 {
+            let load = ratio(step, 20);
+            let analysis = workload::symmetric(16, 16, load).unwrap();
+            let fixed_ok = analysis.admissible().unwrap();
+            let fp = symmetric_fixed_point(16, 16, load, 48).unwrap();
+            assert!(fp.converged, "load {load}: {fp:?}");
+            let iterated_ok = fp.per_hop <= Time::from_integer(32);
+            if fixed_ok {
+                fixed_max = load;
+                // Where both admit, the iterated bound is no looser
+                // than the fixed one (tightness at light loads).
+                let fixed_bound = analysis.port_bound(0, Priority::HIGHEST).unwrap();
+                assert!(
+                    fp.per_hop <= fixed_bound + Time::new(ratio(1, GRID)),
+                    "load {load}: iterated {} vs fixed {}",
+                    fp.per_hop,
+                    fixed_bound
+                );
+            }
+            if iterated_ok {
+                iterated_max = load;
+            }
+        }
+        assert_eq!(
+            iterated_max, fixed_max,
+            "both schemes should share the admission frontier on this grid"
+        );
+    }
+}

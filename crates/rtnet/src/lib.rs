@@ -1,0 +1,57 @@
+//! The RTnet evaluation of the paper's §5: applying the bit-stream CAC
+//! scheme to the Mitsubishi Real-Time Industrial Control Network.
+//!
+//! RTnet (Figure 9) is a star-ring LAN: ring nodes joined by 155 Mbps
+//! links, terminals attached to each ring node, and a hardware
+//! wrap-around for fault tolerance. Its flagship real-time service is
+//! **cyclic transmission** — a distributed shared memory where every
+//! terminal periodically broadcasts its segment (Table 1's three
+//! classes, [`cyclic`]).
+//!
+//! This crate provides:
+//!
+//! - [`units`]: the paper's unit conventions (155 Mbps link, cell times,
+//!   the 370-cells-per-millisecond rule of thumb);
+//! - [`cyclic`]: Table 1's cyclic transmission classes;
+//! - [`RingAnalysis`]: the worst-case queueing analysis of broadcast
+//!   traffic around the ring — per-port aggregates built with the
+//!   bit-stream algebra, per-priority delay bounds, admissibility, and
+//!   end-to-end bounds;
+//! - [`workload`]: the symmetric and asymmetric load patterns of §5;
+//! - [`failover`]: FDDI-style ring wrap-around after a link failure
+//!   (the Figure 9 fault-tolerance design) and its capacity cost;
+//! - [`experiments`]: one driver per paper artifact — Figures 10, 11,
+//!   12, 13 and Table 1 — each returning the data series the paper
+//!   plots.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtcac_rtnet::{experiments, workload};
+//! use rtcac_rational::ratio;
+//!
+//! // One point of Figure 10: 16 ring nodes, 4 terminals per node,
+//! // symmetric cyclic traffic at 40% total load.
+//! let analysis = workload::symmetric(16, 4, ratio(2, 5))?;
+//! assert!(analysis.admissible()?);
+//! let e2e = analysis.end_to_end_bound(rtcac_cac::Priority::HIGHEST)?;
+//! assert!(e2e.is_positive());
+//!
+//! // The whole Figure 10 sweep:
+//! let fig10 = experiments::fig10::run(experiments::fig10::Params::default())?;
+//! assert_eq!(fig10.series.len(), 4); // N = 1, 4, 8, 16
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+pub mod cyclic;
+pub mod failover;
+pub mod experiments;
+pub mod iterative;
+pub mod units;
+pub mod workload;
+
+pub use analysis::{CdvMode, RingAnalysis, RtnetError};

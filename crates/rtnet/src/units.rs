@@ -1,0 +1,86 @@
+//! RTnet unit conventions (paper §5).
+//!
+//! RTnet links run at 155 Mbps; one ATM cell (53 bytes) then takes
+//! about 2.7 µs, and the paper rounds 1 ms to **370 cell times**. All
+//! CAC mathematics is done in normalized units (rates as fractions of
+//! the link bandwidth, time in cell times); these helpers convert the
+//! paper's engineering units into them.
+
+use rtcac_bitstream::{Rate, Time};
+use rtcac_rational::{ratio, Ratio};
+
+/// RTnet link bandwidth in Mbps.
+pub const LINK_MBPS: i128 = 155;
+
+/// Cell times per millisecond (the paper's rounding: one cell time is
+/// about 2.7 µs at 155 Mbps, and §5 uses 370 cells ≈ 1 ms).
+pub const CELLS_PER_MS: i128 = 370;
+
+/// The RTnet ring-node FIFO queue size for cyclic traffic, in cells
+/// (32 cells ≈ 87 µs of queueing per node).
+pub const RING_QUEUE_CELLS: i128 = 32;
+
+/// Number of ring nodes in the reference RTnet configuration.
+pub const RING_NODES: usize = 16;
+
+/// Converts a bandwidth in Mbps to a normalized rate.
+///
+/// ```
+/// use rtcac_rtnet::units;
+/// use rtcac_rational::ratio;
+/// assert_eq!(units::mbps_to_rate(ratio(31, 1)).as_ratio(), ratio(1, 5));
+/// ```
+pub fn mbps_to_rate(mbps: Ratio) -> Rate {
+    Rate::new(mbps / ratio(LINK_MBPS, 1))
+}
+
+/// Converts a normalized rate to Mbps.
+pub fn rate_to_mbps(rate: Rate) -> Ratio {
+    rate.as_ratio() * ratio(LINK_MBPS, 1)
+}
+
+/// Converts milliseconds to cell times using the paper's 370 cells/ms.
+///
+/// ```
+/// use rtcac_bitstream::Time;
+/// use rtcac_rtnet::units;
+/// use rtcac_rational::ratio;
+/// assert_eq!(units::ms_to_cells(ratio(1, 1)), Time::from_integer(370));
+/// ```
+pub fn ms_to_cells(ms: Ratio) -> Time {
+    Time::new(ms * ratio(CELLS_PER_MS, 1))
+}
+
+/// Converts cell times to milliseconds.
+pub fn cells_to_ms(cells: Time) -> Ratio {
+    cells.as_ratio() / ratio(CELLS_PER_MS, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_roundtrip() {
+        let r = mbps_to_rate(ratio(155, 2));
+        assert_eq!(r.as_ratio(), ratio(1, 2));
+        assert_eq!(rate_to_mbps(r), ratio(155, 2));
+    }
+
+    #[test]
+    fn time_roundtrip() {
+        let t = ms_to_cells(ratio(3, 2));
+        assert_eq!(t, Time::from_integer(555));
+        assert_eq!(cells_to_ms(t), ratio(3, 2));
+    }
+
+    #[test]
+    fn paper_constants() {
+        // The paper's "32-cell queue = 87 µs" check: 32 * 2.7 = 86.4.
+        let queue_ms = cells_to_ms(Time::from_integer(RING_QUEUE_CELLS));
+        let micros = queue_ms * ratio(1_000, 1);
+        assert!(micros > ratio(86, 1) && micros < ratio(88, 1));
+        // And "1 ms = 370 cell times".
+        assert_eq!(ms_to_cells(ratio(1, 1)), Time::from_integer(370));
+    }
+}

@@ -1,0 +1,262 @@
+//! The §5 workload generators: symmetric and asymmetric cyclic
+//! traffic over the RTnet star-ring.
+
+use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract};
+use rtcac_cac::Priority;
+use rtcac_rational::{ratio, Ratio};
+
+use crate::{CdvMode, RingAnalysis, RtnetError};
+
+/// How connections map onto priority levels in an asymmetric workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PrioritySplit {
+    /// Everything at the single highest priority with the 32-cell
+    /// bound (Figures 10, 11, 13).
+    #[default]
+    SingleLevel,
+    /// Two levels: the big terminal's connection keeps the 32-cell
+    /// high priority; the many small connections — the collectively
+    /// bursty, delay-tolerant aggregate — use the 64-cell low-priority
+    /// queue (Figure 12's two-priority configuration).
+    SmallsLow,
+    /// Two levels with the big terminal's connection demoted to the
+    /// 64-cell low priority instead. Kept for the ablation study: the
+    /// low priority must wait out the entire high-priority worst-case
+    /// burst (one simultaneous cell per upstream connection), which a
+    /// 64-cell bound cannot cover — this split is essentially
+    /// inadmissible at scale.
+    BigLow,
+}
+
+/// The advertised per-hop bound of the RTnet high-priority cyclic
+/// queue: 32 cells (≈ 87 µs per ring node).
+pub fn default_hop_bound() -> Time {
+    Time::from_integer(crate::units::RING_QUEUE_CELLS)
+}
+
+/// Symmetric cyclic traffic (Figure 10): every one of the
+/// `ring_nodes × terminals` terminals broadcasts a CBR connection with
+/// `PCR = total_load / (ring_nodes × terminals)`, single priority,
+/// hard CDV, 32-cell per-hop bound.
+///
+/// # Errors
+///
+/// Returns [`RtnetError::BadParameter`] for degenerate shapes or a
+/// non-positive / over-unity load.
+pub fn symmetric(
+    ring_nodes: usize,
+    terminals: usize,
+    total_load: Ratio,
+) -> Result<RingAnalysis, RtnetError> {
+    build(
+        ring_nodes,
+        terminals,
+        total_load,
+        None,
+        CdvMode::Hard,
+        PrioritySplit::SingleLevel,
+    )
+}
+
+/// [`symmetric`] with an explicit CDV accumulation mode (e.g. the soft
+/// square-root scheme of Figure 13 applied to a symmetric load).
+///
+/// # Errors
+///
+/// As [`symmetric`].
+pub fn symmetric_with(
+    ring_nodes: usize,
+    terminals: usize,
+    total_load: Ratio,
+    mode: CdvMode,
+) -> Result<RingAnalysis, RtnetError> {
+    build(
+        ring_nodes,
+        terminals,
+        total_load,
+        None,
+        mode,
+        PrioritySplit::SingleLevel,
+    )
+}
+
+/// Asymmetric cyclic traffic (Figure 11): terminal 0 of ring node 0
+/// generates `big_share` of the total load; the remaining
+/// `ring_nodes × terminals − 1` terminals split the rest equally.
+/// Single priority, hard CDV.
+///
+/// # Errors
+///
+/// As [`symmetric`], plus a `big_share` outside `[0, 1]`.
+pub fn asymmetric(
+    ring_nodes: usize,
+    terminals: usize,
+    total_load: Ratio,
+    big_share: Ratio,
+) -> Result<RingAnalysis, RtnetError> {
+    build(
+        ring_nodes,
+        terminals,
+        total_load,
+        Some(big_share),
+        CdvMode::Hard,
+        PrioritySplit::SingleLevel,
+    )
+}
+
+/// Asymmetric traffic with full control: CDV accumulation mode and
+/// priority assignment (see [`PrioritySplit`]).
+///
+/// # Errors
+///
+/// As [`asymmetric`].
+pub fn asymmetric_with(
+    ring_nodes: usize,
+    terminals: usize,
+    total_load: Ratio,
+    big_share: Ratio,
+    mode: CdvMode,
+    split: PrioritySplit,
+) -> Result<RingAnalysis, RtnetError> {
+    build(
+        ring_nodes,
+        terminals,
+        total_load,
+        Some(big_share),
+        mode,
+        split,
+    )
+}
+
+fn build(
+    ring_nodes: usize,
+    terminals: usize,
+    total_load: Ratio,
+    big_share: Option<Ratio>,
+    mode: CdvMode,
+    split: PrioritySplit,
+) -> Result<RingAnalysis, RtnetError> {
+    if terminals == 0 {
+        return Err(RtnetError::BadParameter("need at least one terminal"));
+    }
+    if !total_load.is_positive() || total_load > Ratio::ONE {
+        return Err(RtnetError::BadParameter("total load must be in (0, 1]"));
+    }
+    if let Some(share) = big_share {
+        if share.is_negative() || share > Ratio::ONE {
+            return Err(RtnetError::BadParameter("big share must be in [0, 1]"));
+        }
+    }
+    let bounds = if split == PrioritySplit::SingleLevel {
+        vec![default_hop_bound()]
+    } else {
+        vec![default_hop_bound(), default_hop_bound() * ratio(2, 1)]
+    };
+    let (big_priority, small_priority) = match split {
+        PrioritySplit::SingleLevel => (Priority::HIGHEST, Priority::HIGHEST),
+        PrioritySplit::SmallsLow => (Priority::HIGHEST, Priority::new(1)),
+        PrioritySplit::BigLow => (Priority::new(1), Priority::HIGHEST),
+    };
+    let mut analysis = RingAnalysis::new(ring_nodes, bounds, mode)?;
+    let all_terminals = ring_nodes * terminals;
+    match big_share {
+        None => {
+            let pcr = total_load / ratio(all_terminals as i128, 1);
+            let stream = cbr_stream(pcr)?;
+            for node in 0..ring_nodes {
+                for _ in 0..terminals {
+                    analysis.add_connection(node, stream.clone(), small_priority)?;
+                }
+            }
+        }
+        Some(share) => {
+            let big_rate = total_load * share;
+            if big_rate.is_positive() {
+                analysis.add_connection(0, cbr_stream(big_rate)?, big_priority)?;
+            }
+            let rest = total_load - big_rate;
+            if all_terminals > 1 && rest.is_positive() {
+                let small_rate = rest / ratio(all_terminals as i128 - 1, 1);
+                let small = cbr_stream(small_rate)?;
+                for node in 0..ring_nodes {
+                    let locals = if node == 0 { terminals - 1 } else { terminals };
+                    for _ in 0..locals {
+                        analysis.add_connection(node, small.clone(), small_priority)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(analysis)
+}
+
+fn cbr_stream(pcr: Ratio) -> Result<rtcac_bitstream::BitStream, RtnetError> {
+    Ok(
+        TrafficContract::cbr(CbrParams::new(Rate::new(pcr))?)
+            .worst_case_stream(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_shape() {
+        let a = symmetric(16, 4, ratio(1, 2)).unwrap();
+        assert_eq!(a.ring_nodes(), 16);
+        assert_eq!(a.levels(), 1);
+        // Light symmetric load is admissible.
+        assert!(a.admissible().unwrap());
+    }
+
+    #[test]
+    fn symmetric_validation() {
+        assert!(symmetric(16, 0, ratio(1, 2)).is_err());
+        assert!(symmetric(16, 4, ratio(0, 1)).is_err());
+        assert!(symmetric(16, 4, ratio(3, 2)).is_err());
+    }
+
+    #[test]
+    fn asymmetric_extremes() {
+        // share 0: everything on the small terminals.
+        let a = asymmetric(8, 2, ratio(1, 4), ratio(0, 1)).unwrap();
+        assert!(a.admissible().unwrap());
+        // share 1: one big terminal only.
+        let a = asymmetric(8, 2, ratio(1, 4), ratio(1, 1)).unwrap();
+        assert!(a.admissible().unwrap());
+        // invalid shares.
+        assert!(asymmetric(8, 2, ratio(1, 4), ratio(-1, 4)).is_err());
+        assert!(asymmetric(8, 2, ratio(1, 4), ratio(5, 4)).is_err());
+    }
+
+    #[test]
+    fn two_priority_configuration() {
+        let a = asymmetric_with(
+            8,
+            2,
+            ratio(1, 4),
+            ratio(1, 2),
+            CdvMode::Hard,
+            PrioritySplit::SmallsLow,
+        )
+        .unwrap();
+        assert_eq!(a.levels(), 2);
+        assert_eq!(
+            a.hop_bound(Priority::new(1)).unwrap(),
+            Time::from_integer(64)
+        );
+    }
+
+    #[test]
+    fn asymmetric_share_one_with_single_terminal_matches_paper_setup() {
+        // N = 1, p = 1/(16N): asymmetric equals symmetric by
+        // construction; both must agree on admissibility.
+        let sym = symmetric(16, 1, ratio(1, 2)).unwrap();
+        let asym = asymmetric(16, 1, ratio(1, 2), ratio(1, 16)).unwrap();
+        assert_eq!(
+            sym.admissible().unwrap(),
+            asym.admissible().unwrap()
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Cell delay variation accumulation over upstream queueing points.
+
+use rtcac_bitstream::Time;
+use rtcac_rational::{sqrt_upper, Ratio};
+
+use crate::SignalError;
+
+/// Precision denominator for the soft (square-root) accumulation: the
+/// result is exact to within 1/10⁶ of a cell time, always rounded up.
+const SQRT_PRECISION: i128 = 1_000_000;
+
+/// How the cell delay variation (CDV) a connection accumulates over
+/// upstream switches is estimated (paper §4.3, discussion 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CdvPolicy {
+    /// Worst case: the plain sum of the upstream per-hop delay bounds.
+    /// Required for **hard** real-time guarantees.
+    #[default]
+    Hard,
+    /// Square root of the sum of squared per-hop bounds — a less
+    /// conservative estimate for **soft** real-time connections (the
+    /// probability of hitting the maximum delay at *every* hop is
+    /// negligible). Rounded up so it stays an upper estimate of the
+    /// model it represents.
+    SoftSqrt,
+}
+
+impl CdvPolicy {
+    /// Accumulates per-hop delay bounds into the CDV seen by the next
+    /// hop downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::NegativeBound`] if any bound is negative,
+    /// or [`SignalError::Numeric`] on arithmetic overflow.
+    ///
+    /// ```
+    /// use rtcac_bitstream::Time;
+    /// use rtcac_signaling::CdvPolicy;
+    ///
+    /// let hops = [Time::from_integer(32); 4];
+    /// assert_eq!(CdvPolicy::Hard.accumulate(&hops)?, Time::from_integer(128));
+    /// // sqrt(4 * 32²) = 64.
+    /// let soft = CdvPolicy::SoftSqrt.accumulate(&hops)?;
+    /// assert!(soft >= Time::from_integer(64));
+    /// assert!(soft < Time::from_integer(65));
+    /// # Ok::<(), rtcac_signaling::SignalError>(())
+    /// ```
+    pub fn accumulate(&self, upstream_bounds: &[Time]) -> Result<Time, SignalError> {
+        for &b in upstream_bounds {
+            if b.is_negative() {
+                return Err(SignalError::NegativeBound(b));
+            }
+        }
+        match self {
+            CdvPolicy::Hard => Ok(upstream_bounds.iter().copied().sum()),
+            CdvPolicy::SoftSqrt => {
+                let mut sum_sq = Ratio::ZERO;
+                for b in upstream_bounds {
+                    let r = b.as_ratio();
+                    let sq = r.checked_mul(r).ok_or(SignalError::Numeric)?;
+                    sum_sq = sum_sq.checked_add(sq).ok_or(SignalError::Numeric)?;
+                }
+                let root =
+                    sqrt_upper(sum_sq, SQRT_PRECISION).map_err(|_| SignalError::Numeric)?;
+                Ok(Time::new(root))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_rational::ratio;
+
+    #[test]
+    fn hard_is_plain_sum() {
+        let bounds = [
+            Time::from_integer(10),
+            Time::from_integer(20),
+            Time::from_integer(2),
+        ];
+        assert_eq!(
+            CdvPolicy::Hard.accumulate(&bounds).unwrap(),
+            Time::from_integer(32)
+        );
+    }
+
+    #[test]
+    fn empty_upstream_is_zero() {
+        assert_eq!(CdvPolicy::Hard.accumulate(&[]).unwrap(), Time::ZERO);
+        assert_eq!(CdvPolicy::SoftSqrt.accumulate(&[]).unwrap(), Time::ZERO);
+    }
+
+    #[test]
+    fn soft_matches_pythagoras() {
+        // 3-4 right triangle: sqrt(9 + 16) = 5.
+        let bounds = [Time::from_integer(3), Time::from_integer(4)];
+        let soft = CdvPolicy::SoftSqrt.accumulate(&bounds).unwrap();
+        assert!(soft >= Time::from_integer(5));
+        assert!(soft <= Time::from_integer(5) + Time::new(ratio(1, 100_000)));
+    }
+
+    #[test]
+    fn soft_never_exceeds_hard() {
+        let bounds = [
+            Time::from_integer(32),
+            Time::from_integer(32),
+            Time::from_integer(16),
+            Time::from_integer(8),
+        ];
+        let hard = CdvPolicy::Hard.accumulate(&bounds).unwrap();
+        let soft = CdvPolicy::SoftSqrt.accumulate(&bounds).unwrap();
+        assert!(soft <= hard);
+    }
+
+    #[test]
+    fn soft_equals_hard_for_single_hop() {
+        let bounds = [Time::from_integer(32)];
+        let hard = CdvPolicy::Hard.accumulate(&bounds).unwrap();
+        let soft = CdvPolicy::SoftSqrt.accumulate(&bounds).unwrap();
+        // Rounded up by at most the precision step.
+        assert!(soft >= hard);
+        assert!(soft - hard <= Time::new(ratio(1, 100_000)));
+    }
+
+    #[test]
+    fn soft_is_conservative_upper_bound() {
+        // The returned value squared must dominate the sum of squares.
+        let bounds = [Time::from_integer(7), Time::from_integer(11)];
+        let soft = CdvPolicy::SoftSqrt.accumulate(&bounds).unwrap();
+        let sum_sq = ratio(7 * 7 + 11 * 11, 1);
+        assert!(soft.as_ratio() * soft.as_ratio() >= sum_sq);
+    }
+
+    #[test]
+    fn negative_bound_rejected() {
+        let bounds = [Time::from_integer(-1)];
+        assert!(matches!(
+            CdvPolicy::Hard.accumulate(&bounds),
+            Err(SignalError::NegativeBound(_))
+        ));
+        assert!(matches!(
+            CdvPolicy::SoftSqrt.accumulate(&bounds),
+            Err(SignalError::NegativeBound(_))
+        ));
+    }
+
+    #[test]
+    fn default_is_hard() {
+        assert_eq!(CdvPolicy::default(), CdvPolicy::Hard);
+    }
+}

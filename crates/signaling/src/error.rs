@@ -1,0 +1,108 @@
+//! Error type for the signaling layer.
+
+use core::fmt;
+
+use rtcac_bitstream::Time;
+use rtcac_cac::{CacError, ConnectionId};
+use rtcac_net::NetError;
+
+/// Error produced by the signaling layer. Connection *rejections* are
+/// normal outcomes and are reported via
+/// [`SetupOutcome::Rejected`](crate::SetupOutcome::Rejected), not here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SignalError {
+    /// No connection with this id is established in the network.
+    UnknownConnection(ConnectionId),
+    /// A connection with this id is already established.
+    DuplicateConnection(ConnectionId),
+    /// The route references a node with no managed switch.
+    NoSwitchAt(rtcac_net::NodeId),
+    /// A per-hop delay bound was negative.
+    NegativeBound(Time),
+    /// Arithmetic overflow while accumulating CDV.
+    Numeric,
+    /// Topology-level failure (invalid route or link).
+    Net(NetError),
+    /// Switch-level failure (misconfiguration or internal numeric
+    /// failure).
+    Cac(CacError),
+}
+
+impl fmt::Display for SignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalError::UnknownConnection(id) => {
+                write!(f, "connection {id} is not established")
+            }
+            SignalError::DuplicateConnection(id) => {
+                write!(f, "connection {id} is already established")
+            }
+            SignalError::NoSwitchAt(node) => {
+                write!(f, "no managed switch at node {node}")
+            }
+            SignalError::NegativeBound(b) => {
+                write!(f, "negative per-hop delay bound {b}")
+            }
+            SignalError::Numeric => write!(f, "arithmetic overflow accumulating cdv"),
+            SignalError::Net(e) => write!(f, "topology error: {e}"),
+            SignalError::Cac(e) => write!(f, "admission control error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SignalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SignalError::Net(e) => Some(e),
+            SignalError::Cac(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for SignalError {
+    fn from(e: NetError) -> Self {
+        SignalError::Net(e)
+    }
+}
+
+impl From<CacError> for SignalError {
+    fn from(e: CacError) -> Self {
+        SignalError::Cac(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_net::NodeId;
+
+    #[test]
+    fn messages_and_sources() {
+        use std::error::Error;
+        let cases: Vec<SignalError> = vec![
+            SignalError::UnknownConnection(ConnectionId::new(1)),
+            SignalError::DuplicateConnection(ConnectionId::new(1)),
+            SignalError::NoSwitchAt(NodeId::external(2)),
+            SignalError::NegativeBound(Time::from_integer(-1)),
+            SignalError::Numeric,
+            SignalError::Net(NetError::EmptyRoute),
+            SignalError::Cac(CacError::BadConfig("x")),
+        ];
+        for e in &cases {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(cases[5].source().is_some());
+        assert!(cases[6].source().is_some());
+        assert!(cases[0].source().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let e: SignalError = NetError::EmptyRoute.into();
+        assert!(matches!(e, SignalError::Net(_)));
+        let e: SignalError = CacError::BadConfig("y").into();
+        assert!(matches!(e, SignalError::Cac(_)));
+    }
+}

@@ -1,0 +1,177 @@
+//! Observable signaling events: the SETUP / REJECT / CONNECTED protocol
+//! of §4.1 as an auditable trace.
+
+use core::fmt;
+
+use rtcac_bitstream::Time;
+use rtcac_cac::{ConnectionId, RejectReason};
+use rtcac_net::{LinkId, NodeId};
+
+/// One step of the distributed connection setup procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SignalEvent {
+    /// The SETUP message arrived at a switch, which ran the CAC check
+    /// and forwarded it downstream.
+    SetupForwarded {
+        /// The connection being established.
+        connection: ConnectionId,
+        /// The switch that passed the check.
+        switch: NodeId,
+        /// The outgoing link checked at this switch.
+        out_link: LinkId,
+        /// CDV the connection had accumulated upstream of this switch.
+        cdv: Time,
+    },
+    /// A switch failed the CAC check and sent REJECT upstream; all
+    /// upstream reservations were released.
+    Rejected {
+        /// The connection being established.
+        connection: ConnectionId,
+        /// The switch that rejected.
+        switch: NodeId,
+        /// Why it rejected.
+        reason: RejectReason,
+    },
+    /// The SETUP reached the destination; CONNECTED travelled back to
+    /// the source.
+    Connected {
+        /// The established connection.
+        connection: ConnectionId,
+        /// The end-to-end queueing delay bound guaranteed to it.
+        guaranteed_delay: Time,
+    },
+    /// The connection was torn down and its reservations released.
+    Released {
+        /// The released connection.
+        connection: ConnectionId,
+    },
+}
+
+impl fmt::Display for SignalEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalEvent::SetupForwarded {
+                connection,
+                switch,
+                out_link,
+                cdv,
+            } => write!(
+                f,
+                "SETUP {connection} forwarded by {switch} (out {out_link}, cdv {cdv})"
+            ),
+            SignalEvent::Rejected {
+                connection,
+                switch,
+                reason,
+            } => write!(f, "REJECT {connection} at {switch}: {reason}"),
+            SignalEvent::Connected {
+                connection,
+                guaranteed_delay,
+            } => write!(
+                f,
+                "CONNECTED {connection} (guaranteed delay {guaranteed_delay} cell times)"
+            ),
+            SignalEvent::Released { connection } => write!(f, "RELEASED {connection}"),
+        }
+    }
+}
+
+/// Why a setup attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SetupRejection {
+    /// A switch on the route failed the CAC check.
+    Switch {
+        /// The rejecting switch.
+        at: NodeId,
+        /// The CAC-level reason.
+        reason: RejectReason,
+        /// How many switches had already accepted (and were rolled
+        /// back).
+        hops_rolled_back: usize,
+    },
+    /// The requested end-to-end delay bound is smaller than the sum of
+    /// the advertised per-hop bounds — no admission check can help.
+    QosUnsatisfiable {
+        /// The delay bound the connection asked for.
+        requested: Time,
+        /// The smallest bound the route can guarantee.
+        achievable: Time,
+    },
+}
+
+impl fmt::Display for SetupRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetupRejection::Switch {
+                at,
+                reason,
+                hops_rolled_back,
+            } => write!(
+                f,
+                "rejected at {at} after {hops_rolled_back} upstream reservations: {reason}"
+            ),
+            SetupRejection::QosUnsatisfiable {
+                requested,
+                achievable,
+            } => write!(
+                f,
+                "requested delay bound {requested} below the route's achievable {achievable}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_cac::Priority;
+
+    #[test]
+    fn event_display() {
+        let e = SignalEvent::SetupForwarded {
+            connection: ConnectionId::new(1),
+            switch: NodeId::external(2),
+            out_link: LinkId::external(3),
+            cdv: Time::from_integer(32),
+        };
+        assert!(e.to_string().contains("SETUP"));
+        let e = SignalEvent::Connected {
+            connection: ConnectionId::new(1),
+            guaranteed_delay: Time::from_integer(64),
+        };
+        assert!(e.to_string().contains("CONNECTED"));
+        let e = SignalEvent::Released {
+            connection: ConnectionId::new(1),
+        };
+        assert!(e.to_string().contains("RELEASED"));
+        let e = SignalEvent::Rejected {
+            connection: ConnectionId::new(1),
+            switch: NodeId::external(2),
+            reason: RejectReason::Overload {
+                out_link: LinkId::external(3),
+                priority: Priority::HIGHEST,
+            },
+        };
+        assert!(e.to_string().contains("REJECT"));
+    }
+
+    #[test]
+    fn rejection_display() {
+        let r = SetupRejection::QosUnsatisfiable {
+            requested: Time::from_integer(10),
+            achievable: Time::from_integer(64),
+        };
+        assert!(r.to_string().contains("64"));
+        let r = SetupRejection::Switch {
+            at: NodeId::external(1),
+            reason: RejectReason::Overload {
+                out_link: LinkId::external(2),
+                priority: Priority::HIGHEST,
+            },
+            hops_rolled_back: 2,
+        };
+        assert!(r.to_string().contains("2 upstream"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Point-to-multipoint connection establishment.
+//!
+//! RTnet's cyclic transmission broadcasts each terminal's shared-memory
+//! segment to every other terminal; the natural ATM realization is a
+//! point-to-multipoint VC — one admission per tree branch port, cells
+//! duplicated at branch switches. This module extends [`Network`] with
+//! multicast setup/teardown, reusing the unicast CAC machinery: each
+//! tree port is one leg of the same connection id, with CDV accumulated
+//! along that port's root path.
+
+use rtcac_bitstream::Time;
+use rtcac_cac::{AdmissionDecision, ConnectionId, ConnectionRequest};
+use rtcac_net::{LinkId, MulticastTree, NodeId};
+
+use crate::network::LOCAL_INJECTION;
+use crate::{Network, SetupRejection, SetupRequest, SignalError, SignalEvent};
+
+/// A successfully established point-to-multipoint connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticastInfo {
+    id: ConnectionId,
+    request: SetupRequest,
+    tree: MulticastTree,
+    /// Guaranteed end-to-end queueing delay per leaf, sorted by node.
+    per_leaf: Vec<(NodeId, Time)>,
+}
+
+impl MulticastInfo {
+    /// The connection's identifier.
+    pub fn id(&self) -> ConnectionId {
+        self.id
+    }
+
+    /// The original setup request.
+    pub fn request(&self) -> &SetupRequest {
+        &self.request
+    }
+
+    /// The multicast tree.
+    pub fn tree(&self) -> &MulticastTree {
+        &self.tree
+    }
+
+    /// The guaranteed end-to-end queueing delay bound per leaf.
+    pub fn per_leaf(&self) -> &[(NodeId, Time)] {
+        &self.per_leaf
+    }
+
+    /// The worst guaranteed delay over all leaves.
+    pub fn guaranteed_delay(&self) -> Time {
+        self.per_leaf
+            .iter()
+            .map(|&(_, d)| d)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+}
+
+impl Network {
+    /// Establishes a point-to-multipoint connection over `tree`: the
+    /// SETUP is admitted at every tree branch port (one leg per port,
+    /// same connection id), with CDV accumulated along each port's root
+    /// path per the network's [`CdvPolicy`](crate::CdvPolicy). A
+    /// rejection anywhere rolls back all reservations.
+    ///
+    /// The requested delay bound must cover the *worst* leaf's
+    /// guaranteed delay (the sum of advertised bounds along its path).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for API misuse (foreign tree, unmanaged
+    /// switch, unknown priority); an infeasible connection yields
+    /// [`MulticastOutcome::Rejected`].
+    pub fn setup_multicast(
+        &mut self,
+        tree: &MulticastTree,
+        request: SetupRequest,
+    ) -> Result<MulticastOutcome, SignalError> {
+        let id = self.allocate_id();
+        let points = tree.queueing_points(self.topology())?;
+
+        // Guaranteed per-leaf delays from advertised bounds.
+        let mut per_leaf = Vec::new();
+        let mut worst = Time::ZERO;
+        for (leaf, path) in tree.leaf_paths(self.topology())? {
+            let mut total = Time::ZERO;
+            for &link in &path {
+                let from = self.topology().link(link)?.from();
+                if self.topology().node(from)?.is_switch() {
+                    total += self.switch(from)?.advertised_bound(request.priority())?;
+                }
+            }
+            worst = worst.max(total);
+            per_leaf.push((leaf, total));
+        }
+        if request.delay_bound() < worst {
+            return Ok(MulticastOutcome::Rejected(
+                SetupRejection::QosUnsatisfiable {
+                    requested: request.delay_bound(),
+                    achievable: worst,
+                },
+            ));
+        }
+
+        // Admit leg by leg; roll back on the first rejection.
+        let mut admitted: Vec<NodeId> = Vec::new();
+        for &(node, out_link, _) in &points {
+            let cdv = self.multicast_cdv(tree, out_link, request.priority())?;
+            let in_link = tree.parent(out_link).unwrap_or(LOCAL_INJECTION);
+            let leg = ConnectionRequest::new(
+                request.contract(),
+                cdv,
+                in_link,
+                out_link,
+                request.priority(),
+            );
+            match self.switch_mut(node)?.admit(id, leg)? {
+                AdmissionDecision::Admitted(_) => {
+                    admitted.push(node);
+                    self.push_event(SignalEvent::SetupForwarded {
+                        connection: id,
+                        switch: node,
+                        out_link,
+                        cdv,
+                    });
+                }
+                AdmissionDecision::Rejected(reason) => {
+                    let mut rolled_back = std::collections::BTreeSet::new();
+                    for &up in admitted.iter().rev() {
+                        if rolled_back.insert(up) {
+                            self.switch_mut(up)?.release(id)?;
+                        }
+                    }
+                    self.push_event(SignalEvent::Rejected {
+                        connection: id,
+                        switch: node,
+                        reason,
+                    });
+                    return Ok(MulticastOutcome::Rejected(SetupRejection::Switch {
+                        at: node,
+                        reason,
+                        hops_rolled_back: admitted.len(),
+                    }));
+                }
+            }
+        }
+
+        let info = MulticastInfo {
+            id,
+            request,
+            tree: tree.clone(),
+            per_leaf,
+        };
+        self.push_event(SignalEvent::Connected {
+            connection: id,
+            guaranteed_delay: info.guaranteed_delay(),
+        });
+        self.insert_multicast(info.clone());
+        Ok(MulticastOutcome::Connected(info))
+    }
+
+    /// Tears down an established multicast connection, releasing every
+    /// leg at every switch of its tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::UnknownConnection`] for an unknown id.
+    pub fn teardown_multicast(&mut self, id: ConnectionId) -> Result<(), SignalError> {
+        let info = self
+            .remove_multicast(id)
+            .ok_or(SignalError::UnknownConnection(id))?;
+        let mut released = std::collections::BTreeSet::new();
+        for (node, _, _) in info.tree.queueing_points(self.topology())? {
+            if released.insert(node) {
+                self.switch_mut(node)?.release(id)?;
+            }
+        }
+        self.push_event(SignalEvent::Released { connection: id });
+        Ok(())
+    }
+
+    /// The CDV a multicast leg has accumulated upstream of its port:
+    /// the policy applied to the advertised bounds of the switch ports
+    /// on its root path (excluding itself).
+    fn multicast_cdv(
+        &self,
+        tree: &MulticastTree,
+        out_link: LinkId,
+        priority: rtcac_cac::Priority,
+    ) -> Result<Time, SignalError> {
+        let path = tree
+            .root_path(out_link)
+            .ok_or(SignalError::Net(rtcac_net::NetError::UnknownLink(out_link)))?;
+        let mut upstream = Vec::new();
+        for &link in &path[..path.len() - 1] {
+            let from = self.topology().link(link)?.from();
+            if self.topology().node(from)?.is_switch() {
+                upstream.push(self.switch(from)?.advertised_bound(priority)?);
+            }
+        }
+        self.policy().accumulate(&upstream)
+    }
+}
+
+/// The outcome of a multicast setup attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MulticastOutcome {
+    /// Every leg admitted; the p2mp VC is live.
+    Connected(MulticastInfo),
+    /// Some leg refused (reservations rolled back) or the QoS is
+    /// unachievable.
+    Rejected(SetupRejection),
+}
+
+impl MulticastOutcome {
+    /// Whether the setup succeeded.
+    pub fn is_connected(&self) -> bool {
+        matches!(self, MulticastOutcome::Connected(_))
+    }
+}

@@ -1,0 +1,625 @@
+//! The [`Network`]: CAC-managed switches over a topology, driving the
+//! distributed setup procedure.
+
+use std::collections::BTreeMap;
+
+use rtcac_bitstream::{Time, TrafficContract};
+use rtcac_cac::{
+    AdmissionDecision, ConnectionId, ConnectionRequest, Priority, Switch, SwitchConfig,
+};
+use rtcac_net::{LinkId, NodeId, Route, Topology};
+
+use crate::{CdvPolicy, SetupRejection, SignalError, SignalEvent};
+
+/// Identifier used as the "incoming link" when a route originates at a
+/// switch itself (local traffic injection; no physical incoming link
+/// exists).
+pub(crate) const LOCAL_INJECTION: LinkId = LinkId::external(u32::MAX);
+
+/// The connection parameters carried in a SETUP message: traffic
+/// contract, priority, and the requested end-to-end queueing delay
+/// bound `D` (paper §4.1: `(PCR, SCR, MBS, D)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetupRequest {
+    contract: TrafficContract,
+    priority: Priority,
+    delay_bound: Time,
+}
+
+impl SetupRequest {
+    /// Creates a setup request.
+    pub fn new(contract: TrafficContract, priority: Priority, delay_bound: Time) -> SetupRequest {
+        SetupRequest {
+            contract,
+            priority,
+            delay_bound,
+        }
+    }
+
+    /// The traffic contract.
+    pub fn contract(&self) -> TrafficContract {
+        self.contract
+    }
+
+    /// The transmission priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The requested end-to-end queueing delay bound.
+    pub fn delay_bound(&self) -> Time {
+        self.delay_bound
+    }
+}
+
+/// A successfully established connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionInfo {
+    id: ConnectionId,
+    request: SetupRequest,
+    route: Route,
+    guaranteed_delay: Time,
+    per_hop_bounds: Vec<(NodeId, Time)>,
+}
+
+impl ConnectionInfo {
+    /// The connection's identifier.
+    pub fn id(&self) -> ConnectionId {
+        self.id
+    }
+
+    /// The original setup request.
+    pub fn request(&self) -> &SetupRequest {
+        &self.request
+    }
+
+    /// The route the connection follows.
+    pub fn route(&self) -> &Route {
+        &self.route
+    }
+
+    /// The guaranteed end-to-end queueing delay bound: the sum of the
+    /// advertised per-hop bounds (fixed regardless of load, per the
+    /// paper's design).
+    pub fn guaranteed_delay(&self) -> Time {
+        self.guaranteed_delay
+    }
+
+    /// The advertised bound at each switch crossed, in route order.
+    pub fn per_hop_bounds(&self) -> &[(NodeId, Time)] {
+        &self.per_hop_bounds
+    }
+}
+
+/// The outcome of a setup attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetupOutcome {
+    /// CONNECTED: the connection is established end to end.
+    Connected(ConnectionInfo),
+    /// REJECT: some switch refused, or the QoS is unachievable; any
+    /// upstream reservations have been rolled back.
+    Rejected(SetupRejection),
+}
+
+impl SetupOutcome {
+    /// Whether the setup succeeded.
+    pub fn is_connected(&self) -> bool {
+        matches!(self, SetupOutcome::Connected(_))
+    }
+}
+
+/// A network of CAC-managed switches over a [`Topology`], implementing
+/// the distributed setup procedure of §4.1. See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct Network {
+    topology: Topology,
+    switches: BTreeMap<NodeId, Switch>,
+    policy: CdvPolicy,
+    connections: BTreeMap<ConnectionId, ConnectionInfo>,
+    multicast: BTreeMap<ConnectionId, crate::MulticastInfo>,
+    events: Vec<SignalEvent>,
+    next_id: u64,
+}
+
+impl Network {
+    /// Creates a network giving every switch node of the topology the
+    /// same configuration.
+    pub fn new(topology: Topology, config: SwitchConfig, policy: CdvPolicy) -> Network {
+        let switches = topology
+            .switches()
+            .map(|n| (n.id(), Switch::new(config.clone())))
+            .collect();
+        Network {
+            topology,
+            switches,
+            policy,
+            connections: BTreeMap::new(),
+            multicast: BTreeMap::new(),
+            events: Vec::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Replaces the configuration of one switch (e.g. to give a core
+    /// switch deeper queues). Existing connections are kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::NoSwitchAt`] if the node is not a managed
+    /// switch.
+    pub fn configure_switch(
+        &mut self,
+        node: NodeId,
+        config: SwitchConfig,
+    ) -> Result<(), SignalError> {
+        match self.switches.get_mut(&node) {
+            Some(s) if s.connection_count() == 0 => {
+                *s = Switch::new(config);
+                Ok(())
+            }
+            Some(_) => Err(SignalError::Cac(rtcac_cac::CacError::BadConfig(
+                "cannot reconfigure a switch with established connections",
+            ))),
+            None => Err(SignalError::NoSwitchAt(node)),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The CDV accumulation policy in force.
+    pub fn policy(&self) -> CdvPolicy {
+        self.policy
+    }
+
+    /// The managed switch at a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::NoSwitchAt`] for non-switch nodes.
+    pub fn switch(&self, node: NodeId) -> Result<&Switch, SignalError> {
+        self.switches.get(&node).ok_or(SignalError::NoSwitchAt(node))
+    }
+
+    /// The recorded signaling trace.
+    pub fn events(&self) -> &[SignalEvent] {
+        &self.events
+    }
+
+    /// Established connections.
+    pub fn connections(&self) -> impl Iterator<Item = &ConnectionInfo> + '_ {
+        self.connections.values()
+    }
+
+    /// Looks up an established connection.
+    pub fn connection(&self, id: ConnectionId) -> Option<&ConnectionInfo> {
+        self.connections.get(&id)
+    }
+
+    /// Established multicast connections.
+    pub fn multicast_connections(
+        &self,
+    ) -> impl Iterator<Item = &crate::MulticastInfo> + '_ {
+        self.multicast.values()
+    }
+
+    /// Looks up an established multicast connection.
+    pub fn multicast_connection(&self, id: ConnectionId) -> Option<&crate::MulticastInfo> {
+        self.multicast.get(&id)
+    }
+
+    pub(crate) fn allocate_id(&mut self) -> ConnectionId {
+        let id = ConnectionId::new(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    pub(crate) fn switch_mut(&mut self, node: NodeId) -> Result<&mut Switch, SignalError> {
+        self.switches
+            .get_mut(&node)
+            .ok_or(SignalError::NoSwitchAt(node))
+    }
+
+    pub(crate) fn push_event(&mut self, event: SignalEvent) {
+        self.events.push(event);
+    }
+
+    pub(crate) fn insert_multicast(&mut self, info: crate::MulticastInfo) {
+        self.multicast.insert(info.id(), info);
+    }
+
+    pub(crate) fn remove_multicast(
+        &mut self,
+        id: ConnectionId,
+    ) -> Option<crate::MulticastInfo> {
+        self.multicast.remove(&id)
+    }
+
+    /// The smallest end-to-end delay bound the route can guarantee for
+    /// a priority: the sum of advertised per-hop bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::NoSwitchAt`] or propagated CAC/topology
+    /// errors for invalid routes or priorities.
+    pub fn achievable_delay(&self, route: &Route, priority: Priority) -> Result<Time, SignalError> {
+        let mut total = Time::ZERO;
+        for (node, _) in route.queueing_points(&self.topology)? {
+            let switch = self.switch(node)?;
+            total += switch.advertised_bound(priority)?;
+        }
+        Ok(total)
+    }
+
+    /// Attempts to establish a connection along `route`, emulating the
+    /// SETUP / REJECT / CONNECTED exchange. On rejection at hop `k`,
+    /// hops `1..k` are rolled back.
+    ///
+    /// Returns the assigned [`ConnectionId`] via
+    /// [`ConnectionInfo::id`] on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for API misuse (invalid route, unmanaged
+    /// node, unknown priority); a connection that simply does not fit
+    /// yields [`SetupOutcome::Rejected`].
+    pub fn setup(
+        &mut self,
+        route: &Route,
+        request: SetupRequest,
+    ) -> Result<SetupOutcome, SignalError> {
+        let id = ConnectionId::new(self.next_id);
+        let outcome = self.setup_with_id(id, route, request)?;
+        if outcome.is_connected() {
+            self.next_id += 1;
+        }
+        Ok(outcome)
+    }
+
+    /// [`Network::setup`] with an explicit connection id (used by the
+    /// central server façade).
+    ///
+    /// # Errors
+    ///
+    /// As [`Network::setup`], plus [`SignalError::DuplicateConnection`].
+    pub fn setup_with_id(
+        &mut self,
+        id: ConnectionId,
+        route: &Route,
+        request: SetupRequest,
+    ) -> Result<SetupOutcome, SignalError> {
+        if self.connections.contains_key(&id) {
+            return Err(SignalError::DuplicateConnection(id));
+        }
+        let points = route.queueing_points(&self.topology)?;
+
+        // The QoS feasibility gate: the fixed advertised bounds are the
+        // only guarantee the network gives, so the requested bound must
+        // cover their sum.
+        let mut per_hop = Vec::with_capacity(points.len());
+        for &(node, _) in &points {
+            let bound = self.switch(node)?.advertised_bound(request.priority())?;
+            per_hop.push((node, bound));
+        }
+        let achievable: Time = per_hop.iter().map(|&(_, b)| b).sum();
+        if request.delay_bound() < achievable {
+            return Ok(SetupOutcome::Rejected(SetupRejection::QosUnsatisfiable {
+                requested: request.delay_bound(),
+                achievable,
+            }));
+        }
+
+        // Walk the route, admitting hop by hop with accumulated CDV.
+        let mut admitted_at: Vec<NodeId> = Vec::with_capacity(points.len());
+        let mut upstream_bounds: Vec<Time> = Vec::with_capacity(points.len());
+        for (hop, &(node, out_link)) in points.iter().enumerate() {
+            let cdv = self.policy.accumulate(&upstream_bounds)?;
+            let in_link = route
+                .incoming_link(&self.topology, node)?
+                .unwrap_or(LOCAL_INJECTION);
+            let conn_request = ConnectionRequest::new(
+                request.contract(),
+                cdv,
+                in_link,
+                out_link,
+                request.priority(),
+            );
+            let switch = self
+                .switches
+                .get_mut(&node)
+                .ok_or(SignalError::NoSwitchAt(node))?;
+            match switch.admit(id, conn_request)? {
+                AdmissionDecision::Admitted(_) => {
+                    admitted_at.push(node);
+                    self.events.push(SignalEvent::SetupForwarded {
+                        connection: id,
+                        switch: node,
+                        out_link,
+                        cdv,
+                    });
+                    upstream_bounds.push(per_hop[hop].1);
+                }
+                AdmissionDecision::Rejected(reason) => {
+                    // REJECT travels upstream: roll back reservations.
+                    for &up in admitted_at.iter().rev() {
+                        self.switches
+                            .get_mut(&up)
+                            .expect("admitted switch exists")
+                            .release(id)?;
+                    }
+                    self.events.push(SignalEvent::Rejected {
+                        connection: id,
+                        switch: node,
+                        reason,
+                    });
+                    return Ok(SetupOutcome::Rejected(SetupRejection::Switch {
+                        at: node,
+                        reason,
+                        hops_rolled_back: admitted_at.len(),
+                    }));
+                }
+            }
+        }
+
+        let info = ConnectionInfo {
+            id,
+            request,
+            route: route.clone(),
+            guaranteed_delay: achievable,
+            per_hop_bounds: per_hop,
+        };
+        self.events.push(SignalEvent::Connected {
+            connection: id,
+            guaranteed_delay: achievable,
+        });
+        self.connections.insert(id, info.clone());
+        Ok(SetupOutcome::Connected(info))
+    }
+
+    /// Tears down an established connection, releasing every switch
+    /// reservation on its route.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::UnknownConnection`] if the id is not
+    /// established.
+    pub fn teardown(&mut self, id: ConnectionId) -> Result<(), SignalError> {
+        let info = self
+            .connections
+            .remove(&id)
+            .ok_or(SignalError::UnknownConnection(id))?;
+        for (node, _) in info.route.queueing_points(&self.topology)? {
+            self.switches
+                .get_mut(&node)
+                .ok_or(SignalError::NoSwitchAt(node))?
+                .release(id)?;
+        }
+        self.events.push(SignalEvent::Released { connection: id });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_bitstream::{CbrParams, Rate, VbrParams};
+    use rtcac_net::builders;
+    use rtcac_rational::ratio;
+
+    fn cbr(num: i128, den: i128) -> TrafficContract {
+        TrafficContract::cbr(CbrParams::new(Rate::new(ratio(num, den))).unwrap())
+    }
+
+    fn line_net(switches: usize, bound: i128) -> (Network, Route) {
+        let (topology, src, sw, dst) = builders::line(switches).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(bound)).unwrap();
+        let route = Route::from_nodes(
+            &topology,
+            std::iter::once(src)
+                .chain(sw.iter().copied())
+                .chain(std::iter::once(dst)),
+        )
+        .unwrap();
+        (Network::new(topology, config, CdvPolicy::Hard), route)
+    }
+
+    #[test]
+    fn setup_and_teardown_roundtrip() {
+        let (mut net, route) = line_net(3, 32);
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(200));
+        let outcome = net.setup(&route, req).unwrap();
+        let info = match outcome {
+            SetupOutcome::Connected(info) => info,
+            other => panic!("expected connection, got {other:?}"),
+        };
+        assert_eq!(info.guaranteed_delay(), Time::from_integer(96));
+        assert_eq!(info.per_hop_bounds().len(), 3);
+        assert_eq!(net.connections().count(), 1);
+        // All three switches hold the reservation.
+        for (node, _) in info.route().queueing_points(net.topology()).unwrap() {
+            assert_eq!(net.switch(node).unwrap().connection_count(), 1);
+        }
+        net.teardown(info.id()).unwrap();
+        assert_eq!(net.connections().count(), 0);
+        for (node, _) in route.queueing_points(net.topology()).unwrap() {
+            assert_eq!(net.switch(node).unwrap().connection_count(), 0);
+        }
+    }
+
+    #[test]
+    fn qos_gate_rejects_impossible_bounds() {
+        let (mut net, route) = line_net(3, 32);
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(50));
+        match net.setup(&route, req).unwrap() {
+            SetupOutcome::Rejected(SetupRejection::QosUnsatisfiable {
+                requested,
+                achievable,
+            }) => {
+                assert_eq!(requested, Time::from_integer(50));
+                assert_eq!(achievable, Time::from_integer(96));
+            }
+            other => panic!("expected qos rejection, got {other:?}"),
+        }
+        assert_eq!(net.connections().count(), 0);
+    }
+
+    #[test]
+    fn rejection_rolls_back_upstream_reservations() {
+        let (mut net, route) = line_net(2, 1_000);
+        // Saturate the line with big CBR connections until one is
+        // rejected mid-route; afterwards no switch may hold a partial
+        // reservation.
+        let mut rejected = false;
+        for _ in 0..5 {
+            let req =
+                SetupRequest::new(cbr(2, 5), Priority::HIGHEST, Time::from_integer(100_000));
+            match net.setup(&route, req).unwrap() {
+                SetupOutcome::Connected(_) => {}
+                SetupOutcome::Rejected(SetupRejection::Switch { .. }) => {
+                    rejected = true;
+                    break;
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert!(rejected, "link must eventually saturate");
+        // Connection counts must be equal on every switch (no orphans).
+        let counts: Vec<usize> = route
+            .queueing_points(net.topology())
+            .unwrap()
+            .iter()
+            .map(|&(node, _)| net.switch(node).unwrap().connection_count())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn events_trace_protocol() {
+        let (mut net, route) = line_net(2, 32);
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(100));
+        let outcome = net.setup(&route, req).unwrap();
+        assert!(outcome.is_connected());
+        let kinds: Vec<&'static str> = net
+            .events()
+            .iter()
+            .map(|e| match e {
+                SignalEvent::SetupForwarded { .. } => "setup",
+                SignalEvent::Rejected { .. } => "reject",
+                SignalEvent::Connected { .. } => "connected",
+                SignalEvent::Released { .. } => "released",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["setup", "setup", "connected"]);
+    }
+
+    #[test]
+    fn cdv_grows_along_route() {
+        let (mut net, route) = line_net(3, 32);
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(200));
+        net.setup(&route, req).unwrap();
+        let cdvs: Vec<Time> = net
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                SignalEvent::SetupForwarded { cdv, .. } => Some(*cdv),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            cdvs,
+            vec![
+                Time::ZERO,
+                Time::from_integer(32),
+                Time::from_integer(64)
+            ]
+        );
+    }
+
+    #[test]
+    fn soft_policy_accumulates_less_cdv() {
+        let (topology, src, sw, dst) = builders::line(4).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(32)).unwrap();
+        let route = Route::from_nodes(
+            &topology,
+            std::iter::once(src)
+                .chain(sw.iter().copied())
+                .chain(std::iter::once(dst)),
+        )
+        .unwrap();
+        let mut net = Network::new(topology, config, CdvPolicy::SoftSqrt);
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(500));
+        net.setup(&route, req).unwrap();
+        let cdvs: Vec<Time> = net
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                SignalEvent::SetupForwarded { cdv, .. } => Some(*cdv),
+                _ => None,
+            })
+            .collect();
+        // Last hop: hard would be 96; soft is sqrt(3)*32 ~ 55.4.
+        assert!(cdvs[3] < Time::from_integer(60));
+        assert!(cdvs[3] > Time::from_integer(55));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids() {
+        let (mut net, route) = line_net(2, 32);
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(100));
+        let id = ConnectionId::new(77);
+        net.setup_with_id(id, &route, req).unwrap();
+        assert!(matches!(
+            net.setup_with_id(id, &route, req),
+            Err(SignalError::DuplicateConnection(_))
+        ));
+        assert!(matches!(
+            net.teardown(ConnectionId::new(99)),
+            Err(SignalError::UnknownConnection(_))
+        ));
+    }
+
+    #[test]
+    fn achievable_delay_reports_route_total() {
+        let (net, route) = line_net(3, 32);
+        assert_eq!(
+            net.achievable_delay(&route, Priority::HIGHEST).unwrap(),
+            Time::from_integer(96)
+        );
+    }
+
+    #[test]
+    fn configure_switch_rules() {
+        let (mut net, route) = line_net(2, 32);
+        let node = route.queueing_points(net.topology()).unwrap()[0].0;
+        let deeper = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+        net.configure_switch(node, deeper.clone()).unwrap();
+        assert_eq!(
+            net.switch(node)
+                .unwrap()
+                .advertised_bound(Priority::HIGHEST)
+                .unwrap(),
+            Time::from_integer(64)
+        );
+        // Established connections forbid reconfiguration.
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(200));
+        net.setup(&route, req).unwrap();
+        assert!(net.configure_switch(node, deeper).is_err());
+        // Unknown node.
+        assert!(matches!(
+            net.configure_switch(NodeId::external(999), SwitchConfig::uniform(1, Time::ONE).unwrap()),
+            Err(SignalError::NoSwitchAt(_))
+        ));
+    }
+
+    #[test]
+    fn vbr_setup_over_line() {
+        let (mut net, route) = line_net(3, 64);
+        let contract = TrafficContract::vbr(
+            VbrParams::new(Rate::new(ratio(1, 2)), Rate::new(ratio(1, 10)), 12).unwrap(),
+        );
+        let req = SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(400));
+        assert!(net.setup(&route, req).unwrap().is_connected());
+    }
+}

@@ -1,0 +1,190 @@
+//! Central connection admission control server (§4.3, discussion 3).
+//!
+//! The first RTnet generation performs CAC off-line for permanent
+//! connections; the next one runs a central connection-management
+//! server that sets up and tears down switched real-time connections
+//! on-line. [`CacServer`] models that server: it owns the network-wide
+//! switch state and processes setup/teardown requests sequentially,
+//! keeping acceptance statistics.
+
+use rtcac_cac::ConnectionId;
+use rtcac_net::Route;
+
+use crate::{Network, SetupOutcome, SetupRequest, SignalError};
+
+/// Aggregate statistics of a [`CacServer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections currently established.
+    pub active: usize,
+    /// Total setups accepted since start.
+    pub accepted: u64,
+    /// Total setups rejected since start.
+    pub rejected: u64,
+    /// Total teardowns processed since start.
+    pub released: u64,
+}
+
+/// A central CAC server: the single point through which all real-time
+/// connections of a network are established and released.
+///
+/// # Examples
+///
+/// ```
+/// use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract};
+/// use rtcac_cac::{Priority, SwitchConfig};
+/// use rtcac_net::{builders, Route};
+/// use rtcac_rational::ratio;
+/// use rtcac_signaling::{CacServer, CdvPolicy, Network, SetupRequest};
+///
+/// let (topology, src, switches, dst) = builders::line(2)?;
+/// let config = SwitchConfig::uniform(1, Time::from_integer(32))?;
+/// let mut server = CacServer::new(Network::new(topology, config, CdvPolicy::Hard));
+///
+/// let route = Route::from_nodes(
+///     server.network().topology(),
+///     [src, switches[0], switches[1], dst],
+/// )?;
+/// let contract = TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, 10)))?);
+/// let request = SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(100));
+/// let outcome = server.request_setup(&route, request)?;
+/// assert!(outcome.is_connected());
+/// assert_eq!(server.stats().accepted, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacServer {
+    network: Network,
+    stats: ServerStats,
+}
+
+impl CacServer {
+    /// Creates a server managing the given network.
+    pub fn new(network: Network) -> CacServer {
+        CacServer {
+            network,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// The managed network (switch states, topology, event trace).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Acceptance statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Processes a setup request, updating statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::setup`].
+    pub fn request_setup(
+        &mut self,
+        route: &Route,
+        request: SetupRequest,
+    ) -> Result<SetupOutcome, SignalError> {
+        let outcome = self.network.setup(route, request)?;
+        match &outcome {
+            SetupOutcome::Connected(_) => {
+                self.stats.accepted += 1;
+                self.stats.active += 1;
+            }
+            SetupOutcome::Rejected(_) => self.stats.rejected += 1,
+        }
+        Ok(outcome)
+    }
+
+    /// Processes a teardown, updating statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::teardown`].
+    pub fn request_teardown(&mut self, id: ConnectionId) -> Result<(), SignalError> {
+        self.network.teardown(id)?;
+        self.stats.released += 1;
+        self.stats.active = self.stats.active.saturating_sub(1);
+        Ok(())
+    }
+
+    /// Consumes the server, returning the managed network.
+    pub fn into_network(self) -> Network {
+        self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CdvPolicy;
+    use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract};
+    use rtcac_cac::{Priority, SwitchConfig};
+    use rtcac_net::builders;
+    use rtcac_rational::ratio;
+
+    fn server() -> (CacServer, Route) {
+        let (topology, src, sw, dst) = builders::line(2).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(32)).unwrap();
+        let route = Route::from_nodes(
+            &topology,
+            [src, sw[0], sw[1], dst],
+        )
+        .unwrap();
+        (
+            CacServer::new(Network::new(topology, config, CdvPolicy::Hard)),
+            route,
+        )
+    }
+
+    fn request(num: i128, den: i128) -> SetupRequest {
+        SetupRequest::new(
+            TrafficContract::cbr(CbrParams::new(Rate::new(ratio(num, den))).unwrap()),
+            Priority::HIGHEST,
+            Time::from_integer(10_000),
+        )
+    }
+
+    #[test]
+    fn stats_track_lifecycle() {
+        let (mut server, route) = server();
+        let outcome = server.request_setup(&route, request(1, 10)).unwrap();
+        let id = match outcome {
+            SetupOutcome::Connected(info) => info.id(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(server.stats().accepted, 1);
+        assert_eq!(server.stats().active, 1);
+        server.request_teardown(id).unwrap();
+        assert_eq!(server.stats().released, 1);
+        assert_eq!(server.stats().active, 0);
+    }
+
+    #[test]
+    fn stats_count_rejections() {
+        let (mut server, route) = server();
+        let mut rejections = 0;
+        for _ in 0..6 {
+            let outcome = server.request_setup(&route, request(2, 5)).unwrap();
+            if !outcome.is_connected() {
+                rejections += 1;
+            }
+        }
+        assert!(rejections > 0);
+        assert_eq!(server.stats().rejected, rejections);
+        assert_eq!(
+            server.stats().accepted as usize,
+            server.network().connections().count()
+        );
+    }
+
+    #[test]
+    fn into_network_preserves_state() {
+        let (mut server, route) = server();
+        server.request_setup(&route, request(1, 10)).unwrap();
+        let network = server.into_network();
+        assert_eq!(network.connections().count(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the signaling layer: arbitrary interleaved
+//! setup/teardown sequences keep the distributed reservation state
+//! coherent.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rtcac_bitstream::{Rate, Time, TrafficContract, VbrParams};
+use rtcac_cac::{ConnectionId, Priority, SwitchConfig};
+use rtcac_net::{builders, Route};
+use rtcac_rational::ratio;
+use rtcac_signaling::{CdvPolicy, Network, SetupOutcome, SetupRequest};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Setup {
+        pcr_den: i128,
+        scr_extra: i128,
+        mbs: u64,
+        route_choice: u8,
+    },
+    Teardown(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (3i128..=20, 0i128..=40, 1u64..=6, 0u8..=2).prop_map(
+            |(pcr_den, scr_extra, mbs, route_choice)| Op::Setup {
+                pcr_den,
+                scr_extra,
+                mbs,
+                route_choice,
+            }
+        ),
+        1 => (0usize..12).prop_map(Op::Teardown),
+    ]
+}
+
+/// A Y-shaped test network with three distinct routes.
+struct Fixture {
+    network: Network,
+    routes: Vec<Route>,
+}
+
+fn fixture() -> Fixture {
+    // Ring of 4 switches with one terminal each; three routes of
+    // different lengths.
+    let sr = builders::star_ring(4, 1).unwrap();
+    let config = SwitchConfig::uniform(1, Time::from_integer(48)).unwrap();
+    let routes = vec![
+        sr.ring_route_from_terminal(0, 0, 1).unwrap(),
+        sr.ring_route_from_terminal(1, 0, 2).unwrap(),
+        sr.ring_route_from_terminal(2, 0, 3).unwrap(),
+    ];
+    Fixture {
+        network: Network::new(sr.topology().clone(), config, CdvPolicy::Hard),
+        routes,
+    }
+}
+
+fn request_of(pcr_den: i128, scr_extra: i128, mbs: u64) -> SetupRequest {
+    let contract = TrafficContract::vbr(
+        VbrParams::new(
+            Rate::new(ratio(1, pcr_den)),
+            Rate::new(ratio(1, pcr_den + scr_extra)),
+            mbs,
+        )
+        .unwrap(),
+    );
+    SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(10_000))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reservation coherence: at any moment, each switch holds exactly
+    /// the connections whose routes cross it — no orphans, no leaks.
+    #[test]
+    fn reservations_match_established_routes(ops in vec(arb_op(), 1..30)) {
+        let Fixture { mut network, routes } = fixture();
+        let mut live: Vec<(ConnectionId, usize)> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Setup { pcr_den, scr_extra, mbs, route_choice } => {
+                    let route = &routes[*route_choice as usize % routes.len()];
+                    let req = request_of(*pcr_den, *scr_extra, *mbs);
+                    if let SetupOutcome::Connected(info) =
+                        network.setup(route, req).unwrap()
+                    {
+                        live.push((info.id(), *route_choice as usize % routes.len()));
+                    }
+                }
+                Op::Teardown(k) => {
+                    if !live.is_empty() {
+                        let (id, _) = live.remove(k % live.len());
+                        network.teardown(id).unwrap();
+                    }
+                }
+            }
+            // Verify per-switch reservation counts from first principles.
+            for node in network.topology().switches().map(|n| n.id()) {
+                let expected = live
+                    .iter()
+                    .filter(|(_, route_idx)| {
+                        routes[*route_idx]
+                            .switch_hops(network.topology())
+                            .unwrap()
+                            .contains(&node)
+                    })
+                    .count();
+                let actual = network.switch(node).unwrap().connection_count();
+                prop_assert_eq!(actual, expected, "at node {}", node);
+            }
+        }
+        prop_assert_eq!(network.connections().count(), live.len());
+    }
+
+    /// The computed bound at every port never exceeds the advertised
+    /// bound, across the whole operation sequence.
+    #[test]
+    fn advertised_bounds_hold_throughout(ops in vec(arb_op(), 1..25)) {
+        let Fixture { mut network, routes } = fixture();
+        let mut live: Vec<ConnectionId> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Setup { pcr_den, scr_extra, mbs, route_choice } => {
+                    let route = &routes[*route_choice as usize % routes.len()];
+                    let req = request_of(*pcr_den, *scr_extra, *mbs);
+                    if let SetupOutcome::Connected(info) =
+                        network.setup(route, req).unwrap()
+                    {
+                        live.push(info.id());
+                    }
+                }
+                Op::Teardown(k) => {
+                    if !live.is_empty() {
+                        let id = live.remove(k % live.len());
+                        network.teardown(id).unwrap();
+                    }
+                }
+            }
+            for node in network.topology().switches().map(|n| n.id()) {
+                let switch = network.switch(node).unwrap();
+                for link in switch.active_out_links() {
+                    let bound = switch
+                        .computed_bound(link, Priority::HIGHEST)
+                        .unwrap();
+                    prop_assert!(
+                        bound <= Time::from_integer(48),
+                        "port {} bound {} exceeds advertised 48",
+                        link,
+                        bound
+                    );
+                }
+            }
+        }
+    }
+
+    /// Setting up and immediately tearing down is invisible: a third
+    /// connection's admission outcome is unchanged.
+    #[test]
+    fn transient_connections_leave_no_trace(
+        pcr_den in 3i128..=20,
+        probe_den in 3i128..=20,
+    ) {
+        let Fixture { mut network, routes } = fixture();
+        let probe = request_of(probe_den, 5, 2);
+        // Outcome without the transient.
+        let mut reference = network.clone();
+        let ref_outcome = reference.setup(&routes[2], probe).unwrap().is_connected();
+        // With a transient connection set up and torn down first.
+        let transient = request_of(pcr_den, 3, 4);
+        if let SetupOutcome::Connected(info) =
+            network.setup(&routes[1], transient).unwrap()
+        {
+            network.teardown(info.id()).unwrap();
+        }
+        let outcome = network.setup(&routes[2], probe).unwrap().is_connected();
+        prop_assert_eq!(outcome, ref_outcome);
+    }
+}

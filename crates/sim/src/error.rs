@@ -1,0 +1,53 @@
+//! Error type for simulation construction.
+
+use core::fmt;
+
+use rtcac_cac::ConnectionId;
+use rtcac_net::{LinkId, NodeId};
+
+/// Error produced while assembling a [`Simulation`](crate::Simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A connection with this id is already registered.
+    DuplicateConnection(ConnectionId),
+    /// A route link does not exist in the simulated topology.
+    UnknownLink(LinkId),
+    /// A route forwards cells through an end system, which cannot
+    /// switch traffic.
+    ForwardThroughEndSystem(NodeId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DuplicateConnection(id) => {
+                write!(f, "connection {id} is already registered")
+            }
+            SimError::UnknownLink(l) => write!(f, "link {l} is not in the simulated topology"),
+            SimError::ForwardThroughEndSystem(n) => {
+                write!(f, "route forwards through end system {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(!SimError::DuplicateConnection(ConnectionId::new(1))
+            .to_string()
+            .is_empty());
+        assert!(!SimError::UnknownLink(LinkId::external(1))
+            .to_string()
+            .is_empty());
+        assert!(!SimError::ForwardThroughEndSystem(NodeId::external(1))
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Static-priority FIFO output port queues.
+
+use std::collections::VecDeque;
+
+use rtcac_cac::{ConnectionId, Priority};
+
+/// A cell waiting in an output port queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct QueuedCell {
+    /// The cell's connection.
+    pub connection: ConnectionId,
+    /// Routing position (interpreted by the engine: path hop index or
+    /// tree link).
+    pub via: crate::engine::Via,
+    /// Slot at which the cell entered this queue.
+    pub enqueued: u64,
+    /// Slot at which the cell left its source.
+    pub emitted: u64,
+}
+
+/// One output port: a FIFO queue per priority level, served highest
+/// priority first (the paper's §4.1 queueing model). Optionally
+/// bounded per queue, dropping on overflow (the RTnet ring nodes use
+/// 32-cell queues).
+///
+/// Capacity semantics match the paper's "queue size = delay bound"
+/// arithmetic: a `capacity`-cell queue accepts a cell that sees up to
+/// `capacity` cells ahead of it (its queueing delay is then exactly
+/// `capacity` slots, one of the cells ahead being in transmission);
+/// a cell that would see more is lost.
+#[derive(Debug, Clone)]
+pub struct PriorityFifo {
+    queues: Vec<VecDeque<QueuedCell>>,
+    capacity: Option<usize>,
+    max_occupancy: Vec<usize>,
+    drops: u64,
+}
+
+impl PriorityFifo {
+    /// Creates a port with `levels` priority queues, each bounded by
+    /// `capacity` cells (`None` = unbounded).
+    pub fn new(levels: u8, capacity: Option<usize>) -> PriorityFifo {
+        let levels = levels.max(1) as usize;
+        PriorityFifo {
+            queues: vec![VecDeque::new(); levels],
+            capacity,
+            max_occupancy: vec![0; levels],
+            drops: 0,
+        }
+    }
+
+    /// Enqueues a cell at its priority; drops it (returning `false`) if
+    /// the queue is full.
+    pub(crate) fn enqueue(&mut self, priority: Priority, cell: QueuedCell) -> bool {
+        let idx = (priority.level() as usize).min(self.queues.len() - 1);
+        let q = &mut self.queues[idx];
+        if let Some(cap) = self.capacity {
+            // Drop only when the cell would see MORE than `cap` cells
+            // ahead of it (delay > cap slots); see the type docs.
+            if q.len() > cap {
+                self.drops += 1;
+                return false;
+            }
+        }
+        q.push_back(cell);
+        if q.len() > self.max_occupancy[idx] {
+            self.max_occupancy[idx] = q.len();
+        }
+        true
+    }
+
+    /// Pops the next cell to transmit: head of the highest-priority
+    /// non-empty queue.
+    pub(crate) fn dequeue(&mut self) -> Option<(Priority, QueuedCell)> {
+        for (idx, q) in self.queues.iter_mut().enumerate() {
+            if let Some(cell) = q.pop_front() {
+                return Some((Priority::new(idx as u8), cell));
+            }
+        }
+        None
+    }
+
+    /// Total cells currently queued across all priorities.
+    pub fn occupancy(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// The highest queue occupancy observed per priority level.
+    pub fn max_occupancy(&self, priority: Priority) -> usize {
+        self.max_occupancy
+            .get(priority.level() as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Cells dropped due to full queues.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(conn: u64, enq: u64) -> QueuedCell {
+        QueuedCell {
+            connection: ConnectionId::new(conn),
+            via: crate::engine::Via::Hop(0),
+            enqueued: enq,
+            emitted: enq,
+        }
+    }
+
+    #[test]
+    fn fifo_order_within_priority() {
+        let mut p = PriorityFifo::new(1, None);
+        p.enqueue(Priority::HIGHEST, cell(1, 0));
+        p.enqueue(Priority::HIGHEST, cell(2, 1));
+        assert_eq!(p.dequeue().unwrap().1.connection, ConnectionId::new(1));
+        assert_eq!(p.dequeue().unwrap().1.connection, ConnectionId::new(2));
+        assert!(p.dequeue().is_none());
+    }
+
+    #[test]
+    fn higher_priority_served_first() {
+        let mut p = PriorityFifo::new(2, None);
+        p.enqueue(Priority::new(1), cell(1, 0));
+        p.enqueue(Priority::new(0), cell(2, 1));
+        let (prio, c) = p.dequeue().unwrap();
+        assert_eq!(prio, Priority::HIGHEST);
+        assert_eq!(c.connection, ConnectionId::new(2));
+        let (prio, _) = p.dequeue().unwrap();
+        assert_eq!(prio, Priority::new(1));
+    }
+
+    #[test]
+    fn capacity_drops_overflow() {
+        let mut p = PriorityFifo::new(1, Some(2));
+        // A 2-cell queue admits cells seeing 0, 1 and 2 cells ahead
+        // (delays 0, 1, 2 <= bound)...
+        assert!(p.enqueue(Priority::HIGHEST, cell(1, 0)));
+        assert!(p.enqueue(Priority::HIGHEST, cell(2, 0)));
+        assert!(p.enqueue(Priority::HIGHEST, cell(3, 0)));
+        // ...and drops the one that would wait 3 slots.
+        assert!(!p.enqueue(Priority::HIGHEST, cell(4, 0)));
+        assert_eq!(p.drops(), 1);
+        assert_eq!(p.occupancy(), 3);
+    }
+
+    #[test]
+    fn occupancy_tracking() {
+        let mut p = PriorityFifo::new(2, None);
+        p.enqueue(Priority::new(1), cell(1, 0));
+        p.enqueue(Priority::new(1), cell(2, 0));
+        p.enqueue(Priority::new(0), cell(3, 0));
+        assert_eq!(p.occupancy(), 3);
+        assert_eq!(p.max_occupancy(Priority::new(1)), 2);
+        assert_eq!(p.max_occupancy(Priority::new(0)), 1);
+        p.dequeue();
+        assert_eq!(p.occupancy(), 2);
+        // Max sticks.
+        assert_eq!(p.max_occupancy(Priority::new(1)), 2);
+    }
+
+    #[test]
+    fn out_of_range_priority_clamps_to_lowest() {
+        let mut p = PriorityFifo::new(2, None);
+        assert!(p.enqueue(Priority::new(9), cell(1, 0)));
+        let (prio, _) = p.dequeue().unwrap();
+        assert_eq!(prio, Priority::new(1));
+    }
+}

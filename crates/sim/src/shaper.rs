@@ -1,0 +1,229 @@
+//! Dual-GCRA source shaping — the conformance definition behind the
+//! paper's Equation 1 and Figure 1.
+//!
+//! A naive token bucket whose burst tokens keep refilling *during* the
+//! peak-rate burst emits slightly more than the paper's Algorithm 2.1
+//! worst-case envelope. The ATM Forum conformance definition — a dual
+//! Generic Cell Rate Algorithm, `GCRA(1/PCR, 0)` plus
+//! `GCRA(1/SCR, BT)` with burst tolerance
+//! `BT = (MBS − 1) · (1/SCR − 1/PCR)` — reproduces the paper's
+//! worst-case pattern *exactly*: `MBS` cells at `PCR`, then cells at
+//! `SCR`. Its greedy trace majorizes every conformant trace, so all
+//! shaped traffic stays within the analytic envelope.
+
+use rtcac_bitstream::TrafficContract;
+use rtcac_rational::Ratio;
+
+/// A dual-GCRA shaper enforcing a [`TrafficContract`].
+///
+/// The shaper is exact: all state is rational, so no drift accumulates
+/// over long simulations.
+///
+/// # Examples
+///
+/// ```
+/// use rtcac_bitstream::{Rate, TrafficContract, VbrParams};
+/// use rtcac_rational::ratio;
+/// use rtcac_sim::Shaper;
+///
+/// let contract = TrafficContract::vbr(VbrParams::new(
+///     Rate::new(ratio(1, 2)),
+///     Rate::new(ratio(1, 8)),
+///     4,
+/// )?);
+/// let mut shaper = Shaper::new(&contract);
+/// let sent: Vec<u64> = (0..64).filter(|&slot| shaper.try_send(slot)).collect();
+/// // First burst: 4 cells at PCR spacing (every 2 slots), then the
+/// // SCR period of 8 slots.
+/// assert_eq!(&sent[..6], &[0, 2, 4, 6, 14, 22]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Shaper {
+    /// Peak emission interval `1/PCR`.
+    peak_interval: Ratio,
+    /// Sustained emission interval `1/SCR`.
+    sustained_interval: Ratio,
+    /// Burst tolerance `(MBS − 1)(1/SCR − 1/PCR)`.
+    burst_tolerance: Ratio,
+    /// Theoretical arrival time of the peak-rate GCRA.
+    tat_peak: Ratio,
+    /// Theoretical arrival time of the sustained-rate GCRA.
+    tat_sustained: Ratio,
+    /// Slot of the last query (shaping is causal).
+    last_slot: u64,
+}
+
+impl Shaper {
+    /// Creates a shaper for a traffic contract in the reset state (a
+    /// fresh source may emit its full burst immediately — the worst
+    /// case).
+    pub fn new(contract: &TrafficContract) -> Shaper {
+        let peak_interval = Ratio::ONE / contract.pcr().as_ratio();
+        let sustained_interval = Ratio::ONE / contract.scr().as_ratio();
+        let mbs_minus_one = Ratio::from_integer(contract.mbs() as i128 - 1);
+        Shaper {
+            peak_interval,
+            sustained_interval,
+            burst_tolerance: mbs_minus_one * (sustained_interval - peak_interval),
+            tat_peak: Ratio::ZERO,
+            tat_sustained: Ratio::ZERO,
+            last_slot: 0,
+        }
+    }
+
+    /// Whether a cell may be sent in `slot`; if so, the GCRA state
+    /// advances. Slots must be queried in non-decreasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is smaller than a previously queried slot.
+    pub fn try_send(&mut self, slot: u64) -> bool {
+        if self.conforms(slot) {
+            let t = Ratio::from_integer(slot as i128);
+            self.tat_peak = t.max(self.tat_peak) + self.peak_interval;
+            self.tat_sustained = t.max(self.tat_sustained) + self.sustained_interval;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a cell could be sent in `slot` without consuming the
+    /// allowance.
+    pub fn can_send(&mut self, slot: u64) -> bool {
+        self.conforms(slot)
+    }
+
+    fn conforms(&mut self, slot: u64) -> bool {
+        assert!(
+            slot >= self.last_slot,
+            "shaper queried with a past slot ({slot} < {})",
+            self.last_slot
+        );
+        self.last_slot = slot;
+        let t = Ratio::from_integer(slot as i128);
+        t >= self.tat_peak && t >= self.tat_sustained - self.burst_tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_bitstream::{CbrParams, Rate, VbrParams};
+    use rtcac_rational::ratio;
+
+    fn vbr(pn: i128, pd: i128, sn: i128, sd: i128, mbs: u64) -> TrafficContract {
+        TrafficContract::vbr(
+            VbrParams::new(Rate::new(ratio(pn, pd)), Rate::new(ratio(sn, sd)), mbs).unwrap(),
+        )
+    }
+
+    fn greedy_emissions(contract: &TrafficContract, slots: u64) -> Vec<u64> {
+        let mut s = Shaper::new(contract);
+        (0..slots).filter(|&t| s.try_send(t)).collect()
+    }
+
+    #[test]
+    fn cbr_spacing_is_period() {
+        let c = TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, 4))).unwrap());
+        let sent = greedy_emissions(&c, 40);
+        assert_eq!(sent, vec![0, 4, 8, 12, 16, 20, 24, 28, 32, 36]);
+    }
+
+    #[test]
+    fn vbr_burst_then_sustained() {
+        // PCR 1/2, SCR 1/8, MBS 4: burst of 4 at spacing 2, then the
+        // SCR period of 8 (the paper's Figure 1 worst case).
+        let c = vbr(1, 2, 1, 8, 4);
+        let sent = greedy_emissions(&c, 80);
+        assert_eq!(&sent[..4], &[0, 2, 4, 6]);
+        let gaps: Vec<u64> = sent.windows(2).map(|w| w[1] - w[0]).skip(3).collect();
+        assert!(gaps.iter().all(|&gap| gap == 8), "{gaps:?}");
+    }
+
+    #[test]
+    fn long_run_rate_respects_scr() {
+        let c = vbr(1, 2, 1, 10, 8);
+        let slots = 10_000;
+        let sent = greedy_emissions(&c, slots);
+        let max_cells = ratio(1, 10) * ratio(slots as i128, 1) + ratio(8, 1);
+        assert!(ratio(sent.len() as i128, 1) <= max_cells);
+        let min_cells = ratio(1, 10) * ratio(slots as i128, 1) - ratio(8, 1);
+        assert!(ratio(sent.len() as i128, 1) >= min_cells);
+    }
+
+    #[test]
+    fn never_exceeds_envelope() {
+        // The cumulative emissions of a greedy shaped source must stay
+        // within the analytic worst-case envelope at every slot — this
+        // is what makes simulator-vs-bound validation sound.
+        for contract in [
+            vbr(1, 3, 1, 9, 5),
+            vbr(1, 2, 1, 8, 4),
+            vbr(1, 1, 1, 16, 12),
+            vbr(1, 5, 1, 5, 1),
+        ] {
+            let envelope = contract.worst_case_stream();
+            let mut shaper = Shaper::new(&contract);
+            let mut count: i128 = 0;
+            for t in 0..3_000u64 {
+                if shaper.try_send(t) {
+                    count += 1;
+                }
+                let bound =
+                    envelope.cumulative(rtcac_bitstream::Time::from_integer(t as i128 + 1));
+                assert!(
+                    rtcac_bitstream::Cells::from_integer(count) <= bound,
+                    "slot {t}: {count} cells exceeds envelope {bound} for {contract:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_achieves_envelope_at_burst_boundaries() {
+        // Tightness: at the end of the burst the greedy trace touches
+        // the envelope exactly.
+        let c = vbr(1, 3, 1, 9, 5);
+        let sent = greedy_emissions(&c, 200);
+        // Burst of 5 at spacing 3, then spacing 9.
+        assert_eq!(&sent[..7], &[0, 3, 6, 9, 12, 21, 30]);
+        let envelope = c.worst_case_stream();
+        // Cell 5 completes by envelope time 13 = 1 + 4/(1/3).
+        assert_eq!(
+            envelope.cumulative(rtcac_bitstream::Time::from_integer(13)),
+            rtcac_bitstream::Cells::from_integer(5)
+        );
+    }
+
+    #[test]
+    fn full_rate_cbr_sends_every_slot() {
+        let c = TrafficContract::cbr(CbrParams::new(Rate::FULL).unwrap());
+        let sent = greedy_emissions(&c, 10);
+        assert_eq!(sent.len(), 10);
+    }
+
+    #[test]
+    fn idle_source_regains_full_burst() {
+        let c = vbr(1, 1, 1, 4, 3);
+        let mut s = Shaper::new(&c);
+        // Drain the burst allowance.
+        assert!(s.try_send(0));
+        assert!(s.try_send(1));
+        assert!(s.try_send(2));
+        assert!(!s.try_send(3));
+        // After a long idle period the full back-to-back burst returns.
+        let sent: Vec<u64> = (100..110).filter(|&t| s.try_send(t)).collect();
+        assert_eq!(&sent[..3], &[100, 101, 102]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past slot")]
+    fn rejects_time_travel() {
+        let c = vbr(1, 2, 1, 8, 4);
+        let mut s = Shaper::new(&c);
+        s.try_send(10);
+        s.try_send(5);
+    }
+}

@@ -1,0 +1,234 @@
+//! Measurement results of a simulation run.
+
+use std::collections::BTreeMap;
+
+use rtcac_cac::{ConnectionId, Priority};
+use rtcac_net::LinkId;
+
+/// Per-(port, priority) queueing measurements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortStats {
+    /// Largest queueing delay observed, in slots (cell times).
+    pub max_delay: u64,
+    /// Cells transmitted.
+    pub transmitted: u64,
+    /// Sum of queueing delays (for averaging).
+    pub total_delay: u64,
+    /// Largest queue occupancy observed, in cells.
+    pub max_occupancy: usize,
+    /// Cells dropped at this port (queue overflow).
+    pub drops: u64,
+}
+
+impl PortStats {
+    /// Mean queueing delay in slots, or 0 for an idle port.
+    pub fn mean_delay(&self) -> f64 {
+        if self.transmitted == 0 {
+            0.0
+        } else {
+            self.total_delay as f64 / self.transmitted as f64
+        }
+    }
+
+    /// Fraction of the run's slots this port spent transmitting (its
+    /// link utilization by this priority class).
+    pub fn utilization(&self, slots: u64) -> f64 {
+        if slots == 0 {
+            0.0
+        } else {
+            self.transmitted as f64 / slots as f64
+        }
+    }
+}
+
+/// Per-connection end-to-end measurements.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// Cells emitted by the source.
+    pub emitted: u64,
+    /// Cells delivered to the destination.
+    pub delivered: u64,
+    /// Cells still inside the network when the run ended.
+    pub in_flight: u64,
+    /// Cells dropped.
+    pub dropped: u64,
+    /// Extra cell copies created at multicast branches (0 for
+    /// unicast).
+    pub duplicated: u64,
+    /// Largest end-to-end delay (delivery slot − emission slot), in
+    /// slots; includes per-hop transmission times.
+    pub max_delay: u64,
+    /// Sum of end-to-end delays (for averaging).
+    pub total_delay: u64,
+    /// Histogram of end-to-end delays: `histogram[d]` = cells delivered
+    /// with delay `d` slots. Supports the tail analysis behind the soft
+    /// CAC scheme ("the worst case is very unlikely in practice").
+    pub(crate) histogram: BTreeMap<u64, u64>,
+}
+
+impl ConnectionStats {
+    /// Mean end-to-end delay in slots over delivered cells.
+    pub fn mean_delay(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_delay as f64 / self.delivered as f64
+        }
+    }
+
+    /// The `q`-quantile of the end-to-end delay distribution (e.g.
+    /// `0.999` for p99.9), or `None` before any delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn delay_quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.delivered == 0 {
+            return None;
+        }
+        let rank = ((self.delivered as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (&delay, &count) in &self.histogram {
+            seen += count;
+            if seen >= rank {
+                return Some(delay);
+            }
+        }
+        self.histogram.keys().next_back().copied()
+    }
+
+    /// The full delay histogram (delay in slots → delivered cells).
+    pub fn delay_histogram(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.histogram.iter().map(|(&d, &c)| (d, c))
+    }
+}
+
+/// The full measurement report of a [`Simulation`](crate::Simulation)
+/// run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    pub(crate) ports: BTreeMap<(LinkId, Priority), PortStats>,
+    pub(crate) connections: BTreeMap<ConnectionId, ConnectionStats>,
+    pub(crate) slots: u64,
+}
+
+impl SimReport {
+    /// Slots simulated.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Measurements for one port and priority, if any cell crossed it.
+    pub fn port(&self, link: LinkId, priority: Priority) -> Option<&PortStats> {
+        self.ports.get(&(link, priority))
+    }
+
+    /// All per-port measurements.
+    pub fn ports(&self) -> impl Iterator<Item = (&(LinkId, Priority), &PortStats)> + '_ {
+        self.ports.iter()
+    }
+
+    /// Measurements for one connection.
+    pub fn connection(&self, id: ConnectionId) -> Option<&ConnectionStats> {
+        self.connections.get(&id)
+    }
+
+    /// All per-connection measurements.
+    pub fn connections(
+        &self,
+    ) -> impl Iterator<Item = (&ConnectionId, &ConnectionStats)> + '_ {
+        self.connections.iter()
+    }
+
+    /// The largest queueing delay observed at any port for a priority.
+    pub fn max_port_delay(&self, priority: Priority) -> u64 {
+        self.ports
+            .iter()
+            .filter(|((_, p), _)| *p == priority)
+            .map(|(_, s)| s.max_delay)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total cells dropped anywhere in the network.
+    pub fn total_drops(&self) -> u64 {
+        self.ports.values().map(|s| s.drops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_delay_handles_idle() {
+        assert_eq!(PortStats::default().mean_delay(), 0.0);
+        assert_eq!(ConnectionStats::default().mean_delay(), 0.0);
+        let p = PortStats {
+            transmitted: 4,
+            total_delay: 6,
+            ..PortStats::default()
+        };
+        assert_eq!(p.mean_delay(), 1.5);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let p = PortStats {
+            transmitted: 250,
+            ..PortStats::default()
+        };
+        assert_eq!(p.utilization(1_000), 0.25);
+        assert_eq!(p.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_from_histogram() {
+        let c = ConnectionStats {
+            delivered: 10,
+            histogram: [(1u64, 5u64), (3, 4), (9, 1)].into_iter().collect(),
+            ..ConnectionStats::default()
+        };
+        assert_eq!(c.delay_quantile(0.0), Some(1));
+        assert_eq!(c.delay_quantile(0.5), Some(1));
+        assert_eq!(c.delay_quantile(0.6), Some(3));
+        assert_eq!(c.delay_quantile(0.9), Some(3));
+        assert_eq!(c.delay_quantile(1.0), Some(9));
+        assert_eq!(c.delay_histogram().count(), 3);
+        assert_eq!(ConnectionStats::default().delay_quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_range_checked() {
+        let _ = ConnectionStats::default().delay_quantile(1.5);
+    }
+
+    #[test]
+    fn report_queries() {
+        let mut r = SimReport::default();
+        r.ports.insert(
+            (LinkId::external(1), Priority::HIGHEST),
+            PortStats {
+                max_delay: 7,
+                drops: 2,
+                ..PortStats::default()
+            },
+        );
+        r.ports.insert(
+            (LinkId::external(2), Priority::HIGHEST),
+            PortStats {
+                max_delay: 3,
+                drops: 1,
+                ..PortStats::default()
+            },
+        );
+        assert_eq!(r.max_port_delay(Priority::HIGHEST), 7);
+        assert_eq!(r.max_port_delay(Priority::new(1)), 0);
+        assert_eq!(r.total_drops(), 3);
+        assert!(r.port(LinkId::external(1), Priority::HIGHEST).is_some());
+        assert!(r.port(LinkId::external(9), Priority::HIGHEST).is_none());
+        assert_eq!(r.ports().count(), 2);
+    }
+}

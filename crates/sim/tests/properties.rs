@@ -1,0 +1,206 @@
+//! Property-based tests for the cell-level simulator.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rtcac_bitstream::{Rate, TrafficContract, VbrParams};
+use rtcac_cac::{ConnectionId, Priority};
+use rtcac_net::{Route, Topology};
+use rtcac_rational::ratio;
+use rtcac_sim::{Simulation, TrafficPattern};
+
+#[derive(Debug, Clone)]
+struct ConnSpec {
+    pcr_den: i128,
+    scr_extra: i128,
+    mbs: u64,
+    priority: u8,
+    pattern: u8,
+    seed: u64,
+}
+
+fn arb_conn() -> impl Strategy<Value = ConnSpec> {
+    (2i128..=16, 0i128..=48, 1u64..=8, 0u8..=1, 0u8..=2, 0u64..=u64::MAX).prop_map(
+        |(pcr_den, scr_extra, mbs, priority, pattern, seed)| ConnSpec {
+            pcr_den,
+            scr_extra,
+            mbs,
+            priority,
+            pattern,
+            seed,
+        },
+    )
+}
+
+fn contract(spec: &ConnSpec) -> TrafficContract {
+    TrafficContract::vbr(
+        VbrParams::new(
+            Rate::new(ratio(1, spec.pcr_den)),
+            Rate::new(ratio(1, spec.pcr_den + spec.scr_extra)),
+            spec.mbs,
+        )
+        .unwrap(),
+    )
+}
+
+fn pattern(spec: &ConnSpec) -> TrafficPattern {
+    match spec.pattern {
+        0 => TrafficPattern::Greedy,
+        1 => TrafficPattern::Periodic {
+            period: spec.pcr_den as u64 + 2,
+            phase: (spec.seed % 7),
+        },
+        _ => TrafficPattern::Random {
+            p_percent: 60,
+            seed: spec.seed,
+        },
+    }
+}
+
+/// `n` terminals funneling into one switch and out to a sink.
+fn funnel(n: usize) -> (Topology, Vec<Route>) {
+    let mut t = Topology::new();
+    let sources: Vec<_> = (0..n)
+        .map(|k| t.add_end_system(format!("s{k}")))
+        .collect();
+    let sw = t.add_switch("sw");
+    let sink = t.add_end_system("sink");
+    for &s in &sources {
+        t.add_link(s, sw).unwrap();
+    }
+    t.add_link(sw, sink).unwrap();
+    let routes = sources
+        .iter()
+        .map(|&s| Route::from_nodes(&t, [s, sw, sink]).unwrap())
+        .collect();
+    (t, routes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cells are conserved: emitted = delivered + in flight + dropped,
+    /// for every connection, in every scenario.
+    #[test]
+    fn conservation_of_cells(specs in vec(arb_conn(), 1..6), slots in 500u64..4_000) {
+        let (topology, routes) = funnel(specs.len());
+        let mut sim = Simulation::new(&topology);
+        for (k, spec) in specs.iter().enumerate() {
+            sim.add_connection(
+                ConnectionId::new(k as u64),
+                routes[k].clone(),
+                Priority::new(spec.priority),
+                contract(spec),
+                pattern(spec),
+            )
+            .unwrap();
+        }
+        let report = sim.run(slots);
+        for (_, c) in report.connections() {
+            prop_assert_eq!(c.emitted, c.delivered + c.in_flight + c.dropped);
+        }
+        // Unbounded queues never drop.
+        prop_assert_eq!(report.total_drops(), 0);
+    }
+
+    /// Runs are deterministic: identical scenarios measure identically.
+    #[test]
+    fn determinism(specs in vec(arb_conn(), 1..4)) {
+        let (topology, routes) = funnel(specs.len());
+        let mut sim = Simulation::new(&topology);
+        for (k, spec) in specs.iter().enumerate() {
+            sim.add_connection(
+                ConnectionId::new(k as u64),
+                routes[k].clone(),
+                Priority::new(spec.priority),
+                contract(spec),
+                pattern(spec),
+            )
+            .unwrap();
+        }
+        let a = sim.run(2_000);
+        let b = sim.run(2_000);
+        for (id, ca) in a.connections() {
+            prop_assert_eq!(Some(ca), b.connection(*id));
+        }
+    }
+
+    /// Emission counts respect the contract: no source ever exceeds its
+    /// worst-case envelope volume.
+    #[test]
+    fn emissions_respect_contract(spec in arb_conn(), slots in 1_000u64..5_000) {
+        let (topology, routes) = funnel(1);
+        let mut sim = Simulation::new(&topology);
+        sim.add_connection(
+            ConnectionId::new(0),
+            routes[0].clone(),
+            Priority::HIGHEST,
+            contract(&spec),
+            pattern(&spec),
+        )
+        .unwrap();
+        let report = sim.run(slots);
+        let c = report.connection(ConnectionId::new(0)).unwrap();
+        let envelope = contract(&spec).worst_case_stream();
+        let max_cells = envelope
+            .cumulative(rtcac_bitstream::Time::from_integer(slots as i128))
+            .as_ratio();
+        prop_assert!(ratio(c.emitted as i128, 1) <= max_cells);
+    }
+
+    /// Static priority is strict: in a two-class funnel, the measured
+    /// max delay of the high class never exceeds the low class's when
+    /// both share a saturated port with identical traffic.
+    #[test]
+    fn priority_ordering_of_delays(seed in 0u64..1_000) {
+        let (topology, routes) = funnel(2);
+        let mut sim = Simulation::new(&topology);
+        let heavy = TrafficContract::vbr(
+            VbrParams::new(
+                Rate::new(ratio(3, 4)),
+                Rate::new(ratio(1, 2)),
+                8,
+            )
+            .unwrap(),
+        );
+        for (k, prio) in [(0u64, Priority::HIGHEST), (1u64, Priority::new(1))] {
+            sim.add_connection(
+                ConnectionId::new(k),
+                routes[k as usize].clone(),
+                prio,
+                heavy,
+                TrafficPattern::Random { p_percent: 90, seed: seed + k },
+            )
+            .unwrap();
+        }
+        let report = sim.run(20_000);
+        let hi = report.connection(ConnectionId::new(0)).unwrap();
+        let lo = report.connection(ConnectionId::new(1)).unwrap();
+        prop_assert!(hi.max_delay <= lo.max_delay + 1);
+    }
+
+    /// Jitter preserves conservation and only ever delays cells.
+    #[test]
+    fn jitter_preserves_conservation(spec in arb_conn(), jit in 1u64..12, seed in 0u64..999) {
+        let (topology, routes) = funnel(1);
+        let mut plain = Simulation::new(&topology);
+        plain
+            .add_connection(
+                ConnectionId::new(0),
+                routes[0].clone(),
+                Priority::HIGHEST,
+                contract(&spec),
+                TrafficPattern::Greedy,
+            )
+            .unwrap();
+        let mut jittered = plain.clone();
+        jittered.set_link_jitter(jit, seed);
+        let a = plain.run(5_000);
+        let b = jittered.run(5_000);
+        let ca = a.connection(ConnectionId::new(0)).unwrap();
+        let cb = b.connection(ConnectionId::new(0)).unwrap();
+        prop_assert_eq!(ca.emitted, cb.emitted);
+        prop_assert_eq!(cb.emitted, cb.delivered + cb.in_flight + cb.dropped);
+        // Jitter can only increase the observed max delay.
+        prop_assert!(cb.max_delay >= ca.max_delay);
+    }
+}

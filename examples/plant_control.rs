@@ -1,0 +1,104 @@
+//! Plant-control scenario: cyclic transmission over an RTnet star-ring.
+//!
+//! Builds the paper's Figure 9 topology, runs the distributed
+//! SETUP/REJECT/CONNECTED procedure to establish one broadcast
+//! connection per terminal for each Table 1 cyclic class, and reports
+//! the guaranteed end-to-end delay bounds and the rejection behaviour
+//! when the ring saturates.
+//!
+//! Run with: `cargo run --release --example plant_control`
+
+use rtcac::bitstream::Time;
+use rtcac::cac::{Priority, SwitchConfig};
+use rtcac::net::builders;
+use rtcac::rtnet::cyclic;
+use rtcac::rational::ratio;
+use rtcac::signaling::{CdvPolicy, Network, SetupOutcome, SetupRequest};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small RTnet: 8 ring nodes, 2 terminals each (keeps the demo
+    // fast; the benchmarks run the full 16x16 configuration).
+    let ring_nodes = 8;
+    let terminals = 2;
+    let sr = builders::star_ring(ring_nodes, terminals)?;
+    let config = SwitchConfig::uniform(1, Time::from_integer(32))?;
+    let mut network = Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
+
+    println!(
+        "RTnet: {ring_nodes} ring nodes x {terminals} terminals, 32-cell queues, hard CAC"
+    );
+
+    let total_terminals = (ring_nodes * terminals) as i128;
+    let mut established = 0usize;
+    let mut rejected = 0usize;
+
+    for class in cyclic::ALL_CLASSES {
+        println!(
+            "\n== {} class: period {} ms, {} KB, {:.1} Mbps total ==",
+            class.name(),
+            class.period_ms(),
+            class.memory_kb(),
+            class.bandwidth_mbps().to_f64(),
+        );
+        // Each terminal broadcasts its 1/(16N) share of the class.
+        let contract = class.contract_for_share(ratio(1, total_terminals))?;
+        let qos = class.delay_cells();
+        for node in 0..ring_nodes {
+            for term in 0..terminals {
+                // Broadcast: all the way around the ring.
+                let route = sr.ring_route_from_terminal(node, term, ring_nodes - 1)?;
+                let request = SetupRequest::new(contract, Priority::HIGHEST, qos);
+                match network.setup(&route, request)? {
+                    SetupOutcome::Connected(info) => {
+                        established += 1;
+                        if node == 0 && term == 0 {
+                            println!(
+                                "  terminal t{node}.{term}: CONNECTED, guaranteed delay {} cells ({:.2} ms)",
+                                info.guaranteed_delay(),
+                                info.guaranteed_delay().to_f64() / 370.0,
+                            );
+                        }
+                    }
+                    SetupOutcome::Rejected(why) => {
+                        rejected += 1;
+                        if rejected == 1 {
+                            println!("  first rejection: {why}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    println!("\nestablished {established} connections, rejected {rejected}");
+
+    // Show the switch-level state at ring node 0.
+    let node0 = sr.ring_nodes()[0];
+    let sw = network.switch(node0)?;
+    println!(
+        "ring node 0: {} reservations, sustained load on its ring link {:.3}",
+        sw.connection_count(),
+        sw.sustained_load(sr.ring_link(0)?).to_f64(),
+    );
+
+    // Saturate: keep adding high-speed class traffic until REJECT.
+    println!("\nsaturating with extra high-speed connections:");
+    let extra = cyclic::HIGH_SPEED.contract_for_share(ratio(1, 4))?;
+    let mut extras = 0;
+    loop {
+        let route = sr.ring_route_from_terminal(0, 0, ring_nodes - 1)?;
+        let request = SetupRequest::new(extra, Priority::HIGHEST, Time::from_integer(10_000));
+        match network.setup(&route, request)? {
+            SetupOutcome::Connected(_) => extras += 1,
+            SetupOutcome::Rejected(why) => {
+                println!("  admitted {extras} extra connections, then: {why}");
+                break;
+            }
+        }
+        if extras > 64 {
+            println!("  (stopped after 64 extras)");
+            break;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Bursty VBR streams with two priority levels and soft CAC.
+//!
+//! Demonstrates the parts of the scheme beyond CBR: VBR contracts for
+//! bursty (video-like) real-time traffic, priority separation between
+//! a control class and a video class, and the extra capacity the soft
+//! CDV accumulation buys on long routes.
+//!
+//! Run with: `cargo run --release --example video_streams`
+
+use rtcac::bitstream::{Rate, Time, TrafficContract, VbrParams};
+use rtcac::cac::{Priority, SwitchConfig};
+use rtcac::net::{builders, Route};
+use rtcac::rational::ratio;
+use rtcac::signaling::{CdvPolicy, Network, SetupOutcome, SetupRequest};
+
+fn video_contract() -> Result<TrafficContract, Box<dyn std::error::Error>> {
+    // A bursty stream: peak 1/3 of the link, 4% average, 24-cell
+    // bursts (a frame).
+    Ok(TrafficContract::vbr(VbrParams::new(
+        Rate::new(ratio(1, 3)),
+        Rate::new(ratio(1, 25)),
+        24,
+    )?))
+}
+
+fn control_contract() -> Result<TrafficContract, Box<dyn std::error::Error>> {
+    // Tight control loop: CBR-like VBR, 2% of the link, tiny bursts.
+    Ok(TrafficContract::vbr(VbrParams::new(
+        Rate::new(ratio(1, 10)),
+        Rate::new(ratio(1, 50)),
+        2,
+    )?))
+}
+
+fn fill(policy: CdvPolicy) -> Result<(usize, usize), Box<dyn std::error::Error>> {
+    // A 5-switch backbone: control at priority 0 (16-cell queues),
+    // video at priority 1 (96-cell queues).
+    let (topology, src, switches, dst) = builders::line(5)?;
+    let config = SwitchConfig::with_bounds([
+        Time::from_integer(16),
+        Time::from_integer(96),
+    ])?;
+    let mut network = Network::new(topology, config, policy);
+    let route = Route::from_nodes(
+        network.topology(),
+        std::iter::once(src)
+            .chain(switches.iter().copied())
+            .chain(std::iter::once(dst)),
+    )?;
+
+    // Admit a fixed control population first.
+    let mut control = 0;
+    for _ in 0..4 {
+        let req = SetupRequest::new(
+            control_contract()?,
+            Priority::HIGHEST,
+            Time::from_integer(16 * 5),
+        );
+        if network.setup(&route, req)?.is_connected() {
+            control += 1;
+        }
+    }
+
+    // Then pack video connections until the network says REJECT.
+    let mut video = 0;
+    loop {
+        let req = SetupRequest::new(
+            video_contract()?,
+            Priority::new(1),
+            Time::from_integer(96 * 5),
+        );
+        match network.setup(&route, req)? {
+            SetupOutcome::Connected(_) => video += 1,
+            SetupOutcome::Rejected(why) => {
+                println!("  [{policy:?}] rejection after {video} video streams: {why}");
+                break;
+            }
+        }
+        if video >= 64 {
+            break;
+        }
+    }
+    Ok((control, video))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("backbone: 5 switches; control @ p0 (16-cell), video @ p1 (96-cell)\n");
+
+    let (control_hard, video_hard) = fill(CdvPolicy::Hard)?;
+    let (control_soft, video_soft) = fill(CdvPolicy::SoftSqrt)?;
+
+    println!();
+    println!("hard CAC : {control_hard} control + {video_hard} video streams");
+    println!("soft CAC : {control_soft} control + {video_soft} video streams");
+    println!(
+        "soft CDV accumulation admitted {} extra video stream(s) on this route",
+        video_soft.saturating_sub(video_hard)
+    );
+    assert!(video_soft >= video_hard);
+    Ok(())
+}

@@ -1,0 +1,198 @@
+//! Bound validation: the cell-level simulator must never observe a
+//! queueing delay above the analytic worst-case bounds (experiment E6
+//! of DESIGN.md).
+//!
+//! The CAC analysis is *conservative*: it assumes worst-case jitter
+//! clumping at every hop, which a jitter-free simulation cannot even
+//! reach. So `measured <= computed bound` must hold for every port,
+//! every priority, and every traffic pattern, greedy or random.
+
+use rtcac::bitstream::{CbrParams, Rate, Time, TrafficContract, VbrParams};
+use rtcac::cac::{Priority, SwitchConfig};
+use rtcac::net::{builders, Route};
+use rtcac::rational::ratio;
+use rtcac::signaling::{CdvPolicy, Network, SetupRequest};
+use rtcac::sim::{Simulation, TrafficPattern};
+
+fn vbr(pn: i128, pd: i128, sn: i128, sd: i128, mbs: u64) -> TrafficContract {
+    TrafficContract::vbr(
+        VbrParams::new(Rate::new(ratio(pn, pd)), Rate::new(ratio(sn, sd)), mbs).unwrap(),
+    )
+}
+
+/// Establishes `contracts` over a 3-switch line and returns the
+/// network plus the shared route.
+fn line_network(contracts: &[TrafficContract]) -> (Network, Route) {
+    let (topology, src, switches, dst) = builders::line(3).unwrap();
+    let config = SwitchConfig::uniform(1, Time::from_integer(128)).unwrap();
+    let mut network = Network::new(topology, config, CdvPolicy::Hard);
+    let route = Route::from_nodes(
+        network.topology(),
+        std::iter::once(src)
+            .chain(switches.iter().copied())
+            .chain(std::iter::once(dst)),
+    )
+    .unwrap();
+    for &c in contracts {
+        let req = SetupRequest::new(c, Priority::HIGHEST, Time::from_integer(1_000));
+        assert!(network.setup(&route, req).unwrap().is_connected());
+    }
+    (network, route)
+}
+
+/// Asserts measured port delays stay within the switch-computed bounds.
+fn assert_within_bounds(network: &Network, report: &rtcac::sim::SimReport) {
+    for ((link, priority), stats) in report.ports() {
+        // Find the switch owning this port (link's sending node).
+        let from = network.topology().link(*link).unwrap().from();
+        let Ok(switch) = network.switch(from) else {
+            continue; // end-system NIC port: shaped at source, no CAC bound
+        };
+        let bound = switch.computed_bound(*link, *priority).unwrap();
+        assert!(
+            Time::from_integer(stats.max_delay as i128) <= bound,
+            "port {link} {priority}: measured {} > bound {bound}",
+            stats.max_delay
+        );
+    }
+}
+
+#[test]
+fn greedy_worst_case_stays_within_bounds_on_line() {
+    // A mix of bursty connections; single source terminal means they
+    // also share the access link (shaped, counted separately).
+    let contracts = vec![
+        vbr(1, 4, 1, 20, 8),
+        vbr(1, 6, 1, 25, 4),
+        vbr(1, 8, 1, 30, 12),
+    ];
+    let (network, _route) = line_network(&contracts);
+    let sim = Simulation::from_network(&network);
+    let report = sim.run(100_000);
+    assert_eq!(report.total_drops(), 0);
+    assert_within_bounds(&network, &report);
+}
+
+#[test]
+fn random_traffic_stays_within_bounds_on_line() {
+    let contracts = vec![vbr(1, 3, 1, 15, 10), vbr(1, 5, 1, 18, 6)];
+    let (network, _) = line_network(&contracts);
+    let mut sim = Simulation::new(network.topology());
+    for (k, info) in network.connections().enumerate() {
+        sim.add_connection(
+            info.id(),
+            info.route().clone(),
+            info.request().priority(),
+            info.request().contract(),
+            TrafficPattern::Random {
+                p_percent: 70,
+                seed: 1000 + k as u64,
+            },
+        )
+        .unwrap();
+    }
+    let report = sim.run(100_000);
+    assert_within_bounds(&network, &report);
+}
+
+#[test]
+fn contention_from_separate_terminals_stays_within_bounds() {
+    // Several source terminals feeding one switch: real contention at
+    // the shared output port.
+    let mut topology = rtcac::net::Topology::new();
+    let sources: Vec<_> = (0..4)
+        .map(|k| topology.add_end_system(format!("src{k}")))
+        .collect();
+    let sw = topology.add_switch("sw");
+    let sink = topology.add_end_system("sink");
+    for &s in &sources {
+        topology.add_link(s, sw).unwrap();
+    }
+    topology.add_link(sw, sink).unwrap();
+
+    let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+    let mut network = Network::new(topology, config, CdvPolicy::Hard);
+    for (k, &s) in sources.iter().enumerate() {
+        let route = Route::from_nodes(network.topology(), [s, sw, sink]).unwrap();
+        let contract = vbr(1, 4, 1, 16 + k as i128, 4);
+        let req = SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(64));
+        assert!(network.setup(&route, req).unwrap().is_connected());
+    }
+    let sim = Simulation::from_network(&network);
+    let report = sim.run(100_000);
+    assert_eq!(report.total_drops(), 0);
+    assert_within_bounds(&network, &report);
+    // The shared port must actually have seen contention.
+    let shared = network.topology().find_link(sw, network.topology().nodes().last().unwrap().id()).unwrap();
+    let stats = report.port(shared, Priority::HIGHEST).unwrap();
+    assert!(stats.max_delay > 0, "expected queueing at the shared port");
+}
+
+#[test]
+fn star_ring_broadcast_within_guarantees() {
+    let sr = builders::star_ring(4, 2).unwrap();
+    let config = SwitchConfig::uniform(1, Time::from_integer(32)).unwrap();
+    let mut network = Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
+    for node in 0..4 {
+        for term in 0..2 {
+            let route = sr.ring_route_from_terminal(node, term, 3).unwrap();
+            let contract =
+                TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, 16))).unwrap());
+            let req = SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(96));
+            assert!(network.setup(&route, req).unwrap().is_connected());
+        }
+    }
+    let sim = Simulation::from_network(&network);
+    let report = sim.run(50_000);
+    assert_eq!(report.total_drops(), 0);
+    assert_within_bounds(&network, &report);
+    // End-to-end: measured delay (minus per-hop transmission slots)
+    // within the guaranteed bound.
+    for info in network.connections() {
+        let stats = report.connection(info.id()).unwrap();
+        let hops = info.route().links().len() as u64;
+        let queueing = stats.max_delay.saturating_sub(hops);
+        assert!(
+            Time::from_integer(queueing as i128) <= info.guaranteed_delay(),
+            "{}: measured {} > guaranteed {}",
+            info.id(),
+            queueing,
+            info.guaranteed_delay()
+        );
+    }
+}
+
+#[test]
+fn priority_isolation_holds_in_simulation() {
+    // Two priorities on one switch: high-priority delays must be
+    // unaffected by heavy low-priority load, per the static-priority
+    // FIFO model.
+    let mut topology = rtcac::net::Topology::new();
+    let a = topology.add_end_system("a");
+    let b = topology.add_end_system("b");
+    let sw = topology.add_switch("sw");
+    let sink = topology.add_end_system("sink");
+    topology.add_link(a, sw).unwrap();
+    topology.add_link(b, sw).unwrap();
+    topology.add_link(sw, sink).unwrap();
+    let config = SwitchConfig::with_bounds([
+        Time::from_integer(16),
+        Time::from_integer(128),
+    ])
+    .unwrap();
+    let mut network = Network::new(topology, config, CdvPolicy::Hard);
+    let ra = Route::from_nodes(network.topology(), [a, sw, sink]).unwrap();
+    let rb = Route::from_nodes(network.topology(), [b, sw, sink]).unwrap();
+    let hi = SetupRequest::new(vbr(1, 4, 1, 10, 2), Priority::HIGHEST, Time::from_integer(16));
+    let lo = SetupRequest::new(vbr(1, 2, 1, 4, 32), Priority::new(1), Time::from_integer(128));
+    assert!(network.setup(&ra, hi).unwrap().is_connected());
+    assert!(network.setup(&rb, lo).unwrap().is_connected());
+    let sim = Simulation::from_network(&network);
+    let report = sim.run(100_000);
+    assert_within_bounds(&network, &report);
+    let shared = network.topology().find_link(sw, sink).unwrap();
+    let hi_stats = report.port(shared, Priority::HIGHEST).unwrap();
+    let lo_stats = report.port(shared, Priority::new(1)).unwrap();
+    assert!(hi_stats.max_delay <= 2, "high priority nearly isolated");
+    assert!(lo_stats.max_delay >= hi_stats.max_delay);
+}

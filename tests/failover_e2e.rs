@@ -1,0 +1,87 @@
+//! Failover end to end: after a ring link failure, the wrap-around
+//! branch connections are re-established and the simulator confirms
+//! their guarantees still hold on the surviving links.
+
+use rtcac::bitstream::{CbrParams, Rate, Time, TrafficContract};
+use rtcac::cac::{Priority, SwitchConfig};
+use rtcac::net::builders;
+use rtcac::rational::ratio;
+use rtcac::rtnet::failover;
+use rtcac::signaling::{CdvPolicy, Network, SetupRequest};
+use rtcac::sim::Simulation;
+
+#[test]
+fn wrapped_connections_simulate_within_guarantees() {
+    let ring = 5;
+    let sr = builders::dual_star_ring(ring, 1).unwrap();
+    let config = SwitchConfig::uniform(1, Time::from_integer(32)).unwrap();
+    let mut network = Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
+
+    // Primary link 2 fails; every terminal re-establishes its broadcast
+    // as two wrap-around branches.
+    let failed = 2;
+    let sources: Vec<(usize, usize)> = (0..ring).map(|n| (n, 0)).collect();
+    let request = SetupRequest::new(
+        TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, 20))).unwrap()),
+        Priority::HIGHEST,
+        Time::from_integer(10_000),
+    );
+    let report = failover::reestablish(&mut network, &sr, failed, &sources, request).unwrap();
+    assert_eq!(report.lost, 0);
+    assert_eq!(report.reestablished, ring);
+
+    // No branch route uses the failed link.
+    let dead = sr.ring_link(failed).unwrap();
+    for info in network.connections() {
+        assert!(!info.route().links().contains(&dead));
+    }
+
+    // Simulate the wrapped population with worst-case sources: no
+    // drops, all port delays within computed bounds, and — crucially —
+    // the failed link never carries a cell.
+    let sim = Simulation::from_network(&network);
+    let result = sim.run(80_000);
+    assert_eq!(result.total_drops(), 0);
+    assert!(result.port(dead, Priority::HIGHEST).is_none(), "dead link used");
+    for ((link, priority), stats) in result.ports() {
+        let from = network.topology().link(*link).unwrap().from();
+        let Ok(switch) = network.switch(from) else {
+            continue;
+        };
+        let bound = switch.computed_bound(*link, *priority).unwrap();
+        assert!(
+            Time::from_integer(stats.max_delay as i128) <= bound,
+            "port {link}: measured {} > bound {bound}",
+            stats.max_delay
+        );
+    }
+    // Both ring directions are in use after the wrap.
+    let forward_used = (0..ring)
+        .filter(|&i| i != failed)
+        .any(|i| result.port(sr.ring_link(i).unwrap(), Priority::HIGHEST).is_some());
+    let backward_used = (0..ring)
+        .any(|i| result.port(sr.reverse_link(i).unwrap(), Priority::HIGHEST).is_some());
+    assert!(forward_used && backward_used);
+}
+
+#[test]
+fn every_failure_location_is_survivable_at_moderate_load() {
+    let ring = 4;
+    for failed in 0..ring {
+        let sr = builders::dual_star_ring(ring, 1).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(32)).unwrap();
+        let mut network = Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
+        let sources: Vec<(usize, usize)> = (0..ring).map(|n| (n, 0)).collect();
+        let request = SetupRequest::new(
+            TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, 10))).unwrap()),
+            Priority::HIGHEST,
+            Time::from_integer(10_000),
+        );
+        let report =
+            failover::reestablish(&mut network, &sr, failed, &sources, request).unwrap();
+        assert_eq!(
+            report.lost, 0,
+            "failure at link {failed} lost broadcasts"
+        );
+    }
+}

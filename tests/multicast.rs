@@ -1,0 +1,241 @@
+//! Point-to-multipoint (p2mp) VCs end to end: the ATM-native
+//! realization of RTnet's cyclic-transmission broadcast. Covers tree
+//! admission with per-branch CDV, per-leaf guarantees, rollback,
+//! teardown, and simulator validation with cell duplication.
+
+use rtcac::bitstream::{CbrParams, Rate, Time, TrafficContract, VbrParams};
+use rtcac::cac::{Priority, SwitchConfig};
+use rtcac::net::{builders, MulticastTree};
+use rtcac::rational::ratio;
+use rtcac::signaling::{CdvPolicy, MulticastOutcome, Network, SetupRequest};
+use rtcac::sim::{Simulation, TrafficPattern};
+
+fn cbr(n: i128, d: i128) -> TrafficContract {
+    TrafficContract::cbr(CbrParams::new(Rate::new(ratio(n, d))).unwrap())
+}
+
+fn ring_network(nodes: usize, terms: usize, bound: i128) -> (Network, rtcac::net::StarRing) {
+    let sr = builders::star_ring(nodes, terms).unwrap();
+    let config = SwitchConfig::uniform(1, Time::from_integer(bound)).unwrap();
+    (
+        Network::new(sr.topology().clone(), config, CdvPolicy::Hard),
+        sr,
+    )
+}
+
+#[test]
+fn broadcast_tree_setup_and_per_leaf_guarantees() {
+    let (mut network, sr) = ring_network(4, 2, 32);
+    let tree = sr.broadcast_tree(0, 0).unwrap();
+    let request = SetupRequest::new(cbr(1, 20), Priority::HIGHEST, Time::from_integer(1_000));
+    let info = match network.setup_multicast(&tree, request).unwrap() {
+        MulticastOutcome::Connected(info) => info,
+        other => panic!("expected connection, got {other:?}"),
+    };
+    // 7 leaves (all terminals but the source).
+    assert_eq!(info.per_leaf().len(), 7);
+    // Guarantee per leaf = 32 * switch ports on its path: the source
+    // node's sibling terminal crosses 1 port; the farthest terminal
+    // crosses 4 (its ring entry + 3 transit + its drop-off port counts
+    // as the 4th).
+    let delays: Vec<i128> = info
+        .per_leaf()
+        .iter()
+        .map(|&(_, d)| d.as_ratio().numer())
+        .collect();
+    assert!(delays.contains(&32), "{delays:?}");
+    assert!(delays.contains(&128), "{delays:?}");
+    assert_eq!(info.guaranteed_delay(), Time::from_integer(128));
+    // Every ring switch holds legs; node 0 holds ring-out + 1 drop-off,
+    // others hold ring-out (except the last) + 2 drop-offs.
+    let total_legs: usize = sr
+        .ring_nodes()
+        .iter()
+        .map(|&n| network.switch(n).unwrap().connection_count())
+        .sum();
+    assert_eq!(total_legs, tree.queueing_points(network.topology()).unwrap().len());
+
+    // Teardown releases everything.
+    network.teardown_multicast(info.id()).unwrap();
+    for &n in sr.ring_nodes() {
+        assert_eq!(network.switch(n).unwrap().connection_count(), 0);
+    }
+    assert!(network
+        .teardown_multicast(info.id())
+        .is_err());
+}
+
+#[test]
+fn full_cyclic_broadcast_population_admits_and_simulates() {
+    // Every terminal of a 4x2 RTnet broadcasts via a p2mp VC at a
+    // symmetric load, mirrored into the simulator with duplication.
+    let (mut network, sr) = ring_network(4, 2, 32);
+    let load = ratio(1, 4);
+    let pcr = load / ratio(8, 1);
+    let mut infos = Vec::new();
+    for node in 0..4 {
+        for term in 0..2 {
+            let tree = sr.broadcast_tree(node, term).unwrap();
+            let request = SetupRequest::new(
+                TrafficContract::cbr(CbrParams::new(Rate::new(pcr)).unwrap()),
+                Priority::HIGHEST,
+                Time::from_integer(10_000),
+            );
+            match network.setup_multicast(&tree, request).unwrap() {
+                MulticastOutcome::Connected(info) => infos.push((info, tree)),
+                other => panic!("broadcast {node}.{term} rejected: {other:?}"),
+            }
+        }
+    }
+
+    let mut sim = Simulation::new(network.topology());
+    for (info, tree) in &infos {
+        sim.add_multicast(
+            info.id(),
+            tree,
+            Priority::HIGHEST,
+            info.request().contract(),
+            TrafficPattern::Greedy,
+        )
+        .unwrap();
+    }
+    let report = sim.run(60_000);
+    assert_eq!(report.total_drops(), 0);
+    for (info, tree) in &infos {
+        let stats = report.connection(info.id()).unwrap();
+        // Each emitted cell fans out to 7 leaves.
+        assert!(stats.emitted > 0);
+        assert!(stats.duplicated > 0);
+        assert_eq!(
+            stats.emitted + stats.duplicated,
+            stats.delivered + stats.in_flight + stats.dropped
+        );
+        // Steady state: deliveries approach 7 per emission.
+        let per_emission = stats.delivered as f64 / stats.emitted as f64;
+        assert!(
+            per_emission > 6.5 && per_emission <= 7.0 + 1e-9,
+            "{per_emission}"
+        );
+        // Worst measured end-to-end delay (minus per-hop transmission
+        // slots on the longest path) within the guarantee.
+        let longest_path = tree
+            .leaf_paths(network.topology())
+            .unwrap()
+            .iter()
+            .map(|(_, p)| p.len())
+            .max()
+            .unwrap() as u64;
+        let queueing = stats.max_delay.saturating_sub(longest_path);
+        assert!(
+            Time::from_integer(queueing as i128) <= info.guaranteed_delay(),
+            "measured {queueing} > guaranteed {}",
+            info.guaranteed_delay()
+        );
+    }
+
+    // Per-port measured delays also fit the computed bounds.
+    for ((link, priority), stats) in report.ports() {
+        let from = network.topology().link(*link).unwrap().from();
+        let Ok(switch) = network.switch(from) else {
+            continue;
+        };
+        let bound = switch.computed_bound(*link, *priority).unwrap();
+        assert!(
+            Time::from_integer(stats.max_delay as i128) <= bound,
+            "port {link}: measured {} > computed {bound}",
+            stats.max_delay
+        );
+    }
+}
+
+#[test]
+fn multicast_rejection_rolls_back_all_legs() {
+    let (mut network, sr) = ring_network(4, 1, 4);
+    // A fat broadcast that cannot fit the 4-cell queues once transit
+    // clumping is accounted for.
+    let request = SetupRequest::new(cbr(1, 3), Priority::HIGHEST, Time::from_integer(10_000));
+    let mut rejected = false;
+    for node in 0..4 {
+        let tree = sr.broadcast_tree(node, 0).unwrap();
+        match network.setup_multicast(&tree, request).unwrap() {
+            MulticastOutcome::Connected(_) => {}
+            MulticastOutcome::Rejected(_) => {
+                rejected = true;
+                break;
+            }
+        }
+    }
+    assert!(rejected, "tight queues must eventually reject");
+    // No switch holds legs of the rejected id: leg counts per switch
+    // must be consistent with the established multicast set only.
+    let established: usize = network.multicast_connections().count();
+    for &n in sr.ring_nodes() {
+        let legs = network.switch(n).unwrap().connection_count();
+        // Each established broadcast holds at most 1 ring leg + 1
+        // drop-off leg per node here (terms = 1).
+        assert!(legs <= established * 2, "node {n}: {legs} legs");
+    }
+}
+
+#[test]
+fn multicast_qos_gate_checks_worst_leaf() {
+    let (mut network, sr) = ring_network(4, 2, 32);
+    let tree = sr.broadcast_tree(0, 0).unwrap();
+    // Worst leaf needs 128 cells; request only 100.
+    let request = SetupRequest::new(cbr(1, 50), Priority::HIGHEST, Time::from_integer(100));
+    match network.setup_multicast(&tree, request).unwrap() {
+        MulticastOutcome::Rejected(r) => {
+            assert!(r.to_string().contains("128"), "{r}");
+        }
+        other => panic!("expected qos rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn vbr_multicast_over_simple_tree() {
+    // A two-switch tree with a bursty VBR source; checks duplication
+    // across an inner branch.
+    let mut t = rtcac::net::Topology::new();
+    let src = t.add_end_system("src");
+    let sw1 = t.add_switch("sw1");
+    let sw2 = t.add_switch("sw2");
+    let a = t.add_end_system("a");
+    let b = t.add_end_system("b");
+    let c = t.add_end_system("c");
+    let up = t.add_link(src, sw1).unwrap();
+    let da = t.add_link(sw1, a).unwrap();
+    let trunk = t.add_link(sw1, sw2).unwrap();
+    let db = t.add_link(sw2, b).unwrap();
+    let dc = t.add_link(sw2, c).unwrap();
+    let tree = MulticastTree::new(&t, [up, da, trunk, db, dc]).unwrap();
+
+    let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+    let mut network = Network::new(t, config, CdvPolicy::Hard);
+    let contract = TrafficContract::vbr(
+        VbrParams::new(Rate::new(ratio(1, 3)), Rate::new(ratio(1, 12)), 9).unwrap(),
+    );
+    let request = SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(128));
+    let info = match network.setup_multicast(&tree, request).unwrap() {
+        MulticastOutcome::Connected(info) => info,
+        other => panic!("unexpected {other:?}"),
+    };
+    // sw1 holds 2 legs (da, trunk), sw2 holds 2 (db, dc).
+    let sw1_node = info.tree().queueing_points(network.topology()).unwrap()[0].0;
+    assert_eq!(network.switch(sw1_node).unwrap().connection_count(), 2);
+
+    let mut sim = Simulation::new(network.topology());
+    sim.add_multicast(
+        info.id(),
+        &tree,
+        Priority::HIGHEST,
+        contract,
+        TrafficPattern::Greedy,
+    )
+    .unwrap();
+    let report = sim.run(50_000);
+    let stats = report.connection(info.id()).unwrap();
+    // 3 leaves per emitted cell.
+    let per_emission = stats.delivered as f64 / stats.emitted as f64;
+    assert!(per_emission > 2.9 && per_emission <= 3.0 + 1e-9, "{per_emission}");
+    assert_eq!(report.total_drops(), 0);
+}

@@ -1,0 +1,168 @@
+//! Consistency: the RTnet ring analysis (direct bit-stream algebra)
+//! must agree *exactly* with the general per-switch CAC machinery when
+//! both model the same set of broadcast connections.
+//!
+//! This pins the two independent implementations of §4.3 against each
+//! other: `rtcac_rtnet::RingAnalysis` computes port aggregates
+//! symbolically; `rtcac_cac::Switch` builds them from per-connection
+//! admissions driven by the signaling layer.
+
+use rtcac::bitstream::{CbrParams, Rate, Time, TrafficContract, VbrParams};
+use rtcac::cac::{Priority, SwitchConfig};
+use rtcac::net::builders;
+use rtcac::rational::ratio;
+use rtcac::rtnet::{CdvMode, RingAnalysis};
+use rtcac::signaling::{CdvPolicy, Network, SetupRequest};
+
+const RING: usize = 5;
+const TERMS: usize = 2;
+const BOUND: i128 = 64;
+
+fn contracts() -> Vec<TrafficContract> {
+    // One distinct contract per terminal (RING * TERMS of them).
+    (0..(RING * TERMS) as i128)
+        .map(|k| {
+            if k % 3 == 0 {
+                TrafficContract::cbr(
+                    CbrParams::new(Rate::new(ratio(1, 30 + k))).unwrap(),
+                )
+            } else {
+                TrafficContract::vbr(
+                    VbrParams::new(
+                        Rate::new(ratio(1, 10 + k)),
+                        Rate::new(ratio(1, 60 + 2 * k)),
+                        (2 + k % 4) as u64,
+                    )
+                    .unwrap(),
+                )
+            }
+        })
+        .collect()
+}
+
+/// Builds the signaling-driven network with every terminal
+/// broadcasting around the ring.
+fn build_network() -> (Network, rtcac::net::StarRing) {
+    let sr = builders::star_ring(RING, TERMS).unwrap();
+    let config = SwitchConfig::uniform(1, Time::from_integer(BOUND)).unwrap();
+    let mut network = Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
+    let contracts = contracts();
+    let mut idx = 0;
+    for node in 0..RING {
+        for term in 0..TERMS {
+            let route = sr.ring_route_from_terminal(node, term, RING - 1).unwrap();
+            let request = SetupRequest::new(
+                contracts[idx],
+                Priority::HIGHEST,
+                Time::from_integer(BOUND * (RING as i128 - 1)),
+            );
+            let outcome = network.setup(&route, request).unwrap();
+            assert!(
+                outcome.is_connected(),
+                "test load must be admissible (conn {idx})"
+            );
+            idx += 1;
+        }
+    }
+    (network, sr)
+}
+
+/// Builds the same load in the direct ring analysis.
+fn build_analysis() -> RingAnalysis {
+    let mut analysis = RingAnalysis::new(
+        RING,
+        vec![Time::from_integer(BOUND)],
+        CdvMode::Hard,
+    )
+    .unwrap();
+    let contracts = contracts();
+    let mut idx = 0;
+    for node in 0..RING {
+        for _ in 0..TERMS {
+            analysis
+                .add_connection(node, contracts[idx].worst_case_stream(), Priority::HIGHEST)
+                .unwrap();
+            idx += 1;
+        }
+    }
+    analysis
+}
+
+#[test]
+fn ring_analysis_matches_switch_machinery_exactly() {
+    let (network, sr) = build_network();
+    let analysis = build_analysis();
+    for port in 0..RING {
+        let node = sr.ring_nodes()[port];
+        let link = sr.ring_link(port).unwrap();
+        let from_switch = network
+            .switch(node)
+            .unwrap()
+            .computed_bound(link, Priority::HIGHEST)
+            .unwrap();
+        let from_analysis = analysis.port_bound(port, Priority::HIGHEST).unwrap();
+        assert_eq!(
+            from_switch, from_analysis,
+            "port {port}: switch machinery {from_switch} vs ring analysis {from_analysis}"
+        );
+    }
+}
+
+#[test]
+fn teardown_returns_bounds_to_lighter_values() {
+    let (mut network, sr) = build_network();
+    let node = sr.ring_nodes()[0];
+    let link = sr.ring_link(0).unwrap();
+    let before = network
+        .switch(node)
+        .unwrap()
+        .computed_bound(link, Priority::HIGHEST)
+        .unwrap();
+    // Tear down every connection entering at node 1 (they transit port 0).
+    let victims: Vec<_> = network
+        .connections()
+        .filter(|info| {
+            info.route().source(network.topology()).unwrap()
+                == sr.terminals(1).unwrap()[0]
+                || info.route().source(network.topology()).unwrap()
+                    == sr.terminals(1).unwrap()[1]
+        })
+        .map(|info| info.id())
+        .collect();
+    assert_eq!(victims.len(), TERMS);
+    for id in victims {
+        network.teardown(id).unwrap();
+    }
+    let after = network
+        .switch(node)
+        .unwrap()
+        .computed_bound(link, Priority::HIGHEST)
+        .unwrap();
+    assert!(after <= before, "removing load must not raise the bound");
+}
+
+#[test]
+fn readmission_after_teardown_reproduces_identical_state() {
+    let (mut network, sr) = build_network();
+    let link = sr.ring_link(2).unwrap();
+    let node = sr.ring_nodes()[2];
+    let reference = network
+        .switch(node)
+        .unwrap()
+        .computed_bound(link, Priority::HIGHEST)
+        .unwrap();
+    // Remove and re-establish one connection; exact arithmetic means
+    // the recomputed state is bit-identical.
+    let info = network.connections().next().unwrap().clone();
+    network.teardown(info.id()).unwrap();
+    let outcome = network
+        .setup(info.route(), *info.request())
+        .unwrap();
+    assert!(outcome.is_connected());
+    let recomputed = network
+        .switch(node)
+        .unwrap()
+        .computed_bound(link, Priority::HIGHEST)
+        .unwrap();
+    assert_eq!(reference, recomputed);
+}
