@@ -2,13 +2,17 @@
 //! connections and priority levels — the operational concern the paper
 //! raises in §4.3 discussion 2 ("the computation ... increases
 //! proportionally with the number of priority levels").
+//!
+//! Plain harness-less timing (std::time::Instant) — the registry is
+//! offline, so criterion is unavailable.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcac_bench::{human_time, time_op};
 use rtcac_bitstream::{Rate, Time, TrafficContract, VbrParams};
 use rtcac_cac::{ConnectionId, ConnectionRequest, Priority, Switch, SwitchConfig};
 use rtcac_net::LinkId;
 use rtcac_rational::ratio;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn contract(k: u64) -> TrafficContract {
     TrafficContract::vbr(
@@ -45,9 +49,13 @@ fn loaded_switch(n: u64, levels: u8) -> Switch {
     sw
 }
 
-fn bench_check_vs_connections(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cac_check_vs_connections");
-    group.sample_size(20);
+const BUDGET: Duration = Duration::from_millis(200);
+
+fn report(name: &str, secs: f64) {
+    println!("{name:<44} {}", human_time(secs));
+}
+
+fn main() {
     for n in [8u64, 32, 128] {
         let sw = loaded_switch(n, 1);
         let probe = ConnectionRequest::new(
@@ -57,16 +65,9 @@ fn bench_check_vs_connections(c: &mut Criterion) {
             LinkId::external(100),
             Priority::HIGHEST,
         );
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(sw.check(black_box(&probe)).unwrap()))
-        });
+        let t = time_op(|| black_box(sw.check(black_box(&probe)).unwrap()), BUDGET);
+        report(&format!("cac_check_vs_connections/{n}"), t);
     }
-    group.finish();
-}
-
-fn bench_check_vs_priorities(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cac_check_vs_priorities");
-    group.sample_size(20);
     for levels in [1u8, 2, 4] {
         let sw = loaded_switch(64, levels);
         let probe = ConnectionRequest::new(
@@ -76,15 +77,10 @@ fn bench_check_vs_priorities(c: &mut Criterion) {
             LinkId::external(100),
             Priority::HIGHEST,
         );
-        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, _| {
-            b.iter(|| black_box(sw.check(black_box(&probe)).unwrap()))
-        });
+        let t = time_op(|| black_box(sw.check(black_box(&probe)).unwrap()), BUDGET);
+        report(&format!("cac_check_vs_priorities/{levels}"), t);
     }
-    group.finish();
-}
-
-fn bench_admit_release_cycle(c: &mut Criterion) {
-    c.bench_function("cac_admit_release_cycle_64_established", |b| {
+    {
         let sw = loaded_switch(64, 1);
         let probe = ConnectionRequest::new(
             contract(4242),
@@ -93,20 +89,16 @@ fn bench_admit_release_cycle(c: &mut Criterion) {
             LinkId::external(100),
             Priority::HIGHEST,
         );
-        b.iter(|| {
-            let mut sw = sw.clone();
-            let d = sw.admit(ConnectionId::new(999_999), probe).unwrap();
-            assert!(d.is_admitted());
-            sw.release(ConnectionId::new(999_999)).unwrap();
-            black_box(sw.connection_count())
-        })
-    });
+        let t = time_op(
+            || {
+                let mut sw = sw.clone();
+                let d = sw.admit(ConnectionId::new(999_999), probe).unwrap();
+                assert!(d.is_admitted());
+                sw.release(ConnectionId::new(999_999)).unwrap();
+                black_box(sw.connection_count())
+            },
+            BUDGET,
+        );
+        report("cac_admit_release_cycle_64_established", t);
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_check_vs_connections,
-    bench_check_vs_priorities,
-    bench_admit_release_cycle
-);
-criterion_main!(benches);

@@ -1,13 +1,17 @@
 //! Throughput of the cell-level simulator: slots per second for the
 //! bound-validation scenarios.
+//!
+//! Plain harness-less timing (std::time::Instant) — the registry is
+//! offline, so criterion is unavailable.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtcac_bench::time_op;
 use rtcac_bitstream::{CbrParams, Rate, TrafficContract};
 use rtcac_cac::{ConnectionId, Priority};
 use rtcac_net::builders;
 use rtcac_rational::ratio;
 use rtcac_sim::{Simulation, TrafficPattern};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn ring_sim(terminals: usize) -> Simulation {
     let sr = builders::star_ring(8, terminals).unwrap();
@@ -33,21 +37,15 @@ fn ring_sim(terminals: usize) -> Simulation {
     sim
 }
 
-fn bench_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_slots");
-    group.sample_size(10);
+fn main() {
     const SLOTS: u64 = 20_000;
-    group.throughput(Throughput::Elements(SLOTS));
     for terminals in [1usize, 4] {
         let sim = ring_sim(terminals);
-        group.bench_with_input(
-            BenchmarkId::new("ring8", terminals),
-            &terminals,
-            |b, _| b.iter(|| black_box(sim.run(SLOTS).total_drops())),
+        let secs = time_op(
+            || black_box(sim.run(SLOTS).total_drops()),
+            Duration::from_millis(400),
         );
+        let slots_per_sec = SLOTS as f64 / secs;
+        println!("sim_slots/ring8/{terminals:<2} {slots_per_sec:>14.0} slots/s");
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

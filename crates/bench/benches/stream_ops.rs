@@ -1,10 +1,14 @@
 //! Micro-benchmarks of the bit-stream algebra (Algorithms 2.1,
 //! 3.1-3.4, 4.1): the per-operation cost that dominates a CAC check.
+//!
+//! Plain harness-less timing (std::time::Instant) — the registry is
+//! offline, so criterion is unavailable.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcac_bench::{human_time, time_op};
 use rtcac_bitstream::{BitStream, Rate, Time, TrafficContract, VbrParams};
 use rtcac_rational::ratio;
 use std::hint::black_box;
+use std::time::Duration;
 
 /// A worst-case VBR stream with distinct small-rational parameters so
 /// aggregates accumulate many distinct breakpoints.
@@ -22,67 +26,41 @@ fn aggregate(n: i128) -> BitStream {
     BitStream::multiplex_all(&parts)
 }
 
-fn bench_multiplex(c: &mut Criterion) {
-    let mut group = c.benchmark_group("multiplex");
+const BUDGET: Duration = Duration::from_millis(200);
+
+fn report(name: &str, secs: f64) {
+    println!("{name:<44} {}", human_time(secs));
+}
+
+fn main() {
     for n in [2i128, 16, 64, 256] {
         let agg = aggregate(n);
         let one = vbr_stream(n + 1);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(agg.multiplex(black_box(&one))))
-        });
+        let t = time_op(|| black_box(agg.multiplex(black_box(&one))), BUDGET);
+        report(&format!("multiplex/{n}"), t);
     }
-    group.finish();
-}
-
-fn bench_filter(c: &mut Criterion) {
-    let mut group = c.benchmark_group("filter");
     for n in [2i128, 16, 64, 256] {
         let agg = aggregate(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(agg.filter()))
-        });
+        let t = time_op(|| black_box(agg.filter()), BUDGET);
+        report(&format!("filter/{n}"), t);
     }
-    group.finish();
-}
-
-fn bench_delay(c: &mut Criterion) {
-    let mut group = c.benchmark_group("delay");
     let s = vbr_stream(3);
     for cdv in [32i128, 128, 512] {
-        group.bench_with_input(BenchmarkId::from_parameter(cdv), &cdv, |b, &cdv| {
-            b.iter(|| black_box(s.delay(Time::from_integer(cdv))))
-        });
+        let t = time_op(|| black_box(s.delay(Time::from_integer(cdv))), BUDGET);
+        report(&format!("delay/{cdv}"), t);
     }
-    group.finish();
-}
-
-fn bench_delay_bound(c: &mut Criterion) {
-    let mut group = c.benchmark_group("delay_bound");
     for n in [2i128, 16, 64, 256] {
         let arrival = aggregate(n);
         let interference = aggregate(n / 2).filter();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(arrival.delay_bound(black_box(&interference)).ok()))
-        });
-    }
-    group.finish();
-}
-
-fn bench_worst_case_stream(c: &mut Criterion) {
-    c.bench_function("algorithm_2_1_contract_to_stream", |b| {
-        let contract = TrafficContract::vbr(
-            VbrParams::new(Rate::new(ratio(1, 3)), Rate::new(ratio(1, 17)), 12).unwrap(),
+        let t = time_op(
+            || black_box(arrival.delay_bound(black_box(&interference)).ok()),
+            BUDGET,
         );
-        b.iter(|| black_box(contract.worst_case_stream()))
-    });
+        report(&format!("delay_bound/{n}"), t);
+    }
+    let contract = TrafficContract::vbr(
+        VbrParams::new(Rate::new(ratio(1, 3)), Rate::new(ratio(1, 17)), 12).unwrap(),
+    );
+    let t = time_op(|| black_box(contract.worst_case_stream()), BUDGET);
+    report("algorithm_2_1_contract_to_stream", t);
 }
-
-criterion_group!(
-    benches,
-    bench_multiplex,
-    bench_filter,
-    bench_delay,
-    bench_delay_bound,
-    bench_worst_case_stream
-);
-criterion_main!(benches);

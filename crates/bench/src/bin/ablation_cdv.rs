@@ -34,8 +34,8 @@ fn main() {
             let load = ratio(step, 20);
             let analysis = workload::symmetric(16, terminals, load).expect("valid workload");
             let fixed = analysis.port_bound(0, Priority::HIGHEST);
-            let fp = iterative::symmetric_fixed_point(16, terminals, load, 48)
-                .expect("iteration runs");
+            let fp =
+                iterative::symmetric_fixed_point(16, terminals, load, 48).expect("iteration runs");
             let fixed_str = match &fixed {
                 Ok(d) => f(d.to_f64()),
                 Err(_) => "overload".into(),

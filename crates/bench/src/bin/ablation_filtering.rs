@@ -23,8 +23,7 @@ const HOP_BOUND: i128 = 32;
 /// ring-in link filter.
 fn port_bound(terminals: usize, load_num: i128, load_den: i128, filtered: bool) -> Option<f64> {
     let pcr = ratio(load_num, load_den * (RING_NODES * terminals) as i128);
-    let source = TrafficContract::cbr(CbrParams::new(Rate::new(pcr)).ok()?)
-        .worst_case_stream();
+    let source = TrafficContract::cbr(CbrParams::new(Rate::new(pcr)).ok()?).worst_case_stream();
     let mut ring_in = BitStream::zero();
     for m in 1..SPAN {
         let cdv = Time::from_integer(HOP_BOUND * m as i128);
@@ -51,11 +50,22 @@ fn port_bound(terminals: usize, load_num: i128, load_den: i128, filtered: bool) 
 }
 
 fn main() {
-    header("artifact", "ablation: link filtering of upstream aggregates (paper section 3.4)");
-    header("setup", "Figure 10 symmetric workload; per-port bound with vs without ring-in filtering");
+    header(
+        "artifact",
+        "ablation: link filtering of upstream aggregates (paper section 3.4)",
+    );
+    header(
+        "setup",
+        "Figure 10 symmetric workload; per-port bound with vs without ring-in filtering",
+    );
     for terminals in [1usize, 4, 16] {
         series(format!("N={terminals}"));
-        columns(&["load", "bound_filtered_cells", "bound_unfiltered_cells", "inflation"]);
+        columns(&[
+            "load",
+            "bound_filtered_cells",
+            "bound_unfiltered_cells",
+            "inflation",
+        ]);
         for step in 1..=16i128 {
             let (num, den) = (step, 20i128);
             let with = port_bound(terminals, num, den, true);
@@ -75,7 +85,12 @@ fn main() {
                     ]);
                 }
                 _ => {
-                    row(&[f(num as f64 / den as f64), "overload".into(), "overload".into(), "-".into()]);
+                    row(&[
+                        f(num as f64 / den as f64),
+                        "overload".into(),
+                        "overload".into(),
+                        "-".into(),
+                    ]);
                     break;
                 }
             }

@@ -75,9 +75,8 @@ fn main() {
         ]);
 
         // Bit-stream CAC: admits while the 32-cell bound holds.
-        let mut switch = Switch::new(
-            SwitchConfig::uniform(1, Time::from_integer(QUEUE_CELLS)).unwrap(),
-        );
+        let mut switch =
+            Switch::new(SwitchConfig::uniform(1, Time::from_integer(QUEUE_CELLS)).unwrap());
         let mut k = 0u64;
         while let AdmissionDecision::Admitted(_) = switch
             .admit(ConnectionId::new(k), request(16, cdv, k as u32))

@@ -1,0 +1,109 @@
+//! Admission throughput of the concurrent sharded engine: setups per
+//! second at 1/2/4/8 workers on the paper's 16-node star-ring, with
+//! per-ring-node terminal routes so the shards are disjoint and the
+//! worker pool can scale.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rtcac_bench::{columns, f, header, row};
+use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract, VbrParams};
+use rtcac_cac::{Priority, SwitchConfig};
+use rtcac_engine::{AdmissionEngine, EnginePool};
+use rtcac_net::builders::{self, StarRing};
+use rtcac_rational::ratio;
+use rtcac_signaling::{CdvPolicy, SetupRequest};
+
+const RING_NODES: usize = 16;
+const SETUPS_PER_NODE: usize = 32;
+const MIN_SECONDS: f64 = 0.4;
+
+fn fresh_engine(sr: &StarRing) -> Arc<AdmissionEngine> {
+    let config = SwitchConfig::uniform(1, Time::from_integer(64)).expect("switch config");
+    Arc::new(AdmissionEngine::new(
+        sr.topology().clone(),
+        config,
+        CdvPolicy::Hard,
+    ))
+}
+
+/// One measured round: a full batch of admissions through a fresh
+/// pool on a fresh engine, so every round starts from empty tables.
+/// Returns the wall-clock seconds of the batch and its admitted count.
+fn run_round(sr: &StarRing, workers: usize) -> (f64, usize) {
+    let engine = fresh_engine(sr);
+    // Alternate smooth CBR with bursty VBR: the burst envelopes make
+    // each admission check a real bit-stream computation rather than a
+    // queue-overhead microbenchmark.
+    let cbr = TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, 64))).expect("cbr"));
+    let vbr = TrafficContract::vbr(
+        VbrParams::new(Rate::new(ratio(1, 8)), Rate::new(ratio(1, 128)), 8).expect("vbr"),
+    );
+    let mut pool = EnginePool::new(Arc::clone(&engine), workers);
+    let start = Instant::now();
+    for i in 0..RING_NODES {
+        for k in 0..SETUPS_PER_NODE {
+            let route = sr.terminal_route((i, 0), (i, 1)).expect("terminal route");
+            let contract = if k % 2 == 0 { cbr } else { vbr };
+            let request =
+                SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(10_000));
+            pool.submit(route, request);
+        }
+    }
+    let results = pool.finish();
+    let elapsed = start.elapsed().as_secs_f64();
+    let admitted = results
+        .iter()
+        .filter(|r| r.outcome.as_ref().expect("engine outcome").is_admitted())
+        .count();
+    (elapsed, admitted)
+}
+
+fn main() {
+    let sr = builders::star_ring(RING_NODES, 2).expect("star-ring topology");
+    let total = RING_NODES * SETUPS_PER_NODE;
+    header("artifact", "engine admission throughput vs worker count");
+    header(
+        "setup",
+        format!(
+            "{RING_NODES}-node star-ring, {total} mixed CBR/VBR setups per round, \
+             disjoint per-node shards, hard CAC"
+        ),
+    );
+    header(
+        "hardware_threads",
+        std::thread::available_parallelism().map_or(0, usize::from),
+    );
+    columns(&[
+        "workers",
+        "rounds",
+        "admitted",
+        "setups_per_sec",
+        "speedup_vs_1",
+    ]);
+
+    let mut baseline = None;
+    for workers in [1usize, 2, 4, 8] {
+        // Warm-up round, then measure whole rounds until the budget is
+        // spent so short batches do not drown in noise.
+        let _ = run_round(&sr, workers);
+        let mut rounds = 0u32;
+        let mut busy = 0.0;
+        let mut admitted = 0;
+        while busy < MIN_SECONDS {
+            let (elapsed, ok) = run_round(&sr, workers);
+            busy += elapsed;
+            admitted = ok;
+            rounds += 1;
+        }
+        let throughput = f64::from(rounds) * total as f64 / busy;
+        let speedup = throughput / *baseline.get_or_insert(throughput);
+        row(&[
+            workers.to_string(),
+            rounds.to_string(),
+            admitted.to_string(),
+            f(throughput),
+            f(speedup),
+        ]);
+    }
+}

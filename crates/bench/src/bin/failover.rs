@@ -52,8 +52,7 @@ fn wrapped_ok(load: Ratio) -> bool {
     let sources: Vec<(usize, usize)> = (0..RING)
         .flat_map(|n| (0..TERMS).map(move |t| (n, t)))
         .collect();
-    let report =
-        failover::reestablish(&mut network, &sr, 0, &sources, request(load)).unwrap();
+    let report = failover::reestablish(&mut network, &sr, 0, &sources, request(load)).unwrap();
     report.lost == 0
 }
 

@@ -7,7 +7,10 @@ use rtcac_rtnet::experiments::fig10;
 fn main() {
     let fig = fig10::run(fig10::Params::default()).expect("figure 10 sweep");
     header("artifact", "Figure 10: end-to-end queueing delay bounds");
-    header("setup", "16 ring nodes, symmetric CBR broadcast, hard CAC, 32-cell queues");
+    header(
+        "setup",
+        "16 ring nodes, symmetric CBR broadcast, hard CAC, 32-cell queues",
+    );
     for s in &fig.series {
         series(format!("N={}", s.terminals));
         columns(&["load", "load_Mbps", "per_hop_cells", "e2e_cells"]);
@@ -19,9 +22,6 @@ fn main() {
                 f(p.end_to_end_cells),
             ]);
         }
-        header(
-            "max_admissible_load",
-            f(s.max_admissible_load.to_f64()),
-        );
+        header("max_admissible_load", f(s.max_admissible_load.to_f64()));
     }
 }

@@ -7,7 +7,10 @@ use rtcac_rtnet::experiments::fig11;
 fn main() {
     let fig = fig11::run(fig11::Params::default()).expect("figure 11 sweep");
     header("artifact", "Figure 11: asymmetric cyclic traffic support");
-    header("setup", "16 ring nodes, one terminal takes share p, hard CAC");
+    header(
+        "setup",
+        "16 ring nodes, one terminal takes share p, hard CAC",
+    );
     for s in &fig.series {
         series(format!("N={}", s.terminals));
         columns(&["p", "max_load", "max_load_Mbps"]);

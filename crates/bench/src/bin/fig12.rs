@@ -14,7 +14,13 @@ fn main() {
             fig.terminals
         ),
     );
-    columns(&["p", "one_priority", "two_priorities", "smalls_low", "big_low"]);
+    columns(&[
+        "p",
+        "one_priority",
+        "two_priorities",
+        "smalls_low",
+        "big_low",
+    ]);
     for pt in &fig.points {
         row(&[
             f(pt.share.to_f64()),

@@ -64,7 +64,10 @@ fn main() {
         "artifact",
         "extension: p2mp cyclic broadcast capacity vs the ring-only Figure 10 model",
     );
-    header("setup", "star-ring, symmetric CBR broadcast, hard CAC, 32-cell queues");
+    header(
+        "setup",
+        "star-ring, symmetric CBR broadcast, hard CAC, 32-cell queues",
+    );
     columns(&[
         "ring_nodes",
         "terminals",

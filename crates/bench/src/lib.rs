@@ -38,6 +38,40 @@ pub fn series(name: impl Display) {
     println!("# series: {name}");
 }
 
+/// Times `op` with a short warm-up, returning mean seconds per call.
+///
+/// A std-only stand-in for criterion (the registry is offline): runs
+/// the closure until at least `min_total` has elapsed and divides.
+pub fn time_op<T>(mut op: impl FnMut() -> T, min_total: std::time::Duration) -> f64 {
+    // Warm-up: populate caches and let the branch predictor settle.
+    for _ in 0..3 {
+        std::hint::black_box(op());
+    }
+    let mut iters = 0u64;
+    let start = std::time::Instant::now();
+    loop {
+        std::hint::black_box(op());
+        iters += 1;
+        if start.elapsed() >= min_total {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Formats a seconds-per-call figure with an adaptive unit.
+pub fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

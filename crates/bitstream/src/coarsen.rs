@@ -103,11 +103,9 @@ mod tests {
 
     #[test]
     fn coarsen_is_identity_on_grid_streams() {
-        let s = BitStream::from_rate_breaks([
-            (ratio(3, 4), ratio(0, 1)),
-            (ratio(1, 8), ratio(5, 2)),
-        ])
-        .unwrap();
+        let s =
+            BitStream::from_rate_breaks([(ratio(3, 4), ratio(0, 1)), (ratio(1, 8), ratio(5, 2))])
+                .unwrap();
         assert_eq!(s.coarsen(8).unwrap(), s);
     }
 
@@ -162,9 +160,7 @@ mod tests {
             // Loose but meaningful envelope-error bound: rate error
             // accumulates at <= 1/grid per cell time, plus one grid
             // step of breakpoint shift at full rate.
-            let budget = Cells::new(
-                t.as_ratio() / ratio(1024, 1) + ratio(2, 1024) + ratio(1, 1),
-            );
+            let budget = Cells::new(t.as_ratio() / ratio(1024, 1) + ratio(2, 1024) + ratio(1, 1));
             assert!(excess <= budget, "at t={t}: excess {excess}");
         }
     }

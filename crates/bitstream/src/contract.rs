@@ -50,7 +50,6 @@ impl std::error::Error for ContractError {}
 /// rate `PCR`, provided its average rate never exceeds the sustainable
 /// cell rate `SCR` (token-bucket semantics, Equation 1 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VbrParams {
     pcr: Rate,
     scr: Rate,
@@ -111,7 +110,6 @@ impl VbrParams {
 /// CBR traffic parameters: a peak cell rate only (paper §2 treats CBR
 /// as VBR with `SCR = PCR`, `MBS = 1`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CbrParams {
     pcr: Rate,
 }
@@ -162,7 +160,6 @@ impl CbrParams {
 /// # Ok::<(), rtcac_bitstream::ContractError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TrafficContract {
     /// Constant bit rate.
     Cbr(CbrParams),
@@ -343,7 +340,10 @@ mod tests {
         assert_eq!(s.segments().len(), 2);
         assert_eq!(s.peak_rate(), Rate::FULL);
         // t2 = 1 + 3/1 = 4.
-        assert_eq!(s.segments()[1], Segment::new(rate(1, 8), Time::from_integer(4)));
+        assert_eq!(
+            s.segments()[1],
+            Segment::new(rate(1, 8), Time::from_integer(4))
+        );
     }
 
     #[test]

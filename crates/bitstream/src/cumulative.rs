@@ -287,10 +287,7 @@ mod tests {
         let a = PiecewiseLinear::arrival(&s);
         let c = PiecewiseLinear::leftover_service(&BitStream::zero());
         // Backlog peaks at 3 cells at t=3; last bit waits 3 cell times.
-        assert_eq!(
-            horizontal_deviation(&a, &c),
-            Some(Time::from_integer(3))
-        );
+        assert_eq!(horizontal_deviation(&a, &c), Some(Time::from_integer(3)));
     }
 
     #[test]
@@ -320,10 +317,7 @@ mod tests {
         let h = stream(&[(1, 1, 0, 1), (0, 1, 4, 1)]);
         let a = PiecewiseLinear::arrival(&s);
         let c = PiecewiseLinear::leftover_service(&h);
-        assert_eq!(
-            horizontal_deviation(&a, &c),
-            Some(Time::from_integer(4))
-        );
+        assert_eq!(horizontal_deviation(&a, &c), Some(Time::from_integer(4)));
     }
 
     #[test]

@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn zero_stream_unaffected() {
-        assert_eq!(BitStream::zero().delay(Time::from_integer(50)), BitStream::zero());
+        assert_eq!(
+            BitStream::zero().delay(Time::from_integer(50)),
+            BitStream::zero()
+        );
     }
 
     #[test]

@@ -99,12 +99,7 @@ pub(crate) fn smooth(backlog: Cells, segments: Vec<Segment>, capacity: Rate) -> 
 
 /// Builds the output stream: `capacity` on `[0, t_drain)`, then the
 /// input from segment `i` onward.
-fn clamped_output(
-    segments: &[Segment],
-    i: usize,
-    t_drain: Time,
-    capacity: Rate,
-) -> BitStream {
+fn clamped_output(segments: &[Segment], i: usize, t_drain: Time, capacity: Rate) -> BitStream {
     let mut out = Vec::with_capacity(segments.len() - i + 1);
     if t_drain.is_positive() {
         out.push(Segment::new(capacity, Time::ZERO));
@@ -207,10 +202,7 @@ mod tests {
     fn filter_exact_drain_at_breakpoint() {
         // Queue of 1 after [0,1) at rate 2; drains exactly during [1,2)
         // at rate 0: t' = 2 == next breakpoint.
-        let s = stream(&[
-            (ratio(2, 1), ratio(0, 1)),
-            (ratio(0, 1), ratio(1, 1)),
-        ]);
+        let s = stream(&[(ratio(2, 1), ratio(0, 1)), (ratio(0, 1), ratio(1, 1))]);
         let f = s.filter();
         assert_eq!(
             f,

@@ -70,4 +70,3 @@ pub use contract::{CbrParams, ContractError, TrafficContract, VbrParams};
 pub use error::StreamError;
 pub use stream::{BitStream, Segment};
 pub use units::{Cells, Rate, Time};
-

@@ -79,11 +79,7 @@ impl BitStream {
 
 /// Merge-walk two streams, combining rates at every breakpoint of
 /// either (the paper's two-pointer loop in Algorithms 3.2/3.3).
-fn merge_rates(
-    a: &BitStream,
-    b: &BitStream,
-    combine: impl Fn(Rate, Rate) -> Rate,
-) -> Vec<Segment> {
+fn merge_rates(a: &BitStream, b: &BitStream, combine: impl Fn(Rate, Rate) -> Rate) -> Vec<Segment> {
     let sa = a.segments();
     let sb = b.segments();
     let mut out = Vec::with_capacity(sa.len() + sb.len());

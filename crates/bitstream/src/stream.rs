@@ -10,7 +10,6 @@ use crate::{Cells, Rate, StreamError, Time};
 /// One step of a bit stream: the stream flows at `rate` from `start`
 /// until the start of the next segment (or forever, for the last one).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Segment {
     /// Flow rate during this segment, normalized to the link bandwidth.
     pub rate: Rate,
@@ -60,7 +59,6 @@ impl Segment {
 /// # Ok::<(), rtcac_bitstream::StreamError>(())
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitStream {
     segments: Vec<Segment>,
 }
@@ -223,10 +221,7 @@ impl BitStream {
     /// Panics if `t` is negative.
     pub fn rate_at(&self, t: Time) -> Rate {
         assert!(!t.is_negative(), "rate_at: negative time");
-        match self
-            .segments
-            .binary_search_by(|seg| seg.start.cmp(&t))
-        {
+        match self.segments.binary_search_by(|seg| seg.start.cmp(&t)) {
             Ok(i) => self.segments[i].rate,
             Err(i) => self.segments[i - 1].rate,
         }
@@ -346,9 +341,7 @@ impl BitStream {
         // breakpoints differ: the difference is affine past
         // max(stabilization times), and non-negative slope plus
         // non-negative value there settles it.
-        let horizon = self
-            .stabilization_time()
-            .max(other.stabilization_time());
+        let horizon = self.stabilization_time().max(other.stabilization_time());
         self.cumulative(horizon) >= other.cumulative(horizon)
     }
 

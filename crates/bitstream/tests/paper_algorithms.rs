@@ -20,9 +20,7 @@ fn stream(pairs: &[(Ratio, Ratio)]) -> BitStream {
 fn figure2_vbr_bit_stream_model() {
     // A VBR connection with PCR = 1/2, SCR = 1/8, MBS = 4:
     // S = {(1, 0), (PCR, 1), (SCR, 1 + (MBS-1)/PCR)} = {(1,0),(1/2,1),(1/8,7)}.
-    let contract = TrafficContract::vbr(
-        VbrParams::new(rate(1, 2), rate(1, 8), 4).unwrap(),
-    );
+    let contract = TrafficContract::vbr(VbrParams::new(rate(1, 2), rate(1, 8), 4).unwrap());
     let s = contract.worst_case_stream();
     assert_eq!(
         s.segments(),
@@ -175,8 +173,7 @@ fn figure10_note_cbr_aggregate_equals_vbr() {
     let n: usize = 16;
     let r = ratio(1, 64);
     let cbr = TrafficContract::cbr(CbrParams::new(Rate::new(r)).unwrap());
-    let aggregate =
-        BitStream::multiplex_all(std::iter::repeat_n(&cbr.worst_case_stream(), n));
+    let aggregate = BitStream::multiplex_all(std::iter::repeat_n(&cbr.worst_case_stream(), n));
     // The equivalent VBR aggregate: N cells arriving simultaneously at
     // the combined rate N (one per access link), then N·R sustained —
     // the envelope {(N, 0), (N·R, 1)}.

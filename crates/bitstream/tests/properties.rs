@@ -1,222 +1,303 @@
-//! Property-based tests for the bit-stream algebra.
+//! Randomized property tests for the bit-stream algebra.
 //!
 //! These check the mathematical laws the paper's CAC bookkeeping relies
 //! on: multiplexing is a commutative monoid, demultiplexing inverts it,
 //! filtering is an idempotent contraction, delaying only inflates
 //! envelopes, and the delay bound is monotone and conservative.
+//!
+//! The registry is offline, so instead of proptest these run seeded
+//! loops over a local SplitMix64 generator.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use rtcac_bitstream::{BitStream, Cells, Rate, Time, TrafficContract, VbrParams};
 use rtcac_rational::{ratio, Ratio};
 
-/// Strategy: an arbitrary valid bit stream with small rational
-/// breakpoints (rates non-increasing, possibly exceeding the link rate
-/// to model aggregates).
-fn arb_stream() -> impl Strategy<Value = BitStream> {
-    // Generate up to 6 rate drops and 6 positive gaps, then integrate.
-    (
-        vec((1i128..=8, 1i128..=4), 1..6),
-        vec((1i128..=12, 1i128..=3), 0..5),
-        0i128..=3,
-    )
-        .prop_map(|(drops, gaps, base)| {
-            // Rates: partial sums of drops from the top, descending.
-            let mut rates: Vec<Ratio> = Vec::new();
-            let mut acc = ratio(base, 1);
-            for &(n, d) in drops.iter().rev() {
-                acc += ratio(n, d * 4);
-                rates.push(acc);
-            }
-            rates.reverse(); // now non-increasing
-            let mut t = ratio(0, 1);
-            let mut pairs = Vec::new();
-            for (i, r) in rates.iter().enumerate() {
-                pairs.push((*r, t));
-                if let Some(&(n, d)) = gaps.get(i) {
-                    t += ratio(n, d);
-                } else {
-                    t += ratio(2, 1);
-                }
-            }
-            BitStream::from_rate_breaks(pairs).expect("constructed valid")
-        })
+const CASES: u64 = 96;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: i128, hi: i128) -> i128 {
+        let span = (hi - lo + 1) as u128;
+        lo + (u128::from(self.next()) % span) as i128
+    }
 }
 
-/// Strategy: a link-feasible stream (peak <= 1), like a real source.
-fn arb_source() -> impl Strategy<Value = BitStream> {
-    (1i128..=16, 1i128..=16, 1u64..=32).prop_map(|(p, s, mbs)| {
-        let pcr = ratio(1, p);
-        let scr = ratio(1, s.max(p)); // scr <= pcr
-        TrafficContract::vbr(
-            VbrParams::new(Rate::new(pcr), Rate::new(scr), mbs).expect("valid"),
-        )
+/// An arbitrary valid bit stream with small rational breakpoints (rates
+/// non-increasing, possibly exceeding the link rate to model
+/// aggregates).
+fn arb_stream(rng: &mut Rng) -> BitStream {
+    let n_drops = rng.range(1, 5) as usize;
+    let n_gaps = rng.range(0, 4) as usize;
+    let drops: Vec<(i128, i128)> = (0..n_drops)
+        .map(|_| (rng.range(1, 8), rng.range(1, 4)))
+        .collect();
+    let gaps: Vec<(i128, i128)> = (0..n_gaps)
+        .map(|_| (rng.range(1, 12), rng.range(1, 3)))
+        .collect();
+    let base = rng.range(0, 3);
+
+    // Rates: partial sums of drops from the top, descending.
+    let mut rates: Vec<Ratio> = Vec::new();
+    let mut acc = ratio(base, 1);
+    for &(n, d) in drops.iter().rev() {
+        acc += ratio(n, d * 4);
+        rates.push(acc);
+    }
+    rates.reverse(); // now non-increasing
+    let mut t = ratio(0, 1);
+    let mut pairs = Vec::new();
+    for (i, r) in rates.iter().enumerate() {
+        pairs.push((*r, t));
+        if let Some(&(n, d)) = gaps.get(i) {
+            t += ratio(n, d);
+        } else {
+            t += ratio(2, 1);
+        }
+    }
+    BitStream::from_rate_breaks(pairs).expect("constructed valid")
+}
+
+/// A link-feasible stream (peak <= 1), like a real source.
+fn arb_source(rng: &mut Rng) -> BitStream {
+    let p = rng.range(1, 16);
+    let s = rng.range(1, 16);
+    let mbs = rng.range(1, 32) as u64;
+    let pcr = ratio(1, p);
+    let scr = ratio(1, s.max(p)); // scr <= pcr
+    TrafficContract::vbr(VbrParams::new(Rate::new(pcr), Rate::new(scr), mbs).expect("valid"))
         .worst_case_stream()
-    })
 }
 
 fn sample_times() -> Vec<Time> {
     (0..60).map(|k| Time::new(ratio(k, 3))).collect()
 }
 
-proptest! {
-    #[test]
-    fn multiplex_commutative(a in arb_stream(), b in arb_stream()) {
-        prop_assert_eq!(a.multiplex(&b), b.multiplex(&a));
-    }
-
-    #[test]
-    fn multiplex_associative(a in arb_stream(), b in arb_stream(), c in arb_stream()) {
-        prop_assert_eq!(
-            a.multiplex(&b).multiplex(&c),
-            a.multiplex(&b.multiplex(&c))
+#[test]
+fn multiplex_commutative_associative_with_zero_identity() {
+    let mut rng = Rng(101);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            arb_stream(&mut rng),
+            arb_stream(&mut rng),
+            arb_stream(&mut rng),
         );
+        assert_eq!(a.multiplex(&b), b.multiplex(&a));
+        assert_eq!(a.multiplex(&b).multiplex(&c), a.multiplex(&b.multiplex(&c)));
+        assert_eq!(a.multiplex(&BitStream::zero()), a);
     }
+}
 
-    #[test]
-    fn multiplex_zero_identity(a in arb_stream()) {
-        prop_assert_eq!(a.multiplex(&BitStream::zero()), a);
-    }
-
-    #[test]
-    fn multiplex_cumulative_additive(a in arb_stream(), b in arb_stream()) {
+#[test]
+fn multiplex_cumulative_additive() {
+    let mut rng = Rng(102);
+    for _ in 0..CASES {
+        let (a, b) = (arb_stream(&mut rng), arb_stream(&mut rng));
         let s = a.multiplex(&b);
         for t in sample_times() {
-            prop_assert_eq!(s.cumulative(t), a.cumulative(t) + b.cumulative(t));
+            assert_eq!(s.cumulative(t), a.cumulative(t) + b.cumulative(t));
         }
     }
+}
 
-    #[test]
-    fn demultiplex_inverts_multiplex(a in arb_stream(), b in arb_stream()) {
+#[test]
+fn demultiplex_inverts_multiplex() {
+    let mut rng = Rng(103);
+    for _ in 0..CASES {
+        let (a, b) = (arb_stream(&mut rng), arb_stream(&mut rng));
         let sum = a.multiplex(&b);
-        prop_assert_eq!(sum.demultiplex(&b).unwrap(), a.clone());
-        prop_assert_eq!(sum.demultiplex(&a).unwrap(), b);
+        assert_eq!(sum.demultiplex(&b).unwrap(), a.clone());
+        assert_eq!(sum.demultiplex(&a).unwrap(), b);
     }
+}
 
-    #[test]
-    fn filter_never_exceeds_capacity_or_input(a in arb_stream()) {
+#[test]
+fn filter_never_exceeds_capacity_or_input() {
+    let mut rng = Rng(104);
+    for _ in 0..CASES {
+        let a = arb_stream(&mut rng);
         let f = a.filter();
-        prop_assert!(f.peak_rate() <= Rate::FULL);
+        assert!(f.peak_rate() <= Rate::FULL);
         for t in sample_times() {
-            prop_assert!(f.cumulative(t) <= a.cumulative(t));
-            prop_assert!(f.cumulative(t) <= Cells::new(t.as_ratio()));
+            assert!(f.cumulative(t) <= a.cumulative(t));
+            assert!(f.cumulative(t) <= Cells::new(t.as_ratio()));
         }
     }
+}
 
-    #[test]
-    fn filter_idempotent(a in arb_stream()) {
-        let once = a.filter();
-        prop_assert_eq!(once.filter(), once);
+#[test]
+fn filter_idempotent() {
+    let mut rng = Rng(105);
+    for _ in 0..CASES {
+        let once = arb_stream(&mut rng).filter();
+        assert_eq!(once.filter(), once);
     }
+}
 
-    #[test]
-    fn filter_envelope_is_exact_min(a in arb_stream()) {
-        // filter(S) must equal min(t, R(t)) pointwise, not merely bound it.
+#[test]
+fn filter_envelope_is_exact_min() {
+    // filter(S) must equal min(t, R(t)) pointwise, not merely bound it.
+    let mut rng = Rng(106);
+    for _ in 0..CASES {
+        let a = arb_stream(&mut rng);
         let f = a.filter();
         for t in sample_times() {
             let expect = a.cumulative(t).min(Cells::new(t.as_ratio()));
-            prop_assert_eq!(f.cumulative(t), expect);
+            assert_eq!(f.cumulative(t), expect);
         }
     }
+}
 
-    #[test]
-    fn filter_long_run_rate_is_min_with_capacity(a in arb_stream()) {
-        // Stable inputs keep their long-run rate; overloaded inputs
-        // saturate at the link rate forever.
+#[test]
+fn filter_long_run_rate_is_min_with_capacity() {
+    // Stable inputs keep their long-run rate; overloaded inputs
+    // saturate at the link rate forever.
+    let mut rng = Rng(107);
+    for _ in 0..CASES {
+        let a = arb_stream(&mut rng);
         let expect = a.long_run_rate().min(Rate::FULL);
-        prop_assert_eq!(a.filter().long_run_rate(), expect);
+        assert_eq!(a.filter().long_run_rate(), expect);
     }
+}
 
-    #[test]
-    fn coarsen_dominates_with_bounded_denominators(a in arb_stream(), grid in 1i128..=128) {
+#[test]
+fn coarsen_dominates_with_bounded_denominators() {
+    let mut rng = Rng(108);
+    for _ in 0..CASES {
+        let a = arb_stream(&mut rng);
+        let grid = rng.range(1, 128);
         let c = a.coarsen(grid).unwrap();
-        prop_assert!(c.dominates(&a));
+        assert!(c.dominates(&a));
         for seg in c.segments() {
-            prop_assert!(seg.rate.as_ratio().denom() <= grid);
-            prop_assert!(seg.start.as_ratio().denom() <= grid);
+            assert!(seg.rate.as_ratio().denom() <= grid);
+            assert!(seg.start.as_ratio().denom() <= grid);
         }
         // Long-run rate inflates by at most one grid step.
-        prop_assert!(
-            c.long_run_rate().as_ratio() - a.long_run_rate().as_ratio()
-                <= rtcac_rational::ratio(1, grid)
-        );
+        assert!(c.long_run_rate().as_ratio() - a.long_run_rate().as_ratio() <= ratio(1, grid));
     }
+}
 
-    #[test]
-    fn delay_envelope_is_exact_min(a in arb_source(), cdv in 0i128..=40) {
-        let cdv = Time::from_integer(cdv);
+#[test]
+fn delay_envelope_is_exact_min() {
+    let mut rng = Rng(109);
+    for _ in 0..CASES {
+        let a = arb_source(&mut rng);
+        let cdv = Time::from_integer(rng.range(0, 40));
         let d = a.delay(cdv);
         for t in sample_times() {
             let expect = a.cumulative(t + cdv).min(Cells::new(t.as_ratio()));
-            prop_assert_eq!(d.cumulative(t), expect, "at t = {}", t);
+            assert_eq!(d.cumulative(t), expect, "at t = {t}");
         }
     }
+}
 
-    #[test]
-    fn delay_monotone_in_cdv(a in arb_source(), c1 in 0i128..=20, c2 in 0i128..=20) {
+#[test]
+fn delay_monotone_in_cdv() {
+    let mut rng = Rng(110);
+    for _ in 0..CASES {
+        let a = arb_source(&mut rng);
+        let (c1, c2) = (rng.range(0, 20), rng.range(0, 20));
         let (lo, hi) = (c1.min(c2), c1.max(c2));
         let dl = a.delay(Time::from_integer(lo));
         let dh = a.delay(Time::from_integer(hi));
         for t in sample_times() {
-            prop_assert!(dh.cumulative(t) >= dl.cumulative(t));
+            assert!(dh.cumulative(t) >= dl.cumulative(t));
         }
     }
+}
 
-    #[test]
-    fn delay_additive_composition(a in arb_source(), c1 in 1i128..=15, c2 in 1i128..=15) {
-        // delay(c1) then delay(c2) equals delay(c1 + c2) exactly:
-        // min(t, min(t + c2, R(t + c1 + c2))) = min(t, R(t + c1 + c2)).
+#[test]
+fn delay_additive_composition() {
+    // delay(c1) then delay(c2) equals delay(c1 + c2) exactly:
+    // min(t, min(t + c2, R(t + c1 + c2))) = min(t, R(t + c1 + c2)).
+    let mut rng = Rng(111);
+    for _ in 0..CASES {
+        let a = arb_source(&mut rng);
+        let (c1, c2) = (rng.range(1, 15), rng.range(1, 15));
         let split = a
             .delay(Time::from_integer(c1))
             .delay(Time::from_integer(c2));
         let joint = a.delay(Time::from_integer(c1 + c2));
-        prop_assert_eq!(split, joint);
+        assert_eq!(split, joint);
     }
+}
 
-    #[test]
-    fn delay_bound_conservative_vs_backlog(a in arb_stream()) {
-        // At top priority the delay bound equals the max backlog.
-        match (a.delay_bound(&BitStream::zero()), a.backlog_bound(Rate::FULL)) {
-            (Ok(d), Some(b)) => prop_assert_eq!(d.as_ratio(), b.as_ratio()),
+#[test]
+fn delay_bound_conservative_vs_backlog() {
+    // At top priority the delay bound equals the max backlog.
+    let mut rng = Rng(112);
+    for _ in 0..CASES {
+        let a = arb_stream(&mut rng);
+        match (
+            a.delay_bound(&BitStream::zero()),
+            a.backlog_bound(Rate::FULL),
+        ) {
+            (Ok(d), Some(b)) => assert_eq!(d.as_ratio(), b.as_ratio()),
             (Err(_), None) => {} // both agree: overload
-            (d, b) => prop_assert!(false, "disagree: {:?} vs {:?}", d, b),
+            (d, b) => panic!("disagree: {d:?} vs {b:?}"),
         }
     }
+}
 
-    #[test]
-    fn delay_bound_monotone_in_interference(a in arb_source(), h in arb_source()) {
+#[test]
+fn delay_bound_monotone_in_interference() {
+    let mut rng = Rng(113);
+    for _ in 0..CASES {
+        let a = arb_source(&mut rng);
+        let h = arb_source(&mut rng);
         let agg = BitStream::multiplex_all([&a, &a, &a]);
         let none = agg.delay_bound(&BitStream::zero());
         let some = agg.delay_bound(&h.filter());
         if let (Ok(d0), Ok(d1)) = (none, some) {
-            prop_assert!(d1 >= d0);
+            assert!(d1 >= d0);
         }
     }
+}
 
-    #[test]
-    fn delay_bound_superadditive_under_mux(a in arb_source(), b in arb_source()) {
-        // Adding traffic never shrinks the bound.
+#[test]
+fn delay_bound_superadditive_under_mux() {
+    // Adding traffic never shrinks the bound.
+    let mut rng = Rng(114);
+    for _ in 0..CASES {
+        let a = arb_source(&mut rng);
+        let b = arb_source(&mut rng);
         let big = a.multiplex(&b);
         let small = a;
         if let (Ok(ds), Ok(db)) = (
             small.delay_bound(&BitStream::zero()),
             big.delay_bound(&BitStream::zero()),
         ) {
-            prop_assert!(db >= ds);
+            assert!(db >= ds);
         }
     }
+}
 
-    #[test]
-    fn source_streams_are_link_feasible(s in arb_source()) {
-        prop_assert!(s.peak_rate() <= Rate::FULL);
-        prop_assert_eq!(s.delay_bound(&BitStream::zero()).unwrap(), Time::ZERO);
+#[test]
+fn source_streams_are_link_feasible() {
+    let mut rng = Rng(115);
+    for _ in 0..CASES {
+        let s = arb_source(&mut rng);
+        assert!(s.peak_rate() <= Rate::FULL);
+        assert_eq!(s.delay_bound(&BitStream::zero()).unwrap(), Time::ZERO);
     }
+}
 
-    #[test]
-    fn scale_matches_repeated_multiplex(s in arb_source(), n in 1usize..=8) {
+#[test]
+fn scale_matches_repeated_multiplex() {
+    let mut rng = Rng(116);
+    for _ in 0..CASES {
+        let s = arb_source(&mut rng);
+        let n = rng.range(1, 8) as usize;
         let muxed = BitStream::multiplex_all(std::iter::repeat_n(&s, n));
         let scaled = s.scale(ratio(n as i128, 1)).unwrap();
-        prop_assert_eq!(muxed, scaled);
+        assert_eq!(muxed, scaled);
     }
 }
 
@@ -225,20 +306,10 @@ proptest! {
 /// one grid step (the scan rounds its inverse upward).
 #[test]
 fn delay_bound_matches_brute_force_scan() {
-    use proptest::strategy::{Strategy, ValueTree};
-    use proptest::test_runner::TestRunner;
-
-    let mut runner = TestRunner::deterministic();
+    let mut rng = Rng(117);
     for _ in 0..40 {
-        let arrival = arb_stream()
-            .new_tree(&mut runner)
-            .expect("generate")
-            .current();
-        let interference = arb_source()
-            .new_tree(&mut runner)
-            .expect("generate")
-            .current()
-            .filter();
+        let arrival = arb_stream(&mut rng);
+        let interference = arb_source(&mut rng).filter();
         let Ok(analytic) = arrival.delay_bound(&interference) else {
             continue; // overloaded: nothing to compare
         };

@@ -122,9 +122,7 @@ impl PeakAllocation {
 
     /// The admitted requests (e.g. to re-analyze them with the
     /// worst-case machinery).
-    pub fn connections(
-        &self,
-    ) -> impl Iterator<Item = (ConnectionId, &ConnectionRequest)> + '_ {
+    pub fn connections(&self) -> impl Iterator<Item = (ConnectionId, &ConnectionRequest)> + '_ {
         self.connections.iter().map(|(&id, r)| (id, r))
     }
 }
@@ -138,9 +136,7 @@ mod tests {
 
     fn request(pcr_num: i128, pcr_den: i128, in_link: u32) -> ConnectionRequest {
         ConnectionRequest::new(
-            TrafficContract::cbr(
-                CbrParams::new(Rate::new(ratio(pcr_num, pcr_den))).unwrap(),
-            ),
+            TrafficContract::cbr(CbrParams::new(Rate::new(ratio(pcr_num, pcr_den))).unwrap()),
             Time::from_integer(64),
             LinkId::external(in_link),
             LinkId::external(100),

@@ -10,7 +10,6 @@ use crate::CacError;
 /// priority; larger values are lower priorities (served only when all
 /// higher-priority FIFO queues are empty).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Priority(u8);
 
 impl Priority {
@@ -67,7 +66,6 @@ impl From<u8> for Priority {
 /// # Ok::<(), rtcac_cac::CacError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SwitchConfig {
     bounds: Vec<Time>,
     quantization: Option<i128>,
@@ -189,11 +187,8 @@ mod tests {
 
     #[test]
     fn with_bounds_per_level() {
-        let c = SwitchConfig::with_bounds([
-            Time::from_integer(16),
-            Time::from_integer(64),
-        ])
-        .unwrap();
+        let c =
+            SwitchConfig::with_bounds([Time::from_integer(16), Time::from_integer(64)]).unwrap();
         assert_eq!(c.bound(Priority::HIGHEST).unwrap(), Time::from_integer(16));
         assert_eq!(c.bound(Priority::new(1)).unwrap(), Time::from_integer(64));
         assert!(matches!(

@@ -9,7 +9,6 @@ use crate::Priority;
 
 /// Globally unique identifier of a real-time connection (VC).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConnectionId(u64);
 
 impl ConnectionId {
@@ -36,7 +35,6 @@ impl fmt::Display for ConnectionId {
 /// switch, and the transmission priority (paper §4.3: the switch stores
 /// `(PCR, SCR, MBS, CDV)` per connection).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConnectionRequest {
     contract: TrafficContract,
     cdv: Time,
@@ -104,8 +102,7 @@ mod tests {
     use rtcac_rational::ratio;
 
     fn request() -> ConnectionRequest {
-        let contract =
-            TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, 8))).unwrap());
+        let contract = TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, 8))).unwrap());
         ConnectionRequest::new(
             contract,
             Time::from_integer(32),

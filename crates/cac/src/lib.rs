@@ -59,10 +59,12 @@ pub mod baseline;
 mod config;
 mod connection;
 mod error;
+mod sof_cache;
 mod switch;
 mod tables;
 
 pub use config::{Priority, SwitchConfig};
 pub use connection::{ConnectionId, ConnectionRequest};
 pub use error::{CacError, RejectReason};
+pub use sof_cache::SofCache;
 pub use switch::{AdmissionDecision, AdmissionReport, Switch};

@@ -1,0 +1,135 @@
+//! Epoch-tagged memoization of Algorithm 4.1 inputs and results.
+//!
+//! The admission check recomputes, for every probe, the same
+//! higher-priority interference chain `Sof(j)(p)` and output aggregate
+//! `Soa(j)(p)` — quantities that only change when the switch *commits*
+//! or *releases* a connection. [`SofCache`] memoizes them keyed by
+//! `(out-link, priority)` and tags every entry with the switch's
+//! [table epoch](crate::Switch::epoch); the switch bumps its epoch on
+//! each commit/release, so a stale entry can never be returned — it
+//! simply misses and is recomputed.
+//!
+//! The cache lives *outside* the [`Switch`](crate::Switch) so that a
+//! concurrent engine can keep one per shard without the switch itself
+//! growing interior mutability.
+
+use std::collections::BTreeMap;
+
+use rtcac_bitstream::{BitStream, Time};
+use rtcac_net::LinkId;
+
+use crate::Priority;
+
+type Key = (LinkId, Priority);
+
+/// Memoized per-port CAC state, validated against a table epoch.
+///
+/// All lookups go through [`Switch::check_cached`],
+/// [`Switch::admit_cached`] and [`Switch::computed_bound_cached`]
+/// (which pass the switch's current epoch); entries written at an
+/// older epoch are treated as absent.
+///
+/// [`Switch::check_cached`]: crate::Switch::check_cached
+/// [`Switch::admit_cached`]: crate::Switch::admit_cached
+/// [`Switch::computed_bound_cached`]: crate::Switch::computed_bound_cached
+#[derive(Debug, Clone, Default)]
+pub struct SofCache {
+    interference: BTreeMap<Key, (u64, BitStream)>,
+    aggregates: BTreeMap<Key, (u64, BitStream)>,
+    bounds: BTreeMap<Key, (u64, Time)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SofCache {
+    /// Creates an empty cache.
+    pub fn new() -> SofCache {
+        SofCache::default()
+    }
+
+    /// Number of lookups answered from a current-epoch entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that had to recompute (absent or stale entry).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every entry (the counters are kept).
+    pub fn clear(&mut self) {
+        self.interference.clear();
+        self.aggregates.clear();
+        self.bounds.clear();
+    }
+
+    pub(crate) fn interference(
+        &mut self,
+        epoch: u64,
+        key: Key,
+        compute: impl FnOnce() -> BitStream,
+    ) -> BitStream {
+        Self::memo(
+            &mut self.interference,
+            &mut self.hits,
+            &mut self.misses,
+            epoch,
+            key,
+            compute,
+        )
+    }
+
+    pub(crate) fn aggregate(
+        &mut self,
+        epoch: u64,
+        key: Key,
+        compute: impl FnOnce() -> BitStream,
+    ) -> BitStream {
+        Self::memo(
+            &mut self.aggregates,
+            &mut self.hits,
+            &mut self.misses,
+            epoch,
+            key,
+            compute,
+        )
+    }
+
+    pub(crate) fn bound(&mut self, epoch: u64, key: Key) -> Option<Time> {
+        match self.bounds.get(&key) {
+            Some(&(e, b)) if e == epoch => {
+                self.hits += 1;
+                Some(b)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn store_bound(&mut self, epoch: u64, key: Key, bound: Time) {
+        self.bounds.insert(key, (epoch, bound));
+    }
+
+    fn memo<T: Clone>(
+        map: &mut BTreeMap<Key, (u64, T)>,
+        hits: &mut u64,
+        misses: &mut u64,
+        epoch: u64,
+        key: Key,
+        compute: impl FnOnce() -> T,
+    ) -> T {
+        if let Some((e, v)) = map.get(&key) {
+            if *e == epoch {
+                *hits += 1;
+                return v.clone();
+            }
+        }
+        *misses += 1;
+        let v = compute();
+        map.insert(key, (epoch, v.clone()));
+        v
+    }
+}

@@ -7,7 +7,7 @@ use rtcac_net::LinkId;
 
 use crate::tables::Tables;
 use crate::{
-    CacError, ConnectionId, ConnectionRequest, Priority, RejectReason, SwitchConfig,
+    CacError, ConnectionId, ConnectionRequest, Priority, RejectReason, SofCache, SwitchConfig,
 };
 
 /// The outcome of a CAC check: either the connection fits (with the
@@ -71,6 +71,7 @@ pub struct Switch {
     config: SwitchConfig,
     tables: Tables,
     connections: BTreeMap<(ConnectionId, LinkId), (ConnectionRequest, BitStream)>,
+    epoch: u64,
 }
 
 impl Switch {
@@ -80,12 +81,21 @@ impl Switch {
             config,
             tables: Tables::new(),
             connections: BTreeMap::new(),
+            epoch: 0,
         }
     }
 
     /// The switch's configuration.
     pub fn config(&self) -> &SwitchConfig {
         &self.config
+    }
+
+    /// The table epoch: a counter bumped on every state mutation
+    /// (successful admit or release). [`SofCache`] entries are tagged
+    /// with the epoch they were computed at, so a cached Algorithm 4.1
+    /// result is valid exactly while the epoch is unchanged.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The fixed queueing delay bound the switch advertises for a
@@ -110,9 +120,7 @@ impl Switch {
     }
 
     /// The established connection legs and their admission parameters.
-    pub fn connections(
-        &self,
-    ) -> impl Iterator<Item = (ConnectionId, &ConnectionRequest)> + '_ {
+    pub fn connections(&self) -> impl Iterator<Item = (ConnectionId, &ConnectionRequest)> + '_ {
         self.connections
             .iter()
             .map(|(&(id, _), (req, _))| (id, req))
@@ -138,6 +146,31 @@ impl Switch {
     /// failure. A connection that merely does not fit is reported as
     /// [`AdmissionDecision::Rejected`], not as an error.
     pub fn check(&self, request: &ConnectionRequest) -> Result<AdmissionDecision, CacError> {
+        self.check_inner(request, None)
+    }
+
+    /// Like [`Switch::check`], but memoizes the epoch-stable parts of
+    /// the computation (the `Sof` interference chains and lower-priority
+    /// output aggregates) in `cache`. Entries from an older table epoch
+    /// miss and are recomputed, so the result is always identical to an
+    /// uncached [`Switch::check`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly the conditions of [`Switch::check`].
+    pub fn check_cached(
+        &self,
+        request: &ConnectionRequest,
+        cache: &mut SofCache,
+    ) -> Result<AdmissionDecision, CacError> {
+        self.check_inner(request, Some(cache))
+    }
+
+    fn check_inner(
+        &self,
+        request: &ConnectionRequest,
+        mut cache: Option<&mut SofCache>,
+    ) -> Result<AdmissionDecision, CacError> {
         let p = request.priority();
         let advertised = self.config.bound(p)?;
         let (i, j) = (request.in_link(), request.out_link());
@@ -173,7 +206,10 @@ impl Switch {
 
         // Step 4: delay bound at the connection's own priority under
         // the (unchanged) higher-priority interference.
-        let sof = self.tables.interference(j, p);
+        let sof = match cache.as_deref_mut() {
+            Some(c) => c.interference(self.epoch, (j, p), || self.tables.interference(j, p)),
+            None => self.tables.interference(j, p),
+        };
         let mut bounds = Vec::new();
         match Self::bound_or_reject(&soa_new, &sof, j, p, advertised)? {
             Ok(d) => bounds.push((p, d)),
@@ -187,7 +223,10 @@ impl Switch {
                 continue;
             }
             let advertised1 = self.config.bound(p1)?;
-            let soa1 = self.tables.output_aggregate(j, p1);
+            let soa1 = match cache.as_deref_mut() {
+                Some(c) => c.aggregate(self.epoch, (j, p1), || self.tables.output_aggregate(j, p1)),
+                None => self.tables.output_aggregate(j, p1),
+            };
             if soa1.is_zero() {
                 bounds.push((p1, Time::ZERO));
                 continue;
@@ -219,15 +258,46 @@ impl Switch {
         id: ConnectionId,
         request: ConnectionRequest,
     ) -> Result<AdmissionDecision, CacError> {
+        self.admit_inner(id, request, None)
+    }
+
+    /// Like [`Switch::admit`], but runs the check through `cache`
+    /// (see [`Switch::check_cached`]). A successful admission bumps the
+    /// table epoch, implicitly invalidating every cached entry.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the conditions of [`Switch::admit`].
+    pub fn admit_cached(
+        &mut self,
+        id: ConnectionId,
+        request: ConnectionRequest,
+        cache: &mut SofCache,
+    ) -> Result<AdmissionDecision, CacError> {
+        self.admit_inner(id, request, Some(cache))
+    }
+
+    fn admit_inner(
+        &mut self,
+        id: ConnectionId,
+        request: ConnectionRequest,
+        cache: Option<&mut SofCache>,
+    ) -> Result<AdmissionDecision, CacError> {
         if self.connections.contains_key(&(id, request.out_link())) {
             return Err(CacError::DuplicateConnection(id));
         }
-        let decision = self.check(&request)?;
+        let decision = self.check_inner(&request, cache)?;
         if decision.is_admitted() {
             let s = self.arrival_of(&request)?;
-            self.tables
-                .add(request.in_link(), request.out_link(), request.priority(), &s);
-            self.connections.insert((id, request.out_link()), (request, s));
+            self.tables.add(
+                request.in_link(),
+                request.out_link(),
+                request.priority(),
+                &s,
+            );
+            self.connections
+                .insert((id, request.out_link()), (request, s));
+            self.epoch += 1;
         }
         Ok(decision)
     }
@@ -264,9 +334,14 @@ impl Switch {
                     .filter(|(r, _)| (r.in_link(), r.out_link(), r.priority()) == key)
                     .map(|(_, s)| s),
             );
-            self.tables
-                .set(request.in_link(), request.out_link(), request.priority(), rebuilt);
+            self.tables.set(
+                request.in_link(),
+                request.out_link(),
+                request.priority(),
+                rebuilt,
+            );
         }
+        self.epoch += 1;
         Ok(released)
     }
 
@@ -286,6 +361,28 @@ impl Switch {
         }
         let sof = self.tables.interference(out_link, priority);
         soa.delay_bound(&sof).map_err(CacError::from)
+    }
+
+    /// Like [`Switch::computed_bound`], but memoizes the Algorithm 4.1
+    /// result in `cache`, keyed by `(out_link, priority)` and tagged
+    /// with the current table epoch.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the conditions of [`Switch::computed_bound`].
+    pub fn computed_bound_cached(
+        &self,
+        out_link: LinkId,
+        priority: Priority,
+        cache: &mut SofCache,
+    ) -> Result<Time, CacError> {
+        self.config.bound(priority)?;
+        if let Some(bound) = cache.bound(self.epoch, (out_link, priority)) {
+            return Ok(bound);
+        }
+        let bound = self.computed_bound(out_link, priority)?;
+        cache.store_bound(self.epoch, (out_link, priority), bound);
+        Ok(bound)
     }
 
     /// All outgoing links with established traffic.
@@ -317,10 +414,9 @@ impl Switch {
                 computed: d,
                 advertised,
             })),
-            Err(StreamError::Overload { .. }) => Ok(Err(RejectReason::Overload {
-                out_link,
-                priority,
-            })),
+            Err(StreamError::Overload { .. }) => {
+                Ok(Err(RejectReason::Overload { out_link, priority }))
+            }
             Err(e) => Err(CacError::Stream(e)),
         }
     }
@@ -378,7 +474,10 @@ mod tests {
         let before = sw.connection_count();
         let _ = sw.check(&request(cbr(1, 8), 0, 0, 0)).unwrap();
         assert_eq!(sw.connection_count(), before);
-        assert_eq!(sw.computed_bound(l(100), Priority::HIGHEST).unwrap(), Time::ZERO);
+        assert_eq!(
+            sw.computed_bound(l(100), Priority::HIGHEST).unwrap(),
+            Time::ZERO
+        );
     }
 
     #[test]
@@ -427,10 +526,7 @@ mod tests {
         let mut admitted = 0;
         for k in 0..8 {
             let d = sw
-                .admit(
-                    ConnectionId::new(k),
-                    request(cbr(1, 10), 40, k as u32, 0),
-                )
+                .admit(ConnectionId::new(k), request(cbr(1, 10), 40, k as u32, 0))
                 .unwrap();
             match d {
                 AdmissionDecision::Admitted(_) => admitted += 1,
@@ -507,11 +603,8 @@ mod tests {
     #[test]
     fn lower_priority_protected_from_new_higher_traffic() {
         // Level 0: 8-cell bound; level 1: 8-cell bound.
-        let config = SwitchConfig::with_bounds([
-            Time::from_integer(8),
-            Time::from_integer(8),
-        ])
-        .unwrap();
+        let config =
+            SwitchConfig::with_bounds([Time::from_integer(8), Time::from_integer(8)]).unwrap();
         let mut sw = Switch::new(config);
         // Fill priority 1 close to its bound with jittered CBR traffic.
         let mut k = 0u64;
@@ -545,11 +638,8 @@ mod tests {
 
     #[test]
     fn higher_priority_unaffected_by_lower_admission() {
-        let config = SwitchConfig::with_bounds([
-            Time::from_integer(8),
-            Time::from_integer(64),
-        ])
-        .unwrap();
+        let config =
+            SwitchConfig::with_bounds([Time::from_integer(8), Time::from_integer(64)]).unwrap();
         let mut sw = Switch::new(config);
         sw.admit(ConnectionId::new(1), request(cbr(1, 4), 20, 0, 0))
             .unwrap();
@@ -563,11 +653,8 @@ mod tests {
 
     #[test]
     fn report_covers_lower_levels() {
-        let config = SwitchConfig::with_bounds([
-            Time::from_integer(16),
-            Time::from_integer(64),
-        ])
-        .unwrap();
+        let config =
+            SwitchConfig::with_bounds([Time::from_integer(16), Time::from_integer(64)]).unwrap();
         let mut sw = Switch::new(config);
         sw.admit(ConnectionId::new(1), request(cbr(1, 4), 10, 0, 1))
             .unwrap();
@@ -665,6 +752,73 @@ mod tests {
             sw.computed_bound(l(101), Priority::HIGHEST).unwrap(),
             Time::ZERO
         );
+    }
+
+    #[test]
+    fn epoch_tracks_mutations_only() {
+        let mut sw = one_level_switch(32);
+        assert_eq!(sw.epoch(), 0);
+        // A pure check does not bump the epoch.
+        let _ = sw.check(&request(cbr(1, 8), 0, 0, 0)).unwrap();
+        assert_eq!(sw.epoch(), 0);
+        sw.admit(ConnectionId::new(1), request(cbr(1, 8), 0, 0, 0))
+            .unwrap();
+        assert_eq!(sw.epoch(), 1);
+        // A rejected admission leaves the tables (and epoch) untouched.
+        let d = sw
+            .admit(ConnectionId::new(2), request(cbr(9, 10), 0, 1, 0))
+            .unwrap();
+        assert!(!d.is_admitted());
+        assert_eq!(sw.epoch(), 1);
+        sw.release(ConnectionId::new(1)).unwrap();
+        assert_eq!(sw.epoch(), 2);
+    }
+
+    #[test]
+    fn cached_check_agrees_with_uncached() {
+        let mut sw = one_level_switch(8);
+        let mut cache = SofCache::new();
+        for k in 0..12u64 {
+            let req = request(cbr(1, 10), 30, k as u32, 0);
+            let plain = sw.check(&req).unwrap();
+            let cached = sw.check_cached(&req, &mut cache).unwrap();
+            assert_eq!(plain, cached);
+            let d = sw
+                .admit_cached(ConnectionId::new(k), req, &mut cache)
+                .unwrap();
+            assert_eq!(d, plain);
+        }
+        assert!(
+            cache.hits() > 0,
+            "repeat lookups at a stable epoch must hit"
+        );
+    }
+
+    #[test]
+    fn cached_bound_invalidated_by_epoch_bump() {
+        let mut sw = one_level_switch(32);
+        let mut cache = SofCache::new();
+        sw.admit(ConnectionId::new(1), request(cbr(1, 8), 0, 0, 0))
+            .unwrap();
+        let b1 = sw
+            .computed_bound_cached(l(100), Priority::HIGHEST, &mut cache)
+            .unwrap();
+        // Second lookup at the same epoch: served from cache.
+        let hits_before = cache.hits();
+        let b2 = sw
+            .computed_bound_cached(l(100), Priority::HIGHEST, &mut cache)
+            .unwrap();
+        assert_eq!(b1, b2);
+        assert_eq!(cache.hits(), hits_before + 1);
+        // Mutating the switch invalidates the entry: the next lookup
+        // recomputes and returns the fresh value.
+        sw.admit(ConnectionId::new(2), request(cbr(1, 8), 16, 1, 0))
+            .unwrap();
+        let fresh = sw.computed_bound(l(100), Priority::HIGHEST).unwrap();
+        let cached = sw
+            .computed_bound_cached(l(100), Priority::HIGHEST, &mut cache)
+            .unwrap();
+        assert_eq!(cached, fresh);
     }
 
     #[test]

@@ -46,10 +46,7 @@ impl Tables {
 
     /// Multiplexes a stream into a key's aggregate.
     pub(crate) fn add(&mut self, i: LinkId, j: LinkId, p: Priority, stream: &BitStream) {
-        let entry = self
-            .sia
-            .entry((i, j, p))
-            .or_insert_with(BitStream::zero);
+        let entry = self.sia.entry((i, j, p)).or_insert_with(BitStream::zero);
         *entry = entry.multiplex(stream);
     }
 
@@ -188,10 +185,7 @@ mod tests {
         t.add(l(0), l(1), Priority::HIGHEST, &s);
         assert_eq!(t.arrival(l(0), l(1), Priority::HIGHEST), s);
         t.add(l(0), l(1), Priority::HIGHEST, &s);
-        assert_eq!(
-            t.arrival(l(0), l(1), Priority::HIGHEST),
-            s.multiplex(&s)
-        );
+        assert_eq!(t.arrival(l(0), l(1), Priority::HIGHEST), s.multiplex(&s));
         assert_eq!(t.len(), 1);
     }
 
@@ -247,10 +241,7 @@ mod tests {
         t.add(l(0), l(5), Priority::new(2), &burst(1, 2, 1));
         assert!(t.higher_in(l(0), l(5), Priority::new(0)).is_zero());
         assert_eq!(t.higher_in(l(0), l(5), Priority::new(1)), s0);
-        assert_eq!(
-            t.higher_in(l(0), l(5), Priority::new(2)),
-            s0.multiplex(&s1)
-        );
+        assert_eq!(t.higher_in(l(0), l(5), Priority::new(2)), s0.multiplex(&s1));
     }
 
     #[test]

@@ -1,15 +1,33 @@
-//! Property-based tests for the per-switch admission control: whatever
-//! sequence of admissions and releases happens, the committed state
-//! always honors the advertised guarantees.
+//! Randomized property tests for the per-switch admission control:
+//! whatever sequence of admissions and releases happens, the committed
+//! state always honors the advertised guarantees.
+//!
+//! The registry is offline, so instead of proptest these run seeded
+//! loops over a local SplitMix64 generator.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use rtcac_bitstream::{Rate, Time, TrafficContract, VbrParams};
-use rtcac_cac::{
-    ConnectionId, ConnectionRequest, Priority, Switch, SwitchConfig,
-};
+use rtcac_cac::{ConnectionId, ConnectionRequest, Priority, Switch, SwitchConfig};
 use rtcac_net::LinkId;
 use rtcac_rational::ratio;
+
+const CASES: u64 = 64;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: i128, hi: i128) -> i128 {
+        let span = (hi - lo + 1) as u128;
+        lo + (u128::from(self.next()) % span) as i128
+    }
+}
 
 /// A compact encoding of one operation against the switch.
 #[derive(Debug, Clone)]
@@ -27,20 +45,25 @@ enum Op {
     Release(usize),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (2i128..=24, 0i128..=60, 1u64..=8, 0i128..=96, 0u32..=3, 0u8..=1).prop_map(
-            |(pcr_den, scr_extra_den, mbs, cdv, in_link, priority)| Op::Admit {
-                pcr_den,
-                scr_extra_den,
-                mbs,
-                cdv,
-                in_link,
-                priority,
-            }
-        ),
-        1 => (0usize..16).prop_map(Op::Release),
-    ]
+fn arb_op(rng: &mut Rng) -> Op {
+    // 3:1 admit-to-release ratio, mirroring the original strategy.
+    if rng.range(0, 3) < 3 {
+        Op::Admit {
+            pcr_den: rng.range(2, 24),
+            scr_extra_den: rng.range(0, 60),
+            mbs: rng.range(1, 8) as u64,
+            cdv: rng.range(0, 96),
+            in_link: rng.range(0, 3) as u32,
+            priority: rng.range(0, 1) as u8,
+        }
+    } else {
+        Op::Release(rng.range(0, 15) as usize)
+    }
+}
+
+fn arb_ops(rng: &mut Rng, max_len: usize) -> Vec<Op> {
+    let len = rng.range(1, max_len as i128) as usize;
+    (0..len).map(|_| arb_op(rng)).collect()
 }
 
 fn request_of(op: &Op) -> Option<ConnectionRequest> {
@@ -75,14 +98,14 @@ fn two_level_switch() -> Switch {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// After any operation sequence, every priority's computed bound
-    /// fits its advertised bound — the committed state never violates
-    /// the guarantee the switch hands out.
-    #[test]
-    fn committed_state_always_honors_bounds(ops in vec(arb_op(), 1..40)) {
+/// After any operation sequence, every priority's computed bound fits
+/// its advertised bound — the committed state never violates the
+/// guarantee the switch hands out.
+#[test]
+fn committed_state_always_honors_bounds() {
+    let mut rng = Rng(201);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng, 39);
         let mut sw = two_level_switch();
         let mut live: Vec<ConnectionId> = Vec::new();
         let mut next = 0u64;
@@ -106,43 +129,54 @@ proptest! {
             for p in [Priority::new(0), Priority::new(1)] {
                 let bound = sw.computed_bound(LinkId::external(100), p).unwrap();
                 let advertised = sw.advertised_bound(p).unwrap();
-                prop_assert!(
+                assert!(
                     bound <= advertised,
                     "priority {p}: {bound} > {advertised} after {op:?}"
                 );
             }
         }
-        prop_assert_eq!(sw.connection_count(), live.len());
+        assert_eq!(sw.connection_count(), live.len());
     }
+}
 
-    /// `check` never mutates and always agrees with the subsequent
-    /// `admit` on the same request.
-    #[test]
-    fn check_is_pure_and_consistent_with_admit(ops in vec(arb_op(), 1..20)) {
+/// `check` never mutates and always agrees with the subsequent `admit`
+/// on the same request.
+#[test]
+fn check_is_pure_and_consistent_with_admit() {
+    let mut rng = Rng(202);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng, 19);
         let mut sw = two_level_switch();
         let mut next = 0u64;
         for op in &ops {
             if let Some(req) = request_of(op) {
                 let checked = sw.check(&req).unwrap().is_admitted();
                 let count_before = sw.connection_count();
-                prop_assert_eq!(sw.connection_count(), count_before);
+                assert_eq!(sw.connection_count(), count_before);
                 let admitted = sw
                     .admit(ConnectionId::new(next), req)
                     .unwrap()
                     .is_admitted();
                 next += 1;
-                prop_assert_eq!(checked, admitted);
+                assert_eq!(checked, admitted);
             }
         }
     }
+}
 
-    /// Admit-then-release is a perfect no-op on the observable state
-    /// (exact arithmetic: the bounds are bit-identical).
-    #[test]
-    fn admit_release_roundtrip_is_identity(
-        setup in vec(arb_op(), 0..12),
-        probe in arb_op().prop_filter("admit only", |op| matches!(op, Op::Admit { .. })),
-    ) {
+/// Admit-then-release is a perfect no-op on the observable state (exact
+/// arithmetic: the bounds are bit-identical).
+#[test]
+fn admit_release_roundtrip_is_identity() {
+    let mut rng = Rng(203);
+    for _ in 0..CASES {
+        let setup = arb_ops(&mut rng, 12);
+        let probe = loop {
+            let op = arb_op(&mut rng);
+            if matches!(op, Op::Admit { .. }) {
+                break op;
+            }
+        };
         let mut sw = two_level_switch();
         let mut next = 0u64;
         for op in &setup {
@@ -164,13 +198,17 @@ proptest! {
             .iter()
             .map(|&p| sw.computed_bound(LinkId::external(100), p).unwrap())
             .collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
+}
 
-    /// Total sustained load of admitted connections never exceeds the
-    /// link bandwidth (a consequence the admission must enforce).
-    #[test]
-    fn sustained_load_never_exceeds_link(ops in vec(arb_op(), 1..40)) {
+/// Total sustained load of admitted connections never exceeds the link
+/// bandwidth (a consequence the admission must enforce).
+#[test]
+fn sustained_load_never_exceeds_link() {
+    let mut rng = Rng(204);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng, 39);
         let mut sw = two_level_switch();
         let mut next = 0u64;
         for op in &ops {
@@ -179,6 +217,6 @@ proptest! {
                 next += 1;
             }
         }
-        prop_assert!(sw.sustained_load(LinkId::external(100)) <= Rate::FULL);
+        assert!(sw.sustained_load(LinkId::external(100)) <= Rate::FULL);
     }
 }

@@ -2,9 +2,11 @@
 //! (the binary just prints; tests assert on the strings).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use rtcac_bitstream::{BitStream, CbrParams, Rate, Time, TrafficContract, VbrParams};
 use rtcac_cac::Priority;
+use rtcac_engine::{run_batch, AdmissionEngine, EngineOutcome};
 use rtcac_net::LinkId;
 use rtcac_rational::Ratio;
 use rtcac_rtnet::{workload, CdvMode};
@@ -43,9 +45,9 @@ pub fn bound(args: &BoundArgs) -> Result<String, CliError> {
         return Err(CliError::Usage("--count must be at least 1".into()));
     }
     let contract = match args.scr {
-        None => TrafficContract::Cbr(
-            CbrParams::new(Rate::new(args.pcr)).map_err(CliError::domain)?,
-        ),
+        None => {
+            TrafficContract::Cbr(CbrParams::new(Rate::new(args.pcr)).map_err(CliError::domain)?)
+        }
         Some(scr) => TrafficContract::Vbr(
             VbrParams::new(Rate::new(args.pcr), Rate::new(scr), args.mbs.max(1))
                 .map_err(CliError::domain)?,
@@ -55,8 +57,7 @@ pub fn bound(args: &BoundArgs) -> Result<String, CliError> {
         .worst_case_stream()
         .try_delay(Time::new(args.cdv))
         .map_err(CliError::domain)?;
-    let aggregate =
-        BitStream::multiplex_all(std::iter::repeat_n(&arrival, args.count as usize));
+    let aggregate = BitStream::multiplex_all(std::iter::repeat_n(&arrival, args.count as usize));
     let interference = match args.interference {
         Some(r) => BitStream::constant(Rate::new(r)).map_err(CliError::domain)?,
         None => BitStream::zero(),
@@ -65,9 +66,20 @@ pub fn bound(args: &BoundArgs) -> Result<String, CliError> {
         .delay_bound(&interference)
         .map_err(CliError::domain)?;
     let mut out = String::new();
-    let _ = writeln!(out, "contract: pcr={} scr={} mbs={}", contract.pcr(), contract.scr(), contract.mbs());
+    let _ = writeln!(
+        out,
+        "contract: pcr={} scr={} mbs={}",
+        contract.pcr(),
+        contract.scr(),
+        contract.mbs()
+    );
     let _ = writeln!(out, "arrival envelope after cdv {}: {}", args.cdv, arrival);
-    let _ = writeln!(out, "aggregate of {} connections: peak rate {}", args.count, aggregate.peak_rate());
+    let _ = writeln!(
+        out,
+        "aggregate of {} connections: peak rate {}",
+        args.count,
+        aggregate.peak_rate()
+    );
     let _ = writeln!(
         out,
         "worst-case queueing delay: {} cell times ({:.1} us at 155 Mbps)",
@@ -157,6 +169,113 @@ pub fn check(scenario: &Scenario) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `rtcac engine`: push every unicast `connect` of the scenario
+/// through the concurrent sharded admission engine as one batch served
+/// by `workers` threads, then report outcomes, engine statistics, and
+/// the final computed port bounds.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] if the scenario contains multicast
+/// connections (the engine serves unicast setups) and
+/// [`CliError::Domain`] on API-level failures; rejections are reported
+/// in the output, not raised.
+pub fn engine(scenario: &Scenario, workers: usize) -> Result<String, CliError> {
+    let default =
+        rtcac_cac::SwitchConfig::uniform(1, Time::from_integer(32)).map_err(CliError::domain)?;
+    let mut engine = AdmissionEngine::new(scenario.topology.clone(), default, scenario.policy);
+    for (&node, config) in &scenario.switch_configs {
+        engine
+            .configure_switch(node, config.clone())
+            .map_err(CliError::domain)?;
+    }
+    let engine = Arc::new(engine);
+
+    let mut jobs = Vec::new();
+    for spec in &scenario.connections {
+        match &spec.route {
+            RouteKind::Unicast(route) => jobs.push((route.clone(), spec.request)),
+            RouteKind::Multicast(_) => {
+                return Err(CliError::Usage(format!(
+                    "'{}' is point-to-multipoint; the engine serves unicast setups \
+                     (use 'rtcac check' for multicast scenarios)",
+                    spec.name
+                )))
+            }
+        }
+    }
+    let outcomes = run_batch(&engine, jobs, workers.max(1));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "engine: {} setups through {} workers over {} shards",
+        outcomes.len(),
+        workers.max(1),
+        scenario.topology.switches().count()
+    );
+    for (spec, outcome) in scenario.connections.iter().zip(&outcomes) {
+        match outcome.as_ref().map_err(|e| CliError::domain(e.clone()))? {
+            EngineOutcome::Admitted {
+                guaranteed_delay, ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{}: ADMITTED guaranteed_delay={guaranteed_delay} cells",
+                    spec.name
+                );
+            }
+            EngineOutcome::Rejected { rejection, .. } => {
+                let _ = writeln!(out, "{}: REJECTED ({rejection})", spec.name);
+            }
+        }
+    }
+    let stats = engine.stats();
+    let _ = writeln!(
+        out,
+        "stats: admitted={} rejected={} aborted={} cache {}/{} hits",
+        stats.admitted,
+        stats.rejected,
+        stats.aborted,
+        stats.cache_hits,
+        stats.cache_hits + stats.cache_misses
+    );
+    // Final computed bounds per active port, served from the shard
+    // caches (warm after the batch).
+    for node in scenario.topology.switches().map(|n| n.id()) {
+        if engine
+            .shard_connection_count(node)
+            .map_err(CliError::domain)?
+            == 0
+        {
+            continue;
+        }
+        let config = scenario
+            .switch_configs
+            .get(&node)
+            .cloned()
+            .unwrap_or_else(|| {
+                rtcac_cac::SwitchConfig::uniform(1, Time::from_integer(32)).unwrap()
+            });
+        for link in scenario.topology.links_from(node).map(|l| l.id()) {
+            for p in config.priorities() {
+                let bound = engine
+                    .computed_bound(node, link, p)
+                    .map_err(CliError::domain)?;
+                if bound.is_positive() {
+                    let _ = writeln!(
+                        out,
+                        "port {} {p}: computed bound {bound} / advertised {}",
+                        link_label(scenario, link),
+                        config.bound(p).map_err(CliError::domain)?
+                    );
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// `rtcac simulate`: admit the scenario, then measure it with greedy
 /// worst-case sources in the cell-level simulator.
 ///
@@ -214,9 +333,9 @@ pub fn simulate(
         report.total_drops()
     );
     for (id, name) in &admitted_names {
-        let stats = report.connection(*id).ok_or_else(|| {
-            CliError::Domain(format!("no stats for connection {name}"))
-        })?;
+        let stats = report
+            .connection(*id)
+            .ok_or_else(|| CliError::Domain(format!("no stats for connection {name}")))?;
         let (guarantee, hops) = if let Some(info) = network.connection(*id) {
             (info.guaranteed_delay(), info.route().links().len() as u64)
         } else if let Some(info) = network.multicast_connection(*id) {
@@ -318,8 +437,8 @@ pub fn rtnet(args: &RtnetArgs) -> Result<String, CliError> {
 }
 
 fn build_network(scenario: &Scenario) -> Result<Network, CliError> {
-    let default = rtcac_cac::SwitchConfig::uniform(1, Time::from_integer(32))
-        .map_err(CliError::domain)?;
+    let default =
+        rtcac_cac::SwitchConfig::uniform(1, Time::from_integer(32)).map_err(CliError::domain)?;
     let mut network = Network::new(scenario.topology.clone(), default, scenario.policy);
     for (&node, config) in &scenario.switch_configs {
         network
@@ -412,6 +531,36 @@ connect tiny route=up,mid,down contract=cbr:1/32 delay=64
         assert!(out.contains("fast: CONNECTED"));
         assert!(out.contains("summary:"));
         assert!(out.contains("port "));
+    }
+
+    #[test]
+    fn engine_reports_outcomes_stats_and_ports() {
+        let scenario = Scenario::parse(SCENARIO).unwrap();
+        let out = engine(&scenario, 2).unwrap();
+        assert!(out.contains("engine: 3 setups through 2 workers"), "{out}");
+        assert!(out.contains("fast: ADMITTED"), "{out}");
+        assert!(out.contains("stats: admitted="), "{out}");
+        assert!(out.contains("port "), "{out}");
+        // The concurrent engine must agree with the serial check on
+        // every per-connection verdict.
+        let serial = check(&scenario).unwrap();
+        for spec in &scenario.connections {
+            let connected = serial.contains(&format!("{}: CONNECTED", spec.name));
+            assert_eq!(
+                out.contains(&format!("{}: ADMITTED", spec.name)),
+                connected,
+                "{}\nvs\n{}",
+                out,
+                serial
+            );
+        }
+    }
+
+    #[test]
+    fn engine_refuses_multicast_scenarios() {
+        let scenario = Scenario::parse(MULTICAST_SCENARIO).unwrap();
+        let err = engine(&scenario, 2).unwrap_err();
+        assert!(err.to_string().contains("point-to-multipoint"), "{err}");
     }
 
     #[test]

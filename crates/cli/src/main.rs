@@ -20,6 +20,11 @@ USAGE:
       Run the distributed SETUP procedure for every connection in the
       scenario and report outcomes and final port bounds.
 
+  rtcac engine SCENARIO_FILE [--workers N]
+      Batch-admit the scenario through the concurrent sharded engine
+      (two-phase reserve/commit, N worker threads) and report outcomes,
+      engine statistics, and final port bounds.
+
   rtcac simulate SCENARIO_FILE [--slots N] [--jitter CELLS] [--seed N]
       Admit the scenario, then measure it in the cell-level simulator.
 
@@ -73,6 +78,15 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| CliError::Usage("check needs a scenario file".into()))?;
             let scenario = load(path)?;
             commands::check(&scenario)
+        }
+        Some("engine") => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError::Usage("engine needs a scenario file".into()))?;
+            let rest: Vec<&String> = it.collect();
+            let workers = flag_u64(&rest, "--workers")?.unwrap_or(4) as usize;
+            let scenario = load(path)?;
+            commands::engine(&scenario, workers)
         }
         Some("simulate") => {
             let path = it

@@ -135,8 +135,7 @@ impl Scenario {
                         }
                     }
                     let id = topology.add_switch(name.clone());
-                    let config =
-                        SwitchConfig::with_bounds(bounds).map_err(CliError::domain)?;
+                    let config = SwitchConfig::with_bounds(bounds).map_err(CliError::domain)?;
                     switch_configs.insert(id, config);
                     names.insert(name.clone(), id);
                 }
@@ -153,8 +152,7 @@ impl Scenario {
                 "link" => {
                     let [_, name, from, to] = &tokens[..] else {
                         let mut it = tokens.iter().skip(1);
-                        let (Some(name), Some(from), Some(to)) =
-                            (it.next(), it.next(), it.next())
+                        let (Some(name), Some(from), Some(to)) = (it.next(), it.next(), it.next())
                         else {
                             return Err(err("link needs NAME FROM TO".into()));
                         };
@@ -264,10 +262,13 @@ fn parse_capacity(options: &[String], line: usize) -> Result<Rate, CliError> {
     match options.first() {
         None => Ok(Rate::FULL),
         Some(opt) => match opt.strip_prefix("capacity=") {
-            Some(v) => v.parse::<Ratio>().map(Rate::new).map_err(|e| CliError::Parse {
-                line,
-                message: format!("bad capacity '{v}': {e}"),
-            }),
+            Some(v) => v
+                .parse::<Ratio>()
+                .map(Rate::new)
+                .map_err(|e| CliError::Parse {
+                    line,
+                    message: format!("bad capacity '{v}': {e}"),
+                }),
             None => Err(CliError::Parse {
                 line,
                 message: format!("unknown link option '{opt}'"),
@@ -329,9 +330,7 @@ fn parse_connect(
         } else if let Some(spec) = opt.strip_prefix("contract=") {
             contract = Some(parse_contract(spec, line)?);
         } else if let Some(p) = opt.strip_prefix("priority=") {
-            let level: u8 = p
-                .parse()
-                .map_err(|_| err(format!("bad priority '{p}'")))?;
+            let level: u8 = p.parse().map_err(|_| err(format!("bad priority '{p}'")))?;
             priority = Priority::new(level);
         } else if let Some(d) = opt.strip_prefix("delay=") {
             delay = d
@@ -345,16 +344,14 @@ fn parse_connect(
     let route = match (route, from, to) {
         (Some(r), None, None) => r,
         (None, Some(from), Some(to)) if !multicast => RouteKind::Unicast(
-            topology.shortest_route(from, to).map_err(CliError::domain)?,
+            topology
+                .shortest_route(from, to)
+                .map_err(CliError::domain)?,
         ),
         (None, _, _) if multicast => {
             return Err(err("mconnect needs tree=".into()));
         }
-        _ => {
-            return Err(err(
-                "connect needs either route=/tree= or from=+to=".into(),
-            ))
-        }
+        _ => return Err(err("connect needs either route=/tree= or from=+to=".into())),
     };
     if multicast && matches!(route, RouteKind::Unicast(_)) {
         return Err(err("mconnect needs tree=, not route=".into()));
@@ -395,7 +392,9 @@ fn parse_contract(spec: &str, line: usize) -> Result<TrafficContract, CliError> 
             VbrParams::new(Rate::new(pcr), Rate::new(scr), mbs).map_err(CliError::domain)?,
         ));
     }
-    Err(err(format!("contract must be cbr:… or vbr:…, got '{spec}'")))
+    Err(err(format!(
+        "contract must be cbr:… or vbr:…, got '{spec}'"
+    )))
 }
 
 #[cfg(test)]
@@ -479,7 +478,7 @@ connect c2 route=up,mid,down contract=vbr:1/4,1/20,8 priority=1 delay=0.5
             "connect c route=up,down contract=vbr:1/4,1/2,8\n", // scr > pcr
             "connect c route=up,down contract=vbr:1/4,1/8\n", // missing mbs
             "connect c route=up,down contract=xyz:1\n",
-            "connect c route=up,down\n", // missing contract
+            "connect c route=up,down\n",    // missing contract
             "connect c contract=cbr:1/8\n", // missing route
         ] {
             let text = format!("{base}{bad}");
@@ -512,10 +511,7 @@ mconnect cast tree=up,d2,d3 contract=cbr:1/32 delay=64\n";
 
     #[test]
     fn decimal_rates_and_capacity() {
-        let s = Scenario::parse(
-            "endsystem h\nswitch s\nlink up h s capacity=0.5\n",
-        )
-        .unwrap();
+        let s = Scenario::parse("endsystem h\nswitch s\nlink up h s capacity=0.5\n").unwrap();
         let l = s.link("up").unwrap();
         assert_eq!(
             s.topology.link(l).unwrap().capacity(),

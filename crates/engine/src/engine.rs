@@ -1,0 +1,595 @@
+//! The sharded admission engine and its two-phase setup protocol.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use rtcac_bitstream::Time;
+use rtcac_cac::{AdmissionDecision, ConnectionId, ConnectionRequest, Priority, SwitchConfig};
+use rtcac_net::{NodeId, Route, Topology};
+use rtcac_signaling::{CdvPolicy, SetupRejection, SetupRequest, LOCAL_INJECTION};
+
+use crate::shard::{Shard, ShardState};
+use crate::stats::Counters;
+use crate::{EngineError, EngineStats};
+
+/// The outcome of one engine setup: the concurrent analogue of
+/// [`rtcac_signaling::SetupOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineOutcome {
+    /// The connection is committed on every hop of its route.
+    Admitted {
+        /// The established connection's id.
+        id: ConnectionId,
+        /// Guaranteed end-to-end queueing delay: the sum of the
+        /// advertised per-hop bounds (fixed regardless of load).
+        guaranteed_delay: Time,
+    },
+    /// The setup was refused; any reserved hops were rolled back
+    /// before any lock was dropped.
+    Rejected {
+        /// The id the setup would have used.
+        id: ConnectionId,
+        /// Why, and how many hops had to be rolled back.
+        rejection: SetupRejection,
+    },
+}
+
+impl EngineOutcome {
+    /// Whether the setup was committed.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, EngineOutcome::Admitted { .. })
+    }
+}
+
+/// Registry entry for an established connection.
+#[derive(Debug, Clone)]
+struct Established {
+    nodes: Vec<NodeId>,
+    guaranteed_delay: Time,
+}
+
+/// A concurrent, sharded connection admission engine.
+///
+/// Wraps one [`Switch`](rtcac_cac::Switch) per topology switch node in
+/// a [`Shard`] (switch + [`SofCache`](rtcac_cac::SofCache) behind one
+/// mutex) and serves setups with a deterministic **two-phase
+/// protocol**:
+///
+/// 1. **Reserve** — the worker locks every shard on the route in
+///    ascending [`NodeId`] order (a global lock order, so concurrent
+///    setups cannot deadlock), then admits hop by hop in *route* order
+///    with the CDV accumulated from the advertised upstream bounds —
+///    exactly the request stream [`rtcac_signaling::Network::setup`]
+///    would build.
+/// 2. **Commit / abort** — if every hop admitted, the connection is
+///    recorded and all locks released; if any hop refused, the already
+///    reserved hops are rolled back *before* any lock is dropped, so
+///    no other setup ever observes a half-reserved route.
+///
+/// Because each setup holds all its shard locks for the full
+/// check-and-commit, the concurrent execution is serializable: the
+/// committed state always equals *some* serial order of the same
+/// setups through [`rtcac_signaling::Network`].
+#[derive(Debug)]
+pub struct AdmissionEngine {
+    topology: Topology,
+    policy: CdvPolicy,
+    configs: BTreeMap<NodeId, SwitchConfig>,
+    shards: BTreeMap<NodeId, Shard>,
+    connections: Mutex<BTreeMap<ConnectionId, Established>>,
+    next_id: AtomicU64,
+    counters: Counters,
+}
+
+impl AdmissionEngine {
+    /// Creates an engine giving every switch node of the topology the
+    /// same configuration (the analogue of
+    /// [`rtcac_signaling::Network::new`]).
+    pub fn new(topology: Topology, config: SwitchConfig, policy: CdvPolicy) -> AdmissionEngine {
+        let configs: BTreeMap<NodeId, SwitchConfig> = topology
+            .switches()
+            .map(|n| (n.id(), config.clone()))
+            .collect();
+        let shards = configs
+            .iter()
+            .map(|(&node, cfg)| (node, Shard::new(cfg.clone())))
+            .collect();
+        AdmissionEngine {
+            topology,
+            policy,
+            configs,
+            shards,
+            connections: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The CDV accumulation policy in force.
+    pub fn policy(&self) -> CdvPolicy {
+        self.policy
+    }
+
+    /// Replaces the configuration of one switch shard (exclusive
+    /// access, so no setups can be in flight). The shard must hold no
+    /// established connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoSwitchAt`] if the node is not a managed
+    /// switch, or [`EngineError::Cac`] if connections are established.
+    pub fn configure_switch(
+        &mut self,
+        node: NodeId,
+        config: SwitchConfig,
+    ) -> Result<(), EngineError> {
+        let shard = self
+            .shards
+            .get_mut(&node)
+            .ok_or(EngineError::NoSwitchAt(node))?;
+        if shard.lock().switch.connection_count() != 0 {
+            return Err(EngineError::Cac(rtcac_cac::CacError::BadConfig(
+                "cannot reconfigure a shard with established connections",
+            )));
+        }
+        *shard = Shard::new(config.clone());
+        self.configs.insert(node, config);
+        Ok(())
+    }
+
+    /// Allocates a fresh connection id (thread-safe, strictly
+    /// increasing).
+    pub fn allocate_id(&self) -> ConnectionId {
+        ConnectionId::new(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Number of established connections.
+    pub fn connection_count(&self) -> usize {
+        self.lock_registry().len()
+    }
+
+    /// The guaranteed end-to-end delay of an established connection.
+    pub fn guaranteed_delay(&self, id: ConnectionId) -> Option<Time> {
+        self.lock_registry().get(&id).map(|e| e.guaranteed_delay)
+    }
+
+    /// Number of established connection legs at one switch shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoSwitchAt`] for non-switch nodes.
+    pub fn shard_connection_count(&self, node: NodeId) -> Result<usize, EngineError> {
+        Ok(self.shard(node)?.lock().switch.connection_count())
+    }
+
+    /// The table epoch of one switch shard (see
+    /// [`rtcac_cac::Switch::epoch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoSwitchAt`] for non-switch nodes.
+    pub fn shard_epoch(&self, node: NodeId) -> Result<u64, EngineError> {
+        Ok(self.shard(node)?.lock().switch.epoch())
+    }
+
+    /// The memoized computed delay bound at one shard port — the
+    /// Algorithm 4.1 result for the committed state, served from the
+    /// shard's [`SofCache`](rtcac_cac::SofCache) when the epoch matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoSwitchAt`] for non-switch nodes, plus
+    /// the conditions of [`rtcac_cac::Switch::computed_bound`].
+    pub fn computed_bound(
+        &self,
+        node: NodeId,
+        out_link: rtcac_net::LinkId,
+        priority: Priority,
+    ) -> Result<Time, EngineError> {
+        let mut state = self.shard(node)?.lock();
+        let ShardState { switch, cache } = &mut *state;
+        switch
+            .computed_bound_cached(out_link, priority, cache)
+            .map_err(EngineError::from)
+    }
+
+    /// Attempts to establish a connection along `route`, allocating a
+    /// fresh id. See [`AdmissionEngine::admit_with_id`].
+    ///
+    /// # Errors
+    ///
+    /// As [`AdmissionEngine::admit_with_id`].
+    pub fn admit(
+        &self,
+        route: &Route,
+        request: SetupRequest,
+    ) -> Result<EngineOutcome, EngineError> {
+        self.admit_with_id(self.allocate_id(), route, request)
+    }
+
+    /// Attempts to establish a connection along `route` under an
+    /// explicit id, using the two-phase reserve/commit protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for API misuse (invalid route, unmanaged
+    /// node, unknown priority, duplicate id); a connection that simply
+    /// does not fit yields [`EngineOutcome::Rejected`].
+    pub fn admit_with_id(
+        &self,
+        id: ConnectionId,
+        route: &Route,
+        request: SetupRequest,
+    ) -> Result<EngineOutcome, EngineError> {
+        let points = route.queueing_points(&self.topology)?;
+
+        // QoS feasibility gate and per-hop CDV — computed lock-free
+        // from the static per-node configurations: the advertised
+        // bounds never change while setups are in flight.
+        let mut per_hop = Vec::with_capacity(points.len());
+        for &(node, _) in &points {
+            let config = self
+                .configs
+                .get(&node)
+                .ok_or(EngineError::NoSwitchAt(node))?;
+            per_hop.push(config.bound(request.priority())?);
+        }
+        let achievable: Time = per_hop.iter().copied().sum();
+        if request.delay_bound() < achievable {
+            Counters::bump(&self.counters.rejected);
+            return Ok(EngineOutcome::Rejected {
+                id,
+                rejection: SetupRejection::QosUnsatisfiable {
+                    requested: request.delay_bound(),
+                    achievable,
+                },
+            });
+        }
+
+        let mut hop_requests = Vec::with_capacity(points.len());
+        let mut upstream: Vec<Time> = Vec::with_capacity(points.len());
+        for (hop, &(node, out_link)) in points.iter().enumerate() {
+            let cdv = self.policy.accumulate(&upstream)?;
+            let in_link = route
+                .incoming_link(&self.topology, node)?
+                .unwrap_or(LOCAL_INJECTION);
+            hop_requests.push((
+                node,
+                ConnectionRequest::new(
+                    request.contract(),
+                    cdv,
+                    in_link,
+                    out_link,
+                    request.priority(),
+                ),
+            ));
+            upstream.push(per_hop[hop]);
+        }
+
+        if self.lock_registry().contains_key(&id) {
+            return Err(EngineError::DuplicateConnection(id));
+        }
+
+        // Phase 1 (reserve): take every shard lock on the route in
+        // ascending NodeId order — the global order that makes
+        // concurrent setups deadlock-free — then admit hop by hop in
+        // route order under the precomputed CDV.
+        let mut guards = self.lock_route_shards(points.iter().map(|&(n, _)| n))?;
+        let mut reserved: Vec<NodeId> = Vec::new();
+        for &(node, conn_request) in &hop_requests {
+            let state = guards.get_mut(&node).expect("route shard locked");
+            let ShardState { switch, cache } = &mut **state;
+            match switch.admit_cached(id, conn_request, cache)? {
+                AdmissionDecision::Admitted(_) => reserved.push(node),
+                AdmissionDecision::Rejected(reason) => {
+                    // Phase 2 (abort): roll back every reserved hop
+                    // before any lock is dropped.
+                    let hops_rolled_back = reserved.len();
+                    let mut rolled: Vec<NodeId> = Vec::new();
+                    for &up in reserved.iter().rev() {
+                        if rolled.contains(&up) {
+                            continue; // multi-leg: one release frees all
+                        }
+                        guards
+                            .get_mut(&up)
+                            .expect("reserved shard locked")
+                            .switch
+                            .release(id)?;
+                        rolled.push(up);
+                    }
+                    Counters::bump(&self.counters.rejected);
+                    if hops_rolled_back > 0 {
+                        Counters::bump(&self.counters.aborted);
+                    }
+                    return Ok(EngineOutcome::Rejected {
+                        id,
+                        rejection: SetupRejection::Switch {
+                            at: node,
+                            reason,
+                            hops_rolled_back,
+                        },
+                    });
+                }
+            }
+        }
+
+        // Phase 2 (commit): record the connection while the shard locks
+        // are still held, so a concurrent release cannot interleave.
+        self.lock_registry().insert(
+            id,
+            Established {
+                nodes: points.iter().map(|&(n, _)| n).collect(),
+                guaranteed_delay: achievable,
+            },
+        );
+        Counters::bump(&self.counters.admitted);
+        Ok(EngineOutcome::Admitted {
+            id,
+            guaranteed_delay: achievable,
+        })
+    }
+
+    /// Tears down an established connection, releasing every shard
+    /// reservation on its route.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownConnection`] if the id is not
+    /// established.
+    pub fn release(&self, id: ConnectionId) -> Result<(), EngineError> {
+        let entry = self
+            .lock_registry()
+            .remove(&id)
+            .ok_or(EngineError::UnknownConnection(id))?;
+        let mut guards = self.lock_route_shards(entry.nodes.iter().copied())?;
+        for (_, state) in guards.iter_mut() {
+            state.switch.release(id)?;
+        }
+        Counters::bump(&self.counters.released);
+        Ok(())
+    }
+
+    /// A consistent snapshot of the engine counters plus the summed
+    /// per-shard cache statistics.
+    pub fn stats(&self) -> EngineStats {
+        let (mut hits, mut misses) = (0, 0);
+        for shard in self.shards.values() {
+            let state = shard.lock();
+            hits += state.cache.hits();
+            misses += state.cache.misses();
+        }
+        EngineStats {
+            admitted: self.counters.admitted.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            aborted: self.counters.aborted.load(Ordering::Relaxed),
+            released: self.counters.released.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+        }
+    }
+
+    fn shard(&self, node: NodeId) -> Result<&Shard, EngineError> {
+        self.shards.get(&node).ok_or(EngineError::NoSwitchAt(node))
+    }
+
+    /// Locks the shards of the given route nodes in ascending `NodeId`
+    /// order (duplicates collapse), returning the guards keyed by node.
+    fn lock_route_shards(
+        &self,
+        nodes: impl Iterator<Item = NodeId>,
+    ) -> Result<BTreeMap<NodeId, MutexGuard<'_, ShardState>>, EngineError> {
+        let unique: std::collections::BTreeSet<NodeId> = nodes.collect();
+        let mut guards = BTreeMap::new();
+        for node in unique {
+            guards.insert(node, self.shard(node)?.lock());
+        }
+        Ok(guards)
+    }
+
+    fn lock_registry(&self) -> MutexGuard<'_, BTreeMap<ConnectionId, Established>> {
+        self.connections.lock().expect("registry mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_bitstream::{CbrParams, Rate, TrafficContract};
+    use rtcac_net::builders;
+    use rtcac_rational::ratio;
+    use rtcac_signaling::{Network, SetupOutcome};
+
+    fn cbr(num: i128, den: i128) -> TrafficContract {
+        TrafficContract::cbr(CbrParams::new(Rate::new(ratio(num, den))).unwrap())
+    }
+
+    fn line_engine(switches: usize, bound: i128) -> (AdmissionEngine, Route) {
+        let (topology, src, sw, dst) = builders::line(switches).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(bound)).unwrap();
+        let route = Route::from_nodes(
+            &topology,
+            std::iter::once(src)
+                .chain(sw.iter().copied())
+                .chain(std::iter::once(dst)),
+        )
+        .unwrap();
+        (
+            AdmissionEngine::new(topology, config, CdvPolicy::Hard),
+            route,
+        )
+    }
+
+    #[test]
+    fn admit_and_release_roundtrip() {
+        let (engine, route) = line_engine(3, 32);
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(200));
+        let id = match engine.admit(&route, req).unwrap() {
+            EngineOutcome::Admitted {
+                id,
+                guaranteed_delay,
+            } => {
+                assert_eq!(guaranteed_delay, Time::from_integer(96));
+                id
+            }
+            other => panic!("expected admission, got {other:?}"),
+        };
+        assert_eq!(engine.connection_count(), 1);
+        assert_eq!(engine.guaranteed_delay(id), Some(Time::from_integer(96)));
+        for (node, _) in route.queueing_points(engine.topology()).unwrap() {
+            assert_eq!(engine.shard_connection_count(node).unwrap(), 1);
+        }
+        engine.release(id).unwrap();
+        assert_eq!(engine.connection_count(), 0);
+        for (node, _) in route.queueing_points(engine.topology()).unwrap() {
+            assert_eq!(engine.shard_connection_count(node).unwrap(), 0);
+        }
+        let stats = engine.stats();
+        assert_eq!((stats.admitted, stats.released), (1, 1));
+    }
+
+    #[test]
+    fn qos_gate_rejects_impossible_bounds() {
+        let (engine, route) = line_engine(3, 32);
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(50));
+        match engine.admit(&route, req).unwrap() {
+            EngineOutcome::Rejected {
+                rejection:
+                    SetupRejection::QosUnsatisfiable {
+                        requested,
+                        achievable,
+                    },
+                ..
+            } => {
+                assert_eq!(requested, Time::from_integer(50));
+                assert_eq!(achievable, Time::from_integer(96));
+            }
+            other => panic!("expected qos rejection, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!((stats.rejected, stats.aborted), (1, 0));
+    }
+
+    #[test]
+    fn mid_route_rejection_rolls_back_and_counts_abort() {
+        let (engine, route) = line_engine(2, 1_000);
+        let mut rejected = false;
+        for _ in 0..5 {
+            let req = SetupRequest::new(cbr(2, 5), Priority::HIGHEST, Time::from_integer(100_000));
+            match engine.admit(&route, req).unwrap() {
+                EngineOutcome::Admitted { .. } => {}
+                EngineOutcome::Rejected {
+                    rejection: SetupRejection::Switch { .. },
+                    ..
+                } => {
+                    rejected = true;
+                    break;
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert!(rejected, "the line never saturated");
+        // Every shard holds exactly the committed connections — no
+        // half-reserved leftovers.
+        let committed = engine.connection_count();
+        for (node, _) in route.queueing_points(engine.topology()).unwrap() {
+            assert_eq!(engine.shard_connection_count(node).unwrap(), committed);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.admitted, committed as u64);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn serial_parity_with_signaling_network() {
+        let (topology, src, sw, dst) = builders::line(3).unwrap();
+        let config = SwitchConfig::uniform(2, Time::from_integer(64)).unwrap();
+        let route = Route::from_nodes(
+            &topology,
+            std::iter::once(src)
+                .chain(sw.iter().copied())
+                .chain(std::iter::once(dst)),
+        )
+        .unwrap();
+        let engine = AdmissionEngine::new(topology.clone(), config.clone(), CdvPolicy::SoftSqrt);
+        let mut net = Network::new(topology, config, CdvPolicy::SoftSqrt);
+        // Drive identical request sequences through both; the outcomes
+        // must agree pairwise.
+        for k in 1..=8 {
+            let req = SetupRequest::new(
+                cbr(1, 4 + i128::from(k % 3)),
+                Priority::new(u8::from(k % 2 == 0)),
+                Time::from_integer(500),
+            );
+            let via_engine = engine.admit(&route, req).unwrap();
+            let via_net = net.setup(&route, req).unwrap();
+            match (&via_engine, &via_net) {
+                (EngineOutcome::Admitted { .. }, SetupOutcome::Connected(_)) => {}
+                (EngineOutcome::Rejected { rejection: a, .. }, SetupOutcome::Rejected(b)) => {
+                    assert_eq!(a, b)
+                }
+                (a, b) => panic!("engine said {a:?}, network said {b:?}"),
+            }
+        }
+        assert_eq!(engine.connection_count(), net.connections().count());
+    }
+
+    #[test]
+    fn duplicate_id_is_an_error() {
+        let (engine, route) = line_engine(1, 64);
+        let req = SetupRequest::new(cbr(1, 16), Priority::HIGHEST, Time::from_integer(500));
+        let id = engine.allocate_id();
+        assert!(engine.admit_with_id(id, &route, req).unwrap().is_admitted());
+        assert_eq!(
+            engine.admit_with_id(id, &route, req),
+            Err(EngineError::DuplicateConnection(id))
+        );
+        assert_eq!(
+            engine.release(ConnectionId::new(999)),
+            Err(EngineError::UnknownConnection(ConnectionId::new(999)))
+        );
+    }
+
+    #[test]
+    fn unchanged_tables_serve_cached_bounds() {
+        let (engine, route) = line_engine(2, 256);
+        let req = SetupRequest::new(cbr(1, 64), Priority::HIGHEST, Time::from_integer(2_000));
+        assert!(engine.admit(&route, req).unwrap().is_admitted());
+        // Same epoch, same key: the second lookup must be a hit.
+        let (node, out_link) = route.queueing_points(engine.topology()).unwrap()[0];
+        let first = engine
+            .computed_bound(node, out_link, Priority::HIGHEST)
+            .unwrap();
+        let hits_before = engine.stats().cache_hits;
+        let second = engine
+            .computed_bound(node, out_link, Priority::HIGHEST)
+            .unwrap();
+        assert_eq!(first, second);
+        assert!(
+            engine.stats().cache_hits > hits_before,
+            "repeat lookup at an unchanged epoch must hit: {:?}",
+            engine.stats()
+        );
+    }
+
+    #[test]
+    fn epoch_advances_on_commit_and_release() {
+        let (engine, route) = line_engine(1, 64);
+        let node = route.queueing_points(engine.topology()).unwrap()[0].0;
+        let before = engine.shard_epoch(node).unwrap();
+        let req = SetupRequest::new(cbr(1, 16), Priority::HIGHEST, Time::from_integer(500));
+        let id = match engine.admit(&route, req).unwrap() {
+            EngineOutcome::Admitted { id, .. } => id,
+            other => panic!("expected admission, got {other:?}"),
+        };
+        let mid = engine.shard_epoch(node).unwrap();
+        assert!(mid > before);
+        engine.release(id).unwrap();
+        assert!(engine.shard_epoch(node).unwrap() > mid);
+    }
+}

@@ -1,0 +1,65 @@
+//! Engine error type.
+
+use std::fmt;
+
+use rtcac_cac::{CacError, ConnectionId};
+use rtcac_net::{NetError, NodeId};
+use rtcac_signaling::SignalError;
+
+/// API-misuse and internal failures of the admission engine.
+///
+/// A connection that merely does not fit is *not* an error — it is
+/// reported as [`EngineOutcome::Rejected`](crate::EngineOutcome).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The route references a node with no managed switch shard.
+    NoSwitchAt(NodeId),
+    /// A connection with this id is already established.
+    DuplicateConnection(ConnectionId),
+    /// No connection with this id is established.
+    UnknownConnection(ConnectionId),
+    /// Signaling-level failure (CDV accumulation).
+    Signal(SignalError),
+    /// Topology-level failure (invalid route or link).
+    Net(NetError),
+    /// Switch-level failure (misconfiguration or internal numeric
+    /// failure).
+    Cac(CacError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoSwitchAt(n) => write!(f, "no switch shard at node {n}"),
+            EngineError::DuplicateConnection(id) => {
+                write!(f, "connection {id} is already established")
+            }
+            EngineError::UnknownConnection(id) => {
+                write!(f, "connection {id} is not established")
+            }
+            EngineError::Signal(e) => write!(f, "signaling error: {e}"),
+            EngineError::Net(e) => write!(f, "topology error: {e}"),
+            EngineError::Cac(e) => write!(f, "CAC error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SignalError> for EngineError {
+    fn from(e: SignalError) -> EngineError {
+        EngineError::Signal(e)
+    }
+}
+
+impl From<NetError> for EngineError {
+    fn from(e: NetError) -> EngineError {
+        EngineError::Net(e)
+    }
+}
+
+impl From<CacError> for EngineError {
+    fn from(e: CacError) -> EngineError {
+        EngineError::Cac(e)
+    }
+}

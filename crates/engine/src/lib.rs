@@ -1,0 +1,37 @@
+//! `rtcac-engine` — a concurrent, sharded connection admission engine.
+//!
+//! This crate wraps the per-switch CAC of [`rtcac_cac`] in an engine
+//! that serves many setup requests concurrently while producing results
+//! indistinguishable from *some* serial order through
+//! [`rtcac_signaling::Network`]:
+//!
+//! * **Shards** — one [`rtcac_cac::Switch`] plus one
+//!   [`rtcac_cac::SofCache`] per switch node, each behind its own mutex.
+//! * **Two-phase setups** — phase 1 reserves capacity hop by hop with
+//!   every route shard locked in ascending [`rtcac_net::NodeId`] order
+//!   (a global lock order, hence deadlock-free); phase 2 commits, or
+//!   aborts with full rollback before any lock is dropped. CDV
+//!   accumulation follows [`rtcac_signaling::CdvPolicy`] exactly.
+//! * **Memoization** — delay-bound and interference computations
+//!   (Algorithm 4.1 and the Sof tables) are cached per shard, keyed by
+//!   (out-link, priority, table epoch); the epoch bumps on every commit
+//!   and release, so a cached value can never be stale.
+//! * **A worker pool** — [`EnginePool`] runs a fixed set of
+//!   `std::thread` workers pulling jobs from an `mpsc` submission
+//!   queue.
+//! * **Statistics** — lock-free admitted/rejected/aborted/released
+//!   counters plus per-shard cache hit/miss totals, snapshotted as
+//!   [`EngineStats`].
+
+#![forbid(unsafe_code)]
+
+mod engine;
+mod error;
+mod pool;
+mod shard;
+mod stats;
+
+pub use engine::{AdmissionEngine, EngineOutcome};
+pub use error::EngineError;
+pub use pool::{run_batch, EnginePool, JobResult};
+pub use stats::EngineStats;

@@ -1,0 +1,39 @@
+//! Per-switch shards: one lock, one [`Switch`], one [`SofCache`].
+
+use std::sync::{Mutex, MutexGuard};
+
+use rtcac_cac::{SofCache, Switch, SwitchConfig};
+
+/// The state guarded by one shard lock.
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    pub switch: Switch,
+    pub cache: SofCache,
+}
+
+/// One shard: a CAC-managed switch plus its memoization cache behind a
+/// single mutex. Shards are only ever locked in ascending `NodeId`
+/// order (see the two-phase protocol in [`crate::AdmissionEngine`]),
+/// which rules out deadlock.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    state: Mutex<ShardState>,
+}
+
+impl Shard {
+    pub fn new(config: SwitchConfig) -> Shard {
+        Shard {
+            state: Mutex::new(ShardState {
+                switch: Switch::new(config),
+                cache: SofCache::new(),
+            }),
+        }
+    }
+
+    /// Locks the shard. Mutex poisoning is unrecoverable for admission
+    /// state (a panicked worker may have left a half-reserved setup),
+    /// so it propagates as a panic rather than a lying `Ok`.
+    pub fn lock(&self) -> MutexGuard<'_, ShardState> {
+        self.state.lock().expect("shard mutex poisoned")
+    }
+}

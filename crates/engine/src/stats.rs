@@ -1,0 +1,50 @@
+//! Atomic engine counters and their snapshot form.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters updated by worker threads as setups complete.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub admitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub aborted: AtomicU64,
+    pub released: AtomicU64,
+}
+
+impl Counters {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of the engine's counters.
+///
+/// `admitted + rejected` equals the number of completed setups;
+/// `aborted` counts the subset of rejections that had already reserved
+/// at least one upstream hop and had to roll it back (phase 2 abort).
+/// The cache counters aggregate every shard's [`SofCache`]
+/// hit/miss totals.
+///
+/// [`SofCache`]: rtcac_cac::SofCache
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Setups committed end to end.
+    pub admitted: u64,
+    /// Setups rejected (QoS gate or a switch refusing a hop).
+    pub rejected: u64,
+    /// Rejected setups that rolled back one or more reserved hops.
+    pub aborted: u64,
+    /// Connections released (torn down) through the engine.
+    pub released: u64,
+    /// Delay-bound / interference lookups served from a shard cache.
+    pub cache_hits: u64,
+    /// Lookups that had to recompute (cold or stale epoch).
+    pub cache_misses: u64,
+}
+
+impl EngineStats {
+    /// Total setups processed to completion.
+    pub fn completed(&self) -> u64 {
+        self.admitted + self.rejected
+    }
+}

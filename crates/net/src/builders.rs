@@ -114,10 +114,7 @@ pub fn star_ring(ring_nodes: usize, terminals_per_node: usize) -> Result<StarRin
 /// # Errors
 ///
 /// Same conditions as [`star_ring`].
-pub fn dual_star_ring(
-    ring_nodes: usize,
-    terminals_per_node: usize,
-) -> Result<StarRing, NetError> {
+pub fn dual_star_ring(ring_nodes: usize, terminals_per_node: usize) -> Result<StarRing, NetError> {
     star_ring_impl(ring_nodes, terminals_per_node, true)
 }
 
@@ -319,9 +316,7 @@ impl StarRing {
         hops: usize,
     ) -> Result<Route, NetError> {
         if hops == 0 || hops >= self.ring.len() {
-            return Err(NetError::BadParameter(
-                "hops must be in 1..ring_len",
-            ));
+            return Err(NetError::BadParameter("hops must be in 1..ring_len"));
         }
         let mut links = vec![self.uplink(i, j)?];
         for k in 0..hops {
@@ -452,10 +447,7 @@ mod tests {
         assert_eq!(qps.len(), 3);
         assert_eq!(qps[0].0, sr.ring_nodes()[1]);
         assert_eq!(qps[2].0, sr.ring_nodes()[3]);
-        assert_eq!(
-            r.destination(sr.topology()).unwrap(),
-            sr.ring_nodes()[0]
-        );
+        assert_eq!(r.destination(sr.topology()).unwrap(), sr.ring_nodes()[0]);
         assert!(sr.ring_route_from_terminal(0, 0, 0).is_err());
         assert!(sr.ring_route_from_terminal(0, 0, 4).is_err());
     }

@@ -6,7 +6,6 @@ use core::fmt;
 ///
 /// [`Topology`]: crate::Topology
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -38,7 +37,6 @@ impl fmt::Display for NodeId {
 ///
 /// [`Topology`]: crate::Topology
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkId(pub(crate) u32);
 
 impl LinkId {

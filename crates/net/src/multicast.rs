@@ -45,7 +45,6 @@ use crate::{LinkId, NetError, NodeId, Topology};
 /// # Ok::<(), rtcac_net::NetError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MulticastTree {
     root: NodeId,
     links: Vec<LinkId>,
@@ -94,13 +93,10 @@ impl MulticastTree {
         }
         // The root: a tail that no tree link enters.
         let parent_of_tail = parent.clone();
-        let mut roots = tails
-            .iter()
-            .copied()
-            .filter(|n| !parent.contains_key(n));
-        let root = roots.next().ok_or(NetError::DisconnectedRoute {
-            at: links[0],
-        })?;
+        let mut roots = tails.iter().copied().filter(|n| !parent.contains_key(n));
+        let root = roots
+            .next()
+            .ok_or(NetError::DisconnectedRoute { at: links[0] })?;
         if roots.next().is_some() {
             return Err(NetError::DisconnectedRoute { at: links[0] });
         }
@@ -238,10 +234,7 @@ impl MulticastTree {
     /// # Errors
     ///
     /// Returns [`NetError::UnknownLink`] for a foreign topology.
-    pub fn leaf_paths(
-        &self,
-        topology: &Topology,
-    ) -> Result<Vec<(NodeId, Vec<LinkId>)>, NetError> {
+    pub fn leaf_paths(&self, topology: &Topology) -> Result<Vec<(NodeId, Vec<LinkId>)>, NetError> {
         let mut out = Vec::with_capacity(self.leaves.len());
         for &id in &self.links {
             let to = topology.link(id)?.to();
@@ -259,12 +252,7 @@ impl MulticastTree {
         self.links
             .iter()
             .copied()
-            .filter(|&id| {
-                topology
-                    .link(id)
-                    .map(|l| l.from() == node)
-                    .unwrap_or(false)
-            })
+            .filter(|&id| topology.link(id).map(|l| l.from() == node).unwrap_or(false))
             .collect()
     }
 }
@@ -301,9 +289,8 @@ mod tests {
         assert_eq!(tree.depth(links[3]), Some(3)); // db
         let qps = tree.queueing_points(&t).unwrap();
         assert_eq!(qps.len(), 4); // da, trunk, db, dc
-        // da and trunk have 0 upstream switch ports; db/dc have 1.
-        let upstream: BTreeMap<LinkId, usize> =
-            qps.iter().map(|&(_, l, u)| (l, u)).collect();
+                                  // da and trunk have 0 upstream switch ports; db/dc have 1.
+        let upstream: BTreeMap<LinkId, usize> = qps.iter().map(|&(_, l, u)| (l, u)).collect();
         assert_eq!(upstream[&links[1]], 0);
         assert_eq!(upstream[&links[2]], 0);
         assert_eq!(upstream[&links[3]], 1);

@@ -29,7 +29,6 @@ use crate::{LinkId, NetError, NodeId, Topology};
 /// # Ok::<(), rtcac_net::NetError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Route {
     links: Vec<LinkId>,
 }

@@ -6,7 +6,6 @@ use crate::{LinkId, NetError, NodeId};
 
 /// The role a node plays in the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeKind {
     /// A switching node with priority FIFO output queues; runs CAC.
     Switch,
@@ -17,7 +16,6 @@ pub enum NodeKind {
 
 /// A node of the topology.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Node {
     id: NodeId,
     name: String,
@@ -51,7 +49,6 @@ impl Node {
 /// Capacities are normalized to the reference link bandwidth of the
 /// network (1 = e.g. 155 Mbps in RTnet), matching the paper's units.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Link {
     id: LinkId,
     from: NodeId,
@@ -97,7 +94,6 @@ impl Link {
 /// # Ok::<(), rtcac_net::NetError>(())
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
@@ -191,9 +187,7 @@ impl Topology {
     /// Returns [`NetError::UnknownNode`] for an id from another
     /// topology.
     pub fn node(&self, id: NodeId) -> Result<&Node, NetError> {
-        self.nodes
-            .get(id.index())
-            .ok_or(NetError::UnknownNode(id))
+        self.nodes.get(id.index()).ok_or(NetError::UnknownNode(id))
     }
 
     /// Looks up a link.
@@ -203,9 +197,7 @@ impl Topology {
     /// Returns [`NetError::UnknownLink`] for an id from another
     /// topology.
     pub fn link(&self, id: LinkId) -> Result<&Link, NetError> {
-        self.links
-            .get(id.index())
-            .ok_or(NetError::UnknownLink(id))
+        self.links.get(id.index()).ok_or(NetError::UnknownLink(id))
     }
 
     /// The link from `from` to `to`, if one exists.
@@ -399,10 +391,7 @@ mod tests {
         let a = t.add_switch("a");
         let ghost = NodeId(99);
         assert_eq!(t.add_link(a, ghost), Err(NetError::UnknownNode(ghost)));
-        assert_eq!(
-            t.node(ghost).unwrap_err(),
-            NetError::UnknownNode(ghost)
-        );
+        assert_eq!(t.node(ghost).unwrap_err(), NetError::UnknownNode(ghost));
         assert_eq!(
             t.link(LinkId(0)).unwrap_err(),
             NetError::UnknownLink(LinkId(0))

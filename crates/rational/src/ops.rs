@@ -37,7 +37,8 @@ impl Mul for Ratio {
     ///
     /// Panics on `i128` overflow.
     fn mul(self, rhs: Ratio) -> Ratio {
-        self.checked_mul(rhs).expect("Ratio multiplication overflow")
+        self.checked_mul(rhs)
+            .expect("Ratio multiplication overflow")
     }
 }
 

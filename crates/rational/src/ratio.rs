@@ -48,7 +48,6 @@ impl std::error::Error for RatioError {}
 /// # Ok::<(), rtcac_rational::RatioError>(())
 /// ```
 #[derive(Clone, Copy)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ratio {
     num: i128,
     den: i128,
@@ -525,14 +524,8 @@ mod tests {
     fn min_max_clamp() {
         assert_eq!(ratio(1, 2).min(ratio(1, 3)), ratio(1, 3));
         assert_eq!(ratio(1, 2).max(ratio(1, 3)), ratio(1, 2));
-        assert_eq!(
-            ratio(5, 1).clamp(Ratio::ZERO, Ratio::ONE),
-            Ratio::ONE
-        );
-        assert_eq!(
-            ratio(-5, 1).clamp(Ratio::ZERO, Ratio::ONE),
-            Ratio::ZERO
-        );
+        assert_eq!(ratio(5, 1).clamp(Ratio::ZERO, Ratio::ONE), Ratio::ONE);
+        assert_eq!(ratio(-5, 1).clamp(Ratio::ZERO, Ratio::ONE), Ratio::ZERO);
     }
 
     #[test]

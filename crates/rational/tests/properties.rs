@@ -1,117 +1,194 @@
-//! Property-based tests for `rtcac-rational`.
+//! Randomized property tests for `rtcac-rational`.
+//!
+//! The registry is offline, so instead of proptest these run seeded
+//! loops over a local SplitMix64 generator: fully deterministic, no
+//! external dependencies, same laws checked.
 
-use proptest::prelude::*;
 use rtcac_rational::{isqrt_floor, ratio, sqrt_lower, sqrt_upper, Ratio};
 
+const CASES: u64 = 256;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `lo..=hi`.
+    fn range(&mut self, lo: i128, hi: i128) -> i128 {
+        let span = (hi - lo + 1) as u128;
+        lo + (u128::from(self.next()) % span) as i128
+    }
+}
+
 /// A ratio with bounded components so arithmetic chains never overflow.
-fn small_ratio() -> impl Strategy<Value = Ratio> {
-    (-1_000_000i128..=1_000_000, 1i128..=1_000_000).prop_map(|(n, d)| ratio(n, d))
+fn small_ratio(rng: &mut Rng) -> Ratio {
+    ratio(rng.range(-1_000_000, 1_000_000), rng.range(1, 1_000_000))
 }
 
-fn nonneg_ratio() -> impl Strategy<Value = Ratio> {
-    (0i128..=1_000_000, 1i128..=1_000_000).prop_map(|(n, d)| ratio(n, d))
+fn nonneg_ratio(rng: &mut Rng) -> Ratio {
+    ratio(rng.range(0, 1_000_000), rng.range(1, 1_000_000))
 }
 
-proptest! {
-    #[test]
-    fn construction_always_reduced(n in -10_000i128..=10_000, d in 1i128..=10_000) {
-        let r = ratio(n, d);
+#[test]
+fn construction_always_reduced() {
+    let mut rng = Rng(1);
+    for _ in 0..CASES {
+        let r = ratio(rng.range(-10_000, 10_000), rng.range(1, 10_000));
         let g = {
             let (mut a, mut b) = (r.numer().abs(), r.denom());
-            while b != 0 { let t = a % b; a = b; b = t; }
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
             a
         };
-        prop_assert!(r.denom() > 0);
-        prop_assert!(g == 1 || r.numer() == 0);
+        assert!(r.denom() > 0);
+        assert!(g == 1 || r.numer() == 0);
     }
+}
 
-    #[test]
-    fn add_commutative(a in small_ratio(), b in small_ratio()) {
-        prop_assert_eq!(a + b, b + a);
+#[test]
+fn add_commutative_and_associative() {
+    let mut rng = Rng(2);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            small_ratio(&mut rng),
+            small_ratio(&mut rng),
+            small_ratio(&mut rng),
+        );
+        assert_eq!(a + b, b + a);
+        assert_eq!((a + b) + c, a + (b + c));
     }
+}
 
-    #[test]
-    fn add_associative(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
-        prop_assert_eq!((a + b) + c, a + (b + c));
+#[test]
+fn mul_commutative_and_distributive() {
+    let mut rng = Rng(3);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            small_ratio(&mut rng),
+            small_ratio(&mut rng),
+            small_ratio(&mut rng),
+        );
+        assert_eq!(a * b, b * a);
+        assert_eq!(a * (b + c), a * b + a * c);
     }
+}
 
-    #[test]
-    fn mul_commutative(a in small_ratio(), b in small_ratio()) {
-        prop_assert_eq!(a * b, b * a);
+#[test]
+fn sub_inverts_add() {
+    let mut rng = Rng(4);
+    for _ in 0..CASES {
+        let (a, b) = (small_ratio(&mut rng), small_ratio(&mut rng));
+        assert_eq!((a + b) - b, a);
     }
+}
 
-    #[test]
-    fn mul_distributes_over_add(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
-        prop_assert_eq!(a * (b + c), a * b + a * c);
+#[test]
+fn div_inverts_mul() {
+    let mut rng = Rng(5);
+    for _ in 0..CASES {
+        let a = small_ratio(&mut rng);
+        let b = small_ratio(&mut rng);
+        if b.is_zero() {
+            continue;
+        }
+        assert_eq!((a * b) / b, a);
     }
+}
 
-    #[test]
-    fn sub_inverts_add(a in small_ratio(), b in small_ratio()) {
-        prop_assert_eq!((a + b) - b, a);
-    }
-
-    #[test]
-    fn div_inverts_mul(a in small_ratio(), b in small_ratio()) {
-        prop_assume!(!b.is_zero());
-        prop_assert_eq!((a * b) / b, a);
-    }
-
-    #[test]
-    fn ordering_consistent_with_f64(a in small_ratio(), b in small_ratio()) {
+#[test]
+fn ordering_consistent_with_f64() {
+    let mut rng = Rng(6);
+    for _ in 0..CASES {
+        let (a, b) = (small_ratio(&mut rng), small_ratio(&mut rng));
         // f64 comparison may tie for distinct close rationals but must
         // never reverse a strict rational ordering.
         if a < b {
-            prop_assert!(a.to_f64() <= b.to_f64());
+            assert!(a.to_f64() <= b.to_f64());
         } else if a > b {
-            prop_assert!(a.to_f64() >= b.to_f64());
+            assert!(a.to_f64() >= b.to_f64());
         } else {
-            prop_assert_eq!(a.to_f64(), b.to_f64());
+            assert_eq!(a.to_f64(), b.to_f64());
         }
     }
+}
 
-    #[test]
-    fn ordering_transitive(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
-        let mut v = [a, b, c];
+#[test]
+fn ordering_transitive() {
+    let mut rng = Rng(7);
+    for _ in 0..CASES {
+        let mut v = [
+            small_ratio(&mut rng),
+            small_ratio(&mut rng),
+            small_ratio(&mut rng),
+        ];
         v.sort();
-        prop_assert!(v[0] <= v[1] && v[1] <= v[2]);
-        prop_assert!(v[0] <= v[2]);
+        assert!(v[0] <= v[1] && v[1] <= v[2]);
+        assert!(v[0] <= v[2]);
     }
+}
 
-    #[test]
-    fn floor_ceil_bracket(a in small_ratio()) {
+#[test]
+fn floor_ceil_bracket() {
+    let mut rng = Rng(8);
+    for _ in 0..CASES {
+        let a = small_ratio(&mut rng);
         let f = a.floor();
         let c = a.ceil();
-        prop_assert!(Ratio::from_integer(f) <= a);
-        prop_assert!(a <= Ratio::from_integer(c));
-        prop_assert!(c - f <= 1);
+        assert!(Ratio::from_integer(f) <= a);
+        assert!(a <= Ratio::from_integer(c));
+        assert!(c - f <= 1);
     }
+}
 
-    #[test]
-    fn display_parse_roundtrip(a in small_ratio()) {
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = Rng(9);
+    for _ in 0..CASES {
+        let a = small_ratio(&mut rng);
         let s = a.to_string();
-        prop_assert_eq!(s.parse::<Ratio>().unwrap(), a);
+        assert_eq!(s.parse::<Ratio>().unwrap(), a);
     }
+}
 
-    #[test]
-    fn isqrt_is_floor_sqrt(n in 0i128..=1_000_000_000_000) {
+#[test]
+fn isqrt_is_floor_sqrt() {
+    let mut rng = Rng(10);
+    for _ in 0..CASES {
+        let n = rng.range(0, 1_000_000_000_000);
         let r = isqrt_floor(n);
-        prop_assert!(r * r <= n);
-        prop_assert!((r + 1) * (r + 1) > n);
+        assert!(r * r <= n);
+        assert!((r + 1) * (r + 1) > n);
     }
+}
 
-    #[test]
-    fn sqrt_bounds_bracket(x in nonneg_ratio()) {
+#[test]
+fn sqrt_bounds_bracket() {
+    let mut rng = Rng(11);
+    for _ in 0..CASES {
+        let x = nonneg_ratio(&mut rng);
         let u = sqrt_upper(x, 1_000_000).unwrap();
         let l = sqrt_lower(x, 1_000_000).unwrap();
-        prop_assert!(u * u >= x);
-        prop_assert!(l * l <= x);
-        prop_assert!(l <= u);
+        assert!(u * u >= x);
+        assert!(l * l <= x);
+        assert!(l <= u);
     }
+}
 
-    #[test]
-    fn approx_f64_within_tolerance(n in -1_000i128..=1_000, d in 1i128..=1_000) {
-        let truth = ratio(n, d);
+#[test]
+fn approx_f64_within_tolerance() {
+    let mut rng = Rng(12);
+    for _ in 0..CASES {
+        let truth = ratio(rng.range(-1_000, 1_000), rng.range(1, 1_000));
         let approx = Ratio::approx_f64(truth.to_f64(), 1_000_000).unwrap();
-        prop_assert!((approx - truth).abs() <= ratio(1, 100_000));
+        assert!((approx - truth).abs() <= ratio(1, 100_000));
     }
 }

@@ -205,14 +205,11 @@ impl RingAnalysis {
         let bound = self.hop_bound(priority)?;
         match self.cdv_mode {
             CdvMode::None => Ok(Time::ZERO),
-            CdvMode::Hard => {
-                Ok(Time::new(bound.as_ratio() * rtcac_rational::ratio(m as i128, 1)))
-            }
+            CdvMode::Hard => Ok(Time::new(
+                bound.as_ratio() * rtcac_rational::ratio(m as i128, 1),
+            )),
             CdvMode::SoftSqrt => {
-                let root = sqrt_upper(
-                    rtcac_rational::ratio(m as i128, 1),
-                    SQRT_PRECISION,
-                )?;
+                let root = sqrt_upper(rtcac_rational::ratio(m as i128, 1), SQRT_PRECISION)?;
                 // The square-root estimate can never exceed the hard
                 // sum; clamp away the upward rounding of the root.
                 let hard = bound.as_ratio() * rtcac_rational::ratio(m as i128, 1);
@@ -364,10 +361,7 @@ impl RingAnalysis {
         let bounds = self.port_bounds(priority)?;
         let mut worst = Time::ZERO;
         for start in 0..self.ring_nodes {
-            if self.node_sources[start]
-                .iter()
-                .all(|(_, p)| *p != priority)
-            {
+            if self.node_sources[start].iter().all(|(_, p)| *p != priority) {
                 continue;
             }
             let total: Time = (0..self.span)
@@ -379,9 +373,7 @@ impl RingAnalysis {
     }
 
     fn is_symmetric(&self) -> bool {
-        self.node_sources
-            .windows(2)
-            .all(|w| w[0] == w[1])
+        self.node_sources.windows(2).all(|w| w[0] == w[1])
     }
 
     fn check_port(&self, port: usize) -> Result<(), RtnetError> {
@@ -463,10 +455,7 @@ mod tests {
         let a = RingAnalysis::new(8, bounds32(), CdvMode::Hard).unwrap();
         assert!(a.admissible().unwrap());
         assert_eq!(a.port_bound(0, Priority::HIGHEST).unwrap(), Time::ZERO);
-        assert_eq!(
-            a.end_to_end_bound(Priority::HIGHEST).unwrap(),
-            Time::ZERO
-        );
+        assert_eq!(a.end_to_end_bound(Priority::HIGHEST).unwrap(), Time::ZERO);
     }
 
     #[test]
@@ -481,10 +470,7 @@ mod tests {
         assert!(bounds.windows(2).all(|w| w[0] == w[1]));
         // End to end = span * per-hop.
         let e2e = a.end_to_end_bound(Priority::HIGHEST).unwrap();
-        assert_eq!(
-            e2e.as_ratio(),
-            bounds[0].as_ratio() * ratio(7, 1)
-        );
+        assert_eq!(e2e.as_ratio(), bounds[0].as_ratio() * ratio(7, 1));
     }
 
     #[test]
@@ -514,7 +500,9 @@ mod tests {
             }
             a
         };
-        let hard = make(CdvMode::Hard).port_bound(0, Priority::HIGHEST).unwrap();
+        let hard = make(CdvMode::Hard)
+            .port_bound(0, Priority::HIGHEST)
+            .unwrap();
         let soft = make(CdvMode::SoftSqrt)
             .port_bound(0, Priority::HIGHEST)
             .unwrap();

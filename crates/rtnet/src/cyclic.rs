@@ -129,7 +129,10 @@ mod tests {
         assert_eq!(HIGH_SPEED.period_ms(), 1);
         assert_eq!(MEDIUM_SPEED.delay_ms(), 30);
         assert_eq!(LOW_SPEED.memory_kb(), 128);
-        assert_eq!(HIGH_SPEED.delay_cells(), rtcac_bitstream::Time::from_integer(370));
+        assert_eq!(
+            HIGH_SPEED.delay_cells(),
+            rtcac_bitstream::Time::from_integer(370)
+        );
         assert_eq!(ALL_CLASSES.len(), 3);
         assert_eq!(HIGH_SPEED.name(), "high speed");
     }

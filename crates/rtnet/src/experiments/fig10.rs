@@ -169,10 +169,7 @@ mod tests {
         }
         let n16 = &fig.series[1];
         let max16 = n16.max_admissible_load.to_f64();
-        assert!(
-            (0.25..=0.55).contains(&max16),
-            "N=16 supports {max16:.2}"
-        );
+        assert!((0.25..=0.55).contains(&max16), "N=16 supports {max16:.2}");
     }
 
     #[test]

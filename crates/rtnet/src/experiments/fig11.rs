@@ -75,14 +75,19 @@ pub fn run(params: Params) -> Result<Fig11, RtnetError> {
         for step in 0..=params.share_steps {
             let share = ratio(step as i128, params.share_steps as i128);
             let max_load = max_admissible_load(
-                asymmetric_admissible(params.ring_nodes, n, share, CdvMode::Hard, PrioritySplit::SingleLevel),
+                asymmetric_admissible(
+                    params.ring_nodes,
+                    n,
+                    share,
+                    CdvMode::Hard,
+                    PrioritySplit::SingleLevel,
+                ),
                 params.search_iters,
             )?;
             points.push(Point {
                 share,
                 max_load,
-                max_load_mbps: units::rate_to_mbps(rtcac_bitstream::Rate::new(max_load))
-                    .to_f64(),
+                max_load_mbps: units::rate_to_mbps(rtcac_bitstream::Rate::new(max_load)).to_f64(),
             });
         }
         series.push(Series {

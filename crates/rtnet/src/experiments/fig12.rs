@@ -145,10 +145,7 @@ mod tests {
         // low-priority queue must buy extra capacity at least at low
         // asymmetry.
         let fig = run(quick()).unwrap();
-        let gained = fig
-            .points
-            .iter()
-            .any(|p| p.two_priorities > p.one_priority);
+        let gained = fig.points.iter().any(|p| p.two_priorities > p.one_priority);
         assert!(gained, "two priorities never helped: {:?}", fig.points);
     }
 

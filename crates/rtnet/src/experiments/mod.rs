@@ -22,8 +22,8 @@ pub mod table1;
 
 use rtcac_rational::{ratio, Ratio};
 
-use crate::{workload, RtnetError};
 pub use crate::workload::PrioritySplit;
+use crate::{workload, RtnetError};
 
 /// Binary-searches the largest admissible total load in `[0, 1]` for a
 /// workload family, to a resolution of `1/2^iterations`.
@@ -63,8 +63,7 @@ pub(crate) fn asymmetric_admissible(
         if !load.is_positive() {
             return Ok(true);
         }
-        workload::asymmetric_with(ring_nodes, terminals, load, big_share, mode, split)?
-            .admissible()
+        workload::asymmetric_with(ring_nodes, terminals, load, big_share, mode, split)?.admissible()
     }
 }
 

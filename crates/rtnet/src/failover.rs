@@ -128,10 +128,7 @@ pub fn reestablish(
             .into_iter()
             .flatten()
         {
-            match network
-                .setup(route, request)
-                .map_err(signal_to_rtnet)?
-            {
+            match network.setup(route, request).map_err(signal_to_rtnet)? {
                 SetupOutcome::Connected(info) => ids.push(info.id()),
                 SetupOutcome::Rejected(_) => {
                     ok = false;
@@ -214,9 +211,7 @@ mod tests {
                 let mut reached = std::collections::BTreeSet::new();
                 for route in [&b.forward, &b.backward].into_iter().flatten() {
                     for node in route.nodes(sr.topology()).unwrap() {
-                        if let Some(pos) =
-                            sr.ring_nodes().iter().position(|&r| r == node)
-                        {
+                        if let Some(pos) = sr.ring_nodes().iter().position(|&r| r == node) {
                             reached.insert(pos);
                         }
                     }
@@ -266,8 +261,7 @@ mod tests {
     fn reestablish_light_load_survives() {
         let sr = builders::dual_star_ring(5, 1).unwrap();
         let config = SwitchConfig::uniform(1, Time::from_integer(32)).unwrap();
-        let mut network =
-            Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
+        let mut network = Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
         let sources: Vec<(usize, usize)> = (0..5).map(|n| (n, 0)).collect();
         let report = reestablish(&mut network, &sr, 2, &sources, request(50)).unwrap();
         assert_eq!(report.reestablished, 5);
@@ -281,8 +275,7 @@ mod tests {
     fn reestablish_heavy_load_loses_broadcasts() {
         let sr = builders::dual_star_ring(5, 1).unwrap();
         let config = SwitchConfig::uniform(1, Time::from_integer(8)).unwrap();
-        let mut network =
-            Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
+        let mut network = Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
         let sources: Vec<(usize, usize)> = (0..5).map(|n| (n, 0)).collect();
         let report = reestablish(&mut network, &sr, 0, &sources, request(4)).unwrap();
         assert!(report.lost > 0, "{report:?}");

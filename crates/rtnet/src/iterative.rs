@@ -66,9 +66,7 @@ pub fn symmetric_fixed_point(
     let mut converged = false;
     while iterations < max_iterations {
         iterations += 1;
-        let next = ceil_to_grid(bound_with_hop_cdv(
-            ring_nodes, terminals, load, current,
-        )?);
+        let next = ceil_to_grid(bound_with_hop_cdv(ring_nodes, terminals, load, current)?);
         if next == current {
             converged = true;
             break;

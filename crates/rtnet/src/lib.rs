@@ -48,8 +48,8 @@
 
 mod analysis;
 pub mod cyclic;
-pub mod failover;
 pub mod experiments;
+pub mod failover;
 pub mod iterative;
 pub mod units;
 pub mod workload;

@@ -191,10 +191,7 @@ fn build(
 }
 
 fn cbr_stream(pcr: Ratio) -> Result<rtcac_bitstream::BitStream, RtnetError> {
-    Ok(
-        TrafficContract::cbr(CbrParams::new(Rate::new(pcr))?)
-            .worst_case_stream(),
-    )
+    Ok(TrafficContract::cbr(CbrParams::new(Rate::new(pcr))?).worst_case_stream())
 }
 
 #[cfg(test)]
@@ -254,9 +251,6 @@ mod tests {
         // construction; both must agree on admissibility.
         let sym = symmetric(16, 1, ratio(1, 2)).unwrap();
         let asym = asymmetric(16, 1, ratio(1, 2), ratio(1, 16)).unwrap();
-        assert_eq!(
-            sym.admissible().unwrap(),
-            asym.admissible().unwrap()
-        );
+        assert_eq!(sym.admissible().unwrap(), asym.admissible().unwrap());
     }
 }

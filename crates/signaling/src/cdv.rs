@@ -61,8 +61,7 @@ impl CdvPolicy {
                     let sq = r.checked_mul(r).ok_or(SignalError::Numeric)?;
                     sum_sq = sum_sq.checked_add(sq).ok_or(SignalError::Numeric)?;
                 }
-                let root =
-                    sqrt_upper(sum_sq, SQRT_PRECISION).map_err(|_| SignalError::Numeric)?;
+                let root = sqrt_upper(sum_sq, SQRT_PRECISION).map_err(|_| SignalError::Numeric)?;
                 Ok(Time::new(root))
             }
         }

@@ -68,5 +68,5 @@ pub use cdv::CdvPolicy;
 pub use error::SignalError;
 pub use message::{SetupRejection, SignalEvent};
 pub use multicast::{MulticastInfo, MulticastOutcome};
-pub use network::{ConnectionInfo, Network, SetupOutcome, SetupRequest};
+pub use network::{ConnectionInfo, Network, SetupOutcome, SetupRequest, LOCAL_INJECTION};
 pub use server::{CacServer, ServerStats};

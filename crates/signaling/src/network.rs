@@ -14,7 +14,11 @@ use crate::{CdvPolicy, SetupRejection, SignalError, SignalEvent};
 /// Identifier used as the "incoming link" when a route originates at a
 /// switch itself (local traffic injection; no physical incoming link
 /// exists).
-pub(crate) const LOCAL_INJECTION: LinkId = LinkId::external(u32::MAX);
+///
+/// Public so that alternative setup drivers (e.g. the concurrent
+/// `rtcac-engine`) produce bit-identical [`ConnectionRequest`]s and
+/// therefore identical admission decisions.
+pub const LOCAL_INJECTION: LinkId = LinkId::external(u32::MAX);
 
 /// The connection parameters carried in a SETUP message: traffic
 /// contract, priority, and the requested end-to-end queueing delay
@@ -180,7 +184,9 @@ impl Network {
     ///
     /// Returns [`SignalError::NoSwitchAt`] for non-switch nodes.
     pub fn switch(&self, node: NodeId) -> Result<&Switch, SignalError> {
-        self.switches.get(&node).ok_or(SignalError::NoSwitchAt(node))
+        self.switches
+            .get(&node)
+            .ok_or(SignalError::NoSwitchAt(node))
     }
 
     /// The recorded signaling trace.
@@ -199,9 +205,7 @@ impl Network {
     }
 
     /// Established multicast connections.
-    pub fn multicast_connections(
-        &self,
-    ) -> impl Iterator<Item = &crate::MulticastInfo> + '_ {
+    pub fn multicast_connections(&self) -> impl Iterator<Item = &crate::MulticastInfo> + '_ {
         self.multicast.values()
     }
 
@@ -230,10 +234,7 @@ impl Network {
         self.multicast.insert(info.id(), info);
     }
 
-    pub(crate) fn remove_multicast(
-        &mut self,
-        id: ConnectionId,
-    ) -> Option<crate::MulticastInfo> {
+    pub(crate) fn remove_multicast(&mut self, id: ConnectionId) -> Option<crate::MulticastInfo> {
         self.multicast.remove(&id)
     }
 
@@ -473,8 +474,7 @@ mod tests {
         // reservation.
         let mut rejected = false;
         for _ in 0..5 {
-            let req =
-                SetupRequest::new(cbr(2, 5), Priority::HIGHEST, Time::from_integer(100_000));
+            let req = SetupRequest::new(cbr(2, 5), Priority::HIGHEST, Time::from_integer(100_000));
             match net.setup(&route, req).unwrap() {
                 SetupOutcome::Connected(_) => {}
                 SetupOutcome::Rejected(SetupRejection::Switch { .. }) => {
@@ -529,11 +529,7 @@ mod tests {
             .collect();
         assert_eq!(
             cdvs,
-            vec![
-                Time::ZERO,
-                Time::from_integer(32),
-                Time::from_integer(64)
-            ]
+            vec![Time::ZERO, Time::from_integer(32), Time::from_integer(64)]
         );
     }
 
@@ -608,7 +604,10 @@ mod tests {
         assert!(net.configure_switch(node, deeper).is_err());
         // Unknown node.
         assert!(matches!(
-            net.configure_switch(NodeId::external(999), SwitchConfig::uniform(1, Time::ONE).unwrap()),
+            net.configure_switch(
+                NodeId::external(999),
+                SwitchConfig::uniform(1, Time::ONE).unwrap()
+            ),
             Err(SignalError::NoSwitchAt(_))
         ));
     }

@@ -128,11 +128,7 @@ mod tests {
     fn server() -> (CacServer, Route) {
         let (topology, src, sw, dst) = builders::line(2).unwrap();
         let config = SwitchConfig::uniform(1, Time::from_integer(32)).unwrap();
-        let route = Route::from_nodes(
-            &topology,
-            [src, sw[0], sw[1], dst],
-        )
-        .unwrap();
+        let route = Route::from_nodes(&topology, [src, sw[0], sw[1], dst]).unwrap();
         (
             CacServer::new(Network::new(topology, config, CdvPolicy::Hard)),
             route,

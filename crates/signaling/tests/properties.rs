@@ -1,14 +1,34 @@
-//! Property-based tests for the signaling layer: arbitrary interleaved
-//! setup/teardown sequences keep the distributed reservation state
-//! coherent.
+//! Randomized property tests for the signaling layer: arbitrary
+//! interleaved setup/teardown sequences keep the distributed
+//! reservation state coherent.
+//!
+//! The registry is offline, so instead of proptest these run seeded
+//! loops over a local SplitMix64 generator.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use rtcac_bitstream::{Rate, Time, TrafficContract, VbrParams};
 use rtcac_cac::{ConnectionId, Priority, SwitchConfig};
 use rtcac_net::{builders, Route};
 use rtcac_rational::ratio;
 use rtcac_signaling::{CdvPolicy, Network, SetupOutcome, SetupRequest};
+
+const CASES: u64 = 48;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: i128, hi: i128) -> i128 {
+        let span = (hi - lo + 1) as u128;
+        lo + (u128::from(self.next()) % span) as i128
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -21,18 +41,23 @@ enum Op {
     Teardown(usize),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        2 => (3i128..=20, 0i128..=40, 1u64..=6, 0u8..=2).prop_map(
-            |(pcr_den, scr_extra, mbs, route_choice)| Op::Setup {
-                pcr_den,
-                scr_extra,
-                mbs,
-                route_choice,
-            }
-        ),
-        1 => (0usize..12).prop_map(Op::Teardown),
-    ]
+fn arb_op(rng: &mut Rng) -> Op {
+    // 2:1 setup-to-teardown ratio, mirroring the original strategy.
+    if rng.range(0, 2) < 2 {
+        Op::Setup {
+            pcr_den: rng.range(3, 20),
+            scr_extra: rng.range(0, 40),
+            mbs: rng.range(1, 6) as u64,
+            route_choice: rng.range(0, 2) as u8,
+        }
+    } else {
+        Op::Teardown(rng.range(0, 11) as usize)
+    }
+}
+
+fn arb_ops(rng: &mut Rng, max_len: usize) -> Vec<Op> {
+    let len = rng.range(1, max_len as i128) as usize;
+    (0..len).map(|_| arb_op(rng)).collect()
 }
 
 /// A Y-shaped test network with three distinct routes.
@@ -69,23 +94,29 @@ fn request_of(pcr_den: i128, scr_extra: i128, mbs: u64) -> SetupRequest {
     SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(10_000))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Reservation coherence: at any moment, each switch holds exactly
-    /// the connections whose routes cross it — no orphans, no leaks.
-    #[test]
-    fn reservations_match_established_routes(ops in vec(arb_op(), 1..30)) {
-        let Fixture { mut network, routes } = fixture();
+/// Reservation coherence: at any moment, each switch holds exactly the
+/// connections whose routes cross it — no orphans, no leaks.
+#[test]
+fn reservations_match_established_routes() {
+    let mut rng = Rng(301);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng, 29);
+        let Fixture {
+            mut network,
+            routes,
+        } = fixture();
         let mut live: Vec<(ConnectionId, usize)> = Vec::new();
         for op in &ops {
             match op {
-                Op::Setup { pcr_den, scr_extra, mbs, route_choice } => {
+                Op::Setup {
+                    pcr_den,
+                    scr_extra,
+                    mbs,
+                    route_choice,
+                } => {
                     let route = &routes[*route_choice as usize % routes.len()];
                     let req = request_of(*pcr_den, *scr_extra, *mbs);
-                    if let SetupOutcome::Connected(info) =
-                        network.setup(route, req).unwrap()
-                    {
+                    if let SetupOutcome::Connected(info) = network.setup(route, req).unwrap() {
                         live.push((info.id(), *route_choice as usize % routes.len()));
                     }
                 }
@@ -108,26 +139,36 @@ proptest! {
                     })
                     .count();
                 let actual = network.switch(node).unwrap().connection_count();
-                prop_assert_eq!(actual, expected, "at node {}", node);
+                assert_eq!(actual, expected, "at node {node}");
             }
         }
-        prop_assert_eq!(network.connections().count(), live.len());
+        assert_eq!(network.connections().count(), live.len());
     }
+}
 
-    /// The computed bound at every port never exceeds the advertised
-    /// bound, across the whole operation sequence.
-    #[test]
-    fn advertised_bounds_hold_throughout(ops in vec(arb_op(), 1..25)) {
-        let Fixture { mut network, routes } = fixture();
+/// The computed bound at every port never exceeds the advertised bound,
+/// across the whole operation sequence.
+#[test]
+fn advertised_bounds_hold_throughout() {
+    let mut rng = Rng(302);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng, 24);
+        let Fixture {
+            mut network,
+            routes,
+        } = fixture();
         let mut live: Vec<ConnectionId> = Vec::new();
         for op in &ops {
             match op {
-                Op::Setup { pcr_den, scr_extra, mbs, route_choice } => {
+                Op::Setup {
+                    pcr_den,
+                    scr_extra,
+                    mbs,
+                    route_choice,
+                } => {
                     let route = &routes[*route_choice as usize % routes.len()];
                     let req = request_of(*pcr_den, *scr_extra, *mbs);
-                    if let SetupOutcome::Connected(info) =
-                        network.setup(route, req).unwrap()
-                    {
+                    if let SetupOutcome::Connected(info) = network.setup(route, req).unwrap() {
                         live.push(info.id());
                     }
                 }
@@ -141,40 +182,39 @@ proptest! {
             for node in network.topology().switches().map(|n| n.id()) {
                 let switch = network.switch(node).unwrap();
                 for link in switch.active_out_links() {
-                    let bound = switch
-                        .computed_bound(link, Priority::HIGHEST)
-                        .unwrap();
-                    prop_assert!(
+                    let bound = switch.computed_bound(link, Priority::HIGHEST).unwrap();
+                    assert!(
                         bound <= Time::from_integer(48),
-                        "port {} bound {} exceeds advertised 48",
-                        link,
-                        bound
+                        "port {link} bound {bound} exceeds advertised 48"
                     );
                 }
             }
         }
     }
+}
 
-    /// Setting up and immediately tearing down is invisible: a third
-    /// connection's admission outcome is unchanged.
-    #[test]
-    fn transient_connections_leave_no_trace(
-        pcr_den in 3i128..=20,
-        probe_den in 3i128..=20,
-    ) {
-        let Fixture { mut network, routes } = fixture();
+/// Setting up and immediately tearing down is invisible: a third
+/// connection's admission outcome is unchanged.
+#[test]
+fn transient_connections_leave_no_trace() {
+    let mut rng = Rng(303);
+    for _ in 0..CASES {
+        let pcr_den = rng.range(3, 20);
+        let probe_den = rng.range(3, 20);
+        let Fixture {
+            mut network,
+            routes,
+        } = fixture();
         let probe = request_of(probe_den, 5, 2);
         // Outcome without the transient.
         let mut reference = network.clone();
         let ref_outcome = reference.setup(&routes[2], probe).unwrap().is_connected();
         // With a transient connection set up and torn down first.
         let transient = request_of(pcr_den, 3, 4);
-        if let SetupOutcome::Connected(info) =
-            network.setup(&routes[1], transient).unwrap()
-        {
+        if let SetupOutcome::Connected(info) = network.setup(&routes[1], transient).unwrap() {
             network.teardown(info.id()).unwrap();
         }
         let outcome = network.setup(&routes[2], probe).unwrap().is_connected();
-        prop_assert_eq!(outcome, ref_outcome);
+        assert_eq!(outcome, ref_outcome);
     }
 }

@@ -2,14 +2,13 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rtcac_bitstream::TrafficContract;
 use rtcac_cac::{ConnectionId, Priority};
 use rtcac_net::{LinkId, MulticastTree, NodeId, Route, Topology};
 use rtcac_signaling::Network;
 
 use crate::queue::QueuedCell;
+use crate::rng::SimRng;
 use crate::stats::{ConnectionStats, PortStats};
 use crate::{PriorityFifo, ShapedSource, SimError, SimReport, TrafficPattern};
 
@@ -202,8 +201,7 @@ impl Simulation {
             next.entry(from).or_default().push(l);
         }
         for (&node, outs) in &next {
-            if node != tree.root() && !outs.is_empty() && !self.node_is_switch[node.index()]
-            {
+            if node != tree.root() && !outs.is_empty() && !self.node_is_switch[node.index()] {
                 return Err(SimError::ForwardThroughEndSystem(node));
             }
         }
@@ -233,7 +231,7 @@ impl Simulation {
             .collect();
         let mut ports: BTreeMap<LinkId, PriorityFifo> = BTreeMap::new();
         let mut arrivals: BTreeMap<u64, Vec<Arrival>> = BTreeMap::new();
-        let mut jitter_rng = self.jitter.map(|j| StdRng::seed_from_u64(j.seed));
+        let mut jitter_rng = self.jitter.map(|j| SimRng::seed_from_u64(j.seed));
         // Earliest slot each link may next deliver a cell at, so that
         // jitter never reorders cells or exceeds one cell per slot.
         let mut link_free: BTreeMap<LinkId, u64> = BTreeMap::new();
@@ -251,8 +249,7 @@ impl Simulation {
             if let Some(batch) = arrivals.remove(&now) {
                 for arrival in batch {
                     let conn = &self.connections[&arrival.connection];
-                    let next_links: Vec<(LinkId, Via)> = match (&conn.forwarding, arrival.via)
-                    {
+                    let next_links: Vec<(LinkId, Via)> = match (&conn.forwarding, arrival.via) {
                         (Forwarding::Path(route), Via::Hop(k)) => {
                             if k == route.len() {
                                 Vec::new()
@@ -263,9 +260,7 @@ impl Simulation {
                         (Forwarding::Tree { next, .. }, Via::Link(l)) => {
                             let node = self.link_to[l.index()];
                             next.get(&node)
-                                .map(|outs| {
-                                    outs.iter().map(|&o| (o, Via::Link(o))).collect()
-                                })
+                                .map(|outs| outs.iter().map(|&o| (o, Via::Link(o))).collect())
                                 .unwrap_or_default()
                         }
                         _ => unreachable!("forwarding kind matches arrival kind"),
@@ -353,7 +348,7 @@ impl Simulation {
                             .map(|n| self.node_is_switch[n.index()])
                             .unwrap_or(false);
                         if from_is_switch {
-                            arrive += rng.gen_range(0..=j.max_slots);
+                            arrive += rng.gen_below(j.max_slots + 1);
                         }
                     }
                     let free = link_free.entry(link).or_insert(0);
@@ -391,8 +386,7 @@ impl Simulation {
             }
         }
         for stats in conn_stats.values_mut() {
-            stats.in_flight =
-                stats.emitted + stats.duplicated - stats.delivered - stats.dropped;
+            stats.in_flight = stats.emitted + stats.duplicated - stats.delivered - stats.dropped;
         }
 
         SimReport {

@@ -61,6 +61,7 @@
 mod engine;
 mod error;
 mod queue;
+mod rng;
 mod shaper;
 mod source;
 mod stats;
@@ -68,6 +69,7 @@ mod stats;
 pub use engine::Simulation;
 pub use error::SimError;
 pub use queue::PriorityFifo;
+pub use rng::SimRng;
 pub use shaper::Shaper;
 pub use source::{ShapedSource, TrafficPattern};
 pub use stats::{ConnectionStats, PortStats, SimReport};

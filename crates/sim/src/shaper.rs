@@ -171,8 +171,7 @@ mod tests {
                 if shaper.try_send(t) {
                     count += 1;
                 }
-                let bound =
-                    envelope.cumulative(rtcac_bitstream::Time::from_integer(t as i128 + 1));
+                let bound = envelope.cumulative(rtcac_bitstream::Time::from_integer(t as i128 + 1));
                 assert!(
                     rtcac_bitstream::Cells::from_integer(count) <= bound,
                     "slot {t}: {count} cells exceeds envelope {bound} for {contract:?}"

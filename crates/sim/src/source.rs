@@ -1,9 +1,8 @@
 //! Traffic sources: patterns gated by the contract [`Shaper`].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rtcac_bitstream::TrafficContract;
 
+use crate::rng::SimRng;
 use crate::Shaper;
 
 /// How a source *wants* to emit; the [`Shaper`] decides what it *may*
@@ -40,11 +39,10 @@ pub struct ShapedSource {
 }
 
 #[derive(Debug, Clone)]
-#[allow(clippy::large_enum_variant)] // StdRng dominates; sources are few
 enum PatternState {
     Greedy,
     Periodic { period: u64, phase: u64 },
-    Random { p_percent: u8, rng: StdRng },
+    Random { p_percent: u8, rng: SimRng },
 }
 
 impl ShapedSource {
@@ -58,7 +56,7 @@ impl ShapedSource {
             },
             TrafficPattern::Random { p_percent, seed } => PatternState::Random {
                 p_percent: p_percent.min(100),
-                rng: StdRng::seed_from_u64(seed),
+                rng: SimRng::seed_from_u64(seed),
             },
         };
         ShapedSource {
@@ -75,9 +73,7 @@ impl ShapedSource {
             PatternState::Periodic { period, phase } => {
                 slot >= *phase && (slot - *phase).is_multiple_of(*period)
             }
-            PatternState::Random { p_percent, rng } => {
-                rng.gen_range(0u32..100) < u32::from(*p_percent)
-            }
+            PatternState::Random { p_percent, rng } => rng.gen_below(100) < u64::from(*p_percent),
         };
         wants && self.shaper.try_send(slot)
     }

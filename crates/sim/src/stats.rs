@@ -135,9 +135,7 @@ impl SimReport {
     }
 
     /// All per-connection measurements.
-    pub fn connections(
-        &self,
-    ) -> impl Iterator<Item = (&ConnectionId, &ConnectionStats)> + '_ {
+    pub fn connections(&self) -> impl Iterator<Item = (&ConnectionId, &ConnectionStats)> + '_ {
         self.connections.iter()
     }
 

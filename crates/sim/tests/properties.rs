@@ -1,12 +1,30 @@
-//! Property-based tests for the cell-level simulator.
+//! Randomized property tests for the cell-level simulator.
+//!
+//! The registry is offline, so instead of proptest these run seeded
+//! loops over a local SplitMix64 generator.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use rtcac_bitstream::{Rate, TrafficContract, VbrParams};
 use rtcac_cac::{ConnectionId, Priority};
 use rtcac_net::{Route, Topology};
 use rtcac_rational::ratio;
 use rtcac_sim::{Simulation, TrafficPattern};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: i128, hi: i128) -> i128 {
+        let span = (hi - lo + 1) as u128;
+        lo + (u128::from(self.next()) % span) as i128
+    }
+}
 
 #[derive(Debug, Clone)]
 struct ConnSpec {
@@ -18,17 +36,20 @@ struct ConnSpec {
     seed: u64,
 }
 
-fn arb_conn() -> impl Strategy<Value = ConnSpec> {
-    (2i128..=16, 0i128..=48, 1u64..=8, 0u8..=1, 0u8..=2, 0u64..=u64::MAX).prop_map(
-        |(pcr_den, scr_extra, mbs, priority, pattern, seed)| ConnSpec {
-            pcr_den,
-            scr_extra,
-            mbs,
-            priority,
-            pattern,
-            seed,
-        },
-    )
+fn arb_conn(rng: &mut Rng) -> ConnSpec {
+    ConnSpec {
+        pcr_den: rng.range(2, 16),
+        scr_extra: rng.range(0, 48),
+        mbs: rng.range(1, 8) as u64,
+        priority: rng.range(0, 1) as u8,
+        pattern: rng.range(0, 2) as u8,
+        seed: rng.next(),
+    }
+}
+
+fn arb_conns(rng: &mut Rng, max_len: usize) -> Vec<ConnSpec> {
+    let len = rng.range(1, max_len as i128) as usize;
+    (0..len).map(|_| arb_conn(rng)).collect()
 }
 
 fn contract(spec: &ConnSpec) -> TrafficContract {
@@ -59,9 +80,7 @@ fn pattern(spec: &ConnSpec) -> TrafficPattern {
 /// `n` terminals funneling into one switch and out to a sink.
 fn funnel(n: usize) -> (Topology, Vec<Route>) {
     let mut t = Topology::new();
-    let sources: Vec<_> = (0..n)
-        .map(|k| t.add_end_system(format!("s{k}")))
-        .collect();
+    let sources: Vec<_> = (0..n).map(|k| t.add_end_system(format!("s{k}"))).collect();
     let sw = t.add_switch("sw");
     let sink = t.add_end_system("sink");
     for &s in &sources {
@@ -75,13 +94,14 @@ fn funnel(n: usize) -> (Topology, Vec<Route>) {
     (t, routes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Cells are conserved: emitted = delivered + in flight + dropped,
-    /// for every connection, in every scenario.
-    #[test]
-    fn conservation_of_cells(specs in vec(arb_conn(), 1..6), slots in 500u64..4_000) {
+/// Cells are conserved: emitted = delivered + in flight + dropped, for
+/// every connection, in every scenario.
+#[test]
+fn conservation_of_cells() {
+    let mut rng = Rng(401);
+    for _ in 0..32 {
+        let specs = arb_conns(&mut rng, 5);
+        let slots = rng.range(500, 3_999) as u64;
         let (topology, routes) = funnel(specs.len());
         let mut sim = Simulation::new(&topology);
         for (k, spec) in specs.iter().enumerate() {
@@ -96,15 +116,19 @@ proptest! {
         }
         let report = sim.run(slots);
         for (_, c) in report.connections() {
-            prop_assert_eq!(c.emitted, c.delivered + c.in_flight + c.dropped);
+            assert_eq!(c.emitted, c.delivered + c.in_flight + c.dropped);
         }
         // Unbounded queues never drop.
-        prop_assert_eq!(report.total_drops(), 0);
+        assert_eq!(report.total_drops(), 0);
     }
+}
 
-    /// Runs are deterministic: identical scenarios measure identically.
-    #[test]
-    fn determinism(specs in vec(arb_conn(), 1..4)) {
+/// Runs are deterministic: identical scenarios measure identically.
+#[test]
+fn determinism() {
+    let mut rng = Rng(402);
+    for _ in 0..32 {
+        let specs = arb_conns(&mut rng, 3);
         let (topology, routes) = funnel(specs.len());
         let mut sim = Simulation::new(&topology);
         for (k, spec) in specs.iter().enumerate() {
@@ -120,14 +144,19 @@ proptest! {
         let a = sim.run(2_000);
         let b = sim.run(2_000);
         for (id, ca) in a.connections() {
-            prop_assert_eq!(Some(ca), b.connection(*id));
+            assert_eq!(Some(ca), b.connection(*id));
         }
     }
+}
 
-    /// Emission counts respect the contract: no source ever exceeds its
-    /// worst-case envelope volume.
-    #[test]
-    fn emissions_respect_contract(spec in arb_conn(), slots in 1_000u64..5_000) {
+/// Emission counts respect the contract: no source ever exceeds its
+/// worst-case envelope volume.
+#[test]
+fn emissions_respect_contract() {
+    let mut rng = Rng(403);
+    for _ in 0..32 {
+        let spec = arb_conn(&mut rng);
+        let slots = rng.range(1_000, 4_999) as u64;
         let (topology, routes) = funnel(1);
         let mut sim = Simulation::new(&topology);
         sim.add_connection(
@@ -144,23 +173,22 @@ proptest! {
         let max_cells = envelope
             .cumulative(rtcac_bitstream::Time::from_integer(slots as i128))
             .as_ratio();
-        prop_assert!(ratio(c.emitted as i128, 1) <= max_cells);
+        assert!(ratio(c.emitted as i128, 1) <= max_cells);
     }
+}
 
-    /// Static priority is strict: in a two-class funnel, the measured
-    /// max delay of the high class never exceeds the low class's when
-    /// both share a saturated port with identical traffic.
-    #[test]
-    fn priority_ordering_of_delays(seed in 0u64..1_000) {
+/// Static priority is strict: in a two-class funnel, the measured max
+/// delay of the high class never exceeds the low class's when both
+/// share a saturated port with identical traffic.
+#[test]
+fn priority_ordering_of_delays() {
+    let mut rng = Rng(404);
+    for _ in 0..16 {
+        let seed = rng.range(0, 999) as u64;
         let (topology, routes) = funnel(2);
         let mut sim = Simulation::new(&topology);
         let heavy = TrafficContract::vbr(
-            VbrParams::new(
-                Rate::new(ratio(3, 4)),
-                Rate::new(ratio(1, 2)),
-                8,
-            )
-            .unwrap(),
+            VbrParams::new(Rate::new(ratio(3, 4)), Rate::new(ratio(1, 2)), 8).unwrap(),
         );
         for (k, prio) in [(0u64, Priority::HIGHEST), (1u64, Priority::new(1))] {
             sim.add_connection(
@@ -168,19 +196,28 @@ proptest! {
                 routes[k as usize].clone(),
                 prio,
                 heavy,
-                TrafficPattern::Random { p_percent: 90, seed: seed + k },
+                TrafficPattern::Random {
+                    p_percent: 90,
+                    seed: seed + k,
+                },
             )
             .unwrap();
         }
         let report = sim.run(20_000);
         let hi = report.connection(ConnectionId::new(0)).unwrap();
         let lo = report.connection(ConnectionId::new(1)).unwrap();
-        prop_assert!(hi.max_delay <= lo.max_delay + 1);
+        assert!(hi.max_delay <= lo.max_delay + 1);
     }
+}
 
-    /// Jitter preserves conservation and only ever delays cells.
-    #[test]
-    fn jitter_preserves_conservation(spec in arb_conn(), jit in 1u64..12, seed in 0u64..999) {
+/// Jitter preserves conservation and only ever delays cells.
+#[test]
+fn jitter_preserves_conservation() {
+    let mut rng = Rng(405);
+    for _ in 0..24 {
+        let spec = arb_conn(&mut rng);
+        let jit = rng.range(1, 11) as u64;
+        let seed = rng.range(0, 998) as u64;
         let (topology, routes) = funnel(1);
         let mut plain = Simulation::new(&topology);
         plain
@@ -198,9 +235,9 @@ proptest! {
         let b = jittered.run(5_000);
         let ca = a.connection(ConnectionId::new(0)).unwrap();
         let cb = b.connection(ConnectionId::new(0)).unwrap();
-        prop_assert_eq!(ca.emitted, cb.emitted);
-        prop_assert_eq!(cb.emitted, cb.delivered + cb.in_flight + cb.dropped);
+        assert_eq!(ca.emitted, cb.emitted);
+        assert_eq!(cb.emitted, cb.delivered + cb.in_flight + cb.dropped);
         // Jitter can only increase the observed max delay.
-        prop_assert!(cb.max_delay >= ca.max_delay);
+        assert!(cb.max_delay >= ca.max_delay);
     }
 }

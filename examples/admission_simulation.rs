@@ -21,10 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (topology, src, switches, dst) = builders::line(2)?;
     let config = SwitchConfig::uniform(1, Time::from_integer(64))?;
     let mut network = Network::new(topology, config, CdvPolicy::Hard);
-    let route = Route::from_nodes(
-        network.topology(),
-        [src, switches[0], switches[1], dst],
-    )?;
+    let route = Route::from_nodes(network.topology(), [src, switches[0], switches[1], dst])?;
 
     for k in 0..4i128 {
         let contract = TrafficContract::vbr(VbrParams::new(
@@ -36,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let outcome = network.setup(&route, req)?;
         println!(
             "connection {k}: {}",
-            if outcome.is_connected() { "CONNECTED" } else { "REJECTED" }
+            if outcome.is_connected() {
+                "CONNECTED"
+            } else {
+                "REJECTED"
+            }
         );
     }
 

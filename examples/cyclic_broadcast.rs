@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("established {}/{}", established.len(), ring_nodes * terminals);
+    println!(
+        "established {}/{}",
+        established.len(),
+        ring_nodes * terminals
+    );
 
     // Validate with duplicated cells in the simulator.
     let mut sim = Simulation::new(network.topology());

@@ -11,8 +11,8 @@
 use rtcac::bitstream::Time;
 use rtcac::cac::{Priority, SwitchConfig};
 use rtcac::net::builders;
-use rtcac::rtnet::cyclic;
 use rtcac::rational::ratio;
+use rtcac::rtnet::cyclic;
 use rtcac::signaling::{CdvPolicy, Network, SetupOutcome, SetupRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,9 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SwitchConfig::uniform(1, Time::from_integer(32))?;
     let mut network = Network::new(sr.topology().clone(), config, CdvPolicy::Hard);
 
-    println!(
-        "RTnet: {ring_nodes} ring nodes x {terminals} terminals, 32-cell queues, hard CAC"
-    );
+    println!("RTnet: {ring_nodes} ring nodes x {terminals} terminals, 32-cell queues, hard CAC");
 
     let total_terminals = (ring_nodes * terminals) as i128;
     let mut established = 0usize;

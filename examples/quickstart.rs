@@ -19,8 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Rate::new(ratio(1, 32)),
         12,
     )?);
-    println!("sensor contract: pcr={} scr={} mbs={}", sensor.pcr(), sensor.scr(), sensor.mbs());
-    println!("camera contract: pcr={} scr={} mbs={}", camera.pcr(), camera.scr(), camera.mbs());
+    println!(
+        "sensor contract: pcr={} scr={} mbs={}",
+        sensor.pcr(),
+        sensor.scr(),
+        sensor.mbs()
+    );
+    println!(
+        "camera contract: pcr={} scr={} mbs={}",
+        camera.pcr(),
+        camera.scr(),
+        camera.mbs()
+    );
 
     // 2. Algorithm 2.1: worst-case generation envelopes.
     let sensor_stream = sensor.worst_case_stream();
@@ -47,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    with no higher-priority interference.
     let bound = aggregate.delay_bound(&BitStream::zero())?;
     println!("worst-case queueing delay at the port: {bound} cell times");
-    println!("(about {:.1} microseconds at 155 Mbps)", bound.to_f64() * 2.7);
+    println!(
+        "(about {:.1} microseconds at 155 Mbps)",
+        bound.to_f64() * 2.7
+    );
 
     // 6. The same bound under interference from a higher-priority
     //    class occupying 1/4 of the link.

@@ -36,10 +36,7 @@ fn fill(policy: CdvPolicy) -> Result<(usize, usize), Box<dyn std::error::Error>>
     // A 5-switch backbone: control at priority 0 (16-cell queues),
     // video at priority 1 (96-cell queues).
     let (topology, src, switches, dst) = builders::line(5)?;
-    let config = SwitchConfig::with_bounds([
-        Time::from_integer(16),
-        Time::from_integer(96),
-    ])?;
+    let config = SwitchConfig::with_bounds([Time::from_integer(16), Time::from_integer(96)])?;
     let mut network = Network::new(topology, config, policy);
     let route = Route::from_nodes(
         network.topology(),

@@ -15,6 +15,9 @@
 //!   CAC check of §4.3;
 //! - [`signaling`] — distributed SETUP/REJECT/CONNECTED connection
 //!   establishment with hard/soft CDV accumulation;
+//! - [`engine`] — a concurrent sharded admission engine: a worker pool
+//!   serving setups with a two-phase reserve/commit protocol and
+//!   epoch-keyed delay-bound memoization;
 //! - [`sim`] — a cell-level slotted ATM simulator used to validate the
 //!   analytic bounds empirically;
 //! - [`rtnet`] — the RTnet evaluation of §5: cyclic transmission
@@ -50,6 +53,7 @@
 
 pub use rtcac_bitstream as bitstream;
 pub use rtcac_cac as cac;
+pub use rtcac_engine as engine;
 pub use rtcac_net as net;
 pub use rtcac_rational as rational;
 pub use rtcac_rtnet as rtnet;

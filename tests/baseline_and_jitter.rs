@@ -86,12 +86,22 @@ fn jitter_increases_observed_delays() {
         .map(|(_, c)| c.max_delay)
         .max()
         .unwrap();
-    assert!(jit_max > base_max, "jitter had no effect: {base_max} vs {jit_max}");
+    assert!(
+        jit_max > base_max,
+        "jitter had no effect: {base_max} vs {jit_max}"
+    );
 }
 
 /// Builds the shared-port contention topology: `n` source terminals
 /// into one switch, one output link.
-fn funnel(n: usize) -> (Topology, Vec<rtcac::net::NodeId>, rtcac::net::NodeId, rtcac::net::NodeId) {
+fn funnel(
+    n: usize,
+) -> (
+    Topology,
+    Vec<rtcac::net::NodeId>,
+    rtcac::net::NodeId,
+    rtcac::net::NodeId,
+) {
     let mut t = Topology::new();
     let sources: Vec<_> = (0..n)
         .map(|k| t.add_end_system(format!("src{k}")))
@@ -149,5 +159,9 @@ fn peak_allocation_loses_cells_where_cac_load_does_not() {
     let mut safe = Simulation::from_network(&network);
     safe.set_queue_capacity(Some(4));
     let report = safe.run(50_000);
-    assert_eq!(report.total_drops(), 0, "CAC-admitted load must be loss-free");
+    assert_eq!(
+        report.total_drops(),
+        0,
+        "CAC-admitted load must be loss-free"
+    );
 }

@@ -123,7 +123,10 @@ fn contention_from_separate_terminals_stays_within_bounds() {
     assert_eq!(report.total_drops(), 0);
     assert_within_bounds(&network, &report);
     // The shared port must actually have seen contention.
-    let shared = network.topology().find_link(sw, network.topology().nodes().last().unwrap().id()).unwrap();
+    let shared = network
+        .topology()
+        .find_link(sw, network.topology().nodes().last().unwrap().id())
+        .unwrap();
     let stats = report.port(shared, Priority::HIGHEST).unwrap();
     assert!(stats.max_delay > 0, "expected queueing at the shared port");
 }
@@ -136,8 +139,7 @@ fn star_ring_broadcast_within_guarantees() {
     for node in 0..4 {
         for term in 0..2 {
             let route = sr.ring_route_from_terminal(node, term, 3).unwrap();
-            let contract =
-                TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, 16))).unwrap());
+            let contract = TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, 16))).unwrap());
             let req = SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(96));
             assert!(network.setup(&route, req).unwrap().is_connected());
         }
@@ -175,16 +177,21 @@ fn priority_isolation_holds_in_simulation() {
     topology.add_link(a, sw).unwrap();
     topology.add_link(b, sw).unwrap();
     topology.add_link(sw, sink).unwrap();
-    let config = SwitchConfig::with_bounds([
-        Time::from_integer(16),
-        Time::from_integer(128),
-    ])
-    .unwrap();
+    let config =
+        SwitchConfig::with_bounds([Time::from_integer(16), Time::from_integer(128)]).unwrap();
     let mut network = Network::new(topology, config, CdvPolicy::Hard);
     let ra = Route::from_nodes(network.topology(), [a, sw, sink]).unwrap();
     let rb = Route::from_nodes(network.topology(), [b, sw, sink]).unwrap();
-    let hi = SetupRequest::new(vbr(1, 4, 1, 10, 2), Priority::HIGHEST, Time::from_integer(16));
-    let lo = SetupRequest::new(vbr(1, 2, 1, 4, 32), Priority::new(1), Time::from_integer(128));
+    let hi = SetupRequest::new(
+        vbr(1, 4, 1, 10, 2),
+        Priority::HIGHEST,
+        Time::from_integer(16),
+    );
+    let lo = SetupRequest::new(
+        vbr(1, 2, 1, 4, 32),
+        Priority::new(1),
+        Time::from_integer(128),
+    );
     assert!(network.setup(&ra, hi).unwrap().is_connected());
     assert!(network.setup(&rb, lo).unwrap().is_connected());
     let sim = Simulation::from_network(&network);

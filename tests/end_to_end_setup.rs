@@ -6,9 +6,7 @@ use rtcac::bitstream::{CbrParams, Rate, Time, TrafficContract, VbrParams};
 use rtcac::cac::{ConnectionId, Priority, SwitchConfig};
 use rtcac::net::{builders, Route};
 use rtcac::rational::ratio;
-use rtcac::signaling::{
-    CacServer, CdvPolicy, Network, SetupOutcome, SetupRequest, SignalEvent,
-};
+use rtcac::signaling::{CacServer, CdvPolicy, Network, SetupOutcome, SetupRequest, SignalEvent};
 
 fn cbr(n: i128, d: i128) -> TrafficContract {
     TrafficContract::cbr(CbrParams::new(Rate::new(ratio(n, d))).unwrap())
@@ -69,8 +67,7 @@ fn no_orphan_reservations_after_many_mixed_operations() {
             } else {
                 vbr(1, 6, 1, 40, 5)
             };
-            let req =
-                SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(1_000));
+            let req = SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(1_000));
             if let SetupOutcome::Connected(info) = network.setup(&route, req).unwrap() {
                 live.push(info.id());
             }
@@ -90,8 +87,11 @@ fn no_orphan_reservations_after_many_mixed_operations() {
 fn soft_policy_admits_at_least_as_many_connections() {
     let count = |policy| {
         let (mut network, route) = line(6, 24, policy);
-        let request =
-            SetupRequest::new(vbr(1, 5, 1, 35, 6), Priority::HIGHEST, Time::from_integer(144));
+        let request = SetupRequest::new(
+            vbr(1, 5, 1, 35, 6),
+            Priority::HIGHEST,
+            Time::from_integer(144),
+        );
         let mut n = 0;
         while network.setup(&route, request).unwrap().is_connected() {
             n += 1;
@@ -157,10 +157,7 @@ fn central_server_matches_distributed_outcomes() {
         server.stats().accepted as usize + server.stats().rejected as usize,
         12
     );
-    assert_eq!(
-        server.stats().active,
-        direct.connections().count()
-    );
+    assert_eq!(server.stats().active, direct.connections().count());
 }
 
 #[test]

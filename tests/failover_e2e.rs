@@ -42,7 +42,10 @@ fn wrapped_connections_simulate_within_guarantees() {
     let sim = Simulation::from_network(&network);
     let result = sim.run(80_000);
     assert_eq!(result.total_drops(), 0);
-    assert!(result.port(dead, Priority::HIGHEST).is_none(), "dead link used");
+    assert!(
+        result.port(dead, Priority::HIGHEST).is_none(),
+        "dead link used"
+    );
     for ((link, priority), stats) in result.ports() {
         let from = network.topology().link(*link).unwrap().from();
         let Ok(switch) = network.switch(from) else {
@@ -56,11 +59,16 @@ fn wrapped_connections_simulate_within_guarantees() {
         );
     }
     // Both ring directions are in use after the wrap.
-    let forward_used = (0..ring)
-        .filter(|&i| i != failed)
-        .any(|i| result.port(sr.ring_link(i).unwrap(), Priority::HIGHEST).is_some());
-    let backward_used = (0..ring)
-        .any(|i| result.port(sr.reverse_link(i).unwrap(), Priority::HIGHEST).is_some());
+    let forward_used = (0..ring).filter(|&i| i != failed).any(|i| {
+        result
+            .port(sr.ring_link(i).unwrap(), Priority::HIGHEST)
+            .is_some()
+    });
+    let backward_used = (0..ring).any(|i| {
+        result
+            .port(sr.reverse_link(i).unwrap(), Priority::HIGHEST)
+            .is_some()
+    });
     assert!(forward_used && backward_used);
 }
 
@@ -77,11 +85,7 @@ fn every_failure_location_is_survivable_at_moderate_load() {
             Priority::HIGHEST,
             Time::from_integer(10_000),
         );
-        let report =
-            failover::reestablish(&mut network, &sr, failed, &sources, request).unwrap();
-        assert_eq!(
-            report.lost, 0,
-            "failure at link {failed} lost broadcasts"
-        );
+        let report = failover::reestablish(&mut network, &sr, failed, &sources, request).unwrap();
+        assert_eq!(report.lost, 0, "failure at link {failed} lost broadcasts");
     }
 }

@@ -53,16 +53,17 @@ fn broadcast_tree_setup_and_per_leaf_guarantees() {
         .iter()
         .map(|&n| network.switch(n).unwrap().connection_count())
         .sum();
-    assert_eq!(total_legs, tree.queueing_points(network.topology()).unwrap().len());
+    assert_eq!(
+        total_legs,
+        tree.queueing_points(network.topology()).unwrap().len()
+    );
 
     // Teardown releases everything.
     network.teardown_multicast(info.id()).unwrap();
     for &n in sr.ring_nodes() {
         assert_eq!(network.switch(n).unwrap().connection_count(), 0);
     }
-    assert!(network
-        .teardown_multicast(info.id())
-        .is_err());
+    assert!(network.teardown_multicast(info.id()).is_err());
 }
 
 #[test]
@@ -236,6 +237,9 @@ fn vbr_multicast_over_simple_tree() {
     let stats = report.connection(info.id()).unwrap();
     // 3 leaves per emitted cell.
     let per_emission = stats.delivered as f64 / stats.emitted as f64;
-    assert!(per_emission > 2.9 && per_emission <= 3.0 + 1e-9, "{per_emission}");
+    assert!(
+        per_emission > 2.9 && per_emission <= 3.0 + 1e-9,
+        "{per_emission}"
+    );
     assert_eq!(report.total_drops(), 0);
 }

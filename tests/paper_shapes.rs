@@ -73,10 +73,7 @@ fn fig11_capacity_falls_with_asymmetry_and_burstiness() {
     assert!(n16.points[3].max_load < n16.points[0].max_load);
     // And N=16 is below N=1 in the interior.
     for k in 0..=3 {
-        assert!(
-            n16.points[k].max_load <= n1.points[k].max_load,
-            "point {k}"
-        );
+        assert!(n16.points[k].max_load <= n1.points[k].max_load, "point {k}");
     }
 }
 

@@ -23,9 +23,7 @@ fn contracts() -> Vec<TrafficContract> {
     (0..(RING * TERMS) as i128)
         .map(|k| {
             if k % 3 == 0 {
-                TrafficContract::cbr(
-                    CbrParams::new(Rate::new(ratio(1, 30 + k))).unwrap(),
-                )
+                TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, 30 + k))).unwrap())
             } else {
                 TrafficContract::vbr(
                     VbrParams::new(
@@ -69,12 +67,8 @@ fn build_network() -> (Network, rtcac::net::StarRing) {
 
 /// Builds the same load in the direct ring analysis.
 fn build_analysis() -> RingAnalysis {
-    let mut analysis = RingAnalysis::new(
-        RING,
-        vec![Time::from_integer(BOUND)],
-        CdvMode::Hard,
-    )
-    .unwrap();
+    let mut analysis =
+        RingAnalysis::new(RING, vec![Time::from_integer(BOUND)], CdvMode::Hard).unwrap();
     let contracts = contracts();
     let mut idx = 0;
     for node in 0..RING {
@@ -122,10 +116,8 @@ fn teardown_returns_bounds_to_lighter_values() {
     let victims: Vec<_> = network
         .connections()
         .filter(|info| {
-            info.route().source(network.topology()).unwrap()
-                == sr.terminals(1).unwrap()[0]
-                || info.route().source(network.topology()).unwrap()
-                    == sr.terminals(1).unwrap()[1]
+            info.route().source(network.topology()).unwrap() == sr.terminals(1).unwrap()[0]
+                || info.route().source(network.topology()).unwrap() == sr.terminals(1).unwrap()[1]
         })
         .map(|info| info.id())
         .collect();
@@ -155,9 +147,7 @@ fn readmission_after_teardown_reproduces_identical_state() {
     // the recomputed state is bit-identical.
     let info = network.connections().next().unwrap().clone();
     network.teardown(info.id()).unwrap();
-    let outcome = network
-        .setup(info.route(), *info.request())
-        .unwrap();
+    let outcome = network.setup(info.route(), *info.request()).unwrap();
     assert!(outcome.is_connected());
     let recomputed = network
         .switch(node)
