@@ -2,6 +2,17 @@
 //! second at 1/2/4/8 workers on the paper's 16-node star-ring, with
 //! per-ring-node terminal routes so the shards are disjoint and the
 //! worker pool can scale.
+//!
+//! Besides the worker sweep, the run ends with an observability A/B:
+//! the same batch timed with no metrics registry (no-op handles)
+//! versus an explicit [`rtcac_obs::Registry`], reporting the relative
+//! overhead and a summary of the recorded phase timings.
+//!
+//! Flags:
+//! - `--smoke` — a seconds-long run for CI (small batches, short
+//!   budgets); the output format is unchanged.
+//! - `--metrics PATH` — write the enabled arm's final snapshot to
+//!   `PATH` in Prometheus text format.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -11,27 +22,35 @@ use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract, VbrParams};
 use rtcac_cac::{Priority, SwitchConfig};
 use rtcac_engine::{AdmissionEngine, EnginePool};
 use rtcac_net::builders::{self, StarRing};
+use rtcac_obs::Registry;
 use rtcac_rational::ratio;
 use rtcac_signaling::{CdvPolicy, SetupRequest};
 
 const RING_NODES: usize = 16;
-const SETUPS_PER_NODE: usize = 32;
-const MIN_SECONDS: f64 = 0.4;
 
-fn fresh_engine(sr: &StarRing) -> Arc<AdmissionEngine> {
+fn fresh_engine(sr: &StarRing, registry: Option<&Arc<Registry>>) -> Arc<AdmissionEngine> {
     let config = SwitchConfig::uniform(1, Time::from_integer(64)).expect("switch config");
-    Arc::new(AdmissionEngine::new(
-        sr.topology().clone(),
-        config,
-        CdvPolicy::Hard,
-    ))
+    Arc::new(match registry {
+        Some(registry) => AdmissionEngine::with_registry(
+            sr.topology().clone(),
+            config,
+            CdvPolicy::Hard,
+            Arc::clone(registry),
+        ),
+        None => AdmissionEngine::new(sr.topology().clone(), config, CdvPolicy::Hard),
+    })
 }
 
 /// One measured round: a full batch of admissions through a fresh
 /// pool on a fresh engine, so every round starts from empty tables.
 /// Returns the wall-clock seconds of the batch and its admitted count.
-fn run_round(sr: &StarRing, workers: usize) -> (f64, usize) {
-    let engine = fresh_engine(sr);
+fn run_round(
+    sr: &StarRing,
+    workers: usize,
+    setups_per_node: usize,
+    registry: Option<&Arc<Registry>>,
+) -> (f64, usize) {
+    let engine = fresh_engine(sr, registry);
     // Alternate smooth CBR with bursty VBR: the burst envelopes make
     // each admission check a real bit-stream computation rather than a
     // queue-overhead microbenchmark.
@@ -42,7 +61,7 @@ fn run_round(sr: &StarRing, workers: usize) -> (f64, usize) {
     let mut pool = EnginePool::new(Arc::clone(&engine), workers);
     let start = Instant::now();
     for i in 0..RING_NODES {
-        for k in 0..SETUPS_PER_NODE {
+        for k in 0..setups_per_node {
             let route = sr.terminal_route((i, 0), (i, 1)).expect("terminal route");
             let contract = if k % 2 == 0 { cbr } else { vbr };
             let request =
@@ -50,7 +69,7 @@ fn run_round(sr: &StarRing, workers: usize) -> (f64, usize) {
             pool.submit(route, request);
         }
     }
-    let results = pool.finish();
+    let results = pool.finish().expect("no worker died");
     let elapsed = start.elapsed().as_secs_f64();
     let admitted = results
         .iter()
@@ -59,9 +78,42 @@ fn run_round(sr: &StarRing, workers: usize) -> (f64, usize) {
     (elapsed, admitted)
 }
 
+/// Whole rounds until the time budget is spent; returns setups/sec.
+fn measure(
+    sr: &StarRing,
+    workers: usize,
+    setups_per_node: usize,
+    min_seconds: f64,
+    registry: Option<&Arc<Registry>>,
+) -> (f64, u32, usize) {
+    let total = RING_NODES * setups_per_node;
+    // Warm-up round, then measure whole rounds so short batches do not
+    // drown in noise.
+    let _ = run_round(sr, workers, setups_per_node, registry);
+    let mut rounds = 0u32;
+    let mut busy = 0.0;
+    let mut admitted = 0;
+    while busy < min_seconds {
+        let (elapsed, ok) = run_round(sr, workers, setups_per_node, registry);
+        busy += elapsed;
+        admitted = ok;
+        rounds += 1;
+    }
+    (f64::from(rounds) * total as f64 / busy, rounds, admitted)
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let metrics_path = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let (setups_per_node, min_seconds) = if smoke { (4, 0.02) } else { (32, 0.4) };
+
     let sr = builders::star_ring(RING_NODES, 2).expect("star-ring topology");
-    let total = RING_NODES * SETUPS_PER_NODE;
+    let total = RING_NODES * setups_per_node;
     header("artifact", "engine admission throughput vs worker count");
     header(
         "setup",
@@ -74,6 +126,9 @@ fn main() {
         "hardware_threads",
         std::thread::available_parallelism().map_or(0, usize::from),
     );
+    if smoke {
+        header("mode", "smoke (short budgets; figures are not stable)");
+    }
     columns(&[
         "workers",
         "rounds",
@@ -84,19 +139,8 @@ fn main() {
 
     let mut baseline = None;
     for workers in [1usize, 2, 4, 8] {
-        // Warm-up round, then measure whole rounds until the budget is
-        // spent so short batches do not drown in noise.
-        let _ = run_round(&sr, workers);
-        let mut rounds = 0u32;
-        let mut busy = 0.0;
-        let mut admitted = 0;
-        while busy < MIN_SECONDS {
-            let (elapsed, ok) = run_round(&sr, workers);
-            busy += elapsed;
-            admitted = ok;
-            rounds += 1;
-        }
-        let throughput = f64::from(rounds) * total as f64 / busy;
+        let (throughput, rounds, admitted) =
+            measure(&sr, workers, setups_per_node, min_seconds, None);
         let speedup = throughput / *baseline.get_or_insert(throughput);
         row(&[
             workers.to_string(),
@@ -105,5 +149,64 @@ fn main() {
             f(throughput),
             f(speedup),
         ]);
+    }
+
+    // Observability A/B: the same 4-worker batch with metrics disabled
+    // (no registry installed, so every handle is a no-op) versus
+    // enabled. The disabled arm is the cost everyone pays; the delta
+    // is what turning observability on costs.
+    let (off, _, _) = measure(&sr, 4, setups_per_node, min_seconds, None);
+    let registry = Arc::new(Registry::new());
+    let (on, _, _) = measure(&sr, 4, setups_per_node, min_seconds, Some(&registry));
+    header(
+        "obs_overhead",
+        format!(
+            "disabled {:.0} setups/s vs enabled {:.0} setups/s ({:+.1}% when enabled)",
+            off,
+            on,
+            (off / on - 1.0) * 100.0
+        ),
+    );
+
+    // Metrics summary of the enabled arm (all measured rounds).
+    let snapshot = registry.snapshot();
+    if let Some(h) = snapshot.histogram("engine_reserve_ns") {
+        header(
+            "reserve_ns",
+            format!(
+                "count={} p50={} p99={} max={}",
+                h.count,
+                h.p50(),
+                h.p99(),
+                h.max
+            ),
+        );
+    }
+    if let Some(h) = snapshot.histogram("engine_commit_ns") {
+        header(
+            "commit_ns",
+            format!(
+                "count={} p50={} p99={} max={}",
+                h.count,
+                h.p50(),
+                h.p99(),
+                h.max
+            ),
+        );
+    }
+    header(
+        "sof_cache",
+        format!(
+            "hits={} misses={}",
+            snapshot.counter("engine_sof_cache_hits_total").unwrap_or(0),
+            snapshot
+                .counter("engine_sof_cache_misses_total")
+                .unwrap_or(0)
+        ),
+    );
+
+    if let Some(path) = metrics_path {
+        std::fs::write(&path, snapshot.to_prometheus()).expect("write metrics file");
+        header("metrics_file", path);
     }
 }

@@ -169,21 +169,29 @@ pub fn check(scenario: &Scenario) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `rtcac engine`: push every unicast `connect` of the scenario
-/// through the concurrent sharded admission engine as one batch served
-/// by `workers` threads, then report outcomes, engine statistics, and
-/// the final computed port bounds.
-///
-/// # Errors
-///
-/// Returns [`CliError::Usage`] if the scenario contains multicast
-/// connections (the engine serves unicast setups) and
-/// [`CliError::Domain`] on API-level failures; rejections are reported
-/// in the output, not raised.
-pub fn engine(scenario: &Scenario, workers: usize) -> Result<String, CliError> {
+/// Per-setup results of one engine batch: admission outcome, or the
+/// engine-side failure that kept a setup from finishing.
+type BatchResults = Vec<Result<EngineOutcome, rtcac_engine::EngineError>>;
+
+/// Builds the sharded engine for a scenario (optionally observed by an
+/// explicit registry) and pushes every unicast `connect` through it as
+/// one batch served by `workers` threads.
+fn run_engine_scenario(
+    scenario: &Scenario,
+    workers: usize,
+    registry: Option<&Arc<rtcac_obs::Registry>>,
+) -> Result<(Arc<AdmissionEngine>, BatchResults), CliError> {
     let default =
         rtcac_cac::SwitchConfig::uniform(1, Time::from_integer(32)).map_err(CliError::domain)?;
-    let mut engine = AdmissionEngine::new(scenario.topology.clone(), default, scenario.policy);
+    let mut engine = match registry {
+        Some(registry) => AdmissionEngine::with_registry(
+            scenario.topology.clone(),
+            default,
+            scenario.policy,
+            Arc::clone(registry),
+        ),
+        None => AdmissionEngine::new(scenario.topology.clone(), default, scenario.policy),
+    };
     for (&node, config) in &scenario.switch_configs {
         engine
             .configure_switch(node, config.clone())
@@ -204,7 +212,33 @@ pub fn engine(scenario: &Scenario, workers: usize) -> Result<String, CliError> {
             }
         }
     }
-    let outcomes = run_batch(&engine, jobs, workers.max(1));
+    let outcomes = run_batch(&engine, jobs, workers.max(1)).map_err(CliError::domain)?;
+    Ok((engine, outcomes))
+}
+
+/// `rtcac engine`: push every unicast `connect` of the scenario
+/// through the concurrent sharded admission engine as one batch served
+/// by `workers` threads, then report outcomes, engine statistics, and
+/// the final computed port bounds.
+///
+/// With `metrics_path`, the run is observed by a fresh
+/// [`rtcac_obs::Registry`] whose final snapshot is written to
+/// `metrics_path` in Prometheus text format and to `metrics_path.json`
+/// in JSON.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] if the scenario contains multicast
+/// connections (the engine serves unicast setups) and
+/// [`CliError::Domain`] on API-level failures; rejections are reported
+/// in the output, not raised.
+pub fn engine(
+    scenario: &Scenario,
+    workers: usize,
+    metrics_path: Option<&str>,
+) -> Result<String, CliError> {
+    let registry = metrics_path.map(|_| Arc::new(rtcac_obs::Registry::new()));
+    let (engine, outcomes) = run_engine_scenario(scenario, workers, registry.as_ref())?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -233,7 +267,8 @@ pub fn engine(scenario: &Scenario, workers: usize) -> Result<String, CliError> {
     let stats = engine.stats();
     let _ = writeln!(
         out,
-        "stats: admitted={} rejected={} aborted={} cache {}/{} hits",
+        "stats: submitted={} admitted={} rejected={} aborted={} cache {}/{} hits",
+        stats.submitted,
         stats.admitted,
         stats.rejected,
         stats.aborted,
@@ -273,7 +308,38 @@ pub fn engine(scenario: &Scenario, workers: usize) -> Result<String, CliError> {
             }
         }
     }
+    if let (Some(path), Some(registry)) = (metrics_path, &registry) {
+        let snapshot = registry.snapshot();
+        let json_path = format!("{path}.json");
+        std::fs::write(path, snapshot.to_prometheus())
+            .map_err(|e| CliError::Domain(format!("cannot write '{path}': {e}")))?;
+        std::fs::write(&json_path, snapshot.to_json())
+            .map_err(|e| CliError::Domain(format!("cannot write '{json_path}': {e}")))?;
+        let _ = writeln!(
+            out,
+            "metrics: wrote {path} (prometheus) and {json_path} (json)"
+        );
+    }
     Ok(out)
+}
+
+/// `rtcac stats`: push the scenario through the sharded engine under a
+/// fresh [`rtcac_obs::Registry`] and print the resulting metrics
+/// snapshot — Prometheus text by default, JSON with `json`. The output
+/// is the bare exposition, suitable for piping.
+///
+/// # Errors
+///
+/// As [`engine`].
+pub fn stats(scenario: &Scenario, workers: usize, json: bool) -> Result<String, CliError> {
+    let registry = Arc::new(rtcac_obs::Registry::new());
+    let (_engine, _outcomes) = run_engine_scenario(scenario, workers, Some(&registry))?;
+    let snapshot = registry.snapshot();
+    Ok(if json {
+        snapshot.to_json()
+    } else {
+        snapshot.to_prometheus()
+    })
 }
 
 /// `rtcac simulate`: admit the scenario, then measure it with greedy
@@ -536,10 +602,10 @@ connect tiny route=up,mid,down contract=cbr:1/32 delay=64
     #[test]
     fn engine_reports_outcomes_stats_and_ports() {
         let scenario = Scenario::parse(SCENARIO).unwrap();
-        let out = engine(&scenario, 2).unwrap();
+        let out = engine(&scenario, 2, None).unwrap();
         assert!(out.contains("engine: 3 setups through 2 workers"), "{out}");
         assert!(out.contains("fast: ADMITTED"), "{out}");
-        assert!(out.contains("stats: admitted="), "{out}");
+        assert!(out.contains("stats: submitted=3 admitted="), "{out}");
         assert!(out.contains("port "), "{out}");
         // The concurrent engine must agree with the serial check on
         // every per-connection verdict.
@@ -559,8 +625,41 @@ connect tiny route=up,mid,down contract=cbr:1/32 delay=64
     #[test]
     fn engine_refuses_multicast_scenarios() {
         let scenario = Scenario::parse(MULTICAST_SCENARIO).unwrap();
-        let err = engine(&scenario, 2).unwrap_err();
+        let err = engine(&scenario, 2, None).unwrap_err();
         assert!(err.to_string().contains("point-to-multipoint"), "{err}");
+    }
+
+    #[test]
+    fn engine_writes_metrics_files() {
+        let scenario = Scenario::parse(SCENARIO).unwrap();
+        let dir = std::env::temp_dir().join("rtcac-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.prom");
+        let path_str = path.to_str().unwrap();
+        let out = engine(&scenario, 2, Some(path_str)).unwrap();
+        assert!(out.contains("metrics: wrote"), "{out}");
+
+        let prom = std::fs::read_to_string(&path).unwrap();
+        assert!(prom.contains("engine_setups_submitted_total 3"), "{prom}");
+        assert!(prom.contains("engine_reserve_ns_count"), "{prom}");
+        assert!(prom.contains("engine_sof_cache"), "{prom}");
+        assert!(prom.contains("engine_shard_lock_wait_ns"), "{prom}");
+
+        let json = std::fs::read_to_string(format!("{path_str}.json")).unwrap();
+        assert!(json.contains("\"engine_setups_submitted_total\""), "{json}");
+        assert!(json.contains("engine_reserve_ns"), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_prints_bare_exposition() {
+        let scenario = Scenario::parse(SCENARIO).unwrap();
+        let prom = stats(&scenario, 2, false).unwrap();
+        assert!(prom.starts_with("# TYPE"), "{prom}");
+        assert!(prom.contains("engine_setups_submitted_total 3"), "{prom}");
+        let json = stats(&scenario, 2, true).unwrap();
+        assert!(json.trim_start().starts_with('{'), "{json}");
+        assert!(json.contains("engine_setups_submitted_total"), "{json}");
     }
 
     #[test]

@@ -17,8 +17,10 @@ pub enum CliError {
     Unknown {
         /// The kind of entity ("node", "link", …).
         kind: &'static str,
-        /// The missing name.
+        /// The missing name (the offending token, verbatim).
         name: String,
+        /// 1-based line number of the reference.
+        line: usize,
     },
     /// Invalid command-line usage.
     Usage(String),
@@ -32,7 +34,9 @@ impl fmt::Display for CliError {
             CliError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }
-            CliError::Unknown { kind, name } => write!(f, "unknown {kind} '{name}'"),
+            CliError::Unknown { kind, name, line } => {
+                write!(f, "unknown {kind} '{name}' on line {line}")
+            }
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Domain(msg) => write!(f, "{msg}"),
         }
@@ -62,6 +66,7 @@ mod tests {
             CliError::Unknown {
                 kind: "link",
                 name: "l9".into(),
+                line: 7,
             },
             CliError::Usage("missing --pcr".into()),
             CliError::Domain("overload".into()),

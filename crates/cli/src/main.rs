@@ -20,10 +20,17 @@ USAGE:
       Run the distributed SETUP procedure for every connection in the
       scenario and report outcomes and final port bounds.
 
-  rtcac engine SCENARIO_FILE [--workers N]
+  rtcac engine SCENARIO_FILE [--workers N] [--metrics PATH]
       Batch-admit the scenario through the concurrent sharded engine
       (two-phase reserve/commit, N worker threads) and report outcomes,
-      engine statistics, and final port bounds.
+      engine statistics, and final port bounds. With --metrics, the
+      observability snapshot (phase timings, lock waits, cache and
+      outcome counters) is written to PATH in Prometheus text format
+      and to PATH.json in JSON.
+
+  rtcac stats SCENARIO_FILE [--workers N] [--json]
+      Batch-admit the scenario and print the bare metrics snapshot to
+      stdout — Prometheus text by default, JSON with --json.
 
   rtcac simulate SCENARIO_FILE [--slots N] [--jitter CELLS] [--seed N]
       Admit the scenario, then measure it in the cell-level simulator.
@@ -85,8 +92,19 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| CliError::Usage("engine needs a scenario file".into()))?;
             let rest: Vec<&String> = it.collect();
             let workers = flag_u64(&rest, "--workers")?.unwrap_or(4) as usize;
+            let metrics = flag_value(&rest, "--metrics")?;
             let scenario = load(path)?;
-            commands::engine(&scenario, workers)
+            commands::engine(&scenario, workers, metrics)
+        }
+        Some("stats") => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError::Usage("stats needs a scenario file".into()))?;
+            let rest: Vec<&String> = it.collect();
+            let workers = flag_u64(&rest, "--workers")?.unwrap_or(4) as usize;
+            let json = rest.iter().any(|a| a.as_str() == "--json");
+            let scenario = load(path)?;
+            commands::stats(&scenario, workers, json)
         }
         Some("simulate") => {
             let path = it
@@ -127,15 +145,18 @@ fn load(path: &str) -> Result<Scenario, CliError> {
     Scenario::parse(&text)
 }
 
-fn flag_value<'a>(args: &'a [&String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a.as_str() == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
+fn flag_value<'a>(args: &'a [&String], flag: &str) -> Result<Option<&'a str>, CliError> {
+    match args.iter().position(|a| a.as_str() == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| CliError::Usage(format!("{flag} requires a value"))),
+        None => Ok(None),
+    }
 }
 
 fn flag_ratio(args: &[&String], flag: &str) -> Result<Option<Ratio>, CliError> {
-    flag_value(args, flag)
+    flag_value(args, flag)?
         .map(|v| {
             v.parse::<Ratio>()
                 .map_err(|e| CliError::Usage(format!("bad value for {flag}: {e}")))
@@ -144,7 +165,7 @@ fn flag_ratio(args: &[&String], flag: &str) -> Result<Option<Ratio>, CliError> {
 }
 
 fn flag_u64(args: &[&String], flag: &str) -> Result<Option<u64>, CliError> {
-    flag_value(args, flag)
+    flag_value(args, flag)?
         .map(|v| {
             v.parse::<u64>()
                 .map_err(|_| CliError::Usage(format!("bad value for {flag}: '{v}'")))

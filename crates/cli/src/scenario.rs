@@ -246,10 +246,12 @@ fn add_link(
     let from = *names.get(from).ok_or_else(|| CliError::Unknown {
         kind: "node",
         name: from.into(),
+        line,
     })?;
     let to = *names.get(to).ok_or_else(|| CliError::Unknown {
         kind: "node",
         name: to.into(),
+        line,
     })?;
     let id = topology
         .add_link_with_capacity(from, to, capacity)
@@ -302,6 +304,7 @@ fn parse_connect(
                 link_names.get(n).copied().ok_or(CliError::Unknown {
                     kind: "link",
                     name: n.into(),
+                    line,
                 })
             })
             .collect()
@@ -310,6 +313,7 @@ fn parse_connect(
         node_names.get(n).copied().ok_or(CliError::Unknown {
             kind: "node",
             name: n.into(),
+            line,
         })
     };
     for opt in &tokens[2..] {
@@ -468,6 +472,52 @@ connect c2 route=up,mid,down contract=vbr:1/4,1/20,8 priority=1 delay=0.5
             ),
             Err(CliError::Unknown { kind: "link", .. })
         ));
+    }
+
+    #[test]
+    fn malformed_scenarios_report_line_and_token() {
+        // Dangling link reference: the error names the token and the
+        // line the reference appears on (not the line the link was
+        // expected to be defined on).
+        let err = Scenario::parse(
+            "endsystem h\nswitch s\nlink up h s\n\nconnect c route=up,ghost contract=cbr:1/8\n",
+        )
+        .unwrap_err();
+        match &err {
+            CliError::Unknown { kind, name, line } => {
+                assert_eq!(*kind, "link");
+                assert_eq!(name, "ghost");
+                assert_eq!(*line, 5);
+            }
+            other => panic!("expected unknown-link error, got {other:?}"),
+        }
+        assert_eq!(err.to_string(), "unknown link 'ghost' on line 5");
+
+        // Dangling node reference in a link directive.
+        let err = Scenario::parse("switch a\nlink l a b\n").unwrap_err();
+        assert_eq!(err.to_string(), "unknown node 'b' on line 2");
+
+        // A bad directive still carries its line and the offending
+        // token in the message.
+        let err = Scenario::parse("switch s1\n\nbogus stuff\n").unwrap_err();
+        match &err {
+            CliError::Parse { line, message } => {
+                assert_eq!(*line, 3);
+                assert!(message.contains("'bogus'"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+
+        // A bad option value names the token too.
+        let err =
+            Scenario::parse("endsystem h\nswitch s\nlink up h s capacity=nonsense\n").unwrap_err();
+        match &err {
+            CliError::Parse { line, message } => {
+                assert_eq!(*line, 3);
+                assert!(message.contains("'nonsense'"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -2,13 +2,15 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use rtcac_bitstream::Time;
 use rtcac_cac::{AdmissionDecision, ConnectionId, ConnectionRequest, Priority, SwitchConfig};
 use rtcac_net::{NodeId, Route, Topology};
+use rtcac_obs::Registry;
 use rtcac_signaling::{CdvPolicy, SetupRejection, SetupRequest, LOCAL_INJECTION};
 
+use crate::metrics::EngineMetrics;
 use crate::shard::{Shard, ShardState};
 use crate::stats::Counters;
 use crate::{EngineError, EngineStats};
@@ -80,13 +82,40 @@ pub struct AdmissionEngine {
     connections: Mutex<BTreeMap<ConnectionId, Established>>,
     next_id: AtomicU64,
     counters: Counters,
+    metrics: EngineMetrics,
 }
 
 impl AdmissionEngine {
     /// Creates an engine giving every switch node of the topology the
     /// same configuration (the analogue of
-    /// [`rtcac_signaling::Network::new`]).
+    /// [`rtcac_signaling::Network::new`]). Metrics go to the installed
+    /// [`rtcac_obs`] global registry, or nowhere (at near-zero cost)
+    /// when none is installed; use
+    /// [`AdmissionEngine::with_registry`] for an explicit registry.
     pub fn new(topology: Topology, config: SwitchConfig, policy: CdvPolicy) -> AdmissionEngine {
+        let metrics = EngineMetrics::from_global(topology.switches().map(|n| n.id()));
+        AdmissionEngine::build(topology, config, policy, metrics)
+    }
+
+    /// Creates an engine whose metrics land in `registry` regardless of
+    /// the global default — the form tests and benches use to observe
+    /// in isolation.
+    pub fn with_registry(
+        topology: Topology,
+        config: SwitchConfig,
+        policy: CdvPolicy,
+        registry: Arc<Registry>,
+    ) -> AdmissionEngine {
+        let metrics = EngineMetrics::from_registry(registry, topology.switches().map(|n| n.id()));
+        AdmissionEngine::build(topology, config, policy, metrics)
+    }
+
+    fn build(
+        topology: Topology,
+        config: SwitchConfig,
+        policy: CdvPolicy,
+        metrics: EngineMetrics,
+    ) -> AdmissionEngine {
         let configs: BTreeMap<NodeId, SwitchConfig> = topology
             .switches()
             .map(|n| (n.id(), config.clone()))
@@ -103,6 +132,7 @@ impl AdmissionEngine {
             connections: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
             counters: Counters::default(),
+            metrics,
         }
     }
 
@@ -193,10 +223,18 @@ impl AdmissionEngine {
         priority: Priority,
     ) -> Result<Time, EngineError> {
         let mut state = self.shard(node)?.lock();
+        let before = (state.cache.hits(), state.cache.misses());
         let ShardState { switch, cache } = &mut *state;
-        switch
+        let result = switch
             .computed_bound_cached(out_link, priority, cache)
-            .map_err(EngineError::from)
+            .map_err(EngineError::from);
+        if self.metrics.live {
+            self.metrics.cache_hits.add(state.cache.hits() - before.0);
+            self.metrics
+                .cache_misses
+                .add(state.cache.misses() - before.1);
+        }
+        result
     }
 
     /// Attempts to establish a connection along `route`, allocating a
@@ -227,6 +265,22 @@ impl AdmissionEngine {
         route: &Route,
         request: SetupRequest,
     ) -> Result<EngineOutcome, EngineError> {
+        Counters::bump(&self.counters.submitted);
+        self.metrics.submitted.inc();
+        let result = self.admit_inner(id, route, request);
+        if result.is_err() {
+            Counters::bump(&self.counters.errored);
+            self.metrics.errored.inc();
+        }
+        result
+    }
+
+    fn admit_inner(
+        &self,
+        id: ConnectionId,
+        route: &Route,
+        request: SetupRequest,
+    ) -> Result<EngineOutcome, EngineError> {
         let points = route.queueing_points(&self.topology)?;
 
         // QoS feasibility gate and per-hop CDV — computed lock-free
@@ -243,6 +297,8 @@ impl AdmissionEngine {
         let achievable: Time = per_hop.iter().copied().sum();
         if request.delay_bound() < achievable {
             Counters::bump(&self.counters.rejected);
+            self.metrics.rejected.inc();
+            self.metrics.reject_qos.inc();
             return Ok(EngineOutcome::Rejected {
                 id,
                 rejection: SetupRejection::QosUnsatisfiable {
@@ -280,7 +336,9 @@ impl AdmissionEngine {
         // ascending NodeId order — the global order that makes
         // concurrent setups deadlock-free — then admit hop by hop in
         // route order under the precomputed CDV.
+        let reserve_start = self.metrics.start();
         let mut guards = self.lock_route_shards(points.iter().map(|&(n, _)| n))?;
+        let cache_before = self.metrics.live.then(|| Self::cache_totals(&guards));
         let mut reserved: Vec<NodeId> = Vec::new();
         for &(node, conn_request) in &hop_requests {
             let state = guards.get_mut(&node).expect("route shard locked");
@@ -288,8 +346,11 @@ impl AdmissionEngine {
             match switch.admit_cached(id, conn_request, cache)? {
                 AdmissionDecision::Admitted(_) => reserved.push(node),
                 AdmissionDecision::Rejected(reason) => {
+                    self.metrics
+                        .record_since(reserve_start, &self.metrics.reserve_ns);
                     // Phase 2 (abort): roll back every reserved hop
                     // before any lock is dropped.
+                    let rollback_start = self.metrics.start();
                     let hops_rolled_back = reserved.len();
                     let mut rolled: Vec<NodeId> = Vec::new();
                     for &up in reserved.iter().rev() {
@@ -303,10 +364,20 @@ impl AdmissionEngine {
                             .release(id)?;
                         rolled.push(up);
                     }
-                    Counters::bump(&self.counters.rejected);
+                    self.record_cache_deltas(cache_before, &guards);
                     if hops_rolled_back > 0 {
                         Counters::bump(&self.counters.aborted);
+                        self.metrics.aborted.inc();
+                        self.metrics
+                            .record_since(rollback_start, &self.metrics.rollback_ns);
+                        self.metrics.record_abort_event(format!(
+                            "conn {id} refused at node {node}: rolled back {hops_rolled_back} hop(s)"
+                        ));
+                    } else {
+                        Counters::bump(&self.counters.rejected);
+                        self.metrics.rejected.inc();
                     }
+                    self.metrics.reject_switch.inc();
                     return Ok(EngineOutcome::Rejected {
                         id,
                         rejection: SetupRejection::Switch {
@@ -318,9 +389,13 @@ impl AdmissionEngine {
                 }
             }
         }
+        self.metrics
+            .record_since(reserve_start, &self.metrics.reserve_ns);
+        self.record_cache_deltas(cache_before, &guards);
 
         // Phase 2 (commit): record the connection while the shard locks
         // are still held, so a concurrent release cannot interleave.
+        let commit_start = self.metrics.start();
         self.lock_registry().insert(
             id,
             Established {
@@ -329,10 +404,33 @@ impl AdmissionEngine {
             },
         );
         Counters::bump(&self.counters.admitted);
+        self.metrics.admitted.inc();
+        self.metrics
+            .record_since(commit_start, &self.metrics.commit_ns);
         Ok(EngineOutcome::Admitted {
             id,
             guaranteed_delay: achievable,
         })
+    }
+
+    /// Summed (hits, misses) across a set of locked shards.
+    fn cache_totals(guards: &BTreeMap<NodeId, MutexGuard<'_, ShardState>>) -> (u64, u64) {
+        guards.values().fold((0, 0), |(h, m), state| {
+            (h + state.cache.hits(), m + state.cache.misses())
+        })
+    }
+
+    /// Adds the hit/miss growth since `before` to the obs counters.
+    fn record_cache_deltas(
+        &self,
+        before: Option<(u64, u64)>,
+        guards: &BTreeMap<NodeId, MutexGuard<'_, ShardState>>,
+    ) {
+        if let Some((h0, m0)) = before {
+            let (h1, m1) = Self::cache_totals(guards);
+            self.metrics.cache_hits.add(h1 - h0);
+            self.metrics.cache_misses.add(m1 - m0);
+        }
     }
 
     /// Tears down an established connection, releasing every shard
@@ -352,6 +450,7 @@ impl AdmissionEngine {
             state.switch.release(id)?;
         }
         Counters::bump(&self.counters.released);
+        self.metrics.released.inc();
         Ok(())
     }
 
@@ -365,9 +464,11 @@ impl AdmissionEngine {
             misses += state.cache.misses();
         }
         EngineStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
             admitted: self.counters.admitted.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
             aborted: self.counters.aborted.load(Ordering::Relaxed),
+            errored: self.counters.errored.load(Ordering::Relaxed),
             released: self.counters.released.load(Ordering::Relaxed),
             cache_hits: hits,
             cache_misses: misses,
@@ -380,6 +481,8 @@ impl AdmissionEngine {
 
     /// Locks the shards of the given route nodes in ascending `NodeId`
     /// order (duplicates collapse), returning the guards keyed by node.
+    /// With live metrics, the wait for each shard lock is recorded in
+    /// that shard's `engine_shard_lock_wait_ns` histogram.
     fn lock_route_shards(
         &self,
         nodes: impl Iterator<Item = NodeId>,
@@ -387,9 +490,31 @@ impl AdmissionEngine {
         let unique: std::collections::BTreeSet<NodeId> = nodes.collect();
         let mut guards = BTreeMap::new();
         for node in unique {
-            guards.insert(node, self.shard(node)?.lock());
+            let shard = self.shard(node)?;
+            let wait_start = self.metrics.start();
+            let guard = shard.lock();
+            if let (Some(start), Some(histogram)) =
+                (wait_start, self.metrics.lock_wait_ns.get(&node))
+            {
+                histogram.record_duration(start.elapsed());
+            }
+            guards.insert(node, guard);
         }
         Ok(guards)
+    }
+
+    /// Poisons one shard's mutex by panicking a thread that holds it —
+    /// test-only, to exercise worker-panic reporting in the pool.
+    #[cfg(test)]
+    pub(crate) fn poison_shard(&self, node: NodeId) {
+        let shard = self.shard(node).expect("poison target is a switch shard");
+        std::thread::scope(|s| {
+            let poisoner = s.spawn(|| {
+                let _guard = shard.lock();
+                panic!("poisoning shard for a pool panic test");
+            });
+            assert!(poisoner.join().is_err());
+        });
     }
 
     fn lock_registry(&self) -> MutexGuard<'_, BTreeMap<ConnectionId, Established>> {
@@ -477,32 +602,106 @@ mod tests {
 
     #[test]
     fn mid_route_rejection_rolls_back_and_counts_abort() {
-        let (engine, route) = line_engine(2, 1_000);
-        let mut rejected = false;
-        for _ in 0..5 {
-            let req = SetupRequest::new(cbr(2, 5), Priority::HIGHEST, Time::from_integer(100_000));
-            match engine.admit(&route, req).unwrap() {
-                EngineOutcome::Admitted { .. } => {}
-                EngineOutcome::Rejected {
-                    rejection: SetupRejection::Switch { .. },
-                    ..
-                } => {
-                    rejected = true;
-                    break;
-                }
-                other => panic!("unexpected outcome {other:?}"),
-            }
+        // Pre-load the destination switch's terminal downlink with
+        // local traffic, then push a two-hop setup into it: hop 1 (the
+        // source ring node, whose links are free) reserves, hop 2
+        // refuses on the saturated downlink, and the reservation must
+        // be rolled back and counted as an abort — disjoint from plain
+        // rejections.
+        let sr = builders::star_ring(4, 2).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+        let engine = AdmissionEngine::new(sr.topology().clone(), config, CdvPolicy::Hard);
+        for _ in 0..2 {
+            let local = sr.terminal_route((1, 1), (1, 0)).unwrap();
+            let req = SetupRequest::new(cbr(2, 5), Priority::HIGHEST, Time::from_integer(500));
+            assert!(engine.admit(&local, req).unwrap().is_admitted());
         }
-        assert!(rejected, "the line never saturated");
+        let cross = sr.terminal_route((0, 0), (1, 0)).unwrap();
+        let req = SetupRequest::new(cbr(2, 5), Priority::HIGHEST, Time::from_integer(500));
+        match engine.admit(&cross, req).unwrap() {
+            EngineOutcome::Rejected {
+                rejection:
+                    SetupRejection::Switch {
+                        at,
+                        hops_rolled_back,
+                        ..
+                    },
+                ..
+            } => {
+                assert_eq!(at, sr.ring_nodes()[1]);
+                assert_eq!(hops_rolled_back, 1, "hop 1 was reserved and rolled back");
+            }
+            other => panic!("expected a mid-route switch rejection, got {other:?}"),
+        }
         // Every shard holds exactly the committed connections — no
-        // half-reserved leftovers.
-        let committed = engine.connection_count();
-        for (node, _) in route.queueing_points(engine.topology()).unwrap() {
-            assert_eq!(engine.shard_connection_count(node).unwrap(), committed);
+        // half-reserved leftovers on the rolled-back ring node.
+        for (node, _) in cross.queueing_points(engine.topology()).unwrap() {
+            let expected = usize::from(node == sr.ring_nodes()[1]) * 2;
+            assert_eq!(engine.shard_connection_count(node).unwrap(), expected);
         }
         let stats = engine.stats();
-        assert_eq!(stats.admitted, committed as u64);
-        assert_eq!(stats.rejected, 1);
+        assert_eq!((stats.admitted, stats.aborted, stats.rejected), (2, 1, 0));
+        assert_eq!(
+            stats.admitted + stats.rejected + stats.aborted,
+            stats.submitted,
+            "every submitted setup must land in exactly one outcome"
+        );
+    }
+
+    #[test]
+    fn explicit_registry_records_phase_timings_and_cache_traffic() {
+        let (topology, src, sw, dst) = builders::line(3).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(32)).unwrap();
+        let route = Route::from_nodes(
+            &topology,
+            std::iter::once(src)
+                .chain(sw.iter().copied())
+                .chain(std::iter::once(dst)),
+        )
+        .unwrap();
+        let registry = std::sync::Arc::new(rtcac_obs::Registry::new());
+        let engine = AdmissionEngine::with_registry(
+            topology,
+            config,
+            CdvPolicy::Hard,
+            std::sync::Arc::clone(&registry),
+        );
+        for _ in 0..4 {
+            let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(200));
+            engine.admit(&route, req).unwrap();
+        }
+        let snap = registry.snapshot();
+        let submitted = snap.counter("engine_setups_submitted_total").unwrap();
+        assert_eq!(submitted, 4);
+        assert_eq!(
+            submitted,
+            snap.counter("engine_setups_admitted_total").unwrap_or(0)
+                + snap.counter("engine_setups_rejected_total").unwrap_or(0)
+                + snap.counter("engine_setups_aborted_total").unwrap_or(0)
+        );
+        let reserve = snap.histogram("engine_reserve_ns").unwrap();
+        assert_eq!(reserve.count, 4);
+        assert!(reserve.max > 0, "reserving must take measurable time");
+        let admitted = snap.counter("engine_setups_admitted_total").unwrap();
+        assert_eq!(snap.histogram("engine_commit_ns").unwrap().count, admitted);
+        // Every shard on the route was locked once per setup.
+        let lock_waits: u64 = snap
+            .histograms_named("engine_shard_lock_wait_ns")
+            .map(|(_, h)| h.count)
+            .sum();
+        assert_eq!(lock_waits, 4 * 3);
+        // The shard caches were exercised, and the obs deltas agree
+        // with the engine's own totals.
+        let stats = engine.stats();
+        assert_eq!(
+            snap.counter("engine_sof_cache_hits_total").unwrap_or(0),
+            stats.cache_hits
+        );
+        assert_eq!(
+            snap.counter("engine_sof_cache_misses_total").unwrap_or(0),
+            stats.cache_misses
+        );
+        assert!(stats.cache_hits + stats.cache_misses > 0);
     }
 
     #[test]

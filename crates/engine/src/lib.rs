@@ -19,14 +19,21 @@
 //! * **A worker pool** — [`EnginePool`] runs a fixed set of
 //!   `std::thread` workers pulling jobs from an `mpsc` submission
 //!   queue.
-//! * **Statistics** — lock-free admitted/rejected/aborted/released
-//!   counters plus per-shard cache hit/miss totals, snapshotted as
-//!   [`EngineStats`].
+//! * **Statistics** — lock-free submitted/admitted/rejected/aborted/
+//!   released counters plus per-shard cache hit/miss totals,
+//!   snapshotted as [`EngineStats`] (invariant: every submitted setup
+//!   lands in exactly one outcome bucket).
+//! * **Observability** — phase timings (reserve/commit/rollback),
+//!   per-shard lock-wait histograms, cache hit/miss counters and abort
+//!   events, recorded through [`rtcac_obs`] handles that are no-ops
+//!   (near-zero cost, no clock reads) when no registry is installed.
+//!   Use [`AdmissionEngine::with_registry`] for an explicit registry.
 
 #![forbid(unsafe_code)]
 
 mod engine;
 mod error;
+mod metrics;
 mod pool;
 mod shard;
 mod stats;

@@ -1,0 +1,103 @@
+//! Pre-resolved observability handles for the engine hot path.
+//!
+//! Every handle is resolved once at engine construction; the admission
+//! path never touches the registry again. With no registry installed
+//! all handles are no-ops, `live` is false, and the hot path performs
+//! neither clock reads nor atomic updates — instrumentation cost is a
+//! handful of branches.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rtcac_net::NodeId;
+use rtcac_obs::{Counter, Histogram, Registry};
+
+/// The engine's metric handles (all no-op by default).
+#[derive(Debug, Default)]
+pub(crate) struct EngineMetrics {
+    /// Whether any registry backs these handles (gates clock reads).
+    pub live: bool,
+    /// Kept for the event ring (abort events).
+    pub registry: Option<Arc<Registry>>,
+    pub submitted: Counter,
+    pub admitted: Counter,
+    pub rejected: Counter,
+    pub aborted: Counter,
+    pub released: Counter,
+    pub errored: Counter,
+    pub reject_qos: Counter,
+    pub reject_switch: Counter,
+    pub cache_hits: Counter,
+    pub cache_misses: Counter,
+    pub reserve_ns: Histogram,
+    pub commit_ns: Histogram,
+    pub rollback_ns: Histogram,
+    pub lock_wait_ns: BTreeMap<NodeId, Histogram>,
+}
+
+impl EngineMetrics {
+    /// Handles resolved against `registry`, with one lock-wait
+    /// histogram per switch shard.
+    pub fn from_registry(
+        registry: Arc<Registry>,
+        nodes: impl Iterator<Item = NodeId>,
+    ) -> EngineMetrics {
+        let r = &*registry;
+        let lock_wait_ns = nodes
+            .map(|node| {
+                let shard = node.to_string();
+                (
+                    node,
+                    r.histogram_with("engine_shard_lock_wait_ns", &[("shard", &shard)]),
+                )
+            })
+            .collect();
+        EngineMetrics {
+            live: true,
+            submitted: r.counter("engine_setups_submitted_total"),
+            admitted: r.counter("engine_setups_admitted_total"),
+            rejected: r.counter("engine_setups_rejected_total"),
+            aborted: r.counter("engine_setups_aborted_total"),
+            released: r.counter("engine_released_total"),
+            errored: r.counter("engine_setup_errors_total"),
+            reject_qos: r.counter_with("engine_rejections_total", &[("reason", "qos")]),
+            reject_switch: r.counter_with("engine_rejections_total", &[("reason", "switch")]),
+            cache_hits: r.counter("engine_sof_cache_hits_total"),
+            cache_misses: r.counter("engine_sof_cache_misses_total"),
+            reserve_ns: r.histogram("engine_reserve_ns"),
+            commit_ns: r.histogram("engine_commit_ns"),
+            rollback_ns: r.histogram("engine_rollback_ns"),
+            lock_wait_ns,
+            registry: Some(registry),
+        }
+    }
+
+    /// Handles resolved against the installed global registry, or
+    /// no-ops when none is installed.
+    pub fn from_global(nodes: impl Iterator<Item = NodeId>) -> EngineMetrics {
+        match rtcac_obs::global() {
+            Some(r) => EngineMetrics::from_registry(Arc::clone(r), nodes),
+            None => EngineMetrics::default(),
+        }
+    }
+
+    /// A phase start time — `None` (no clock read) when not live.
+    pub fn start(&self) -> Option<Instant> {
+        self.live.then(Instant::now)
+    }
+
+    /// Records the elapsed time since a [`EngineMetrics::start`] mark.
+    pub fn record_since(&self, start: Option<Instant>, histogram: &Histogram) {
+        if let Some(start) = start {
+            histogram.record_duration(start.elapsed());
+        }
+    }
+
+    /// Records an abort event into the registry's event ring, if any.
+    pub fn record_abort_event(&self, detail: String) {
+        if let Some(r) = &self.registry {
+            r.events().record("engine.abort", detail);
+        }
+    }
+}

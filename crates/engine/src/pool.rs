@@ -53,7 +53,7 @@ pub struct JobResult {
 ///     let route = sr.ring_route_from_terminal(k, 0, 1)?;
 ///     pool.submit(route, SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(500)));
 /// }
-/// let results = pool.finish();
+/// let results = pool.finish()?;
 /// assert_eq!(results.len(), 3);
 /// assert!(results.iter().all(|r| r.outcome.as_ref().unwrap().is_admitted()));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -62,6 +62,10 @@ pub struct JobResult {
 pub struct EnginePool {
     engine: Arc<AdmissionEngine>,
     job_tx: Option<mpsc::Sender<Job>>,
+    // Kept so submissions cannot fail even if every worker has died;
+    // the shortfall is then reported by `finish` instead of a panic at
+    // the submission site.
+    _job_rx: Arc<Mutex<mpsc::Receiver<Job>>>,
     result_rx: mpsc::Receiver<JobResult>,
     handles: Vec<thread::JoinHandle<()>>,
     submitted: u64,
@@ -104,6 +108,7 @@ impl EnginePool {
         EnginePool {
             engine,
             job_tx: Some(job_tx),
+            _job_rx: job_rx,
             result_rx,
             handles,
             submitted: 0,
@@ -136,33 +141,62 @@ impl EnginePool {
 
     /// Waits for every submitted job, shuts the workers down, and
     /// returns all results sorted by ticket.
-    pub fn finish(mut self) -> Vec<JobResult> {
-        let mut results: Vec<JobResult> = (0..self.submitted)
-            .map(|_| self.result_rx.recv().expect("workers alive until drained"))
-            .collect();
-        // Closing the submission queue makes every worker's recv fail,
-        // ending its loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::WorkerPanicked`] if any worker thread
+    /// panicked mid-batch — some submitted jobs then never produced a
+    /// result, and reporting the shortfall loudly beats returning a
+    /// silently short vector.
+    pub fn finish(mut self) -> Result<Vec<JobResult>, EngineError> {
+        // Close the submission queue first: once the remaining jobs are
+        // drained every worker's recv fails and its loop ends, which
+        // also guarantees the drain below cannot block forever if a
+        // worker has died (the surviving workers eventually drop their
+        // result senders).
         self.job_tx = None;
+        let mut results: Vec<JobResult> = Vec::with_capacity(self.submitted as usize);
+        for _ in 0..self.submitted {
+            match self.result_rx.recv() {
+                Ok(result) => results.push(result),
+                Err(_) => break, // every worker has exited or died
+            }
+        }
+        let mut panicked = 0usize;
         for handle in self.handles.drain(..) {
-            handle.join().expect("worker panicked");
+            if handle.join().is_err() {
+                panicked += 1;
+            }
+        }
+        let missing = self.submitted - results.len() as u64;
+        if panicked > 0 || missing > 0 {
+            return Err(EngineError::WorkerPanicked {
+                workers: panicked,
+                missing,
+            });
         }
         results.sort_by_key(|r| r.ticket);
-        results
+        Ok(results)
     }
 }
 
 /// Convenience: runs a whole batch through a fresh [`EnginePool`] and
 /// returns the outcomes in submission order.
+///
+/// # Errors
+///
+/// Returns [`EngineError::WorkerPanicked`] if a worker died mid-batch
+/// (see [`EnginePool::finish`]).
 pub fn run_batch(
     engine: &Arc<AdmissionEngine>,
     jobs: impl IntoIterator<Item = (Route, SetupRequest)>,
     workers: usize,
-) -> Vec<Result<EngineOutcome, EngineError>> {
+) -> Result<Vec<Result<EngineOutcome, EngineError>>, EngineError> {
     let mut pool = EnginePool::new(Arc::clone(engine), workers);
     for (route, request) in jobs {
         pool.submit(route, request);
     }
-    pool.finish().into_iter().map(|r| r.outcome).collect()
+    Ok(pool.finish()?.into_iter().map(|r| r.outcome).collect())
 }
 
 #[cfg(test)]
@@ -198,7 +232,7 @@ mod tests {
                 )
             })
             .collect();
-        let outcomes = run_batch(&engine, jobs, 4);
+        let outcomes = run_batch(&engine, jobs, 4).unwrap();
         assert_eq!(outcomes.len(), 8);
         for outcome in &outcomes {
             assert!(outcome.as_ref().unwrap().is_admitted());
@@ -227,7 +261,7 @@ mod tests {
                 )
             })
             .collect();
-        let outcomes = run_batch(&engine, jobs, 4);
+        let outcomes = run_batch(&engine, jobs, 4).unwrap();
         let admitted = outcomes
             .iter()
             .filter(|o| o.as_ref().unwrap().is_admitted())
@@ -241,5 +275,35 @@ mod tests {
             "an 8-cell queue cannot hold six 1/3-rate streams"
         );
         assert!(admitted > 0, "at least one stream must fit");
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_an_error_not_an_undercount() {
+        let sr = builders::star_ring(4, 2).unwrap();
+        let config = SwitchConfig::uniform(4, Time::from_integer(64)).unwrap();
+        let engine = Arc::new(AdmissionEngine::new(
+            sr.topology().clone(),
+            config,
+            CdvPolicy::Hard,
+        ));
+        let route = sr.terminal_route((0, 0), (0, 1)).unwrap();
+        let node = route.queueing_points(engine.topology()).unwrap()[0].0;
+        // A poisoned shard mutex panics any worker that locks it.
+        engine.poison_shard(node);
+
+        let mut pool = EnginePool::new(Arc::clone(&engine), 2);
+        for _ in 0..3 {
+            pool.submit(
+                route.clone(),
+                SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(500)),
+            );
+        }
+        match pool.finish() {
+            Err(EngineError::WorkerPanicked { workers, missing }) => {
+                assert!(workers >= 1, "at least one worker must have died");
+                assert!(missing >= 1, "the dead workers' jobs must be reported");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
     }
 }

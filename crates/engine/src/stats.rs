@@ -5,9 +5,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Lock-free counters updated by worker threads as setups complete.
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
+    pub submitted: AtomicU64,
     pub admitted: AtomicU64,
     pub rejected: AtomicU64,
     pub aborted: AtomicU64,
+    pub errored: AtomicU64,
     pub released: AtomicU64,
 }
 
@@ -19,21 +21,36 @@ impl Counters {
 
 /// A point-in-time snapshot of the engine's counters.
 ///
-/// `admitted + rejected` equals the number of completed setups;
-/// `aborted` counts the subset of rejections that had already reserved
-/// at least one upstream hop and had to roll it back (phase 2 abort).
-/// The cache counters aggregate every shard's [`SofCache`]
-/// hit/miss totals.
+/// Every submitted setup lands in exactly **one** of `admitted`,
+/// `rejected`, `aborted` or `errored`, so once the engine is quiescent
+///
+/// ```text
+/// submitted == admitted + rejected + aborted + errored
+/// ```
+///
+/// holds exactly (`errored` is zero unless callers misuse the API).
+/// `aborted` counts setups refused *after* reserving at least one
+/// upstream hop — the phase-2 rollbacks — while `rejected` counts
+/// refusals that reserved nothing (the QoS gate or the first hop
+/// refusing); the two are disjoint. The cache counters aggregate every
+/// shard's [`SofCache`] hit/miss totals.
 ///
 /// [`SofCache`]: rtcac_cac::SofCache
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
+    /// Setups that entered the engine (before any outcome).
+    pub submitted: u64,
     /// Setups committed end to end.
     pub admitted: u64,
-    /// Setups rejected (QoS gate or a switch refusing a hop).
+    /// Setups refused without reserving any hop (QoS gate or the
+    /// first hop refusing).
     pub rejected: u64,
-    /// Rejected setups that rolled back one or more reserved hops.
+    /// Setups refused after reserving one or more hops, all rolled
+    /// back (disjoint from `rejected`).
     pub aborted: u64,
+    /// Setups that failed with an API-misuse error instead of an
+    /// outcome.
+    pub errored: u64,
     /// Connections released (torn down) through the engine.
     pub released: u64,
     /// Delay-bound / interference lookups served from a shard cache.
@@ -43,8 +60,9 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Total setups processed to completion.
+    /// Total setups processed to a decision
+    /// (`admitted + rejected + aborted`).
     pub fn completed(&self) -> u64 {
-        self.admitted + self.rejected
+        self.admitted + self.rejected + self.aborted
     }
 }

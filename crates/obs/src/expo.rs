@@ -1,0 +1,365 @@
+//! Exposition: Prometheus text format and JSON rendering of snapshots.
+
+use std::fmt::Write as _;
+
+use crate::histogram::{bucket_upper_bound, HistogramSnapshot};
+use crate::registry::MetricId;
+use crate::ring::Event;
+
+/// The event-ring portion of a snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct EventsSnapshot {
+    /// Retained events in sequence order.
+    pub events: Vec<Event>,
+    /// Records lost to shard contention.
+    pub dropped: u64,
+    /// Records overwritten in full shards.
+    pub evicted: u64,
+}
+
+/// A point-in-time view of a [`Registry`](crate::Registry).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values, sorted by metric id.
+    pub counters: Vec<(MetricId, u64)>,
+    /// Gauge values, sorted by metric id.
+    pub gauges: Vec<(MetricId, u64)>,
+    /// Histogram snapshots, sorted by metric id.
+    pub histograms: Vec<(MetricId, HistogramSnapshot)>,
+    /// The event ring.
+    pub events: EventsSnapshot,
+}
+
+impl Snapshot {
+    /// The value of the unlabelled counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(id, _)| id.name() == name && id.labels().is_empty())
+            .map(|&(_, v)| v)
+    }
+
+    /// The sum of counter `name` across all label sets (0 if absent).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(id, _)| id.name() == name)
+            .map(|&(_, v)| v)
+            .sum()
+    }
+
+    /// The value of the unlabelled gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|(id, _)| id.name() == name && id.labels().is_empty())
+            .map(|&(_, v)| v)
+    }
+
+    /// The snapshot of the unlabelled histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(id, _)| id.name() == name && id.labels().is_empty())
+            .map(|(_, h)| h)
+    }
+
+    /// Every histogram named `name` regardless of labels.
+    pub fn histograms_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = (&'a MetricId, &'a HistogramSnapshot)> + 'a {
+        self.histograms
+            .iter()
+            .filter(move |(id, _)| id.name() == name)
+            .map(|(id, h)| (id, h))
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Histograms emit cumulative `_bucket{le="..."}` series at the
+    /// log2 bucket edges that hold observations (plus `+Inf`), with
+    /// `_sum`, `_count` and a `_max` gauge. Metric names are sanitized
+    /// to the Prometheus charset.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        // Entries are sorted by id, so label sets of one family are
+        // consecutive: emit each family's TYPE line exactly once.
+        let mut last_family = String::new();
+        let mut family = |out: &mut String, name: &str, kind: &str| {
+            if name != last_family {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_family = name.to_owned();
+            }
+        };
+        for (id, value) in &self.counters {
+            let name = prom_name(id.name());
+            family(&mut out, &name, "counter");
+            let _ = writeln!(out, "{name}{} {value}", prom_labels(id.labels(), None));
+        }
+        for (id, value) in &self.gauges {
+            let name = prom_name(id.name());
+            family(&mut out, &name, "gauge");
+            let _ = writeln!(out, "{name}{} {value}", prom_labels(id.labels(), None));
+        }
+        for (id, h) in &self.histograms {
+            let name = prom_name(id.name());
+            family(&mut out, &name, "histogram");
+            let mut cumulative = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                let le = bucket_upper_bound(i);
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {cumulative}",
+                    prom_labels(id.labels(), Some(&le.to_string()))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {}",
+                prom_labels(id.labels(), Some("+Inf")),
+                h.count
+            );
+            let labels = prom_labels(id.labels(), None);
+            let _ = writeln!(out, "{name}_sum{labels} {}", h.sum);
+            let _ = writeln!(out, "{name}_count{labels} {}", h.count);
+        }
+        // The `_max` companions form separate gauge families; keep each
+        // family's series consecutive.
+        for (id, h) in &self.histograms {
+            let name = prom_name(id.name());
+            family(&mut out, &format!("{name}_max"), "gauge");
+            let _ = writeln!(
+                out,
+                "{name}_max{} {}",
+                prom_labels(id.labels(), None),
+                h.max
+            );
+        }
+        let _ = writeln!(out, "# TYPE obs_events_recorded counter");
+        let _ = writeln!(
+            out,
+            "obs_events_recorded {}",
+            self.events.dropped + self.events.evicted + self.events.events.len() as u64
+        );
+        let _ = writeln!(out, "# TYPE obs_events_dropped counter");
+        let _ = writeln!(out, "obs_events_dropped {}", self.events.dropped);
+        let _ = writeln!(out, "# TYPE obs_events_evicted counter");
+        let _ = writeln!(out, "obs_events_evicted {}", self.events.evicted);
+        out
+    }
+
+    /// Renders the snapshot as a single JSON object with `counters`,
+    /// `gauges`, `histograms` (count/sum/max/p50/p90/p99 plus the
+    /// non-empty `[upper_bound, count]` buckets) and `events`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"counters\":{");
+        for (i, (id, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_string(&id.to_string()));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (id, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_string(&id.to_string()));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (id, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                json_string(&id.to_string()),
+                h.count,
+                h.sum,
+                h.max,
+                h.p50(),
+                h.p90(),
+                h.p99()
+            );
+            let mut first = true;
+            for (b, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "[{},{c}]", bucket_upper_bound(b));
+            }
+            out.push_str("]}");
+        }
+        let _ = write!(
+            out,
+            "}},\"events\":{{\"dropped\":{},\"evicted\":{},\"entries\":[",
+            self.events.dropped, self.events.evicted
+        );
+        for (i, e) in self.events.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"name\":{},\"detail\":{}}}",
+                e.seq,
+                json_string(e.name),
+                json_string(&e.detail)
+            );
+        }
+        out.push_str("]}}");
+        out
+    }
+}
+
+/// Sanitizes a metric name to the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders a label set, optionally merged with an `le` bucket label.
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{}=\"{}\"",
+            prom_name(k),
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// JSON string literal with escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("setups_admitted_total").add(3);
+        r.counter_with("lock_wait_total", &[("shard", "2")]).inc();
+        r.gauge("queue_depth").set(7);
+        let h = r.histogram("reserve_ns");
+        h.record(0);
+        h.record(900);
+        h.record(1100);
+        r.events().record("abort", "switch 3 said \"no\"");
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE setups_admitted_total counter"));
+        assert!(text.contains("setups_admitted_total 3"));
+        assert!(text.contains("lock_wait_total{shard=\"2\"} 1"));
+        assert!(text.contains("queue_depth 7"));
+        assert!(text.contains("# TYPE reserve_ns histogram"));
+        assert!(text.contains("reserve_ns_bucket{le=\"0\"} 1"));
+        assert!(text.contains("reserve_ns_bucket{le=\"1023\"} 2"));
+        assert!(text.contains("reserve_ns_bucket{le=\"2047\"} 3"));
+        assert!(text.contains("reserve_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("reserve_ns_sum 2000"));
+        assert!(text.contains("reserve_ns_count 3"));
+        assert!(text.contains("reserve_ns_max 1100"));
+        assert!(text.contains("obs_events_dropped 0"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"setups_admitted_total\":3"));
+        assert!(json.contains("\"lock_wait_total{shard=\\\"2\\\"}\":1"));
+        assert!(json.contains("\"count\":3"));
+        assert!(json.contains("switch 3 said \\\"no\\\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn type_lines_are_unique_per_family() {
+        let r = Registry::new();
+        r.counter_with("checks_total", &[("outcome", "a")]).inc();
+        r.counter_with("checks_total", &[("outcome", "b")]).inc();
+        r.histogram_with("wait_ns", &[("shard", "0")]).record(5);
+        r.histogram_with("wait_ns", &[("shard", "1")]).record(9);
+        let text = r.snapshot().to_prometheus();
+        assert_eq!(text.matches("# TYPE checks_total counter").count(), 1);
+        assert_eq!(text.matches("# TYPE wait_ns histogram").count(), 1);
+        assert_eq!(text.matches("# TYPE wait_ns_max gauge").count(), 1);
+    }
+
+    #[test]
+    fn dotted_names_are_sanitized_for_prometheus() {
+        let r = Registry::new();
+        r.counter("engine.setups.total").inc();
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("engine_setups_total 1"));
+    }
+}

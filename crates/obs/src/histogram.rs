@@ -1,0 +1,233 @@
+//! Log2-bucketed value distributions backed by atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i`
+/// (1..=64) holds values with bit length `i`, i.e. `2^(i-1) ..= 2^i-1`.
+pub const BUCKET_COUNT: usize = 65;
+
+/// The bucket a value falls into: its bit length.
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The largest value bucket `index` can hold.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        1..=63 => (1u64 << index) - 1,
+        _ => u64::MAX,
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        // Saturating accumulation: a long-running process recording
+        // huge values must clamp at u64::MAX, not wrap to a small lie.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            });
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        // The count is derived from the bucket reads themselves, never
+        // from a separate counter, so a snapshot taken while writers
+        // are recording is still internally consistent:
+        // `count == buckets.iter().sum()` by construction.
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A handle to a log2-bucketed distribution; cheap to clone, lock-free
+/// to record into, and a no-op when obtained without a registry.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A handle that ignores every record.
+    pub fn noop() -> Histogram {
+        Histogram(None)
+    }
+
+    /// Whether records actually land somewhere.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.0 {
+            core.record(value);
+        }
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        if self.0.is_some() {
+            self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// A point-in-time view (empty for a no-op handle).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.0 {
+            Some(core) => core.snapshot(),
+            None => HistogramSnapshot::default(),
+        }
+    }
+}
+
+/// A consistent view of a histogram: per-bucket counts, total count
+/// (always equal to the bucket sum), value sum, and observed maximum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Count per log2 bucket (`BUCKET_COUNT` entries).
+    pub buckets: Vec<u64>,
+    /// Total observations — derived from `buckets`, so it is exact
+    /// relative to them even under concurrent writes.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An upper bound on the `q`-quantile (0.0 ..= 1.0): the upper edge
+    /// of the bucket holding the rank-`ceil(q*count)` observation,
+    /// clamped by the true observed maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile upper bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value lands in a bucket whose bounds contain it.
+        for v in [0u64, 1, 2, 3, 255, 256, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_track_distribution() {
+        let core = HistogramCore::new();
+        for v in 1..=100u64 {
+            core.record(v);
+        }
+        let snap = core.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum, 5050);
+        assert_eq!(snap.max, 100);
+        // The median of 1..=100 is ~50; its bucket [33..=64] caps at 63.
+        assert!(snap.p50() >= 50 && snap.p50() <= 63, "{}", snap.p50());
+        assert_eq!(snap.p99(), 100); // clamped by the true max
+        assert!((snap.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noop_handle_is_inert() {
+        let h = Histogram::noop();
+        h.record(123);
+        h.record_duration(Duration::from_secs(1));
+        assert!(!h.is_live());
+        assert_eq!(h.snapshot().count, 0);
+        assert_eq!(h.snapshot().quantile(0.5), 0);
+    }
+}

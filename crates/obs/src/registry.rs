@@ -1,0 +1,297 @@
+//! The metric registry and its counter/gauge handles.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::histogram::{Histogram, HistogramCore};
+use crate::ring::EventRing;
+use crate::Snapshot;
+
+/// A metric's identity: a name plus an ordered label set
+/// (`engine_shard_lock_wait_ns{shard="3"}`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// An unlabelled metric id.
+    pub fn new(name: impl Into<String>) -> MetricId {
+        MetricId {
+            name: name.into(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// A labelled metric id; labels are sorted by key for a canonical
+    /// identity.
+    pub fn with_labels(name: impl Into<String>, labels: &[(&str, &str)]) -> MetricId {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.into(),
+            labels,
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted label set.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+}
+
+impl std::fmt::Display for MetricId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.labels.is_empty() {
+            write!(f, "{{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{k}=\"{v}\"")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A monotonically increasing counter handle (no-op when obtained
+/// without a registry). Cloning shares the underlying atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A handle that ignores every update.
+    pub fn noop() -> Counter {
+        Counter(None)
+    }
+
+    /// Whether updates actually land somewhere.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value gauge handle with a monotonic-max helper (no-op when
+/// obtained without a registry).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A handle that ignores every update.
+    pub fn noop() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Whether updates actually land somewhere.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: u64) {
+        if let Some(g) = &self.0 {
+            g.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `value` if larger (high-water mark).
+    pub fn record_max(&self, value: u64) {
+        if let Some(g) = &self.0 {
+            g.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// A registry of named metrics plus an event ring.
+///
+/// Handle acquisition (`counter`/`gauge`/`histogram`) takes a write
+/// lock once and returns a shared atomic; updates through the handle
+/// never touch the registry again. Acquire handles at construction
+/// time, not per operation, on hot paths.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<MetricId, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<MetricId, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<MetricId, Arc<HistogramCore>>>,
+    events: EventRing,
+}
+
+impl Registry {
+    /// An empty registry with the default event-ring geometry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// An empty registry whose event ring has `shards` shards of
+    /// `per_shard` events each.
+    pub fn with_event_capacity(shards: usize, per_shard: usize) -> Registry {
+        Registry {
+            events: EventRing::new(shards, per_shard),
+            ..Registry::default()
+        }
+    }
+
+    /// The unlabelled counter `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_id(MetricId::new(name))
+    }
+
+    /// The labelled counter `name{labels}`, created on first use.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.counter_id(MetricId::with_labels(name, labels))
+    }
+
+    fn counter_id(&self, id: MetricId) -> Counter {
+        let mut map = self.counters.write().expect("counter map poisoned");
+        Counter(Some(Arc::clone(map.entry(id).or_default())))
+    }
+
+    /// The unlabelled gauge `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_id(MetricId::new(name))
+    }
+
+    /// The labelled gauge `name{labels}`, created on first use.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.gauge_id(MetricId::with_labels(name, labels))
+    }
+
+    fn gauge_id(&self, id: MetricId) -> Gauge {
+        let mut map = self.gauges.write().expect("gauge map poisoned");
+        Gauge(Some(Arc::clone(map.entry(id).or_default())))
+    }
+
+    /// The unlabelled histogram `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_id(MetricId::new(name))
+    }
+
+    /// The labelled histogram `name{labels}`, created on first use.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histogram_id(MetricId::with_labels(name, labels))
+    }
+
+    fn histogram_id(&self, id: MetricId) -> Histogram {
+        let mut map = self.histograms.write().expect("histogram map poisoned");
+        Histogram(Some(Arc::clone(
+            map.entry(id)
+                .or_insert_with(|| Arc::new(HistogramCore::new())),
+        )))
+    }
+
+    /// The event ring.
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// A point-in-time view of every metric and the event ring.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(id, c)| (id.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|(id, g)| (id.clone(), g.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(id, h)| (id.clone(), h.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events: self.events.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_registry_state() {
+        let r = Registry::new();
+        let a = r.counter("setups_total");
+        let b = r.counter("setups_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().counter("setups_total"), Some(3));
+    }
+
+    #[test]
+    fn labels_separate_series() {
+        let r = Registry::new();
+        r.counter_with("lock_wait_total", &[("shard", "1")]).inc();
+        r.counter_with("lock_wait_total", &[("shard", "2")]).add(5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.len(), 2);
+        assert_eq!(snap.counter_total("lock_wait_total"), 6);
+        // Label order does not matter for identity.
+        let x = MetricId::with_labels("m", &[("b", "2"), ("a", "1")]);
+        let y = MetricId::with_labels("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(x, y);
+        assert_eq!(x.to_string(), "m{a=\"1\",b=\"2\"}");
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let r = Registry::new();
+        let g = r.gauge("queue_depth");
+        g.set(4);
+        g.record_max(9);
+        g.record_max(2);
+        assert_eq!(g.get(), 9);
+        let noop = Gauge::noop();
+        noop.set(7);
+        assert_eq!(noop.get(), 0);
+        assert!(!noop.is_live());
+    }
+}

@@ -1,0 +1,160 @@
+//! A bounded, mutex-sharded event buffer that never blocks a hot path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (records across shards interleave; sort
+    /// by `seq` for the true order).
+    pub seq: u64,
+    /// Static event name (e.g. `"engine.abort"`).
+    pub name: &'static str,
+    /// Free-form detail text.
+    pub detail: String,
+}
+
+/// A bounded ring of recent events, sharded over several mutexes.
+///
+/// [`EventRing::record`] round-robins over the shards and uses
+/// `try_lock`: if the chosen shard is contended the event is counted in
+/// [`EventRing::dropped`] and the caller continues immediately — a hot
+/// path is never made to wait for observability. A full shard evicts
+/// its oldest event (counted in [`EventRing::evicted`]).
+#[derive(Debug)]
+pub struct EventRing {
+    shards: Vec<Mutex<VecDeque<Event>>>,
+    per_shard: usize,
+    cursor: AtomicUsize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl Default for EventRing {
+    fn default() -> EventRing {
+        EventRing::new(8, 128)
+    }
+}
+
+impl EventRing {
+    /// A ring of `shards` mutex shards holding `per_shard` events each
+    /// (both floored at 1).
+    pub fn new(shards: usize, per_shard: usize) -> EventRing {
+        EventRing {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            per_shard: per_shard.max(1),
+            cursor: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Total capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.per_shard
+    }
+
+    /// Records an event, never blocking: a contended shard drops the
+    /// event and bumps the drop counter instead.
+    pub fn record(&self, name: &'static str, detail: impl Into<String>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let at = self.cursor.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        match self.shards[at].try_lock() {
+            Ok(mut shard) => {
+                if shard.len() >= self.per_shard {
+                    shard.pop_front();
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+                shard.push_back(Event {
+                    seq,
+                    name,
+                    detail: detail.into(),
+                });
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Events whose shard was contended at record time.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten by newer ones in a full shard.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Total record attempts.
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// The retained events sorted by sequence number, plus the drop and
+    /// eviction counts.
+    pub fn snapshot(&self) -> crate::EventsSnapshot {
+        let mut events: Vec<Event> = Vec::new();
+        for shard in &self.shards {
+            // A snapshot is a cold path; blocking here is fine.
+            events.extend(shard.lock().expect("event shard poisoned").iter().cloned());
+        }
+        events.sort_by_key(|e| e.seq);
+        crate::EventsSnapshot {
+            events,
+            dropped: self.dropped(),
+            evicted: self.evicted(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_across_shards() {
+        let ring = EventRing::new(4, 8);
+        for i in 0..10 {
+            ring.record("tick", format!("n={i}"));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.events.len(), 10);
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn full_shard_evicts_oldest() {
+        let ring = EventRing::new(1, 4);
+        for i in 0..10 {
+            ring.record("e", i.to_string());
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.evicted, 6);
+        assert_eq!(snap.events.first().unwrap().seq, 6);
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn contended_shard_counts_drops_instead_of_blocking() {
+        let ring = EventRing::new(1, 8);
+        // Hold the only shard's lock, then record: the record must
+        // return immediately and count a drop.
+        let guard = ring.shards[0].lock().unwrap();
+        ring.record("blocked", "");
+        drop(guard);
+        assert_eq!(ring.dropped(), 1);
+        ring.record("free", "");
+        assert_eq!(ring.snapshot().events.len(), 1);
+    }
+}

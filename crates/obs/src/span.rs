@@ -1,0 +1,95 @@
+//! RAII trace spans recording their duration into a histogram.
+
+use std::time::Instant;
+
+use crate::Histogram;
+
+/// A trace span: created with a start time, records its elapsed
+/// nanoseconds into a histogram when dropped.
+///
+/// When the backing histogram is a no-op (no registry installed) the
+/// span neither reads the clock nor records anything — construction is
+/// a single branch.
+///
+/// ```
+/// use std::sync::Arc;
+/// use rtcac_obs::{Registry, Span};
+///
+/// let registry = Arc::new(Registry::new());
+/// let reserve = registry.histogram("reserve_ns");
+/// {
+///     let _span = Span::timed(&reserve);
+///     // ... timed work ...
+/// }
+/// assert_eq!(registry.snapshot().histogram("reserve_ns").unwrap().count, 1);
+/// ```
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to _ drops it immediately"]
+pub struct Span(Option<(Instant, Histogram)>);
+
+impl Span {
+    /// A span recording into the named histogram of the **global**
+    /// registry (a no-op span when none is installed).
+    pub fn enter(name: &str) -> Span {
+        Span::timed(&crate::histogram(name))
+    }
+
+    /// A span recording into a pre-resolved histogram handle — the
+    /// hot-path form: no registry lookup, and no clock read when the
+    /// handle is a no-op.
+    pub fn timed(histogram: &Histogram) -> Span {
+        if histogram.is_live() {
+            Span(Some((Instant::now(), histogram.clone())))
+        } else {
+            Span(None)
+        }
+    }
+
+    /// A span that records nothing.
+    pub fn noop() -> Span {
+        Span(None)
+    }
+
+    /// Whether this span will record on drop.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((start, histogram)) = self.0.take() {
+            histogram.record_duration(start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn span_records_on_drop() {
+        let r = Registry::new();
+        let h = r.histogram("op_ns");
+        {
+            let span = Span::timed(&h);
+            assert!(span.is_live());
+        }
+        Span::timed(&h).finish();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+    }
+
+    #[test]
+    fn noop_span_is_inert() {
+        let span = Span::timed(&Histogram::noop());
+        assert!(!span.is_live());
+        drop(span);
+        assert!(!Span::noop().is_live());
+    }
+}

@@ -1,0 +1,77 @@
+//! Edge-case tests for the log2 histogram: bucket boundaries, counter
+//! saturation, and snapshot consistency under concurrent writers.
+
+use std::sync::Arc;
+use std::thread;
+
+use rtcac_obs::{bucket_index, bucket_upper_bound, Registry, BUCKET_COUNT};
+
+#[test]
+fn every_bucket_boundary_maps_to_its_own_bucket() {
+    // For each bucket i >= 1, its lower edge 2^(i-1) and upper edge
+    // 2^i - 1 must both land in bucket i, and the value one below the
+    // lower edge must land in bucket i - 1.
+    assert_eq!(bucket_index(0), 0);
+    for i in 1..=63usize {
+        let lower = 1u64 << (i - 1);
+        let upper = bucket_upper_bound(i);
+        assert_eq!(bucket_index(lower), i, "lower edge of bucket {i}");
+        assert_eq!(bucket_index(upper), i, "upper edge of bucket {i}");
+        assert_eq!(bucket_index(lower - 1), i - 1, "below bucket {i}");
+    }
+    assert_eq!(bucket_index(1u64 << 63), 64);
+    assert_eq!(bucket_index(u64::MAX), 64);
+    assert_eq!(bucket_upper_bound(64), u64::MAX);
+    assert_eq!(bucket_upper_bound(BUCKET_COUNT + 10), u64::MAX);
+}
+
+#[test]
+fn extreme_values_are_recorded_without_overflow() {
+    let r = Registry::new();
+    let h = r.histogram("extremes_ns");
+    h.record(0);
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 3);
+    assert_eq!(snap.buckets[0], 1);
+    assert_eq!(snap.buckets[64], 2);
+    // The sum saturates instead of wrapping: 0 + MAX + MAX == MAX.
+    assert_eq!(snap.sum, u64::MAX);
+    assert_eq!(snap.max, u64::MAX);
+    assert_eq!(snap.quantile(1.0), u64::MAX);
+}
+
+#[test]
+fn snapshot_under_concurrent_writes_is_internally_consistent() {
+    let r = Arc::new(Registry::new());
+    let h = r.histogram("contended_ns");
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 20_000;
+
+    thread::scope(|s| {
+        for w in 0..WRITERS {
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..PER_WRITER {
+                    // Spread across several buckets.
+                    h.record((w as u64 + 1) * (i % 1024));
+                }
+            });
+        }
+        // Snapshot repeatedly while the writers run: the count must
+        // always equal the bucket sum (it is derived from the same
+        // reads), and must never exceed the eventual total.
+        for _ in 0..200 {
+            let snap = h.snapshot();
+            let bucket_sum: u64 = snap.buckets.iter().sum();
+            assert_eq!(snap.count, bucket_sum);
+            assert!(snap.count <= WRITERS as u64 * PER_WRITER);
+            assert!(snap.max <= 4 * 1023);
+        }
+    });
+
+    let final_snap = h.snapshot();
+    assert_eq!(final_snap.count, WRITERS as u64 * PER_WRITER);
+    assert_eq!(final_snap.count, final_snap.buckets.iter().sum::<u64>());
+}

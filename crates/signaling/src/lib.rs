@@ -60,6 +60,7 @@
 mod cdv;
 mod error;
 mod message;
+mod metrics;
 mod multicast;
 mod network;
 mod server;

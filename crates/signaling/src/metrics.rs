@@ -1,0 +1,101 @@
+//! Observability handles for the signaling layer.
+//!
+//! All handles are pre-resolved once (in [`NetworkMetrics::resolve`])
+//! and are no-ops when no [`rtcac_obs`] registry is installed, so the
+//! hot setup path pays only a branch per recording when observability
+//! is off.
+
+use std::sync::Arc;
+
+use rtcac_bitstream::Time;
+use rtcac_obs::{Counter, Histogram, Registry};
+
+/// Pre-resolved metric handles used by [`crate::Network`].
+///
+/// `Clone` because `Network` is `Clone`; clones share the same
+/// underlying metric cells, which is the desired aggregate view.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NetworkMetrics {
+    hop_admitted: Counter,
+    hop_rejected: Counter,
+    setups_connected: Counter,
+    setups_rejected_qos: Counter,
+    setups_rejected_switch: Counter,
+    teardowns: Counter,
+    cdv_cells: Histogram,
+}
+
+impl NetworkMetrics {
+    /// Resolves every handle from `registry`.
+    pub fn resolve(registry: &Registry) -> NetworkMetrics {
+        NetworkMetrics {
+            hop_admitted: registry
+                .counter_with("signaling_hop_checks_total", &[("outcome", "admitted")]),
+            hop_rejected: registry
+                .counter_with("signaling_hop_checks_total", &[("outcome", "rejected")]),
+            setups_connected: registry
+                .counter_with("signaling_setups_total", &[("outcome", "connected")]),
+            setups_rejected_qos: registry
+                .counter_with("signaling_setups_total", &[("outcome", "rejected_qos")]),
+            setups_rejected_switch: registry
+                .counter_with("signaling_setups_total", &[("outcome", "rejected_switch")]),
+            teardowns: registry.counter("signaling_teardowns_total"),
+            cdv_cells: registry.histogram("signaling_cdv_cells"),
+        }
+    }
+
+    /// Resolves from the process-global registry, or all-noop handles
+    /// if none is installed.
+    pub fn from_global() -> NetworkMetrics {
+        match rtcac_obs::global() {
+            Some(registry) => NetworkMetrics::resolve(registry),
+            None => NetworkMetrics::default(),
+        }
+    }
+
+    /// Re-resolves every handle against an explicit registry (used by
+    /// tests and embedders that avoid the process-global one).
+    pub fn rebind(&mut self, registry: &Arc<Registry>) {
+        *self = NetworkMetrics::resolve(registry);
+    }
+
+    /// One per-hop admission check that admitted, with the CDV the hop
+    /// was checked against (recorded in whole cell times, rounded up).
+    pub fn hop_admitted(&self, cdv: Time) {
+        self.hop_admitted.inc();
+        self.record_cdv(cdv);
+    }
+
+    /// One per-hop admission check that rejected (ends the setup).
+    pub fn hop_rejected(&self, cdv: Time) {
+        self.hop_rejected.inc();
+        self.record_cdv(cdv);
+    }
+
+    fn record_cdv(&self, cdv: Time) {
+        if self.cdv_cells.is_live() {
+            let cells = cdv.as_ratio().ceil();
+            self.cdv_cells.record(u64::try_from(cells).unwrap_or(0));
+        }
+    }
+
+    /// A setup reached CONNECTED.
+    pub fn setup_connected(&self) {
+        self.setups_connected.inc();
+    }
+
+    /// A setup was refused by the QoS feasibility gate.
+    pub fn setup_rejected_qos(&self) {
+        self.setups_rejected_qos.inc();
+    }
+
+    /// A setup was refused by some switch along the route.
+    pub fn setup_rejected_switch(&self) {
+        self.setups_rejected_switch.inc();
+    }
+
+    /// A connection was torn down.
+    pub fn teardown(&self) {
+        self.teardowns.inc();
+    }
+}

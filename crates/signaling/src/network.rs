@@ -9,6 +9,7 @@ use rtcac_cac::{
 };
 use rtcac_net::{LinkId, NodeId, Route, Topology};
 
+use crate::metrics::NetworkMetrics;
 use crate::{CdvPolicy, SetupRejection, SignalError, SignalEvent};
 
 /// Identifier used as the "incoming link" when a route originates at a
@@ -123,6 +124,7 @@ pub struct Network {
     multicast: BTreeMap<ConnectionId, crate::MulticastInfo>,
     events: Vec<SignalEvent>,
     next_id: u64,
+    metrics: NetworkMetrics,
 }
 
 impl Network {
@@ -141,7 +143,15 @@ impl Network {
             multicast: BTreeMap::new(),
             events: Vec::new(),
             next_id: 1,
+            metrics: NetworkMetrics::from_global(),
         }
+    }
+
+    /// Rebinds this network's observability handles to an explicit
+    /// [`rtcac_obs::Registry`] instead of the process-global one
+    /// (useful for tests and embedders that keep registries isolated).
+    pub fn set_registry(&mut self, registry: &std::sync::Arc<rtcac_obs::Registry>) {
+        self.metrics.rebind(registry);
     }
 
     /// Replaces the configuration of one switch (e.g. to give a core
@@ -306,6 +316,7 @@ impl Network {
         }
         let achievable: Time = per_hop.iter().map(|&(_, b)| b).sum();
         if request.delay_bound() < achievable {
+            self.metrics.setup_rejected_qos();
             return Ok(SetupOutcome::Rejected(SetupRejection::QosUnsatisfiable {
                 requested: request.delay_bound(),
                 achievable,
@@ -333,6 +344,7 @@ impl Network {
                 .ok_or(SignalError::NoSwitchAt(node))?;
             match switch.admit(id, conn_request)? {
                 AdmissionDecision::Admitted(_) => {
+                    self.metrics.hop_admitted(cdv);
                     admitted_at.push(node);
                     self.events.push(SignalEvent::SetupForwarded {
                         connection: id,
@@ -343,6 +355,8 @@ impl Network {
                     upstream_bounds.push(per_hop[hop].1);
                 }
                 AdmissionDecision::Rejected(reason) => {
+                    self.metrics.hop_rejected(cdv);
+                    self.metrics.setup_rejected_switch();
                     // REJECT travels upstream: roll back reservations.
                     for &up in admitted_at.iter().rev() {
                         self.switches
@@ -371,6 +385,7 @@ impl Network {
             guaranteed_delay: achievable,
             per_hop_bounds: per_hop,
         };
+        self.metrics.setup_connected();
         self.events.push(SignalEvent::Connected {
             connection: id,
             guaranteed_delay: achievable,
@@ -397,6 +412,7 @@ impl Network {
                 .ok_or(SignalError::NoSwitchAt(node))?
                 .release(id)?;
         }
+        self.metrics.teardown();
         self.events.push(SignalEvent::Released { connection: id });
         Ok(())
     }
@@ -610,6 +626,34 @@ mod tests {
             ),
             Err(SignalError::NoSwitchAt(_))
         ));
+    }
+
+    #[test]
+    fn explicit_registry_counts_hops_and_outcomes() {
+        use std::sync::Arc;
+        let registry = Arc::new(rtcac_obs::Registry::new());
+        let (mut net, route) = line_net(3, 32);
+        net.set_registry(&registry);
+        // One connected setup (3 hops), one QoS rejection, one teardown.
+        let ok = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(200));
+        let outcome = net.setup(&route, ok).unwrap();
+        let id = match outcome {
+            SetupOutcome::Connected(info) => info.id(),
+            other => panic!("expected connection, got {other:?}"),
+        };
+        let qos = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(10));
+        assert!(!net.setup(&route, qos).unwrap().is_connected());
+        net.teardown(id).unwrap();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("signaling_hop_checks_total"), 3);
+        assert_eq!(snap.counter_total("signaling_setups_total"), 2);
+        assert_eq!(snap.counter("signaling_teardowns_total"), Some(1));
+        // Hop CDVs were 0, 32, 64 cell times: three observations, the
+        // largest being 64.
+        let cdv = snap.histogram("signaling_cdv_cells").unwrap();
+        assert_eq!(cdv.count, 3);
+        assert_eq!(cdv.max, 64);
     }
 
     #[test]

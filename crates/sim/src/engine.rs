@@ -1,6 +1,7 @@
 //! The slotted simulation engine.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rtcac_bitstream::TrafficContract;
 use rtcac_cac::{ConnectionId, Priority};
@@ -64,6 +65,7 @@ pub struct Simulation {
     queue_capacity: Option<usize>,
     jitter: Option<Jitter>,
     connections: BTreeMap<ConnectionId, SimConnection>,
+    registry: Option<Arc<rtcac_obs::Registry>>,
 }
 
 /// Bounded random propagation jitter injected on switch output links,
@@ -87,7 +89,15 @@ impl Simulation {
             queue_capacity: None,
             jitter: None,
             connections: BTreeMap::new(),
+            registry: None,
         }
+    }
+
+    /// Publishes each run's aggregate counters and queue-depth gauges
+    /// to an explicit [`rtcac_obs::Registry`] instead of the
+    /// process-global one.
+    pub fn set_registry(&mut self, registry: Arc<rtcac_obs::Registry>) {
+        self.registry = Some(registry);
     }
 
     /// Mirrors all connections established in a CAC-managed network as
@@ -389,10 +399,51 @@ impl Simulation {
             stats.in_flight = stats.emitted + stats.duplicated - stats.delivered - stats.dropped;
         }
 
+        self.publish_observability(&port_stats, &conn_stats, slots);
+
         SimReport {
             ports: port_stats,
             connections: conn_stats,
             slots,
+        }
+    }
+
+    /// End-of-run observability fold (cold path: once per `run`, after
+    /// the slot loop). Counters accumulate across runs; queue-depth
+    /// gauges keep the maximum ever observed.
+    fn publish_observability(
+        &self,
+        port_stats: &BTreeMap<(LinkId, Priority), PortStats>,
+        conn_stats: &BTreeMap<ConnectionId, ConnectionStats>,
+        slots: u64,
+    ) {
+        let registry: &rtcac_obs::Registry = match &self.registry {
+            Some(r) => r,
+            None => match rtcac_obs::global() {
+                Some(r) => r,
+                None => return,
+            },
+        };
+        registry.counter("sim_runs_total").inc();
+        registry.counter("sim_slots_total").add(slots);
+        let mut emitted = 0u64;
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        for stats in conn_stats.values() {
+            emitted += stats.emitted + stats.duplicated;
+            delivered += stats.delivered;
+            dropped += stats.dropped;
+        }
+        registry.counter("sim_cells_emitted_total").add(emitted);
+        registry.counter("sim_cells_delivered_total").add(delivered);
+        registry.counter("sim_cells_dropped_total").add(dropped);
+        let delay = registry.histogram("sim_port_max_delay_slots");
+        for (&(_, priority), stats) in port_stats {
+            let label = priority.level().to_string();
+            registry
+                .gauge_with("sim_queue_depth_max_cells", &[("priority", &label)])
+                .record_max(stats.max_occupancy as u64);
+            delay.record(stats.max_delay);
         }
     }
 
@@ -568,6 +619,66 @@ mod tests {
         assert!(report.total_drops() > 0);
         let dropped: u64 = report.connections().map(|(_, c)| c.dropped).sum();
         assert_eq!(dropped, report.total_drops());
+    }
+
+    #[test]
+    fn run_publishes_drop_counters_and_depth_gauges() {
+        // Same overloaded fan-in as `queue_capacity_causes_drops`, but
+        // with an explicit registry: the published counters must match
+        // the report exactly.
+        let mut t = Topology::new();
+        let a = t.add_end_system("a");
+        let b = t.add_end_system("b");
+        let s = t.add_switch("s");
+        let d = t.add_end_system("d");
+        t.add_link(a, s).unwrap();
+        t.add_link(b, s).unwrap();
+        t.add_link(s, d).unwrap();
+        let ra = Route::from_nodes(&t, [a, s, d]).unwrap();
+        let rb = Route::from_nodes(&t, [b, s, d]).unwrap();
+        let mut sim = Simulation::new(&t);
+        sim.set_queue_capacity(Some(4));
+        for (id, r) in [(1, ra), (2, rb)] {
+            sim.add_connection(
+                ConnectionId::new(id),
+                r,
+                Priority::HIGHEST,
+                cbr(1, 1),
+                TrafficPattern::Greedy,
+            )
+            .unwrap();
+        }
+        let registry = Arc::new(rtcac_obs::Registry::new());
+        sim.set_registry(Arc::clone(&registry));
+        let report = sim.run(200);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sim_runs_total"), Some(1));
+        assert_eq!(snap.counter("sim_slots_total"), Some(200));
+        assert_eq!(
+            snap.counter("sim_cells_dropped_total"),
+            Some(report.total_drops())
+        );
+        let emitted: u64 = report
+            .connections()
+            .map(|(_, c)| c.emitted + c.duplicated)
+            .sum();
+        assert_eq!(snap.counter("sim_cells_emitted_total"), Some(emitted));
+        // The bounded queue saturated: the depth gauge shows it.
+        assert_eq!(
+            snap.gauge("sim_queue_depth_max_cells"),
+            None,
+            "gauge is labelled"
+        );
+        let depth = snap
+            .gauges
+            .iter()
+            .find(|(id, _)| id.name() == "sim_queue_depth_max_cells")
+            .map(|&(_, v)| v)
+            .unwrap();
+        // A cell is admitted while at most `capacity` cells sit ahead
+        // of it, so a saturated queue holds capacity + 1 cells.
+        assert_eq!(depth, 5);
     }
 
     #[test]

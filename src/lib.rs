@@ -21,7 +21,10 @@
 //! - [`sim`] — a cell-level slotted ATM simulator used to validate the
 //!   analytic bounds empirically;
 //! - [`rtnet`] — the RTnet evaluation of §5: cyclic transmission
-//!   classes and the experiment drivers behind Figures 10–13.
+//!   classes and the experiment drivers behind Figures 10–13;
+//! - [`obs`] — std-only observability: counters, log2 histograms,
+//!   trace spans, a bounded event ring, and Prometheus/JSON
+//!   exposition, wired through the engine, signaling, and simulator.
 //!
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
@@ -55,6 +58,7 @@ pub use rtcac_bitstream as bitstream;
 pub use rtcac_cac as cac;
 pub use rtcac_engine as engine;
 pub use rtcac_net as net;
+pub use rtcac_obs as obs;
 pub use rtcac_rational as rational;
 pub use rtcac_rtnet as rtnet;
 pub use rtcac_signaling as signaling;

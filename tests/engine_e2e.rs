@@ -115,19 +115,32 @@ fn engine_multiset(
         &engine,
         jobs.iter().map(|(_, r, q)| (r.clone(), *q)),
         workers,
-    );
+    )
+    .expect("no worker died");
     let admitted: Vec<bool> = outcomes
         .iter()
         .map(|o| o.as_ref().unwrap().is_admitted())
         .collect();
     let stats = engine.stats();
     assert_eq!(stats.completed() as usize, jobs.len());
+    assert_outcome_invariant(&stats);
     assert_eq!(
         engine.connection_count() as u64,
         stats.admitted,
         "registry must hold exactly the committed connections"
     );
     multiset(jobs, &admitted)
+}
+
+/// Every submitted setup must land in exactly one outcome bucket: the
+/// engine's documented accounting identity, asserted after every batch.
+fn assert_outcome_invariant(stats: &rtcac::engine::EngineStats) {
+    assert_eq!(
+        stats.submitted,
+        stats.admitted + stats.rejected + stats.aborted + stats.errored,
+        "outcome counters must partition submissions: {stats:?}"
+    );
+    assert_eq!(stats.errored, 0, "well-formed batches never error");
 }
 
 fn serial_multiset(
@@ -193,7 +206,8 @@ fn released_capacity_is_reusable_under_concurrency() {
             )
         })
     };
-    let first: Vec<_> = run_batch(&engine, jobs(), 4);
+    let first: Vec<_> = run_batch(&engine, jobs(), 4).expect("no worker died");
+    assert_outcome_invariant(&engine.stats());
     let capacity = first
         .iter()
         .filter(|o| o.as_ref().unwrap().is_admitted())
@@ -206,8 +220,10 @@ fn released_capacity_is_reusable_under_concurrency() {
     }
     assert_eq!(engine.connection_count(), 0);
     let second = run_batch(&engine, jobs(), 4)
+        .expect("no worker died")
         .iter()
         .filter(|o| o.as_ref().unwrap().is_admitted())
         .count();
     assert_eq!(second, capacity);
+    assert_outcome_invariant(&engine.stats());
 }
