@@ -64,6 +64,19 @@ impl SofCache {
         self.bounds.clear();
     }
 
+    /// Drops every entry written at an epoch *newer* than `epoch`.
+    ///
+    /// Required after [`Switch::rewind_epoch`](crate::Switch::rewind_epoch):
+    /// once the epoch counter is rewound, the switch will re-reach the
+    /// dropped epochs with potentially different tables, so entries
+    /// tagged with them would otherwise produce false hits. Entries at
+    /// `epoch` or older are kept (they stay valid or harmlessly stale).
+    pub fn invalidate_newer(&mut self, epoch: u64) {
+        self.interference.retain(|_, &mut (e, _)| e <= epoch);
+        self.aggregates.retain(|_, &mut (e, _)| e <= epoch);
+        self.bounds.retain(|_, &mut (e, _)| e <= epoch);
+    }
+
     pub(crate) fn interference(
         &mut self,
         epoch: u64,

@@ -98,6 +98,30 @@ impl Switch {
         self.epoch
     }
 
+    /// Rewinds the table epoch to `to`, an earlier value previously
+    /// observed via [`Switch::epoch`].
+    ///
+    /// The caller must guarantee the stream tables and connection set
+    /// are bit-identical to their state when `to` was read — i.e. every
+    /// admit since then has been undone by a matching release. A
+    /// two-phase engine uses this after rolling back an aborted
+    /// reservation so the shard is indistinguishable from the
+    /// pre-reserve state and warm [`SofCache`] entries stay valid;
+    /// pair it with [`SofCache::invalidate_newer`] so entries written
+    /// during the rolled-back window can never be mistaken for current.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `to` does not exceed the current epoch.
+    pub fn rewind_epoch(&mut self, to: u64) {
+        debug_assert!(
+            to <= self.epoch,
+            "rewind_epoch({to}) past current epoch {}",
+            self.epoch
+        );
+        self.epoch = to;
+    }
+
     /// The fixed queueing delay bound the switch advertises for a
     /// priority level (paper §4.1: equal to the FIFO queue size).
     ///
@@ -772,6 +796,48 @@ mod tests {
         assert_eq!(sw.epoch(), 1);
         sw.release(ConnectionId::new(1)).unwrap();
         assert_eq!(sw.epoch(), 2);
+    }
+
+    #[test]
+    fn rewind_epoch_with_invalidation_keeps_cache_honest() {
+        let mut sw = one_level_switch(32);
+        let mut cache = SofCache::new();
+        sw.admit(ConnectionId::new(1), request(cbr(1, 8), 0, 0, 0))
+            .unwrap();
+        let pre = sw.epoch();
+        let bound_pre = sw
+            .computed_bound_cached(l(100), Priority::HIGHEST, &mut cache)
+            .unwrap();
+        // A reserve that later aborts: admit then undo via release.
+        sw.admit_cached(
+            ConnectionId::new(2),
+            request(cbr(1, 8), 0, 1, 0),
+            &mut cache,
+        )
+        .unwrap();
+        sw.release(ConnectionId::new(2)).unwrap();
+        sw.rewind_epoch(pre);
+        cache.invalidate_newer(pre);
+        assert_eq!(sw.epoch(), pre);
+        // The pre-reserve entry survives and is served as a hit...
+        let hits_before = cache.hits();
+        let bound_back = sw
+            .computed_bound_cached(l(100), Priority::HIGHEST, &mut cache)
+            .unwrap();
+        assert_eq!(bound_back, bound_pre);
+        assert_eq!(cache.hits(), hits_before + 1);
+        // ...and when the epoch re-advances past the invalidated window
+        // with *different* tables, no stale entry can answer: the next
+        // lookup must miss and recompute.
+        sw.admit(ConnectionId::new(3), request(cbr(1, 4), 0, 2, 0))
+            .unwrap();
+        let fresh = sw.computed_bound(l(100), Priority::HIGHEST).unwrap();
+        let misses_before = cache.misses();
+        let cached = sw
+            .computed_bound_cached(l(100), Priority::HIGHEST, &mut cache)
+            .unwrap();
+        assert_eq!(cached, fresh);
+        assert_eq!(cache.misses(), misses_before + 1);
     }
 
     #[test]

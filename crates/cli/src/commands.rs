@@ -7,13 +7,14 @@ use std::sync::Arc;
 use rtcac_bitstream::{BitStream, CbrParams, Rate, Time, TrafficContract, VbrParams};
 use rtcac_cac::Priority;
 use rtcac_engine::{run_batch, AdmissionEngine, EngineOutcome};
-use rtcac_net::LinkId;
+use rtcac_fault::{endpoint_pairs, run_chaos, ChaosConfig, ChaosReport, FaultPlan};
+use rtcac_net::{LinkId, NodeId};
 use rtcac_rational::Ratio;
 use rtcac_rtnet::{workload, CdvMode};
-use rtcac_signaling::{Network, SetupOutcome};
+use rtcac_signaling::{CrankbackPolicy, Network, SetupOutcome};
 use rtcac_sim::Simulation;
 
-use crate::scenario::{RouteKind, Scenario};
+use crate::scenario::{ConnectionSpec, RouteKind, Scenario, ScenarioAction};
 use crate::CliError;
 
 /// Parameters of the `bound` calculator.
@@ -90,55 +91,83 @@ pub fn bound(args: &BoundArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `rtcac check`: run every `connect` of the scenario through the
-/// distributed setup procedure.
+/// `rtcac check`: replay the scenario's actions in file order through
+/// the distributed setup procedure — connects (with optional ATM
+/// crankback), element failures and repairs, and seeded chaos
+/// sessions.
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Domain`] on API-level failures; rejections are
-/// reported in the output, not raised.
+/// Returns [`CliError::Domain`] on API-level failures or when an
+/// embedded `chaos` directive violates the engine's safety invariants;
+/// CAC rejections are reported in the output, not raised.
 pub fn check(scenario: &Scenario) -> Result<String, CliError> {
     let mut network = build_network(scenario)?;
     let mut out = String::new();
     let mut connected = 0;
-    for spec in &scenario.connections {
-        match &spec.route {
-            RouteKind::Unicast(route) => match network
-                .setup(route, spec.request)
-                .map_err(CliError::domain)?
-            {
-                SetupOutcome::Connected(info) => {
-                    connected += 1;
-                    let _ = writeln!(
-                        out,
-                        "{}: CONNECTED guaranteed_delay={} cells over {} hops",
-                        spec.name,
-                        info.guaranteed_delay(),
-                        info.per_hop_bounds().len()
-                    );
+    for action in &scenario.actions {
+        match *action {
+            ScenarioAction::Connect(i) => {
+                let spec = &scenario.connections[i];
+                connected += connect_one(&mut network, scenario, spec, &mut out)?;
+            }
+            ScenarioAction::FailLink(link) => {
+                let impact = network.fail_link(link).map_err(CliError::domain)?;
+                let _ = writeln!(
+                    out,
+                    "fail-link {}: {}",
+                    link_label(scenario, link),
+                    if impact.is_changed() {
+                        format!("down, {} connection(s) torn down", impact.torn_down().len())
+                    } else {
+                        "already down".into()
+                    }
+                );
+            }
+            ScenarioAction::HealLink(link) => {
+                let healed = network.heal_link(link).map_err(CliError::domain)?;
+                let _ = writeln!(
+                    out,
+                    "heal-link {}: {}",
+                    link_label(scenario, link),
+                    if healed { "restored" } else { "already up" }
+                );
+            }
+            ScenarioAction::FailNode(node) => {
+                let impact = network.fail_node(node).map_err(CliError::domain)?;
+                let _ = writeln!(
+                    out,
+                    "fail-node {}: {}",
+                    node_label(scenario, node),
+                    if impact.is_changed() {
+                        format!("down, {} connection(s) torn down", impact.torn_down().len())
+                    } else {
+                        "already down".into()
+                    }
+                );
+            }
+            ScenarioAction::HealNode(node) => {
+                let healed = network.heal_node(node).map_err(CliError::domain)?;
+                let _ = writeln!(
+                    out,
+                    "heal-node {}: {}",
+                    node_label(scenario, node),
+                    if healed { "restored" } else { "already up" }
+                );
+            }
+            ScenarioAction::Chaos { seed, steps, rate } => {
+                let report = run_scenario_chaos(scenario, seed, steps, rate)?;
+                let _ = writeln!(out, "chaos seed={seed} steps={steps} rate={rate}%:");
+                for line in report.summary().lines() {
+                    let _ = writeln!(out, "  {line}");
                 }
-                SetupOutcome::Rejected(why) => {
-                    let _ = writeln!(out, "{}: REJECTED ({why})", spec.name);
+                if !report.invariants_hold() {
+                    return Err(CliError::Domain(format!(
+                        "chaos seed={seed} violated the safety invariants:\n{}",
+                        report.summary()
+                    )));
                 }
-            },
-            RouteKind::Multicast(tree) => match network
-                .setup_multicast(tree, spec.request)
-                .map_err(CliError::domain)?
-            {
-                rtcac_signaling::MulticastOutcome::Connected(info) => {
-                    connected += 1;
-                    let _ = writeln!(
-                        out,
-                        "{}: CONNECTED (p2mp) worst_leaf_delay={} cells over {} leaves",
-                        spec.name,
-                        info.guaranteed_delay(),
-                        info.per_leaf().len()
-                    );
-                }
-                rtcac_signaling::MulticastOutcome::Rejected(why) => {
-                    let _ = writeln!(out, "{}: REJECTED ({why})", spec.name);
-                }
-            },
+            }
         }
     }
     let _ = writeln!(
@@ -169,6 +198,124 @@ pub fn check(scenario: &Scenario) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Establishes one scenario connection over the live network,
+/// appending its report line; returns 1 if it connected.
+fn connect_one(
+    network: &mut Network,
+    scenario: &Scenario,
+    spec: &ConnectionSpec,
+    out: &mut String,
+) -> Result<usize, CliError> {
+    if let Some(retries) = spec.crankback {
+        let RouteKind::Unicast(route) = &spec.route else {
+            return Err(CliError::Usage(format!(
+                "'{}': crankback applies to unicast connects only",
+                spec.name
+            )));
+        };
+        let from = route.source(&scenario.topology).map_err(CliError::domain)?;
+        let to = route
+            .destination(&scenario.topology)
+            .map_err(CliError::domain)?;
+        let policy = CrankbackPolicy {
+            max_retries: retries,
+            ..CrankbackPolicy::default()
+        };
+        let result = network
+            .setup_crankback(from, to, spec.request, policy)
+            .map_err(CliError::domain)?;
+        return Ok(match &result.outcome {
+            SetupOutcome::Connected(info) => {
+                let _ = writeln!(
+                    out,
+                    "{}: CONNECTED guaranteed_delay={} cells over {} hops \
+                     (crankback: {} rejected attempt(s), backoff {} cells)",
+                    spec.name,
+                    info.guaranteed_delay(),
+                    info.per_hop_bounds().len(),
+                    result.attempts.len(),
+                    result.backoff_cells
+                );
+                1
+            }
+            SetupOutcome::Rejected(why) => {
+                let _ = writeln!(
+                    out,
+                    "{}: REJECTED after {} crankback attempt(s) ({why})",
+                    spec.name,
+                    result.attempts.len()
+                );
+                0
+            }
+        });
+    }
+    Ok(match &spec.route {
+        RouteKind::Unicast(route) => match network
+            .setup(route, spec.request)
+            .map_err(CliError::domain)?
+        {
+            SetupOutcome::Connected(info) => {
+                let _ = writeln!(
+                    out,
+                    "{}: CONNECTED guaranteed_delay={} cells over {} hops",
+                    spec.name,
+                    info.guaranteed_delay(),
+                    info.per_hop_bounds().len()
+                );
+                1
+            }
+            SetupOutcome::Rejected(why) => {
+                let _ = writeln!(out, "{}: REJECTED ({why})", spec.name);
+                0
+            }
+        },
+        RouteKind::Multicast(tree) => match network
+            .setup_multicast(tree, spec.request)
+            .map_err(CliError::domain)?
+        {
+            rtcac_signaling::MulticastOutcome::Connected(info) => {
+                let _ = writeln!(
+                    out,
+                    "{}: CONNECTED (p2mp) worst_leaf_delay={} cells over {} leaves",
+                    spec.name,
+                    info.guaranteed_delay(),
+                    info.per_leaf().len()
+                );
+                1
+            }
+            rtcac_signaling::MulticastOutcome::Rejected(why) => {
+                let _ = writeln!(out, "{}: REJECTED ({why})", spec.name);
+                0
+            }
+        },
+    })
+}
+
+/// Runs a `chaos` scenario directive: a seeded chaos session against a
+/// fresh admission engine built over the scenario's topology and
+/// switch configs (independent of the signaling network's state).
+fn run_scenario_chaos(
+    scenario: &Scenario,
+    seed: u64,
+    steps: u64,
+    rate: u64,
+) -> Result<ChaosReport, CliError> {
+    let engine = build_engine(scenario, None)?;
+    let plan = FaultPlan::random(engine.topology(), seed, steps, rate);
+    let pairs = endpoint_pairs(engine.topology());
+    run_chaos(
+        &engine,
+        &pairs,
+        &plan,
+        &ChaosConfig {
+            seed,
+            steps,
+            ..ChaosConfig::default()
+        },
+    )
+    .map_err(CliError::domain)
+}
+
 /// Per-setup results of one engine batch: admission outcome, or the
 /// engine-side failure that kept a setup from finishing.
 type BatchResults = Vec<Result<EngineOutcome, rtcac_engine::EngineError>>;
@@ -181,23 +328,14 @@ fn run_engine_scenario(
     workers: usize,
     registry: Option<&Arc<rtcac_obs::Registry>>,
 ) -> Result<(Arc<AdmissionEngine>, BatchResults), CliError> {
-    let default =
-        rtcac_cac::SwitchConfig::uniform(1, Time::from_integer(32)).map_err(CliError::domain)?;
-    let mut engine = match registry {
-        Some(registry) => AdmissionEngine::with_registry(
-            scenario.topology.clone(),
-            default,
-            scenario.policy,
-            Arc::clone(registry),
-        ),
-        None => AdmissionEngine::new(scenario.topology.clone(), default, scenario.policy),
-    };
-    for (&node, config) in &scenario.switch_configs {
-        engine
-            .configure_switch(node, config.clone())
-            .map_err(CliError::domain)?;
+    if scenario.has_fault_actions() {
+        return Err(CliError::Usage(
+            "the scenario contains fault directives; replay them serially with \
+             'rtcac check' (or run a standalone session with 'rtcac chaos')"
+                .into(),
+        ));
     }
-    let engine = Arc::new(engine);
+    let engine = Arc::new(build_engine(scenario, registry)?);
 
     let mut jobs = Vec::new();
     for spec in &scenario.connections {
@@ -214,6 +352,31 @@ fn run_engine_scenario(
     }
     let outcomes = run_batch(&engine, jobs, workers.max(1)).map_err(CliError::domain)?;
     Ok((engine, outcomes))
+}
+
+/// Builds the sharded admission engine for a scenario's topology and
+/// switch configs, optionally observed by `registry`.
+fn build_engine(
+    scenario: &Scenario,
+    registry: Option<&Arc<rtcac_obs::Registry>>,
+) -> Result<AdmissionEngine, CliError> {
+    let default =
+        rtcac_cac::SwitchConfig::uniform(1, Time::from_integer(32)).map_err(CliError::domain)?;
+    let mut engine = match registry {
+        Some(registry) => AdmissionEngine::with_registry(
+            scenario.topology.clone(),
+            default,
+            scenario.policy,
+            Arc::clone(registry),
+        ),
+        None => AdmissionEngine::new(scenario.topology.clone(), default, scenario.policy),
+    };
+    for (&node, config) in &scenario.switch_configs {
+        engine
+            .configure_switch(node, config.clone())
+            .map_err(CliError::domain)?;
+    }
+    Ok(engine)
 }
 
 /// `rtcac engine`: push every unicast `connect` of the scenario
@@ -262,16 +425,28 @@ pub fn engine(
             EngineOutcome::Rejected { rejection, .. } => {
                 let _ = writeln!(out, "{}: REJECTED ({rejection})", spec.name);
             }
+            EngineOutcome::Rerouted {
+                guaranteed_delay,
+                attempts,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{}: REROUTED after {attempts} attempt(s), guaranteed_delay={guaranteed_delay} cells",
+                    spec.name
+                );
+            }
         }
     }
     let stats = engine.stats();
     let _ = writeln!(
         out,
-        "stats: submitted={} admitted={} rejected={} aborted={} cache {}/{} hits",
+        "stats: submitted={} admitted={} rejected={} aborted={} rerouted={} cache {}/{} hits",
         stats.submitted,
         stats.admitted,
         stats.rejected,
         stats.aborted,
+        stats.rerouted,
         stats.cache_hits,
         stats.cache_hits + stats.cache_misses
     );
@@ -311,16 +486,38 @@ pub fn engine(
     if let (Some(path), Some(registry)) = (metrics_path, &registry) {
         let snapshot = registry.snapshot();
         let json_path = format!("{path}.json");
-        std::fs::write(path, snapshot.to_prometheus())
-            .map_err(|e| CliError::Domain(format!("cannot write '{path}': {e}")))?;
-        std::fs::write(&json_path, snapshot.to_json())
-            .map_err(|e| CliError::Domain(format!("cannot write '{json_path}': {e}")))?;
+        write_metrics_file(path, &snapshot.to_prometheus())?;
+        write_metrics_file(&json_path, &snapshot.to_json())?;
         let _ = writeln!(
             out,
             "metrics: wrote {path} (prometheus) and {json_path} (json)"
         );
     }
     Ok(out)
+}
+
+/// Writes a metrics exposition to `path`, creating any missing parent
+/// directories first (so `--metrics out/run/metrics.prom` works on a
+/// fresh checkout).
+///
+/// # Errors
+///
+/// Returns [`CliError::Domain`] naming the path when the directory
+/// cannot be created or the file cannot be written.
+pub(crate) fn write_metrics_file(path: &str, contents: &str) -> Result<(), CliError> {
+    let target = std::path::Path::new(path);
+    if let Some(parent) = target.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                CliError::Domain(format!(
+                    "cannot create metrics directory '{}': {e}",
+                    parent.display()
+                ))
+            })?;
+        }
+    }
+    std::fs::write(target, contents)
+        .map_err(|e| CliError::Domain(format!("cannot write '{path}': {e}")))
 }
 
 /// `rtcac stats`: push the scenario through the sharded engine under a
@@ -353,6 +550,13 @@ pub fn simulate(
     slots: u64,
     jitter: Option<(u64, u64)>,
 ) -> Result<String, CliError> {
+    if scenario.has_fault_actions() {
+        return Err(CliError::Usage(
+            "the scenario contains fault directives; the simulator measures a \
+             static admitted set — replay faults with 'rtcac check'"
+                .into(),
+        ));
+    }
     let mut network = build_network(scenario)?;
     let mut admitted_names: Vec<(rtcac_cac::ConnectionId, String)> = Vec::new();
     for spec in &scenario.connections {
@@ -502,6 +706,97 @@ pub fn rtnet(args: &RtnetArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parameters of the `rtcac chaos` command.
+#[derive(Debug, Clone)]
+pub struct ChaosArgs {
+    /// Ring nodes of the dual star-ring under test.
+    pub nodes: usize,
+    /// Terminals per ring node.
+    pub terminals: usize,
+    /// Seed for both the fault plan and the traffic churn.
+    pub seed: u64,
+    /// Chaos steps to run.
+    pub steps: u64,
+    /// Percent chance of a fault event per step.
+    pub rate: u64,
+    /// Optional metrics output path (Prometheus text, plus `.json`).
+    pub metrics: Option<String>,
+}
+
+/// `rtcac chaos`: a seeded chaos session against the concurrent
+/// admission engine on a dual (counter-rotating) star-ring — random
+/// link/node failures and repairs under live setup/release churn, with
+/// the safety audits of [`rtcac_fault::run_chaos`]. The run is
+/// deterministic: equal seeds give equal plans, traffic, and reports.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for invalid parameters and
+/// [`CliError::Domain`] when the run violates the engine's safety
+/// invariants (orphaned reservations, broken delay guarantees, or
+/// counter non-conservation) — so a CI job fails on the exit code
+/// alone. Metrics, if requested, are written before the verdict.
+pub fn chaos(args: &ChaosArgs) -> Result<String, CliError> {
+    if args.rate > 100 {
+        return Err(CliError::Usage(format!(
+            "--rate must be 0..=100, got {}",
+            args.rate
+        )));
+    }
+    let sr = rtcac_net::builders::dual_star_ring(args.nodes, args.terminals)
+        .map_err(CliError::domain)?;
+    let config =
+        rtcac_cac::SwitchConfig::uniform(1, Time::from_integer(64)).map_err(CliError::domain)?;
+    let registry = Arc::new(rtcac_obs::Registry::new());
+    let engine = AdmissionEngine::with_registry(
+        sr.topology().clone(),
+        config,
+        rtcac_signaling::CdvPolicy::Hard,
+        Arc::clone(&registry),
+    );
+    let plan = FaultPlan::random(engine.topology(), args.seed, args.steps, args.rate);
+    let pairs = endpoint_pairs(engine.topology());
+    let report = run_chaos(
+        &engine,
+        &pairs,
+        &plan,
+        &ChaosConfig {
+            seed: args.seed,
+            steps: args.steps,
+            ..ChaosConfig::default()
+        },
+    )
+    .map_err(CliError::domain)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos: dual star-ring {}x{}, seed={}, {} steps, fault rate {}%",
+        args.nodes, args.terminals, args.seed, args.steps, args.rate
+    );
+    let _ = writeln!(out, "plan: {} fault events", plan.events().len());
+    out.push_str(&report.summary());
+    out.push('\n');
+    if let Some(path) = &args.metrics {
+        let snapshot = registry.snapshot();
+        let json_path = format!("{path}.json");
+        write_metrics_file(path, &snapshot.to_prometheus())?;
+        write_metrics_file(&json_path, &snapshot.to_json())?;
+        let _ = writeln!(
+            out,
+            "metrics: wrote {path} (prometheus) and {json_path} (json)"
+        );
+    }
+    if !report.invariants_hold() {
+        return Err(CliError::Domain(format!(
+            "chaos seed={} violated the safety invariants:\n{}",
+            args.seed,
+            report.summary()
+        )));
+    }
+    Ok(out)
+}
+
 fn build_network(scenario: &Scenario) -> Result<Network, CliError> {
     let default =
         rtcac_cac::SwitchConfig::uniform(1, Time::from_integer(32)).map_err(CliError::domain)?;
@@ -520,6 +815,14 @@ pub fn link_label(scenario: &Scenario, link: LinkId) -> String {
         .link_name(link)
         .map(str::to_owned)
         .unwrap_or_else(|| link.to_string())
+}
+
+/// Pretty-prints a node for reports.
+pub fn node_label(scenario: &Scenario, node: NodeId) -> String {
+    scenario
+        .node_name(node)
+        .map(str::to_owned)
+        .unwrap_or_else(|| node.to_string())
 }
 
 #[cfg(test)]
@@ -649,6 +952,163 @@ connect tiny route=up,mid,down contract=cbr:1/32 delay=64
         assert!(json.contains("\"engine_setups_submitted_total\""), "{json}");
         assert!(json.contains("engine_reserve_ns"), "{json}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_metrics_creates_missing_parent_dirs() {
+        let scenario = Scenario::parse(SCENARIO).unwrap();
+        let dir = std::env::temp_dir().join(format!("rtcac-cli-nested-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep").join("run").join("out.prom");
+        let path_str = path.to_str().unwrap();
+        let out = engine(&scenario, 2, Some(path_str)).unwrap();
+        assert!(out.contains("metrics: wrote"), "{out}");
+        assert!(path.exists(), "metrics file must exist at {path_str}");
+        assert!(std::path::Path::new(&format!("{path_str}.json")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_metrics_path_is_a_named_error() {
+        let dir = std::env::temp_dir().join(format!("rtcac-cli-blocked-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A plain file where a directory component is needed.
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, "not a directory").unwrap();
+        let path = blocker.join("out.prom");
+        let err = write_metrics_file(path.to_str().unwrap(), "x").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(blocker.to_str().unwrap()),
+            "error must name the offending path: {msg}"
+        );
+        let scenario = Scenario::parse(SCENARIO).unwrap();
+        let err = engine(&scenario, 2, Some(path.to_str().unwrap())).unwrap_err();
+        assert!(err.to_string().contains("blocker"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    const FAILOVER_SCENARIO: &str = r#"
+switch s1 bounds=64
+switch s2 bounds=64
+switch s3 bounds=64
+endsystem h1
+endsystem h2
+link up    h1 s1
+link main  s1 s2
+link alt   s1 s3
+link down  s2 h2
+link altdn s3 h2
+connect primary route=up,main,down contract=cbr:1/8 delay=256
+fail-link main
+connect retry from=h1 to=h2 crankback=2 contract=cbr:1/8 delay=256
+heal-link main
+fail-node s3
+heal-node s3
+connect after route=up,main,down contract=cbr:1/8 delay=256
+"#;
+
+    #[test]
+    fn check_replays_fault_directives_in_order() {
+        let scenario = Scenario::parse(FAILOVER_SCENARIO).unwrap();
+        let out = check(&scenario).unwrap();
+        let expect = [
+            "primary: CONNECTED",
+            "fail-link main: down, 1 connection(s) torn down",
+            "retry: CONNECTED",
+            "heal-link main: restored",
+            // 'retry' cranked back onto the alt path through s3, so
+            // failing s3 tears it down.
+            "fail-node s3: down, 1 connection(s) torn down",
+            "heal-node s3: restored",
+            "after: CONNECTED",
+            "summary: 3/3 connected",
+        ];
+        let mut cursor = 0;
+        for needle in expect {
+            let at = out[cursor..]
+                .find(needle)
+                .unwrap_or_else(|| panic!("missing or out of order: '{needle}' in\n{out}"));
+            cursor += at + needle.len();
+        }
+        // The crankback setup reports its rerouting (the dead preferred
+        // path is skipped by the health-aware search).
+        assert!(out.contains("(crankback:"), "{out}");
+    }
+
+    #[test]
+    fn check_runs_embedded_chaos_directives() {
+        // A dual ring so the chaos session's crankback has alternates.
+        let mut text = String::from("policy hard\n");
+        for i in 0..4 {
+            let _ = writeln!(text, "switch s{i} bounds=64");
+            let _ = writeln!(text, "endsystem h{i}");
+            let _ = writeln!(text, "link t{i} h{i} s{i}");
+            let _ = writeln!(text, "link r{i} s{i} h{i}");
+        }
+        for i in 0..4usize {
+            let j = (i + 1) % 4;
+            let _ = writeln!(text, "link cw{i} s{i} s{j}");
+            let _ = writeln!(text, "link ccw{j} s{j} s{i}");
+        }
+        text.push_str("chaos seed=5 steps=40 rate=25\n");
+        let scenario = Scenario::parse(&text).unwrap();
+        let out = check(&scenario).unwrap();
+        assert!(out.contains("chaos seed=5 steps=40 rate=25%:"), "{out}");
+        assert!(out.contains("invariants: OK"), "{out}");
+    }
+
+    #[test]
+    fn engine_and_simulate_refuse_fault_scenarios() {
+        let scenario = Scenario::parse(FAILOVER_SCENARIO).unwrap();
+        let err = engine(&scenario, 2, None).unwrap_err();
+        assert!(err.to_string().contains("fault directives"), "{err}");
+        let err = stats(&scenario, 2, false).unwrap_err();
+        assert!(err.to_string().contains("fault directives"), "{err}");
+        let err = simulate(&scenario, 1_000, None).unwrap_err();
+        assert!(err.to_string().contains("fault directives"), "{err}");
+    }
+
+    #[test]
+    fn chaos_command_reports_and_writes_metrics() {
+        let dir = std::env::temp_dir().join(format!("rtcac-cli-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("chaos.prom");
+        let path_str = path.to_str().unwrap().to_owned();
+        let out = chaos(&ChaosArgs {
+            nodes: 6,
+            terminals: 1,
+            seed: 11,
+            steps: 100,
+            rate: 30,
+            metrics: Some(path_str.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("chaos: dual star-ring 6x1"), "{out}");
+        assert!(out.contains("invariants: OK"), "{out}");
+        assert!(out.contains("metrics: wrote"), "{out}");
+        let prom = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            prom.contains("engine_orphaned_reservations 0"),
+            "the orphan gauge must read 0:\n{prom}"
+        );
+        assert!(prom.contains("engine_element_failures_total"), "{prom}");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Determinism: equal seeds give equal reports.
+        let args = ChaosArgs {
+            nodes: 6,
+            terminals: 1,
+            seed: 11,
+            steps: 100,
+            rate: 30,
+            metrics: None,
+        };
+        assert_eq!(chaos(&args).unwrap(), chaos(&args).unwrap());
+
+        let err = chaos(&ChaosArgs { rate: 101, ..args }).unwrap_err();
+        assert!(err.to_string().contains("--rate"), "{err}");
     }
 
     #[test]

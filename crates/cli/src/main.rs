@@ -17,8 +17,19 @@ USAGE:
       Worst-case queueing delay of N identical connections at one port.
 
   rtcac check SCENARIO_FILE
-      Run the distributed SETUP procedure for every connection in the
-      scenario and report outcomes and final port bounds.
+      Replay the scenario in file order through the distributed SETUP
+      procedure: connects (with optional crankback=N rerouting),
+      fail-link/heal-link/fail-node/heal-node directives, and embedded
+      'chaos' sessions; report outcomes and final port bounds.
+
+  rtcac chaos [--nodes N] [--terminals N] [--seed N] [--steps N]
+              [--rate P] [--metrics PATH]
+      Seeded chaos session on a dual star-ring: random link/node
+      failures and repairs under live setup/release churn through the
+      concurrent engine. Exits nonzero if any safety invariant breaks
+      (orphaned reservations, violated delay guarantees, or counter
+      non-conservation). With --metrics, writes the observability
+      snapshot to PATH (Prometheus) and PATH.json before the verdict.
 
   rtcac engine SCENARIO_FILE [--workers N] [--metrics PATH]
       Batch-admit the scenario through the concurrent sharded engine
@@ -95,6 +106,23 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let metrics = flag_value(&rest, "--metrics")?;
             let scenario = load(path)?;
             commands::engine(&scenario, workers, metrics)
+        }
+        Some("chaos") => {
+            let rest: Vec<&String> = it.collect();
+            let nodes = flag_u64(&rest, "--nodes")?.unwrap_or(16) as usize;
+            let terminals = flag_u64(&rest, "--terminals")?.unwrap_or(1) as usize;
+            let seed = flag_u64(&rest, "--seed")?.unwrap_or(1);
+            let steps = flag_u64(&rest, "--steps")?.unwrap_or(200);
+            let rate = flag_u64(&rest, "--rate")?.unwrap_or(25);
+            let metrics = flag_value(&rest, "--metrics")?.map(str::to_owned);
+            commands::chaos(&commands::ChaosArgs {
+                nodes,
+                terminals,
+                seed,
+                steps,
+                rate,
+                metrics,
+            })
         }
         Some("stats") => {
             let path = it

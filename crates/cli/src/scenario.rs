@@ -23,6 +23,19 @@
 //! # Point-to-multipoint: a tree of links (cells duplicate at branch
 //! # switches).
 //! mconnect b1 tree=up,down,down2 contract=cbr:1/32 delay=96
+//!
+//! # Fault directives interleave with connects in file order ('rtcac
+//! # check' replays them): fail/heal a named element, or re-issue a
+//! # setup with ATM crankback so it routes around dead elements.
+//! fail-link down
+//! connect c4 from=h1 to=h2 crankback=2 contract=cbr:1/16
+//! heal-link down
+//! fail-node s1
+//! heal-node s1
+//!
+//! # A seeded chaos session over this scenario's topology (engine
+//! # churn + random fail/heal, audited for orphans and guarantees).
+//! chaos seed=7 steps=100 rate=25
 //! ```
 //!
 //! Rates are exact rationals (`1/8` or decimals like `0.125`),
@@ -56,6 +69,36 @@ pub struct ConnectionSpec {
     pub route: RouteKind,
     /// The setup request (contract, priority, delay bound).
     pub request: SetupRequest,
+    /// Crankback retry budget (`crankback=N`): when set, the setup is
+    /// re-routed around rejecting or dead elements up to N times
+    /// instead of being issued on the fixed route.
+    pub crankback: Option<usize>,
+}
+
+/// One step of a scenario replay, in file order. Plain connect-only
+/// scenarios produce one `Connect` per connection; fault directives
+/// interleave failures, repairs, and chaos sessions between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioAction {
+    /// Establish `connections[i]`.
+    Connect(usize),
+    /// Fail a link (tears down connections routed over it).
+    FailLink(LinkId),
+    /// Restore a failed link.
+    HealLink(LinkId),
+    /// Fail a switch or end system.
+    FailNode(NodeId),
+    /// Restore a failed node.
+    HealNode(NodeId),
+    /// Run a seeded chaos session over the scenario's topology.
+    Chaos {
+        /// Seed for both the fault plan and the traffic churn.
+        seed: u64,
+        /// Number of chaos steps.
+        steps: u64,
+        /// Percent chance of a fault event per step.
+        rate: u64,
+    },
 }
 
 /// A parsed scenario: topology, per-switch configs, CDV policy and the
@@ -70,6 +113,8 @@ pub struct Scenario {
     pub policy: CdvPolicy,
     /// Connections in file order.
     pub connections: Vec<ConnectionSpec>,
+    /// The replay script: connects and fault directives in file order.
+    pub actions: Vec<ScenarioAction>,
     names: BTreeMap<String, NodeId>,
     link_names: BTreeMap<String, LinkId>,
 }
@@ -87,7 +132,10 @@ impl Scenario {
         let mut link_names: BTreeMap<String, LinkId> = BTreeMap::new();
         let mut switch_configs = BTreeMap::new();
         let mut policy = CdvPolicy::Hard;
-        let mut pending_connects: Vec<(usize, Vec<String>)> = Vec::new();
+        // Connects and fault directives reference links by name, so
+        // both are resolved in a second pass once every link exists —
+        // queued together to preserve their file-order interleaving.
+        let mut pending: Vec<(usize, Vec<String>)> = Vec::new();
 
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
@@ -180,21 +228,30 @@ impl Scenario {
                         line_no,
                     )?;
                 }
-                "connect" | "mconnect" => pending_connects.push((line_no, tokens)),
+                "connect" | "mconnect" | "fail-link" | "heal-link" | "fail-node" | "heal-node"
+                | "chaos" => pending.push((line_no, tokens)),
                 other => return Err(err(format!("unknown directive '{other}'"))),
             }
         }
 
-        // Resolve connections once all links exist.
-        let mut connections = Vec::with_capacity(pending_connects.len());
-        for (line_no, tokens) in pending_connects {
-            connections.push(parse_connect(
-                &topology,
-                &names,
-                &link_names,
-                &tokens,
-                line_no,
-            )?);
+        // Second pass: resolve connects and fault directives.
+        let mut connections = Vec::new();
+        let mut actions = Vec::with_capacity(pending.len());
+        for (line_no, tokens) in pending {
+            match tokens[0].as_str() {
+                "connect" | "mconnect" => {
+                    connections.push(parse_connect(
+                        &topology,
+                        &names,
+                        &link_names,
+                        &tokens,
+                        line_no,
+                    )?);
+                    actions.push(ScenarioAction::Connect(connections.len() - 1));
+                }
+                "chaos" => actions.push(parse_chaos(&tokens, line_no)?),
+                fault => actions.push(parse_fault(fault, &names, &link_names, &tokens, line_no)?),
+            }
         }
 
         Ok(Scenario {
@@ -202,9 +259,18 @@ impl Scenario {
             switch_configs,
             policy,
             connections,
+            actions,
             names,
             link_names,
         })
+    }
+
+    /// Whether the scenario contains fault directives (fail/heal/
+    /// chaos) in addition to plain connects.
+    pub fn has_fault_actions(&self) -> bool {
+        self.actions
+            .iter()
+            .any(|a| !matches!(a, ScenarioAction::Connect(_)))
     }
 
     /// Looks up a node by scenario name.
@@ -224,6 +290,87 @@ impl Scenario {
             .find(|(_, &l)| l == id)
             .map(|(n, _)| n.as_str())
     }
+
+    /// The scenario name of a node, for reporting.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.names
+            .iter()
+            .find(|(_, &n)| n == id)
+            .map(|(n, _)| n.as_str())
+    }
+}
+
+/// Resolves a `fail-link`/`heal-link`/`fail-node`/`heal-node`
+/// directive against the named elements.
+fn parse_fault(
+    directive: &str,
+    names: &BTreeMap<String, NodeId>,
+    link_names: &BTreeMap<String, LinkId>,
+    tokens: &[String],
+    line: usize,
+) -> Result<ScenarioAction, CliError> {
+    let name = tokens.get(1).ok_or_else(|| CliError::Parse {
+        line,
+        message: format!("{directive} needs an element name"),
+    })?;
+    if let Some(extra) = tokens.get(2) {
+        return Err(CliError::Parse {
+            line,
+            message: format!("unexpected token '{extra}' after {directive} {name}"),
+        });
+    }
+    match directive {
+        "fail-link" | "heal-link" => {
+            let link = *link_names.get(name).ok_or(CliError::Unknown {
+                kind: "link",
+                name: name.clone(),
+                line,
+            })?;
+            Ok(if directive == "fail-link" {
+                ScenarioAction::FailLink(link)
+            } else {
+                ScenarioAction::HealLink(link)
+            })
+        }
+        _ => {
+            let node = *names.get(name).ok_or(CliError::Unknown {
+                kind: "node",
+                name: name.clone(),
+                line,
+            })?;
+            Ok(if directive == "fail-node" {
+                ScenarioAction::FailNode(node)
+            } else {
+                ScenarioAction::HealNode(node)
+            })
+        }
+    }
+}
+
+/// Parses `chaos [seed=N] [steps=N] [rate=P]`.
+fn parse_chaos(tokens: &[String], line: usize) -> Result<ScenarioAction, CliError> {
+    let err = |message: String| CliError::Parse { line, message };
+    let (mut seed, mut steps, mut rate) = (1u64, 100u64, 25u64);
+    for opt in &tokens[1..] {
+        let (key, value) = opt
+            .split_once('=')
+            .ok_or_else(|| err(format!("unknown chaos option '{opt}'")))?;
+        let parsed: u64 = value
+            .parse()
+            .map_err(|_| err(format!("bad chaos value '{opt}'")))?;
+        match key {
+            "seed" => seed = parsed,
+            "steps" => steps = parsed,
+            "rate" => {
+                if parsed > 100 {
+                    return Err(err(format!("chaos rate must be 0..=100, got {parsed}")));
+                }
+                rate = parsed;
+            }
+            _ => return Err(err(format!("unknown chaos option '{opt}'"))),
+        }
+    }
+    Ok(ScenarioAction::Chaos { seed, steps, rate })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -298,6 +445,7 @@ fn parse_connect(
     let mut contract: Option<TrafficContract> = None;
     let mut priority = Priority::HIGHEST;
     let mut delay = Time::from_integer(1_000_000);
+    let mut crankback: Option<usize> = None;
     let resolve_links = |list: &str| -> Result<Vec<LinkId>, CliError> {
         list.split(',')
             .map(|n| {
@@ -341,6 +489,11 @@ fn parse_connect(
                 .parse::<Ratio>()
                 .map(Time::new)
                 .map_err(|e| err(format!("bad delay '{d}': {e}")))?;
+        } else if let Some(n) = opt.strip_prefix("crankback=") {
+            let retries: usize = n
+                .parse()
+                .map_err(|_| err(format!("bad crankback budget '{n}'")))?;
+            crankback = Some(retries);
         } else {
             return Err(err(format!("unknown connect option '{opt}'")));
         }
@@ -360,11 +513,15 @@ fn parse_connect(
     if multicast && matches!(route, RouteKind::Unicast(_)) {
         return Err(err("mconnect needs tree=, not route=".into()));
     }
+    if multicast && crankback.is_some() {
+        return Err(err("crankback= applies to unicast connects only".into()));
+    }
     let contract = contract.ok_or_else(|| err("connect needs contract=".into()))?;
     Ok(ConnectionSpec {
         name,
         route,
         request: SetupRequest::new(contract, priority, delay),
+        crankback,
     })
 }
 
@@ -567,6 +724,78 @@ mconnect cast tree=up,d2,d3 contract=cbr:1/32 delay=64\n";
             s.topology.link(l).unwrap().capacity(),
             Rate::new(rtcac_rational::ratio(1, 2))
         );
+    }
+
+    #[test]
+    fn fault_directives_interleave_in_file_order() {
+        let text = "\
+switch s1\nswitch s2\nendsystem h1\nendsystem h2\n\
+link up h1 s1\nlink mid s1 s2\nlink down s2 h2\n\
+connect before route=up,mid,down contract=cbr:1/8\n\
+fail-link mid\n\
+connect retry from=h1 to=h2 crankback=2 contract=cbr:1/8\n\
+heal-link mid\n\
+fail-node s2\n\
+heal-node s2\n\
+chaos seed=7 steps=50 rate=30\n";
+        let s = Scenario::parse(text).unwrap();
+        assert!(s.has_fault_actions());
+        assert_eq!(s.connections.len(), 2);
+        assert_eq!(s.connections[0].crankback, None);
+        assert_eq!(s.connections[1].crankback, Some(2));
+        let mid = s.link("mid").unwrap();
+        let s2 = s.node("s2").unwrap();
+        assert_eq!(
+            s.actions,
+            vec![
+                ScenarioAction::Connect(0),
+                ScenarioAction::FailLink(mid),
+                ScenarioAction::Connect(1),
+                ScenarioAction::HealLink(mid),
+                ScenarioAction::FailNode(s2),
+                ScenarioAction::HealNode(s2),
+                ScenarioAction::Chaos {
+                    seed: 7,
+                    steps: 50,
+                    rate: 30
+                },
+            ]
+        );
+        assert_eq!(s.node_name(s2), Some("s2"));
+
+        // A connect-only scenario has no fault actions.
+        let plain = Scenario::parse(GOOD).unwrap();
+        assert!(!plain.has_fault_actions());
+        assert_eq!(
+            plain.actions,
+            vec![ScenarioAction::Connect(0), ScenarioAction::Connect(1)]
+        );
+    }
+
+    #[test]
+    fn malformed_fault_directives_are_rejected() {
+        let base = "switch s\nendsystem h\nlink up h s\n";
+        // Unknown element names carry the reference line.
+        let err = Scenario::parse(&format!("{base}fail-link ghost\n")).unwrap_err();
+        assert_eq!(err.to_string(), "unknown link 'ghost' on line 4");
+        let err = Scenario::parse(&format!("{base}fail-node ghost\n")).unwrap_err();
+        assert_eq!(err.to_string(), "unknown node 'ghost' on line 4");
+        // Missing or trailing tokens.
+        assert!(Scenario::parse(&format!("{base}heal-link\n")).is_err());
+        assert!(Scenario::parse(&format!("{base}fail-link up extra\n")).is_err());
+        // Bad chaos options.
+        assert!(Scenario::parse(&format!("{base}chaos bogus\n")).is_err());
+        assert!(Scenario::parse(&format!("{base}chaos seed=x\n")).is_err());
+        assert!(Scenario::parse(&format!("{base}chaos rate=150\n")).is_err());
+        // Crankback is unicast-only and must be a number.
+        assert!(Scenario::parse(&format!(
+            "{base}endsystem h2\nlink d s h2\nmconnect m tree=up,d crankback=1 contract=cbr:1/8\n"
+        ))
+        .is_err());
+        assert!(Scenario::parse(&format!(
+            "{base}endsystem h2\nlink d s h2\nconnect c route=up,d crankback=no contract=cbr:1/8\n"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! The sharded admission engine and its two-phase setup protocol.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use rtcac_bitstream::Time;
 use rtcac_cac::{AdmissionDecision, ConnectionId, ConnectionRequest, Priority, SwitchConfig};
-use rtcac_net::{NodeId, Route, Topology};
+use rtcac_net::{LinkId, NodeId, Route, Topology};
 use rtcac_obs::Registry;
 use rtcac_signaling::{CdvPolicy, SetupRejection, SetupRequest, LOCAL_INJECTION};
 
@@ -35,20 +35,114 @@ pub enum EngineOutcome {
         /// Why, and how many hops had to be rolled back.
         rejection: SetupRejection,
     },
+    /// The submitted route was (or went) dead, and the connection was
+    /// committed on an alternate route instead — the engine's crankback.
+    Rerouted {
+        /// The established connection's id.
+        id: ConnectionId,
+        /// Guaranteed end-to-end queueing delay on the alternate route.
+        guaranteed_delay: Time,
+        /// The route the connection actually follows.
+        route: Route,
+        /// How many alternate routes were tried before this one stuck.
+        attempts: usize,
+    },
 }
 
 impl EngineOutcome {
-    /// Whether the setup was committed.
+    /// Whether the setup was committed on its *submitted* route.
     pub fn is_admitted(&self) -> bool {
         matches!(self, EngineOutcome::Admitted { .. })
+    }
+
+    /// Whether the connection is established — on the submitted route
+    /// or a crankback alternate.
+    pub fn is_established(&self) -> bool {
+        matches!(
+            self,
+            EngineOutcome::Admitted { .. } | EngineOutcome::Rerouted { .. }
+        )
     }
 }
 
 /// Registry entry for an established connection.
 #[derive(Debug, Clone)]
 struct Established {
-    nodes: Vec<NodeId>,
+    route: Route,
+    points: Vec<(NodeId, LinkId)>,
+    priority: Priority,
+    delay_bound: Time,
     guaranteed_delay: Time,
+}
+
+/// Engine-side element health: the pristine [`Topology`] stays the
+/// immutable route graph, and failures live in this interior-mutable
+/// overlay so `&self` admission paths can observe them. The epoch
+/// counts health *changes*; a reserve phase records it before touching
+/// shards and re-validates under the registry lock before commit, which
+/// is what makes a failure between reserve and commit detectable.
+#[derive(Debug, Default)]
+struct HealthState {
+    down_links: BTreeSet<LinkId>,
+    down_nodes: BTreeSet<NodeId>,
+    epoch: u64,
+}
+
+impl HealthState {
+    fn all_up(&self) -> bool {
+        self.down_links.is_empty() && self.down_nodes.is_empty()
+    }
+}
+
+/// What an engine [`fail_link`](AdmissionEngine::fail_link) /
+/// [`fail_node`](AdmissionEngine::fail_node) call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureImpact {
+    changed: bool,
+    torn_down: Vec<ConnectionId>,
+}
+
+impl FailureImpact {
+    fn unchanged() -> FailureImpact {
+        FailureImpact {
+            changed: false,
+            torn_down: Vec::new(),
+        }
+    }
+
+    /// Whether the element actually changed health.
+    pub fn is_changed(&self) -> bool {
+        self.changed
+    }
+
+    /// The connections force-released because their route crossed the
+    /// failed element.
+    pub fn torn_down(&self) -> &[ConnectionId] {
+        &self.torn_down
+    }
+}
+
+/// One violated guarantee found by
+/// [`AdmissionEngine::verify_guarantees`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuaranteeViolation {
+    /// The connection whose guarantee no longer holds.
+    pub id: ConnectionId,
+    /// The switch where the recomputed bound exceeds the advertised
+    /// one, or `None` when the end-to-end sum exceeds the contracted
+    /// delay bound.
+    pub at: Option<NodeId>,
+    /// The recomputed worst-case delay.
+    pub computed: Time,
+    /// The limit it must stay within.
+    pub limit: Time,
+}
+
+/// Internal result of one admission attempt on one concrete route.
+enum AttemptResult {
+    Committed { guaranteed_delay: Time },
+    Refused { rejection: SetupRejection },
+    RouteDead { link: LinkId },
 }
 
 /// A concurrent, sharded connection admission engine.
@@ -80,9 +174,18 @@ pub struct AdmissionEngine {
     configs: BTreeMap<NodeId, SwitchConfig>,
     shards: BTreeMap<NodeId, Shard>,
     connections: Mutex<BTreeMap<ConnectionId, Established>>,
+    health: Mutex<HealthState>,
+    draining: AtomicBool,
+    reroute_budget: AtomicU64,
     next_id: AtomicU64,
     counters: Counters,
     metrics: EngineMetrics,
+    /// Test-only trap: a link to mark down after the reserve phase of
+    /// the next setup, before the commit-time health re-check — lets
+    /// tests inject a failure into the reserve→commit window
+    /// deterministically.
+    #[cfg(test)]
+    pub(crate) test_fail_after_reserve: Mutex<Option<LinkId>>,
 }
 
 impl AdmissionEngine {
@@ -130,9 +233,14 @@ impl AdmissionEngine {
             configs,
             shards,
             connections: Mutex::new(BTreeMap::new()),
+            health: Mutex::new(HealthState::default()),
+            draining: AtomicBool::new(false),
+            reroute_budget: AtomicU64::new(2),
             next_id: AtomicU64::new(1),
             counters: Counters::default(),
             metrics,
+            #[cfg(test)]
+            test_fail_after_reserve: Mutex::new(None),
         }
     }
 
@@ -267,7 +375,7 @@ impl AdmissionEngine {
     ) -> Result<EngineOutcome, EngineError> {
         Counters::bump(&self.counters.submitted);
         self.metrics.submitted.inc();
-        let result = self.admit_inner(id, route, request);
+        let result = self.admit_routed(id, route, request);
         if result.is_err() {
             Counters::bump(&self.counters.errored);
             self.metrics.errored.inc();
@@ -275,13 +383,159 @@ impl AdmissionEngine {
         result
     }
 
-    fn admit_inner(
+    /// The engine's crankback loop: drives [`admit_attempt`] over the
+    /// submitted route, and when that route is (or goes) dead, searches
+    /// an alternate around the dead elements — up to the reroute
+    /// budget. Terminal-counter bookkeeping happens here, so every
+    /// submitted setup lands in exactly one bucket.
+    ///
+    /// [`admit_attempt`]: AdmissionEngine::admit_attempt
+    fn admit_routed(
         &self,
         id: ConnectionId,
         route: &Route,
         request: SetupRequest,
     ) -> Result<EngineOutcome, EngineError> {
+        if self.draining.load(Ordering::Relaxed) {
+            Counters::bump(&self.counters.rejected);
+            self.metrics.rejected.inc();
+            self.metrics.reject_draining.inc();
+            return Ok(EngineOutcome::Rejected {
+                id,
+                rejection: SetupRejection::Draining,
+            });
+        }
+        let budget = self.reroute_budget.load(Ordering::Relaxed) as usize;
+        let mut attempts: usize = 0;
+        let mut excluded: Vec<LinkId> = Vec::new();
+        let mut reroute_start = None;
+        let mut current = route.clone();
+        loop {
+            match self.admit_attempt(id, &current, request)? {
+                AttemptResult::Committed { guaranteed_delay } => {
+                    return Ok(if attempts == 0 {
+                        Counters::bump(&self.counters.admitted);
+                        self.metrics.admitted.inc();
+                        EngineOutcome::Admitted {
+                            id,
+                            guaranteed_delay,
+                        }
+                    } else {
+                        Counters::bump(&self.counters.rerouted);
+                        self.metrics.rerouted.inc();
+                        self.metrics
+                            .record_since(reroute_start, &self.metrics.reroute_ns);
+                        EngineOutcome::Rerouted {
+                            id,
+                            guaranteed_delay,
+                            route: current,
+                            attempts,
+                        }
+                    });
+                }
+                AttemptResult::Refused { rejection } => {
+                    let aborted = matches!(
+                        &rejection,
+                        SetupRejection::Switch { hops_rolled_back, .. } if *hops_rolled_back > 0
+                    );
+                    if aborted {
+                        Counters::bump(&self.counters.aborted);
+                        self.metrics.aborted.inc();
+                    } else {
+                        Counters::bump(&self.counters.rejected);
+                        self.metrics.rejected.inc();
+                    }
+                    return Ok(EngineOutcome::Rejected { id, rejection });
+                }
+                AttemptResult::RouteDead { link } => {
+                    if !excluded.contains(&link) {
+                        excluded.push(link);
+                    }
+                    let alternate = if attempts < budget {
+                        self.alternate_route(route, &excluded)
+                    } else {
+                        None
+                    };
+                    match alternate {
+                        Some(alt) => {
+                            attempts += 1;
+                            if reroute_start.is_none() {
+                                reroute_start = self.metrics.start();
+                            }
+                            current = alt;
+                        }
+                        None => {
+                            Counters::bump(&self.counters.rejected);
+                            self.metrics.rejected.inc();
+                            self.metrics.reject_route_down.inc();
+                            return Ok(EngineOutcome::Rejected {
+                                id,
+                                rejection: SetupRejection::RouteDown { link },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A healthy alternate route between `route`'s endpoints avoiding
+    /// every down element plus `excluded`, or `None` when no such
+    /// route exists.
+    fn alternate_route(&self, route: &Route, excluded: &[LinkId]) -> Option<Route> {
+        let from = route.source(&self.topology).ok()?;
+        let to = route.destination(&self.topology).ok()?;
+        let (avoid_links, avoid_nodes) = {
+            let health = self.lock_health();
+            let mut links: Vec<LinkId> = health.down_links.iter().copied().collect();
+            links.extend(excluded.iter().copied());
+            let nodes: Vec<NodeId> = health.down_nodes.iter().copied().collect();
+            (links, nodes)
+        };
+        self.topology
+            .shortest_route_avoiding(from, to, &avoid_links, &avoid_nodes)
+            .ok()
+    }
+
+    /// The first link of `route` that is unusable under the health
+    /// overlay (the link itself or one of its endpoints is down).
+    fn overlay_dead_link(
+        &self,
+        route: &Route,
+        health: &HealthState,
+    ) -> Result<Option<LinkId>, EngineError> {
+        if health.all_up() {
+            return Ok(None);
+        }
+        for &id in route.links() {
+            if health.down_links.contains(&id) {
+                return Ok(Some(id));
+            }
+            let link = self.topology.link(id)?;
+            if health.down_nodes.contains(&link.from()) || health.down_nodes.contains(&link.to()) {
+                return Ok(Some(id));
+            }
+        }
+        Ok(None)
+    }
+
+    /// One two-phase reserve/commit attempt on one concrete route.
+    fn admit_attempt(
+        &self,
+        id: ConnectionId,
+        route: &Route,
+        request: SetupRequest,
+    ) -> Result<AttemptResult, EngineError> {
         let points = route.queueing_points(&self.topology)?;
+
+        // Route health gate — a cheap refusal before any shard lock
+        // when the route is already known dead.
+        {
+            let health = self.lock_health();
+            if let Some(link) = self.overlay_dead_link(route, &health)? {
+                return Ok(AttemptResult::RouteDead { link });
+            }
+        }
 
         // QoS feasibility gate and per-hop CDV — computed lock-free
         // from the static per-node configurations: the advertised
@@ -296,11 +550,8 @@ impl AdmissionEngine {
         }
         let achievable: Time = per_hop.iter().copied().sum();
         if request.delay_bound() < achievable {
-            Counters::bump(&self.counters.rejected);
-            self.metrics.rejected.inc();
             self.metrics.reject_qos.inc();
-            return Ok(EngineOutcome::Rejected {
-                id,
+            return Ok(AttemptResult::Refused {
                 rejection: SetupRejection::QosUnsatisfiable {
                     requested: request.delay_bound(),
                     achievable,
@@ -338,6 +589,10 @@ impl AdmissionEngine {
         // route order under the precomputed CDV.
         let reserve_start = self.metrics.start();
         let mut guards = self.lock_route_shards(points.iter().map(|&(n, _)| n))?;
+        let pre_epochs: BTreeMap<NodeId, u64> = guards
+            .iter()
+            .map(|(&node, state)| (node, state.switch.epoch()))
+            .collect();
         let cache_before = self.metrics.live.then(|| Self::cache_totals(&guards));
         let mut reserved: Vec<NodeId> = Vec::new();
         for &(node, conn_request) in &hop_requests {
@@ -352,34 +607,17 @@ impl AdmissionEngine {
                     // before any lock is dropped.
                     let rollback_start = self.metrics.start();
                     let hops_rolled_back = reserved.len();
-                    let mut rolled: Vec<NodeId> = Vec::new();
-                    for &up in reserved.iter().rev() {
-                        if rolled.contains(&up) {
-                            continue; // multi-leg: one release frees all
-                        }
-                        guards
-                            .get_mut(&up)
-                            .expect("reserved shard locked")
-                            .switch
-                            .release(id)?;
-                        rolled.push(up);
-                    }
+                    Self::rollback(&mut guards, &pre_epochs, &reserved, id)?;
                     self.record_cache_deltas(cache_before, &guards);
                     if hops_rolled_back > 0 {
-                        Counters::bump(&self.counters.aborted);
-                        self.metrics.aborted.inc();
                         self.metrics
                             .record_since(rollback_start, &self.metrics.rollback_ns);
                         self.metrics.record_abort_event(format!(
                             "conn {id} refused at node {node}: rolled back {hops_rolled_back} hop(s)"
                         ));
-                    } else {
-                        Counters::bump(&self.counters.rejected);
-                        self.metrics.rejected.inc();
                     }
                     self.metrics.reject_switch.inc();
-                    return Ok(EngineOutcome::Rejected {
-                        id,
+                    return Ok(AttemptResult::Refused {
                         rejection: SetupRejection::Switch {
                             at: node,
                             reason,
@@ -393,24 +631,97 @@ impl AdmissionEngine {
             .record_since(reserve_start, &self.metrics.reserve_ns);
         self.record_cache_deltas(cache_before, &guards);
 
+        // Test trap: fail a link inside the reserve→commit window.
+        #[cfg(test)]
+        {
+            let trap = self
+                .test_fail_after_reserve
+                .lock()
+                .expect("trap mutex poisoned")
+                .take();
+            if let Some(link) = trap {
+                let mut health = self.lock_health();
+                if health.down_links.insert(link) {
+                    health.epoch += 1;
+                }
+            }
+        }
+
         // Phase 2 (commit): record the connection while the shard locks
         // are still held, so a concurrent release cannot interleave.
+        //
+        // The registry lock serializes this block against `fail_link` /
+        // `fail_node`, which mark health and snapshot the affected
+        // connections under the same lock — so a failure racing a setup
+        // is seen by exactly one side: either the health re-check here
+        // observes it (and the reserve is rolled back), or the failure
+        // path sees the committed registry entry (and tears it down).
         let commit_start = self.metrics.start();
-        self.lock_registry().insert(
-            id,
-            Established {
-                nodes: points.iter().map(|&(n, _)| n).collect(),
-                guaranteed_delay: achievable,
-            },
-        );
-        Counters::bump(&self.counters.admitted);
-        self.metrics.admitted.inc();
+        {
+            let mut registry = self.lock_registry();
+            let dead = {
+                let health = self.lock_health();
+                self.overlay_dead_link(route, &health)?
+            };
+            if let Some(link) = dead {
+                drop(registry);
+                let rollback_start = self.metrics.start();
+                Self::rollback(&mut guards, &pre_epochs, &reserved, id)?;
+                self.metrics
+                    .record_since(rollback_start, &self.metrics.rollback_ns);
+                self.metrics.record_abort_event(format!(
+                    "conn {id}: link {link} failed between reserve and commit; rolled back {} hop(s)",
+                    reserved.len()
+                ));
+                return Ok(AttemptResult::RouteDead { link });
+            }
+            registry.insert(
+                id,
+                Established {
+                    route: route.clone(),
+                    points,
+                    priority: request.priority(),
+                    delay_bound: request.delay_bound(),
+                    guaranteed_delay: achievable,
+                },
+            );
+        }
         self.metrics
             .record_since(commit_start, &self.metrics.commit_ns);
-        Ok(EngineOutcome::Admitted {
-            id,
+        Ok(AttemptResult::Committed {
             guaranteed_delay: achievable,
         })
+    }
+
+    /// Rolls back every reserved hop and rewinds each touched shard's
+    /// table epoch (with matching cache invalidation), so the shards
+    /// end bit-identical to their pre-reserve state.
+    fn rollback(
+        guards: &mut BTreeMap<NodeId, MutexGuard<'_, ShardState>>,
+        pre_epochs: &BTreeMap<NodeId, u64>,
+        reserved: &[NodeId],
+        id: ConnectionId,
+    ) -> Result<(), EngineError> {
+        let mut rolled: Vec<NodeId> = Vec::new();
+        for &up in reserved.iter().rev() {
+            if rolled.contains(&up) {
+                continue; // multi-leg: one release frees all
+            }
+            guards
+                .get_mut(&up)
+                .expect("reserved shard locked")
+                .switch
+                .release(id)?;
+            rolled.push(up);
+        }
+        for up in rolled {
+            let pre = pre_epochs[&up];
+            let state = guards.get_mut(&up).expect("reserved shard locked");
+            let ShardState { switch, cache } = &mut **state;
+            switch.rewind_epoch(pre);
+            cache.invalidate_newer(pre);
+        }
+        Ok(())
     }
 
     /// Summed (hits, misses) across a set of locked shards.
@@ -445,13 +756,254 @@ impl AdmissionEngine {
             .lock_registry()
             .remove(&id)
             .ok_or(EngineError::UnknownConnection(id))?;
-        let mut guards = self.lock_route_shards(entry.nodes.iter().copied())?;
+        let mut guards = self.lock_route_shards(entry.points.iter().map(|&(n, _)| n))?;
         for (_, state) in guards.iter_mut() {
             state.switch.release(id)?;
         }
         Counters::bump(&self.counters.released);
         self.metrics.released.inc();
         Ok(())
+    }
+
+    /// Marks a link down in the engine's health overlay and
+    /// force-releases every established connection whose route crosses
+    /// it. New setups over the link are refused (or rerouted around it)
+    /// and reserve/commit windows in flight observe the failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Net`] for a foreign link id.
+    pub fn fail_link(&self, link: LinkId) -> Result<FailureImpact, EngineError> {
+        self.topology.link(link)?;
+        let affected: Vec<ConnectionId> = {
+            let registry = self.lock_registry();
+            let mut health = self.lock_health();
+            if !health.down_links.insert(link) {
+                return Ok(FailureImpact::unchanged());
+            }
+            health.epoch += 1;
+            drop(health);
+            registry
+                .iter()
+                .filter(|(_, e)| e.route.links().contains(&link))
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        self.metrics.link_failures.inc();
+        self.fail_over(affected)
+    }
+
+    /// Marks a link up again in the health overlay. Returns whether
+    /// the state changed (healing a healthy link is a no-op).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Net`] for a foreign link id.
+    pub fn heal_link(&self, link: LinkId) -> Result<bool, EngineError> {
+        self.topology.link(link)?;
+        let changed = {
+            let mut health = self.lock_health();
+            let changed = health.down_links.remove(&link);
+            if changed {
+                health.epoch += 1;
+            }
+            changed
+        };
+        if changed {
+            self.metrics.link_heals.inc();
+        }
+        Ok(changed)
+    }
+
+    /// Marks a node down in the health overlay and force-releases
+    /// every established connection whose route visits it (as endpoint
+    /// or transit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Net`] for a foreign node id.
+    pub fn fail_node(&self, node: NodeId) -> Result<FailureImpact, EngineError> {
+        self.topology.node(node)?;
+        let affected: Vec<ConnectionId> = {
+            let registry = self.lock_registry();
+            let mut health = self.lock_health();
+            if !health.down_nodes.insert(node) {
+                return Ok(FailureImpact::unchanged());
+            }
+            health.epoch += 1;
+            drop(health);
+            let mut ids = Vec::new();
+            for (&id, entry) in registry.iter() {
+                if route_visits(&self.topology, &entry.route, node)? {
+                    ids.push(id);
+                }
+            }
+            ids
+        };
+        self.metrics.node_failures.inc();
+        self.fail_over(affected)
+    }
+
+    /// Marks a node up again in the health overlay. Returns whether
+    /// the state changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Net`] for a foreign node id.
+    pub fn heal_node(&self, node: NodeId) -> Result<bool, EngineError> {
+        self.topology.node(node)?;
+        let changed = {
+            let mut health = self.lock_health();
+            let changed = health.down_nodes.remove(&node);
+            if changed {
+                health.epoch += 1;
+            }
+            changed
+        };
+        if changed {
+            self.metrics.node_heals.inc();
+        }
+        Ok(changed)
+    }
+
+    /// Tears down every connection in `affected` and publishes the
+    /// post-failure orphan audit.
+    fn fail_over(&self, affected: Vec<ConnectionId>) -> Result<FailureImpact, EngineError> {
+        let mut torn_down = Vec::new();
+        for id in affected {
+            if self.release_failover(id)? {
+                torn_down.push(id);
+            }
+        }
+        self.publish_orphans();
+        Ok(FailureImpact {
+            changed: true,
+            torn_down,
+        })
+    }
+
+    /// Force-releases a connection because an element on its route
+    /// failed. Returns `false` when the connection is already gone (a
+    /// benign race with a caller-initiated release).
+    fn release_failover(&self, id: ConnectionId) -> Result<bool, EngineError> {
+        let Some(entry) = self.lock_registry().remove(&id) else {
+            return Ok(false);
+        };
+        let mut guards = self.lock_route_shards(entry.points.iter().map(|&(n, _)| n))?;
+        for (_, state) in guards.iter_mut() {
+            state.switch.release(id)?;
+        }
+        Counters::bump(&self.counters.failed_over);
+        self.metrics.failed_over.inc();
+        Ok(true)
+    }
+
+    /// The health-change epoch: bumps on every effective fail or heal.
+    pub fn health_epoch(&self) -> u64 {
+        self.lock_health().epoch
+    }
+
+    /// Whether a link is currently usable under the health overlay
+    /// (itself up, both endpoints up).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Net`] for a foreign link id.
+    pub fn link_usable(&self, link: LinkId) -> Result<bool, EngineError> {
+        let l = self.topology.link(link)?;
+        let health = self.lock_health();
+        Ok(!health.down_links.contains(&link)
+            && !health.down_nodes.contains(&l.from())
+            && !health.down_nodes.contains(&l.to()))
+    }
+
+    /// Puts the engine in (or out of) drain mode: while draining,
+    /// every new setup is refused with [`SetupRejection::Draining`];
+    /// releases and failure handling still run.
+    pub fn set_draining(&self, draining: bool) {
+        self.draining.store(draining, Ordering::Relaxed);
+    }
+
+    /// Whether drain mode is on.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Sets how many alternate routes a setup may try after its route
+    /// is found dead (default 2; 0 disables the engine crankback).
+    pub fn set_reroute_budget(&self, budget: u64) {
+        self.reroute_budget.store(budget, Ordering::Relaxed);
+    }
+
+    /// Every `(shard, connection)` reservation with no owning registry
+    /// entry. Non-empty means a rollback or failover leaked bandwidth;
+    /// the chaos harness asserts this stays empty.
+    pub fn orphaned_reservations(&self) -> Vec<(NodeId, ConnectionId)> {
+        let mut held: Vec<(NodeId, ConnectionId)> = Vec::new();
+        for (&node, shard) in &self.shards {
+            let state = shard.lock();
+            let ids: BTreeSet<ConnectionId> =
+                state.switch.connections().map(|(id, _)| id).collect();
+            held.extend(ids.into_iter().map(|id| (node, id)));
+        }
+        let registry = self.lock_registry();
+        held.retain(|(_, id)| !registry.contains_key(id));
+        held
+    }
+
+    /// Publishes the orphaned-reservation count to the obs gauge.
+    fn publish_orphans(&self) {
+        if self.metrics.live {
+            self.metrics
+                .orphaned
+                .set(self.orphaned_reservations().len() as u64);
+        }
+    }
+
+    /// Recomputes every established connection's Algorithm 4.1 bounds
+    /// and checks them against the guarantees handed out at setup:
+    /// each queueing point's computed bound must stay within the
+    /// advertised per-hop bound, and the guaranteed end-to-end delay
+    /// must stay within the contracted delay bound. Returns the
+    /// violations found (empty when every guarantee holds).
+    ///
+    /// # Errors
+    ///
+    /// Returns the conditions of [`AdmissionEngine::computed_bound`].
+    pub fn verify_guarantees(&self) -> Result<Vec<GuaranteeViolation>, EngineError> {
+        let snapshot: Vec<(ConnectionId, Established)> = self
+            .lock_registry()
+            .iter()
+            .map(|(&id, entry)| (id, entry.clone()))
+            .collect();
+        let mut violations = Vec::new();
+        for (id, entry) in snapshot {
+            for &(node, out_link) in &entry.points {
+                let advertised = self
+                    .configs
+                    .get(&node)
+                    .ok_or(EngineError::NoSwitchAt(node))?
+                    .bound(entry.priority)?;
+                let computed = self.computed_bound(node, out_link, entry.priority)?;
+                if computed > advertised {
+                    violations.push(GuaranteeViolation {
+                        id,
+                        at: Some(node),
+                        computed,
+                        limit: advertised,
+                    });
+                }
+            }
+            if entry.guaranteed_delay > entry.delay_bound {
+                violations.push(GuaranteeViolation {
+                    id,
+                    at: None,
+                    computed: entry.guaranteed_delay,
+                    limit: entry.delay_bound,
+                });
+            }
+        }
+        Ok(violations)
     }
 
     /// A consistent snapshot of the engine counters plus the summed
@@ -469,7 +1021,9 @@ impl AdmissionEngine {
             rejected: self.counters.rejected.load(Ordering::Relaxed),
             aborted: self.counters.aborted.load(Ordering::Relaxed),
             errored: self.counters.errored.load(Ordering::Relaxed),
+            rerouted: self.counters.rerouted.load(Ordering::Relaxed),
             released: self.counters.released.load(Ordering::Relaxed),
+            failed_over: self.counters.failed_over.load(Ordering::Relaxed),
             cache_hits: hits,
             cache_misses: misses,
         }
@@ -520,6 +1074,21 @@ impl AdmissionEngine {
     fn lock_registry(&self) -> MutexGuard<'_, BTreeMap<ConnectionId, Established>> {
         self.connections.lock().expect("registry mutex poisoned")
     }
+
+    fn lock_health(&self) -> MutexGuard<'_, HealthState> {
+        self.health.lock().expect("health mutex poisoned")
+    }
+}
+
+/// Whether `route` visits `node`, as endpoint or transit.
+fn route_visits(topology: &Topology, route: &Route, node: NodeId) -> Result<bool, EngineError> {
+    for &id in route.links() {
+        let link = topology.link(id)?;
+        if link.from() == node || link.to() == node {
+            return Ok(true);
+        }
+    }
+    Ok(false)
 }
 
 #[cfg(test)]
@@ -774,6 +1343,162 @@ mod tests {
             "repeat lookup at an unchanged epoch must hit: {:?}",
             engine.stats()
         );
+    }
+
+    #[test]
+    fn drain_mode_rejects_new_setups() {
+        let (engine, route) = line_engine(2, 64);
+        engine.set_draining(true);
+        assert!(engine.is_draining());
+        let req = SetupRequest::new(cbr(1, 16), Priority::HIGHEST, Time::from_integer(500));
+        match engine.admit(&route, req).unwrap() {
+            EngineOutcome::Rejected {
+                rejection: SetupRejection::Draining,
+                ..
+            } => {}
+            other => panic!("expected a draining rejection, got {other:?}"),
+        }
+        engine.set_draining(false);
+        assert!(engine.admit(&route, req).unwrap().is_admitted());
+        let stats = engine.stats();
+        assert_eq!((stats.rejected, stats.admitted), (1, 1));
+        assert_eq!(stats.submitted, stats.rejected + stats.admitted);
+    }
+
+    #[test]
+    fn link_failure_forces_release_and_reroutes_new_setups() {
+        let sr = builders::dual_star_ring(4, 1).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+        let engine = AdmissionEngine::new(sr.topology().clone(), config, CdvPolicy::Hard);
+        let route = sr.terminal_route((0, 0), (1, 0)).unwrap();
+        let req = SetupRequest::new(cbr(1, 16), Priority::HIGHEST, Time::from_integer(500));
+        let id = match engine.admit(&route, req).unwrap() {
+            EngineOutcome::Admitted { id, .. } => id,
+            other => panic!("expected admission, got {other:?}"),
+        };
+        let dead = sr.ring_link(0).unwrap();
+        let impact = engine.fail_link(dead).unwrap();
+        assert!(impact.is_changed());
+        assert_eq!(impact.torn_down(), &[id]);
+        assert_eq!(engine.connection_count(), 0);
+        assert!(engine.orphaned_reservations().is_empty());
+        assert!(!engine.link_usable(dead).unwrap());
+        // Idempotent: failing an already-failed link changes nothing.
+        assert!(!engine.fail_link(dead).unwrap().is_changed());
+        // A fresh setup over the dead primary is rerouted onto the
+        // counter-rotating ring.
+        match engine.admit(&route, req).unwrap() {
+            EngineOutcome::Rerouted {
+                route: alt,
+                attempts,
+                ..
+            } => {
+                assert!(attempts >= 1);
+                assert!(!alt.links().contains(&dead));
+            }
+            other => panic!("expected a reroute, got {other:?}"),
+        }
+        assert!(engine.heal_link(dead).unwrap());
+        assert!(!engine.heal_link(dead).unwrap());
+        let stats = engine.stats();
+        assert_eq!(
+            (stats.failed_over, stats.rerouted, stats.admitted),
+            (1, 1, 1)
+        );
+        assert_eq!(
+            stats.submitted,
+            stats.admitted + stats.rejected + stats.aborted + stats.errored + stats.rerouted
+        );
+        assert!(engine.health_epoch() >= 2);
+        assert!(engine.verify_guarantees().unwrap().is_empty());
+    }
+
+    #[test]
+    fn node_failure_tears_down_transit_connections_only() {
+        let sr = builders::dual_star_ring(4, 1).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+        let engine = AdmissionEngine::new(sr.topology().clone(), config, CdvPolicy::Hard);
+        let req = SetupRequest::new(cbr(1, 16), Priority::HIGHEST, Time::from_integer(500));
+        // Crosses ring node 1 in transit; the second route does not.
+        let transit = sr.terminal_route((0, 0), (2, 0)).unwrap();
+        let clear = sr.terminal_route((3, 0), (0, 0)).unwrap();
+        let transit_id = match engine.admit(&transit, req).unwrap() {
+            EngineOutcome::Admitted { id, .. } => id,
+            other => panic!("expected admission, got {other:?}"),
+        };
+        assert!(engine.admit(&clear, req).unwrap().is_admitted());
+        let impact = engine.fail_node(sr.ring_nodes()[1]).unwrap();
+        assert!(impact.is_changed());
+        assert_eq!(impact.torn_down(), &[transit_id]);
+        assert_eq!(engine.connection_count(), 1);
+        assert!(engine.orphaned_reservations().is_empty());
+        assert!(engine.heal_node(sr.ring_nodes()[1]).unwrap());
+        assert!(!engine.heal_node(sr.ring_nodes()[1]).unwrap());
+        assert_eq!(engine.stats().failed_over, 1);
+    }
+
+    #[test]
+    fn failure_between_reserve_and_commit_reroutes() {
+        let sr = builders::dual_star_ring(4, 1).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+        let registry = std::sync::Arc::new(rtcac_obs::Registry::new());
+        let engine = AdmissionEngine::with_registry(
+            sr.topology().clone(),
+            config,
+            CdvPolicy::Hard,
+            std::sync::Arc::clone(&registry),
+        );
+        let route = sr.terminal_route((0, 0), (1, 0)).unwrap();
+        let dead = sr.ring_link(0).unwrap();
+        *engine.test_fail_after_reserve.lock().unwrap() = Some(dead);
+        let req = SetupRequest::new(cbr(1, 16), Priority::HIGHEST, Time::from_integer(500));
+        match engine.admit(&route, req).unwrap() {
+            EngineOutcome::Rerouted {
+                route: alt,
+                attempts,
+                ..
+            } => {
+                assert_eq!(attempts, 1);
+                assert!(!alt.links().contains(&dead));
+            }
+            other => panic!("expected a reroute, got {other:?}"),
+        }
+        // The aborted reserve left no residue: every shard reservation
+        // belongs to the committed (alternate) route.
+        assert!(engine.orphaned_reservations().is_empty());
+        let stats = engine.stats();
+        assert_eq!((stats.submitted, stats.rerouted, stats.admitted), (1, 1, 0));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine_setups_rerouted_total"), Some(1));
+        assert_eq!(snap.histogram("engine_reroute_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn dead_route_without_alternate_is_rejected_route_down() {
+        let (engine, route) = line_engine(2, 64);
+        let dead = route.links()[1];
+        assert!(engine.fail_link(dead).unwrap().is_changed());
+        let req = SetupRequest::new(cbr(1, 16), Priority::HIGHEST, Time::from_integer(500));
+        match engine.admit(&route, req).unwrap() {
+            EngineOutcome::Rejected {
+                rejection: SetupRejection::RouteDown { link },
+                ..
+            } => assert_eq!(link, dead),
+            other => panic!("expected a route-down rejection, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!((stats.rejected, stats.submitted), (1, 1));
+    }
+
+    #[test]
+    fn verify_guarantees_holds_for_committed_state() {
+        let (engine, route) = line_engine(3, 32);
+        for _ in 0..2 {
+            let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(200));
+            assert!(engine.admit(&route, req).unwrap().is_admitted());
+        }
+        assert!(engine.verify_guarantees().unwrap().is_empty());
+        assert!(engine.orphaned_reservations().is_empty());
     }
 
     #[test]

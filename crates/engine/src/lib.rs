@@ -38,7 +38,7 @@ mod pool;
 mod shard;
 mod stats;
 
-pub use engine::{AdmissionEngine, EngineOutcome};
+pub use engine::{AdmissionEngine, EngineOutcome, FailureImpact, GuaranteeViolation};
 pub use error::EngineError;
 pub use pool::{run_batch, EnginePool, JobResult};
 pub use stats::EngineStats;

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rtcac_net::NodeId;
-use rtcac_obs::{Counter, Histogram, Registry};
+use rtcac_obs::{Counter, Gauge, Histogram, Registry};
 
 /// The engine's metric handles (all no-op by default).
 #[derive(Debug, Default)]
@@ -26,13 +26,23 @@ pub(crate) struct EngineMetrics {
     pub aborted: Counter,
     pub released: Counter,
     pub errored: Counter,
+    pub rerouted: Counter,
+    pub failed_over: Counter,
     pub reject_qos: Counter,
     pub reject_switch: Counter,
+    pub reject_route_down: Counter,
+    pub reject_draining: Counter,
+    pub link_failures: Counter,
+    pub link_heals: Counter,
+    pub node_failures: Counter,
+    pub node_heals: Counter,
+    pub orphaned: Gauge,
     pub cache_hits: Counter,
     pub cache_misses: Counter,
     pub reserve_ns: Histogram,
     pub commit_ns: Histogram,
     pub rollback_ns: Histogram,
+    pub reroute_ns: Histogram,
     pub lock_wait_ns: BTreeMap<NodeId, Histogram>,
 }
 
@@ -61,13 +71,24 @@ impl EngineMetrics {
             aborted: r.counter("engine_setups_aborted_total"),
             released: r.counter("engine_released_total"),
             errored: r.counter("engine_setup_errors_total"),
+            rerouted: r.counter("engine_setups_rerouted_total"),
+            failed_over: r.counter("engine_failed_over_total"),
             reject_qos: r.counter_with("engine_rejections_total", &[("reason", "qos")]),
             reject_switch: r.counter_with("engine_rejections_total", &[("reason", "switch")]),
+            reject_route_down: r
+                .counter_with("engine_rejections_total", &[("reason", "route_down")]),
+            reject_draining: r.counter_with("engine_rejections_total", &[("reason", "draining")]),
+            link_failures: r.counter_with("engine_element_failures_total", &[("element", "link")]),
+            link_heals: r.counter_with("engine_element_heals_total", &[("element", "link")]),
+            node_failures: r.counter_with("engine_element_failures_total", &[("element", "node")]),
+            node_heals: r.counter_with("engine_element_heals_total", &[("element", "node")]),
+            orphaned: r.gauge("engine_orphaned_reservations"),
             cache_hits: r.counter("engine_sof_cache_hits_total"),
             cache_misses: r.counter("engine_sof_cache_misses_total"),
             reserve_ns: r.histogram("engine_reserve_ns"),
             commit_ns: r.histogram("engine_commit_ns"),
             rollback_ns: r.histogram("engine_rollback_ns"),
+            reroute_ns: r.histogram("engine_reroute_ns"),
             lock_wait_ns,
             registry: Some(registry),
         }

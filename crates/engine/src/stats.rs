@@ -10,7 +10,9 @@ pub(crate) struct Counters {
     pub rejected: AtomicU64,
     pub aborted: AtomicU64,
     pub errored: AtomicU64,
+    pub rerouted: AtomicU64,
     pub released: AtomicU64,
+    pub failed_over: AtomicU64,
 }
 
 impl Counters {
@@ -22,18 +24,21 @@ impl Counters {
 /// A point-in-time snapshot of the engine's counters.
 ///
 /// Every submitted setup lands in exactly **one** of `admitted`,
-/// `rejected`, `aborted` or `errored`, so once the engine is quiescent
+/// `rejected`, `aborted`, `errored` or `rerouted`, so once the engine
+/// is quiescent
 ///
 /// ```text
-/// submitted == admitted + rejected + aborted + errored
+/// submitted == admitted + rejected + aborted + errored + rerouted
 /// ```
 ///
 /// holds exactly (`errored` is zero unless callers misuse the API).
 /// `aborted` counts setups refused *after* reserving at least one
 /// upstream hop — the phase-2 rollbacks — while `rejected` counts
 /// refusals that reserved nothing (the QoS gate or the first hop
-/// refusing); the two are disjoint. The cache counters aggregate every
-/// shard's [`SofCache`] hit/miss totals.
+/// refusing); the two are disjoint. `rerouted` counts setups that
+/// committed on an *alternate* route after their submitted route died
+/// under them — disjoint from `admitted`. The cache counters aggregate
+/// every shard's [`SofCache`] hit/miss totals.
 ///
 /// [`SofCache`]: rtcac_cac::SofCache
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,8 +56,14 @@ pub struct EngineStats {
     /// Setups that failed with an API-misuse error instead of an
     /// outcome.
     pub errored: u64,
+    /// Setups committed on an alternate route after a failure killed
+    /// the submitted one (disjoint from `admitted`).
+    pub rerouted: u64,
     /// Connections released (torn down) through the engine.
     pub released: u64,
+    /// Connections force-released because an element on their route
+    /// failed (disjoint from `released`).
+    pub failed_over: u64,
     /// Delay-bound / interference lookups served from a shard cache.
     pub cache_hits: u64,
     /// Lookups that had to recompute (cold or stale epoch).
@@ -61,8 +72,8 @@ pub struct EngineStats {
 
 impl EngineStats {
     /// Total setups processed to a decision
-    /// (`admitted + rejected + aborted`).
+    /// (`admitted + rejected + aborted + rerouted`).
     pub fn completed(&self) -> u64 {
-        self.admitted + self.rejected + self.aborted
+        self.admitted + self.rejected + self.aborted + self.rerouted
     }
 }

@@ -1,0 +1,286 @@
+//! The chaos harness: churn an [`AdmissionEngine`] with setups and
+//! releases while replaying a [`FaultPlan`], auditing the engine's
+//! safety invariants the whole way.
+
+use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract};
+use rtcac_cac::{ConnectionId, Priority};
+use rtcac_engine::{AdmissionEngine, EngineError, EngineOutcome, EngineStats};
+use rtcac_net::{NodeId, Topology};
+use rtcac_rational::ratio;
+use rtcac_signaling::SetupRequest;
+use rtcac_sim::SimRng;
+
+use crate::plan::{FaultEvent, FaultPlan};
+
+/// Tuning knobs for one chaos run. The defaults give a run that
+/// exercises every recovery path on a star-ring in well under a
+/// second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for the traffic stream (setup/release choices). The fault
+    /// plan carries its own seed.
+    pub seed: u64,
+    /// Number of chaos steps to run.
+    pub steps: u64,
+    /// New setups submitted per step.
+    pub setups_per_step: u64,
+    /// Percent chance per step of releasing one live connection.
+    pub release_percent: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 1,
+            steps: 200,
+            setups_per_step: 2,
+            release_percent: 30,
+        }
+    }
+}
+
+/// What a chaos run did and what the final audits found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Setups committed on their submitted route.
+    pub admitted: u64,
+    /// Setups committed on a crankback alternate.
+    pub rerouted: u64,
+    /// Setups refused (capacity, QoS, or no surviving route).
+    pub rejected: u64,
+    /// Connections released by the traffic churn.
+    pub released: u64,
+    /// Connections force-released by element failures.
+    pub torn_down: u64,
+    /// Effective link failures replayed from the plan.
+    pub link_failures: u64,
+    /// Effective link heals replayed from the plan.
+    pub link_heals: u64,
+    /// Effective node failures replayed from the plan.
+    pub node_failures: u64,
+    /// Effective node heals replayed from the plan.
+    pub node_heals: u64,
+    /// Orphaned shard reservations observed right after any fault
+    /// event (must stay 0: failover releases at every surviving hop).
+    pub orphan_violations: u64,
+    /// Orphaned shard reservations at the end of the run (must be 0).
+    pub orphans_final: u64,
+    /// Guarantee violations found by the final
+    /// [`AdmissionEngine::verify_guarantees`] audit (must be 0): every
+    /// surviving connection's recomputed Algorithm 4.1 bound still
+    /// meets its contracted delay.
+    pub guarantee_violations: u64,
+    /// Connections still established when the run ended.
+    pub live_final: u64,
+    /// The engine's terminal counters.
+    pub stats: EngineStats,
+}
+
+impl ChaosReport {
+    /// Whether the run upheld the engine's safety invariants: no
+    /// orphaned reservations (during or after), no violated delay
+    /// guarantees, and terminal-counter conservation
+    /// (`submitted == admitted + rejected + aborted + errored +
+    /// rerouted`).
+    pub fn invariants_hold(&self) -> bool {
+        self.orphan_violations == 0
+            && self.orphans_final == 0
+            && self.guarantee_violations == 0
+            && self.stats.submitted
+                == self.stats.admitted
+                    + self.stats.rejected
+                    + self.stats.aborted
+                    + self.stats.errored
+                    + self.stats.rerouted
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "chaos: admitted={} rerouted={} rejected={} released={} torn_down={}\n\
+             faults: link {}/{} down/up, node {}/{} down/up\n\
+             audits: orphans(mid)={} orphans(final)={} guarantee_violations={} live={}\n\
+             invariants: {}",
+            self.admitted,
+            self.rerouted,
+            self.rejected,
+            self.released,
+            self.torn_down,
+            self.link_failures,
+            self.link_heals,
+            self.node_failures,
+            self.node_heals,
+            self.orphan_violations,
+            self.orphans_final,
+            self.guarantee_violations,
+            self.live_final,
+            if self.invariants_hold() {
+                "OK"
+            } else {
+                "VIOLATED"
+            }
+        )
+    }
+}
+
+/// Ordered `(source, destination)` end-system pairs for chaos traffic:
+/// each end system paired with its successor and with the end system
+/// half-way around, so routes of several lengths are exercised.
+pub fn endpoint_pairs(topology: &Topology) -> Vec<(NodeId, NodeId)> {
+    let terminals: Vec<NodeId> = topology.end_systems().map(|n| n.id()).collect();
+    let n = terminals.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut pairs = Vec::new();
+    for (i, &from) in terminals.iter().enumerate() {
+        pairs.push((from, terminals[(i + 1) % n]));
+        pairs.push((from, terminals[(i + n / 2) % n]));
+    }
+    pairs.retain(|(a, b)| a != b);
+    pairs
+}
+
+/// Runs one chaos session against `engine`: per step, replays the due
+/// [`FaultPlan`] events (auditing for orphaned reservations after
+/// each), submits fresh setups between random `endpoints`, and
+/// occasionally releases a live connection. Routes are looked up on
+/// the pristine topology, so setups submitted over a failed element
+/// exercise the engine's crankback.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] only for API-level failures (a plan or
+/// endpoint list not belonging to the engine's topology); rejections
+/// and failed routes are counted, not raised.
+pub fn run_chaos(
+    engine: &AdmissionEngine,
+    endpoints: &[(NodeId, NodeId)],
+    plan: &FaultPlan,
+    config: &ChaosConfig,
+) -> Result<ChaosReport, EngineError> {
+    let mut rng = SimRng::seed_from_u64(config.seed);
+    let mut live: Vec<ConnectionId> = Vec::new();
+    let mut cursor = 0usize;
+    let mut report = ChaosReport::default();
+    for step in 0..config.steps {
+        // Replay every fault event due at this step.
+        while cursor < plan.events().len() && plan.events()[cursor].0 <= step {
+            let (_, event) = plan.events()[cursor];
+            cursor += 1;
+            match event {
+                FaultEvent::LinkDown(link) => {
+                    let impact = engine.fail_link(link)?;
+                    report.link_failures += u64::from(impact.is_changed());
+                    report.torn_down += impact.torn_down().len() as u64;
+                    live.retain(|id| !impact.torn_down().contains(id));
+                }
+                FaultEvent::LinkUp(link) => {
+                    report.link_heals += u64::from(engine.heal_link(link)?);
+                }
+                FaultEvent::NodeDown(node) => {
+                    let impact = engine.fail_node(node)?;
+                    report.node_failures += u64::from(impact.is_changed());
+                    report.torn_down += impact.torn_down().len() as u64;
+                    live.retain(|id| !impact.torn_down().contains(id));
+                }
+                FaultEvent::NodeUp(node) => {
+                    report.node_heals += u64::from(engine.heal_node(node)?);
+                }
+            }
+            report.orphan_violations += engine.orphaned_reservations().len() as u64;
+        }
+
+        // Traffic churn: submit fresh setups over the pristine-route
+        // lookup (the engine reroutes around dead elements itself)…
+        if !endpoints.is_empty() {
+            for _ in 0..config.setups_per_step {
+                let (from, to) = endpoints[rng.gen_below(endpoints.len() as u64) as usize];
+                let Ok(route) = engine
+                    .topology()
+                    .shortest_route_avoiding(from, to, &[], &[])
+                else {
+                    continue;
+                };
+                // Power-of-two denominators keep the exact-rational
+                // aggregates' common denominator bounded no matter how
+                // many streams multiplex.
+                let denominator = 8i128 << rng.gen_below(4);
+                let contract = TrafficContract::cbr(
+                    CbrParams::new(Rate::new(ratio(1, denominator)))
+                        .expect("chaos CBR rate is valid"),
+                );
+                let request =
+                    SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(1_000_000));
+                match engine.admit(&route, request)? {
+                    EngineOutcome::Admitted { id, .. } => {
+                        report.admitted += 1;
+                        live.push(id);
+                    }
+                    EngineOutcome::Rerouted { id, .. } => {
+                        report.rerouted += 1;
+                        live.push(id);
+                    }
+                    EngineOutcome::Rejected { .. } => report.rejected += 1,
+                }
+            }
+        }
+
+        // …and occasionally hang up.
+        if !live.is_empty() && rng.gen_below(100) < config.release_percent {
+            let id = live.swap_remove(rng.gen_below(live.len() as u64) as usize);
+            engine.release(id)?;
+            report.released += 1;
+        }
+    }
+
+    report.orphans_final = engine.orphaned_reservations().len() as u64;
+    report.guarantee_violations = engine.verify_guarantees()?.len() as u64;
+    report.live_final = live.len() as u64;
+    report.stats = engine.stats();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_cac::SwitchConfig;
+    use rtcac_net::builders;
+    use rtcac_signaling::CdvPolicy;
+
+    #[test]
+    fn chaos_smoke_upholds_invariants() {
+        let sr = builders::dual_star_ring(6, 1).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+        let engine = AdmissionEngine::new(sr.topology().clone(), config, CdvPolicy::Hard);
+        let plan = FaultPlan::random(sr.topology(), 11, 100, 30);
+        let pairs = endpoint_pairs(engine.topology());
+        assert!(!pairs.is_empty());
+        let report = run_chaos(
+            &engine,
+            &pairs,
+            &plan,
+            &ChaosConfig {
+                seed: 11,
+                steps: 100,
+                ..ChaosConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            report.invariants_hold(),
+            "invariants violated:\n{}",
+            report.summary()
+        );
+        assert!(report.link_failures + report.node_failures > 0);
+        assert!(report.admitted > 0);
+    }
+
+    #[test]
+    fn endpoint_pairs_cover_distinct_terminals() {
+        let sr = builders::dual_star_ring(4, 2).unwrap();
+        let pairs = endpoint_pairs(sr.topology());
+        assert!(!pairs.is_empty());
+        assert!(pairs.iter().all(|(a, b)| a != b));
+    }
+}

@@ -1,0 +1,29 @@
+//! `rtcac-fault` — fault injection and failure recovery for the rtcac
+//! workspace.
+//!
+//! The analytic crates prove what happens while the network holds
+//! still; this crate shakes it. A [`FaultPlan`] is a seeded,
+//! deterministic schedule of link/node failures and repairs; the chaos
+//! harness ([`run_chaos`]) replays a plan against a live
+//! [`rtcac_engine::AdmissionEngine`] while churning connections
+//! through it, auditing after every transition that
+//!
+//! * no shard holds an **orphaned reservation** (bandwidth reserved
+//!   for a connection no registry knows about),
+//! * every surviving connection's recomputed Algorithm 4.1 delay bound
+//!   still meets its contracted delay, and
+//! * the engine's terminal counters conserve
+//!   (`submitted == admitted + rejected + aborted + errored +
+//!   rerouted`).
+//!
+//! Determinism is load-bearing: equal seeds give equal plans and equal
+//! traffic, so a failing chaos run is replayable from its seed alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chaos;
+mod plan;
+
+pub use chaos::{endpoint_pairs, run_chaos, ChaosConfig, ChaosReport};
+pub use plan::{FaultEvent, FaultPlan, MAX_CONCURRENT_DOWN};

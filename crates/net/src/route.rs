@@ -172,6 +172,23 @@ impl Route {
         Ok(out)
     }
 
+    /// The first link of the route that cannot carry traffic (the link
+    /// itself or one of its endpoints is down), if any. `None` means
+    /// the whole route is healthy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] if the route belongs to a
+    /// different topology.
+    pub fn first_dead_link(&self, topology: &Topology) -> Result<Option<LinkId>, NetError> {
+        for &id in &self.links {
+            if !topology.link_usable(id)? {
+                return Ok(Some(id));
+            }
+        }
+        Ok(None)
+    }
+
     /// The link by which the route *enters* the given node, if any.
     ///
     /// # Errors
@@ -263,6 +280,18 @@ mod tests {
         assert_eq!(r.switch_hops(&t).unwrap(), vec![nodes[1], nodes[2]]);
         let qp = r.queueing_points(&t).unwrap();
         assert_eq!(qp, vec![(nodes[1], links[1]), (nodes[2], links[2])]);
+    }
+
+    #[test]
+    fn first_dead_link_scans_in_order() {
+        let (mut t, nodes, links) = line3();
+        let r = Route::new(&t, links.clone()).unwrap();
+        assert_eq!(r.first_dead_link(&t).unwrap(), None);
+        t.fail_link(links[2]).unwrap();
+        assert_eq!(r.first_dead_link(&t).unwrap(), Some(links[2]));
+        // A dead node upstream shadows the later dead link.
+        t.fail_node(nodes[1]).unwrap();
+        assert_eq!(r.first_dead_link(&t).unwrap(), Some(links[0]));
     }
 
     #[test]

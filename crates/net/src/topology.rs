@@ -93,11 +93,29 @@ impl Link {
 /// assert_eq!(t.node(sw)?.kind(), NodeKind::Switch);
 /// # Ok::<(), rtcac_net::NetError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
+    node_up: Vec<bool>,
+    link_up: Vec<bool>,
+    health_epoch: u64,
 }
+
+/// Two topologies are equal when they have the same graph *and* the
+/// same element health; the health epoch (a change counter) is
+/// deliberately excluded so a failed-then-healed topology compares
+/// equal to a pristine clone.
+impl PartialEq for Topology {
+    fn eq(&self, other: &Topology) -> bool {
+        self.nodes == other.nodes
+            && self.links == other.links
+            && self.node_up == other.node_up
+            && self.link_up == other.link_up
+    }
+}
+
+impl Eq for Topology {}
 
 impl Topology {
     /// Creates an empty topology.
@@ -123,6 +141,7 @@ impl Topology {
             name: name.into(),
             kind,
         });
+        self.node_up.push(true);
         id
     }
 
@@ -166,6 +185,7 @@ impl Topology {
             to,
             capacity,
         });
+        self.link_up.push(true);
         Ok(id)
     }
 
@@ -243,9 +263,127 @@ impl Topology {
         self.nodes.iter().filter(|n| !n.is_switch())
     }
 
+    /// The health epoch: a counter bumped every time any element's
+    /// health actually changes. Admission layers snapshot it before a
+    /// multi-step operation and re-check afterwards to detect a
+    /// failure that raced the operation.
+    pub fn health_epoch(&self) -> u64 {
+        self.health_epoch
+    }
+
+    /// Whether every node and link is up.
+    pub fn all_healthy(&self) -> bool {
+        self.node_up.iter().all(|&u| u) && self.link_up.iter().all(|&u| u)
+    }
+
+    /// Whether a link is administratively up (ignores endpoint health;
+    /// see [`Topology::link_usable`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] for a foreign id.
+    pub fn link_is_up(&self, id: LinkId) -> Result<bool, NetError> {
+        self.link_up
+            .get(id.index())
+            .copied()
+            .ok_or(NetError::UnknownLink(id))
+    }
+
+    /// Whether a node is up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for a foreign id.
+    pub fn node_is_up(&self, id: NodeId) -> Result<bool, NetError> {
+        self.node_up
+            .get(id.index())
+            .copied()
+            .ok_or(NetError::UnknownNode(id))
+    }
+
+    /// Whether a link can carry traffic: the link itself and both of
+    /// its endpoints are up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] for a foreign id.
+    pub fn link_usable(&self, id: LinkId) -> Result<bool, NetError> {
+        let link = self.link(id)?;
+        Ok(self.link_up[id.index()]
+            && self.node_up[link.from().index()]
+            && self.node_up[link.to().index()])
+    }
+
+    /// Marks a link down. Returns whether the state changed (failing an
+    /// already-failed link is a no-op and does not bump the health
+    /// epoch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] for a foreign id.
+    pub fn fail_link(&mut self, id: LinkId) -> Result<bool, NetError> {
+        self.set_link_health(id, false)
+    }
+
+    /// Marks a link up again. Returns whether the state changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] for a foreign id.
+    pub fn heal_link(&mut self, id: LinkId) -> Result<bool, NetError> {
+        self.set_link_health(id, true)
+    }
+
+    /// Marks a node down (its attached links become unusable). Returns
+    /// whether the state changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for a foreign id.
+    pub fn fail_node(&mut self, id: NodeId) -> Result<bool, NetError> {
+        self.set_node_health(id, false)
+    }
+
+    /// Marks a node up again. Returns whether the state changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for a foreign id.
+    pub fn heal_node(&mut self, id: NodeId) -> Result<bool, NetError> {
+        self.set_node_health(id, true)
+    }
+
+    fn set_link_health(&mut self, id: LinkId, up: bool) -> Result<bool, NetError> {
+        let slot = self
+            .link_up
+            .get_mut(id.index())
+            .ok_or(NetError::UnknownLink(id))?;
+        let changed = *slot != up;
+        *slot = up;
+        if changed {
+            self.health_epoch += 1;
+        }
+        Ok(changed)
+    }
+
+    fn set_node_health(&mut self, id: NodeId, up: bool) -> Result<bool, NetError> {
+        let slot = self
+            .node_up
+            .get_mut(id.index())
+            .ok_or(NetError::UnknownNode(id))?;
+        let changed = *slot != up;
+        *slot = up;
+        if changed {
+            self.health_epoch += 1;
+        }
+        Ok(changed)
+    }
+
     /// The shortest route (fewest links) from `from` to `to`, found by
     /// breadth-first search. Intermediate nodes are restricted to
-    /// switches (end systems do not forward).
+    /// switches (end systems do not forward), and dead links and nodes
+    /// are excluded — on an all-healthy topology this is the classic
+    /// shortest path.
     ///
     /// # Errors
     ///
@@ -268,9 +406,33 @@ impl Topology {
     /// # Ok::<(), rtcac_net::NetError>(())
     /// ```
     pub fn shortest_route(&self, from: NodeId, to: NodeId) -> Result<crate::Route, NetError> {
+        self.shortest_route_avoiding(from, to, &[], &[])
+    }
+
+    /// [`Topology::shortest_route`] with an additional exclusion set:
+    /// the returned route crosses none of `excluded_links` and forwards
+    /// through none of `excluded_nodes` (dead elements are always
+    /// excluded). This is the search crankback rerouting uses to retry
+    /// a setup around the element that failed it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Topology::shortest_route`]; a fully excluded or partitioned
+    /// pair yields [`NetError::NoSuchLink`].
+    pub fn shortest_route_avoiding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        excluded_links: &[LinkId],
+        excluded_nodes: &[NodeId],
+    ) -> Result<crate::Route, NetError> {
         self.check_node(from)?;
         self.check_node(to)?;
         if from == to {
+            return Err(NetError::NoSuchLink { from, to });
+        }
+        let usable = |node: NodeId| self.node_up[node.index()] && !excluded_nodes.contains(&node);
+        if !usable(from) || !usable(to) {
             return Err(NetError::NoSuchLink { from, to });
         }
         // BFS over nodes; predecessors remember the link used.
@@ -285,6 +447,12 @@ impl Topology {
             }
             for link in self.links_from(node) {
                 let next = link.to();
+                if !self.link_up[link.id().index()]
+                    || excluded_links.contains(&link.id())
+                    || !usable(next)
+                {
+                    continue;
+                }
                 if !visited[next.index()] {
                     visited[next.index()] = true;
                     pred[next.index()] = Some(link.id());
@@ -473,5 +641,108 @@ mod tests {
             t.find_link(a, b),
             Err(NetError::NoSuchLink { .. })
         ));
+    }
+
+    /// A diamond: a -> s1 -> {s2, s3} -> s4 -> d, where both middle
+    /// paths have the same length.
+    fn diamond() -> (Topology, [NodeId; 6], [LinkId; 6]) {
+        let mut t = Topology::new();
+        let a = t.add_end_system("a");
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let s3 = t.add_switch("s3");
+        let s4 = t.add_switch("s4");
+        let d = t.add_end_system("d");
+        let up = t.add_link(a, s1).unwrap();
+        let via2 = t.add_link(s1, s2).unwrap();
+        let via3 = t.add_link(s1, s3).unwrap();
+        let m2 = t.add_link(s2, s4).unwrap();
+        let m3 = t.add_link(s3, s4).unwrap();
+        let down = t.add_link(s4, d).unwrap();
+        (t, [a, s1, s2, s3, s4, d], [up, via2, via3, m2, m3, down])
+    }
+
+    #[test]
+    fn health_defaults_up_and_epoch_counts_changes() {
+        let (mut t, _, [up, ..]) = diamond();
+        assert!(t.all_healthy());
+        assert_eq!(t.health_epoch(), 0);
+        assert!(t.link_is_up(up).unwrap());
+        assert!(t.fail_link(up).unwrap());
+        assert!(!t.all_healthy());
+        assert!(!t.link_usable(up).unwrap());
+        assert_eq!(t.health_epoch(), 1);
+        // Failing an already-failed link is a no-op.
+        assert!(!t.fail_link(up).unwrap());
+        assert_eq!(t.health_epoch(), 1);
+        assert!(t.heal_link(up).unwrap());
+        assert!(t.all_healthy());
+        assert_eq!(t.health_epoch(), 2);
+        // Foreign ids are rejected.
+        assert!(t.fail_link(LinkId(99)).is_err());
+        assert!(t.fail_node(NodeId(99)).is_err());
+        assert!(t.link_is_up(LinkId(99)).is_err());
+        assert!(t.node_is_up(NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn node_failure_kills_attached_links() {
+        let (mut t, [_, _, s2, ..], [_, via2, ..]) = diamond();
+        assert!(t.fail_node(s2).unwrap());
+        assert!(!t.node_is_up(s2).unwrap());
+        // The link itself is administratively up but unusable.
+        assert!(t.link_is_up(via2).unwrap());
+        assert!(!t.link_usable(via2).unwrap());
+        t.heal_node(s2).unwrap();
+        assert!(t.link_usable(via2).unwrap());
+    }
+
+    #[test]
+    fn route_search_excludes_dead_elements() {
+        let (mut t, [a, _, s2, s3, _, d], [_, via2, _, m2, m3, _]) = diamond();
+        // Healthy: some 4-hop path exists.
+        assert_eq!(t.shortest_route(a, d).unwrap().hops(), 4);
+        // Kill one middle path: the other is found.
+        t.fail_link(via2).unwrap();
+        let route = t.shortest_route(a, d).unwrap();
+        assert_eq!(route.hops(), 4);
+        assert!(route.links().contains(&m3));
+        assert!(!route.links().contains(&m2));
+        // Kill the other middle switch too: no path remains.
+        t.fail_node(s3).unwrap();
+        assert!(matches!(
+            t.shortest_route(a, d),
+            Err(NetError::NoSuchLink { .. })
+        ));
+        // Heal everything: the search recovers.
+        t.heal_link(via2).unwrap();
+        t.heal_node(s3).unwrap();
+        assert_eq!(t.shortest_route(a, d).unwrap().hops(), 4);
+        // A dead endpoint has no routes at all.
+        t.fail_node(s2).unwrap();
+        assert!(t.shortest_route(a, s2).is_err());
+    }
+
+    #[test]
+    fn route_search_avoids_excluded_elements() {
+        let (t, [a, _, s2, _, _, d], [_, _, _, m2, m3, _]) = diamond();
+        let route = t.shortest_route_avoiding(a, d, &[m3], &[]).unwrap();
+        assert!(route.links().contains(&m2));
+        let route = t.shortest_route_avoiding(a, d, &[], &[s2]).unwrap();
+        assert!(route.links().contains(&m3));
+        // Excluding both middle paths partitions the pair.
+        assert!(t.shortest_route_avoiding(a, d, &[m2, m3], &[]).is_err());
+    }
+
+    #[test]
+    fn equality_ignores_health_epoch_but_not_health() {
+        let (mut t, _, [up, ..]) = diamond();
+        let pristine = t.clone();
+        t.fail_link(up).unwrap();
+        assert_ne!(t, pristine);
+        t.heal_link(up).unwrap();
+        // Same graph, same health, different epoch history: equal.
+        assert_eq!(t, pristine);
+        assert_ne!(t.health_epoch(), pristine.health_epoch());
     }
 }

@@ -30,12 +30,28 @@ pub struct Snapshot {
     pub events: EventsSnapshot,
 }
 
+fn labels_match(id: &MetricId, labels: &[(&str, &str)]) -> bool {
+    id.labels().len() == labels.len()
+        && labels
+            .iter()
+            .all(|&(k, v)| id.labels().iter().any(|(ik, iv)| ik == k && iv == v))
+}
+
 impl Snapshot {
     /// The value of the unlabelled counter `name`, if present.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
             .iter()
             .find(|(id, _)| id.name() == name && id.labels().is_empty())
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of the counter `name` with exactly these labels
+    /// (order-insensitive), if present.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(id, _)| id.name() == name && labels_match(id, labels))
             .map(|&(_, v)| v)
     }
 
@@ -62,6 +78,15 @@ impl Snapshot {
             .iter()
             .find(|(id, _)| id.name() == name && id.labels().is_empty())
             .map(|(_, h)| h)
+    }
+
+    /// The value of the gauge `name` with exactly these labels
+    /// (order-insensitive), if present.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|(id, _)| id.name() == name && labels_match(id, labels))
+            .map(|&(_, v)| v)
     }
 
     /// Every histogram named `name` regardless of labels.

@@ -69,5 +69,8 @@ pub use cdv::CdvPolicy;
 pub use error::SignalError;
 pub use message::{SetupRejection, SignalEvent};
 pub use multicast::{MulticastInfo, MulticastOutcome};
-pub use network::{ConnectionInfo, Network, SetupOutcome, SetupRequest, LOCAL_INJECTION};
+pub use network::{
+    ConnectionInfo, CrankbackAttempt, CrankbackOutcome, CrankbackPolicy, FailureImpact, Network,
+    SetupOutcome, SetupRequest, LOCAL_INJECTION,
+};
 pub use server::{CacServer, ServerStats};

@@ -46,6 +46,34 @@ pub enum SignalEvent {
         /// The released connection.
         connection: ConnectionId,
     },
+    /// A link went down; every connection routed over it was torn down
+    /// with its bandwidth released at all surviving hops.
+    LinkFailed {
+        /// The failed link.
+        link: LinkId,
+        /// How many connections the failure tore down.
+        torn_down: usize,
+    },
+    /// A previously failed link came back up. Cached bounds are not
+    /// affected (health never enters Algorithm 4.1 state), but new
+    /// setups may route over it again.
+    LinkHealed {
+        /// The restored link.
+        link: LinkId,
+    },
+    /// A node went down (taking its attached links with it); every
+    /// connection through it was torn down.
+    NodeFailed {
+        /// The failed node.
+        node: NodeId,
+        /// How many connections the failure tore down.
+        torn_down: usize,
+    },
+    /// A previously failed node came back up.
+    NodeHealed {
+        /// The restored node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for SignalEvent {
@@ -73,6 +101,14 @@ impl fmt::Display for SignalEvent {
                 "CONNECTED {connection} (guaranteed delay {guaranteed_delay} cell times)"
             ),
             SignalEvent::Released { connection } => write!(f, "RELEASED {connection}"),
+            SignalEvent::LinkFailed { link, torn_down } => {
+                write!(f, "LINK-FAILED {link} ({torn_down} connections torn down)")
+            }
+            SignalEvent::LinkHealed { link } => write!(f, "LINK-HEALED {link}"),
+            SignalEvent::NodeFailed { node, torn_down } => {
+                write!(f, "NODE-FAILED {node} ({torn_down} connections torn down)")
+            }
+            SignalEvent::NodeHealed { node } => write!(f, "NODE-HEALED {node}"),
         }
     }
 }
@@ -99,6 +135,15 @@ pub enum SetupRejection {
         /// The smallest bound the route can guarantee.
         achievable: Time,
     },
+    /// The route crosses a link that is down (or attached to a down
+    /// node); the setup was refused without reserving anything.
+    RouteDown {
+        /// The first unusable link on the route.
+        link: LinkId,
+    },
+    /// The admission point is draining: existing guarantees are kept
+    /// but no new setups are accepted.
+    Draining,
 }
 
 impl fmt::Display for SetupRejection {
@@ -119,6 +164,10 @@ impl fmt::Display for SetupRejection {
                 f,
                 "requested delay bound {requested} below the route's achievable {achievable}"
             ),
+            SetupRejection::RouteDown { link } => {
+                write!(f, "route crosses failed link {link}")
+            }
+            SetupRejection::Draining => write!(f, "admission point is draining"),
         }
     }
 }

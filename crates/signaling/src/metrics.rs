@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use rtcac_bitstream::Time;
-use rtcac_obs::{Counter, Histogram, Registry};
+use rtcac_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Pre-resolved metric handles used by [`crate::Network`].
 ///
@@ -21,7 +21,19 @@ pub(crate) struct NetworkMetrics {
     setups_connected: Counter,
     setups_rejected_qos: Counter,
     setups_rejected_switch: Counter,
-    teardowns: Counter,
+    setups_rejected_route_down: Counter,
+    teardowns_released: Counter,
+    teardowns_unknown: Counter,
+    teardowns_failover: Counter,
+    link_failures: Counter,
+    link_heals: Counter,
+    node_failures: Counter,
+    node_heals: Counter,
+    crankback_attempts: Counter,
+    crankback_connected: Counter,
+    crankback_exhausted: Counter,
+    reroute_backoff_cells: Histogram,
+    orphaned_reservations: Gauge,
     cdv_cells: Histogram,
 }
 
@@ -39,7 +51,35 @@ impl NetworkMetrics {
                 .counter_with("signaling_setups_total", &[("outcome", "rejected_qos")]),
             setups_rejected_switch: registry
                 .counter_with("signaling_setups_total", &[("outcome", "rejected_switch")]),
-            teardowns: registry.counter("signaling_teardowns_total"),
+            setups_rejected_route_down: registry.counter_with(
+                "signaling_setups_total",
+                &[("outcome", "rejected_route_down")],
+            ),
+            teardowns_released: registry
+                .counter_with("signaling_teardowns_total", &[("outcome", "released")]),
+            teardowns_unknown: registry
+                .counter_with("signaling_teardowns_total", &[("outcome", "unknown")]),
+            teardowns_failover: registry
+                .counter_with("signaling_teardowns_total", &[("outcome", "failover")]),
+            link_failures: registry
+                .counter_with("signaling_element_failures_total", &[("element", "link")]),
+            link_heals: registry
+                .counter_with("signaling_element_heals_total", &[("element", "link")]),
+            node_failures: registry
+                .counter_with("signaling_element_failures_total", &[("element", "node")]),
+            node_heals: registry
+                .counter_with("signaling_element_heals_total", &[("element", "node")]),
+            crankback_attempts: registry.counter("signaling_crankback_attempts_total"),
+            crankback_connected: registry.counter_with(
+                "signaling_crankback_setups_total",
+                &[("outcome", "connected")],
+            ),
+            crankback_exhausted: registry.counter_with(
+                "signaling_crankback_setups_total",
+                &[("outcome", "exhausted")],
+            ),
+            reroute_backoff_cells: registry.histogram("signaling_reroute_backoff_cells"),
+            orphaned_reservations: registry.gauge("signaling_orphaned_reservations"),
             cdv_cells: registry.histogram("signaling_cdv_cells"),
         }
     }
@@ -94,8 +134,65 @@ impl NetworkMetrics {
         self.setups_rejected_switch.inc();
     }
 
-    /// A connection was torn down.
+    /// A setup was refused because its route crosses a dead element.
+    pub fn setup_rejected_route_down(&self) {
+        self.setups_rejected_route_down.inc();
+    }
+
+    /// A connection was torn down by an explicit, successful teardown.
     pub fn teardown(&self) {
-        self.teardowns.inc();
+        self.teardowns_released.inc();
+    }
+
+    /// A teardown was requested for a connection that does not exist
+    /// (never set up, or already torn down).
+    pub fn teardown_unknown(&self) {
+        self.teardowns_unknown.inc();
+    }
+
+    /// A connection was force-released because an element on its route
+    /// failed.
+    pub fn teardown_failover(&self) {
+        self.teardowns_failover.inc();
+    }
+
+    /// A link or node changed health.
+    pub fn element_failed(&self, is_node: bool) {
+        if is_node {
+            self.node_failures.inc();
+        } else {
+            self.link_failures.inc();
+        }
+    }
+
+    /// A link or node was restored.
+    pub fn element_healed(&self, is_node: bool) {
+        if is_node {
+            self.node_heals.inc();
+        } else {
+            self.link_heals.inc();
+        }
+    }
+
+    /// One route attempt inside a crankback setup.
+    pub fn crankback_attempt(&self) {
+        self.crankback_attempts.inc();
+    }
+
+    /// A crankback setup finished, CONNECTED or out of retries, with
+    /// the total deterministic backoff it accrued (in cell times).
+    pub fn crankback_finished(&self, connected: bool, backoff_cells: u64) {
+        if connected {
+            self.crankback_connected.inc();
+        } else {
+            self.crankback_exhausted.inc();
+        }
+        self.reroute_backoff_cells.record(backoff_cells);
+    }
+
+    /// Publishes the current orphaned-reservation audit result (must
+    /// be 0 after every recovery action).
+    pub fn set_orphaned(&self, count: u64) {
+        self.orphaned_reservations.set(count);
     }
 }

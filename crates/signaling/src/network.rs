@@ -304,6 +304,13 @@ impl Network {
         if self.connections.contains_key(&id) {
             return Err(SignalError::DuplicateConnection(id));
         }
+        // A route over a dead element is refused outright — no switch
+        // on it may reserve anything (ATM crankback then retries on an
+        // alternate route, see [`Network::setup_crankback`]).
+        if let Some(link) = route.first_dead_link(&self.topology)? {
+            self.metrics.setup_rejected_route_down();
+            return Ok(SetupOutcome::Rejected(SetupRejection::RouteDown { link }));
+        }
         let points = route.queueing_points(&self.topology)?;
 
         // The QoS feasibility gate: the fixed advertised bounds are the
@@ -400,12 +407,14 @@ impl Network {
     /// # Errors
     ///
     /// Returns [`SignalError::UnknownConnection`] if the id is not
-    /// established.
+    /// established — including a second teardown of an id that was
+    /// already released (both outcomes are counted under the
+    /// `outcome="unknown"` teardown counter).
     pub fn teardown(&mut self, id: ConnectionId) -> Result<(), SignalError> {
-        let info = self
-            .connections
-            .remove(&id)
-            .ok_or(SignalError::UnknownConnection(id))?;
+        let Some(info) = self.connections.remove(&id) else {
+            self.metrics.teardown_unknown();
+            return Err(SignalError::UnknownConnection(id));
+        };
         for (node, _) in info.route.queueing_points(&self.topology)? {
             self.switches
                 .get_mut(&node)
@@ -415,6 +424,342 @@ impl Network {
         self.metrics.teardown();
         self.events.push(SignalEvent::Released { connection: id });
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Failure handling and recovery
+    // ------------------------------------------------------------------
+
+    /// Marks a link as failed and tears down every connection routed
+    /// over it, releasing its bandwidth at every surviving hop so the
+    /// Algorithm 4.1 tables never leak a reservation.
+    ///
+    /// Idempotent: failing an already-down link changes nothing and
+    /// tears down nothing ([`FailureImpact::changed`] is `false`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::Net`] for an unknown link.
+    pub fn fail_link(&mut self, link: LinkId) -> Result<FailureImpact, SignalError> {
+        if !self.topology.fail_link(link)? {
+            return Ok(FailureImpact::unchanged());
+        }
+        self.metrics.element_failed(false);
+        let torn_down = self.teardown_dead_routes()?;
+        self.events.push(SignalEvent::LinkFailed {
+            link,
+            torn_down: torn_down.len(),
+        });
+        self.publish_orphan_audit();
+        Ok(FailureImpact::changed(torn_down))
+    }
+
+    /// Restores a failed link. Established connections are unaffected
+    /// (none can be routed over a down link); new setups may use it
+    /// again immediately.
+    ///
+    /// Returns `true` if the link was actually down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::Net`] for an unknown link.
+    pub fn heal_link(&mut self, link: LinkId) -> Result<bool, SignalError> {
+        let changed = self.topology.heal_link(link)?;
+        if changed {
+            self.metrics.element_healed(false);
+            self.events.push(SignalEvent::LinkHealed { link });
+            self.publish_orphan_audit();
+        }
+        Ok(changed)
+    }
+
+    /// Marks a node as failed (its attached links become unusable) and
+    /// tears down every connection routed through it.
+    ///
+    /// Idempotent like [`Network::fail_link`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::Net`] for an unknown node.
+    pub fn fail_node(&mut self, node: NodeId) -> Result<FailureImpact, SignalError> {
+        if !self.topology.fail_node(node)? {
+            return Ok(FailureImpact::unchanged());
+        }
+        self.metrics.element_failed(true);
+        let torn_down = self.teardown_dead_routes()?;
+        self.events.push(SignalEvent::NodeFailed {
+            node,
+            torn_down: torn_down.len(),
+        });
+        self.publish_orphan_audit();
+        Ok(FailureImpact::changed(torn_down))
+    }
+
+    /// Restores a failed node. Returns `true` if it was actually down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::Net`] for an unknown node.
+    pub fn heal_node(&mut self, node: NodeId) -> Result<bool, SignalError> {
+        let changed = self.topology.heal_node(node)?;
+        if changed {
+            self.metrics.element_healed(true);
+            self.events.push(SignalEvent::NodeHealed { node });
+            self.publish_orphan_audit();
+        }
+        Ok(changed)
+    }
+
+    /// Tears down every established connection whose route (or
+    /// multicast tree) crosses a currently-dead element, releasing its
+    /// reservations at every hop. Returns the ids torn down.
+    fn teardown_dead_routes(&mut self) -> Result<Vec<ConnectionId>, SignalError> {
+        let mut dead = Vec::new();
+        for info in self.connections.values() {
+            if info.route.first_dead_link(&self.topology)?.is_some() {
+                dead.push(info.id);
+            }
+        }
+        for &id in &dead {
+            let info = self.connections.remove(&id).expect("id just listed");
+            // The switch objects survive element failure (the *graph*
+            // element is down, not the CAC bookkeeping), so release at
+            // every hop: tables stay exact for when the element heals.
+            for (node, _) in info.route.queueing_points(&self.topology)? {
+                self.switches
+                    .get_mut(&node)
+                    .ok_or(SignalError::NoSwitchAt(node))?
+                    .release(id)?;
+            }
+            self.metrics.teardown_failover();
+            self.events.push(SignalEvent::Released { connection: id });
+        }
+        let mut dead_mc = Vec::new();
+        for info in self.multicast.values() {
+            for &link in info.tree().links() {
+                if !self.topology.link_usable(link)? {
+                    dead_mc.push(info.id());
+                    break;
+                }
+            }
+        }
+        for &id in &dead_mc {
+            let info = self.multicast.remove(&id).expect("id just listed");
+            let mut released = std::collections::BTreeSet::new();
+            for (node, _, _) in info.tree().queueing_points(&self.topology)? {
+                if released.insert(node) {
+                    self.switches
+                        .get_mut(&node)
+                        .ok_or(SignalError::NoSwitchAt(node))?
+                        .release(id)?;
+                }
+            }
+            self.metrics.teardown_failover();
+            self.events.push(SignalEvent::Released { connection: id });
+        }
+        dead.extend(dead_mc);
+        Ok(dead)
+    }
+
+    /// Audits the switches for reservations not backed by any
+    /// established connection. The invariant maintained by setup
+    /// rollback and failure teardown is that this is always empty;
+    /// it is exposed (and published as the
+    /// `signaling_orphaned_reservations` gauge) so tests and operators
+    /// can verify rather than trust.
+    pub fn orphaned_reservations(&self) -> Vec<(NodeId, ConnectionId)> {
+        let mut orphans = Vec::new();
+        for (&node, switch) in &self.switches {
+            for (id, _) in switch.connections() {
+                if !self.connections.contains_key(&id) && !self.multicast.contains_key(&id) {
+                    orphans.push((node, id));
+                }
+            }
+        }
+        orphans.dedup();
+        orphans
+    }
+
+    fn publish_orphan_audit(&self) {
+        self.metrics
+            .set_orphaned(self.orphaned_reservations().len() as u64);
+    }
+
+    /// ATM-style crankback setup: route `from → to` on the shortest
+    /// healthy route; when a hop rejects (or the route dies under the
+    /// attempt), exclude the offending link and retry on the next
+    /// alternate, up to `policy.max_retries` retries with deterministic
+    /// exponential backoff *accounting* (no wall-clock sleeping — the
+    /// accrued backoff is reported in cell times so callers and tests
+    /// stay deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::Net`] when no healthy route exists at the
+    /// first attempt, and propagates API-misuse errors from
+    /// [`Network::setup`]. CAC rejections are reported via
+    /// [`CrankbackOutcome`], not as errors.
+    pub fn setup_crankback(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        request: SetupRequest,
+        policy: CrankbackPolicy,
+    ) -> Result<CrankbackOutcome, SignalError> {
+        let mut excluded: Vec<LinkId> = Vec::new();
+        let mut attempts: Vec<CrankbackAttempt> = Vec::new();
+        let mut backoff_cells: u64 = 0;
+        for attempt in 0..=policy.max_retries {
+            let route = match self
+                .topology
+                .shortest_route_avoiding(from, to, &excluded, &[])
+            {
+                Ok(route) => route,
+                Err(e) if attempts.is_empty() => return Err(SignalError::Net(e)),
+                Err(_) => break, // alternates exhausted; report last rejection
+            };
+            self.metrics.crankback_attempt();
+            match self.setup(&route, request)? {
+                SetupOutcome::Connected(info) => {
+                    self.metrics.crankback_finished(true, backoff_cells);
+                    return Ok(CrankbackOutcome {
+                        outcome: SetupOutcome::Connected(info),
+                        attempts,
+                        backoff_cells,
+                    });
+                }
+                SetupOutcome::Rejected(rejection) => {
+                    let culprit = match &rejection {
+                        SetupRejection::Switch { reason, .. } => rejected_link(reason),
+                        SetupRejection::RouteDown { link } => Some(*link),
+                        // A shorter route already misses the QoS gate;
+                        // longer alternates only add advertised delay.
+                        _ => None,
+                    };
+                    attempts.push(CrankbackAttempt {
+                        route,
+                        rejection: rejection.clone(),
+                    });
+                    let Some(link) = culprit else { break };
+                    if attempt < policy.max_retries {
+                        excluded.push(link);
+                        let step = policy
+                            .backoff_base_cells
+                            .checked_shl(attempt as u32)
+                            .unwrap_or(u64::MAX);
+                        backoff_cells = backoff_cells.saturating_add(step);
+                    }
+                }
+            }
+        }
+        self.metrics.crankback_finished(false, backoff_cells);
+        let last = attempts
+            .last()
+            .map(|a| a.rejection.clone())
+            .expect("loop ran at least once before exhausting");
+        Ok(CrankbackOutcome {
+            outcome: SetupOutcome::Rejected(last),
+            attempts,
+            backoff_cells,
+        })
+    }
+}
+
+/// The outgoing (or incoming) link a CAC rejection points at — the
+/// element a crankback retry should route around.
+fn rejected_link(reason: &rtcac_cac::RejectReason) -> Option<LinkId> {
+    use rtcac_cac::RejectReason;
+    match reason {
+        RejectReason::BoundExceeded { out_link, .. } | RejectReason::Overload { out_link, .. } => {
+            Some(*out_link)
+        }
+        RejectReason::IncomingOverload { in_link, .. } => Some(*in_link),
+        _ => None,
+    }
+}
+
+/// What a [`Network::fail_link`] / [`Network::fail_node`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureImpact {
+    changed: bool,
+    torn_down: Vec<ConnectionId>,
+}
+
+impl FailureImpact {
+    fn unchanged() -> FailureImpact {
+        FailureImpact {
+            changed: false,
+            torn_down: Vec::new(),
+        }
+    }
+
+    fn changed(torn_down: Vec<ConnectionId>) -> FailureImpact {
+        FailureImpact {
+            changed: true,
+            torn_down,
+        }
+    }
+
+    /// Whether the element actually changed health (false when it was
+    /// already in the requested state).
+    pub fn is_changed(&self) -> bool {
+        self.changed
+    }
+
+    /// The connections torn down because their route crossed the
+    /// failed element.
+    pub fn torn_down(&self) -> &[ConnectionId] {
+        &self.torn_down
+    }
+}
+
+/// Retry budget and deterministic backoff accounting for
+/// [`Network::setup_crankback`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrankbackPolicy {
+    /// Retries after the first attempt (so `max_retries + 1` route
+    /// attempts in total).
+    pub max_retries: usize,
+    /// Backoff accrued before retry `k` is `backoff_base_cells << k`
+    /// (cell times; purely accounting, nothing sleeps).
+    pub backoff_base_cells: u64,
+}
+
+impl Default for CrankbackPolicy {
+    fn default() -> CrankbackPolicy {
+        CrankbackPolicy {
+            max_retries: 3,
+            backoff_base_cells: 64,
+        }
+    }
+}
+
+/// One failed route attempt inside a crankback setup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrankbackAttempt {
+    /// The route that was tried.
+    pub route: Route,
+    /// Why it was refused.
+    pub rejection: SetupRejection,
+}
+
+/// The result of [`Network::setup_crankback`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrankbackOutcome {
+    /// The final outcome: `Connected` on the successful attempt, or
+    /// the last rejection once alternates/retries were exhausted.
+    pub outcome: SetupOutcome,
+    /// The failed attempts that preceded it, in order.
+    pub attempts: Vec<CrankbackAttempt>,
+    /// Total deterministic backoff accounted across retries, in cell
+    /// times.
+    pub backoff_cells: u64,
+}
+
+impl CrankbackOutcome {
+    /// Whether the setup eventually connected.
+    pub fn is_connected(&self) -> bool {
+        self.outcome.is_connected()
     }
 }
 
@@ -525,6 +870,7 @@ mod tests {
                 SignalEvent::Rejected { .. } => "reject",
                 SignalEvent::Connected { .. } => "connected",
                 SignalEvent::Released { .. } => "released",
+                _ => "other",
             })
             .collect();
         assert_eq!(kinds, vec!["setup", "setup", "connected"]);
@@ -648,12 +994,240 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter_total("signaling_hop_checks_total"), 3);
         assert_eq!(snap.counter_total("signaling_setups_total"), 2);
-        assert_eq!(snap.counter("signaling_teardowns_total"), Some(1));
+        assert_eq!(snap.counter_total("signaling_teardowns_total"), 1);
         // Hop CDVs were 0, 32, 64 cell times: three observations, the
         // largest being 64.
         let cdv = snap.histogram("signaling_cdv_cells").unwrap();
         assert_eq!(cdv.count, 3);
         assert_eq!(cdv.max, 64);
+    }
+
+    /// a → s1 → {s2 | s3} → s4 → d with two equal-cost middle paths.
+    fn diamond_net(bound: i128) -> (Network, [NodeId; 6]) {
+        let mut t = Topology::new();
+        let a = t.add_end_system("a");
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let s3 = t.add_switch("s3");
+        let s4 = t.add_switch("s4");
+        let d = t.add_end_system("d");
+        t.add_link(a, s1).unwrap();
+        t.add_link(s1, s2).unwrap();
+        t.add_link(s1, s3).unwrap();
+        t.add_link(s2, s4).unwrap();
+        t.add_link(s3, s4).unwrap();
+        t.add_link(s4, d).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(bound)).unwrap();
+        (
+            Network::new(t, config, CdvPolicy::Hard),
+            [a, s1, s2, s3, s4, d],
+        )
+    }
+
+    #[test]
+    fn link_failure_tears_down_and_leaves_no_orphans() {
+        let (mut net, route) = line_net(3, 32);
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(200));
+        let id = match net.setup(&route, req).unwrap() {
+            SetupOutcome::Connected(info) => info.id(),
+            other => panic!("expected connection, got {other:?}"),
+        };
+        let mid_link = route.links()[1];
+        let impact = net.fail_link(mid_link).unwrap();
+        assert!(impact.is_changed());
+        assert_eq!(impact.torn_down(), &[id]);
+        assert_eq!(net.connections().count(), 0);
+        for (node, _) in route.queueing_points(net.topology()).unwrap() {
+            assert_eq!(net.switch(node).unwrap().connection_count(), 0);
+        }
+        assert!(net.orphaned_reservations().is_empty());
+        // Failing it again is a no-op.
+        assert!(!net.fail_link(mid_link).unwrap().is_changed());
+        // Setup over the dead route is refused without reserving.
+        match net.setup(&route, req).unwrap() {
+            SetupOutcome::Rejected(SetupRejection::RouteDown { link }) => {
+                assert_eq!(link, mid_link);
+            }
+            other => panic!("expected route-down rejection, got {other:?}"),
+        }
+        // After healing, setup works again.
+        assert!(net.heal_link(mid_link).unwrap());
+        assert!(!net.heal_link(mid_link).unwrap());
+        assert!(net.setup(&route, req).unwrap().is_connected());
+        assert!(net.orphaned_reservations().is_empty());
+    }
+
+    #[test]
+    fn node_failure_tears_down_routed_connections() {
+        let (mut net, nodes) = diamond_net(32);
+        let [a, s1, s2, _, s4, d] = nodes;
+        let route = Route::from_nodes(net.topology(), [a, s1, s2, s4, d]).unwrap();
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(200));
+        assert!(net.setup(&route, req).unwrap().is_connected());
+        let impact = net.fail_node(s2).unwrap();
+        assert!(impact.is_changed());
+        assert_eq!(impact.torn_down().len(), 1);
+        assert_eq!(net.connections().count(), 0);
+        assert!(net.orphaned_reservations().is_empty());
+        // The other middle path still works.
+        assert!(net
+            .setup_crankback(a, d, req, CrankbackPolicy::default())
+            .unwrap()
+            .is_connected());
+        assert!(net.heal_node(s2).unwrap());
+    }
+
+    #[test]
+    fn crankback_reroutes_around_failed_link() {
+        let (mut net, nodes) = diamond_net(32);
+        let [a, s1, s2, s3, _, d] = nodes;
+        let via_s2 = net.topology().find_link(s1, s2).unwrap();
+        net.fail_link(via_s2).unwrap();
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(200));
+        let result = net
+            .setup_crankback(a, d, req, CrankbackPolicy::default())
+            .unwrap();
+        assert!(result.is_connected(), "{:?}", result.outcome);
+        let info = match &result.outcome {
+            SetupOutcome::Connected(info) => info,
+            other => panic!("expected connection, got {other:?}"),
+        };
+        // The established route goes via s3, never via the dead link.
+        let route_nodes = info.route().nodes(net.topology()).unwrap();
+        assert!(route_nodes.contains(&s3));
+        assert!(!info.route().links().contains(&via_s2));
+        // The healthy search already avoids the dead link, so the first
+        // attempt connects: no failed attempts, no backoff accrued.
+        assert!(result.attempts.is_empty());
+        assert_eq!(result.backoff_cells, 0);
+    }
+
+    /// The diamond plus a second terminal pair `b → s1 … s4 → e`, so a
+    /// background connection can saturate the s2 middle path without
+    /// touching `a`'s access link or `d`'s egress link.
+    fn loaded_diamond() -> (Network, [NodeId; 6]) {
+        let mut t = Topology::new();
+        let a = t.add_end_system("a");
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let s3 = t.add_switch("s3");
+        let s4 = t.add_switch("s4");
+        let d = t.add_end_system("d");
+        let b = t.add_end_system("b");
+        let e = t.add_end_system("e");
+        t.add_link(a, s1).unwrap();
+        t.add_link(s1, s2).unwrap();
+        t.add_link(s1, s3).unwrap();
+        t.add_link(s2, s4).unwrap();
+        t.add_link(s3, s4).unwrap();
+        t.add_link(s4, d).unwrap();
+        t.add_link(b, s1).unwrap();
+        t.add_link(s4, e).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(1_000)).unwrap();
+        let mut net = Network::new(t, config, CdvPolicy::Hard);
+        // The hog fills s1→s2 (and s2→s4) at 4/5 of capacity.
+        let hog_route = Route::from_nodes(net.topology(), [b, s1, s2, s4, e]).unwrap();
+        let hog = SetupRequest::new(cbr(4, 5), Priority::HIGHEST, Time::from_integer(100_000));
+        assert!(net.setup(&hog_route, hog).unwrap().is_connected());
+        (net, [a, s1, s2, s3, s4, d])
+    }
+
+    #[test]
+    fn crankback_retries_after_capacity_rejection() {
+        let (mut net, nodes) = loaded_diamond();
+        let [a, _, _, s3, _, d] = nodes;
+        // 2/5 more does not fit through s1→s2 (4/5 + 2/5 > 1) but fits
+        // via s3; crankback must find it.
+        let req = SetupRequest::new(cbr(2, 5), Priority::HIGHEST, Time::from_integer(100_000));
+        let result = net
+            .setup_crankback(a, d, req, CrankbackPolicy::default())
+            .unwrap();
+        assert!(result.is_connected(), "{:?}", result.outcome);
+        assert_eq!(result.attempts.len(), 1);
+        assert!(result.backoff_cells > 0);
+        let info = match &result.outcome {
+            SetupOutcome::Connected(info) => info,
+            other => panic!("expected connection, got {other:?}"),
+        };
+        assert!(info.route().nodes(net.topology()).unwrap().contains(&s3));
+        assert!(net.orphaned_reservations().is_empty());
+        // With no retry budget, the same load pattern is refused.
+        let (mut net2, _) = loaded_diamond();
+        let no_retry = CrankbackPolicy {
+            max_retries: 0,
+            backoff_base_cells: 64,
+        };
+        let result = net2.setup_crankback(a, d, req, no_retry).unwrap();
+        assert!(!result.is_connected());
+        assert_eq!(result.attempts.len(), 1);
+        assert!(net2.orphaned_reservations().is_empty());
+    }
+
+    #[test]
+    fn unknown_and_double_teardown_agree() {
+        use std::sync::Arc;
+        let registry = Arc::new(rtcac_obs::Registry::new());
+        let (mut net, route) = line_net(2, 32);
+        net.set_registry(&registry);
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(100));
+        let id = match net.setup(&route, req).unwrap() {
+            SetupOutcome::Connected(info) => info.id(),
+            other => panic!("expected connection, got {other:?}"),
+        };
+        // Teardown of a never-established id and a double teardown
+        // must return the *same* typed variant, and both are counted.
+        let unknown = net.teardown(ConnectionId::new(4242));
+        assert!(
+            matches!(unknown, Err(SignalError::UnknownConnection(u)) if u == ConnectionId::new(4242))
+        );
+        net.teardown(id).unwrap();
+        let doubled = net.teardown(id);
+        assert!(matches!(doubled, Err(SignalError::UnknownConnection(u)) if u == id));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("signaling_teardowns_total"), 3);
+        assert_eq!(
+            snap.counter_with("signaling_teardowns_total", &[("outcome", "unknown")]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_with("signaling_teardowns_total", &[("outcome", "released")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn failure_metrics_and_events_recorded() {
+        use std::sync::Arc;
+        let registry = Arc::new(rtcac_obs::Registry::new());
+        let (mut net, route) = line_net(2, 32);
+        net.set_registry(&registry);
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(100));
+        assert!(net.setup(&route, req).unwrap().is_connected());
+        let link = route.links()[0];
+        net.fail_link(link).unwrap();
+        net.heal_link(link).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_with("signaling_element_failures_total", &[("element", "link")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_with("signaling_element_heals_total", &[("element", "link")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_with("signaling_teardowns_total", &[("outcome", "failover")]),
+            Some(1)
+        );
+        assert_eq!(snap.gauge("signaling_orphaned_reservations"), Some(0));
+        assert!(net
+            .events()
+            .iter()
+            .any(|e| matches!(e, SignalEvent::LinkFailed { torn_down: 1, .. })));
+        assert!(net
+            .events()
+            .iter()
+            .any(|e| matches!(e, SignalEvent::LinkHealed { .. })));
     }
 
     #[test]

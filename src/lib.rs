@@ -20,6 +20,10 @@
 //!   epoch-keyed delay-bound memoization;
 //! - [`sim`] — a cell-level slotted ATM simulator used to validate the
 //!   analytic bounds empirically;
+//! - [`fault`] — fault injection and failure recovery: seeded
+//!   link/node fault plans and a chaos harness that churns the engine
+//!   while asserting no reservation is orphaned and no guarantee is
+//!   violated;
 //! - [`rtnet`] — the RTnet evaluation of §5: cyclic transmission
 //!   classes and the experiment drivers behind Figures 10–13;
 //! - [`obs`] — std-only observability: counters, log2 histograms,
@@ -57,6 +61,7 @@
 pub use rtcac_bitstream as bitstream;
 pub use rtcac_cac as cac;
 pub use rtcac_engine as engine;
+pub use rtcac_fault as fault;
 pub use rtcac_net as net;
 pub use rtcac_obs as obs;
 pub use rtcac_rational as rational;
