@@ -3,7 +3,7 @@
 use rtcac_bitstream::Time;
 use rtcac_rational::{sqrt_upper, Ratio};
 
-use crate::SignalError;
+use crate::CacError;
 
 /// Precision denominator for the soft (square-root) accumulation: the
 /// result is exact to within 1/10⁶ of a cell time, always rounded up.
@@ -31,12 +31,12 @@ impl CdvPolicy {
     ///
     /// # Errors
     ///
-    /// Returns [`SignalError::NegativeBound`] if any bound is negative,
-    /// or [`SignalError::Numeric`] on arithmetic overflow.
+    /// Returns [`CacError::NegativeBound`] if any bound is negative,
+    /// or [`CacError::Numeric`] on arithmetic overflow.
     ///
     /// ```
     /// use rtcac_bitstream::Time;
-    /// use rtcac_signaling::CdvPolicy;
+    /// use rtcac_cac::CdvPolicy;
     ///
     /// let hops = [Time::from_integer(32); 4];
     /// assert_eq!(CdvPolicy::Hard.accumulate(&hops)?, Time::from_integer(128));
@@ -44,12 +44,12 @@ impl CdvPolicy {
     /// let soft = CdvPolicy::SoftSqrt.accumulate(&hops)?;
     /// assert!(soft >= Time::from_integer(64));
     /// assert!(soft < Time::from_integer(65));
-    /// # Ok::<(), rtcac_signaling::SignalError>(())
+    /// # Ok::<(), rtcac_cac::CacError>(())
     /// ```
-    pub fn accumulate(&self, upstream_bounds: &[Time]) -> Result<Time, SignalError> {
+    pub fn accumulate(&self, upstream_bounds: &[Time]) -> Result<Time, CacError> {
         for &b in upstream_bounds {
             if b.is_negative() {
-                return Err(SignalError::NegativeBound(b));
+                return Err(CacError::NegativeBound(b));
             }
         }
         match self {
@@ -58,10 +58,10 @@ impl CdvPolicy {
                 let mut sum_sq = Ratio::ZERO;
                 for b in upstream_bounds {
                     let r = b.as_ratio();
-                    let sq = r.checked_mul(r).ok_or(SignalError::Numeric)?;
-                    sum_sq = sum_sq.checked_add(sq).ok_or(SignalError::Numeric)?;
+                    let sq = r.checked_mul(r).ok_or(CacError::Numeric)?;
+                    sum_sq = sum_sq.checked_add(sq).ok_or(CacError::Numeric)?;
                 }
-                let root = sqrt_upper(sum_sq, SQRT_PRECISION).map_err(|_| SignalError::Numeric)?;
+                let root = sqrt_upper(sum_sq, SQRT_PRECISION).map_err(|_| CacError::Numeric)?;
                 Ok(Time::new(root))
             }
         }
@@ -138,11 +138,11 @@ mod tests {
         let bounds = [Time::from_integer(-1)];
         assert!(matches!(
             CdvPolicy::Hard.accumulate(&bounds),
-            Err(SignalError::NegativeBound(_))
+            Err(CacError::NegativeBound(_))
         ));
         assert!(matches!(
             CdvPolicy::SoftSqrt.accumulate(&bounds),
-            Err(SignalError::NegativeBound(_))
+            Err(CacError::NegativeBound(_))
         ));
     }
 

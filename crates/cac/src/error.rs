@@ -85,6 +85,10 @@ pub enum CacError {
     DuplicateConnection(ConnectionId),
     /// Invalid switch configuration.
     BadConfig(&'static str),
+    /// A per-hop delay bound fed to CDV accumulation was negative.
+    NegativeBound(Time),
+    /// Arithmetic overflow while accumulating CDV.
+    Numeric,
     /// A stream computation failed (numeric overflow or invalid
     /// stream); indicates an internal inconsistency.
     Stream(StreamError),
@@ -103,6 +107,10 @@ impl fmt::Display for CacError {
                 write!(f, "connection {id} is already established at this switch")
             }
             CacError::BadConfig(what) => write!(f, "invalid switch configuration: {what}"),
+            CacError::NegativeBound(b) => {
+                write!(f, "negative per-hop delay bound {b}")
+            }
+            CacError::Numeric => write!(f, "arithmetic overflow accumulating cdv"),
             CacError::Stream(e) => write!(f, "stream computation failed: {e}"),
         }
     }
@@ -153,12 +161,14 @@ mod tests {
             CacError::UnknownConnection(ConnectionId::new(5)),
             CacError::DuplicateConnection(ConnectionId::new(5)),
             CacError::BadConfig("nope"),
+            CacError::NegativeBound(Time::from_integer(-1)),
+            CacError::Numeric,
             CacError::Stream(StreamError::Empty),
         ];
         for e in &cases {
             assert!(!e.to_string().is_empty());
         }
-        assert!(cases[4].source().is_some());
+        assert!(cases[6].source().is_some());
         assert!(cases[0].source().is_none());
     }
 

@@ -56,15 +56,22 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+mod cdv;
 mod config;
 mod connection;
 mod error;
+mod plan;
 mod sof_cache;
 mod switch;
 mod tables;
 
+pub use cdv::CdvPolicy;
 pub use config::{Priority, SwitchConfig};
 pub use connection::{ConnectionId, ConnectionRequest};
 pub use error::{CacError, RejectReason};
+pub use plan::{
+    release_order, HopDriver, HopSpec, PlannedHop, ReservationPlan, ReserveOutcome, RoutePlan,
+    LOCAL_INJECTION,
+};
 pub use sof_cache::SofCache;
 pub use switch::{AdmissionDecision, AdmissionReport, Switch};

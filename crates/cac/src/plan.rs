@@ -1,0 +1,561 @@
+//! The transport-agnostic admission lifecycle core.
+//!
+//! The paper's §4.3 CAC is one per-hop bookkeeping discipline — check,
+//! reserve, commit, release against the `(in-link, out-link, priority)`
+//! aggregates — regardless of whether the connection is a point-to-point
+//! [`Route`] or a point-to-multipoint [`MulticastTree`]. This module
+//! captures that discipline once:
+//!
+//! * [`RoutePlan`] — the transport-agnostic *shape* of a connection:
+//!   one [`HopSpec`] per queueing point plus the hop indices feeding
+//!   each terminal, built from either a path or a tree.
+//! * [`ReservationPlan`] — the *priced* hop ledger: per-hop
+//!   [`ConnectionRequest`]s with CDV pre-accumulated by a [`CdvPolicy`]
+//!   from the advertised upstream bounds, and the guaranteed delay per
+//!   terminal (the QoS feasibility gate).
+//! * [`ReservationPlan::reserve`] — the reserve walk with first-refusal
+//!   rollback, parameterized over a [`HopDriver`] so the serial
+//!   signaling layer and the concurrent sharded engine drive the same
+//!   loop.
+//!
+//! Drivers differ only in *where* the switch state lives (a plain map
+//! vs. locked shards) and what bookkeeping (events, metrics, epoch
+//! rewinds) each phase records.
+
+use rtcac_bitstream::{Time, TrafficContract};
+use rtcac_net::{LinkId, MulticastTree, NetError, NodeId, Route, Topology};
+
+use crate::{AdmissionDecision, CacError, CdvPolicy, ConnectionRequest, Priority, RejectReason};
+
+/// The pseudo incoming link used for a connection injected locally at a
+/// switch (a route or tree rooted at the switch itself): traffic enters
+/// from the switch fabric, not from a transmission link, so it bypasses
+/// the incoming-link overload check.
+pub const LOCAL_INJECTION: LinkId = LinkId::external(u32::MAX);
+
+/// One queueing point of a [`RoutePlan`]: the switch, its in/out links,
+/// and which earlier hops feed the CDV seen here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopSpec {
+    /// The switch running the CAC check.
+    pub node: NodeId,
+    /// The link the connection's cells arrive on ([`LOCAL_INJECTION`]
+    /// when the connection originates at this switch).
+    pub in_link: LinkId,
+    /// The outgoing link whose FIFO the connection joins.
+    pub out_link: LinkId,
+    /// Indices (into the plan's hop list) of the upstream queueing
+    /// points on this hop's root path, in root-to-hop order; their
+    /// advertised bounds accumulate into this hop's CDV.
+    pub upstream: Vec<usize>,
+}
+
+/// The transport-agnostic shape of a connection: its queueing points
+/// and, per terminal (destination or leaf), the hops on that terminal's
+/// path. Built from a [`Route`] or a [`MulticastTree`]; everything
+/// downstream of this type is transport-blind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutePlan {
+    hops: Vec<HopSpec>,
+    /// `(terminal node, hop indices on its root path)`, sorted by node
+    /// for trees; a single entry (the destination) for paths.
+    terminals: Vec<(NodeId, Vec<usize>)>,
+}
+
+impl RoutePlan {
+    /// The plan of a point-to-point route: hop `k`'s CDV accumulates
+    /// over hops `0..k`, and the single terminal (the destination) is
+    /// reached through every hop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if the route belongs to another topology.
+    pub fn from_route(topology: &Topology, route: &Route) -> Result<RoutePlan, NetError> {
+        let points = route.queueing_points(topology)?;
+        let mut hops = Vec::with_capacity(points.len());
+        for (k, &(node, out_link)) in points.iter().enumerate() {
+            let in_link = route
+                .incoming_link(topology, node)?
+                .unwrap_or(LOCAL_INJECTION);
+            hops.push(HopSpec {
+                node,
+                in_link,
+                out_link,
+                upstream: (0..k).collect(),
+            });
+        }
+        let destination = route.destination(topology)?;
+        let all: Vec<usize> = (0..hops.len()).collect();
+        Ok(RoutePlan {
+            hops,
+            terminals: vec![(destination, all)],
+        })
+    }
+
+    /// The plan of a point-to-multipoint tree: one hop per
+    /// [`MulticastTree::queueing_points`] entry (one leg per switch
+    /// port, CDV accumulated along the port's root path), one terminal
+    /// per leaf.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if the tree belongs to another topology.
+    pub fn from_tree(topology: &Topology, tree: &MulticastTree) -> Result<RoutePlan, NetError> {
+        let points = tree.queueing_points(topology)?;
+        // Hop index per tree out-link, for root-path lookups.
+        let index_of: std::collections::BTreeMap<LinkId, usize> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, out_link, _))| (out_link, i))
+            .collect();
+        let mut hops = Vec::with_capacity(points.len());
+        for &(node, out_link, _) in &points {
+            let in_link = tree.parent(out_link).unwrap_or(LOCAL_INJECTION);
+            let path = tree
+                .root_path(out_link)
+                .ok_or(NetError::UnknownLink(out_link))?;
+            // Upstream queueing points: the switch-departing links on
+            // the root path before this one (non-switch links, like an
+            // end-system root's access link, are not queueing points
+            // and have no hop index).
+            let upstream = path[..path.len() - 1]
+                .iter()
+                .filter_map(|l| index_of.get(l).copied())
+                .collect();
+            hops.push(HopSpec {
+                node,
+                in_link,
+                out_link,
+                upstream,
+            });
+        }
+        let mut terminals = Vec::new();
+        for (leaf, path) in tree.leaf_paths(topology)? {
+            let indices = path
+                .iter()
+                .filter_map(|l| index_of.get(l).copied())
+                .collect();
+            terminals.push((leaf, indices));
+        }
+        Ok(RoutePlan { hops, terminals })
+    }
+
+    /// The plan's queueing points, in reservation order.
+    pub fn hops(&self) -> &[HopSpec] {
+        &self.hops
+    }
+
+    /// The terminals and the hop indices on each terminal's path.
+    pub fn terminals(&self) -> &[(NodeId, Vec<usize>)] {
+        &self.terminals
+    }
+}
+
+/// One priced hop of a [`ReservationPlan`]: the per-leg
+/// [`ConnectionRequest`] a driver submits to the switch at `node`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedHop {
+    /// The switch running the CAC check.
+    pub node: NodeId,
+    /// The outgoing link whose FIFO the connection joins.
+    pub out_link: LinkId,
+    /// The CDV accumulated over this hop's upstream queueing points.
+    pub cdv: Time,
+    /// The switch's advertised (fixed) per-hop delay bound.
+    pub advertised: Time,
+    /// The fully-formed per-leg admission request.
+    pub request: ConnectionRequest,
+}
+
+/// What a [`ReservationPlan::reserve`] walk concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReserveOutcome {
+    /// Every hop admitted; the connection may commit.
+    Reserved,
+    /// A hop refused; every previously reserved leg was rolled back.
+    Refused {
+        /// The switch that refused.
+        at: NodeId,
+        /// The refusing hop's index in the plan.
+        index: usize,
+        /// Why the switch refused.
+        reason: RejectReason,
+        /// Reserved legs undone by the rollback (a leg per hop; one
+        /// release at a node frees all of its legs).
+        legs_rolled_back: usize,
+        /// The distinct nodes released, in rollback (reverse) order.
+        rolled_back: Vec<NodeId>,
+    },
+}
+
+/// The transport-specific half of the reserve walk: where the switch
+/// state lives and what bookkeeping each phase records.
+pub trait HopDriver {
+    /// The driver's error type (API misuse, not admission rejections).
+    type Error;
+
+    /// Runs the CAC check for one leg at its switch, reserving capacity
+    /// if it admits.
+    fn admit(&mut self, index: usize, hop: &PlannedHop) -> Result<AdmissionDecision, Self::Error>;
+
+    /// Rolls back every leg previously reserved at `node` (one release
+    /// frees all legs of the connection at that switch).
+    fn rollback(&mut self, node: NodeId) -> Result<(), Self::Error>;
+}
+
+/// A fully-priced hop ledger: every leg's admission request with CDV
+/// pre-accumulated from advertised upstream bounds, plus the
+/// guaranteed delay per terminal. Both the serial signaling layer and
+/// the concurrent engine build one of these, gate it against the
+/// requested QoS, and [`reserve`](ReservationPlan::reserve) it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReservationPlan {
+    hops: Vec<PlannedHop>,
+    terminals: Vec<(NodeId, Time)>,
+}
+
+impl ReservationPlan {
+    /// Prices a [`RoutePlan`]: looks up each hop's advertised bound,
+    /// accumulates CDV per hop under `policy`, and sums each terminal's
+    /// guaranteed delay. The `advertised` lookup abstracts over where
+    /// switch configuration lives (live switches vs. engine configs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `advertised` lookup failures and CDV accumulation
+    /// errors ([`CacError::NegativeBound`] / [`CacError::Numeric`]).
+    pub fn price<E: From<CacError>>(
+        plan: &RoutePlan,
+        policy: CdvPolicy,
+        contract: TrafficContract,
+        priority: Priority,
+        mut advertised: impl FnMut(NodeId) -> Result<Time, E>,
+    ) -> Result<ReservationPlan, E> {
+        let mut bounds = Vec::with_capacity(plan.hops().len());
+        for hop in plan.hops() {
+            bounds.push(advertised(hop.node)?);
+        }
+        let mut hops = Vec::with_capacity(plan.hops().len());
+        for (k, hop) in plan.hops().iter().enumerate() {
+            let upstream: Vec<Time> = hop.upstream.iter().map(|&i| bounds[i]).collect();
+            let cdv = policy.accumulate(&upstream).map_err(E::from)?;
+            hops.push(PlannedHop {
+                node: hop.node,
+                out_link: hop.out_link,
+                cdv,
+                advertised: bounds[k],
+                request: ConnectionRequest::new(contract, cdv, hop.in_link, hop.out_link, priority),
+            });
+        }
+        let terminals = plan
+            .terminals()
+            .iter()
+            .map(|(node, indices)| (*node, indices.iter().map(|&i| bounds[i]).sum()))
+            .collect();
+        Ok(ReservationPlan { hops, terminals })
+    }
+
+    /// The priced hops, in reservation order.
+    pub fn hops(&self) -> &[PlannedHop] {
+        &self.hops
+    }
+
+    /// The guaranteed end-to-end queueing delay per terminal (sorted by
+    /// node for trees; the single destination for paths).
+    pub fn terminals(&self) -> &[(NodeId, Time)] {
+        &self.terminals
+    }
+
+    /// The guaranteed delay the plan can achieve: the worst terminal's
+    /// sum of advertised bounds. A request whose delay bound is below
+    /// this is infeasible before any switch is consulted (the QoS
+    /// gate).
+    pub fn achievable(&self) -> Time {
+        self.terminals
+            .iter()
+            .map(|&(_, d)| d)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// The reserve walk: admits leg by leg in plan order; the first
+    /// refusal rolls back every reserved leg (reverse order, deduped by
+    /// node) through the driver and reports [`ReserveOutcome::Refused`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the driver's error unchanged; admission rejections
+    /// are outcomes, not errors.
+    pub fn reserve<D: HopDriver>(&self, driver: &mut D) -> Result<ReserveOutcome, D::Error> {
+        let mut reserved: Vec<NodeId> = Vec::new();
+        for (index, hop) in self.hops.iter().enumerate() {
+            match driver.admit(index, hop)? {
+                AdmissionDecision::Admitted(_) => reserved.push(hop.node),
+                AdmissionDecision::Rejected(reason) => {
+                    let legs_rolled_back = reserved.len();
+                    let mut rolled_back: Vec<NodeId> = Vec::new();
+                    for &node in reserved.iter().rev() {
+                        if !rolled_back.contains(&node) {
+                            rolled_back.push(node);
+                            driver.rollback(node)?;
+                        }
+                    }
+                    return Ok(ReserveOutcome::Refused {
+                        at: hop.node,
+                        index,
+                        reason,
+                        legs_rolled_back,
+                        rolled_back,
+                    });
+                }
+            }
+        }
+        Ok(ReserveOutcome::Reserved)
+    }
+
+    /// The release order for an established plan: its distinct nodes in
+    /// reservation order (one release at a node frees every leg there).
+    pub fn release_nodes(&self) -> Vec<NodeId> {
+        release_order(self.hops.iter().map(|h| h.node))
+    }
+}
+
+/// Distinct nodes of a queueing-point sequence in first-occurrence
+/// order — the per-node release order shared by every teardown path
+/// (one [`Switch::release`](crate::Switch::release) frees all legs of a
+/// connection at a node).
+pub fn release_order(nodes: impl IntoIterator<Item = NodeId>) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = Vec::new();
+    for node in nodes {
+        if !out.contains(&node) {
+            out.push(node);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConnectionId, Switch, SwitchConfig};
+    use rtcac_bitstream::{CbrParams, Rate};
+    use rtcac_rational::ratio;
+    use std::collections::BTreeMap;
+
+    /// src -> sw1 -> {a, sw2 -> {b, c}} plus a unicast spine
+    /// src -> sw1 -> sw2 -> b.
+    fn two_level() -> (Topology, Vec<NodeId>, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let src = t.add_end_system("src");
+        let sw1 = t.add_switch("sw1");
+        let sw2 = t.add_switch("sw2");
+        let a = t.add_end_system("a");
+        let b = t.add_end_system("b");
+        let c = t.add_end_system("c");
+        let up = t.add_link(src, sw1).unwrap();
+        let da = t.add_link(sw1, a).unwrap();
+        let trunk = t.add_link(sw1, sw2).unwrap();
+        let db = t.add_link(sw2, b).unwrap();
+        let dc = t.add_link(sw2, c).unwrap();
+        (t, vec![src, sw1, sw2, a, b, c], vec![up, da, trunk, db, dc])
+    }
+
+    fn contract() -> TrafficContract {
+        TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, 8))).unwrap())
+    }
+
+    fn price(t: &Topology, plan: &RoutePlan, bound: i128) -> ReservationPlan {
+        let _ = t;
+        ReservationPlan::price::<CacError>(
+            plan,
+            CdvPolicy::Hard,
+            contract(),
+            Priority::HIGHEST,
+            |_| Ok(Time::from_integer(bound)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn route_plan_chains_upstream_hops() {
+        let (t, nodes, links) = two_level();
+        let route = Route::new(&t, vec![links[0], links[2], links[3]]).unwrap();
+        let plan = RoutePlan::from_route(&t, &route).unwrap();
+        assert_eq!(plan.hops().len(), 2);
+        assert_eq!(plan.hops()[0].node, nodes[1]);
+        assert_eq!(plan.hops()[0].upstream, Vec::<usize>::new());
+        assert_eq!(plan.hops()[1].node, nodes[2]);
+        assert_eq!(plan.hops()[1].upstream, vec![0]);
+        assert_eq!(plan.terminals(), &[(nodes[4], vec![0, 1])]);
+        // The source's access hop enters via the real access link.
+        assert_eq!(plan.hops()[0].in_link, links[0]);
+    }
+
+    #[test]
+    fn tree_plan_follows_root_paths() {
+        let (t, nodes, links) = two_level();
+        let tree = MulticastTree::new(&t, links.clone()).unwrap();
+        let plan = RoutePlan::from_tree(&t, &tree).unwrap();
+        assert_eq!(plan.hops().len(), 4); // da, trunk, db, dc
+        for hop in plan.hops() {
+            match hop.node {
+                n if n == nodes[1] => assert!(hop.upstream.is_empty()),
+                n if n == nodes[2] => assert_eq!(hop.upstream.len(), 1),
+                other => panic!("unexpected hop node {other}"),
+            }
+        }
+        // Terminals sorted by leaf node: a through one hop, b/c two.
+        let terminals = plan.terminals();
+        assert_eq!(terminals.len(), 3);
+        assert_eq!(terminals[0].0, nodes[3]);
+        assert_eq!(terminals[0].1.len(), 1);
+        assert_eq!(terminals[1].1.len(), 2);
+    }
+
+    #[test]
+    fn pricing_accumulates_cdv_and_terminal_delays() {
+        let (t, _, links) = two_level();
+        let tree = MulticastTree::new(&t, links.clone()).unwrap();
+        let plan = RoutePlan::from_tree(&t, &tree).unwrap();
+        let priced = price(&t, &plan, 32);
+        // First-level legs see zero CDV, second-level legs 32.
+        let cdvs: Vec<Time> = priced.hops().iter().map(|h| h.cdv).collect();
+        assert!(cdvs.contains(&Time::ZERO));
+        assert!(cdvs.contains(&Time::from_integer(32)));
+        // Worst leaf crosses two switches: 64 cells achievable.
+        assert_eq!(priced.achievable(), Time::from_integer(64));
+    }
+
+    /// A test driver over plain switches that records its call trace.
+    struct MapDriver {
+        id: ConnectionId,
+        switches: BTreeMap<NodeId, Switch>,
+        trace: Vec<String>,
+    }
+
+    impl HopDriver for MapDriver {
+        type Error = CacError;
+
+        fn admit(
+            &mut self,
+            _index: usize,
+            hop: &PlannedHop,
+        ) -> Result<AdmissionDecision, CacError> {
+            self.trace.push(format!("admit {}", hop.node));
+            self.switches
+                .get_mut(&hop.node)
+                .expect("switch present")
+                .admit(self.id, hop.request)
+        }
+
+        fn rollback(&mut self, node: NodeId) -> Result<(), CacError> {
+            self.trace.push(format!("rollback {node}"));
+            self.switches
+                .get_mut(&node)
+                .expect("switch present")
+                .release(self.id)
+                .map(|_| ())
+        }
+    }
+
+    #[test]
+    fn reserve_walk_admits_every_leg_once() {
+        let (t, nodes, links) = two_level();
+        let tree = MulticastTree::new(&t, links.clone()).unwrap();
+        let plan = RoutePlan::from_tree(&t, &tree).unwrap();
+        let priced = price(&t, &plan, 32);
+        let config = SwitchConfig::uniform(1, Time::from_integer(32)).unwrap();
+        let mut driver = MapDriver {
+            id: ConnectionId::new(1),
+            switches: [nodes[1], nodes[2]]
+                .iter()
+                .map(|&n| (n, Switch::new(config.clone())))
+                .collect(),
+            trace: Vec::new(),
+        };
+        let outcome = priced.reserve(&mut driver).unwrap();
+        assert_eq!(outcome, ReserveOutcome::Reserved);
+        assert_eq!(
+            driver
+                .trace
+                .iter()
+                .filter(|s| s.starts_with("admit"))
+                .count(),
+            4
+        );
+        // Each switch holds both of its legs under the one id.
+        for switch in driver.switches.values() {
+            assert_eq!(switch.connection_count(), 2);
+            assert!(switch.has_connection(ConnectionId::new(1)));
+        }
+        assert_eq!(priced.release_nodes(), vec![nodes[1], nodes[2]]);
+    }
+
+    #[test]
+    fn refusal_rolls_back_reserved_legs_deduped() {
+        let (t, nodes, links) = two_level();
+        let tree = MulticastTree::new(&t, links.clone()).unwrap();
+        let plan = RoutePlan::from_tree(&t, &tree).unwrap();
+        let priced = price(&t, &plan, 32);
+        // sw1 admits both legs and sw2 its first (db); the second sw2
+        // leg (dc) pushes the trunk's incoming aggregate past capacity
+        // and refuses, so all three reserved legs roll back with one
+        // release per switch.
+        let wide = SwitchConfig::uniform(1, Time::from_integer(32)).unwrap();
+        let mut sw2 = Switch::new(wide.clone());
+        let filler = ConnectionRequest::new(
+            TrafficContract::cbr(CbrParams::new(Rate::new(ratio(7, 8))).unwrap()),
+            Time::ZERO,
+            links[2],
+            links[3],
+            Priority::HIGHEST,
+        );
+        assert!(matches!(
+            sw2.admit(ConnectionId::new(99), filler).unwrap(),
+            AdmissionDecision::Admitted(_)
+        ));
+        let mut driver = MapDriver {
+            id: ConnectionId::new(1),
+            switches: [(nodes[1], Switch::new(wide)), (nodes[2], sw2)]
+                .into_iter()
+                .collect(),
+            trace: Vec::new(),
+        };
+        let outcome = priced.reserve(&mut driver).unwrap();
+        match outcome {
+            ReserveOutcome::Refused {
+                at,
+                legs_rolled_back,
+                rolled_back,
+                ..
+            } => {
+                assert_eq!(at, nodes[2]);
+                assert_eq!(legs_rolled_back, 3);
+                // Reverse-reservation order, deduped by node.
+                assert_eq!(rolled_back, vec![nodes[2], nodes[1]]);
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        // Bit-identical abort: no residual legs of the refused id.
+        for switch in driver.switches.values() {
+            assert!(!switch.has_connection(ConnectionId::new(1)));
+        }
+        // One rollback call per switch despite three reserved legs.
+        assert_eq!(
+            driver
+                .trace
+                .iter()
+                .filter(|s| s.starts_with("rollback"))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn release_order_dedups_in_first_occurrence_order() {
+        let a = NodeId::external(1);
+        let b = NodeId::external(2);
+        assert_eq!(release_order([a, b, a, b, a]), vec![a, b]);
+        assert_eq!(release_order([]), Vec::<NodeId>::new());
+    }
+}

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use rtcac_bitstream::{BitStream, CbrParams, Rate, Time, TrafficContract, VbrParams};
 use rtcac_cac::Priority;
-use rtcac_engine::{run_batch, AdmissionEngine, EngineOutcome};
+use rtcac_engine::{AdmissionEngine, EngineOutcome, EnginePool};
 use rtcac_fault::{endpoint_pairs, run_chaos, ChaosConfig, ChaosReport, FaultPlan};
 use rtcac_net::{LinkId, NodeId};
 use rtcac_rational::Ratio;
@@ -321,8 +321,12 @@ fn run_scenario_chaos(
 type BatchResults = Vec<Result<EngineOutcome, rtcac_engine::EngineError>>;
 
 /// Builds the sharded engine for a scenario (optionally observed by an
-/// explicit registry) and pushes every unicast `connect` through it as
-/// one batch served by `workers` threads.
+/// explicit registry) and pushes every `connect` through it as one
+/// batch: unicast setups go to a pool of `workers` threads, while
+/// point-to-multipoint setups run through
+/// [`AdmissionEngine::admit_multicast`] on the submitting thread —
+/// both take the same two-phase reserve/commit path, so the batch is
+/// serializable as a whole. Outcomes come back in scenario order.
 fn run_engine_scenario(
     scenario: &Scenario,
     workers: usize,
@@ -337,20 +341,31 @@ fn run_engine_scenario(
     }
     let engine = Arc::new(build_engine(scenario, registry)?);
 
-    let mut jobs = Vec::new();
-    for spec in &scenario.connections {
+    let mut pool = EnginePool::new(Arc::clone(&engine), workers.max(1));
+    let mut slots: Vec<Option<Result<EngineOutcome, rtcac_engine::EngineError>>> =
+        Vec::with_capacity(scenario.connections.len());
+    // Scenario index of each pool ticket, in submission order.
+    let mut pooled: Vec<usize> = Vec::new();
+    for (i, spec) in scenario.connections.iter().enumerate() {
         match &spec.route {
-            RouteKind::Unicast(route) => jobs.push((route.clone(), spec.request)),
-            RouteKind::Multicast(_) => {
-                return Err(CliError::Usage(format!(
-                    "'{}' is point-to-multipoint; the engine serves unicast setups \
-                     (use 'rtcac check' for multicast scenarios)",
-                    spec.name
-                )))
+            RouteKind::Unicast(route) => {
+                pool.submit(route.clone(), spec.request);
+                pooled.push(i);
+                slots.push(None);
+            }
+            RouteKind::Multicast(tree) => {
+                slots.push(Some(engine.admit_multicast(tree, spec.request)));
             }
         }
     }
-    let outcomes = run_batch(&engine, jobs, workers.max(1)).map_err(CliError::domain)?;
+    let results = pool.finish().map_err(CliError::domain)?;
+    for (result, &i) in results.into_iter().zip(&pooled) {
+        slots[i] = Some(result.outcome);
+    }
+    let outcomes = slots
+        .into_iter()
+        .map(|slot| slot.expect("every connect produced an outcome"))
+        .collect();
     Ok((engine, outcomes))
 }
 
@@ -379,10 +394,10 @@ fn build_engine(
     Ok(engine)
 }
 
-/// `rtcac engine`: push every unicast `connect` of the scenario
-/// through the concurrent sharded admission engine as one batch served
-/// by `workers` threads, then report outcomes, engine statistics, and
-/// the final computed port bounds.
+/// `rtcac engine`: push every `connect` of the scenario — unicast and
+/// point-to-multipoint — through the concurrent sharded admission
+/// engine as one batch served by `workers` threads, then report
+/// outcomes, engine statistics, and the final computed port bounds.
 ///
 /// With `metrics_path`, the run is observed by a fresh
 /// [`rtcac_obs::Registry`] whose final snapshot is written to
@@ -391,10 +406,8 @@ fn build_engine(
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Usage`] if the scenario contains multicast
-/// connections (the engine serves unicast setups) and
-/// [`CliError::Domain`] on API-level failures; rejections are reported
-/// in the output, not raised.
+/// Returns [`CliError::Domain`] on API-level failures; rejections are
+/// reported in the output, not raised.
 pub fn engine(
     scenario: &Scenario,
     workers: usize,
@@ -414,13 +427,23 @@ pub fn engine(
     for (spec, outcome) in scenario.connections.iter().zip(&outcomes) {
         match outcome.as_ref().map_err(|e| CliError::domain(e.clone()))? {
             EngineOutcome::Admitted {
-                guaranteed_delay, ..
+                id,
+                guaranteed_delay,
             } => {
-                let _ = writeln!(
-                    out,
-                    "{}: ADMITTED guaranteed_delay={guaranteed_delay} cells",
-                    spec.name
-                );
+                if let RouteKind::Multicast(_) = &spec.route {
+                    let leaves = engine.per_leaf_bounds(*id).map_or(0, |b| b.len());
+                    let _ = writeln!(
+                        out,
+                        "{}: ADMITTED (p2mp) worst_leaf_delay={guaranteed_delay} cells over {leaves} leaves",
+                        spec.name
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{}: ADMITTED guaranteed_delay={guaranteed_delay} cells",
+                        spec.name
+                    );
+                }
             }
             EngineOutcome::Rejected { rejection, .. } => {
                 let _ = writeln!(out, "{}: REJECTED ({rejection})", spec.name);
@@ -441,17 +464,40 @@ pub fn engine(
     let stats = engine.stats();
     let _ = writeln!(
         out,
-        "stats: submitted={} admitted={} rejected={} aborted={} rerouted={} cache {}/{} hits",
+        "stats: submitted={} admitted={} rejected={} aborted={} rerouted={} mcast={}/{} cache {}/{} hits",
         stats.submitted,
         stats.admitted,
         stats.rejected,
         stats.aborted,
         stats.rerouted,
+        stats.mcast_admitted,
+        stats.mcast_submitted,
         stats.cache_hits,
         stats.cache_hits + stats.cache_misses
     );
     // Final computed bounds per active port, served from the shard
     // caches (warm after the batch).
+    engine_port_report(scenario, &engine, &mut out)?;
+    if let (Some(path), Some(registry)) = (metrics_path, &registry) {
+        let snapshot = registry.snapshot();
+        let json_path = format!("{path}.json");
+        write_metrics_file(path, &snapshot.to_prometheus())?;
+        write_metrics_file(&json_path, &snapshot.to_json())?;
+        let _ = writeln!(
+            out,
+            "metrics: wrote {path} (prometheus) and {json_path} (json)"
+        );
+    }
+    Ok(out)
+}
+
+/// Appends the engine's final computed bounds per active port, served
+/// from the shard caches (warm after a batch or replay).
+fn engine_port_report(
+    scenario: &Scenario,
+    engine: &AdmissionEngine,
+    out: &mut String,
+) -> Result<(), CliError> {
     for node in scenario.topology.switches().map(|n| n.id()) {
         if engine
             .shard_connection_count(node)
@@ -483,7 +529,106 @@ pub fn engine(
             }
         }
     }
-    if let (Some(path), Some(registry)) = (metrics_path, &registry) {
+    Ok(())
+}
+
+/// `rtcac check --engine`: replay the scenario's actions in file order
+/// through the concurrent sharded engine instead of the serial
+/// signaling network — connects (unicast [`AdmissionEngine::admit`]
+/// with the engine's own crankback, trees
+/// [`AdmissionEngine::admit_multicast`]), element failures and
+/// repairs, and seeded chaos sessions. After the replay the orphan
+/// audit runs and its count is reported (and published to the
+/// `engine_orphaned_reservations` gauge).
+///
+/// With `metrics_path`, the registry snapshot is written to
+/// `metrics_path` (Prometheus text) and `metrics_path.json` after the
+/// replay, audit included.
+///
+/// # Errors
+///
+/// Returns [`CliError::Domain`] on API-level failures or when an
+/// embedded `chaos` directive violates the engine's safety invariants;
+/// CAC rejections are reported in the output, not raised.
+pub fn check_engine(scenario: &Scenario, metrics_path: Option<&str>) -> Result<String, CliError> {
+    let registry = Arc::new(rtcac_obs::Registry::new());
+    let engine = build_engine(scenario, Some(&registry))?;
+    let mut out = String::new();
+    let mut connected = 0;
+    for action in &scenario.actions {
+        match *action {
+            ScenarioAction::Connect(i) => {
+                let spec = &scenario.connections[i];
+                connected += engine_connect_one(&engine, spec, &mut out)?;
+            }
+            ScenarioAction::FailLink(link) => {
+                let impact = engine.fail_link(link).map_err(CliError::domain)?;
+                let _ = writeln!(
+                    out,
+                    "fail-link {}: {}",
+                    link_label(scenario, link),
+                    if impact.is_changed() {
+                        format!("down, {} connection(s) torn down", impact.torn_down().len())
+                    } else {
+                        "already down".into()
+                    }
+                );
+            }
+            ScenarioAction::HealLink(link) => {
+                let healed = engine.heal_link(link).map_err(CliError::domain)?;
+                let _ = writeln!(
+                    out,
+                    "heal-link {}: {}",
+                    link_label(scenario, link),
+                    if healed { "restored" } else { "already up" }
+                );
+            }
+            ScenarioAction::FailNode(node) => {
+                let impact = engine.fail_node(node).map_err(CliError::domain)?;
+                let _ = writeln!(
+                    out,
+                    "fail-node {}: {}",
+                    node_label(scenario, node),
+                    if impact.is_changed() {
+                        format!("down, {} connection(s) torn down", impact.torn_down().len())
+                    } else {
+                        "already down".into()
+                    }
+                );
+            }
+            ScenarioAction::HealNode(node) => {
+                let healed = engine.heal_node(node).map_err(CliError::domain)?;
+                let _ = writeln!(
+                    out,
+                    "heal-node {}: {}",
+                    node_label(scenario, node),
+                    if healed { "restored" } else { "already up" }
+                );
+            }
+            ScenarioAction::Chaos { seed, steps, rate } => {
+                let report = run_scenario_chaos(scenario, seed, steps, rate)?;
+                let _ = writeln!(out, "chaos seed={seed} steps={steps} rate={rate}%:");
+                for line in report.summary().lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+                if !report.invariants_hold() {
+                    return Err(CliError::Domain(format!(
+                        "chaos seed={seed} violated the safety invariants:\n{}",
+                        report.summary()
+                    )));
+                }
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "summary: {connected}/{} connected",
+        scenario.connections.len()
+    );
+    let orphans = engine.publish_orphan_audit();
+    let _ = writeln!(out, "orphaned reservations: {orphans}");
+    engine_port_report(scenario, &engine, &mut out)?;
+    if let Some(path) = metrics_path {
         let snapshot = registry.snapshot();
         let json_path = format!("{path}.json");
         write_metrics_file(path, &snapshot.to_prometheus())?;
@@ -494,6 +639,65 @@ pub fn engine(
         );
     }
     Ok(out)
+}
+
+/// Establishes one scenario connection through the engine, appending
+/// its report line; returns 1 if it connected. Unlike the serial
+/// replay, crankback is the engine's built-in reroute search — a
+/// `crankback=` budget on the spec selects it but the engine decides
+/// the attempts.
+fn engine_connect_one(
+    engine: &AdmissionEngine,
+    spec: &ConnectionSpec,
+    out: &mut String,
+) -> Result<usize, CliError> {
+    let outcome = match &spec.route {
+        RouteKind::Unicast(route) => engine
+            .admit(route, spec.request)
+            .map_err(CliError::domain)?,
+        RouteKind::Multicast(tree) => engine
+            .admit_multicast(tree, spec.request)
+            .map_err(CliError::domain)?,
+    };
+    Ok(match outcome {
+        EngineOutcome::Admitted {
+            id,
+            guaranteed_delay,
+        } => {
+            if let RouteKind::Multicast(_) = &spec.route {
+                let leaves = engine.per_leaf_bounds(id).map_or(0, |b| b.len());
+                let _ = writeln!(
+                    out,
+                    "{}: CONNECTED (p2mp) worst_leaf_delay={guaranteed_delay} cells over {leaves} leaves",
+                    spec.name
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{}: CONNECTED guaranteed_delay={guaranteed_delay} cells",
+                    spec.name
+                );
+            }
+            1
+        }
+        EngineOutcome::Rerouted {
+            guaranteed_delay,
+            attempts,
+            ..
+        } => {
+            let _ = writeln!(
+                out,
+                "{}: CONNECTED guaranteed_delay={guaranteed_delay} cells \
+                 (rerouted after {attempts} attempt(s))",
+                spec.name
+            );
+            1
+        }
+        EngineOutcome::Rejected { rejection, .. } => {
+            let _ = writeln!(out, "{}: REJECTED ({rejection})", spec.name);
+            0
+        }
+    })
 }
 
 /// Writes a metrics exposition to `path`, creating any missing parent
@@ -926,10 +1130,89 @@ connect tiny route=up,mid,down contract=cbr:1/32 delay=64
     }
 
     #[test]
-    fn engine_refuses_multicast_scenarios() {
+    fn engine_admits_multicast_scenarios() {
         let scenario = Scenario::parse(MULTICAST_SCENARIO).unwrap();
-        let err = engine(&scenario, 2, None).unwrap_err();
-        assert!(err.to_string().contains("point-to-multipoint"), "{err}");
+        let out = engine(&scenario, 2, None).unwrap();
+        assert!(
+            out.contains("cast: ADMITTED (p2mp) worst_leaf_delay="),
+            "{out}"
+        );
+        assert!(out.contains("over 2 leaves"), "{out}");
+        assert!(out.contains("pair: ADMITTED"), "{out}");
+        assert!(out.contains("mcast=1/1"), "{out}");
+        // The advertised worst-leaf bound must agree with the serial
+        // setup (it is load-independent, so batch order cannot move it).
+        let serial = check(&scenario).unwrap();
+        let delay_of = |text: &str, marker: &str| -> String {
+            let at = text.find(marker).unwrap() + marker.len();
+            text[at..].split(' ').next().unwrap().to_owned()
+        };
+        assert_eq!(
+            delay_of(&out, "worst_leaf_delay="),
+            delay_of(&serial, "worst_leaf_delay="),
+            "{out}\nvs\n{serial}"
+        );
+    }
+
+    #[test]
+    fn check_engine_replays_multicast_and_publishes_audit() {
+        let scenario = Scenario::parse(MULTICAST_SCENARIO).unwrap();
+        let dir = std::env::temp_dir().join(format!("rtcac-cli-mcast-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("mcast.prom");
+        let path_str = path.to_str().unwrap();
+        let out = check_engine(&scenario, Some(path_str)).unwrap();
+        assert!(out.contains("cast: CONNECTED (p2mp)"), "{out}");
+        assert!(out.contains("over 2 leaves"), "{out}");
+        assert!(out.contains("pair: CONNECTED"), "{out}");
+        assert!(out.contains("summary: 2/2 connected"), "{out}");
+        assert!(out.contains("orphaned reservations: 0"), "{out}");
+        let prom = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            prom.contains("engine_orphaned_reservations 0"),
+            "the orphan gauge must read 0:\n{prom}"
+        );
+        assert!(
+            prom.contains("engine_mcast_setups_admitted_total 1"),
+            "{prom}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        // The engine replay agrees with the serial replay on every
+        // per-connection verdict.
+        let serial = check(&scenario).unwrap();
+        for spec in &scenario.connections {
+            assert_eq!(
+                out.contains(&format!("{}: CONNECTED", spec.name)),
+                serial.contains(&format!("{}: CONNECTED", spec.name)),
+                "{out}\nvs\n{serial}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_engine_replays_fault_directives_in_order() {
+        let scenario = Scenario::parse(FAILOVER_SCENARIO).unwrap();
+        let out = check_engine(&scenario, None).unwrap();
+        let expect = [
+            "primary: CONNECTED",
+            "fail-link main: down, 1 connection(s) torn down",
+            "retry: CONNECTED",
+            "heal-link main: restored",
+            // 'retry' can only run through s3 while main is down, so
+            // failing s3 tears it down.
+            "fail-node s3: down, 1 connection(s) torn down",
+            "heal-node s3: restored",
+            "after: CONNECTED",
+            "summary: 3/3 connected",
+            "orphaned reservations: 0",
+        ];
+        let mut cursor = 0;
+        for needle in expect {
+            let at = out[cursor..]
+                .find(needle)
+                .unwrap_or_else(|| panic!("missing or out of order: '{needle}' in\n{out}"));
+            cursor += at + needle.len();
+        }
     }
 
     #[test]

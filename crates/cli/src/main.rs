@@ -16,11 +16,15 @@ USAGE:
               [--interference RATE]
       Worst-case queueing delay of N identical connections at one port.
 
-  rtcac check SCENARIO_FILE
+  rtcac check SCENARIO_FILE [--engine] [--metrics PATH]
       Replay the scenario in file order through the distributed SETUP
       procedure: connects (with optional crankback=N rerouting),
       fail-link/heal-link/fail-node/heal-node directives, and embedded
-      'chaos' sessions; report outcomes and final port bounds.
+      'chaos' sessions; report outcomes and final port bounds. With
+      --engine the same replay runs through the concurrent sharded
+      engine instead (unicast and multicast setups alike), ending with
+      an orphaned-reservation audit; --metrics then writes the
+      observability snapshot to PATH (Prometheus) and PATH.json.
 
   rtcac chaos [--nodes N] [--terminals N] [--seed N] [--steps N]
               [--rate P] [--metrics PATH]
@@ -94,8 +98,21 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let path = it
                 .next()
                 .ok_or_else(|| CliError::Usage("check needs a scenario file".into()))?;
+            let rest: Vec<&String> = it.collect();
+            let engine_mode = rest.iter().any(|a| a.as_str() == "--engine");
+            let metrics = flag_value(&rest, "--metrics")?;
             let scenario = load(path)?;
-            commands::check(&scenario)
+            if engine_mode {
+                commands::check_engine(&scenario, metrics)
+            } else {
+                if metrics.is_some() {
+                    return Err(CliError::Usage(
+                        "check --metrics requires --engine (the serial replay has no registry)"
+                            .into(),
+                    ));
+                }
+                commands::check(&scenario)
+            }
         }
         Some("engine") => {
             let path = it

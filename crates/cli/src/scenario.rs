@@ -24,6 +24,10 @@
 //! # switches).
 //! mconnect b1 tree=up,down,down2 contract=cbr:1/32 delay=96
 //!
+//! # Or name the root and leaves and let breadth-first search grow the
+//! # shortest tree:
+//! connect-mcast b2 h1 h2,h3 contract=cbr:1/32 delay=96
+//!
 //! # Fault directives interleave with connects in file order ('rtcac
 //! # check' replays them): fail/heal a named element, or re-issue a
 //! # setup with ATM crankback so it routes around dead elements.
@@ -228,8 +232,8 @@ impl Scenario {
                         line_no,
                     )?;
                 }
-                "connect" | "mconnect" | "fail-link" | "heal-link" | "fail-node" | "heal-node"
-                | "chaos" => pending.push((line_no, tokens)),
+                "connect" | "mconnect" | "connect-mcast" | "fail-link" | "heal-link"
+                | "fail-node" | "heal-node" | "chaos" => pending.push((line_no, tokens)),
                 other => return Err(err(format!("unknown directive '{other}'"))),
             }
         }
@@ -247,6 +251,10 @@ impl Scenario {
                         &tokens,
                         line_no,
                     )?);
+                    actions.push(ScenarioAction::Connect(connections.len() - 1));
+                }
+                "connect-mcast" => {
+                    connections.push(parse_connect_mcast(&topology, &names, &tokens, line_no)?);
                     actions.push(ScenarioAction::Connect(connections.len() - 1));
                 }
                 "chaos" => actions.push(parse_chaos(&tokens, line_no)?),
@@ -525,6 +533,67 @@ fn parse_connect(
     })
 }
 
+/// Parses `connect-mcast NAME ROOT LEAF[,LEAF…] contract=…
+/// [priority=N] [delay=CELLS]`: the tree is grown with breadth-first
+/// shortest paths from the root to every named leaf
+/// (see [`MulticastTree::shortest_tree`]).
+fn parse_connect_mcast(
+    topology: &Topology,
+    node_names: &BTreeMap<String, NodeId>,
+    tokens: &[String],
+    line: usize,
+) -> Result<ConnectionSpec, CliError> {
+    let err = |message: String| CliError::Parse { line, message };
+    let resolve_node = |n: &str| -> Result<NodeId, CliError> {
+        node_names.get(n).copied().ok_or(CliError::Unknown {
+            kind: "node",
+            name: n.into(),
+            line,
+        })
+    };
+    let name = tokens
+        .get(1)
+        .ok_or_else(|| err("connect-mcast needs a name".into()))?
+        .clone();
+    let root = tokens
+        .get(2)
+        .ok_or_else(|| err("connect-mcast needs ROOT LEAF[,LEAF…]".into()))?;
+    let root = resolve_node(root)?;
+    let leaf_list = tokens
+        .get(3)
+        .ok_or_else(|| err("connect-mcast needs LEAF[,LEAF…] after the root".into()))?;
+    let leaves = leaf_list
+        .split(',')
+        .map(&resolve_node)
+        .collect::<Result<Vec<NodeId>, CliError>>()?;
+    let tree = MulticastTree::shortest_tree(topology, root, &leaves).map_err(CliError::domain)?;
+    let mut contract: Option<TrafficContract> = None;
+    let mut priority = Priority::HIGHEST;
+    let mut delay = Time::from_integer(1_000_000);
+    for opt in &tokens[4..] {
+        if let Some(spec) = opt.strip_prefix("contract=") {
+            contract = Some(parse_contract(spec, line)?);
+        } else if let Some(p) = opt.strip_prefix("priority=") {
+            let level: u8 = p.parse().map_err(|_| err(format!("bad priority '{p}'")))?;
+            priority = Priority::new(level);
+        } else if let Some(d) = opt.strip_prefix("delay=") {
+            delay = d
+                .parse::<Ratio>()
+                .map(Time::new)
+                .map_err(|e| err(format!("bad delay '{d}': {e}")))?;
+        } else {
+            return Err(err(format!("unknown connect-mcast option '{opt}'")));
+        }
+    }
+    let contract = contract.ok_or_else(|| err("connect-mcast needs contract=".into()))?;
+    Ok(ConnectionSpec {
+        name,
+        route: RouteKind::Multicast(tree),
+        request: SetupRequest::new(contract, priority, delay),
+        crankback: None,
+    })
+}
+
 fn parse_contract(spec: &str, line: usize) -> Result<TrafficContract, CliError> {
     let err = |message: String| CliError::Parse { line, message };
     if let Some(rate) = spec.strip_prefix("cbr:") {
@@ -714,6 +783,52 @@ mconnect cast tree=up,d2,d3 contract=cbr:1/32 delay=64\n";
             "switch s\nendsystem h\nlink up h s\nmconnect x from=h to=s contract=cbr:1/8\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn connect_mcast_grows_shortest_tree() {
+        let text = "\nswitch s\nendsystem h1\nendsystem h2\nendsystem h3\n\
+link up h1 s\nlink d2 s h2\nlink d3 s h3\n\
+connect-mcast cast h1 h2,h3 contract=cbr:1/32 priority=0 delay=96\n";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.connections.len(), 1);
+        let spec = &s.connections[0];
+        assert_eq!(spec.name, "cast");
+        assert_eq!(spec.crankback, None);
+        assert_eq!(spec.request.delay_bound(), Time::from_integer(96));
+        match &spec.route {
+            RouteKind::Multicast(t) => {
+                assert_eq!(t.root(), s.node("h1").unwrap());
+                assert_eq!(t.leaves(), &[s.node("h2").unwrap(), s.node("h3").unwrap()]);
+            }
+            other => panic!("expected multicast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_connect_mcast_reports_line_and_token() {
+        let base = "switch s\nendsystem h1\nendsystem h2\nlink up h1 s\nlink d s h2\n";
+        // Unknown leaf carries the reference line.
+        let err = Scenario::parse(&format!(
+            "{base}connect-mcast m h1 ghost contract=cbr:1/8\n"
+        ))
+        .unwrap_err();
+        assert_eq!(err.to_string(), "unknown node 'ghost' on line 6");
+        // Missing pieces and bad options are parse errors on line 6.
+        for bad in [
+            "connect-mcast\n",
+            "connect-mcast m\n",
+            "connect-mcast m h1\n",
+            "connect-mcast m h1 h2\n",         // missing contract
+            "connect-mcast m h1 h2 bogus=1\n", // unknown option
+            "connect-mcast m h1 h2 contract=cbr:1/8 priority=x\n",
+            "connect-mcast m h1 h1 contract=cbr:1/8\n", // root as leaf
+        ] {
+            let err = Scenario::parse(&format!("{base}{bad}")).unwrap_err();
+            if let CliError::Parse { line, .. } = &err {
+                assert_eq!(*line, 6, "{bad}");
+            }
+        }
     }
 
     #[test]

@@ -3,12 +3,16 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 use rtcac_bitstream::Time;
-use rtcac_cac::{AdmissionDecision, ConnectionId, ConnectionRequest, Priority, SwitchConfig};
-use rtcac_net::{LinkId, NodeId, Route, Topology};
+use rtcac_cac::{
+    AdmissionDecision, ConnectionId, HopDriver, PlannedHop, Priority, ReservationPlan,
+    ReserveOutcome, RoutePlan, SwitchConfig,
+};
+use rtcac_net::{LinkId, MulticastTree, NodeId, Route, Topology};
 use rtcac_obs::Registry;
-use rtcac_signaling::{CdvPolicy, SetupRejection, SetupRequest, LOCAL_INJECTION};
+use rtcac_signaling::{CdvPolicy, SetupRejection, SetupRequest};
 
 use crate::metrics::EngineMetrics;
 use crate::shard::{Shard, ShardState};
@@ -65,14 +69,34 @@ impl EngineOutcome {
     }
 }
 
-/// Registry entry for an established connection.
+/// Registry entry for an established connection (unicast or tree).
 #[derive(Debug, Clone)]
 struct Established {
-    route: Route,
+    shape: EstablishedShape,
     points: Vec<(NodeId, LinkId)>,
     priority: Priority,
     delay_bound: Time,
     guaranteed_delay: Time,
+    /// Guaranteed end-to-end delay per terminal: one entry (the
+    /// destination) for unicast, one per leaf for multicast.
+    per_leaf: Vec<(NodeId, Time)>,
+}
+
+/// The transport an established connection runs over.
+#[derive(Debug, Clone)]
+enum EstablishedShape {
+    Unicast(Route),
+    Multicast(MulticastTree),
+}
+
+impl EstablishedShape {
+    /// The links the connection occupies.
+    fn links(&self) -> &[LinkId] {
+        match self {
+            EstablishedShape::Unicast(route) => route.links(),
+            EstablishedShape::Multicast(tree) => tree.links(),
+        }
+    }
 }
 
 /// Engine-side element health: the pristine [`Topology`] stays the
@@ -383,6 +407,124 @@ impl AdmissionEngine {
         result
     }
 
+    /// Attempts to establish a point-to-multipoint connection over
+    /// `tree`, allocating a fresh id. See
+    /// [`AdmissionEngine::admit_multicast_with_id`].
+    ///
+    /// # Errors
+    ///
+    /// As [`AdmissionEngine::admit_multicast_with_id`].
+    pub fn admit_multicast(
+        &self,
+        tree: &MulticastTree,
+        request: SetupRequest,
+    ) -> Result<EngineOutcome, EngineError> {
+        self.admit_multicast_with_id(self.allocate_id(), tree, request)
+    }
+
+    /// Attempts to establish a point-to-multipoint connection over
+    /// `tree` under an explicit id, through the same two-phase
+    /// reserve/commit protocol as unicast setup: every tree leg is
+    /// admitted under the shard locks (taken in ascending [`NodeId`]
+    /// order), a refusal anywhere rolls the reserved legs back with
+    /// full epoch rewind before any lock is dropped, and the commit
+    /// re-validates tree health under the registry lock. A dead tree
+    /// is refused outright — there is no crankback for trees, because
+    /// the engine has no alternate-tree search.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for API misuse (foreign tree, unmanaged
+    /// node, unknown priority, duplicate id); an infeasible connection
+    /// yields [`EngineOutcome::Rejected`].
+    pub fn admit_multicast_with_id(
+        &self,
+        id: ConnectionId,
+        tree: &MulticastTree,
+        request: SetupRequest,
+    ) -> Result<EngineOutcome, EngineError> {
+        Counters::bump(&self.counters.submitted);
+        Counters::bump(&self.counters.mcast_submitted);
+        self.metrics.submitted.inc();
+        self.metrics.mcast_submitted.inc();
+        let result = self.admit_tree(id, tree, request);
+        if result.is_err() {
+            Counters::bump(&self.counters.errored);
+            self.metrics.errored.inc();
+        }
+        result
+    }
+
+    /// Terminal-counter bookkeeping for one tree setup: every
+    /// submitted tree lands in exactly one outcome bucket, mirroring
+    /// [`admit_routed`](Self::admit_routed) minus the crankback loop.
+    fn admit_tree(
+        &self,
+        id: ConnectionId,
+        tree: &MulticastTree,
+        request: SetupRequest,
+    ) -> Result<EngineOutcome, EngineError> {
+        if self.draining.load(Ordering::Relaxed) {
+            Counters::bump(&self.counters.rejected);
+            Counters::bump(&self.counters.mcast_rejected);
+            self.metrics.rejected.inc();
+            self.metrics.mcast_rejected.inc();
+            self.metrics.reject_draining.inc();
+            return Ok(EngineOutcome::Rejected {
+                id,
+                rejection: SetupRejection::Draining,
+            });
+        }
+        let plan = RoutePlan::from_tree(&self.topology, tree)?;
+        let shape = EstablishedShape::Multicast(tree.clone());
+        match self.attempt_plan(id, &plan, request, &shape)? {
+            AttemptResult::Committed { guaranteed_delay } => {
+                Counters::bump(&self.counters.admitted);
+                Counters::bump(&self.counters.mcast_admitted);
+                self.metrics.admitted.inc();
+                self.metrics.mcast_admitted.inc();
+                Ok(EngineOutcome::Admitted {
+                    id,
+                    guaranteed_delay,
+                })
+            }
+            AttemptResult::Refused { rejection } => {
+                let aborted = matches!(
+                    &rejection,
+                    SetupRejection::Switch { hops_rolled_back, .. } if *hops_rolled_back > 0
+                );
+                if aborted {
+                    Counters::bump(&self.counters.aborted);
+                    self.metrics.aborted.inc();
+                } else {
+                    Counters::bump(&self.counters.rejected);
+                    self.metrics.rejected.inc();
+                }
+                Counters::bump(&self.counters.mcast_rejected);
+                self.metrics.mcast_rejected.inc();
+                Ok(EngineOutcome::Rejected { id, rejection })
+            }
+            AttemptResult::RouteDead { link } => {
+                Counters::bump(&self.counters.rejected);
+                Counters::bump(&self.counters.mcast_rejected);
+                self.metrics.rejected.inc();
+                self.metrics.mcast_rejected.inc();
+                self.metrics.reject_route_down.inc();
+                Ok(EngineOutcome::Rejected {
+                    id,
+                    rejection: SetupRejection::RouteDown { link },
+                })
+            }
+        }
+    }
+
+    /// The guaranteed end-to-end delay bound per terminal of an
+    /// established connection: one entry (the destination) for
+    /// unicast, one per leaf — sorted by node — for multicast.
+    pub fn per_leaf_bounds(&self, id: ConnectionId) -> Option<Vec<(NodeId, Time)>> {
+        self.lock_registry().get(&id).map(|e| e.per_leaf.clone())
+    }
+
     /// The engine's crankback loop: drives [`admit_attempt`] over the
     /// submitted route, and when that route is (or goes) dead, searches
     /// an alternate around the dead elements — up to the reroute
@@ -497,17 +639,17 @@ impl AdmissionEngine {
             .ok()
     }
 
-    /// The first link of `route` that is unusable under the health
-    /// overlay (the link itself or one of its endpoints is down).
+    /// The first of `links` that is unusable under the health overlay
+    /// (the link itself or one of its endpoints is down).
     fn overlay_dead_link(
         &self,
-        route: &Route,
+        links: &[LinkId],
         health: &HealthState,
     ) -> Result<Option<LinkId>, EngineError> {
         if health.all_up() {
             return Ok(None);
         }
-        for &id in route.links() {
+        for &id in links {
             if health.down_links.contains(&id) {
                 return Ok(Some(id));
             }
@@ -526,29 +668,48 @@ impl AdmissionEngine {
         route: &Route,
         request: SetupRequest,
     ) -> Result<AttemptResult, EngineError> {
-        let points = route.queueing_points(&self.topology)?;
+        let plan = RoutePlan::from_route(&self.topology, route)?;
+        let shape = EstablishedShape::Unicast(route.clone());
+        self.attempt_plan(id, &plan, request, &shape)
+    }
 
-        // Route health gate — a cheap refusal before any shard lock
-        // when the route is already known dead.
+    /// One two-phase reserve/commit attempt of a shaped plan — the
+    /// concurrent driver for the shared admission core, used for both
+    /// unicast routes and multicast trees. `shape` is the transport
+    /// recorded in the registry on commit.
+    fn attempt_plan(
+        &self,
+        id: ConnectionId,
+        plan: &RoutePlan,
+        request: SetupRequest,
+        shape: &EstablishedShape,
+    ) -> Result<AttemptResult, EngineError> {
+        // Health gate — a cheap refusal before any shard lock when the
+        // transport is already known dead.
         {
             let health = self.lock_health();
-            if let Some(link) = self.overlay_dead_link(route, &health)? {
+            if let Some(link) = self.overlay_dead_link(shape.links(), &health)? {
                 return Ok(AttemptResult::RouteDead { link });
             }
         }
 
-        // QoS feasibility gate and per-hop CDV — computed lock-free
-        // from the static per-node configurations: the advertised
-        // bounds never change while setups are in flight.
-        let mut per_hop = Vec::with_capacity(points.len());
-        for &(node, _) in &points {
-            let config = self
-                .configs
-                .get(&node)
-                .ok_or(EngineError::NoSwitchAt(node))?;
-            per_hop.push(config.bound(request.priority())?);
-        }
-        let achievable: Time = per_hop.iter().copied().sum();
+        // QoS feasibility gate and per-hop CDV — priced lock-free by
+        // the core from the static per-node configurations: the
+        // advertised bounds never change while setups are in flight.
+        let priced = ReservationPlan::price(
+            plan,
+            self.policy,
+            request.contract(),
+            request.priority(),
+            |node| {
+                self.configs
+                    .get(&node)
+                    .ok_or(EngineError::NoSwitchAt(node))?
+                    .bound(request.priority())
+                    .map_err(EngineError::from)
+            },
+        )?;
+        let achievable = priced.achievable();
         if request.delay_bound() < achievable {
             self.metrics.reject_qos.inc();
             return Ok(AttemptResult::Refused {
@@ -559,77 +720,61 @@ impl AdmissionEngine {
             });
         }
 
-        let mut hop_requests = Vec::with_capacity(points.len());
-        let mut upstream: Vec<Time> = Vec::with_capacity(points.len());
-        for (hop, &(node, out_link)) in points.iter().enumerate() {
-            let cdv = self.policy.accumulate(&upstream)?;
-            let in_link = route
-                .incoming_link(&self.topology, node)?
-                .unwrap_or(LOCAL_INJECTION);
-            hop_requests.push((
-                node,
-                ConnectionRequest::new(
-                    request.contract(),
-                    cdv,
-                    in_link,
-                    out_link,
-                    request.priority(),
-                ),
-            ));
-            upstream.push(per_hop[hop]);
-        }
-
         if self.lock_registry().contains_key(&id) {
             return Err(EngineError::DuplicateConnection(id));
         }
 
-        // Phase 1 (reserve): take every shard lock on the route in
+        // Phase 1 (reserve): take every shard lock on the plan in
         // ascending NodeId order — the global order that makes
-        // concurrent setups deadlock-free — then admit hop by hop in
-        // route order under the precomputed CDV.
+        // concurrent setups deadlock-free — then drive the core's
+        // reserve walk leg by leg in plan order. A refusal rolls every
+        // reserved leg back (phase 2, abort) before any lock drops.
         let reserve_start = self.metrics.start();
-        let mut guards = self.lock_route_shards(points.iter().map(|&(n, _)| n))?;
+        let mut guards = self.lock_route_shards(plan.hops().iter().map(|h| h.node))?;
         let pre_epochs: BTreeMap<NodeId, u64> = guards
             .iter()
             .map(|(&node, state)| (node, state.switch.epoch()))
             .collect();
         let cache_before = self.metrics.live.then(|| Self::cache_totals(&guards));
-        let mut reserved: Vec<NodeId> = Vec::new();
-        for &(node, conn_request) in &hop_requests {
-            let state = guards.get_mut(&node).expect("route shard locked");
-            let ShardState { switch, cache } = &mut **state;
-            match switch.admit_cached(id, conn_request, cache)? {
-                AdmissionDecision::Admitted(_) => reserved.push(node),
-                AdmissionDecision::Rejected(reason) => {
+        let mut driver = ShardDriver {
+            id,
+            guards: &mut guards,
+            pre_epochs: &pre_epochs,
+            metrics: &self.metrics,
+            reserve_start,
+            rollback_start: None,
+        };
+        let outcome = priced.reserve(&mut driver)?;
+        let (reserve_pending, rollback_start) = (driver.reserve_start, driver.rollback_start);
+        self.record_cache_deltas(cache_before, &guards);
+        match outcome {
+            ReserveOutcome::Reserved => {
+                self.metrics
+                    .record_since(reserve_pending, &self.metrics.reserve_ns);
+            }
+            ReserveOutcome::Refused {
+                at,
+                reason,
+                legs_rolled_back,
+                ..
+            } => {
+                if legs_rolled_back > 0 {
                     self.metrics
-                        .record_since(reserve_start, &self.metrics.reserve_ns);
-                    // Phase 2 (abort): roll back every reserved hop
-                    // before any lock is dropped.
-                    let rollback_start = self.metrics.start();
-                    let hops_rolled_back = reserved.len();
-                    Self::rollback(&mut guards, &pre_epochs, &reserved, id)?;
-                    self.record_cache_deltas(cache_before, &guards);
-                    if hops_rolled_back > 0 {
-                        self.metrics
-                            .record_since(rollback_start, &self.metrics.rollback_ns);
-                        self.metrics.record_abort_event(format!(
-                            "conn {id} refused at node {node}: rolled back {hops_rolled_back} hop(s)"
-                        ));
-                    }
-                    self.metrics.reject_switch.inc();
-                    return Ok(AttemptResult::Refused {
-                        rejection: SetupRejection::Switch {
-                            at: node,
-                            reason,
-                            hops_rolled_back,
-                        },
-                    });
+                        .record_since(rollback_start, &self.metrics.rollback_ns);
+                    self.metrics.record_abort_event(format!(
+                        "conn {id} refused at node {at}: rolled back {legs_rolled_back} hop(s)"
+                    ));
                 }
+                self.metrics.reject_switch.inc();
+                return Ok(AttemptResult::Refused {
+                    rejection: SetupRejection::Switch {
+                        at,
+                        reason,
+                        hops_rolled_back: legs_rolled_back,
+                    },
+                });
             }
         }
-        self.metrics
-            .record_since(reserve_start, &self.metrics.reserve_ns);
-        self.record_cache_deltas(cache_before, &guards);
 
         // Test trap: fail a link inside the reserve→commit window.
         #[cfg(test)]
@@ -661,11 +806,12 @@ impl AdmissionEngine {
             let mut registry = self.lock_registry();
             let dead = {
                 let health = self.lock_health();
-                self.overlay_dead_link(route, &health)?
+                self.overlay_dead_link(shape.links(), &health)?
             };
             if let Some(link) = dead {
                 drop(registry);
                 let rollback_start = self.metrics.start();
+                let reserved: Vec<NodeId> = plan.hops().iter().map(|h| h.node).collect();
                 Self::rollback(&mut guards, &pre_epochs, &reserved, id)?;
                 self.metrics
                     .record_since(rollback_start, &self.metrics.rollback_ns);
@@ -678,11 +824,12 @@ impl AdmissionEngine {
             registry.insert(
                 id,
                 Established {
-                    route: route.clone(),
-                    points,
+                    shape: shape.clone(),
+                    points: plan.hops().iter().map(|h| (h.node, h.out_link)).collect(),
                     priority: request.priority(),
                     delay_bound: request.delay_bound(),
                     guaranteed_delay: achievable,
+                    per_leaf: priced.terminals().to_vec(),
                 },
             );
         }
@@ -785,7 +932,7 @@ impl AdmissionEngine {
             drop(health);
             registry
                 .iter()
-                .filter(|(_, e)| e.route.links().contains(&link))
+                .filter(|(_, e)| e.shape.links().contains(&link))
                 .map(|(&id, _)| id)
                 .collect()
         };
@@ -834,7 +981,7 @@ impl AdmissionEngine {
             drop(health);
             let mut ids = Vec::new();
             for (&id, entry) in registry.iter() {
-                if route_visits(&self.topology, &entry.route, node)? {
+                if links_visit(&self.topology, entry.shape.links(), node)? {
                     ids.push(id);
                 }
             }
@@ -951,13 +1098,20 @@ impl AdmissionEngine {
         held
     }
 
+    /// Runs the orphaned-reservation audit, publishes the count to
+    /// the `engine_orphaned_reservations` gauge, and returns it (zero
+    /// when the no-leak invariant holds).
+    pub fn publish_orphan_audit(&self) -> usize {
+        let orphans = self.orphaned_reservations().len();
+        if self.metrics.live {
+            self.metrics.orphaned.set(orphans as u64);
+        }
+        orphans
+    }
+
     /// Publishes the orphaned-reservation count to the obs gauge.
     fn publish_orphans(&self) {
-        if self.metrics.live {
-            self.metrics
-                .orphaned
-                .set(self.orphaned_reservations().len() as u64);
-        }
+        self.publish_orphan_audit();
     }
 
     /// Recomputes every established connection's Algorithm 4.1 bounds
@@ -1026,6 +1180,9 @@ impl AdmissionEngine {
             failed_over: self.counters.failed_over.load(Ordering::Relaxed),
             cache_hits: hits,
             cache_misses: misses,
+            mcast_submitted: self.counters.mcast_submitted.load(Ordering::Relaxed),
+            mcast_admitted: self.counters.mcast_admitted.load(Ordering::Relaxed),
+            mcast_rejected: self.counters.mcast_rejected.load(Ordering::Relaxed),
         }
     }
 
@@ -1080,15 +1237,59 @@ impl AdmissionEngine {
     }
 }
 
-/// Whether `route` visits `node`, as endpoint or transit.
-fn route_visits(topology: &Topology, route: &Route, node: NodeId) -> Result<bool, EngineError> {
-    for &id in route.links() {
+/// Whether any of `links` touches `node`, as endpoint or transit.
+fn links_visit(topology: &Topology, links: &[LinkId], node: NodeId) -> Result<bool, EngineError> {
+    for &id in links {
         let link = topology.link(id)?;
         if link.from() == node || link.to() == node {
             return Ok(true);
         }
     }
     Ok(false)
+}
+
+/// The engine's [`HopDriver`]: admits each priced leg against the
+/// already-locked shards through the per-shard
+/// [`SofCache`](rtcac_cac::SofCache), and rewinds the table epoch
+/// (with matching cache invalidation) on rollback so an aborted
+/// reserve leaves every shard bit-identical to its pre-reserve state.
+struct ShardDriver<'a, 'g> {
+    id: ConnectionId,
+    guards: &'a mut BTreeMap<NodeId, MutexGuard<'g, ShardState>>,
+    pre_epochs: &'a BTreeMap<NodeId, u64>,
+    metrics: &'a EngineMetrics,
+    /// Taken (and the reserve histogram recorded) at the first
+    /// refusal, so rollback time is accounted separately.
+    reserve_start: Option<Instant>,
+    /// Set at the first refusal; the engine records the rollback
+    /// histogram from it once the core's walk returns.
+    rollback_start: Option<Instant>,
+}
+
+impl HopDriver for ShardDriver<'_, '_> {
+    type Error = EngineError;
+
+    fn admit(&mut self, _index: usize, hop: &PlannedHop) -> Result<AdmissionDecision, EngineError> {
+        let state = self.guards.get_mut(&hop.node).expect("plan shard locked");
+        let ShardState { switch, cache } = &mut **state;
+        let decision = switch.admit_cached(self.id, hop.request, cache)?;
+        if !decision.is_admitted() {
+            self.metrics
+                .record_since(self.reserve_start.take(), &self.metrics.reserve_ns);
+            self.rollback_start = self.metrics.start();
+        }
+        Ok(decision)
+    }
+
+    fn rollback(&mut self, node: NodeId) -> Result<(), EngineError> {
+        let pre = self.pre_epochs[&node];
+        let state = self.guards.get_mut(&node).expect("reserved shard locked");
+        let ShardState { switch, cache } = &mut **state;
+        switch.release(self.id)?;
+        switch.rewind_epoch(pre);
+        cache.invalidate_newer(pre);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1499,6 +1700,78 @@ mod tests {
         }
         assert!(engine.verify_guarantees().unwrap().is_empty());
         assert!(engine.orphaned_reservations().is_empty());
+    }
+
+    #[test]
+    fn multicast_roundtrip_through_the_shared_core() {
+        let sr = builders::star_ring(4, 1).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+        let engine = AdmissionEngine::new(sr.topology().clone(), config, CdvPolicy::Hard);
+        let tree = sr.broadcast_tree(0, 0).unwrap();
+        let req = SetupRequest::new(cbr(1, 16), Priority::HIGHEST, Time::from_integer(2_000));
+        let id = match engine.admit_multicast(&tree, req).unwrap() {
+            EngineOutcome::Admitted {
+                id,
+                guaranteed_delay,
+            } => {
+                assert!(guaranteed_delay > Time::ZERO);
+                id
+            }
+            other => panic!("expected admission, got {other:?}"),
+        };
+        // One bound per leaf terminal (the three other terminals).
+        let per_leaf = engine.per_leaf_bounds(id).unwrap();
+        assert_eq!(per_leaf.len(), 3);
+        assert!(per_leaf.iter().all(|&(_, d)| d > Time::ZERO));
+        assert_eq!(engine.publish_orphan_audit(), 0);
+        assert!(engine.verify_guarantees().unwrap().is_empty());
+        engine.release(id).unwrap();
+        assert_eq!(engine.connection_count(), 0);
+        assert_eq!(engine.publish_orphan_audit(), 0);
+        let stats = engine.stats();
+        assert_eq!(
+            (
+                stats.mcast_submitted,
+                stats.mcast_admitted,
+                stats.mcast_rejected
+            ),
+            (1, 1, 0)
+        );
+        assert_eq!((stats.submitted, stats.admitted, stats.released), (1, 1, 1));
+    }
+
+    #[test]
+    fn link_failure_tears_down_tree_connections() {
+        let sr = builders::star_ring(4, 1).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+        let engine = AdmissionEngine::new(sr.topology().clone(), config, CdvPolicy::Hard);
+        let tree = sr.broadcast_tree(0, 0).unwrap();
+        let req = SetupRequest::new(cbr(1, 16), Priority::HIGHEST, Time::from_integer(2_000));
+        let id = match engine.admit_multicast(&tree, req).unwrap() {
+            EngineOutcome::Admitted { id, .. } => id,
+            other => panic!("expected admission, got {other:?}"),
+        };
+        let dead = sr.ring_link(1).unwrap();
+        assert!(tree.links().contains(&dead), "tree must cross the ring");
+        let impact = engine.fail_link(dead).unwrap();
+        assert_eq!(impact.torn_down(), &[id]);
+        assert_eq!(engine.connection_count(), 0);
+        assert!(engine.orphaned_reservations().is_empty());
+        // A fresh tree over the dead link is refused route-down — the
+        // engine has no alternate-tree crankback.
+        match engine.admit_multicast(&tree, req).unwrap() {
+            EngineOutcome::Rejected {
+                rejection: SetupRejection::RouteDown { link },
+                ..
+            } => assert_eq!(link, dead),
+            other => panic!("expected a route-down rejection, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!((stats.failed_over, stats.mcast_rejected), (1, 1));
+        assert_eq!(
+            stats.submitted,
+            stats.admitted + stats.rejected + stats.aborted + stats.errored + stats.rerouted
+        );
     }
 
     #[test]

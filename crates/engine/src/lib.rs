@@ -11,7 +11,12 @@
 //!   every route shard locked in ascending [`rtcac_net::NodeId`] order
 //!   (a global lock order, hence deadlock-free); phase 2 commits, or
 //!   aborts with full rollback before any lock is dropped. CDV
-//!   accumulation follows [`rtcac_signaling::CdvPolicy`] exactly.
+//!   accumulation follows [`rtcac_signaling::CdvPolicy`] exactly. The
+//!   per-hop lifecycle itself — shaping, pricing, the reserve walk and
+//!   its rollback order — is the shared [`rtcac_cac::ReservationPlan`]
+//!   core, so unicast routes and multicast trees
+//!   ([`AdmissionEngine::admit_multicast`]) take the same path the
+//!   serial [`rtcac_signaling::Network`] drivers take.
 //! * **Memoization** — delay-bound and interference computations
 //!   (Algorithm 4.1 and the Sof tables) are cached per shard, keyed by
 //!   (out-link, priority, table epoch); the epoch bumps on every commit

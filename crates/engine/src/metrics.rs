@@ -28,6 +28,9 @@ pub(crate) struct EngineMetrics {
     pub errored: Counter,
     pub rerouted: Counter,
     pub failed_over: Counter,
+    pub mcast_submitted: Counter,
+    pub mcast_admitted: Counter,
+    pub mcast_rejected: Counter,
     pub reject_qos: Counter,
     pub reject_switch: Counter,
     pub reject_route_down: Counter,
@@ -73,6 +76,9 @@ impl EngineMetrics {
             errored: r.counter("engine_setup_errors_total"),
             rerouted: r.counter("engine_setups_rerouted_total"),
             failed_over: r.counter("engine_failed_over_total"),
+            mcast_submitted: r.counter("engine_mcast_setups_submitted_total"),
+            mcast_admitted: r.counter("engine_mcast_setups_admitted_total"),
+            mcast_rejected: r.counter("engine_mcast_setups_rejected_total"),
             reject_qos: r.counter_with("engine_rejections_total", &[("reason", "qos")]),
             reject_switch: r.counter_with("engine_rejections_total", &[("reason", "switch")]),
             reject_route_down: r

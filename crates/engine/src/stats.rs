@@ -13,6 +13,9 @@ pub(crate) struct Counters {
     pub rerouted: AtomicU64,
     pub released: AtomicU64,
     pub failed_over: AtomicU64,
+    pub mcast_submitted: AtomicU64,
+    pub mcast_admitted: AtomicU64,
+    pub mcast_rejected: AtomicU64,
 }
 
 impl Counters {
@@ -68,6 +71,14 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Lookups that had to recompute (cold or stale epoch).
     pub cache_misses: u64,
+    /// Point-to-multipoint setups that entered the engine (a subset of
+    /// `submitted`; tree setups land in the same outcome buckets).
+    pub mcast_submitted: u64,
+    /// Tree setups committed on every leg (a subset of `admitted`).
+    pub mcast_admitted: u64,
+    /// Tree setups refused — QoS gate, a leg refusing (rolled back), a
+    /// dead tree, or drain mode (a subset of `rejected + aborted`).
+    pub mcast_rejected: u64,
 }
 
 impl EngineStats {

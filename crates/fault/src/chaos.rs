@@ -5,7 +5,7 @@
 use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract};
 use rtcac_cac::{ConnectionId, Priority};
 use rtcac_engine::{AdmissionEngine, EngineError, EngineOutcome, EngineStats};
-use rtcac_net::{NodeId, Topology};
+use rtcac_net::{MulticastTree, NodeId, Topology};
 use rtcac_rational::ratio;
 use rtcac_signaling::SetupRequest;
 use rtcac_sim::SimRng;
@@ -26,6 +26,11 @@ pub struct ChaosConfig {
     pub setups_per_step: u64,
     /// Percent chance per step of releasing one live connection.
     pub release_percent: u64,
+    /// Percent chance per step of submitting one point-to-multipoint
+    /// setup (a shortest-path tree from a random root terminal to two
+    /// random leaves) through
+    /// [`AdmissionEngine::admit_multicast`].
+    pub mcast_percent: u64,
 }
 
 impl Default for ChaosConfig {
@@ -35,6 +40,7 @@ impl Default for ChaosConfig {
             steps: 200,
             setups_per_step: 2,
             release_percent: 30,
+            mcast_percent: 20,
         }
     }
 }
@@ -48,6 +54,11 @@ pub struct ChaosReport {
     pub rerouted: u64,
     /// Setups refused (capacity, QoS, or no surviving route).
     pub rejected: u64,
+    /// Point-to-multipoint setups committed on their submitted tree.
+    pub mcast_admitted: u64,
+    /// Point-to-multipoint setups refused (trees have no crankback,
+    /// so a dead tree is refused outright).
+    pub mcast_rejected: u64,
     /// Connections released by the traffic churn.
     pub released: u64,
     /// Connections force-released by element failures.
@@ -79,9 +90,10 @@ pub struct ChaosReport {
 impl ChaosReport {
     /// Whether the run upheld the engine's safety invariants: no
     /// orphaned reservations (during or after), no violated delay
-    /// guarantees, and terminal-counter conservation
+    /// guarantees, and terminal-counter conservation — overall
     /// (`submitted == admitted + rejected + aborted + errored +
-    /// rerouted`).
+    /// rerouted`) and for the multicast subset
+    /// (`mcast_submitted == mcast_admitted + mcast_rejected`).
     pub fn invariants_hold(&self) -> bool {
         self.orphan_violations == 0
             && self.orphans_final == 0
@@ -92,18 +104,21 @@ impl ChaosReport {
                     + self.stats.aborted
                     + self.stats.errored
                     + self.stats.rerouted
+            && self.stats.mcast_submitted == self.stats.mcast_admitted + self.stats.mcast_rejected
     }
 
     /// A human-readable multi-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "chaos: admitted={} rerouted={} rejected={} released={} torn_down={}\n\
+            "chaos: admitted={} rerouted={} rejected={} mcast={}/{} released={} torn_down={}\n\
              faults: link {}/{} down/up, node {}/{} down/up\n\
              audits: orphans(mid)={} orphans(final)={} guarantee_violations={} live={}\n\
              invariants: {}",
             self.admitted,
             self.rerouted,
             self.rejected,
+            self.mcast_admitted,
+            self.mcast_admitted + self.mcast_rejected,
             self.released,
             self.torn_down,
             self.link_failures,
@@ -143,10 +158,12 @@ pub fn endpoint_pairs(topology: &Topology) -> Vec<(NodeId, NodeId)> {
 
 /// Runs one chaos session against `engine`: per step, replays the due
 /// [`FaultPlan`] events (auditing for orphaned reservations after
-/// each), submits fresh setups between random `endpoints`, and
-/// occasionally releases a live connection. Routes are looked up on
-/// the pristine topology, so setups submitted over a failed element
-/// exercise the engine's crankback.
+/// each), submits fresh setups between random `endpoints` (plus the
+/// occasional point-to-multipoint tree, per
+/// [`ChaosConfig::mcast_percent`]), and occasionally releases a live
+/// connection. Routes and trees are looked up on the pristine
+/// topology, so setups submitted over a failed element exercise the
+/// engine's crankback (unicast) or health-gated refusal (trees).
 ///
 /// # Errors
 ///
@@ -160,6 +177,7 @@ pub fn run_chaos(
     config: &ChaosConfig,
 ) -> Result<ChaosReport, EngineError> {
     let mut rng = SimRng::seed_from_u64(config.seed);
+    let terminals: Vec<NodeId> = engine.topology().end_systems().map(|n| n.id()).collect();
     let mut live: Vec<ConnectionId> = Vec::new();
     let mut cursor = 0usize;
     let mut report = ChaosReport::default();
@@ -226,6 +244,32 @@ pub fn run_chaos(
             }
         }
 
+        // …sometimes fan one stream out to a pair of leaves…
+        if terminals.len() >= 3 && rng.gen_below(100) < config.mcast_percent {
+            let root = terminals[rng.gen_below(terminals.len() as u64) as usize];
+            let mut leaves: Vec<NodeId> = Vec::new();
+            for _ in 0..2 {
+                let leaf = terminals[rng.gen_below(terminals.len() as u64) as usize];
+                if leaf != root && !leaves.contains(&leaf) {
+                    leaves.push(leaf);
+                }
+            }
+            if let Ok(tree) = MulticastTree::shortest_tree(engine.topology(), root, &leaves) {
+                let contract = TrafficContract::cbr(
+                    CbrParams::new(Rate::new(ratio(1, 16))).expect("chaos CBR rate is valid"),
+                );
+                let request =
+                    SetupRequest::new(contract, Priority::HIGHEST, Time::from_integer(1_000_000));
+                match engine.admit_multicast(&tree, request)? {
+                    EngineOutcome::Admitted { id, .. } | EngineOutcome::Rerouted { id, .. } => {
+                        report.mcast_admitted += 1;
+                        live.push(id);
+                    }
+                    EngineOutcome::Rejected { .. } => report.mcast_rejected += 1,
+                }
+            }
+        }
+
         // …and occasionally hang up.
         if !live.is_empty() && rng.gen_below(100) < config.release_percent {
             let id = live.swap_remove(rng.gen_below(live.len() as u64) as usize);
@@ -274,6 +318,15 @@ mod tests {
         );
         assert!(report.link_failures + report.node_failures > 0);
         assert!(report.admitted > 0);
+        assert!(
+            report.mcast_admitted + report.mcast_rejected > 0,
+            "the default config must exercise multicast churn:\n{}",
+            report.summary()
+        );
+        assert_eq!(
+            report.stats.mcast_submitted,
+            report.mcast_admitted + report.mcast_rejected,
+        );
     }
 
     #[test]

@@ -150,6 +150,40 @@ impl MulticastTree {
         })
     }
 
+    /// Builds a shortest point-to-multipoint tree from `root` to every
+    /// node of `leaves`, as the union of the per-leaf shortest routes
+    /// (dead links and nodes are avoided, and only the root and
+    /// switches forward). The underlying search is deterministic, so
+    /// the per-leaf paths agree on shared prefixes and their union is
+    /// a valid tree.
+    ///
+    /// # Errors
+    ///
+    /// - [`NetError::EmptyRoute`] when `leaves` is empty;
+    /// - [`NetError::UnknownNode`] for foreign nodes;
+    /// - [`NetError::NoSuchLink`] when some leaf is unreachable (or is
+    ///   the root itself).
+    pub fn shortest_tree(
+        topology: &Topology,
+        root: NodeId,
+        leaves: &[NodeId],
+    ) -> Result<MulticastTree, NetError> {
+        if leaves.is_empty() {
+            return Err(NetError::EmptyRoute);
+        }
+        let mut links: Vec<LinkId> = Vec::new();
+        let mut seen: BTreeSet<LinkId> = BTreeSet::new();
+        for &leaf in leaves {
+            let route = topology.shortest_route(root, leaf)?;
+            for &id in route.links() {
+                if seen.insert(id) {
+                    links.push(id);
+                }
+            }
+        }
+        MulticastTree::new(topology, links)
+    }
+
     /// The source node.
     pub fn root(&self) -> NodeId {
         self.root
@@ -322,6 +356,39 @@ mod tests {
         assert_eq!(from_sw1.len(), 2);
         assert!(from_sw1.contains(&links[1]) && from_sw1.contains(&links[2]));
         assert!(tree.links_from(&t, nodes[3]).is_empty());
+    }
+
+    #[test]
+    fn shortest_tree_unions_per_leaf_paths() {
+        let (t, nodes, links) = two_level();
+        let tree =
+            MulticastTree::shortest_tree(&t, nodes[0], &[nodes[3], nodes[4], nodes[5]]).unwrap();
+        assert_eq!(tree.root(), nodes[0]);
+        assert_eq!(tree.leaves(), &[nodes[3], nodes[4], nodes[5]]);
+        let expected: BTreeSet<LinkId> = links.iter().copied().collect();
+        assert_eq!(
+            tree.links().iter().copied().collect::<BTreeSet<_>>(),
+            expected
+        );
+        // Duplicate leaves collapse; shared prefixes are not repeated.
+        let dup = MulticastTree::shortest_tree(&t, nodes[0], &[nodes[4], nodes[4]]).unwrap();
+        assert_eq!(dup.links().len(), 3); // up, trunk, db
+    }
+
+    #[test]
+    fn shortest_tree_rejects_empty_and_unreachable() {
+        let (t, nodes, _) = two_level();
+        assert_eq!(
+            MulticastTree::shortest_tree(&t, nodes[0], &[]),
+            Err(NetError::EmptyRoute)
+        );
+        // The root itself is not a reachable leaf.
+        assert!(MulticastTree::shortest_tree(&t, nodes[0], &[nodes[0]]).is_err());
+        // Leaves behind a dead link are unreachable.
+        let mut t = t;
+        let dead = t.links_from(nodes[2]).next().map(|l| l.id()).unwrap();
+        t.fail_link(dead).unwrap();
+        assert!(MulticastTree::shortest_tree(&t, nodes[0], &[nodes[4]]).is_err());
     }
 
     #[test]

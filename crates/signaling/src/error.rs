@@ -69,7 +69,13 @@ impl From<NetError> for SignalError {
 
 impl From<CacError> for SignalError {
     fn from(e: CacError) -> Self {
-        SignalError::Cac(e)
+        // CDV accumulation errors surface from the shared cac core but
+        // keep their historical signaling-level variants.
+        match e {
+            CacError::NegativeBound(b) => SignalError::NegativeBound(b),
+            CacError::Numeric => SignalError::Numeric,
+            other => SignalError::Cac(other),
+        }
     }
 }
 

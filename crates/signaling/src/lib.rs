@@ -57,7 +57,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod cdv;
 mod error;
 mod message;
 mod metrics;
@@ -65,12 +64,12 @@ mod multicast;
 mod network;
 mod server;
 
-pub use cdv::CdvPolicy;
 pub use error::SignalError;
 pub use message::{SetupRejection, SignalEvent};
 pub use multicast::{MulticastInfo, MulticastOutcome};
 pub use network::{
-    ConnectionInfo, CrankbackAttempt, CrankbackOutcome, CrankbackPolicy, FailureImpact, Network,
-    SetupOutcome, SetupRequest, LOCAL_INJECTION,
+    ConnectionInfo, CrankbackAttempt, CrankbackOutcome, CrankbackPolicy, FailureImpact,
+    GuaranteeViolation, Network, SetupOutcome, SetupRequest, LOCAL_INJECTION,
 };
+pub use rtcac_cac::CdvPolicy;
 pub use server::{CacServer, ServerStats};

@@ -9,10 +9,9 @@
 //! along that port's root path.
 
 use rtcac_bitstream::Time;
-use rtcac_cac::{AdmissionDecision, ConnectionId, ConnectionRequest};
-use rtcac_net::{LinkId, MulticastTree, NodeId};
+use rtcac_cac::{release_order, ConnectionId, ReserveOutcome, RoutePlan};
+use rtcac_net::{MulticastTree, NodeId};
 
-use crate::network::LOCAL_INJECTION;
 use crate::{Network, SetupRejection, SetupRequest, SignalError, SignalEvent};
 
 /// A successfully established point-to-multipoint connection.
@@ -77,23 +76,17 @@ impl Network {
         request: SetupRequest,
     ) -> Result<MulticastOutcome, SignalError> {
         let id = self.allocate_id();
-        let points = tree.queueing_points(self.topology())?;
 
-        // Guaranteed per-leaf delays from advertised bounds.
-        let mut per_leaf = Vec::new();
-        let mut worst = Time::ZERO;
-        for (leaf, path) in tree.leaf_paths(self.topology())? {
-            let mut total = Time::ZERO;
-            for &link in &path {
-                let from = self.topology().link(link)?.from();
-                if self.topology().node(from)?.is_switch() {
-                    total += self.switch(from)?.advertised_bound(request.priority())?;
-                }
-            }
-            worst = worst.max(total);
-            per_leaf.push((leaf, total));
-        }
+        // Shape and price the tree through the same admission core as
+        // unicast setup: one hop per tree port, CDV accumulated along
+        // each port's root path, guaranteed delay per leaf terminal.
+        let plan = RoutePlan::from_tree(self.topology(), tree)?;
+        let priced = self.price_plan(&plan, request.contract(), request.priority())?;
+
+        // The QoS gate covers the *worst* leaf's guaranteed delay.
+        let worst = priced.achievable();
         if request.delay_bound() < worst {
+            self.metrics().setup_rejected_qos();
             return Ok(MulticastOutcome::Rejected(
                 SetupRejection::QosUnsatisfiable {
                     requested: request.delay_bound(),
@@ -102,46 +95,27 @@ impl Network {
             ));
         }
 
-        // Admit leg by leg; roll back on the first rejection.
-        let mut admitted: Vec<NodeId> = Vec::new();
-        for &(node, out_link, _) in &points {
-            let cdv = self.multicast_cdv(tree, out_link, request.priority())?;
-            let in_link = tree.parent(out_link).unwrap_or(LOCAL_INJECTION);
-            let leg = ConnectionRequest::new(
-                request.contract(),
-                cdv,
-                in_link,
-                out_link,
-                request.priority(),
-            );
-            match self.switch_mut(node)?.admit(id, leg)? {
-                AdmissionDecision::Admitted(_) => {
-                    admitted.push(node);
-                    self.push_event(SignalEvent::SetupForwarded {
-                        connection: id,
-                        switch: node,
-                        out_link,
-                        cdv,
-                    });
-                }
-                AdmissionDecision::Rejected(reason) => {
-                    let mut rolled_back = std::collections::BTreeSet::new();
-                    for &up in admitted.iter().rev() {
-                        if rolled_back.insert(up) {
-                            self.switch_mut(up)?.release(id)?;
-                        }
-                    }
-                    self.push_event(SignalEvent::Rejected {
-                        connection: id,
-                        switch: node,
-                        reason,
-                    });
-                    return Ok(MulticastOutcome::Rejected(SetupRejection::Switch {
-                        at: node,
-                        reason,
-                        hops_rolled_back: admitted.len(),
-                    }));
-                }
+        // Reserve leg by leg; the core rolls back on the first
+        // rejection (one release per switch frees all its legs).
+        match self.reserve_priced(id, &priced)? {
+            ReserveOutcome::Reserved => {}
+            ReserveOutcome::Refused {
+                at,
+                reason,
+                legs_rolled_back,
+                ..
+            } => {
+                self.metrics().setup_rejected_switch();
+                self.push_event(SignalEvent::Rejected {
+                    connection: id,
+                    switch: at,
+                    reason,
+                });
+                return Ok(MulticastOutcome::Rejected(SetupRejection::Switch {
+                    at,
+                    reason,
+                    hops_rolled_back: legs_rolled_back,
+                }));
             }
         }
 
@@ -149,8 +123,9 @@ impl Network {
             id,
             request,
             tree: tree.clone(),
-            per_leaf,
+            per_leaf: priced.terminals().to_vec(),
         };
+        self.metrics().setup_connected();
         self.push_event(SignalEvent::Connected {
             connection: id,
             guaranteed_delay: info.guaranteed_delay(),
@@ -166,39 +141,17 @@ impl Network {
     ///
     /// Returns [`SignalError::UnknownConnection`] for an unknown id.
     pub fn teardown_multicast(&mut self, id: ConnectionId) -> Result<(), SignalError> {
-        let info = self
-            .remove_multicast(id)
-            .ok_or(SignalError::UnknownConnection(id))?;
-        let mut released = std::collections::BTreeSet::new();
-        for (node, _, _) in info.tree.queueing_points(self.topology())? {
-            if released.insert(node) {
-                self.switch_mut(node)?.release(id)?;
-            }
+        let Some(info) = self.remove_multicast(id) else {
+            self.metrics().teardown_unknown();
+            return Err(SignalError::UnknownConnection(id));
+        };
+        let points = info.tree.queueing_points(self.topology())?;
+        for node in release_order(points.into_iter().map(|(node, _, _)| node)) {
+            self.switch_mut(node)?.release(id)?;
         }
+        self.metrics().teardown();
         self.push_event(SignalEvent::Released { connection: id });
         Ok(())
-    }
-
-    /// The CDV a multicast leg has accumulated upstream of its port:
-    /// the policy applied to the advertised bounds of the switch ports
-    /// on its root path (excluding itself).
-    fn multicast_cdv(
-        &self,
-        tree: &MulticastTree,
-        out_link: LinkId,
-        priority: rtcac_cac::Priority,
-    ) -> Result<Time, SignalError> {
-        let path = tree
-            .root_path(out_link)
-            .ok_or(SignalError::Net(rtcac_net::NetError::UnknownLink(out_link)))?;
-        let mut upstream = Vec::new();
-        for &link in &path[..path.len() - 1] {
-            let from = self.topology().link(link)?.from();
-            if self.topology().node(from)?.is_switch() {
-                upstream.push(self.switch(from)?.advertised_bound(priority)?);
-            }
-        }
-        self.policy().accumulate(&upstream)
     }
 }
 

@@ -5,21 +5,18 @@ use std::collections::BTreeMap;
 
 use rtcac_bitstream::{Time, TrafficContract};
 use rtcac_cac::{
-    AdmissionDecision, ConnectionId, ConnectionRequest, Priority, Switch, SwitchConfig,
+    release_order, AdmissionDecision, ConnectionId, HopDriver, PlannedHop, Priority,
+    ReservationPlan, ReserveOutcome, RoutePlan, Switch, SwitchConfig,
 };
 use rtcac_net::{LinkId, NodeId, Route, Topology};
 
 use crate::metrics::NetworkMetrics;
 use crate::{CdvPolicy, SetupRejection, SignalError, SignalEvent};
 
-/// Identifier used as the "incoming link" when a route originates at a
-/// switch itself (local traffic injection; no physical incoming link
-/// exists).
-///
-/// Public so that alternative setup drivers (e.g. the concurrent
-/// `rtcac-engine`) produce bit-identical [`ConnectionRequest`]s and
-/// therefore identical admission decisions.
-pub const LOCAL_INJECTION: LinkId = LinkId::external(u32::MAX);
+// Re-exported from the shared admission core so alternative setup
+// drivers (e.g. the concurrent `rtcac-engine`) produce bit-identical
+// `ConnectionRequest`s and therefore identical admission decisions.
+pub use rtcac_cac::LOCAL_INJECTION;
 
 /// The connection parameters carried in a SETUP message: traffic
 /// contract, priority, and the requested end-to-end queueing delay
@@ -311,17 +308,17 @@ impl Network {
             self.metrics.setup_rejected_route_down();
             return Ok(SetupOutcome::Rejected(SetupRejection::RouteDown { link }));
         }
-        let points = route.queueing_points(&self.topology)?;
+
+        // Shape and price the route through the shared admission core:
+        // per-hop CDV accumulation and the guaranteed terminal delay
+        // are computed once, from the fixed advertised bounds.
+        let plan = RoutePlan::from_route(&self.topology, route)?;
+        let priced = self.price_plan(&plan, request.contract(), request.priority())?;
 
         // The QoS feasibility gate: the fixed advertised bounds are the
         // only guarantee the network gives, so the requested bound must
         // cover their sum.
-        let mut per_hop = Vec::with_capacity(points.len());
-        for &(node, _) in &points {
-            let bound = self.switch(node)?.advertised_bound(request.priority())?;
-            per_hop.push((node, bound));
-        }
-        let achievable: Time = per_hop.iter().map(|&(_, b)| b).sum();
+        let achievable = priced.achievable();
         if request.delay_bound() < achievable {
             self.metrics.setup_rejected_qos();
             return Ok(SetupOutcome::Rejected(SetupRejection::QosUnsatisfiable {
@@ -330,58 +327,27 @@ impl Network {
             }));
         }
 
-        // Walk the route, admitting hop by hop with accumulated CDV.
-        let mut admitted_at: Vec<NodeId> = Vec::with_capacity(points.len());
-        let mut upstream_bounds: Vec<Time> = Vec::with_capacity(points.len());
-        for (hop, &(node, out_link)) in points.iter().enumerate() {
-            let cdv = self.policy.accumulate(&upstream_bounds)?;
-            let in_link = route
-                .incoming_link(&self.topology, node)?
-                .unwrap_or(LOCAL_INJECTION);
-            let conn_request = ConnectionRequest::new(
-                request.contract(),
-                cdv,
-                in_link,
-                out_link,
-                request.priority(),
-            );
-            let switch = self
-                .switches
-                .get_mut(&node)
-                .ok_or(SignalError::NoSwitchAt(node))?;
-            match switch.admit(id, conn_request)? {
-                AdmissionDecision::Admitted(_) => {
-                    self.metrics.hop_admitted(cdv);
-                    admitted_at.push(node);
-                    self.events.push(SignalEvent::SetupForwarded {
-                        connection: id,
-                        switch: node,
-                        out_link,
-                        cdv,
-                    });
-                    upstream_bounds.push(per_hop[hop].1);
-                }
-                AdmissionDecision::Rejected(reason) => {
-                    self.metrics.hop_rejected(cdv);
-                    self.metrics.setup_rejected_switch();
-                    // REJECT travels upstream: roll back reservations.
-                    for &up in admitted_at.iter().rev() {
-                        self.switches
-                            .get_mut(&up)
-                            .expect("admitted switch exists")
-                            .release(id)?;
-                    }
-                    self.events.push(SignalEvent::Rejected {
-                        connection: id,
-                        switch: node,
-                        reason,
-                    });
-                    return Ok(SetupOutcome::Rejected(SetupRejection::Switch {
-                        at: node,
-                        reason,
-                        hops_rolled_back: admitted_at.len(),
-                    }));
-                }
+        // The reserve walk: the core admits hop by hop and rolls back
+        // on the first REJECT travelling upstream.
+        match self.reserve_priced(id, &priced)? {
+            ReserveOutcome::Reserved => {}
+            ReserveOutcome::Refused {
+                at,
+                reason,
+                legs_rolled_back,
+                ..
+            } => {
+                self.metrics.setup_rejected_switch();
+                self.events.push(SignalEvent::Rejected {
+                    connection: id,
+                    switch: at,
+                    reason,
+                });
+                return Ok(SetupOutcome::Rejected(SetupRejection::Switch {
+                    at,
+                    reason,
+                    hops_rolled_back: legs_rolled_back,
+                }));
             }
         }
 
@@ -390,7 +356,11 @@ impl Network {
             request,
             route: route.clone(),
             guaranteed_delay: achievable,
-            per_hop_bounds: per_hop,
+            per_hop_bounds: priced
+                .hops()
+                .iter()
+                .map(|h| (h.node, h.advertised))
+                .collect(),
         };
         self.metrics.setup_connected();
         self.events.push(SignalEvent::Connected {
@@ -399,6 +369,43 @@ impl Network {
         });
         self.connections.insert(id, info.clone());
         Ok(SetupOutcome::Connected(info))
+    }
+
+    /// Prices a [`RoutePlan`] against the live switches' advertised
+    /// bounds under the network's CDV policy.
+    pub(crate) fn price_plan(
+        &self,
+        plan: &RoutePlan,
+        contract: TrafficContract,
+        priority: Priority,
+    ) -> Result<ReservationPlan, SignalError> {
+        ReservationPlan::price(plan, self.policy, contract, priority, |node| {
+            self.switches
+                .get(&node)
+                .ok_or(SignalError::NoSwitchAt(node))?
+                .advertised_bound(priority)
+                .map_err(SignalError::from)
+        })
+    }
+
+    /// Runs the core reserve walk with the serial driver (live switch
+    /// map, signaling trace, hop metrics).
+    pub(crate) fn reserve_priced(
+        &mut self,
+        id: ConnectionId,
+        priced: &ReservationPlan,
+    ) -> Result<ReserveOutcome, SignalError> {
+        let mut driver = SerialDriver {
+            id,
+            switches: &mut self.switches,
+            events: &mut self.events,
+            metrics: &self.metrics,
+        };
+        priced.reserve(&mut driver)
+    }
+
+    pub(crate) fn metrics(&self) -> &NetworkMetrics {
+        &self.metrics
     }
 
     /// Tears down an established connection, releasing every switch
@@ -415,7 +422,8 @@ impl Network {
             self.metrics.teardown_unknown();
             return Err(SignalError::UnknownConnection(id));
         };
-        for (node, _) in info.route.queueing_points(&self.topology)? {
+        let points = info.route.queueing_points(&self.topology)?;
+        for node in release_order(points.into_iter().map(|(node, _)| node)) {
             self.switches
                 .get_mut(&node)
                 .ok_or(SignalError::NoSwitchAt(node))?
@@ -525,7 +533,8 @@ impl Network {
             // The switch objects survive element failure (the *graph*
             // element is down, not the CAC bookkeeping), so release at
             // every hop: tables stay exact for when the element heals.
-            for (node, _) in info.route.queueing_points(&self.topology)? {
+            let points = info.route.queueing_points(&self.topology)?;
+            for node in release_order(points.into_iter().map(|(node, _)| node)) {
                 self.switches
                     .get_mut(&node)
                     .ok_or(SignalError::NoSwitchAt(node))?
@@ -545,14 +554,12 @@ impl Network {
         }
         for &id in &dead_mc {
             let info = self.multicast.remove(&id).expect("id just listed");
-            let mut released = std::collections::BTreeSet::new();
-            for (node, _, _) in info.tree().queueing_points(&self.topology)? {
-                if released.insert(node) {
-                    self.switches
-                        .get_mut(&node)
-                        .ok_or(SignalError::NoSwitchAt(node))?
-                        .release(id)?;
-                }
+            let points = info.tree().queueing_points(&self.topology)?;
+            for node in release_order(points.into_iter().map(|(node, _, _)| node)) {
+                self.switches
+                    .get_mut(&node)
+                    .ok_or(SignalError::NoSwitchAt(node))?
+                    .release(id)?;
             }
             self.metrics.teardown_failover();
             self.events.push(SignalEvent::Released { connection: id });
@@ -583,6 +590,79 @@ impl Network {
     fn publish_orphan_audit(&self) {
         self.metrics
             .set_orphaned(self.orphaned_reservations().len() as u64);
+    }
+
+    /// Re-verifies every established guarantee — unicast *and*
+    /// multicast — against the current switch state: each crossed
+    /// port's recomputed Algorithm 4.1 bound must fit the advertised
+    /// bound, and each terminal's guaranteed delay must fit the
+    /// contracted delay bound. Returns the violations found (empty when
+    /// every guarantee holds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::NoSwitchAt`] or propagated CAC errors for
+    /// inconsistent bookkeeping.
+    pub fn verify_guarantees(&self) -> Result<Vec<GuaranteeViolation>, SignalError> {
+        let mut violations = Vec::new();
+        let check_port = |violations: &mut Vec<GuaranteeViolation>,
+                          id: ConnectionId,
+                          node: NodeId,
+                          out_link: LinkId,
+                          priority: Priority|
+         -> Result<(), SignalError> {
+            let switch = self.switch(node)?;
+            let advertised = switch.advertised_bound(priority)?;
+            let computed = switch.computed_bound(out_link, priority)?;
+            if computed > advertised {
+                violations.push(GuaranteeViolation {
+                    id,
+                    at: Some(node),
+                    computed,
+                    limit: advertised,
+                });
+            }
+            Ok(())
+        };
+        for info in self.connections.values() {
+            for (node, out_link) in info.route.queueing_points(&self.topology)? {
+                check_port(
+                    &mut violations,
+                    info.id,
+                    node,
+                    out_link,
+                    info.request.priority(),
+                )?;
+            }
+            if info.guaranteed_delay > info.request.delay_bound() {
+                violations.push(GuaranteeViolation {
+                    id: info.id,
+                    at: None,
+                    computed: info.guaranteed_delay,
+                    limit: info.request.delay_bound(),
+                });
+            }
+        }
+        for info in self.multicast.values() {
+            for (node, out_link, _) in info.tree().queueing_points(&self.topology)? {
+                check_port(
+                    &mut violations,
+                    info.id(),
+                    node,
+                    out_link,
+                    info.request().priority(),
+                )?;
+            }
+            if info.guaranteed_delay() > info.request().delay_bound() {
+                violations.push(GuaranteeViolation {
+                    id: info.id(),
+                    at: None,
+                    computed: info.guaranteed_delay(),
+                    limit: info.request().delay_bound(),
+                });
+            }
+        }
+        Ok(violations)
     }
 
     /// ATM-style crankback setup: route `from → to` on the shortest
@@ -663,6 +743,65 @@ impl Network {
             backoff_cells,
         })
     }
+}
+
+/// The serial [`HopDriver`]: admits each priced leg against the live
+/// switch map, recording the signaling trace and hop metrics as it
+/// goes. The concurrent `rtcac-engine` drives the identical core walk
+/// against its locked shards instead.
+struct SerialDriver<'a> {
+    id: ConnectionId,
+    switches: &'a mut BTreeMap<NodeId, Switch>,
+    events: &'a mut Vec<SignalEvent>,
+    metrics: &'a NetworkMetrics,
+}
+
+impl HopDriver for SerialDriver<'_> {
+    type Error = SignalError;
+
+    fn admit(&mut self, _index: usize, hop: &PlannedHop) -> Result<AdmissionDecision, SignalError> {
+        let switch = self
+            .switches
+            .get_mut(&hop.node)
+            .ok_or(SignalError::NoSwitchAt(hop.node))?;
+        let decision = switch.admit(self.id, hop.request)?;
+        match decision {
+            AdmissionDecision::Admitted(_) => {
+                self.metrics.hop_admitted(hop.cdv);
+                self.events.push(SignalEvent::SetupForwarded {
+                    connection: self.id,
+                    switch: hop.node,
+                    out_link: hop.out_link,
+                    cdv: hop.cdv,
+                });
+            }
+            AdmissionDecision::Rejected(_) => self.metrics.hop_rejected(hop.cdv),
+        }
+        Ok(decision)
+    }
+
+    fn rollback(&mut self, node: NodeId) -> Result<(), SignalError> {
+        self.switches
+            .get_mut(&node)
+            .ok_or(SignalError::NoSwitchAt(node))?
+            .release(self.id)?;
+        Ok(())
+    }
+}
+
+/// One violated guarantee found by [`Network::verify_guarantees`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuaranteeViolation {
+    /// The connection whose guarantee no longer holds.
+    pub id: ConnectionId,
+    /// The switch where the recomputed bound exceeds the advertised
+    /// one, or `None` when a terminal's guaranteed delay exceeds the
+    /// contracted delay bound.
+    pub at: Option<NodeId>,
+    /// The recomputed (or guaranteed end-to-end) delay.
+    pub computed: Time,
+    /// The bound it must stay within.
+    pub limit: Time,
 }
 
 /// The outgoing (or incoming) link a CAC rejection points at — the

@@ -1,0 +1,151 @@
+//! Point-to-multipoint setups through the concurrent engine: the
+//! sharded [`rtcac::engine::AdmissionEngine`] and the serial
+//! [`rtcac::signaling::Network`] drive the same
+//! [`rtcac::cac::ReservationPlan`] core, so under an identical setup
+//! sequence they must produce identical decisions, identical per-leaf
+//! bounds, and — after an aborted tree — bit-identical switch state.
+
+use rtcac::bitstream::{CbrParams, Rate, Time, TrafficContract};
+use rtcac::cac::{ConnectionId, Priority, SwitchConfig};
+use rtcac::engine::{AdmissionEngine, EngineOutcome};
+use rtcac::net::builders;
+use rtcac::rational::ratio;
+use rtcac::signaling::{CdvPolicy, MulticastOutcome, Network, SetupRejection, SetupRequest};
+use rtcac::sim::SimRng;
+
+fn cbr(n: i128, d: i128) -> TrafficContract {
+    TrafficContract::cbr(CbrParams::new(Rate::new(ratio(n, d))).unwrap())
+}
+
+#[test]
+fn engine_and_serial_agree_on_multicast_decisions_and_bounds() {
+    // One broadcast tree per churn step on a 16-node star-ring, with
+    // seeded random roots, rates, and hangups applied identically to
+    // both drivers. Since both run the same serial order, every
+    // decision and every per-leaf bound must match exactly.
+    let sr = builders::star_ring(16, 1).unwrap();
+    let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+    let mut network = Network::new(sr.topology().clone(), config.clone(), CdvPolicy::Hard);
+    let engine = AdmissionEngine::new(sr.topology().clone(), config, CdvPolicy::Hard);
+
+    let mut rng = SimRng::seed_from_u64(42);
+    let mut live: Vec<(ConnectionId, ConnectionId)> = Vec::new();
+    let (mut connected, mut refused) = (0u64, 0u64);
+    for _ in 0..48 {
+        let root = rng.gen_below(16) as usize;
+        let denominator = 8i128 << rng.gen_below(3);
+        let request = SetupRequest::new(
+            cbr(1, denominator),
+            Priority::HIGHEST,
+            Time::from_integer(1_000_000),
+        );
+        let tree = sr.broadcast_tree(root, 0).unwrap();
+        let serial = network.setup_multicast(&tree, request).unwrap();
+        let concurrent = engine.admit_multicast(&tree, request).unwrap();
+        match (serial, concurrent) {
+            (
+                MulticastOutcome::Connected(info),
+                EngineOutcome::Admitted {
+                    id,
+                    guaranteed_delay,
+                },
+            ) => {
+                connected += 1;
+                assert_eq!(info.guaranteed_delay(), guaranteed_delay);
+                assert_eq!(
+                    info.per_leaf(),
+                    engine.per_leaf_bounds(id).unwrap().as_slice(),
+                    "per-leaf bounds diverged for the tree rooted at {root}"
+                );
+                live.push((info.id(), id));
+            }
+            (MulticastOutcome::Rejected(_), EngineOutcome::Rejected { .. }) => refused += 1,
+            (serial, concurrent) => {
+                panic!("decisions diverged: serial {serial:?} vs engine {concurrent:?}")
+            }
+        }
+        // Churn: sometimes hang one up, on both sides.
+        if !live.is_empty() && rng.gen_below(100) < 30 {
+            let (sid, eid) = live.swap_remove(rng.gen_below(live.len() as u64) as usize);
+            network.teardown_multicast(sid).unwrap();
+            engine.release(eid).unwrap();
+        }
+    }
+    assert!(connected > 0, "churn must admit some trees");
+    assert!(refused > 0, "churn must saturate and refuse some trees");
+
+    // Both sides end clean: no orphans, no violated guarantees, and
+    // the engine's multicast counters conserve.
+    assert!(network.orphaned_reservations().is_empty());
+    assert!(engine.orphaned_reservations().is_empty());
+    assert!(network.verify_guarantees().unwrap().is_empty());
+    assert!(engine.verify_guarantees().unwrap().is_empty());
+    let stats = engine.stats();
+    assert_eq!(stats.mcast_submitted, connected + refused);
+    assert_eq!(stats.mcast_admitted, connected);
+    assert_eq!(stats.mcast_rejected, refused);
+}
+
+#[test]
+fn aborted_tree_commit_rolls_back_bit_identically() {
+    // Saturate a mid-ring port with unicast fillers so a broadcast
+    // reserves its early hops and is refused downstream: the abort
+    // must rewind every touched shard — epoch, leg count, and computed
+    // bound — to exactly the pre-setup state.
+    let sr = builders::star_ring(4, 1).unwrap();
+    let config = SwitchConfig::uniform(1, Time::from_integer(8)).unwrap();
+    let engine = AdmissionEngine::new(sr.topology().clone(), config, CdvPolicy::Hard);
+
+    let filler_route = sr.terminal_route((2, 0), (3, 0)).unwrap();
+    for _ in 0..4 {
+        let request = SetupRequest::new(cbr(1, 3), Priority::HIGHEST, Time::from_integer(1_000));
+        engine.admit(&filler_route, request).unwrap();
+    }
+
+    let nodes: Vec<_> = sr.ring_nodes().to_vec();
+    let snapshot = |engine: &AdmissionEngine| -> Vec<(u64, usize, Vec<Time>)> {
+        nodes
+            .iter()
+            .map(|&node| {
+                let bounds = engine
+                    .topology()
+                    .links_from(node)
+                    .map(|l| {
+                        engine
+                            .computed_bound(node, l.id(), Priority::HIGHEST)
+                            .unwrap()
+                    })
+                    .collect();
+                (
+                    engine.shard_epoch(node).unwrap(),
+                    engine.shard_connection_count(node).unwrap(),
+                    bounds,
+                )
+            })
+            .collect()
+    };
+    let before = snapshot(&engine);
+    let established_before = engine.connection_count();
+    let aborted_before = engine.stats().aborted;
+
+    let tree = sr.broadcast_tree(0, 0).unwrap();
+    let request = SetupRequest::new(cbr(1, 3), Priority::HIGHEST, Time::from_integer(1_000));
+    match engine.admit_multicast(&tree, request).unwrap() {
+        EngineOutcome::Rejected {
+            rejection: SetupRejection::Switch {
+                hops_rolled_back, ..
+            },
+            ..
+        } => assert!(
+            hops_rolled_back > 0,
+            "the refusal must land past the first hop so legs get rolled back"
+        ),
+        other => panic!("expected a mid-tree switch refusal, got {other:?}"),
+    }
+
+    assert_eq!(snapshot(&engine), before, "rollback must be bit-identical");
+    assert_eq!(engine.connection_count(), established_before);
+    assert_eq!(engine.stats().aborted, aborted_before + 1);
+    assert!(engine.orphaned_reservations().is_empty());
+    assert!(engine.verify_guarantees().unwrap().is_empty());
+}

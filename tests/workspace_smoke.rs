@@ -67,6 +67,87 @@ fn cac_switch_admits_and_releases() {
 }
 
 #[test]
+fn cac_reservation_plan_core() {
+    // The shared admission core behind both drivers: plan a route,
+    // price it, reserve it against real switches through a minimal
+    // HopDriver, and release in reverse order.
+    use rtcac::cac::{
+        release_order, AdmissionDecision, CacError, ConnectionId, HopDriver, PlannedHop,
+        ReservationPlan, ReserveOutcome, RoutePlan, Switch,
+    };
+    use rtcac::net::NodeId;
+    use std::collections::BTreeMap;
+
+    let sr = builders::star_ring(4, 1).unwrap();
+    let route = sr.terminal_route((0, 0), (2, 0)).unwrap();
+    let plan = RoutePlan::from_route(sr.topology(), &route).unwrap();
+    assert!(plan.hops().len() >= 2);
+
+    let config = SwitchConfig::uniform(1, Time::from_integer(48)).unwrap();
+    let advertised = config.bound(Priority::HIGHEST).unwrap();
+    let priced = ReservationPlan::price::<CacError>(
+        &plan,
+        rtcac::cac::CdvPolicy::Hard,
+        cbr(1, 16),
+        Priority::HIGHEST,
+        |_| Ok(advertised),
+    )
+    .unwrap();
+    assert_eq!(priced.terminals().len(), 1);
+    assert_eq!(
+        priced.achievable(),
+        Time::from_integer(48 * plan.hops().len() as i128)
+    );
+
+    struct Driver {
+        id: ConnectionId,
+        switches: BTreeMap<NodeId, Switch>,
+    }
+    impl HopDriver for Driver {
+        type Error = CacError;
+        fn admit(&mut self, _: usize, hop: &PlannedHop) -> Result<AdmissionDecision, CacError> {
+            self.switches
+                .get_mut(&hop.node)
+                .expect("planned hop has a switch")
+                .admit(self.id, hop.request)
+        }
+        fn rollback(&mut self, node: NodeId) -> Result<(), CacError> {
+            self.switches
+                .get_mut(&node)
+                .expect("rolled-back hop has a switch")
+                .release(self.id)
+                .map(|_| ())
+        }
+    }
+    let mut driver = Driver {
+        id: ConnectionId::new(7),
+        switches: plan
+            .hops()
+            .iter()
+            .map(|h| (h.node, Switch::new(config.clone())))
+            .collect(),
+    };
+    assert_eq!(
+        priced.reserve(&mut driver).unwrap(),
+        ReserveOutcome::Reserved
+    );
+    for switch in driver.switches.values() {
+        assert_eq!(switch.connection_count(), 1);
+    }
+    for node in release_order(plan.hops().iter().map(|h| h.node)) {
+        driver
+            .switches
+            .get_mut(&node)
+            .unwrap()
+            .release(driver.id)
+            .unwrap();
+    }
+    for switch in driver.switches.values() {
+        assert_eq!(switch.connection_count(), 0);
+    }
+}
+
+#[test]
 fn signaling_setup_roundtrip() {
     let sr = builders::star_ring(4, 1).unwrap();
     let config = SwitchConfig::uniform(1, Time::from_integer(48)).unwrap();
@@ -98,8 +179,18 @@ fn engine_concurrent_batch() {
     });
     let outcomes = run_batch(&engine, jobs, 2).unwrap();
     assert!(outcomes.iter().all(|o| o.as_ref().unwrap().is_admitted()));
+    // A point-to-multipoint setup takes the same shared core path.
+    let tree = sr.broadcast_tree(0, 0).unwrap();
+    let outcome = engine
+        .admit_multicast(
+            &tree,
+            SetupRequest::new(cbr(1, 16), Priority::HIGHEST, Time::from_integer(1_000)),
+        )
+        .unwrap();
+    assert!(outcome.is_admitted());
     let stats = engine.stats();
-    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.submitted, 5);
+    assert_eq!(stats.mcast_admitted, 1);
     assert_eq!(
         stats.submitted,
         stats.admitted + stats.rejected + stats.aborted + stats.errored
