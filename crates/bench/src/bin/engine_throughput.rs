@@ -3,16 +3,21 @@
 //! per-ring-node terminal routes so the shards are disjoint and the
 //! worker pool can scale.
 //!
-//! Besides the worker sweep, the run ends with an observability A/B:
-//! the same batch timed with no metrics registry (no-op handles)
-//! versus an explicit [`rtcac_obs::Registry`], reporting the relative
-//! overhead and a summary of the recorded phase timings.
+//! Besides the worker sweep, the run ends with two A/B arms: the same
+//! batch timed with no metrics registry (no-op handles) versus an
+//! explicit [`rtcac_obs::Registry`], and with no tracer versus an
+//! installed [`rtcac_obs::Tracer`] whose sampling is hard-off
+//! ([`Sampling::Never`] — the cost of the disabled instrumentation
+//! branches alone).
 //!
 //! Flags:
 //! - `--smoke` — a seconds-long run for CI (small batches, short
 //!   budgets); the output format is unchanged.
 //! - `--metrics PATH` — write the enabled arm's final snapshot to
 //!   `PATH` in Prometheus text format.
+//! - `--bench-json PATH` — write the machine-readable perf trajectory
+//!   (per-worker ops/sec with reserve-phase p50/p99, plus both A/B
+//!   deltas) for `rtcac bench-report` to diff across commits.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -22,15 +27,19 @@ use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract, VbrParams};
 use rtcac_cac::{Priority, SwitchConfig};
 use rtcac_engine::{AdmissionEngine, EnginePool};
 use rtcac_net::builders::{self, StarRing};
-use rtcac_obs::Registry;
+use rtcac_obs::{Registry, Sampling, Tracer};
 use rtcac_rational::ratio;
 use rtcac_signaling::{CdvPolicy, SetupRequest};
 
 const RING_NODES: usize = 16;
 
-fn fresh_engine(sr: &StarRing, registry: Option<&Arc<Registry>>) -> Arc<AdmissionEngine> {
+fn fresh_engine(
+    sr: &StarRing,
+    registry: Option<&Arc<Registry>>,
+    tracer: Option<&Tracer>,
+) -> Arc<AdmissionEngine> {
     let config = SwitchConfig::uniform(1, Time::from_integer(64)).expect("switch config");
-    Arc::new(match registry {
+    let mut engine = match registry {
         Some(registry) => AdmissionEngine::with_registry(
             sr.topology().clone(),
             config,
@@ -38,7 +47,11 @@ fn fresh_engine(sr: &StarRing, registry: Option<&Arc<Registry>>) -> Arc<Admissio
             Arc::clone(registry),
         ),
         None => AdmissionEngine::new(sr.topology().clone(), config, CdvPolicy::Hard),
-    })
+    };
+    if let Some(tracer) = tracer {
+        engine.set_tracer(tracer.clone());
+    }
+    Arc::new(engine)
 }
 
 /// One measured round: a full batch of admissions through a fresh
@@ -49,8 +62,9 @@ fn run_round(
     workers: usize,
     setups_per_node: usize,
     registry: Option<&Arc<Registry>>,
+    tracer: Option<&Tracer>,
 ) -> (f64, usize) {
-    let engine = fresh_engine(sr, registry);
+    let engine = fresh_engine(sr, registry, tracer);
     // Alternate smooth CBR with bursty VBR: the burst envelopes make
     // each admission check a real bit-stream computation rather than a
     // queue-overhead microbenchmark.
@@ -78,6 +92,43 @@ fn run_round(
     (elapsed, admitted)
 }
 
+/// Interleaved A/B comparison: alternates whole rounds between the
+/// two configurations and compares each arm's *median* round time.
+/// Interleaving keeps slow drifts (frequency scaling, background
+/// load) from landing on one arm; the median discards outliers in
+/// both directions, where a best-of would let one lucky turbo window
+/// inflate whichever arm caught it. Returns (ops/sec A, ops/sec B).
+#[allow(clippy::type_complexity)]
+fn measure_ab(
+    sr: &StarRing,
+    workers: usize,
+    setups_per_node: usize,
+    pairs: u32,
+    arm_a: (Option<&Arc<Registry>>, Option<&Tracer>),
+    arm_b: (Option<&Arc<Registry>>, Option<&Tracer>),
+) -> (f64, f64) {
+    let total = (RING_NODES * setups_per_node) as f64;
+    let _ = run_round(sr, workers, setups_per_node, arm_a.0, arm_a.1);
+    let _ = run_round(sr, workers, setups_per_node, arm_b.0, arm_b.1);
+    let mut times_a = Vec::with_capacity(pairs as usize);
+    let mut times_b = Vec::with_capacity(pairs as usize);
+    for _ in 0..pairs {
+        times_a.push(run_round(sr, workers, setups_per_node, arm_a.0, arm_a.1).0);
+        times_b.push(run_round(sr, workers, setups_per_node, arm_b.0, arm_b.1).0);
+    }
+    (total / median(&mut times_a), total / median(&mut times_b))
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(f64::total_cmp);
+    let mid = times.len() / 2;
+    if times.len().is_multiple_of(2) {
+        (times[mid - 1] + times[mid]) / 2.0
+    } else {
+        times[mid]
+    }
+}
+
 /// Whole rounds until the time budget is spent; returns setups/sec.
 fn measure(
     sr: &StarRing,
@@ -85,16 +136,17 @@ fn measure(
     setups_per_node: usize,
     min_seconds: f64,
     registry: Option<&Arc<Registry>>,
+    tracer: Option<&Tracer>,
 ) -> (f64, u32, usize) {
     let total = RING_NODES * setups_per_node;
     // Warm-up round, then measure whole rounds so short batches do not
     // drown in noise.
-    let _ = run_round(sr, workers, setups_per_node, registry);
+    let _ = run_round(sr, workers, setups_per_node, registry, tracer);
     let mut rounds = 0u32;
     let mut busy = 0.0;
     let mut admitted = 0;
     while busy < min_seconds {
-        let (elapsed, ok) = run_round(sr, workers, setups_per_node, registry);
+        let (elapsed, ok) = run_round(sr, workers, setups_per_node, registry, tracer);
         busy += elapsed;
         admitted = ok;
         rounds += 1;
@@ -108,6 +160,11 @@ fn main() {
     let metrics_path = args
         .iter()
         .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let bench_json_path = args
+        .iter()
+        .position(|a| a == "--bench-json")
         .and_then(|i| args.get(i + 1))
         .cloned();
     let (setups_per_node, min_seconds) = if smoke { (4, 0.02) } else { (32, 0.4) };
@@ -138,9 +195,11 @@ fn main() {
     ]);
 
     let mut baseline = None;
+    // workers -> (ops/sec, reserve p50, reserve p99) for --bench-json.
+    let mut sweep: Vec<(usize, f64, u64, u64)> = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let (throughput, rounds, admitted) =
-            measure(&sr, workers, setups_per_node, min_seconds, None);
+            measure(&sr, workers, setups_per_node, min_seconds, None, None);
         let speedup = throughput / *baseline.get_or_insert(throughput);
         row(&[
             workers.to_string(),
@@ -149,15 +208,46 @@ fn main() {
             f(throughput),
             f(speedup),
         ]);
+        // Percentiles come from a separate observed pass so the sweep
+        // figures above stay registry-free; the observed throughput is
+        // discarded (the obs A/B below quantifies its overhead).
+        if bench_json_path.is_some() {
+            let observed = Arc::new(Registry::new());
+            let _ = measure(
+                &sr,
+                workers,
+                setups_per_node,
+                min_seconds,
+                Some(&observed),
+                None,
+            );
+            let snapshot = observed.snapshot();
+            let (p50, p99) = snapshot
+                .histogram("engine_reserve_ns")
+                .map_or((0, 0), |h| (h.p50(), h.p99()));
+            sweep.push((workers, throughput, p50, p99));
+        }
     }
 
     // Observability A/B: the same 4-worker batch with metrics disabled
     // (no registry installed, so every handle is a no-op) versus
     // enabled. The disabled arm is the cost everyone pays; the delta
-    // is what turning observability on costs.
-    let (off, _, _) = measure(&sr, 4, setups_per_node, min_seconds, None);
+    // is what turning observability on costs. Rounds interleave and
+    // each arm keeps its best time, so machine noise cancels.
+    let ab_pairs = if smoke { 12 } else { 16 };
+    // Larger rounds than the sweep's: per-round noise (pool spawn,
+    // scheduler) shrinks relative to the measured work, which the
+    // few-percent A/B deltas need even in smoke mode.
+    let ab_setups_per_node = setups_per_node * 4;
     let registry = Arc::new(Registry::new());
-    let (on, _, _) = measure(&sr, 4, setups_per_node, min_seconds, Some(&registry));
+    let (off, on) = measure_ab(
+        &sr,
+        4,
+        ab_setups_per_node,
+        ab_pairs,
+        (None, None),
+        (Some(&registry), None),
+    );
     header(
         "obs_overhead",
         format!(
@@ -167,6 +257,52 @@ fn main() {
             (off / on - 1.0) * 100.0
         ),
     );
+
+    // Tracing A/B: no tracer (the noop, one dead branch per site)
+    // versus an installed tracer with sampling hard-off — the cost of
+    // the disabled instrumentation branches through submit/price/
+    // reserve/commit. `Never` is the arm because it is the *disabled*
+    // setting: `RejectsOnly` is a live policy whose cost is
+    // per-rejection flush work, and this batch saturates the ring, so
+    // measuring it here would measure the provenance feature (at an
+    // adversarial ~50% reject rate), not the idle overhead.
+    let idle_tracer = Tracer::new(Sampling::Never);
+    let (trace_off, trace_on) = measure_ab(
+        &sr,
+        4,
+        ab_setups_per_node,
+        ab_pairs,
+        (None, None),
+        (None, Some(&idle_tracer)),
+    );
+    let trace_delta = (trace_off / trace_on - 1.0) * 100.0;
+    header(
+        "trace_overhead",
+        format!(
+            "no tracer {trace_off:.0} setups/s vs sampling-off tracer {trace_on:.0} setups/s \
+             ({trace_delta:+.1}% when installed)"
+        ),
+    );
+
+    if let Some(path) = &bench_json_path {
+        let mut json = String::from("{\"bench\":\"engine_throughput\",");
+        json.push_str(&format!("\"smoke\":{smoke},\n\"rounds\":[\n"));
+        for (i, (workers, ops, p50, p99)) in sweep.iter().enumerate() {
+            let comma = if i + 1 < sweep.len() { "," } else { "" };
+            json.push_str(&format!(
+                "{{\"workers\":{workers},\"ops_per_sec\":{ops:.1},\"p50_ns\":{p50},\"p99_ns\":{p99}}}{comma}\n"
+            ));
+        }
+        json.push_str(&format!(
+            "],\n\"trace_ab\":{{\"off_ops_per_sec\":{trace_off:.1},\"on_ops_per_sec\":{trace_on:.1},\"delta_percent\":{trace_delta:.2}}},\n"
+        ));
+        json.push_str(&format!(
+            "\"obs_ab\":{{\"off_ops_per_sec\":{off:.1},\"on_ops_per_sec\":{on:.1},\"delta_percent\":{:.2}}}}}\n",
+            (off / on - 1.0) * 100.0
+        ));
+        std::fs::write(path, json).expect("write bench json");
+        header("bench_json", path);
+    }
 
     // Metrics summary of the enabled arm (all measured rounds).
     let snapshot = registry.snapshot();

@@ -61,6 +61,7 @@ mod config;
 mod connection;
 mod error;
 mod plan;
+mod report;
 mod sof_cache;
 mod switch;
 mod tables;
@@ -73,5 +74,6 @@ pub use plan::{
     release_order, HopDriver, HopSpec, PlannedHop, ReservationPlan, ReserveOutcome, RoutePlan,
     LOCAL_INJECTION,
 };
+pub use report::{AdmissionReport, AdmissionVerdict, HopRow, HopVerdict};
 pub use sof_cache::SofCache;
-pub use switch::{AdmissionDecision, AdmissionReport, Switch};
+pub use switch::{AdmissionDecision, BoundsReport, Switch};

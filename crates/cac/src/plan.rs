@@ -163,6 +163,9 @@ pub struct PlannedHop {
     pub cdv: Time,
     /// The switch's advertised (fixed) per-hop delay bound.
     pub advertised: Time,
+    /// The CDV leaving this hop (upstream plus this hop's advertised
+    /// bound under the same policy) — the next hop's `cdv` on a path.
+    pub cdv_out: Time,
     /// The fully-formed per-leg admission request.
     pub request: ConnectionRequest,
 }
@@ -237,13 +240,16 @@ impl ReservationPlan {
         }
         let mut hops = Vec::with_capacity(plan.hops().len());
         for (k, hop) in plan.hops().iter().enumerate() {
-            let upstream: Vec<Time> = hop.upstream.iter().map(|&i| bounds[i]).collect();
-            let cdv = policy.accumulate(&upstream).map_err(E::from)?;
+            let mut through: Vec<Time> = hop.upstream.iter().map(|&i| bounds[i]).collect();
+            let cdv = policy.accumulate(&through).map_err(E::from)?;
+            through.push(bounds[k]);
+            let cdv_out = policy.accumulate(&through).map_err(E::from)?;
             hops.push(PlannedHop {
                 node: hop.node,
                 out_link: hop.out_link,
                 cdv,
                 advertised: bounds[k],
+                cdv_out,
                 request: ConnectionRequest::new(contract, cdv, hop.in_link, hop.out_link, priority),
             });
         }
@@ -287,9 +293,27 @@ impl ReservationPlan {
     /// Propagates the driver's error unchanged; admission rejections
     /// are outcomes, not errors.
     pub fn reserve<D: HopDriver>(&self, driver: &mut D) -> Result<ReserveOutcome, D::Error> {
+        self.reserve_observed(driver, |_, _, _| {})
+    }
+
+    /// [`reserve`](ReservationPlan::reserve) with a per-hop observer:
+    /// `observe(index, hop, decision)` fires after every switch
+    /// decision, before any rollback — the seam provenance reports and
+    /// trace events hang off without touching the walk itself.
+    ///
+    /// # Errors
+    ///
+    /// As [`reserve`](ReservationPlan::reserve).
+    pub fn reserve_observed<D: HopDriver>(
+        &self,
+        driver: &mut D,
+        mut observe: impl FnMut(usize, &PlannedHop, &AdmissionDecision),
+    ) -> Result<ReserveOutcome, D::Error> {
         let mut reserved: Vec<NodeId> = Vec::new();
         for (index, hop) in self.hops.iter().enumerate() {
-            match driver.admit(index, hop)? {
+            let decision = driver.admit(index, hop)?;
+            observe(index, hop, &decision);
+            match decision {
                 AdmissionDecision::Admitted(_) => reserved.push(hop.node),
                 AdmissionDecision::Rejected(reason) => {
                     let legs_rolled_back = reserved.len();
@@ -317,6 +341,29 @@ impl ReservationPlan {
     /// reservation order (one release at a node frees every leg there).
     pub fn release_nodes(&self) -> Vec<NodeId> {
         release_order(self.hops.iter().map(|h| h.node))
+    }
+
+    /// The provenance skeleton for this priced plan: one
+    /// [`HopRow`](crate::HopRow) per hop with the pricing-side columns
+    /// (deadline, CDV in/out) filled and every verdict
+    /// [`NotEvaluated`](crate::HopVerdict::NotEvaluated) until the
+    /// reserve walk records decisions into it. Shared by every driver
+    /// so reports compare byte-identical across them.
+    pub fn report_rows(&self) -> Vec<crate::HopRow> {
+        self.hops
+            .iter()
+            .map(|hop| crate::HopRow {
+                node: hop.node,
+                in_link: hop.request.in_link(),
+                out_link: hop.out_link,
+                priority: hop.request.priority(),
+                computed_bound: None,
+                deadline: hop.advertised,
+                cdv_in: hop.cdv,
+                cdv_out: hop.cdv_out,
+                verdict: crate::HopVerdict::NotEvaluated,
+            })
+            .collect()
     }
 }
 
@@ -424,6 +471,28 @@ mod tests {
         assert!(cdvs.contains(&Time::from_integer(32)));
         // Worst leaf crosses two switches: 64 cells achievable.
         assert_eq!(priced.achievable(), Time::from_integer(64));
+    }
+
+    #[test]
+    fn report_rows_carry_pricing_columns() {
+        let (t, nodes, links) = two_level();
+        let route = Route::new(&t, vec![links[0], links[2], links[3]]).unwrap();
+        let plan = RoutePlan::from_route(&t, &route).unwrap();
+        let priced = price(&t, &plan, 32);
+        let rows = priced.report_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].node, nodes[1]);
+        assert_eq!(rows[0].cdv_in, Time::ZERO);
+        assert_eq!(rows[0].cdv_out, Time::from_integer(32));
+        assert_eq!(rows[1].cdv_in, Time::from_integer(32));
+        assert_eq!(rows[1].cdv_out, Time::from_integer(64));
+        for row in &rows {
+            assert_eq!(row.deadline, Time::from_integer(32));
+            assert_eq!(row.computed_bound, None);
+            assert_eq!(row.verdict, crate::HopVerdict::NotEvaluated);
+        }
+        // A hop's outgoing CDV is the next hop's incoming CDV on a path.
+        assert_eq!(rows[0].cdv_out, rows[1].cdv_in);
     }
 
     /// A test driver over plain switches that records its call trace.

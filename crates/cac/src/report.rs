@@ -1,0 +1,226 @@
+//! Decision provenance: the per-hop ledger behind an admission verdict.
+//!
+//! Every priced setup can carry an [`AdmissionReport`] — one
+//! [`HopRow`] per queueing point, assembled from the
+//! [`ReservationPlan`](crate::ReservationPlan) pricing pass and filled
+//! in during the reserve walk — so a verdict is never just a counter
+//! bump: the exact bound-vs-deadline comparison that admitted or
+//! refused each hop is recorded. Both the serial signaling walk and
+//! the concurrent engine build their reports through the same
+//! [`ReservationPlan::report_rows`](crate::ReservationPlan::report_rows)
+//! / [`HopRow::record_decision`] pair, which is what makes the two
+//! drivers' reports byte-identical for the same scenario.
+
+use std::fmt;
+
+use rtcac_bitstream::Time;
+use rtcac_net::{LinkId, NodeId};
+
+use crate::{AdmissionDecision, Priority, RejectReason};
+
+/// What the reserve walk concluded about one hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopVerdict {
+    /// The switch admitted the leg.
+    Admitted,
+    /// The switch refused the leg.
+    Rejected(RejectReason),
+    /// The walk never reached this hop (an earlier hop refused, or a
+    /// gate before the walk did).
+    NotEvaluated,
+}
+
+impl fmt::Display for HopVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HopVerdict::Admitted => write!(f, "admitted"),
+            HopVerdict::Rejected(reason) => write!(f, "REJECTED: {reason}"),
+            HopVerdict::NotEvaluated => write!(f, "not evaluated"),
+        }
+    }
+}
+
+/// One row of an [`AdmissionReport`]: the CAC comparison at one
+/// queueing point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopRow {
+    /// The switch running the CAC check.
+    pub node: NodeId,
+    /// The incoming link of the leg ([`LOCAL_INJECTION`] at the
+    /// source).
+    ///
+    /// [`LOCAL_INJECTION`]: crate::LOCAL_INJECTION
+    pub in_link: LinkId,
+    /// The outgoing link whose FIFO the connection would join.
+    pub out_link: LinkId,
+    /// The request's priority level.
+    pub priority: Priority,
+    /// The worst-case delay the switch computed for this leg at its
+    /// own priority (Algorithm 4.1). `None` until the walk reaches the
+    /// hop, or when the refusal carried no computed bound (e.g. an
+    /// aggregate overload).
+    pub computed_bound: Option<Time>,
+    /// The hop's deadline: the advertised per-hop bound the computed
+    /// delay must not exceed.
+    pub deadline: Time,
+    /// CDV accumulated over the hop's upstream queueing points — the
+    /// jitter the leg's request arrives with.
+    pub cdv_in: Time,
+    /// CDV leaving the hop (upstream plus this hop's advertised
+    /// bound), i.e. the next hop's `cdv_in` on a path.
+    pub cdv_out: Time,
+    /// What the walk concluded about this hop.
+    pub verdict: HopVerdict,
+}
+
+impl HopRow {
+    /// Fills in the walk's conclusion for this hop from the switch's
+    /// decision — the one shared code path that turns decisions into
+    /// rows for every driver.
+    pub fn record_decision(&mut self, decision: &AdmissionDecision) {
+        match decision {
+            AdmissionDecision::Admitted(bounds) => {
+                self.computed_bound = bounds.bound_for(self.priority);
+                self.verdict = HopVerdict::Admitted;
+            }
+            AdmissionDecision::Rejected(reason) => {
+                self.computed_bound = match reason {
+                    RejectReason::BoundExceeded { computed, .. } => Some(*computed),
+                    _ => None,
+                };
+                self.verdict = HopVerdict::Rejected(*reason);
+            }
+        }
+    }
+}
+
+/// The end-to-end verdict an [`AdmissionReport`] explains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// Every hop admitted; the connection committed with this
+    /// guaranteed end-to-end delay.
+    Admitted {
+        /// The guaranteed end-to-end queueing delay (worst terminal).
+        guaranteed_delay: Time,
+    },
+    /// Refused before any switch was consulted: the requested delay
+    /// bound is below what the route's advertised bounds can achieve.
+    RejectedQos {
+        /// The requested end-to-end delay bound.
+        requested: Time,
+        /// The smallest bound the route can guarantee.
+        achievable: Time,
+    },
+    /// A switch refused during the reserve walk.
+    RejectedHop {
+        /// The refusing switch.
+        at: NodeId,
+        /// The refusing hop's index into the report rows.
+        index: usize,
+    },
+}
+
+/// The per-hop provenance of one admission verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionReport {
+    /// One row per queueing point, in reservation (plan) order.
+    pub rows: Vec<HopRow>,
+    /// The end-to-end verdict the rows explain.
+    pub verdict: AdmissionVerdict,
+}
+
+impl AdmissionReport {
+    /// Creates a report from filled rows and the final verdict.
+    pub fn new(rows: Vec<HopRow>, verdict: AdmissionVerdict) -> AdmissionReport {
+        AdmissionReport { rows, verdict }
+    }
+
+    /// Whether the verdict is an admission.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self.verdict, AdmissionVerdict::Admitted { .. })
+    }
+
+    /// The row whose refusal decided the verdict, if a hop refused.
+    pub fn rejecting_row(&self) -> Option<&HopRow> {
+        match self.verdict {
+            AdmissionVerdict::RejectedHop { index, .. } => self.rows.get(index),
+            _ => None,
+        }
+    }
+
+    /// A one-line summary of the verdict — the form attached to
+    /// rejection events in the observability ring.
+    pub fn summary(&self) -> String {
+        match &self.verdict {
+            AdmissionVerdict::Admitted { guaranteed_delay } => {
+                format!("admitted: guaranteed delay {guaranteed_delay}")
+            }
+            AdmissionVerdict::RejectedQos {
+                requested,
+                achievable,
+            } => format!(
+                "rejected by QoS gate: requested bound {requested} below achievable {achievable}"
+            ),
+            AdmissionVerdict::RejectedHop { at, index } => match self.rejecting_row() {
+                Some(row) => {
+                    let computed = row
+                        .computed_bound
+                        .map_or_else(|| "-".to_string(), |t| t.to_string());
+                    format!(
+                        "rejected at node {at} (hop {}/{}): computed bound {computed} vs deadline {} \
+                         [prio {}, cdv_in {}, cdv_out {}] — {}",
+                        index + 1,
+                        self.rows.len(),
+                        row.deadline,
+                        row.priority,
+                        row.cdv_in,
+                        row.cdv_out,
+                        row.verdict
+                    )
+                }
+                None => format!("rejected at node {at} (hop index {index} out of range)"),
+            },
+        }
+    }
+
+    /// Renders the full per-hop table with caller-supplied node/link
+    /// naming (scenario names in the CLI; `Display` ids elsewhere).
+    pub fn render_with(
+        &self,
+        mut node_name: impl FnMut(NodeId) -> String,
+        mut link_name: impl FnMut(LinkId) -> String,
+    ) -> String {
+        let mut out = String::new();
+        out.push_str(&self.summary());
+        out.push('\n');
+        for (k, row) in self.rows.iter().enumerate() {
+            let computed = row
+                .computed_bound
+                .map_or_else(|| "-".to_string(), |t| t.to_string());
+            let marker = match self.verdict {
+                AdmissionVerdict::RejectedHop { index, .. } if index == k => "  <- refused here",
+                _ => "",
+            };
+            out.push_str(&format!(
+                "  hop {} at {} out={} prio={}: computed={} deadline={} cdv_in={} cdv_out={} verdict={}{}\n",
+                k + 1,
+                node_name(row.node),
+                link_name(row.out_link),
+                row.priority,
+                computed,
+                row.deadline,
+                row.cdv_in,
+                row.cdv_out,
+                row.verdict,
+                marker
+            ));
+        }
+        out
+    }
+
+    /// [`render_with`](AdmissionReport::render_with) using `Display`
+    /// ids for nodes and links.
+    pub fn render(&self) -> String {
+        self.render_with(|n| n.to_string(), |l| l.to_string())
+    }
+}

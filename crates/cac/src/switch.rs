@@ -15,7 +15,7 @@ use crate::{
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AdmissionDecision {
     /// The connection can be established at this switch.
-    Admitted(AdmissionReport),
+    Admitted(BoundsReport),
     /// The connection would violate a delay bound guarantee.
     Rejected(RejectReason),
 }
@@ -31,12 +31,12 @@ impl AdmissionDecision {
 /// queueing delay at the connection's outgoing link for its own
 /// priority and for every lower priority it could have disturbed.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AdmissionReport {
+pub struct BoundsReport {
     out_link: LinkId,
     bounds: Vec<(Priority, Time)>,
 }
 
-impl AdmissionReport {
+impl BoundsReport {
     /// The outgoing link the report applies to.
     pub fn out_link(&self) -> LinkId {
         self.out_link
@@ -262,7 +262,7 @@ impl Switch {
             }
         }
 
-        Ok(AdmissionDecision::Admitted(AdmissionReport {
+        Ok(AdmissionDecision::Admitted(BoundsReport {
             out_link: j,
             bounds,
         }))

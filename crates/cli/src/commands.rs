@@ -9,6 +9,7 @@ use rtcac_cac::Priority;
 use rtcac_engine::{AdmissionEngine, EngineOutcome, EnginePool};
 use rtcac_fault::{endpoint_pairs, run_chaos, ChaosConfig, ChaosReport, FaultPlan};
 use rtcac_net::{LinkId, NodeId};
+use rtcac_obs::{chrome_trace, render_spans, Sampling, Tracer};
 use rtcac_rational::Ratio;
 use rtcac_rtnet::{workload, CdvMode};
 use rtcac_signaling::{CrankbackPolicy, Network, SetupOutcome};
@@ -156,7 +157,7 @@ pub fn check(scenario: &Scenario) -> Result<String, CliError> {
                 );
             }
             ScenarioAction::Chaos { seed, steps, rate } => {
-                let report = run_scenario_chaos(scenario, seed, steps, rate)?;
+                let report = run_scenario_chaos(scenario, seed, steps, rate, None)?;
                 let _ = writeln!(out, "chaos seed={seed} steps={steps} rate={rate}%:");
                 for line in report.summary().lines() {
                     let _ = writeln!(out, "  {line}");
@@ -299,8 +300,12 @@ fn run_scenario_chaos(
     seed: u64,
     steps: u64,
     rate: u64,
+    tracer: Option<&rtcac_obs::Tracer>,
 ) -> Result<ChaosReport, CliError> {
-    let engine = build_engine(scenario, None)?;
+    let mut engine = build_engine(scenario, None)?;
+    if let Some(tracer) = tracer {
+        engine.set_tracer(tracer.clone());
+    }
     let plan = FaultPlan::random(engine.topology(), seed, steps, rate);
     let pairs = endpoint_pairs(engine.topology());
     run_chaos(
@@ -331,6 +336,7 @@ fn run_engine_scenario(
     scenario: &Scenario,
     workers: usize,
     registry: Option<&Arc<rtcac_obs::Registry>>,
+    tracer: Option<&Tracer>,
 ) -> Result<(Arc<AdmissionEngine>, BatchResults), CliError> {
     if scenario.has_fault_actions() {
         return Err(CliError::Usage(
@@ -339,7 +345,11 @@ fn run_engine_scenario(
                 .into(),
         ));
     }
-    let engine = Arc::new(build_engine(scenario, registry)?);
+    let mut engine = build_engine(scenario, registry)?;
+    if let Some(tracer) = tracer {
+        engine.set_tracer(tracer.clone());
+    }
+    let engine = Arc::new(engine);
 
     let mut pool = EnginePool::new(Arc::clone(&engine), workers.max(1));
     let mut slots: Vec<Option<Result<EngineOutcome, rtcac_engine::EngineError>>> =
@@ -414,7 +424,7 @@ pub fn engine(
     metrics_path: Option<&str>,
 ) -> Result<String, CliError> {
     let registry = metrics_path.map(|_| Arc::new(rtcac_obs::Registry::new()));
-    let (engine, outcomes) = run_engine_scenario(scenario, workers, registry.as_ref())?;
+    let (engine, outcomes) = run_engine_scenario(scenario, workers, registry.as_ref(), None)?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -606,7 +616,7 @@ pub fn check_engine(scenario: &Scenario, metrics_path: Option<&str>) -> Result<S
                 );
             }
             ScenarioAction::Chaos { seed, steps, rate } => {
-                let report = run_scenario_chaos(scenario, seed, steps, rate)?;
+                let report = run_scenario_chaos(scenario, seed, steps, rate, None)?;
                 let _ = writeln!(out, "chaos seed={seed} steps={steps} rate={rate}%:");
                 for line in report.summary().lines() {
                     let _ = writeln!(out, "  {line}");
@@ -734,13 +744,347 @@ pub(crate) fn write_metrics_file(path: &str, contents: &str) -> Result<(), CliEr
 /// As [`engine`].
 pub fn stats(scenario: &Scenario, workers: usize, json: bool) -> Result<String, CliError> {
     let registry = Arc::new(rtcac_obs::Registry::new());
-    let (_engine, _outcomes) = run_engine_scenario(scenario, workers, Some(&registry))?;
+    // A registry-linked tracer rides along so the exposition also
+    // carries the per-span duration histograms (`trace_span_ns`) and
+    // the span-ring accounting.
+    let tracer = Tracer::with_registry(Sampling::Always, Arc::clone(&registry));
+    let (_engine, _outcomes) =
+        run_engine_scenario(scenario, workers, Some(&registry), Some(&tracer))?;
+    registry
+        .gauge("obs_trace_spans_recorded")
+        .set(tracer.recorded());
+    registry
+        .gauge("obs_trace_spans_dropped")
+        .set(tracer.dropped());
+    registry
+        .gauge("obs_trace_spans_evicted")
+        .set(tracer.evicted());
     let snapshot = registry.snapshot();
     Ok(if json {
         snapshot.to_json()
     } else {
         snapshot.to_prometheus()
     })
+}
+
+/// `rtcac trace`: replay the scenario with an always-sampling
+/// [`Tracer`] installed and print the causal span tree of every setup
+/// — queue wait (engine mode), crankback attempts, the
+/// price/reserve/commit phases, per-hop admission events, and
+/// `reject.provenance` events carrying the refusing hop's
+/// bound-vs-deadline comparison. Serial replay by default; with
+/// `engine_mode` the same scenario runs through the concurrent sharded
+/// engine (fault directives replay on the submitting thread, plain
+/// batches go through the worker pool so traces cover the queue wait).
+/// With `out_path`, the spans are also written as Chrome
+/// `trace_event` JSON loadable in `chrome://tracing` / Perfetto.
+///
+/// # Errors
+///
+/// Returns [`CliError::Domain`] on API-level failures; rejections are
+/// traced, not raised.
+pub fn trace(
+    scenario: &Scenario,
+    engine_mode: bool,
+    workers: usize,
+    out_path: Option<&str>,
+) -> Result<String, CliError> {
+    let tracer = Tracer::new(Sampling::Always);
+    let mut out = String::new();
+    if engine_mode {
+        if scenario.has_fault_actions() {
+            let mut engine = build_engine(scenario, None)?;
+            engine.set_tracer(tracer.clone());
+            for action in &scenario.actions {
+                match *action {
+                    ScenarioAction::Connect(i) => {
+                        engine_connect_one(&engine, &scenario.connections[i], &mut out)?;
+                    }
+                    ScenarioAction::FailLink(link) => {
+                        engine.fail_link(link).map_err(CliError::domain)?;
+                        let _ = writeln!(out, "fail-link {}", link_label(scenario, link));
+                    }
+                    ScenarioAction::HealLink(link) => {
+                        engine.heal_link(link).map_err(CliError::domain)?;
+                        let _ = writeln!(out, "heal-link {}", link_label(scenario, link));
+                    }
+                    ScenarioAction::FailNode(node) => {
+                        engine.fail_node(node).map_err(CliError::domain)?;
+                        let _ = writeln!(out, "fail-node {}", node_label(scenario, node));
+                    }
+                    ScenarioAction::HealNode(node) => {
+                        engine.heal_node(node).map_err(CliError::domain)?;
+                        let _ = writeln!(out, "heal-node {}", node_label(scenario, node));
+                    }
+                    ScenarioAction::Chaos { seed, steps, rate } => {
+                        let report =
+                            run_scenario_chaos(scenario, seed, steps, rate, Some(&tracer))?;
+                        let _ = writeln!(
+                            out,
+                            "chaos seed={seed} steps={steps} rate={rate}%: invariants {}",
+                            if report.invariants_hold() {
+                                "OK"
+                            } else {
+                                "VIOLATED"
+                            }
+                        );
+                    }
+                }
+            }
+        } else {
+            let (_engine, outcomes) = run_engine_scenario(scenario, workers, None, Some(&tracer))?;
+            for (spec, outcome) in scenario.connections.iter().zip(&outcomes) {
+                let verdict = match outcome.as_ref().map_err(|e| CliError::domain(e.clone()))? {
+                    EngineOutcome::Admitted { .. } => "ADMITTED",
+                    EngineOutcome::Rerouted { .. } => "REROUTED",
+                    EngineOutcome::Rejected { .. } => "REJECTED",
+                };
+                let _ = writeln!(out, "{}: {verdict}", spec.name);
+            }
+        }
+    } else {
+        let mut network = build_network(scenario)?;
+        network.set_tracer(tracer.clone());
+        for action in &scenario.actions {
+            match *action {
+                ScenarioAction::Connect(i) => {
+                    connect_one(&mut network, scenario, &scenario.connections[i], &mut out)?;
+                }
+                ScenarioAction::FailLink(link) => {
+                    network.fail_link(link).map_err(CliError::domain)?;
+                    let _ = writeln!(out, "fail-link {}", link_label(scenario, link));
+                }
+                ScenarioAction::HealLink(link) => {
+                    network.heal_link(link).map_err(CliError::domain)?;
+                    let _ = writeln!(out, "heal-link {}", link_label(scenario, link));
+                }
+                ScenarioAction::FailNode(node) => {
+                    network.fail_node(node).map_err(CliError::domain)?;
+                    let _ = writeln!(out, "fail-node {}", node_label(scenario, node));
+                }
+                ScenarioAction::HealNode(node) => {
+                    network.heal_node(node).map_err(CliError::domain)?;
+                    let _ = writeln!(out, "heal-node {}", node_label(scenario, node));
+                }
+                ScenarioAction::Chaos { seed, steps, rate } => {
+                    let report = run_scenario_chaos(scenario, seed, steps, rate, Some(&tracer))?;
+                    let _ = writeln!(
+                        out,
+                        "chaos seed={seed} steps={steps} rate={rate}%: invariants {}",
+                        if report.invariants_hold() {
+                            "OK"
+                        } else {
+                            "VIOLATED"
+                        }
+                    );
+                }
+            }
+        }
+    }
+    let spans = tracer.snapshot();
+    let traces = {
+        let mut ids: Vec<_> = spans.iter().map(|s| s.trace).collect();
+        ids.dedup();
+        ids.len()
+    };
+    let _ = writeln!(
+        out,
+        "trace: {} span(s) from {} trace(s), recorded={} dropped={} evicted={}",
+        spans.len(),
+        traces,
+        tracer.recorded(),
+        tracer.dropped(),
+        tracer.evicted()
+    );
+    out.push_str(&render_spans(&spans));
+    if let Some(path) = out_path {
+        write_metrics_file(path, &chrome_trace(&spans))?;
+        let _ = writeln!(out, "trace: wrote {path} (chrome trace_event json)");
+    }
+    Ok(out)
+}
+
+/// `rtcac why`: replay the scenario serially and print the decision
+/// provenance of one named connection — the per-hop
+/// [`AdmissionReport`](rtcac_cac::AdmissionReport) ledger showing, for
+/// every queueing point on the route, the computed Algorithm 4.1 bound
+/// against its advertised-deadline plus the accumulated CDV in and
+/// out, with the refusing hop marked.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] when no connection carries `conn_name`
+/// and [`CliError::Domain`] when its setup never reached pricing (the
+/// route was down, so there is no per-hop ledger to show).
+pub fn why(scenario: &Scenario, conn_name: &str) -> Result<String, CliError> {
+    let target = scenario
+        .connections
+        .iter()
+        .position(|s| s.name == conn_name)
+        .ok_or_else(|| {
+            CliError::Usage(format!("no connection named '{conn_name}' in the scenario"))
+        })?;
+    let mut network = build_network(scenario)?;
+    let mut scratch = String::new();
+    let mut report: Option<rtcac_cac::AdmissionReport> = None;
+    for action in &scenario.actions {
+        match *action {
+            ScenarioAction::Connect(i) => {
+                connect_one(
+                    &mut network,
+                    scenario,
+                    &scenario.connections[i],
+                    &mut scratch,
+                )?;
+                if i == target {
+                    report = network.last_admission_report().cloned();
+                }
+            }
+            ScenarioAction::FailLink(link) => {
+                network.fail_link(link).map_err(CliError::domain)?;
+            }
+            ScenarioAction::HealLink(link) => {
+                network.heal_link(link).map_err(CliError::domain)?;
+            }
+            ScenarioAction::FailNode(node) => {
+                network.fail_node(node).map_err(CliError::domain)?;
+            }
+            ScenarioAction::HealNode(node) => {
+                network.heal_node(node).map_err(CliError::domain)?;
+            }
+            // Chaos runs against its own engine and cannot move the
+            // serial network's state, so a `why` replay skips it.
+            ScenarioAction::Chaos { .. } => {}
+        }
+    }
+    let report = report.ok_or_else(|| {
+        CliError::Domain(format!(
+            "'{conn_name}' produced no admission report (the setup never reached \
+             pricing — typically the route was down)"
+        ))
+    })?;
+    let mut out = String::new();
+    let _ = writeln!(out, "why {conn_name}:");
+    out.push_str(&report.render_with(|n| node_label(scenario, n), |l| link_label(scenario, l)));
+    Ok(out)
+}
+
+/// One parsed per-worker round of a `BENCH_engine.json` file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BenchRound {
+    workers: u64,
+    ops_per_sec: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
+/// Pulls the numeric value following `"key":` out of one JSON line.
+/// The bench files are line-oriented (one round object per line)
+/// precisely so this std-only scan is enough to diff them.
+fn json_number(line: &str, key: &str) -> Option<f64> {
+    let pattern = format!("\"{key}\":");
+    let at = line.find(&pattern)? + pattern.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parses the per-worker rounds of a bench JSON file.
+fn parse_bench_rounds(text: &str) -> Vec<BenchRound> {
+    text.lines()
+        .filter_map(|line| {
+            Some(BenchRound {
+                workers: json_number(line, "workers")? as u64,
+                ops_per_sec: json_number(line, "ops_per_sec")?,
+                p50_ns: json_number(line, "p50_ns").unwrap_or(0.0),
+                p99_ns: json_number(line, "p99_ns").unwrap_or(0.0),
+            })
+        })
+        .collect()
+}
+
+/// `rtcac bench-report`: diff two `BENCH_engine.json` files (as written
+/// by the `engine_throughput --bench-json` benchmark or `rtcac chaos
+/// --bench-json`), comparing per-worker ops/sec and p99 latency and
+/// flagging any figure more than 10% worse in the candidate.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] when either file cannot be read or
+/// holds no per-worker rounds.
+pub fn bench_report(baseline_path: &str, candidate_path: &str) -> Result<String, CliError> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Usage(format!("cannot read '{path}': {e}")))
+    };
+    let baseline_text = read(baseline_path)?;
+    let candidate_text = read(candidate_path)?;
+    let baseline = parse_bench_rounds(&baseline_text);
+    let candidate = parse_bench_rounds(&candidate_text);
+    if baseline.is_empty() || candidate.is_empty() {
+        return Err(CliError::Usage(
+            "no per-worker rounds found (expected line-oriented bench JSON with \
+             \"workers\" and \"ops_per_sec\" fields)"
+                .into(),
+        ));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench-report: {baseline_path} (baseline) vs {candidate_path} (candidate)"
+    );
+    let mut regressions = 0usize;
+    for base in &baseline {
+        let Some(cand) = candidate.iter().find(|c| c.workers == base.workers) else {
+            let _ = writeln!(out, "workers={}: missing from candidate", base.workers);
+            regressions += 1;
+            continue;
+        };
+        let ops_delta = (cand.ops_per_sec / base.ops_per_sec - 1.0) * 100.0;
+        let ops_flag = if ops_delta < -10.0 {
+            regressions += 1;
+            "  REGRESSION (>10% slower)"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "workers={}: ops/sec {:.0} -> {:.0} ({:+.1}%){}",
+            base.workers, base.ops_per_sec, cand.ops_per_sec, ops_delta, ops_flag
+        );
+        if base.p99_ns > 0.0 && cand.p99_ns > 0.0 {
+            let p99_delta = (cand.p99_ns / base.p99_ns - 1.0) * 100.0;
+            let p99_flag = if p99_delta > 10.0 {
+                regressions += 1;
+                "  REGRESSION (>10% slower)"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "workers={}: p99 {:.0}ns -> {:.0}ns ({:+.1}%){}",
+                base.workers, base.p99_ns, cand.p99_ns, p99_delta, p99_flag
+            );
+        }
+    }
+    for key in ["trace_ab", "obs_ab"] {
+        let deltas: Vec<Option<f64>> = [&baseline_text, &candidate_text]
+            .iter()
+            .map(|text| {
+                text.lines()
+                    .find(|l| l.contains(&format!("\"{key}\"")))
+                    .and_then(|l| json_number(l, "delta_percent"))
+            })
+            .collect();
+        if let (Some(base), Some(cand)) = (deltas[0], deltas[1]) {
+            let _ = writeln!(
+                out,
+                "{key} overhead: {base:+.1}% (baseline) -> {cand:+.1}% (candidate)"
+            );
+        }
+    }
+    let _ = writeln!(out, "regressions: {regressions}");
+    Ok(out)
 }
 
 /// `rtcac simulate`: admit the scenario, then measure it with greedy
@@ -925,6 +1269,9 @@ pub struct ChaosArgs {
     pub rate: u64,
     /// Optional metrics output path (Prometheus text, plus `.json`).
     pub metrics: Option<String>,
+    /// Optional bench JSON output path (`rtcac bench-report` input):
+    /// setups/sec of the churn plus reserve-phase p50/p99.
+    pub bench_json: Option<String>,
 }
 
 /// `rtcac chaos`: a seeded chaos session against the concurrent
@@ -960,6 +1307,7 @@ pub fn chaos(args: &ChaosArgs) -> Result<String, CliError> {
     );
     let plan = FaultPlan::random(engine.topology(), args.seed, args.steps, args.rate);
     let pairs = endpoint_pairs(engine.topology());
+    let started = std::time::Instant::now();
     let report = run_chaos(
         &engine,
         &pairs,
@@ -971,6 +1319,7 @@ pub fn chaos(args: &ChaosArgs) -> Result<String, CliError> {
         },
     )
     .map_err(CliError::domain)?;
+    let elapsed = started.elapsed().as_secs_f64();
 
     let mut out = String::new();
     let _ = writeln!(
@@ -990,6 +1339,22 @@ pub fn chaos(args: &ChaosArgs) -> Result<String, CliError> {
             out,
             "metrics: wrote {path} (prometheus) and {json_path} (json)"
         );
+    }
+    if let Some(path) = &args.bench_json {
+        let snapshot = registry.snapshot();
+        let (p50, p99) = snapshot
+            .histogram("engine_reserve_ns")
+            .map_or((0, 0), |h| (h.p50(), h.p99()));
+        let ops = report.stats.submitted as f64 / elapsed.max(1e-9);
+        let contents = format!(
+            "{{\"bench\":\"chaos\",\"seed\":{},\"steps\":{},\n\
+             \"rounds\":[\n\
+             {{\"workers\":1,\"ops_per_sec\":{ops:.1},\"p50_ns\":{p50},\"p99_ns\":{p99}}}\n\
+             ]}}\n",
+            args.seed, args.steps
+        );
+        write_metrics_file(path, &contents)?;
+        let _ = writeln!(out, "bench: wrote {path} (bench json)");
     }
     if !report.invariants_hold() {
         return Err(CliError::Domain(format!(
@@ -1366,6 +1731,7 @@ connect after route=up,main,down contract=cbr:1/8 delay=256
             steps: 100,
             rate: 30,
             metrics: Some(path_str.clone()),
+            bench_json: None,
         })
         .unwrap();
         assert!(out.contains("chaos: dual star-ring 6x1"), "{out}");
@@ -1387,6 +1753,7 @@ connect after route=up,main,down contract=cbr:1/8 delay=256
             steps: 100,
             rate: 30,
             metrics: None,
+            bench_json: None,
         };
         assert_eq!(chaos(&args).unwrap(), chaos(&args).unwrap());
 

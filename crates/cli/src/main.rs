@@ -26,8 +26,26 @@ USAGE:
       an orphaned-reservation audit; --metrics then writes the
       observability snapshot to PATH (Prometheus) and PATH.json.
 
+  rtcac trace SCENARIO_FILE [--engine] [--workers N] [--out PATH]
+      Replay the scenario with an always-sampling tracer and print the
+      causal span tree of every setup — queue wait, crankback attempts,
+      price/reserve/commit phases, per-hop admission events, and
+      reject-provenance events. With --engine the replay runs through
+      the concurrent sharded engine; with --out, the spans are also
+      written as Chrome trace_event JSON (chrome://tracing, Perfetto).
+
+  rtcac why SCENARIO_FILE CONNECTION_NAME
+      Replay the scenario serially and print the decision provenance of
+      one named connection: the per-hop ledger of computed Algorithm
+      4.1 bound vs deadline with CDV in/out, the refusing hop marked.
+
+  rtcac bench-report BASELINE.json CANDIDATE.json
+      Diff two bench JSON files (engine_throughput --bench-json or
+      rtcac chaos --bench-json): per-worker ops/sec and p99 latency,
+      flagging any figure more than 10% worse in the candidate.
+
   rtcac chaos [--nodes N] [--terminals N] [--seed N] [--steps N]
-              [--rate P] [--metrics PATH]
+              [--rate P] [--metrics PATH] [--bench-json PATH]
       Seeded chaos session on a dual star-ring: random link/node
       failures and repairs under live setup/release churn through the
       concurrent engine. Exits nonzero if any safety invariant breaks
@@ -132,6 +150,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let steps = flag_u64(&rest, "--steps")?.unwrap_or(200);
             let rate = flag_u64(&rest, "--rate")?.unwrap_or(25);
             let metrics = flag_value(&rest, "--metrics")?.map(str::to_owned);
+            let bench_json = flag_value(&rest, "--bench-json")?.map(str::to_owned);
             commands::chaos(&commands::ChaosArgs {
                 nodes,
                 terminals,
@@ -139,7 +158,38 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 steps,
                 rate,
                 metrics,
+                bench_json,
             })
+        }
+        Some("trace") => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError::Usage("trace needs a scenario file".into()))?;
+            let rest: Vec<&String> = it.collect();
+            let engine_mode = rest.iter().any(|a| a.as_str() == "--engine");
+            let workers = flag_u64(&rest, "--workers")?.unwrap_or(4) as usize;
+            let out = flag_value(&rest, "--out")?;
+            let scenario = load(path)?;
+            commands::trace(&scenario, engine_mode, workers, out)
+        }
+        Some("why") => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError::Usage("why needs a scenario file".into()))?;
+            let name = it
+                .next()
+                .ok_or_else(|| CliError::Usage("why needs a connection name".into()))?;
+            let scenario = load(path)?;
+            commands::why(&scenario, name)
+        }
+        Some("bench-report") => {
+            let baseline = it
+                .next()
+                .ok_or_else(|| CliError::Usage("bench-report needs a baseline file".into()))?;
+            let candidate = it
+                .next()
+                .ok_or_else(|| CliError::Usage("bench-report needs a candidate file".into()))?;
+            commands::bench_report(baseline, candidate)
         }
         Some("stats") => {
             let path = it

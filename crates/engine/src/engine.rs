@@ -7,11 +7,11 @@ use std::time::Instant;
 
 use rtcac_bitstream::Time;
 use rtcac_cac::{
-    AdmissionDecision, ConnectionId, HopDriver, PlannedHop, Priority, ReservationPlan,
-    ReserveOutcome, RoutePlan, SwitchConfig,
+    AdmissionDecision, AdmissionReport, AdmissionVerdict, ConnectionId, HopDriver, HopVerdict,
+    PlannedHop, Priority, ReservationPlan, ReserveOutcome, RoutePlan, SwitchConfig,
 };
 use rtcac_net::{LinkId, MulticastTree, NodeId, Route, Topology};
-use rtcac_obs::Registry;
+use rtcac_obs::{Registry, TraceCtx, Tracer};
 use rtcac_signaling::{CdvPolicy, SetupRejection, SetupRequest};
 
 use crate::metrics::EngineMetrics;
@@ -204,6 +204,9 @@ pub struct AdmissionEngine {
     next_id: AtomicU64,
     counters: Counters,
     metrics: EngineMetrics,
+    tracer: Tracer,
+    capture_reports: AtomicBool,
+    reports: Mutex<BTreeMap<ConnectionId, AdmissionReport>>,
     /// Test-only trap: a link to mark down after the reserve phase of
     /// the next setup, before the commit-time health re-check — lets
     /// tests inject a failure into the reserve→commit window
@@ -263,6 +266,9 @@ impl AdmissionEngine {
             next_id: AtomicU64::new(1),
             counters: Counters::default(),
             metrics,
+            tracer: Tracer::noop(),
+            capture_reports: AtomicBool::new(false),
+            reports: Mutex::new(BTreeMap::new()),
             #[cfg(test)]
             test_fail_after_reserve: Mutex::new(None),
         }
@@ -271,6 +277,86 @@ impl AdmissionEngine {
     /// The underlying topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// Installs a [`Tracer`]: subsequent setups emit causal spans
+    /// (queue wait, attempts, price/reserve/commit, per-hop events)
+    /// into its ring. The default noop tracer costs one branch per
+    /// instrumentation site. Exclusive access, so no setups are in
+    /// flight while the subscriber changes.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (noop unless
+    /// [`AdmissionEngine::set_tracer`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Turns decision-provenance capture on or off. While on, every
+    /// setup that reaches pricing stores its [`AdmissionReport`]
+    /// keyed by connection id (rejections included; a crankback's
+    /// final attempt wins). Off by default — under sustained load the
+    /// map would grow without bound.
+    pub fn set_capture_reports(&self, capture: bool) {
+        self.capture_reports.store(capture, Ordering::Relaxed);
+    }
+
+    /// The captured decision provenance of a setup, when
+    /// [`AdmissionEngine::set_capture_reports`] was on while it ran.
+    pub fn admission_report(&self, id: ConnectionId) -> Option<AdmissionReport> {
+        let reports = match self.reports.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        reports.get(&id).cloned()
+    }
+
+    /// Opens an admission trace tagged with the connection id and the
+    /// current fault epoch (free on a noop tracer). The pool calls
+    /// this at submission so the trace also covers the queue wait.
+    /// Unsampled contexts skip the tags — a rejection re-attaches them
+    /// in [`publish_report`](Self::publish_report) — so the sampled-out
+    /// hot path never formats strings or touches the health lock.
+    pub fn start_trace(&self, name: &'static str, id: ConnectionId) -> TraceCtx {
+        let mut ctx = self.tracer.start(name);
+        if ctx.is_sampled() {
+            ctx.attr("conn", id.to_string());
+            ctx.attr("fault_epoch", self.health_epoch().to_string());
+        }
+        ctx
+    }
+
+    /// Whether an outcome should force its trace into the ring (the
+    /// always-sample-on-reject rule).
+    pub fn outcome_rejects(outcome: &Result<EngineOutcome, EngineError>) -> bool {
+        !matches!(
+            outcome,
+            Ok(EngineOutcome::Admitted { .. } | EngineOutcome::Rerouted { .. })
+        )
+    }
+
+    /// Publishes a finished attempt's provenance: rejection summaries
+    /// go to the trace as `reject.provenance` events, and the full
+    /// report is stored when capture is on.
+    fn publish_report(&self, id: ConnectionId, report: AdmissionReport, ctx: &mut TraceCtx) {
+        if ctx.can_flush() && !report.is_admitted() {
+            if !ctx.is_sampled() {
+                // The trace skipped its tags at start (sampled-out hot
+                // path) but the rejection is about to force a flush.
+                ctx.attr("conn", id.to_string());
+                ctx.attr("fault_epoch", self.health_epoch().to_string());
+            }
+            ctx.event("reject.provenance", report.summary());
+        }
+        if self.capture_reports.load(Ordering::Relaxed) {
+            let mut reports = match self.reports.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            reports.insert(id, report);
+        }
     }
 
     /// The CDV accumulation policy in force.
@@ -397,9 +483,30 @@ impl AdmissionEngine {
         route: &Route,
         request: SetupRequest,
     ) -> Result<EngineOutcome, EngineError> {
+        let mut ctx = self.start_trace("engine.admit", id);
+        let result = self.admit_with_ctx(id, route, request, &mut ctx);
+        ctx.finish(Self::outcome_rejects(&result));
+        result
+    }
+
+    /// [`AdmissionEngine::admit_with_id`] under a caller-owned trace
+    /// context (the worker pool opens the trace at submission, so the
+    /// span tree covers the queue wait too). The caller finishes the
+    /// context.
+    ///
+    /// # Errors
+    ///
+    /// As [`AdmissionEngine::admit_with_id`].
+    pub fn admit_with_ctx(
+        &self,
+        id: ConnectionId,
+        route: &Route,
+        request: SetupRequest,
+        ctx: &mut TraceCtx,
+    ) -> Result<EngineOutcome, EngineError> {
         Counters::bump(&self.counters.submitted);
         self.metrics.submitted.inc();
-        let result = self.admit_routed(id, route, request);
+        let result = self.admit_routed(id, route, request, ctx);
         if result.is_err() {
             Counters::bump(&self.counters.errored);
             self.metrics.errored.inc();
@@ -447,7 +554,9 @@ impl AdmissionEngine {
         Counters::bump(&self.counters.mcast_submitted);
         self.metrics.submitted.inc();
         self.metrics.mcast_submitted.inc();
-        let result = self.admit_tree(id, tree, request);
+        let mut ctx = self.start_trace("engine.admit_multicast", id);
+        let result = self.admit_tree(id, tree, request, &mut ctx);
+        ctx.finish(Self::outcome_rejects(&result));
         if result.is_err() {
             Counters::bump(&self.counters.errored);
             self.metrics.errored.inc();
@@ -463,6 +572,7 @@ impl AdmissionEngine {
         id: ConnectionId,
         tree: &MulticastTree,
         request: SetupRequest,
+        ctx: &mut TraceCtx,
     ) -> Result<EngineOutcome, EngineError> {
         if self.draining.load(Ordering::Relaxed) {
             Counters::bump(&self.counters.rejected);
@@ -477,7 +587,7 @@ impl AdmissionEngine {
         }
         let plan = RoutePlan::from_tree(&self.topology, tree)?;
         let shape = EstablishedShape::Multicast(tree.clone());
-        match self.attempt_plan(id, &plan, request, &shape)? {
+        match self.attempt_plan(id, &plan, request, &shape, ctx)? {
             AttemptResult::Committed { guaranteed_delay } => {
                 Counters::bump(&self.counters.admitted);
                 Counters::bump(&self.counters.mcast_admitted);
@@ -537,6 +647,7 @@ impl AdmissionEngine {
         id: ConnectionId,
         route: &Route,
         request: SetupRequest,
+        ctx: &mut TraceCtx,
     ) -> Result<EngineOutcome, EngineError> {
         if self.draining.load(Ordering::Relaxed) {
             Counters::bump(&self.counters.rejected);
@@ -553,7 +664,13 @@ impl AdmissionEngine {
         let mut reroute_start = None;
         let mut current = route.clone();
         loop {
-            match self.admit_attempt(id, &current, request)? {
+            let attempt_span = ctx.begin("attempt");
+            if ctx.can_flush() && attempts > 0 {
+                ctx.attr("reroute_attempt", attempts.to_string());
+            }
+            let attempt = self.admit_attempt(id, &current, request, ctx);
+            ctx.end(attempt_span);
+            match attempt? {
                 AttemptResult::Committed { guaranteed_delay } => {
                     return Ok(if attempts == 0 {
                         Counters::bump(&self.counters.admitted);
@@ -667,10 +784,11 @@ impl AdmissionEngine {
         id: ConnectionId,
         route: &Route,
         request: SetupRequest,
+        ctx: &mut TraceCtx,
     ) -> Result<AttemptResult, EngineError> {
         let plan = RoutePlan::from_route(&self.topology, route)?;
         let shape = EstablishedShape::Unicast(route.clone());
-        self.attempt_plan(id, &plan, request, &shape)
+        self.attempt_plan(id, &plan, request, &shape, ctx)
     }
 
     /// One two-phase reserve/commit attempt of a shaped plan — the
@@ -683,12 +801,14 @@ impl AdmissionEngine {
         plan: &RoutePlan,
         request: SetupRequest,
         shape: &EstablishedShape,
+        ctx: &mut TraceCtx,
     ) -> Result<AttemptResult, EngineError> {
         // Health gate — a cheap refusal before any shard lock when the
         // transport is already known dead.
         {
             let health = self.lock_health();
             if let Some(link) = self.overlay_dead_link(shape.links(), &health)? {
+                ctx.event("reject.provenance", format!("route down at link {link}"));
                 return Ok(AttemptResult::RouteDead { link });
             }
         }
@@ -696,6 +816,7 @@ impl AdmissionEngine {
         // QoS feasibility gate and per-hop CDV — priced lock-free by
         // the core from the static per-node configurations: the
         // advertised bounds never change while setups are in flight.
+        let price_span = ctx.begin("price");
         let priced = ReservationPlan::price(
             plan,
             self.policy,
@@ -709,9 +830,42 @@ impl AdmissionEngine {
                     .map_err(EngineError::from)
             },
         )?;
+        ctx.end(price_span);
+        // Provenance rows are assembled during the walk only when
+        // someone is guaranteed to see them: a sampled trace, or a
+        // caller that switched report capture on. A live-but-unsampled
+        // trace pays nothing here — if the setup ends in a rejection
+        // (which forces the trace to flush), the rare reject path
+        // below reconstructs the ledger post-hoc.
+        let want_report = self.capture_reports.load(Ordering::Relaxed) || ctx.is_sampled();
+        let mut rows = if want_report {
+            priced.report_rows()
+        } else {
+            Vec::new()
+        };
         let achievable = priced.achievable();
         if request.delay_bound() < achievable {
             self.metrics.reject_qos.inc();
+            if want_report || ctx.can_flush() {
+                // Refused before the walk: every row is NotEvaluated,
+                // so the skeleton is the exact ledger either way.
+                let rows = if want_report {
+                    rows
+                } else {
+                    priced.report_rows()
+                };
+                self.publish_report(
+                    id,
+                    AdmissionReport::new(
+                        rows,
+                        AdmissionVerdict::RejectedQos {
+                            requested: request.delay_bound(),
+                            achievable,
+                        },
+                    ),
+                    ctx,
+                );
+            }
             return Ok(AttemptResult::Refused {
                 rejection: SetupRejection::QosUnsatisfiable {
                     requested: request.delay_bound(),
@@ -729,6 +883,7 @@ impl AdmissionEngine {
         // concurrent setups deadlock-free — then drive the core's
         // reserve walk leg by leg in plan order. A refusal rolls every
         // reserved leg back (phase 2, abort) before any lock drops.
+        let reserve_span = ctx.begin("reserve");
         let reserve_start = self.metrics.start();
         let mut guards = self.lock_route_shards(plan.hops().iter().map(|h| h.node))?;
         let pre_epochs: BTreeMap<NodeId, u64> = guards
@@ -744,20 +899,41 @@ impl AdmissionEngine {
             reserve_start,
             rollback_start: None,
         };
-        let outcome = priced.reserve(&mut driver)?;
+        let outcome = if want_report {
+            let trace_hops = ctx.is_sampled();
+            let mut hop_events: Vec<String> = Vec::new();
+            let outcome = priced.reserve_observed(&mut driver, |index, hop, decision| {
+                rows[index].record_decision(decision);
+                if trace_hops {
+                    hop_events.push(format!(
+                        "node {} out {} cdv {}: {}",
+                        hop.node, hop.out_link, hop.cdv, rows[index].verdict
+                    ));
+                }
+            })?;
+            for detail in hop_events {
+                ctx.event("hop", detail);
+            }
+            outcome
+        } else {
+            priced.reserve(&mut driver)?
+        };
         let (reserve_pending, rollback_start) = (driver.reserve_start, driver.rollback_start);
         self.record_cache_deltas(cache_before, &guards);
         match outcome {
             ReserveOutcome::Reserved => {
+                ctx.end(reserve_span);
                 self.metrics
                     .record_since(reserve_pending, &self.metrics.reserve_ns);
             }
             ReserveOutcome::Refused {
                 at,
+                index,
                 reason,
                 legs_rolled_back,
                 ..
             } => {
+                ctx.end(reserve_span);
                 if legs_rolled_back > 0 {
                     self.metrics
                         .record_since(rollback_start, &self.metrics.rollback_ns);
@@ -766,6 +942,29 @@ impl AdmissionEngine {
                     ));
                 }
                 self.metrics.reject_switch.inc();
+                if want_report || ctx.can_flush() {
+                    let rows = if want_report {
+                        rows
+                    } else {
+                        // The sampled-out walk ran without an observer;
+                        // rebuild the ledger for the forced reject
+                        // flush. Upstream verdicts are known (they
+                        // admitted), only their computed bounds were
+                        // not retained; the refusing hop's reason —
+                        // including its computed bound — is.
+                        let mut rows = priced.report_rows();
+                        for row in rows.iter_mut().take(index) {
+                            row.verdict = HopVerdict::Admitted;
+                        }
+                        rows[index].record_decision(&AdmissionDecision::Rejected(reason));
+                        rows
+                    };
+                    self.publish_report(
+                        id,
+                        AdmissionReport::new(rows, AdmissionVerdict::RejectedHop { at, index }),
+                        ctx,
+                    );
+                }
                 return Ok(AttemptResult::Refused {
                     rejection: SetupRejection::Switch {
                         at,
@@ -801,6 +1000,7 @@ impl AdmissionEngine {
         // is seen by exactly one side: either the health re-check here
         // observes it (and the reserve is rolled back), or the failure
         // path sees the committed registry entry (and tears it down).
+        let commit_span = ctx.begin("commit");
         let commit_start = self.metrics.start();
         {
             let mut registry = self.lock_registry();
@@ -819,6 +1019,11 @@ impl AdmissionEngine {
                     "conn {id}: link {link} failed between reserve and commit; rolled back {} hop(s)",
                     reserved.len()
                 ));
+                ctx.end(commit_span);
+                ctx.event(
+                    "commit.abort",
+                    format!("link {link} failed between reserve and commit"),
+                );
                 return Ok(AttemptResult::RouteDead { link });
             }
             registry.insert(
@@ -835,6 +1040,19 @@ impl AdmissionEngine {
         }
         self.metrics
             .record_since(commit_start, &self.metrics.commit_ns);
+        ctx.end(commit_span);
+        if want_report {
+            self.publish_report(
+                id,
+                AdmissionReport::new(
+                    rows,
+                    AdmissionVerdict::Admitted {
+                        guaranteed_delay: achievable,
+                    },
+                ),
+                ctx,
+            );
+        }
         Ok(AttemptResult::Committed {
             guaranteed_delay: achievable,
         })

@@ -6,6 +6,7 @@ use std::thread;
 
 use rtcac_cac::ConnectionId;
 use rtcac_net::Route;
+use rtcac_obs::{SpanId, TraceCtx};
 use rtcac_signaling::SetupRequest;
 
 use crate::{AdmissionEngine, EngineError, EngineOutcome};
@@ -15,6 +16,11 @@ struct Job {
     id: ConnectionId,
     route: Route,
     request: SetupRequest,
+    // The admission trace opens at submission so the span tree also
+    // covers the queue wait; the worker closes `queue_span` when it
+    // picks the job up.
+    ctx: TraceCtx,
+    queue_span: SpanId,
 }
 
 /// The completed result of one submitted setup.
@@ -89,10 +95,13 @@ impl EnginePool {
                         let rx = job_rx.lock().expect("job queue poisoned");
                         rx.recv()
                     };
-                    let Ok(job) = job else {
+                    let Ok(mut job) = job else {
                         break; // queue closed: pool is finishing
                     };
-                    let outcome = engine.admit_with_id(job.id, &job.route, job.request);
+                    job.ctx.end(job.queue_span);
+                    let outcome =
+                        engine.admit_with_ctx(job.id, &job.route, job.request, &mut job.ctx);
+                    job.ctx.finish(AdmissionEngine::outcome_rejects(&outcome));
                     if result_tx
                         .send(JobResult {
                             ticket: job.ticket,
@@ -126,6 +135,8 @@ impl EnginePool {
         let ticket = self.submitted;
         self.submitted += 1;
         let id = self.engine.allocate_id();
+        let mut ctx = self.engine.start_trace("engine.admit", id);
+        let queue_span = ctx.begin("pool.queue");
         self.job_tx
             .as_ref()
             .expect("pool not finished")
@@ -134,6 +145,8 @@ impl EnginePool {
                 id,
                 route,
                 request,
+                ctx,
+                queue_span,
             })
             .expect("a worker is alive");
         ticket

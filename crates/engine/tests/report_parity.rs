@@ -1,0 +1,123 @@
+//! Decision-provenance parity: for the same setup sequence over the
+//! same topology, the serial signaling walk and the sharded engine
+//! must produce *identical* [`AdmissionReport`]s — same per-hop rows
+//! (bound, deadline, CDV in/out, verdict) and same end-to-end verdict.
+//! Both assemble their rows through the shared
+//! `ReservationPlan::report_rows` / `HopRow::record_decision` seam, so
+//! any divergence means one driver walked the plan differently.
+//!
+//! The line topology has a single route per pair, so engine crankback
+//! cannot reroute and both sides evaluate exactly the same hops.
+
+use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract, VbrParams};
+use rtcac_cac::{AdmissionVerdict, ConnectionId, Priority, SwitchConfig};
+use rtcac_engine::AdmissionEngine;
+use rtcac_net::builders;
+use rtcac_obs::{Sampling, Tracer};
+use rtcac_rational::ratio;
+use rtcac_signaling::{CdvPolicy, Network, SetupRequest};
+
+fn cbr(num: i128, den: i128) -> TrafficContract {
+    TrafficContract::cbr(CbrParams::new(Rate::new(ratio(num, den))).unwrap())
+}
+
+fn vbr(peak: (i128, i128), sustained: (i128, i128), burst: u64) -> TrafficContract {
+    TrafficContract::vbr(
+        VbrParams::new(
+            Rate::new(ratio(peak.0, peak.1)),
+            Rate::new(ratio(sustained.0, sustained.1)),
+            burst,
+        )
+        .unwrap(),
+    )
+}
+
+#[test]
+fn engine_and_serial_reports_are_identical() {
+    let (topology, src, _switches, dst) = builders::line(3).unwrap();
+    let route = topology.shortest_route(src, dst).unwrap();
+    let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+
+    let mut network = Network::new(topology.clone(), config.clone(), CdvPolicy::Hard);
+    let engine = AdmissionEngine::new(topology, config, CdvPolicy::Hard);
+    engine.set_capture_reports(true);
+
+    // A mixed sequence ending in every reject flavor: admitted CBR and
+    // VBR, a long-run overload refused mid-walk, and a QoS-infeasible
+    // request refused at pricing.
+    let requests = [
+        SetupRequest::new(cbr(1, 4), Priority::HIGHEST, Time::from_integer(10_000)),
+        SetupRequest::new(
+            vbr((1, 8), (1, 16), 4),
+            Priority::HIGHEST,
+            Time::from_integer(10_000),
+        ),
+        SetupRequest::new(cbr(7, 8), Priority::HIGHEST, Time::from_integer(10_000)),
+        SetupRequest::new(cbr(1, 64), Priority::HIGHEST, Time::from_integer(1)),
+    ];
+
+    let mut verdicts = Vec::new();
+    for (k, request) in requests.iter().enumerate() {
+        let id = ConnectionId::new(k as u64 + 1);
+        network.setup_with_id(id, &route, *request).unwrap();
+        let serial = network
+            .last_admission_report()
+            .cloned()
+            .expect("serial report");
+        engine.admit_with_id(id, &route, *request).unwrap();
+        let concurrent = engine.admission_report(id).expect("engine report");
+        assert_eq!(serial, concurrent, "report diverged for setup {}", k + 1);
+        verdicts.push(concurrent.verdict);
+    }
+
+    assert!(matches!(verdicts[0], AdmissionVerdict::Admitted { .. }));
+    assert!(matches!(verdicts[1], AdmissionVerdict::Admitted { .. }));
+    assert!(
+        matches!(verdicts[2], AdmissionVerdict::RejectedHop { .. }),
+        "overload must refuse mid-walk, got {:?}",
+        verdicts[2]
+    );
+    assert!(matches!(verdicts[3], AdmissionVerdict::RejectedQos { .. }));
+}
+
+#[test]
+fn rejects_always_flush_a_trace_with_provenance() {
+    let (topology, src, _switches, dst) = builders::line(2).unwrap();
+    let route = topology.shortest_route(src, dst).unwrap();
+    let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+
+    let mut engine = AdmissionEngine::new(topology, config, CdvPolicy::Hard);
+    let tracer = Tracer::new(Sampling::RejectsOnly);
+    engine.set_tracer(tracer.clone());
+
+    // Admitted setups are sampled out: nothing reaches the ring.
+    let fits = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(10_000));
+    assert!(engine.admit(&route, fits).unwrap().is_admitted());
+    assert_eq!(tracer.recorded(), 0);
+
+    // A rejection forces its whole trace to flush, carrying the
+    // connection id and the reject.provenance event even though the
+    // trace was never sampled.
+    let too_big = SetupRequest::new(cbr(9, 10), Priority::HIGHEST, Time::from_integer(10_000));
+    let outcome = engine.admit(&route, too_big).unwrap();
+    assert!(!outcome.is_admitted());
+
+    let spans = tracer.snapshot();
+    assert!(!spans.is_empty(), "rejected trace must flush");
+    let root = spans.iter().find(|s| s.name == "engine.admit").unwrap();
+    assert!(
+        root.attrs.iter().any(|(k, _)| *k == "conn"),
+        "forced reject flush must carry the connection id, got {:?}",
+        root.attrs
+    );
+    let provenance = spans
+        .iter()
+        .find(|s| s.name == "reject.provenance")
+        .expect("reject.provenance event");
+    assert_eq!(provenance.parent, Some(root.span));
+    assert!(
+        provenance.attrs.iter().any(|(_, v)| v.contains("REJECTED")),
+        "provenance detail must name the refusal, got {:?}",
+        provenance.attrs
+    );
+}

@@ -182,30 +182,52 @@ pub fn run_chaos(
     let mut cursor = 0usize;
     let mut report = ChaosReport::default();
     for step in 0..config.steps {
-        // Replay every fault event due at this step.
+        // Replay every fault event due at this step. Each replayed
+        // event gets its own span tagged with the fault epoch before
+        // and after, so admission traces (which carry `fault_epoch`)
+        // can be correlated with the fault that bracketed them.
         while cursor < plan.events().len() && plan.events()[cursor].0 <= step {
             let (_, event) = plan.events()[cursor];
             cursor += 1;
+            let mut ctx = engine.tracer().start("chaos.fault");
+            if ctx.is_live() {
+                ctx.attr("step", step.to_string());
+                ctx.attr("fault_epoch", engine.health_epoch().to_string());
+            }
             match event {
                 FaultEvent::LinkDown(link) => {
                     let impact = engine.fail_link(link)?;
                     report.link_failures += u64::from(impact.is_changed());
                     report.torn_down += impact.torn_down().len() as u64;
                     live.retain(|id| !impact.torn_down().contains(id));
+                    ctx.event(
+                        "fault",
+                        format!("link {link} down: tore down {}", impact.torn_down().len()),
+                    );
                 }
                 FaultEvent::LinkUp(link) => {
                     report.link_heals += u64::from(engine.heal_link(link)?);
+                    ctx.event("fault", format!("link {link} up"));
                 }
                 FaultEvent::NodeDown(node) => {
                     let impact = engine.fail_node(node)?;
                     report.node_failures += u64::from(impact.is_changed());
                     report.torn_down += impact.torn_down().len() as u64;
                     live.retain(|id| !impact.torn_down().contains(id));
+                    ctx.event(
+                        "fault",
+                        format!("node {node} down: tore down {}", impact.torn_down().len()),
+                    );
                 }
                 FaultEvent::NodeUp(node) => {
                     report.node_heals += u64::from(engine.heal_node(node)?);
+                    ctx.event("fault", format!("node {node} up"));
                 }
             }
+            if ctx.is_live() {
+                ctx.attr("fault_epoch_after", engine.health_epoch().to_string());
+            }
+            ctx.finish(false);
             report.orphan_violations += engine.orphaned_reservations().len() as u64;
         }
 

@@ -11,6 +11,9 @@ use crate::ring::Event;
 pub struct EventsSnapshot {
     /// Retained events in sequence order.
     pub events: Vec<Event>,
+    /// Every record ever submitted to the ring (retained, dropped,
+    /// or evicted) — the denominator that makes loss visible.
+    pub recorded: u64,
     /// Records lost to shard contention.
     pub dropped: u64,
     /// Records overwritten in full shards.
@@ -77,6 +80,19 @@ impl Snapshot {
         self.histograms
             .iter()
             .find(|(id, _)| id.name() == name && id.labels().is_empty())
+            .map(|(_, h)| h)
+    }
+
+    /// The snapshot of the histogram `name` with exactly these labels
+    /// (order-insensitive), if present.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(id, _)| id.name() == name && labels_match(id, labels))
             .map(|(_, h)| h)
     }
 
@@ -166,11 +182,7 @@ impl Snapshot {
             );
         }
         let _ = writeln!(out, "# TYPE obs_events_recorded counter");
-        let _ = writeln!(
-            out,
-            "obs_events_recorded {}",
-            self.events.dropped + self.events.evicted + self.events.events.len() as u64
-        );
+        let _ = writeln!(out, "obs_events_recorded {}", self.events.recorded);
         let _ = writeln!(out, "# TYPE obs_events_dropped counter");
         let _ = writeln!(out, "obs_events_dropped {}", self.events.dropped);
         let _ = writeln!(out, "# TYPE obs_events_evicted counter");
@@ -228,8 +240,8 @@ impl Snapshot {
         }
         let _ = write!(
             out,
-            "}},\"events\":{{\"dropped\":{},\"evicted\":{},\"entries\":[",
-            self.events.dropped, self.events.evicted
+            "}},\"events\":{{\"recorded\":{},\"dropped\":{},\"evicted\":{},\"entries\":[",
+            self.events.recorded, self.events.dropped, self.events.evicted
         );
         for (i, e) in self.events.events.iter().enumerate() {
             if i > 0 {
@@ -297,7 +309,7 @@ fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
 }
 
 /// JSON string literal with escaping.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -386,5 +398,49 @@ mod tests {
         r.counter("engine.setups.total").inc();
         let text = r.snapshot().to_prometheus();
         assert!(text.contains("engine_setups_total 1"));
+    }
+
+    #[test]
+    fn recorded_counts_survive_drops_and_evictions() {
+        let r = Registry::with_event_capacity(1, 2);
+        for i in 0..5 {
+            r.events().record("tick", format!("n={i}"));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.events.recorded, 5);
+        assert_eq!(snap.events.evicted, 3);
+        assert_eq!(snap.events.events.len(), 2);
+        let text = snap.to_prometheus();
+        assert!(text.contains("obs_events_recorded 5"));
+        assert!(text.contains("obs_events_evicted 3"));
+        assert!(snap.to_json().contains("\"recorded\":5"));
+    }
+
+    // Scrape-side mean — rate(sum)/rate(count) — must agree exactly
+    // with `HistogramSnapshot::mean`, so round-trip the values through
+    // the rendered Prometheus text.
+    #[test]
+    fn prometheus_sum_round_trips_against_mean() {
+        let r = Registry::new();
+        let h = r.histogram("roundtrip_ns");
+        for v in [3u64, 17, 250, 999, 4096] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let text = snap.to_prometheus();
+        let value_of = |series: &str| -> u64 {
+            text.lines()
+                .find(|l| l.starts_with(series))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("series {series} missing from exposition"))
+        };
+        let sum = value_of("roundtrip_ns_sum");
+        let count = value_of("roundtrip_ns_count");
+        assert_eq!(sum, 3 + 17 + 250 + 999 + 4096);
+        assert_eq!(count, 5);
+        let scraped_mean = sum as f64 / count as f64;
+        let direct_mean = snap.histogram("roundtrip_ns").unwrap().mean();
+        assert!((scraped_mean - direct_mean).abs() < f64::EPSILON);
     }
 }

@@ -18,6 +18,11 @@
 //! * [`Snapshot`] — a point-in-time view of everything, rendered as
 //!   Prometheus text ([`Snapshot::to_prometheus`]) or JSON
 //!   ([`Snapshot::to_json`]).
+//! * [`Tracer`] / [`TraceCtx`] — causal tracing: per-admission
+//!   trace/span contexts with deterministic sampling
+//!   ([`Sampling`]), flushed into a lock-sharded span ring and
+//!   exported as Chrome `trace_event` JSON ([`chrome_trace`]) or an
+//!   indented text tree ([`render_spans`]).
 //!
 //! # The no-op default
 //!
@@ -53,12 +58,16 @@ mod histogram;
 mod registry;
 mod ring;
 mod span;
+mod trace;
 
 pub use expo::{EventsSnapshot, Snapshot};
 pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKET_COUNT};
 pub use registry::{Counter, Gauge, MetricId, Registry};
 pub use ring::{Event, EventRing};
 pub use span::Span;
+pub use trace::{
+    chrome_trace, render_spans, Sampling, SpanId, SpanRecord, TraceCtx, TraceId, Tracer,
+};
 
 use std::sync::{Arc, OnceLock};
 

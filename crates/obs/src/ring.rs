@@ -109,6 +109,7 @@ impl EventRing {
         events.sort_by_key(|e| e.seq);
         crate::EventsSnapshot {
             events,
+            recorded: self.recorded(),
             dropped: self.dropped(),
             evicted: self.evicted(),
         }

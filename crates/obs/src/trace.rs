@@ -1,0 +1,795 @@
+//! Causal tracing: trace/span contexts, a lock-sharded span ring with
+//! deterministic sampling, and Chrome `trace_event` export.
+//!
+//! A [`Tracer`] hands out one [`TraceCtx`] per admission attempt. The
+//! context buffers its spans locally (a single worker owns one
+//! admission, so no synchronization is needed while the trace is
+//! open) and flushes the whole trace into the sharded ring at
+//! [`TraceCtx::finish`] — but only when the trace is sampled or ended
+//! in a rejection, which makes `SampleEvery(n)` deterministic and
+//! rejections always visible without any cross-thread coordination.
+//!
+//! The disabled form follows the same noop discipline as
+//! [`Counter`](crate::Counter): a [`Tracer::noop`] is a `None` behind
+//! one branch, so an instrumented hot path that runs without a
+//! subscriber pays a single predictable-false test per call site and
+//! never reads the clock.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::expo::json_string;
+use crate::{Histogram, Registry};
+
+/// Identifies one admission attempt end to end. Display form `t<n>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Wraps a raw trace number.
+    pub fn new(raw: u64) -> TraceId {
+        TraceId(raw)
+    }
+
+    /// The raw trace number.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifies one span within the tracer's lifetime. Display form
+/// `s<n>`. Id `0` is the noop span returned by a disabled context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The id a disabled context hands out; ending it is a no-op.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Wraps a raw span number.
+    pub fn new(raw: u64) -> SpanId {
+        SpanId(raw)
+    }
+
+    /// The raw span number.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Which traces are retained in the ring. Rejected admissions are
+/// *always* retained regardless of the policy — the trace you need is
+/// the one that refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sampling {
+    /// Keep every trace.
+    Always,
+    /// Keep every n-th trace (deterministic: trace sequence number
+    /// modulo `n`), plus every rejection.
+    SampleEvery(u64),
+    /// Keep only rejections — the cheapest *live* setting. Each
+    /// rejection pays the full flush (attributes, provenance event,
+    /// ring insert), so its cost is proportional to the reject rate.
+    RejectsOnly,
+    /// Tracing hard-off: nothing ever reaches the ring, not even
+    /// rejections. Without a registry link, [`Tracer::start`] hands
+    /// out a disabled context, so an installed-but-off tracer costs
+    /// the same single branch per site as [`Tracer::noop`] — this is
+    /// the "sampling off" arm of the A/B throughput bench.
+    Never,
+}
+
+impl Sampling {
+    /// Whether the trace with sequence number `seq` is sampled
+    /// (rejections are retained independently of this, except under
+    /// [`Sampling::Never`]).
+    fn samples(self, seq: u64) -> bool {
+        match self {
+            Sampling::Always => true,
+            Sampling::SampleEvery(n) => n != 0 && seq.is_multiple_of(n),
+            Sampling::RejectsOnly | Sampling::Never => false,
+        }
+    }
+
+    /// Whether a rejection forces an unsampled trace to flush.
+    fn retains_rejects(self) -> bool {
+        !matches!(self, Sampling::Never)
+    }
+}
+
+/// One closed span: a named interval of a trace with causal parentage
+/// and key=value attributes. Timestamps are nanoseconds since the
+/// owning tracer's epoch, so every span of one tracer shares a
+/// timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub span: SpanId,
+    /// The causally enclosing span, `None` for a trace root.
+    pub parent: Option<SpanId>,
+    /// The operation name (e.g. `engine.admit`, `price`, `reserve`).
+    pub name: &'static str,
+    /// Begin timestamp, ns since the tracer epoch.
+    pub begin_ns: u64,
+    /// End timestamp, ns since the tracer epoch (`>= begin_ns`).
+    pub end_ns: u64,
+    /// Key=value attributes attached while the span was open.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+impl SpanRecord {
+    /// The span's duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.begin_ns
+    }
+}
+
+/// The lock-sharded bounded span store. A whole trace flushes into a
+/// single shard (chosen by trace id), so one trace's spans are never
+/// interleaved with another's within a shard; a contended shard drops
+/// the flush rather than blocking the admission path.
+#[derive(Debug)]
+struct SpanRing {
+    shards: Vec<Mutex<VecDeque<SpanRecord>>>,
+    per_shard: usize,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl SpanRing {
+    fn new(shards: usize, per_shard: usize) -> SpanRing {
+        let shards = shards.max(1);
+        SpanRing {
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            per_shard: per_shard.max(1),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    fn flush(&self, trace: TraceId, spans: Vec<SpanRecord>) {
+        if spans.is_empty() {
+            return;
+        }
+        self.recorded
+            .fetch_add(spans.len() as u64, Ordering::Relaxed);
+        let shard = &self.shards[(trace.get() as usize) % self.shards.len()];
+        match shard.try_lock() {
+            Ok(mut queue) => {
+                for span in spans {
+                    if queue.len() == self.per_shard {
+                        queue.pop_front();
+                        self.evicted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    queue.push_back(span);
+                }
+            }
+            Err(_) => {
+                self.dropped
+                    .fetch_add(spans.len() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        for shard in &self.shards {
+            match shard.lock() {
+                Ok(queue) => spans.extend(queue.iter().cloned()),
+                Err(poisoned) => spans.extend(poisoned.into_inner().iter().cloned()),
+            }
+        }
+        spans.sort_by_key(|s| (s.trace, s.begin_ns, s.span));
+        spans
+    }
+}
+
+#[derive(Debug)]
+struct TracerCore {
+    epoch: Instant,
+    sampling: Sampling,
+    next_trace: AtomicU64,
+    ring: SpanRing,
+    /// When set, every ended span's duration also lands in the
+    /// registry histogram `trace_span_ns{span="<name>"}` — span
+    /// timings feed the same aggregates as explicit histograms.
+    registry: Option<Arc<Registry>>,
+    durations: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl TracerCore {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn duration_histogram(&self, name: &'static str) -> Option<Histogram> {
+        let registry = self.registry.as_ref()?;
+        let mut cache = match self.durations.lock() {
+            Ok(cache) => cache,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Some(
+            cache
+                .entry(name)
+                .or_insert_with(|| registry.histogram_with("trace_span_ns", &[("span", name)]))
+                .clone(),
+        )
+    }
+}
+
+/// The subscriber handle instrumented code holds. Cloning shares the
+/// underlying ring; the [`noop`](Tracer::noop) form costs one branch
+/// per instrumentation site and is the `Default`.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer(Option<Arc<TracerCore>>);
+
+/// Default ring geometry: 8 shards × 2048 spans.
+const DEFAULT_SHARDS: usize = 8;
+const DEFAULT_PER_SHARD: usize = 2048;
+
+impl Tracer {
+    /// A disabled tracer: every operation is a no-op behind one branch.
+    pub fn noop() -> Tracer {
+        Tracer(None)
+    }
+
+    /// A live tracer with the default ring geometry.
+    pub fn new(sampling: Sampling) -> Tracer {
+        Tracer::with_capacity(sampling, DEFAULT_SHARDS, DEFAULT_PER_SHARD)
+    }
+
+    /// A live tracer with an explicit ring geometry (`shards` mutex
+    /// shards of `per_shard` retained spans each).
+    pub fn with_capacity(sampling: Sampling, shards: usize, per_shard: usize) -> Tracer {
+        Tracer(Some(Arc::new(TracerCore {
+            epoch: Instant::now(),
+            sampling,
+            next_trace: AtomicU64::new(0),
+            ring: SpanRing::new(shards, per_shard),
+            registry: None,
+            durations: Mutex::new(BTreeMap::new()),
+        })))
+    }
+
+    /// A live tracer that additionally records every ended span's
+    /// duration into `registry` as `trace_span_ns{span="<name>"}`.
+    pub fn with_registry(sampling: Sampling, registry: Arc<Registry>) -> Tracer {
+        Tracer(Some(Arc::new(TracerCore {
+            epoch: Instant::now(),
+            sampling,
+            next_trace: AtomicU64::new(0),
+            ring: SpanRing::new(DEFAULT_SHARDS, DEFAULT_PER_SHARD),
+            registry: Some(registry),
+            durations: Mutex::new(BTreeMap::new()),
+        })))
+    }
+
+    /// Whether a subscriber is installed.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Opens a new trace whose root span is named `name`. On a noop
+    /// tracer this returns a disabled context without reading the
+    /// clock.
+    pub fn start(&self, name: &'static str) -> TraceCtx {
+        let Some(core) = &self.0 else {
+            return TraceCtx(None);
+        };
+        if core.sampling == Sampling::Never && core.registry.is_none() {
+            // Hard-off: no trace from this tracer can ever be seen, so
+            // don't even mint an id — the context is disabled and every
+            // operation on it is the same one-branch noop as a
+            // [`Tracer::noop`] context.
+            return TraceCtx(None);
+        }
+        let seq = core.next_trace.fetch_add(1, Ordering::Relaxed);
+        let trace = TraceId::new(seq + 1);
+        let sampled = core.sampling.samples(seq);
+        // An unsampled context only flushes if the admission ends in a
+        // rejection, and that flush carries the root span plus the
+        // reject-path events — child spans would be thrown away, so it
+        // skips their bookkeeping entirely unless a registry link
+        // wants every span's duration.
+        let record_spans = sampled || core.registry.is_some();
+        let mut ctx = TraceCtx(Some(CtxInner {
+            core: Arc::clone(core),
+            trace,
+            sampled,
+            record_spans,
+            next_span: 0,
+            done: if record_spans {
+                Vec::with_capacity(8)
+            } else {
+                Vec::new()
+            },
+            open: Vec::with_capacity(4),
+        }));
+        ctx.begin(name);
+        ctx
+    }
+
+    /// Spans ever flushed toward the ring (retained, evicted, or
+    /// dropped).
+    pub fn recorded(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.ring.recorded.load(Ordering::Relaxed))
+    }
+
+    /// Spans lost because their shard was contended at flush time.
+    pub fn dropped(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.ring.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Spans displaced by newer ones in a full shard.
+    pub fn evicted(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.ring.evicted.load(Ordering::Relaxed))
+    }
+
+    /// The retained spans, ordered by (trace, begin, span).
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.0.as_ref().map_or_else(Vec::new, |c| c.ring.snapshot())
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    span: SpanId,
+    parent: Option<SpanId>,
+    name: &'static str,
+    begin_ns: u64,
+    attrs: Vec<(&'static str, String)>,
+}
+
+/// Span-id partitioning: each trace owns the id block
+/// `trace_id << SPAN_BLOCK_BITS ..`, so contexts mint span ids from a
+/// plain per-context counter — no shared atomic on the begin/end hot
+/// path. Trace ids start at 1, so no block collides with
+/// [`SpanId::NONE`] (id 0); a trace overflowing its 2^20-id block
+/// would need a million spans, far beyond what the ring retains.
+const SPAN_BLOCK_BITS: u32 = 20;
+
+#[derive(Debug)]
+struct CtxInner {
+    core: Arc<TracerCore>,
+    trace: TraceId,
+    sampled: bool,
+    /// Whether child spans are worth buffering: the trace is sampled
+    /// (it will flush) or a registry link records every span's
+    /// duration. When false, [`TraceCtx::begin`] hands out
+    /// [`SpanId::NONE`] for children — only the root span, attributes,
+    /// and events survive into a forced reject flush.
+    record_spans: bool,
+    next_span: u64,
+    done: Vec<SpanRecord>,
+    open: Vec<OpenSpan>,
+}
+
+impl CtxInner {
+    fn mint_span(&mut self) -> SpanId {
+        let span = SpanId::new((self.trace.get() << SPAN_BLOCK_BITS) | self.next_span);
+        self.next_span += 1;
+        span
+    }
+
+    fn close_top(&mut self, end_ns: u64) {
+        let Some(top) = self.open.pop() else { return };
+        if let Some(histogram) = self.core.duration_histogram(top.name) {
+            histogram.record(end_ns.saturating_sub(top.begin_ns));
+        }
+        self.done.push(SpanRecord {
+            trace: self.trace,
+            span: top.span,
+            parent: top.parent,
+            name: top.name,
+            begin_ns: top.begin_ns,
+            end_ns,
+            attrs: top.attrs,
+        });
+    }
+}
+
+/// One in-flight trace: the per-admission context instrumented code
+/// threads along. Spans form a stack — [`begin`](TraceCtx::begin)
+/// opens a child of the innermost open span, [`end`](TraceCtx::end)
+/// closes back down to (and including) the named span. Dropping the
+/// context finishes it as non-rejected.
+#[derive(Debug, Default)]
+pub struct TraceCtx(Option<CtxInner>);
+
+impl TraceCtx {
+    /// A disabled context (what a noop tracer's `start` returns).
+    pub fn noop() -> TraceCtx {
+        TraceCtx(None)
+    }
+
+    /// Whether this context belongs to a live tracer.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Whether this trace is already known to flush (deterministic
+    /// sampling chose it). A live-but-unsampled context still buffers
+    /// spans — a rejection at the end forces the flush — so callers
+    /// should gate *expensive* annotations (formatted attributes,
+    /// per-hop event strings) on this rather than on
+    /// [`is_live`](TraceCtx::is_live), and attach reject-only detail
+    /// on the rejection path itself.
+    pub fn is_sampled(&self) -> bool {
+        self.0.as_ref().is_some_and(|inner| inner.sampled)
+    }
+
+    /// Whether this trace can still reach the ring: it is sampled, or
+    /// its policy retains rejections and a rejection at finish would
+    /// force the flush. Reject-path detail (provenance events,
+    /// re-attached attributes) should be gated on this rather than on
+    /// [`is_live`](TraceCtx::is_live) — a context for which this is
+    /// false can never surface it.
+    pub fn can_flush(&self) -> bool {
+        self.0
+            .as_ref()
+            .is_some_and(|inner| inner.sampled || inner.core.sampling.retains_rejects())
+    }
+
+    /// The trace id, when live.
+    pub fn trace(&self) -> Option<TraceId> {
+        self.0.as_ref().map(|inner| inner.trace)
+    }
+
+    /// Opens a child span of the innermost open span. Returns
+    /// [`SpanId::NONE`] on a disabled context, and for non-root spans
+    /// of an unsampled context with no registry link — such a span
+    /// could never be seen, so its bookkeeping is skipped (ending a
+    /// [`SpanId::NONE`] is a no-op).
+    pub fn begin(&mut self, name: &'static str) -> SpanId {
+        let Some(inner) = &mut self.0 else {
+            return SpanId::NONE;
+        };
+        if !inner.record_spans && !inner.open.is_empty() {
+            return SpanId::NONE;
+        }
+        let span = inner.mint_span();
+        let parent = inner.open.last().map(|s| s.span);
+        let begin_ns = inner.core.now_ns();
+        inner.open.push(OpenSpan {
+            span,
+            parent,
+            name,
+            begin_ns,
+            attrs: Vec::new(),
+        });
+        span
+    }
+
+    /// Closes `span`, plus any spans opened inside it that are still
+    /// open. Unknown (or [`SpanId::NONE`]) ids are ignored.
+    pub fn end(&mut self, span: SpanId) {
+        let Some(inner) = &mut self.0 else { return };
+        let Some(position) = inner.open.iter().rposition(|s| s.span == span) else {
+            return;
+        };
+        let end_ns = inner.core.now_ns();
+        while inner.open.len() > position {
+            inner.close_top(end_ns);
+        }
+    }
+
+    /// Attaches a key=value attribute to the innermost open span.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<String>) {
+        let Some(inner) = &mut self.0 else { return };
+        if let Some(top) = inner.open.last_mut() {
+            top.attrs.push((key, value.into()));
+        }
+    }
+
+    /// Records an instantaneous event: a zero-length child span of the
+    /// innermost open span carrying `detail` as its sole attribute.
+    pub fn event(&mut self, name: &'static str, detail: impl Into<String>) {
+        let Some(inner) = &mut self.0 else { return };
+        let span = inner.mint_span();
+        let parent = inner.open.last().map(|s| s.span);
+        let now = inner.core.now_ns();
+        inner.done.push(SpanRecord {
+            trace: inner.trace,
+            span,
+            parent,
+            name,
+            begin_ns: now,
+            end_ns: now,
+            attrs: vec![("detail", detail.into())],
+        });
+    }
+
+    /// Closes every open span and flushes the trace to the ring iff it
+    /// is sampled or `reject` is set (rejections are always retained).
+    pub fn finish(mut self, reject: bool) {
+        self.finish_inner(reject);
+    }
+
+    fn finish_inner(&mut self, reject: bool) {
+        let Some(mut inner) = self.0.take() else {
+            return;
+        };
+        let force = reject && inner.core.sampling.retains_rejects();
+        if !inner.sampled && !force && inner.core.registry.is_none() {
+            // Nothing can flush and no registry wants durations: skip
+            // the close bookkeeping (and its clock read) entirely.
+            return;
+        }
+        let end_ns = inner.core.now_ns();
+        while !inner.open.is_empty() {
+            inner.close_top(end_ns);
+        }
+        if inner.sampled || force {
+            let spans = std::mem::take(&mut inner.done);
+            inner.core.ring.flush(inner.trace, spans);
+        }
+    }
+}
+
+impl Drop for TraceCtx {
+    fn drop(&mut self) {
+        self.finish_inner(false);
+    }
+}
+
+/// Renders spans as Chrome `trace_event` JSON (the array-of-complete-
+/// events form), loadable in `chrome://tracing` and Perfetto.
+/// Timestamps convert to microseconds; each trace maps to one `tid`,
+/// so traces stack as separate tracks.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (k, span) in spans.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let ts = span.begin_ns as f64 / 1000.0;
+        let dur = span.duration_ns() as f64 / 1000.0;
+        out.push_str(&format!(
+            "{{\"name\":{},\"cat\":\"rtcac\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"trace\":{},\"span\":{}",
+            json_string(span.name),
+            span.trace.get(),
+            json_string(&span.trace.to_string()),
+            json_string(&span.span.to_string()),
+        ));
+        if let Some(parent) = span.parent {
+            out.push_str(&format!(",\"parent\":{}", json_string(&parent.to_string())));
+        }
+        for (key, value) in &span.attrs {
+            out.push_str(&format!(",{}:{}", json_string(key), json_string(value)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders spans as an indented human-readable tree, one block per
+/// trace, children nested under their parents in causal order.
+pub fn render_spans(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    let mut index = 0;
+    while index < spans.len() {
+        let trace = spans[index].trace;
+        let end = spans[index..]
+            .iter()
+            .position(|s| s.trace != trace)
+            .map_or(spans.len(), |offset| index + offset);
+        let group = &spans[index..end];
+        out.push_str(&format!("trace {trace} ({} spans)\n", group.len()));
+        for root in group
+            .iter()
+            .filter(|s| s.parent.is_none() || !group.iter().any(|p| Some(p.span) == s.parent))
+        {
+            render_one(root, group, 1, &mut out);
+        }
+        index = end;
+    }
+    out
+}
+
+fn render_one(span: &SpanRecord, group: &[SpanRecord], depth: usize, out: &mut String) {
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&format!(
+        "{} {:.1}us..{:.1}us",
+        span.name,
+        span.begin_ns as f64 / 1000.0,
+        span.end_ns as f64 / 1000.0
+    ));
+    for (key, value) in &span.attrs {
+        out.push_str(&format!(" {key}={value}"));
+    }
+    out.push('\n');
+    for child in group.iter().filter(|s| s.parent == Some(span.span)) {
+        render_one(child, group, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_tracer_is_inert() {
+        let tracer = Tracer::noop();
+        assert!(!tracer.is_live());
+        let mut ctx = tracer.start("root");
+        assert!(!ctx.is_live());
+        assert_eq!(ctx.begin("child"), SpanId::NONE);
+        ctx.attr("k", "v");
+        ctx.event("e", "d");
+        ctx.finish(true);
+        assert_eq!(tracer.snapshot().len(), 0);
+        assert_eq!(tracer.recorded(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_flush_in_causal_order() {
+        let tracer = Tracer::new(Sampling::Always);
+        let mut ctx = tracer.start("root");
+        ctx.attr("conn", "vc1");
+        let price = ctx.begin("price");
+        ctx.end(price);
+        let reserve = ctx.begin("reserve");
+        ctx.event("hop", "node 1 admitted");
+        ctx.end(reserve);
+        ctx.finish(false);
+
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 4);
+        let root = spans.iter().find(|s| s.name == "root").unwrap();
+        assert_eq!(root.parent, None);
+        assert_eq!(root.attrs, vec![("conn", "vc1".to_string())]);
+        let hop = spans.iter().find(|s| s.name == "hop").unwrap();
+        let reserve = spans.iter().find(|s| s.name == "reserve").unwrap();
+        assert_eq!(hop.parent, Some(reserve.span));
+        assert_eq!(reserve.parent, Some(root.span));
+        for span in &spans {
+            assert!(span.end_ns >= span.begin_ns);
+        }
+        assert!(root.end_ns >= reserve.end_ns);
+    }
+
+    #[test]
+    fn sample_every_n_is_deterministic_and_rejects_always_flush() {
+        let tracer = Tracer::new(Sampling::SampleEvery(3));
+        for k in 0..9 {
+            let ctx = tracer.start("root");
+            ctx.finish(false);
+            let _ = k;
+        }
+        // Traces 0, 3, 6 of the nine are sampled.
+        assert_eq!(tracer.snapshot().len(), 3);
+
+        let rejects = Tracer::new(Sampling::RejectsOnly);
+        rejects.start("admitted").finish(false);
+        rejects.start("rejected").finish(true);
+        let spans = rejects.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "rejected");
+    }
+
+    #[test]
+    fn never_sampling_is_hard_off() {
+        let tracer = Tracer::new(Sampling::Never);
+        assert!(tracer.is_live());
+        let ctx = tracer.start("root");
+        assert!(!ctx.is_live());
+        assert!(!ctx.can_flush());
+        ctx.finish(true); // even a rejection records nothing
+        assert_eq!(tracer.recorded(), 0);
+        assert_eq!(tracer.snapshot().len(), 0);
+
+        // A registry link still measures durations without retaining
+        // any spans in the ring.
+        let registry = Arc::new(Registry::new());
+        let linked = Tracer::with_registry(Sampling::Never, Arc::clone(&registry));
+        let mut ctx = linked.start("root");
+        assert!(ctx.is_live());
+        assert!(!ctx.can_flush());
+        let child = ctx.begin("price");
+        ctx.end(child);
+        ctx.finish(true);
+        assert_eq!(linked.recorded(), 0);
+        let snapshot = registry.snapshot();
+        let price = snapshot.histogram_with("trace_span_ns", &[("span", "price")]);
+        assert_eq!(price.map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn unbalanced_finish_closes_open_spans() {
+        let tracer = Tracer::new(Sampling::Always);
+        let mut ctx = tracer.start("root");
+        let outer = ctx.begin("outer");
+        ctx.begin("inner");
+        ctx.end(outer); // closes inner too
+        drop(ctx); // drop finishes the root
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 3);
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, Some(outer.span));
+    }
+
+    #[test]
+    fn eviction_keeps_ring_bounded() {
+        let tracer = Tracer::with_capacity(Sampling::Always, 1, 4);
+        for _ in 0..10 {
+            tracer.start("root").finish(false);
+        }
+        assert_eq!(tracer.snapshot().len(), 4);
+        assert_eq!(tracer.recorded(), 10);
+        assert_eq!(tracer.evicted(), 6);
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn registry_link_feeds_span_histograms() {
+        let registry = Arc::new(Registry::new());
+        let tracer = Tracer::with_registry(Sampling::RejectsOnly, Arc::clone(&registry));
+        let mut ctx = tracer.start("root");
+        let child = ctx.begin("price");
+        ctx.end(child);
+        ctx.finish(false); // not retained — but durations still recorded
+        let snapshot = registry.snapshot();
+        let price = snapshot.histogram_with("trace_span_ns", &[("span", "price")]);
+        assert_eq!(price.map(|h| h.count), Some(1));
+        let root = snapshot.histogram_with("trace_span_ns", &[("span", "root")]);
+        assert_eq!(root.map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let tracer = Tracer::new(Sampling::Always);
+        let mut ctx = tracer.start("root");
+        ctx.attr("conn", "vc\"1\"");
+        ctx.event("reject.provenance", "hop 1 refused");
+        ctx.finish(true);
+        let json = chrome_trace(&tracer.snapshot());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"reject.provenance\""));
+        assert!(json.contains("\"conn\":\"vc\\\"1\\\"\""));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn render_groups_by_trace_and_indents_children() {
+        let tracer = Tracer::new(Sampling::Always);
+        let mut ctx = tracer.start("root");
+        let child = ctx.begin("price");
+        ctx.end(child);
+        ctx.finish(false);
+        tracer.start("other").finish(false);
+        let text = render_spans(&tracer.snapshot());
+        assert!(text.contains("trace t1 (2 spans)"));
+        assert!(text.contains("\n  root "));
+        assert!(text.contains("\n    price "));
+        assert!(text.contains("trace t2 (1 spans)"));
+    }
+}

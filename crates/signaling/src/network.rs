@@ -5,10 +5,11 @@ use std::collections::BTreeMap;
 
 use rtcac_bitstream::{Time, TrafficContract};
 use rtcac_cac::{
-    release_order, AdmissionDecision, ConnectionId, HopDriver, PlannedHop, Priority,
-    ReservationPlan, ReserveOutcome, RoutePlan, Switch, SwitchConfig,
+    release_order, AdmissionDecision, AdmissionReport, AdmissionVerdict, ConnectionId, HopDriver,
+    PlannedHop, Priority, ReservationPlan, ReserveOutcome, RoutePlan, Switch, SwitchConfig,
 };
 use rtcac_net::{LinkId, NodeId, Route, Topology};
+use rtcac_obs::Tracer;
 
 use crate::metrics::NetworkMetrics;
 use crate::{CdvPolicy, SetupRejection, SignalError, SignalEvent};
@@ -122,6 +123,8 @@ pub struct Network {
     events: Vec<SignalEvent>,
     next_id: u64,
     metrics: NetworkMetrics,
+    tracer: Tracer,
+    last_report: Option<AdmissionReport>,
 }
 
 impl Network {
@@ -141,6 +144,8 @@ impl Network {
             events: Vec::new(),
             next_id: 1,
             metrics: NetworkMetrics::from_global(),
+            tracer: Tracer::noop(),
+            last_report: None,
         }
     }
 
@@ -149,6 +154,27 @@ impl Network {
     /// (useful for tests and embedders that keep registries isolated).
     pub fn set_registry(&mut self, registry: &std::sync::Arc<rtcac_obs::Registry>) {
         self.metrics.rebind(registry);
+    }
+
+    /// Installs a [`Tracer`]: subsequent setups emit causal spans
+    /// (price, reserve, per-hop events) into its ring. The default is
+    /// a noop tracer costing one branch per instrumentation site.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (noop unless [`Network::set_tracer`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The decision provenance of the most recent setup attempt that
+    /// reached pricing: one row per hop with the bound-vs-deadline
+    /// comparison, plus the end-to-end verdict. `None` before any
+    /// setup, or when the last setup was refused before pricing (dead
+    /// route, duplicate id).
+    pub fn last_admission_report(&self) -> Option<&AdmissionReport> {
+        self.last_report.as_ref()
     }
 
     /// Replaces the configuration of one switch (e.g. to give a core
@@ -301,19 +327,29 @@ impl Network {
         if self.connections.contains_key(&id) {
             return Err(SignalError::DuplicateConnection(id));
         }
+        self.last_report = None;
+        let mut ctx = self.tracer.start("signaling.setup");
+        if ctx.is_live() {
+            ctx.attr("conn", id.to_string());
+        }
         // A route over a dead element is refused outright — no switch
         // on it may reserve anything (ATM crankback then retries on an
         // alternate route, see [`Network::setup_crankback`]).
         if let Some(link) = route.first_dead_link(&self.topology)? {
             self.metrics.setup_rejected_route_down();
+            ctx.event("reject.provenance", format!("route down at link {link}"));
+            ctx.finish(true);
             return Ok(SetupOutcome::Rejected(SetupRejection::RouteDown { link }));
         }
 
         // Shape and price the route through the shared admission core:
         // per-hop CDV accumulation and the guaranteed terminal delay
         // are computed once, from the fixed advertised bounds.
+        let price_span = ctx.begin("price");
         let plan = RoutePlan::from_route(&self.topology, route)?;
         let priced = self.price_plan(&plan, request.contract(), request.priority())?;
+        ctx.end(price_span);
+        let mut rows = priced.report_rows();
 
         // The QoS feasibility gate: the fixed advertised bounds are the
         // only guarantee the network gives, so the requested bound must
@@ -321,6 +357,16 @@ impl Network {
         let achievable = priced.achievable();
         if request.delay_bound() < achievable {
             self.metrics.setup_rejected_qos();
+            let report = AdmissionReport::new(
+                rows,
+                AdmissionVerdict::RejectedQos {
+                    requested: request.delay_bound(),
+                    achievable,
+                },
+            );
+            ctx.event("reject.provenance", report.summary());
+            ctx.finish(true);
+            self.last_report = Some(report);
             return Ok(SetupOutcome::Rejected(SetupRejection::QosUnsatisfiable {
                 requested: request.delay_bound(),
                 achievable,
@@ -328,11 +374,28 @@ impl Network {
         }
 
         // The reserve walk: the core admits hop by hop and rolls back
-        // on the first REJECT travelling upstream.
-        match self.reserve_priced(id, &priced)? {
+        // on the first REJECT travelling upstream. The observer fills
+        // the provenance rows (and trace events) from each decision.
+        let reserve_span = ctx.begin("reserve");
+        let trace_hops = ctx.is_live();
+        let outcome = self.reserve_priced_observed(id, &priced, |index, hop, decision| {
+            rows[index].record_decision(decision);
+            if trace_hops {
+                ctx.event(
+                    "hop",
+                    format!(
+                        "node {} out {} cdv {}: {}",
+                        hop.node, hop.out_link, hop.cdv, rows[index].verdict
+                    ),
+                );
+            }
+        })?;
+        ctx.end(reserve_span);
+        match outcome {
             ReserveOutcome::Reserved => {}
             ReserveOutcome::Refused {
                 at,
+                index,
                 reason,
                 legs_rolled_back,
                 ..
@@ -343,6 +406,11 @@ impl Network {
                     switch: at,
                     reason,
                 });
+                let report =
+                    AdmissionReport::new(rows, AdmissionVerdict::RejectedHop { at, index });
+                ctx.event("reject.provenance", report.summary());
+                ctx.finish(true);
+                self.last_report = Some(report);
                 return Ok(SetupOutcome::Rejected(SetupRejection::Switch {
                     at,
                     reason,
@@ -350,6 +418,13 @@ impl Network {
                 }));
             }
         }
+        self.last_report = Some(AdmissionReport::new(
+            rows,
+            AdmissionVerdict::Admitted {
+                guaranteed_delay: achievable,
+            },
+        ));
+        ctx.finish(false);
 
         let info = ConnectionInfo {
             id,
@@ -395,13 +470,25 @@ impl Network {
         id: ConnectionId,
         priced: &ReservationPlan,
     ) -> Result<ReserveOutcome, SignalError> {
+        self.reserve_priced_observed(id, priced, |_, _, _| {})
+    }
+
+    /// [`Network::reserve_priced`] with a per-hop observer (see
+    /// [`ReservationPlan::reserve_observed`]) — provenance rows and
+    /// trace events are recorded from outside the walk.
+    pub(crate) fn reserve_priced_observed(
+        &mut self,
+        id: ConnectionId,
+        priced: &ReservationPlan,
+        observe: impl FnMut(usize, &PlannedHop, &AdmissionDecision),
+    ) -> Result<ReserveOutcome, SignalError> {
         let mut driver = SerialDriver {
             id,
             switches: &mut self.switches,
             events: &mut self.events,
             metrics: &self.metrics,
         };
-        priced.reserve(&mut driver)
+        priced.reserve_observed(&mut driver, observe)
     }
 
     pub(crate) fn metrics(&self) -> &NetworkMetrics {
