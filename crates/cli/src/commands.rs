@@ -1378,6 +1378,182 @@ fn build_network(scenario: &Scenario) -> Result<Network, CliError> {
     Ok(network)
 }
 
+/// Parameters of `rtcac serve`.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Service listen address.
+    pub addr: String,
+    /// Optional HTTP metrics exposition address.
+    pub metrics_addr: Option<String>,
+    /// Ring switches of the served star-ring.
+    pub nodes: usize,
+    /// Terminals per ring switch.
+    pub terminals: usize,
+    /// Uniform per-hop delay bound, in cell times.
+    pub bound: u64,
+    /// Admission worker threads.
+    pub workers: usize,
+    /// Disable metric recording (no-op observability handles).
+    pub snapshot_free: bool,
+}
+
+/// `rtcac serve`: run the resident admission service until a client
+/// sends DRAIN, then report the shutdown audit. The listening banner is
+/// printed (and flushed) *before* blocking, so callers backgrounding
+/// the process — CI does — can scrape the bound addresses immediately.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for invalid parameters and
+/// [`CliError::Domain`] when the shutdown audit finds orphaned
+/// reservations or violated guarantees.
+pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
+    let config = rtcac_serve::ServeConfig {
+        addr: args.addr.clone(),
+        metrics_addr: args.metrics_addr.clone(),
+        nodes: args.nodes,
+        terminals: args.terminals,
+        bound: Time::from_integer(args.bound as i128),
+        workers: args.workers,
+        snapshot_free: args.snapshot_free,
+    };
+    let server = rtcac_serve::Server::start(&config).map_err(CliError::domain)?;
+    println!(
+        "serve: listening on {} (star-ring nodes={} terminals={} bound={} workers={}{})",
+        server.addr(),
+        args.nodes,
+        args.terminals,
+        args.bound,
+        args.workers,
+        if args.snapshot_free {
+            ", snapshot-free"
+        } else {
+            ""
+        }
+    );
+    if let Some(maddr) = server.metrics_addr() {
+        println!("serve: metrics on http://{maddr}/metrics (and /metrics.json, /healthz)");
+    }
+    println!("serve: ready — send DRAIN (or `rtcac load --drain`) to shut down");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let summary = server.join();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve: drained after {} session(s): {} cleanup release(s), {} still active",
+        summary.sessions, summary.cleanup_released, summary.active
+    );
+    let _ = writeln!(
+        out,
+        "serve: final audit: orphaned_reservations={} guarantee_violations={}",
+        summary.orphans, summary.violations
+    );
+    if summary.is_clean() {
+        let _ = writeln!(out, "serve: shutdown clean");
+        Ok(out)
+    } else {
+        Err(CliError::Domain(format!("{out}serve: shutdown NOT clean")))
+    }
+}
+
+/// Parameters of `rtcac load`.
+#[derive(Debug, Clone)]
+pub struct LoadArgs {
+    /// Target service address.
+    pub addr: String,
+    /// Generator threads (one connection each).
+    pub threads: usize,
+    /// Total frames (setups + releases) across all threads.
+    pub ops: u64,
+    /// In-flight frames per connection.
+    pub pipeline: usize,
+    /// Target total ops/s (open-loop pacing); `None` = max throughput.
+    pub rate: Option<u64>,
+    /// Randomization seed.
+    pub seed: u64,
+    /// Bench JSON output path (`BENCH_serve.json`), if any.
+    pub bench_json: Option<String>,
+    /// Send DRAIN after the run (clean server shutdown).
+    pub drain: bool,
+}
+
+/// `rtcac load`: drive the open-loop generator against a running
+/// `rtcac serve` and report ops/s plus setup latency quantiles; with
+/// `--bench-json`, write a `bench-report`-compatible round file.
+///
+/// # Errors
+///
+/// Returns [`CliError::Domain`] for connection or protocol failures.
+pub fn serve_load(args: &LoadArgs) -> Result<String, CliError> {
+    let config = rtcac_serve::LoadConfig {
+        addr: args.addr.clone(),
+        threads: args.threads,
+        ops: args.ops,
+        pipeline: args.pipeline,
+        rate: args.rate,
+        seed: args.seed,
+    };
+    let report = rtcac_serve::run_load(&config).map_err(CliError::domain)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "load: {} ops in {:.2}s against {} ({} threads, pipeline {}{})",
+        report.ops,
+        report.elapsed_ns as f64 / 1e9,
+        args.addr,
+        args.threads,
+        args.pipeline,
+        match args.rate {
+            Some(r) => format!(", paced at {r} ops/s"),
+            None => String::new(),
+        }
+    );
+    let _ = writeln!(
+        out,
+        "load: setups={} (admitted={} rejected={}) releases={}",
+        report.setups, report.admitted, report.rejected, report.released
+    );
+    let _ = writeln!(out, "load: throughput {:.0} ops/s", report.ops_per_sec);
+    let _ = writeln!(
+        out,
+        "load: setup latency p50={}ns p90={}ns p99={}ns",
+        report.p50_ns, report.p90_ns, report.p99_ns
+    );
+    if let Some(path) = &args.bench_json {
+        write_metrics_file(path, &report.bench_json(args.threads, args.seed))?;
+        let _ = writeln!(out, "load: wrote {path} (bench json)");
+    }
+    if args.drain {
+        let mut client = rtcac_serve::Client::connect(&args.addr).map_err(CliError::domain)?;
+        match client.drain().map_err(CliError::domain)? {
+            rtcac_serve::Response::Draining { active } => {
+                let _ = writeln!(out, "load: drain requested ({active} still active)");
+            }
+            other => {
+                return Err(CliError::Domain(format!(
+                    "load: unexpected DRAIN reply: {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `rtcac stats --addr`: scrape a live server's exposition endpoint
+/// instead of replaying a scenario locally.
+///
+/// # Errors
+///
+/// Returns [`CliError::Domain`] when the endpoint cannot be reached or
+/// answers with a non-200 status.
+pub fn stats_remote(addr: &str, json: bool) -> Result<String, CliError> {
+    let path = if json { "/metrics.json" } else { "/metrics" };
+    rtcac_serve::http_get(addr, path)
+        .map_err(|e| CliError::Domain(format!("cannot scrape {addr}{path}: {e}")))
+}
+
 /// Pretty-prints an active link for reports.
 pub fn link_label(scenario: &Scenario, link: LinkId) -> String {
     scenario

@@ -61,9 +61,36 @@ USAGE:
       outcome counters) is written to PATH in Prometheus text format
       and to PATH.json in JSON.
 
+  rtcac serve [--addr HOST:PORT] [--metrics-addr HOST:PORT] [--nodes N]
+              [--terminals N] [--bound CELLS] [--workers N]
+              [--snapshot-free]
+      Run the resident admission service on a star-ring: a TCP server
+      speaking the length-prefixed SETUP / SETUP-MCAST / RELEASE /
+      QUERY / DRAIN / STATS protocol, dispatching onto the concurrent
+      engine's worker pool. Sessions own the connections they admit; a
+      dead client's reservations are released on cleanup. With
+      --metrics-addr, a trivial HTTP endpoint serves /metrics
+      (Prometheus), /metrics.json, and /healthz. --snapshot-free runs
+      with no-op observability handles. Blocks until a client sends
+      DRAIN, then exits nonzero unless the final audit is clean
+      (no orphaned reservations, no violated guarantees).
+
+  rtcac load [--addr HOST:PORT] [--threads N] [--ops N] [--pipeline N]
+             [--rate OPS_PER_SEC] [--seed N] [--bench-json PATH]
+             [--smoke] [--drain]
+      Open-loop multi-threaded load generator against a running
+      'rtcac serve': pipelined setup+release churn over randomized
+      star-ring routes, reporting ops/s and setup latency p50/p90/p99
+      (measured from scheduled send times when --rate paces the run).
+      --smoke is shorthand for a small CI-sized run; --drain sends
+      DRAIN afterwards; --bench-json writes BENCH_serve.json rounds
+      for 'rtcac bench-report'.
+
   rtcac stats SCENARIO_FILE [--workers N] [--json]
+  rtcac stats --addr HOST:PORT [--json]
       Batch-admit the scenario and print the bare metrics snapshot to
-      stdout — Prometheus text by default, JSON with --json.
+      stdout — Prometheus text by default, JSON with --json. With
+      --addr, scrape a live 'rtcac serve' exposition endpoint instead.
 
   rtcac simulate SCENARIO_FILE [--slots N] [--jitter CELLS] [--seed N]
       Admit the scenario, then measure it in the cell-level simulator.
@@ -192,14 +219,53 @@ fn run(args: &[String]) -> Result<String, CliError> {
             commands::bench_report(baseline, candidate)
         }
         Some("stats") => {
-            let path = it
-                .next()
-                .ok_or_else(|| CliError::Usage("stats needs a scenario file".into()))?;
             let rest: Vec<&String> = it.collect();
-            let workers = flag_u64(&rest, "--workers")?.unwrap_or(4) as usize;
             let json = rest.iter().any(|a| a.as_str() == "--json");
+            if let Some(addr) = flag_value(&rest, "--addr")? {
+                return commands::stats_remote(addr, json);
+            }
+            let path = match rest.first() {
+                Some(a) if !a.starts_with("--") => a.as_str(),
+                _ => {
+                    return Err(CliError::Usage(
+                        "stats needs a scenario file or --addr HOST:PORT".into(),
+                    ))
+                }
+            };
+            let workers = flag_u64(&rest, "--workers")?.unwrap_or(4) as usize;
             let scenario = load(path)?;
             commands::stats(&scenario, workers, json)
+        }
+        Some("serve") => {
+            let rest: Vec<&String> = it.collect();
+            commands::serve(&commands::ServeArgs {
+                addr: flag_value(&rest, "--addr")?
+                    .unwrap_or("127.0.0.1:7047")
+                    .to_owned(),
+                metrics_addr: flag_value(&rest, "--metrics-addr")?.map(str::to_owned),
+                nodes: flag_u64(&rest, "--nodes")?.unwrap_or(16) as usize,
+                terminals: flag_u64(&rest, "--terminals")?.unwrap_or(4) as usize,
+                bound: flag_u64(&rest, "--bound")?.unwrap_or(64),
+                workers: flag_u64(&rest, "--workers")?.unwrap_or(4) as usize,
+                snapshot_free: rest.iter().any(|a| a.as_str() == "--snapshot-free"),
+            })
+        }
+        Some("load") => {
+            let rest: Vec<&String> = it.collect();
+            let smoke = rest.iter().any(|a| a.as_str() == "--smoke");
+            commands::serve_load(&commands::LoadArgs {
+                addr: flag_value(&rest, "--addr")?
+                    .unwrap_or("127.0.0.1:7047")
+                    .to_owned(),
+                threads: flag_u64(&rest, "--threads")?.unwrap_or(if smoke { 2 } else { 4 })
+                    as usize,
+                ops: flag_u64(&rest, "--ops")?.unwrap_or(if smoke { 20_000 } else { 1_000_000 }),
+                pipeline: flag_u64(&rest, "--pipeline")?.unwrap_or(32) as usize,
+                rate: flag_u64(&rest, "--rate")?,
+                seed: flag_u64(&rest, "--seed")?.unwrap_or(7),
+                bench_json: flag_value(&rest, "--bench-json")?.map(str::to_owned),
+                drain: rest.iter().any(|a| a.as_str() == "--drain"),
+            })
         }
         Some("simulate") => {
             let path = it

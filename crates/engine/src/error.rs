@@ -36,6 +36,12 @@ pub enum EngineError {
         /// Submitted jobs that never produced a result.
         missing: u64,
     },
+    /// The resident service pool has shut down (or its worker died), so
+    /// the submitted setup was never decided. Unlike
+    /// [`EngineError::WorkerPanicked`] this is a per-job verdict: the
+    /// caller knows exactly which setup was dropped and can retry
+    /// against a live pool.
+    ServiceStopped,
 }
 
 impl fmt::Display for EngineError {
@@ -55,6 +61,9 @@ impl fmt::Display for EngineError {
                 f,
                 "{workers} pool worker(s) panicked; {missing} job result(s) missing"
             ),
+            EngineError::ServiceStopped => {
+                write!(f, "the service pool has stopped; the setup was not decided")
+            }
         }
     }
 }

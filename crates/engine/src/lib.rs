@@ -21,9 +21,11 @@
 //!   (Algorithm 4.1 and the Sof tables) are cached per shard, keyed by
 //!   (out-link, priority, table epoch); the epoch bumps on every commit
 //!   and release, so a cached value can never be stale.
-//! * **A worker pool** — [`EnginePool`] runs a fixed set of
-//!   `std::thread` workers pulling jobs from an `mpsc` submission
-//!   queue.
+//! * **Worker pools** — [`EnginePool`] runs a fixed set of
+//!   `std::thread` workers pulling a *batch* of jobs from an `mpsc`
+//!   submission queue; [`ServicePool`] is its resident sibling, serving
+//!   setups indefinitely with per-job reply channels (the front end the
+//!   `rtcac-serve` admission service dispatches onto).
 //! * **Statistics** — lock-free submitted/admitted/rejected/aborted/
 //!   released counters plus per-shard cache hit/miss totals,
 //!   snapshotted as [`EngineStats`] (invariant: every submitted setup
@@ -45,5 +47,5 @@ mod stats;
 
 pub use engine::{AdmissionEngine, EngineOutcome, FailureImpact, GuaranteeViolation};
 pub use error::EngineError;
-pub use pool::{run_batch, EnginePool, JobResult};
+pub use pool::{run_batch, EnginePool, JobResult, ServicePool};
 pub use stats::EngineStats;

@@ -1,0 +1,124 @@
+//! A deliberately tiny HTTP/1.0 exposition endpoint.
+//!
+//! Enough of HTTP to let `curl`, Prometheus, and `rtcac stats --addr`
+//! scrape the registry: `GET /metrics` (Prometheus text format),
+//! `GET /metrics.json` (the registry's JSON form), and `GET /healthz`.
+//! Anything else is a 404. Request bodies, keep-alive, and chunked
+//! encoding are all out of scope — every response closes the socket.
+//!
+//! Each scrape first refreshes the engine's orphaned-reservation audit,
+//! so `engine_orphaned_reservations` on the wire is always the *current*
+//! count, never a stale gauge.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use rtcac_engine::AdmissionEngine;
+use rtcac_obs::Registry;
+
+/// Spawns the exposition endpoint on `addr`, returning the bound
+/// address. The serving thread runs until the process exits.
+pub(crate) fn spawn_metrics_endpoint(
+    addr: &str,
+    registry: Arc<Registry>,
+    engine: Arc<AdmissionEngine>,
+) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let registry = Arc::clone(&registry);
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || serve_one(stream, &registry, &engine));
+        }
+    });
+    Ok(bound)
+}
+
+/// Answers a single scrape request and closes the socket.
+fn serve_one(stream: TcpStream, registry: &Registry, engine: &AdmissionEngine) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the remaining headers before answering: closing the socket
+    // with unread bytes in the receive buffer makes the kernel send an
+    // RST, which the client sees as a broken pipe instead of a reply.
+    let mut header = String::new();
+    for _ in 0..64 {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain", "GET only\n".into())
+    } else {
+        match path {
+            "/metrics" => {
+                engine.publish_orphan_audit();
+                (
+                    "200 OK",
+                    "text/plain; version=0.0.4",
+                    registry.snapshot().to_prometheus(),
+                )
+            }
+            "/metrics.json" => {
+                engine.publish_orphan_audit();
+                ("200 OK", "application/json", registry.snapshot().to_json())
+            }
+            "/healthz" => ("200 OK", "text/plain", "ok\n".into()),
+            _ => ("404 Not Found", "text/plain", "not found\n".into()),
+        }
+    };
+    let mut writer = write_half;
+    let _ = write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = writer.flush();
+}
+
+/// A minimal blocking HTTP GET, for `rtcac stats --addr` and the tests:
+/// connects, requests `path`, returns the response body on 200.
+///
+/// # Errors
+///
+/// Any socket failure, a malformed status line, or a non-200 status.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut write_half = stream.try_clone()?;
+    write!(write_half, "GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n")?;
+    write_half.flush()?;
+    let mut response = String::new();
+    BufReader::new(stream).read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("malformed HTTP response"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line.split_whitespace().nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(std::io::Error::other(format!(
+            "HTTP {} from {addr}{path}",
+            if status.is_empty() { "<none>" } else { status }
+        )));
+    }
+    Ok(body.to_string())
+}

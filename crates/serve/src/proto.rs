@@ -1,0 +1,466 @@
+//! Typed request/response frames of the admission service protocol.
+//!
+//! The vocabulary mirrors the paper's §4.1 signaling verbs, promoted
+//! from in-process calls to wire frames: SETUP (unicast), SETUP-MCAST
+//! (point-to-multipoint), RELEASE, QUERY, plus the service-management
+//! verbs HELLO, STATS and DRAIN. Requests use type bytes `0x01..=0x07`,
+//! responses `0x81..=0x87` and `0xEF` (ERROR), so a frame's direction
+//! is visible in its type byte alone.
+//!
+//! Routes travel as raw link-index lists: the server re-validates them
+//! against its own topology (`Route::new` / `MulticastTree::new`), so a
+//! client can never make the engine touch a link that does not exist —
+//! a bad route is a typed [`Response::Error`], not a panic.
+
+use rtcac_bitstream::{CbrParams, Time, TrafficContract, VbrParams};
+use rtcac_cac::Priority;
+use rtcac_signaling::{SetupRejection, SetupRequest};
+
+use crate::wire::{Dec, Enc, WireError, PROTO_VERSION};
+
+/// Frame type bytes. Kept in one place so the codec and the fuzz loop
+/// agree about what "every known frame" means.
+pub mod frame_type {
+    /// Client hello / topology discovery request.
+    pub const HELLO: u8 = 0x01;
+    /// Unicast connection setup request.
+    pub const SETUP: u8 = 0x02;
+    /// Point-to-multipoint connection setup request.
+    pub const SETUP_MCAST: u8 = 0x03;
+    /// Connection release request.
+    pub const RELEASE: u8 = 0x04;
+    /// Connection query request.
+    pub const QUERY: u8 = 0x05;
+    /// Drain request: stop admitting, keep guarantees, shut down.
+    pub const DRAIN: u8 = 0x06;
+    /// Service statistics request.
+    pub const STATS: u8 = 0x07;
+
+    /// Topology description reply to HELLO.
+    pub const SERVER_INFO: u8 = 0x81;
+    /// Setup succeeded.
+    pub const ADMITTED: u8 = 0x82;
+    /// Setup was refused by admission control.
+    pub const REJECTED: u8 = 0x83;
+    /// Release succeeded.
+    pub const RELEASED: u8 = 0x84;
+    /// Query reply.
+    pub const QUERY_RESULT: u8 = 0x85;
+    /// Drain acknowledged; the server is shutting down.
+    pub const DRAINING: u8 = 0x86;
+    /// Statistics reply.
+    pub const STATS_REPLY: u8 = 0x87;
+    /// Typed request failure.
+    pub const ERROR: u8 = 0xEF;
+}
+
+/// Why a request failed at the service layer (as opposed to a CAC
+/// rejection, which is a [`Response::Rejected`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame's version byte is not this server's.
+    UnsupportedVersion = 1,
+    /// The frame type byte is unknown.
+    UnknownFrame = 2,
+    /// The body did not decode.
+    BadPayload = 3,
+    /// The submitted link list is not a valid route/tree here.
+    BadRoute = 4,
+    /// The session tried to release a connection it does not own.
+    NotOwner = 5,
+    /// The named connection is not established.
+    UnknownConnection = 6,
+    /// The admission engine failed internally.
+    Internal = 7,
+}
+
+impl ErrorCode {
+    /// Decodes a wire error-code byte (`None` for unknown codes).
+    pub fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::UnsupportedVersion,
+            2 => ErrorCode::UnknownFrame,
+            3 => ErrorCode::BadPayload,
+            4 => ErrorCode::BadRoute,
+            5 => ErrorCode::NotOwner,
+            6 => ErrorCode::UnknownConnection,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A client-to-server frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Topology discovery: the load generator rebuilds the server's
+    /// star-ring locally from the reply, so routes can be expressed as
+    /// link indices both sides agree on.
+    Hello,
+    /// Establish a unicast connection over the given links.
+    Setup {
+        /// Link indices of the route, in travel order.
+        links: Vec<u32>,
+        /// The §4.1 connection parameters.
+        request: SetupRequest,
+    },
+    /// Establish a point-to-multipoint connection over the given tree.
+    SetupMcast {
+        /// Link indices of the tree (parent-before-child order).
+        links: Vec<u32>,
+        /// The §4.1 connection parameters.
+        request: SetupRequest,
+    },
+    /// Release an established connection owned by this session.
+    Release {
+        /// The raw connection id (as returned by `Admitted`).
+        id: u64,
+    },
+    /// Look up an established connection's guaranteed delay.
+    Query {
+        /// The raw connection id.
+        id: u64,
+    },
+    /// Stop admitting (existing guarantees are kept), then shut the
+    /// service down once every session has cleaned up.
+    Drain,
+    /// Service statistics snapshot.
+    Stats,
+}
+
+/// A server-to-client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Hello`].
+    ServerInfo {
+        /// Ring switches of the served star-ring.
+        nodes: u32,
+        /// Terminals per ring switch.
+        terminals: u32,
+        /// Priority levels each switch serves.
+        levels: u8,
+        /// The advertised per-hop delay bound (uniform).
+        bound: Time,
+    },
+    /// The connection is committed on every hop.
+    Admitted {
+        /// The established connection's id.
+        id: u64,
+        /// Guaranteed end-to-end queueing delay bound.
+        guaranteed_delay: Time,
+        /// Crankback attempts the engine needed (0 = primary route).
+        attempts: u32,
+    },
+    /// Admission control refused the connection.
+    Rejected {
+        /// The id the setup would have used.
+        id: u64,
+        /// Compact rejection class (see [`reject_code`]).
+        code: u8,
+        /// Human-readable detail (the engine's rejection display).
+        detail: String,
+    },
+    /// The connection was released.
+    Released {
+        /// The released connection's id.
+        id: u64,
+    },
+    /// Reply to [`Request::Query`].
+    QueryResult {
+        /// Whether the connection is established.
+        found: bool,
+        /// Its guaranteed delay (zero when not found).
+        guaranteed_delay: Time,
+    },
+    /// Drain acknowledged; no further setups will be admitted.
+    Draining {
+        /// Connections still established at the drain point.
+        active: u64,
+    },
+    /// Reply to [`Request::Stats`].
+    StatsReply {
+        /// Connections currently established.
+        active: u64,
+        /// Setups admitted since start.
+        admitted: u64,
+        /// Setups rejected since start.
+        rejected: u64,
+        /// Releases processed since start.
+        released: u64,
+        /// Orphaned reservations found by the last audit.
+        orphans: u64,
+        /// Whether the service is draining.
+        draining: bool,
+    },
+    /// The request failed at the service layer.
+    Error {
+        /// The typed failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Compact rejection classes carried in [`Response::Rejected`].
+pub mod reject_code {
+    /// A switch on the route failed the CAC check.
+    pub const SWITCH: u8 = 1;
+    /// The requested bound is below the route's achievable bound.
+    pub const QOS_UNSATISFIABLE: u8 = 2;
+    /// The route crosses a failed element.
+    pub const ROUTE_DOWN: u8 = 3;
+    /// The admission point is draining.
+    pub const DRAINING: u8 = 4;
+}
+
+/// Maps an engine rejection to its wire class.
+pub fn rejection_class(rejection: &SetupRejection) -> u8 {
+    match rejection {
+        SetupRejection::Switch { .. } => reject_code::SWITCH,
+        SetupRejection::QosUnsatisfiable { .. } => reject_code::QOS_UNSATISFIABLE,
+        SetupRejection::RouteDown { .. } => reject_code::ROUTE_DOWN,
+        SetupRejection::Draining => reject_code::DRAINING,
+        _ => reject_code::SWITCH,
+    }
+}
+
+fn encode_setup_request(enc: &mut Enc, request: &SetupRequest) {
+    match request.contract() {
+        TrafficContract::Cbr(cbr) => {
+            enc.u8(0);
+            enc.rate(cbr.pcr());
+        }
+        TrafficContract::Vbr(vbr) => {
+            enc.u8(1);
+            enc.rate(vbr.pcr());
+            enc.rate(vbr.scr());
+            enc.u64(vbr.mbs());
+        }
+    }
+    enc.u8(request.priority().level());
+    enc.time(request.delay_bound());
+}
+
+fn decode_setup_request(dec: &mut Dec<'_>) -> Result<SetupRequest, WireError> {
+    let contract = match dec.u8()? {
+        0 => TrafficContract::Cbr(
+            CbrParams::new(dec.rate()?)
+                .map_err(|_| WireError::BadPayload("invalid CBR contract"))?,
+        ),
+        1 => {
+            let pcr = dec.rate()?;
+            let scr = dec.rate()?;
+            let mbs = dec.u64()?;
+            TrafficContract::Vbr(
+                VbrParams::new(pcr, scr, mbs)
+                    .map_err(|_| WireError::BadPayload("invalid VBR contract"))?,
+            )
+        }
+        _ => return Err(WireError::BadPayload("unknown contract tag")),
+    };
+    let priority = Priority::new(dec.u8()?);
+    let delay_bound = dec.time()?;
+    Ok(SetupRequest::new(contract, priority, delay_bound))
+}
+
+impl Request {
+    /// Encodes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Hello => Enc::frame(frame_type::HELLO).finish(),
+            Request::Setup { links, request } => {
+                let mut enc = Enc::frame(frame_type::SETUP);
+                enc.u32_list(links);
+                encode_setup_request(&mut enc, request);
+                enc.finish()
+            }
+            Request::SetupMcast { links, request } => {
+                let mut enc = Enc::frame(frame_type::SETUP_MCAST);
+                enc.u32_list(links);
+                encode_setup_request(&mut enc, request);
+                enc.finish()
+            }
+            Request::Release { id } => {
+                let mut enc = Enc::frame(frame_type::RELEASE);
+                enc.u64(*id);
+                enc.finish()
+            }
+            Request::Query { id } => {
+                let mut enc = Enc::frame(frame_type::QUERY);
+                enc.u64(*id);
+                enc.finish()
+            }
+            Request::Drain => Enc::frame(frame_type::DRAIN).finish(),
+            Request::Stats => Enc::frame(frame_type::STATS).finish(),
+        }
+    }
+
+    /// Decodes a frame payload as a request.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnsupportedVersion`], [`WireError::UnknownFrame`],
+    /// or [`WireError::BadPayload`]; never panics, whatever the bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut dec = Dec::new(payload);
+        let version = dec.u8()?;
+        if version != PROTO_VERSION {
+            return Err(WireError::UnsupportedVersion { got: version });
+        }
+        let frame = dec.u8()?;
+        let request = match frame {
+            frame_type::HELLO => Request::Hello,
+            frame_type::SETUP => Request::Setup {
+                links: dec.u32_list()?,
+                request: decode_setup_request(&mut dec)?,
+            },
+            frame_type::SETUP_MCAST => Request::SetupMcast {
+                links: dec.u32_list()?,
+                request: decode_setup_request(&mut dec)?,
+            },
+            frame_type::RELEASE => Request::Release { id: dec.u64()? },
+            frame_type::QUERY => Request::Query { id: dec.u64()? },
+            frame_type::DRAIN => Request::Drain,
+            frame_type::STATS => Request::Stats,
+            got => return Err(WireError::UnknownFrame { got }),
+        };
+        dec.expect_end()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Encodes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::ServerInfo {
+                nodes,
+                terminals,
+                levels,
+                bound,
+            } => {
+                let mut enc = Enc::frame(frame_type::SERVER_INFO);
+                enc.u32(*nodes);
+                enc.u32(*terminals);
+                enc.u8(*levels);
+                enc.time(*bound);
+                enc.finish()
+            }
+            Response::Admitted {
+                id,
+                guaranteed_delay,
+                attempts,
+            } => {
+                let mut enc = Enc::frame(frame_type::ADMITTED);
+                enc.u64(*id);
+                enc.time(*guaranteed_delay);
+                enc.u32(*attempts);
+                enc.finish()
+            }
+            Response::Rejected { id, code, detail } => {
+                let mut enc = Enc::frame(frame_type::REJECTED);
+                enc.u64(*id);
+                enc.u8(*code);
+                enc.string(detail);
+                enc.finish()
+            }
+            Response::Released { id } => {
+                let mut enc = Enc::frame(frame_type::RELEASED);
+                enc.u64(*id);
+                enc.finish()
+            }
+            Response::QueryResult {
+                found,
+                guaranteed_delay,
+            } => {
+                let mut enc = Enc::frame(frame_type::QUERY_RESULT);
+                enc.u8(u8::from(*found));
+                enc.time(*guaranteed_delay);
+                enc.finish()
+            }
+            Response::Draining { active } => {
+                let mut enc = Enc::frame(frame_type::DRAINING);
+                enc.u64(*active);
+                enc.finish()
+            }
+            Response::StatsReply {
+                active,
+                admitted,
+                rejected,
+                released,
+                orphans,
+                draining,
+            } => {
+                let mut enc = Enc::frame(frame_type::STATS_REPLY);
+                enc.u64(*active);
+                enc.u64(*admitted);
+                enc.u64(*rejected);
+                enc.u64(*released);
+                enc.u64(*orphans);
+                enc.u8(u8::from(*draining));
+                enc.finish()
+            }
+            Response::Error { code, message } => {
+                let mut enc = Enc::frame(frame_type::ERROR);
+                enc.u8(*code as u8);
+                enc.string(message);
+                enc.finish()
+            }
+        }
+    }
+
+    /// Decodes a frame payload as a response.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::decode`].
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut dec = Dec::new(payload);
+        let version = dec.u8()?;
+        if version != PROTO_VERSION {
+            return Err(WireError::UnsupportedVersion { got: version });
+        }
+        let frame = dec.u8()?;
+        let response = match frame {
+            frame_type::SERVER_INFO => Response::ServerInfo {
+                nodes: dec.u32()?,
+                terminals: dec.u32()?,
+                levels: dec.u8()?,
+                bound: dec.time()?,
+            },
+            frame_type::ADMITTED => Response::Admitted {
+                id: dec.u64()?,
+                guaranteed_delay: dec.time()?,
+                attempts: dec.u32()?,
+            },
+            frame_type::REJECTED => Response::Rejected {
+                id: dec.u64()?,
+                code: dec.u8()?,
+                detail: dec.string()?,
+            },
+            frame_type::RELEASED => Response::Released { id: dec.u64()? },
+            frame_type::QUERY_RESULT => Response::QueryResult {
+                found: dec.u8()? != 0,
+                guaranteed_delay: dec.time()?,
+            },
+            frame_type::DRAINING => Response::Draining { active: dec.u64()? },
+            frame_type::STATS_REPLY => Response::StatsReply {
+                active: dec.u64()?,
+                admitted: dec.u64()?,
+                rejected: dec.u64()?,
+                released: dec.u64()?,
+                orphans: dec.u64()?,
+                draining: dec.u8()? != 0,
+            },
+            frame_type::ERROR => Response::Error {
+                code: ErrorCode::from_u8(dec.u8()?)
+                    .ok_or(WireError::BadPayload("unknown error code"))?,
+                message: dec.string()?,
+            },
+            got => return Err(WireError::UnknownFrame { got }),
+        };
+        dec.expect_end()?;
+        Ok(response)
+    }
+}

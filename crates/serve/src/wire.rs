@@ -1,0 +1,438 @@
+//! The length-prefixed frame layer and primitive value codec.
+//!
+//! Every message on the wire is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length `L` (big-endian u32, includes the
+//!               version and type bytes; 2 ..= MAX_PAYLOAD)
+//! 4       1     protocol version (PROTO_VERSION)
+//! 5       1     frame type (see `proto`)
+//! 6       L-2   body (frame-type specific)
+//! ```
+//!
+//! The length prefix is validated *before* any allocation, so a
+//! hostile peer cannot make the decoder reserve unbounded memory: a
+//! frame longer than [`MAX_PAYLOAD`] is refused with
+//! [`WireError::Oversized`] and the connection should be closed. All
+//! multi-byte integers are big-endian; exact rationals travel as an
+//! `(i128 numerator, i128 denominator)` pair and are re-validated by
+//! [`rtcac_rational::Ratio::new`] on decode, so a malformed ratio is a
+//! typed [`WireError::BadPayload`], never a panic.
+
+use core::fmt;
+use std::io::{self, Read, Write};
+
+use rtcac_bitstream::{Rate, Time};
+use rtcac_rational::Ratio;
+
+/// Version byte every frame carries. Receivers refuse frames with a
+/// different version with a typed error instead of guessing.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload (version + type + body), in bytes.
+///
+/// Large enough for a point-to-multipoint tree touching every terminal
+/// of a 256-switch star-ring (4 bytes per link), small enough that a
+/// hostile length prefix cannot balloon the decoder's buffer.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Smallest legal payload: the version and frame-type bytes.
+pub const MIN_PAYLOAD: usize = 2;
+
+/// Typed failures of the frame and value codec.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The peer closed the connection cleanly (EOF between frames).
+    Closed,
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The advertised payload length.
+        len: usize,
+        /// The refusal threshold.
+        max: usize,
+    },
+    /// The length prefix is below [`MIN_PAYLOAD`] (a frame without a
+    /// version or type byte can mean nothing).
+    Runt {
+        /// The advertised payload length.
+        len: usize,
+    },
+    /// The frame carries a protocol version this peer does not speak.
+    UnsupportedVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The frame type byte names no known frame.
+    UnknownFrame {
+        /// The type byte received.
+        got: u8,
+    },
+    /// The body does not decode as the frame type requires: truncated,
+    /// trailing garbage, an invalid rational, a bad enum tag…
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Runt { len } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes is below the 2-byte minimum"
+                )
+            }
+            WireError::UnsupportedVersion { got } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (this peer speaks {PROTO_VERSION})"
+                )
+            }
+            WireError::UnknownFrame { got } => write!(f, "unknown frame type {got:#04x}"),
+            WireError::BadPayload(what) => write!(f, "malformed frame body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether this error is a read timeout (the poll loops treat those
+    /// as "no frame yet", everything else as fatal).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if e.kind() == io::ErrorKind::WouldBlock
+                || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
+/// Fills `buf`, retrying timeouts once at least one byte of the frame
+/// has arrived: a read timeout may only surface *between* frames, never
+/// mid-frame, or the session poll loops (which use short socket
+/// timeouts to notice shutdown) would tear partially-received frames
+/// and desynchronize the stream.
+fn read_full(
+    reader: &mut impl Read,
+    buf: &mut [u8],
+    mut got: usize,
+    mid_frame: bool,
+) -> Result<(), WireError> {
+    while got < buf.len() {
+        match reader.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 && !mid_frame {
+                    WireError::Closed
+                } else {
+                    WireError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if (got > 0 || mid_frame)
+                    && (e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut) => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame, returning its raw payload (version byte included).
+///
+/// A socket read timeout is surfaced (as a [`WireError::Io`] for which
+/// [`WireError::is_timeout`] is true) only while waiting for a frame to
+/// *start*; once any byte of a frame has arrived the read retries until
+/// the frame completes, so poll loops never lose partial frames.
+///
+/// # Errors
+///
+/// [`WireError::Closed`] on clean EOF between frames,
+/// [`WireError::Oversized`] / [`WireError::Runt`] on an invalid length
+/// prefix (nothing is allocated in either case), [`WireError::Io`] on
+/// socket failure or truncation mid-frame.
+pub fn read_frame(reader: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut prefix = [0u8; 4];
+    read_full(reader, &mut prefix, 0, false)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized {
+            len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    if len < MIN_PAYLOAD {
+        return Err(WireError::Runt { len });
+    }
+    let mut payload = vec![0u8; len];
+    read_full(reader, &mut payload, 0, true)?;
+    Ok(payload)
+}
+
+/// Writes one frame around an already-encoded payload (which must
+/// start with the version and type bytes).
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] if the payload breaks the cap this side
+/// enforces on receive (a server must never emit a frame its own
+/// decoder would refuse), otherwise [`WireError::Io`].
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(WireError::Oversized {
+            len: payload.len(),
+            max: MAX_PAYLOAD,
+        });
+    }
+    debug_assert!(payload.len() >= MIN_PAYLOAD);
+    writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+    writer.write_all(payload)?;
+    Ok(())
+}
+
+/// Append-only encoder over a byte vector.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Starts a payload with the version and frame-type bytes.
+    pub fn frame(frame_type: u8) -> Enc {
+        let mut enc = Enc {
+            buf: Vec::with_capacity(32),
+        };
+        enc.u8(PROTO_VERSION);
+        enc.u8(frame_type);
+        enc
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian i128.
+    pub fn i128(&mut self, v: i128) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends an exact rational as numerator, denominator.
+    pub fn ratio(&mut self, r: Ratio) {
+        self.i128(r.numer());
+        self.i128(r.denom());
+    }
+
+    /// Appends a time value (its underlying rational).
+    pub fn time(&mut self, t: Time) {
+        self.ratio(t.as_ratio());
+    }
+
+    /// Appends a rate value (its underlying rational).
+    pub fn rate(&mut self, r: Rate) {
+        self.ratio(r.as_ratio());
+    }
+
+    /// Appends a length-prefixed UTF-8 string (u32 length).
+    pub fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed list of u32s (link indices).
+    pub fn u32_list(&mut self, items: &[u32]) {
+        self.u32(items.len() as u32);
+        for &item in items {
+            self.u32(item);
+        }
+    }
+}
+
+/// Cursor-based decoder over a received payload. Every read is
+/// bounds-checked; running past the end is [`WireError::BadPayload`],
+/// never a panic.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Wraps a payload for decoding.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, at: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Fails unless the whole payload was consumed — trailing garbage
+    /// means the sender and receiver disagree about the frame layout.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::BadPayload("trailing bytes after frame body"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::BadPayload("body truncated"));
+        }
+        let slice = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian u64.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian i128.
+    pub fn i128(&mut self) -> Result<i128, WireError> {
+        Ok(i128::from_be_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads and validates an exact rational.
+    pub fn ratio(&mut self) -> Result<Ratio, WireError> {
+        let num = self.i128()?;
+        let den = self.i128()?;
+        Ratio::new(num, den).map_err(|_| WireError::BadPayload("invalid rational"))
+    }
+
+    /// Reads a time value.
+    pub fn time(&mut self) -> Result<Time, WireError> {
+        Ok(Time::new(self.ratio()?))
+    }
+
+    /// Reads a rate value.
+    pub fn rate(&mut self) -> Result<Rate, WireError> {
+        Ok(Rate::new(self.ratio()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string. The length is checked
+    /// against the remaining bytes before any allocation.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError::BadPayload("string length beyond body"));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadPayload("string not UTF-8"))
+    }
+
+    /// Reads a length-prefixed list of u32s. The element count is
+    /// checked against the remaining bytes before any allocation, so a
+    /// forged count cannot reserve unbounded memory.
+    pub fn u32_list(&mut self) -> Result<Vec<u32>, WireError> {
+        let count = self.u32()? as usize;
+        if count.checked_mul(4).is_none_or(|b| b > self.remaining()) {
+            return Err(WireError::BadPayload("list length beyond body"));
+        }
+        (0..count).map(|_| self.u32()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut enc = Enc::frame(0x42);
+        enc.u64(7);
+        let payload = enc.finish();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let back = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn oversized_prefix_is_refused_before_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_be_bytes());
+        match read_frame(&mut wire.as_slice()) {
+            Err(WireError::Oversized { len, .. }) => assert_eq!(len, u32::MAX as usize),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runt_prefix_is_refused() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1u32.to_be_bytes());
+        wire.push(PROTO_VERSION);
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(WireError::Runt { len: 1 })
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_io() {
+        assert!(matches!(
+            read_frame(&mut [].as_slice()),
+            Err(WireError::Closed)
+        ));
+    }
+
+    #[test]
+    fn forged_list_count_is_a_typed_error() {
+        let mut enc = Enc::frame(0x01);
+        enc.u32(u32::MAX); // claims 4 billion entries, provides none
+        let payload = enc.finish();
+        let mut dec = Dec::new(&payload[2..]);
+        assert!(matches!(
+            dec.u32_list(),
+            Err(WireError::BadPayload("list length beyond body"))
+        ));
+    }
+}

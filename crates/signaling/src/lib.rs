@@ -19,9 +19,10 @@
 //!
 //! [`Network`] drives the whole procedure over a
 //! [`Topology`](rtcac_net::Topology) and records an auditable
-//! [`SignalEvent`] trace; [`CacServer`] wraps it in the centralized
-//! connection-management style planned for the next RTnet version
-//! (§4.3, discussion 3).
+//! [`SignalEvent`] trace. The centralized connection-management style
+//! planned for the next RTnet version (§4.3, discussion 3) is the
+//! `rtcac-serve` crate: a resident TCP service dispatching a wire
+//! protocol onto the concurrent admission engine.
 //!
 //! # Examples
 //!
@@ -62,7 +63,6 @@ mod message;
 mod metrics;
 mod multicast;
 mod network;
-mod server;
 
 pub use error::SignalError;
 pub use message::{SetupRejection, SignalEvent};
@@ -72,4 +72,3 @@ pub use network::{
     GuaranteeViolation, Network, SetupOutcome, SetupRequest, LOCAL_INJECTION,
 };
 pub use rtcac_cac::CdvPolicy;
-pub use server::{CacServer, ServerStats};

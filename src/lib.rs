@@ -26,6 +26,10 @@
 //!   violated;
 //! - [`rtnet`] — the RTnet evaluation of §5: cyclic transmission
 //!   classes and the experiment drivers behind Figures 10–13;
+//! - [`serve`] — the resident admission service: a TCP server speaking
+//!   a length-prefixed binary protocol (SETUP / RELEASE / QUERY /
+//!   DRAIN / STATS), a blocking client sharing the same codec, and an
+//!   open-loop load generator;
 //! - [`obs`] — std-only observability: counters, log2 histograms,
 //!   trace spans, a bounded event ring, and Prometheus/JSON
 //!   exposition, wired through the engine, signaling, and simulator.
@@ -66,5 +70,6 @@ pub use rtcac_net as net;
 pub use rtcac_obs as obs;
 pub use rtcac_rational as rational;
 pub use rtcac_rtnet as rtnet;
+pub use rtcac_serve as serve;
 pub use rtcac_signaling as signaling;
 pub use rtcac_sim as sim;

@@ -1,12 +1,14 @@
 //! Full-stack connection lifecycle tests: distributed setup over
 //! multi-switch topologies, rollback hygiene, capacity reuse, the
-//! central server, and policy comparisons.
+//! resident wire service, and policy comparisons.
 
 use rtcac::bitstream::{CbrParams, Rate, Time, TrafficContract, VbrParams};
 use rtcac::cac::{ConnectionId, Priority, SwitchConfig};
+use rtcac::engine::AdmissionEngine;
 use rtcac::net::{builders, Route};
 use rtcac::rational::ratio;
-use rtcac::signaling::{CacServer, CdvPolicy, Network, SetupOutcome, SetupRequest, SignalEvent};
+use rtcac::serve::{Client, Response, ServeConfig, Server};
+use rtcac::signaling::{CdvPolicy, Network, SetupOutcome, SetupRequest, SignalEvent};
 
 fn cbr(n: i128, d: i128) -> TrafficContract {
     TrafficContract::cbr(CbrParams::new(Rate::new(ratio(n, d))).unwrap())
@@ -138,26 +140,42 @@ fn rejection_reports_the_failing_switch_and_cleans_up() {
 }
 
 #[test]
-fn central_server_matches_distributed_outcomes() {
-    // The server is a thin façade: running the same request sequence
-    // through it must produce the same admissions as direct setup.
-    let (network, route) = line(3, 32, CdvPolicy::Hard);
-    let mut direct = network.clone();
-    let mut server = CacServer::new(network);
-    let request = SetupRequest::new(cbr(1, 9), Priority::HIGHEST, Time::from_integer(96));
+fn wire_service_matches_in_process_engine() {
+    // The service is a thin façade: the same request sequence sent over
+    // the wire must produce the same admissions as an in-process engine
+    // on an identical star-ring.
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        metrics_addr: None,
+        nodes: 4,
+        terminals: 2,
+        bound: Time::from_integer(64),
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(&config).unwrap();
+    let sr = builders::star_ring(4, 2).unwrap();
+    let switch_config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+    let engine = AdmissionEngine::new(sr.topology().clone(), switch_config, CdvPolicy::Hard);
+    let route = sr.terminal_route((0, 0), (2, 1)).unwrap();
+    let links: Vec<u32> = route.links().iter().map(|l| l.index() as u32).collect();
+    let request = SetupRequest::new(cbr(1, 9), Priority::HIGHEST, Time::from_integer(1_000));
+
+    let mut client = Client::connect(server.addr()).unwrap();
     for _ in 0..12 {
-        let a = direct.setup(&route, request).unwrap().is_connected();
-        let b = server
-            .request_setup(&route, request)
-            .unwrap()
-            .is_connected();
-        assert_eq!(a, b);
+        let local = engine.admit(&route, request).unwrap().is_established();
+        let remote = matches!(
+            client.setup(&links, request).unwrap(),
+            Response::Admitted { .. }
+        );
+        assert_eq!(local, remote);
     }
-    assert_eq!(
-        server.stats().accepted as usize + server.stats().rejected as usize,
-        12
-    );
-    assert_eq!(server.stats().active, direct.connections().count());
+    // Shutdown is a checked property: drain, close, and the final audit
+    // must find no orphans and no guarantee violations.
+    client.drain().unwrap();
+    drop(client);
+    let summary = server.join();
+    assert!(summary.is_clean(), "{summary:?}");
 }
 
 #[test]

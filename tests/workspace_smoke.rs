@@ -225,6 +225,39 @@ fn rtnet_ring_analysis() {
 }
 
 #[test]
+fn serve_wire_service_roundtrip() {
+    use rtcac::serve::{Client, Response, ServeConfig, Server};
+    let server = Server::start(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        nodes: 4,
+        terminals: 2,
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let sr = builders::star_ring(4, 2).unwrap();
+    let route = sr.terminal_route((0, 0), (0, 1)).unwrap();
+    let links: Vec<u32> = route.links().iter().map(|l| l.index() as u32).collect();
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let request = SetupRequest::new(cbr(1, 16), Priority::HIGHEST, Time::from_integer(1_000));
+    let Response::Admitted { id, .. } = client.setup(&links, request).unwrap() else {
+        panic!("setup should be admitted on an empty ring");
+    };
+    assert!(matches!(
+        client.query(id).unwrap(),
+        Response::QueryResult { found: true, .. }
+    ));
+    assert!(matches!(
+        client.release(id).unwrap(),
+        Response::Released { .. }
+    ));
+    client.drain().unwrap();
+    drop(client);
+    assert!(server.join().is_clean());
+}
+
+#[test]
 fn obs_registry_records_and_exposes() {
     let registry = Arc::new(Registry::new());
     registry.counter("smoke_total").add(2);
