@@ -85,6 +85,50 @@ impl Switch {
         }
     }
 
+    /// Rebuilds a switch from a previously admitted set of connection
+    /// legs — the warm-restart constructor.
+    ///
+    /// Each leg re-derives its arrival stream exactly as the original
+    /// admission did ([`ConnectionRequest::arrival_stream`] plus the
+    /// config's quantization grid) and is multiplexed into the stream
+    /// tables **without** re-running the admission check: the legs were
+    /// admitted once and the caller re-verifies the resulting bounds
+    /// afterwards. Because the table aggregates are rebuilt by the same
+    /// multiplexing the release path uses, the restored tables are
+    /// bit-identical to the tables the legs originally produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacError::DuplicateConnection`] when the same
+    /// `(connection, out-link)` leg appears twice,
+    /// [`CacError::UnknownPriority`] for a leg at a level the config
+    /// does not serve, and the quantization conditions of the arrival
+    /// derivation.
+    pub fn restore(
+        config: SwitchConfig,
+        epoch: u64,
+        legs: impl IntoIterator<Item = (ConnectionId, ConnectionRequest)>,
+    ) -> Result<Switch, CacError> {
+        let mut switch = Switch::new(config);
+        for (id, request) in legs {
+            switch.config.bound(request.priority())?;
+            let key = (id, request.out_link());
+            if switch.connections.contains_key(&key) {
+                return Err(CacError::DuplicateConnection(id));
+            }
+            let stream = switch.arrival_of(&request)?;
+            switch.tables.add(
+                request.in_link(),
+                request.out_link(),
+                request.priority(),
+                &stream,
+            );
+            switch.connections.insert(key, (request, stream));
+        }
+        switch.epoch = epoch;
+        Ok(switch)
+    }
+
     /// The switch's configuration.
     pub fn config(&self) -> &SwitchConfig {
         &self.config

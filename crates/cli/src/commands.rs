@@ -1010,23 +1010,30 @@ fn parse_bench_rounds(text: &str) -> Vec<BenchRound> {
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Usage`] when either file cannot be read or
-/// holds no per-worker rounds.
+/// Returns [`CliError::Domain`] when either file cannot be read or
+/// holds no per-worker rounds — these are data problems, not
+/// command-line mistakes, so the caller reports them as a one-line
+/// error without a usage dump.
 pub fn bench_report(baseline_path: &str, candidate_path: &str) -> Result<String, CliError> {
     let read = |path: &str| {
         std::fs::read_to_string(path)
-            .map_err(|e| CliError::Usage(format!("cannot read '{path}': {e}")))
+            .map_err(|e| CliError::Domain(format!("bench-report: cannot read '{path}': {e}")))
     };
     let baseline_text = read(baseline_path)?;
     let candidate_text = read(candidate_path)?;
     let baseline = parse_bench_rounds(&baseline_text);
     let candidate = parse_bench_rounds(&candidate_text);
-    if baseline.is_empty() || candidate.is_empty() {
-        return Err(CliError::Usage(
-            "no per-worker rounds found (expected line-oriented bench JSON with \
-             \"workers\" and \"ops_per_sec\" fields)"
-                .into(),
-        ));
+    if let Some(path) = [
+        (baseline_path, baseline.is_empty()),
+        (candidate_path, candidate.is_empty()),
+    ]
+    .iter()
+    .find_map(|(path, empty)| empty.then_some(*path))
+    {
+        return Err(CliError::Domain(format!(
+            "bench-report: no per-worker rounds in '{path}' (expected line-oriented \
+             bench JSON with \"workers\" and \"ops_per_sec\" fields)"
+        )));
     }
     let mut out = String::new();
     let _ = writeln!(
@@ -1395,6 +1402,10 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Disable metric recording (no-op observability handles).
     pub snapshot_free: bool,
+    /// Warm-restart state file: restored on boot, written on DRAIN.
+    pub snapshot: Option<String>,
+    /// Seconds between periodic snapshot saves (needs `snapshot`).
+    pub snapshot_every: Option<u64>,
 }
 
 /// `rtcac serve`: run the resident admission service until a client
@@ -1408,6 +1419,11 @@ pub struct ServeArgs {
 /// [`CliError::Domain`] when the shutdown audit finds orphaned
 /// reservations or violated guarantees.
 pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
+    if args.snapshot_every.is_some() && args.snapshot.is_none() {
+        return Err(CliError::Usage(
+            "--snapshot-every requires --snapshot PATH".into(),
+        ));
+    }
     let config = rtcac_serve::ServeConfig {
         addr: args.addr.clone(),
         metrics_addr: args.metrics_addr.clone(),
@@ -1416,6 +1432,8 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
         bound: Time::from_integer(args.bound as i128),
         workers: args.workers,
         snapshot_free: args.snapshot_free,
+        snapshot_path: args.snapshot.clone(),
+        snapshot_every: args.snapshot_every,
     };
     let server = rtcac_serve::Server::start(&config).map_err(CliError::domain)?;
     println!(
@@ -1434,6 +1452,15 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
     if let Some(maddr) = server.metrics_addr() {
         println!("serve: metrics on http://{maddr}/metrics (and /metrics.json, /healthz)");
     }
+    if let Some(path) = &args.snapshot {
+        println!(
+            "serve: warm-restart snapshot at {path}{}",
+            match args.snapshot_every {
+                Some(secs) => format!(" (saved on drain and every {secs}s)"),
+                None => " (saved on drain)".into(),
+            }
+        );
+    }
     println!("serve: ready — send DRAIN (or `rtcac load --drain`) to shut down");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -1450,6 +1477,9 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
         "serve: final audit: orphaned_reservations={} guarantee_violations={}",
         summary.orphans, summary.violations
     );
+    if let Some(reason) = &summary.restore_failed {
+        let _ = writeln!(out, "serve: snapshot restore REFUSED: {reason}");
+    }
     if summary.is_clean() {
         let _ = writeln!(out, "serve: shutdown clean");
         Ok(out)
@@ -1552,6 +1582,100 @@ pub fn stats_remote(addr: &str, json: bool) -> Result<String, CliError> {
     let path = if json { "/metrics.json" } else { "/metrics" };
     rtcac_serve::http_get(addr, path)
         .map_err(|e| CliError::Domain(format!("cannot scrape {addr}{path}: {e}")))
+}
+
+/// `rtcac snapshot save`: batch-admit the scenario through the
+/// concurrent engine, then write the resulting admission state to
+/// `out_path` as a versioned snapshot (atomically: temp + rename).
+///
+/// # Errors
+///
+/// Returns [`CliError::Domain`] on engine or I/O failures.
+pub fn snapshot_save(
+    scenario: &Scenario,
+    out_path: &str,
+    workers: usize,
+) -> Result<String, CliError> {
+    let (engine, outcomes) = run_engine_scenario(scenario, workers, None, None)?;
+    let admitted = outcomes
+        .iter()
+        .filter(|o| {
+            matches!(
+                o,
+                Ok(EngineOutcome::Admitted { .. } | EngineOutcome::Rerouted { .. })
+            )
+        })
+        .count();
+    let doc = rtcac_snap::snapshot_engine(&engine, "rtcac-cli");
+    let bytes =
+        rtcac_snap::save_atomic(&doc, std::path::Path::new(out_path)).map_err(CliError::domain)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "snapshot: wrote {out_path} ({bytes} bytes, format v{})",
+        rtcac_snap::VERSION
+    );
+    let _ = writeln!(
+        out,
+        "snapshot: {admitted} of {} setups admitted; {} connection(s) over {} switch section(s)",
+        outcomes.len(),
+        doc.state.connections.len(),
+        doc.state.switches.len()
+    );
+    Ok(out)
+}
+
+/// `rtcac snapshot restore`: load a snapshot, rebuild a full engine
+/// from it (running the guarantee and orphan audits), and report what
+/// came back. A snapshot that fails any audit is refused outright.
+///
+/// # Errors
+///
+/// Returns [`CliError::Domain`] on decode or audit failures.
+pub fn snapshot_restore(path: &str) -> Result<String, CliError> {
+    let doc = rtcac_snap::load_file(std::path::Path::new(path)).map_err(CliError::domain)?;
+    let engine = rtcac_snap::restore_engine(&doc).map_err(CliError::domain)?;
+    let stats = engine.stats();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "snapshot: restored {path}: {} connection(s) over {} switch(es), audit clean",
+        engine.connection_count(),
+        doc.state.switches.len()
+    );
+    let _ = writeln!(
+        out,
+        "snapshot: lifetime counters: submitted={} admitted={} rejected={} released={}",
+        stats.submitted, stats.admitted, stats.rejected, stats.released
+    );
+    Ok(out)
+}
+
+/// `rtcac snapshot inspect`: print a snapshot's header, section table
+/// (ids, extents, checksums), and decoded state summary.
+///
+/// # Errors
+///
+/// Returns [`CliError::Domain`] when the file is unreadable or corrupt.
+pub fn snapshot_inspect(path: &str) -> Result<String, CliError> {
+    rtcac_snap::inspect(std::path::Path::new(path)).map_err(CliError::domain)
+}
+
+/// `rtcac snapshot diff`: compare two snapshots section by section and
+/// state field by state field.
+///
+/// # Errors
+///
+/// Returns [`CliError::Domain`] when either file is unreadable or
+/// corrupt.
+pub fn snapshot_diff(a: &str, b: &str) -> Result<String, CliError> {
+    let report = rtcac_snap::diff(std::path::Path::new(a), std::path::Path::new(b))
+        .map_err(CliError::domain)?;
+    if report.is_empty() {
+        Ok(format!("snapshot: {a} and {b} are identical\n"))
+    } else {
+        Ok(report)
+    }
 }
 
 /// Pretty-prints an active link for reports.

@@ -63,7 +63,7 @@ USAGE:
 
   rtcac serve [--addr HOST:PORT] [--metrics-addr HOST:PORT] [--nodes N]
               [--terminals N] [--bound CELLS] [--workers N]
-              [--snapshot-free]
+              [--snapshot-free] [--snapshot PATH] [--snapshot-every SECS]
       Run the resident admission service on a star-ring: a TCP server
       speaking the length-prefixed SETUP / SETUP-MCAST / RELEASE /
       QUERY / DRAIN / STATS protocol, dispatching onto the concurrent
@@ -71,9 +71,25 @@ USAGE:
       dead client's reservations are released on cleanup. With
       --metrics-addr, a trivial HTTP endpoint serves /metrics
       (Prometheus), /metrics.json, and /healthz. --snapshot-free runs
-      with no-op observability handles. Blocks until a client sends
-      DRAIN, then exits nonzero unless the final audit is clean
-      (no orphaned reservations, no violated guarantees).
+      with no-op observability handles. With --snapshot, the server
+      restores its admission state from PATH on boot (answering the
+      typed SNAPSHOT-RESTORING error until the restore audit passes)
+      and saves it atomically on DRAIN — plus every SECS seconds with
+      --snapshot-every. Blocks until a client sends DRAIN, then exits
+      nonzero unless the final audit is clean (no orphaned
+      reservations, no violated guarantees, no refused restore).
+
+  rtcac snapshot save SCENARIO_FILE OUT [--workers N]
+  rtcac snapshot restore FILE
+  rtcac snapshot inspect FILE
+  rtcac snapshot diff FILE_A FILE_B
+      Work with versioned engine snapshots ('rtcac serve --snapshot'
+      state files). 'save' batch-admits the scenario through the
+      concurrent engine and writes its state atomically; 'restore'
+      rebuilds a full engine from FILE and re-runs the guarantee and
+      orphan audits (a failing file is refused, never half-loaded);
+      'inspect' prints the header, section table and state summary;
+      'diff' compares two snapshots field by field.
 
   rtcac load [--addr HOST:PORT] [--threads N] [--ops N] [--pipeline N]
              [--rate OPS_PER_SEC] [--seed N] [--bench-json PATH]
@@ -111,8 +127,13 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{USAGE}");
+            // Only command-line mistakes earn the usage dump; data and
+            // domain failures (missing bench baseline, corrupt
+            // snapshot, dirty shutdown audit) stay a one-line error.
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -248,7 +269,42 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 bound: flag_u64(&rest, "--bound")?.unwrap_or(64),
                 workers: flag_u64(&rest, "--workers")?.unwrap_or(4) as usize,
                 snapshot_free: rest.iter().any(|a| a.as_str() == "--snapshot-free"),
+                snapshot: flag_value(&rest, "--snapshot")?.map(str::to_owned),
+                snapshot_every: flag_u64(&rest, "--snapshot-every")?,
             })
+        }
+        Some("snapshot") => {
+            let action = it
+                .next()
+                .ok_or_else(|| {
+                    CliError::Usage("snapshot needs an action: save|restore|inspect|diff".into())
+                })?
+                .as_str();
+            let rest: Vec<&String> = it.collect();
+            let positional = |n: usize, what: &str| -> Result<&str, CliError> {
+                rest.iter()
+                    .filter(|a| !a.starts_with("--"))
+                    .nth(n)
+                    .map(|s| s.as_str())
+                    .ok_or_else(|| CliError::Usage(format!("snapshot {action} needs {what}")))
+            };
+            match action {
+                "save" => {
+                    let scenario = load(positional(0, "a scenario file")?)?;
+                    let out = positional(1, "an output path")?;
+                    let workers = flag_u64(&rest, "--workers")?.unwrap_or(4) as usize;
+                    commands::snapshot_save(&scenario, out, workers)
+                }
+                "restore" => commands::snapshot_restore(positional(0, "a snapshot file")?),
+                "inspect" => commands::snapshot_inspect(positional(0, "a snapshot file")?),
+                "diff" => commands::snapshot_diff(
+                    positional(0, "two snapshot files")?,
+                    positional(1, "two snapshot files")?,
+                ),
+                other => Err(CliError::Usage(format!(
+                    "unknown snapshot action '{other}' (save|restore|inspect|diff)"
+                ))),
+            }
         }
         Some("load") => {
             let rest: Vec<&String> = it.collect();

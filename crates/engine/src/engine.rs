@@ -8,7 +8,8 @@ use std::time::Instant;
 use rtcac_bitstream::Time;
 use rtcac_cac::{
     AdmissionDecision, AdmissionReport, AdmissionVerdict, ConnectionId, HopDriver, HopVerdict,
-    PlannedHop, Priority, ReservationPlan, ReserveOutcome, RoutePlan, SwitchConfig,
+    PlannedHop, Priority, ReservationPlan, ReserveOutcome, RoutePlan, SofCache, Switch,
+    SwitchConfig,
 };
 use rtcac_net::{LinkId, MulticastTree, NodeId, Route, Topology};
 use rtcac_obs::{Registry, TraceCtx, Tracer};
@@ -16,6 +17,7 @@ use rtcac_signaling::{CdvPolicy, SetupRejection, SetupRequest};
 
 use crate::metrics::EngineMetrics;
 use crate::shard::{Shard, ShardState};
+use crate::state::{ConnectionState, EngineState, HealthOverlayState, SwitchState};
 use crate::stats::Counters;
 use crate::{EngineError, EngineStats};
 
@@ -1402,6 +1404,355 @@ impl AdmissionEngine {
             mcast_admitted: self.counters.mcast_admitted.load(Ordering::Relaxed),
             mcast_rejected: self.counters.mcast_rejected.load(Ordering::Relaxed),
         }
+    }
+
+    /// Exports a consistent cut of the full engine state for
+    /// snapshotting: per-shard connection legs and epochs, the
+    /// connection registry, health overlay, drain flag, id allocator
+    /// and outcome counters (see [`EngineState`] for what is stored
+    /// versus derived).
+    ///
+    /// The cut is taken with **every** shard locked in ascending
+    /// [`NodeId`] order, then the registry and health locks — the same
+    /// nesting order the commit path uses — so no in-flight setup can
+    /// be observed half-committed.
+    pub fn export_state(&self) -> EngineState {
+        let guards: Vec<(NodeId, MutexGuard<'_, ShardState>)> = self
+            .shards
+            .iter()
+            .map(|(&node, shard)| (node, shard.lock()))
+            .collect();
+        let registry = self.lock_registry();
+        let health = self.lock_health();
+        let switches = guards
+            .iter()
+            .map(|(node, state)| SwitchState {
+                node: *node,
+                config: self.configs[node].clone(),
+                epoch: state.switch.epoch(),
+                legs: state
+                    .switch
+                    .connections()
+                    .map(|(id, request)| (id, *request))
+                    .collect(),
+            })
+            .collect();
+        let connections = registry
+            .iter()
+            .map(|(&id, entry)| ConnectionState {
+                id,
+                multicast: matches!(entry.shape, EstablishedShape::Multicast(_)),
+                links: entry.shape.links().to_vec(),
+                points: entry.points.clone(),
+                priority: entry.priority,
+                delay_bound: entry.delay_bound,
+                guaranteed_delay: entry.guaranteed_delay,
+                per_leaf: entry.per_leaf.clone(),
+            })
+            .collect();
+        EngineState {
+            policy: self.policy,
+            reroute_budget: self.reroute_budget.load(Ordering::Relaxed),
+            next_id: self.next_id.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::Relaxed),
+            health: HealthOverlayState {
+                down_links: health.down_links.iter().copied().collect(),
+                down_nodes: health.down_nodes.iter().copied().collect(),
+                epoch: health.epoch,
+            },
+            switches,
+            connections,
+            counters: EngineStats {
+                submitted: self.counters.submitted.load(Ordering::Relaxed),
+                admitted: self.counters.admitted.load(Ordering::Relaxed),
+                rejected: self.counters.rejected.load(Ordering::Relaxed),
+                aborted: self.counters.aborted.load(Ordering::Relaxed),
+                errored: self.counters.errored.load(Ordering::Relaxed),
+                rerouted: self.counters.rerouted.load(Ordering::Relaxed),
+                released: self.counters.released.load(Ordering::Relaxed),
+                failed_over: self.counters.failed_over.load(Ordering::Relaxed),
+                cache_hits: 0,
+                cache_misses: 0,
+                mcast_submitted: self.counters.mcast_submitted.load(Ordering::Relaxed),
+                mcast_admitted: self.counters.mcast_admitted.load(Ordering::Relaxed),
+                mcast_rejected: self.counters.mcast_rejected.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// Rebuilds an engine from an exported state — the warm-restart
+    /// constructor. Metrics go to the installed global registry like
+    /// [`AdmissionEngine::new`].
+    ///
+    /// Every part is re-validated against `topology` (shapes re-walk
+    /// their link chains, legs re-derive their arrival streams), and
+    /// the rebuilt engine must pass the orphaned-reservation audit and
+    /// [`AdmissionEngine::verify_guarantees`] before it is returned — a
+    /// snapshot that fails is refused whole, never half-loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::RestoreRefused`] for any inconsistency
+    /// between the state and the topology, or when the post-rebuild
+    /// audit fails.
+    pub fn from_state(
+        topology: Topology,
+        state: &EngineState,
+    ) -> Result<AdmissionEngine, EngineError> {
+        let metrics = EngineMetrics::from_global(topology.switches().map(|n| n.id()));
+        AdmissionEngine::build_from_state(topology, state, metrics)
+    }
+
+    /// [`AdmissionEngine::from_state`] with an explicit metrics
+    /// registry (the form the resident service and tests use).
+    ///
+    /// # Errors
+    ///
+    /// As [`AdmissionEngine::from_state`].
+    pub fn from_state_with_registry(
+        topology: Topology,
+        state: &EngineState,
+        registry: Arc<Registry>,
+    ) -> Result<AdmissionEngine, EngineError> {
+        let metrics = EngineMetrics::from_registry(registry, topology.switches().map(|n| n.id()));
+        AdmissionEngine::build_from_state(topology, state, metrics)
+    }
+
+    fn build_from_state(
+        topology: Topology,
+        state: &EngineState,
+        metrics: EngineMetrics,
+    ) -> Result<AdmissionEngine, EngineError> {
+        let (configs, switches, established) = AdmissionEngine::rebuild_parts(&topology, state)?;
+        let shards = switches
+            .into_iter()
+            .map(|(node, switch)| (node, Shard::from_switch(switch)))
+            .collect();
+        let engine = AdmissionEngine {
+            topology,
+            policy: state.policy,
+            configs,
+            shards,
+            connections: Mutex::new(established),
+            health: Mutex::new(HealthState {
+                down_links: state.health.down_links.iter().copied().collect(),
+                down_nodes: state.health.down_nodes.iter().copied().collect(),
+                epoch: state.health.epoch,
+            }),
+            draining: AtomicBool::new(state.draining),
+            reroute_budget: AtomicU64::new(state.reroute_budget),
+            next_id: AtomicU64::new(state.next_id),
+            counters: Counters::default(),
+            metrics,
+            tracer: Tracer::noop(),
+            capture_reports: AtomicBool::new(false),
+            reports: Mutex::new(BTreeMap::new()),
+            #[cfg(test)]
+            test_fail_after_reserve: Mutex::new(None),
+        };
+        engine.load_counters(&state.counters);
+        engine.audit_restored()?;
+        Ok(engine)
+    }
+
+    /// Adopts an exported state into this already-running engine — the
+    /// in-place warm restart the resident service uses, so the engine
+    /// handle shared with its worker pool stays valid.
+    ///
+    /// The state is fully rebuilt and audited on a throwaway engine
+    /// *before* anything is applied, so a failing snapshot leaves this
+    /// engine untouched. The topology, switch configurations and CDV
+    /// policy must match the snapshot exactly. The swap itself happens
+    /// under every shard lock (ascending order) plus the registry and
+    /// health locks — the same consistent-cut discipline as
+    /// [`AdmissionEngine::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::RestoreRefused`] for any mismatch or
+    /// audit failure; the engine keeps serving its pre-call state.
+    pub fn adopt_state(&self, state: &EngineState) -> Result<(), EngineError> {
+        if state.policy != self.policy {
+            return Err(EngineError::RestoreRefused(format!(
+                "CDV policy mismatch: engine runs {:?}, snapshot was taken under {:?}",
+                self.policy, state.policy
+            )));
+        }
+        let (configs, mut switches, established) =
+            AdmissionEngine::rebuild_parts(&self.topology, state)?;
+        if configs != self.configs {
+            return Err(EngineError::RestoreRefused(
+                "switch configuration mismatch between engine and snapshot".into(),
+            ));
+        }
+        // Dry-run the full rebuild + audit on a throwaway engine first:
+        // a snapshot that fails verify_guarantees or the orphan audit
+        // must be refused before any of it becomes visible here.
+        AdmissionEngine::build_from_state(self.topology.clone(), state, EngineMetrics::default())?;
+        {
+            let mut guards: Vec<(NodeId, MutexGuard<'_, ShardState>)> = self
+                .shards
+                .iter()
+                .map(|(&node, shard)| (node, shard.lock()))
+                .collect();
+            let mut registry = self.lock_registry();
+            let mut health = self.lock_health();
+            for (node, guard) in guards.iter_mut() {
+                **guard = ShardState {
+                    switch: switches.remove(node).expect("validated switch set"),
+                    cache: SofCache::new(),
+                };
+            }
+            *registry = established;
+            *health = HealthState {
+                down_links: state.health.down_links.iter().copied().collect(),
+                down_nodes: state.health.down_nodes.iter().copied().collect(),
+                epoch: state.health.epoch,
+            };
+        }
+        self.draining.store(state.draining, Ordering::Relaxed);
+        self.reroute_budget
+            .store(state.reroute_budget, Ordering::Relaxed);
+        self.next_id.store(state.next_id, Ordering::Relaxed);
+        self.load_counters(&state.counters);
+        self.publish_orphan_audit();
+        Ok(())
+    }
+
+    /// Rebuilds the restorable parts of an engine from an exported
+    /// state, validating everything against `topology` without touching
+    /// any engine.
+    #[allow(clippy::type_complexity)]
+    fn rebuild_parts(
+        topology: &Topology,
+        state: &EngineState,
+    ) -> Result<
+        (
+            BTreeMap<NodeId, SwitchConfig>,
+            BTreeMap<NodeId, Switch>,
+            BTreeMap<ConnectionId, Established>,
+        ),
+        EngineError,
+    > {
+        let refuse = EngineError::RestoreRefused;
+        let expected: BTreeSet<NodeId> = topology.switches().map(|n| n.id()).collect();
+        let got: BTreeSet<NodeId> = state.switches.iter().map(|s| s.node).collect();
+        if state.switches.len() != got.len() {
+            return Err(refuse("duplicate switch section in state".into()));
+        }
+        if expected != got {
+            return Err(refuse(format!(
+                "switch set mismatch: topology has {} switch(es), state has {}",
+                expected.len(),
+                got.len()
+            )));
+        }
+        for &link in &state.health.down_links {
+            topology
+                .link(link)
+                .map_err(|e| refuse(format!("health overlay references a foreign link: {e}")))?;
+        }
+        for &node in &state.health.down_nodes {
+            topology
+                .node(node)
+                .map_err(|e| refuse(format!("health overlay references a foreign node: {e}")))?;
+        }
+        let mut configs = BTreeMap::new();
+        let mut switches = BTreeMap::new();
+        for shard in &state.switches {
+            let switch = Switch::restore(
+                shard.config.clone(),
+                shard.epoch,
+                shard.legs.iter().copied(),
+            )
+            .map_err(|e| refuse(format!("cannot rebuild switch at {}: {e}", shard.node)))?;
+            configs.insert(shard.node, shard.config.clone());
+            switches.insert(shard.node, switch);
+        }
+        let mut established: BTreeMap<ConnectionId, Established> = BTreeMap::new();
+        for conn in &state.connections {
+            let links = conn.links.iter().copied();
+            let shape =
+                if conn.multicast {
+                    EstablishedShape::Multicast(MulticastTree::new(topology, links).map_err(
+                        |e| refuse(format!("connection {}: invalid tree: {e}", conn.id)),
+                    )?)
+                } else {
+                    EstablishedShape::Unicast(Route::new(topology, links).map_err(|e| {
+                        refuse(format!("connection {}: invalid route: {e}", conn.id))
+                    })?)
+                };
+            for &(node, _) in &conn.points {
+                let held = switches
+                    .get(&node)
+                    .is_some_and(|s| s.has_connection(conn.id));
+                if !held {
+                    return Err(refuse(format!(
+                        "connection {} has no reservation at its queueing point {node}",
+                        conn.id
+                    )));
+                }
+            }
+            let previous = established.insert(
+                conn.id,
+                Established {
+                    shape,
+                    points: conn.points.clone(),
+                    priority: conn.priority,
+                    delay_bound: conn.delay_bound,
+                    guaranteed_delay: conn.guaranteed_delay,
+                    per_leaf: conn.per_leaf.clone(),
+                },
+            );
+            if previous.is_some() {
+                return Err(refuse(format!("duplicate connection {} in state", conn.id)));
+            }
+        }
+        Ok((configs, switches, established))
+    }
+
+    /// Stores exported outcome counters into the engine's atomics
+    /// (cache counters live in the per-shard caches and stay at zero).
+    fn load_counters(&self, stats: &EngineStats) {
+        let c = &self.counters;
+        for (atomic, value) in [
+            (&c.submitted, stats.submitted),
+            (&c.admitted, stats.admitted),
+            (&c.rejected, stats.rejected),
+            (&c.aborted, stats.aborted),
+            (&c.errored, stats.errored),
+            (&c.rerouted, stats.rerouted),
+            (&c.released, stats.released),
+            (&c.failed_over, stats.failed_over),
+            (&c.mcast_submitted, stats.mcast_submitted),
+            (&c.mcast_admitted, stats.mcast_admitted),
+            (&c.mcast_rejected, stats.mcast_rejected),
+        ] {
+            atomic.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// The accept-traffic gate of a rebuilt engine: the
+    /// orphaned-reservation audit must find nothing and every
+    /// recomputed Algorithm 4.1 bound must still honor its guarantee.
+    fn audit_restored(&self) -> Result<(), EngineError> {
+        let orphans = self.publish_orphan_audit();
+        if orphans != 0 {
+            return Err(EngineError::RestoreRefused(format!(
+                "{orphans} orphaned reservation(s) after rebuild"
+            )));
+        }
+        let violations = self.verify_guarantees()?;
+        if let Some(v) = violations.first() {
+            return Err(EngineError::RestoreRefused(format!(
+                "{} guarantee violation(s) after rebuild (first: connection {} computed {} > limit {})",
+                violations.len(),
+                v.id,
+                v.computed,
+                v.limit
+            )));
+        }
+        Ok(())
     }
 
     fn shard(&self, node: NodeId) -> Result<&Shard, EngineError> {

@@ -42,6 +42,11 @@ pub enum EngineError {
     /// caller knows exactly which setup was dropped and can retry
     /// against a live pool.
     ServiceStopped,
+    /// A state restore was refused before any of it became visible —
+    /// the snapshot is inconsistent with the target topology or fails
+    /// the post-rebuild guarantee/orphan audit. The engine (or the
+    /// pre-restore engine, for in-place adoption) is left untouched.
+    RestoreRefused(String),
 }
 
 impl fmt::Display for EngineError {
@@ -63,6 +68,9 @@ impl fmt::Display for EngineError {
             ),
             EngineError::ServiceStopped => {
                 write!(f, "the service pool has stopped; the setup was not decided")
+            }
+            EngineError::RestoreRefused(why) => {
+                write!(f, "state restore refused: {why}")
             }
         }
     }

@@ -43,9 +43,11 @@ mod error;
 mod metrics;
 mod pool;
 mod shard;
+mod state;
 mod stats;
 
 pub use engine::{AdmissionEngine, EngineOutcome, FailureImpact, GuaranteeViolation};
 pub use error::EngineError;
 pub use pool::{run_batch, EnginePool, JobResult, ServicePool};
+pub use state::{ConnectionState, EngineState, HealthOverlayState, SwitchState};
 pub use stats::EngineStats;

@@ -22,9 +22,16 @@ pub(crate) struct Shard {
 
 impl Shard {
     pub fn new(config: SwitchConfig) -> Shard {
+        Shard::from_switch(Switch::new(config))
+    }
+
+    /// Wraps an already-populated switch (the warm-restart path) with a
+    /// cold cache — correct because cache entries are epoch-tagged
+    /// memoization and misses recompute identical results.
+    pub fn from_switch(switch: Switch) -> Shard {
         Shard {
             state: Mutex::new(ShardState {
-                switch: Switch::new(config),
+                switch,
                 cache: SofCache::new(),
             }),
         }

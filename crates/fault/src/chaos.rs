@@ -138,6 +138,72 @@ impl ChaosReport {
     }
 }
 
+/// One traffic decision made during a chaos run, in submission order.
+///
+/// The log is the basis of the kill-and-restore proof: a run that is
+/// killed at step `k` and continued on a restored engine must produce
+/// exactly this sequence from step `k` on — same ids, same outcomes —
+/// as a run that was never killed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosDecision {
+    /// A unicast setup committed on its submitted route.
+    Admitted(ConnectionId),
+    /// A unicast setup committed on a crankback alternate.
+    Rerouted(ConnectionId),
+    /// A unicast setup refused.
+    Rejected,
+    /// A point-to-multipoint setup committed.
+    McastAdmitted(ConnectionId),
+    /// A point-to-multipoint setup refused.
+    McastRejected,
+    /// A live connection released by the churn.
+    Released(ConnectionId),
+}
+
+/// The mutable state of a chaos run, carried across
+/// [`run_chaos_segment`] calls so a run can be paused (e.g. while the
+/// engine is killed and restored from a snapshot) and then continued
+/// deterministically.
+#[derive(Debug, Clone)]
+pub struct ChaosState {
+    rng: SimRng,
+    live: Vec<ConnectionId>,
+    cursor: usize,
+    step: u64,
+    report: ChaosReport,
+    decisions: Vec<ChaosDecision>,
+}
+
+impl ChaosState {
+    /// Fresh state for a run under `config` (positions the traffic RNG
+    /// at the configured seed).
+    pub fn new(config: &ChaosConfig) -> ChaosState {
+        ChaosState {
+            rng: SimRng::seed_from_u64(config.seed),
+            live: Vec::new(),
+            cursor: 0,
+            step: 0,
+            report: ChaosReport::default(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Steps executed so far.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Connections currently established by the churn.
+    pub fn live(&self) -> &[ConnectionId] {
+        &self.live
+    }
+
+    /// Every traffic decision made so far, in submission order.
+    pub fn decisions(&self) -> &[ChaosDecision] {
+        &self.decisions
+    }
+}
+
 /// Ordered `(source, destination)` end-system pairs for chaos traffic:
 /// each end system paired with its successor and with the end system
 /// half-way around, so routes of several lengths are exercised.
@@ -176,19 +242,43 @@ pub fn run_chaos(
     plan: &FaultPlan,
     config: &ChaosConfig,
 ) -> Result<ChaosReport, EngineError> {
-    let mut rng = SimRng::seed_from_u64(config.seed);
+    let mut state = ChaosState::new(config);
+    run_chaos_segment(engine, endpoints, plan, config, &mut state, config.steps)?;
+    finish_report(engine, &state)
+}
+
+/// Runs `steps` further chaos steps against `engine`, continuing from
+/// (and mutating) `state`. Splitting a run into segments with the same
+/// total step count is behavior-identical to one whole run — the RNG,
+/// live list, plan cursor and decision log all travel in `state` — so a
+/// caller can cut a run anywhere, kill and restore the engine, and
+/// resume.
+///
+/// # Errors
+///
+/// As [`run_chaos`].
+pub fn run_chaos_segment(
+    engine: &AdmissionEngine,
+    endpoints: &[(NodeId, NodeId)],
+    plan: &FaultPlan,
+    config: &ChaosConfig,
+    state: &mut ChaosState,
+    steps: u64,
+) -> Result<(), EngineError> {
+    let rng = &mut state.rng;
+    let live = &mut state.live;
+    let cursor = &mut state.cursor;
+    let report = &mut state.report;
+    let decisions = &mut state.decisions;
     let terminals: Vec<NodeId> = engine.topology().end_systems().map(|n| n.id()).collect();
-    let mut live: Vec<ConnectionId> = Vec::new();
-    let mut cursor = 0usize;
-    let mut report = ChaosReport::default();
-    for step in 0..config.steps {
+    for step in state.step..state.step + steps {
         // Replay every fault event due at this step. Each replayed
         // event gets its own span tagged with the fault epoch before
         // and after, so admission traces (which carry `fault_epoch`)
         // can be correlated with the fault that bracketed them.
-        while cursor < plan.events().len() && plan.events()[cursor].0 <= step {
-            let (_, event) = plan.events()[cursor];
-            cursor += 1;
+        while *cursor < plan.events().len() && plan.events()[*cursor].0 <= step {
+            let (_, event) = plan.events()[*cursor];
+            *cursor += 1;
             let mut ctx = engine.tracer().start("chaos.fault");
             if ctx.is_live() {
                 ctx.attr("step", step.to_string());
@@ -256,12 +346,17 @@ pub fn run_chaos(
                     EngineOutcome::Admitted { id, .. } => {
                         report.admitted += 1;
                         live.push(id);
+                        decisions.push(ChaosDecision::Admitted(id));
                     }
                     EngineOutcome::Rerouted { id, .. } => {
                         report.rerouted += 1;
                         live.push(id);
+                        decisions.push(ChaosDecision::Rerouted(id));
                     }
-                    EngineOutcome::Rejected { .. } => report.rejected += 1,
+                    EngineOutcome::Rejected { .. } => {
+                        report.rejected += 1;
+                        decisions.push(ChaosDecision::Rejected);
+                    }
                 }
             }
         }
@@ -286,8 +381,12 @@ pub fn run_chaos(
                     EngineOutcome::Admitted { id, .. } | EngineOutcome::Rerouted { id, .. } => {
                         report.mcast_admitted += 1;
                         live.push(id);
+                        decisions.push(ChaosDecision::McastAdmitted(id));
                     }
-                    EngineOutcome::Rejected { .. } => report.mcast_rejected += 1,
+                    EngineOutcome::Rejected { .. } => {
+                        report.mcast_rejected += 1;
+                        decisions.push(ChaosDecision::McastRejected);
+                    }
                 }
             }
         }
@@ -297,12 +396,29 @@ pub fn run_chaos(
             let id = live.swap_remove(rng.gen_below(live.len() as u64) as usize);
             engine.release(id)?;
             report.released += 1;
+            decisions.push(ChaosDecision::Released(id));
         }
     }
 
+    state.step += steps;
+    Ok(())
+}
+
+/// Runs the end-of-run audits against `engine` (orphaned reservations,
+/// [`AdmissionEngine::verify_guarantees`]) and merges them with the
+/// counters accumulated in `state` into a final [`ChaosReport`].
+///
+/// # Errors
+///
+/// As [`run_chaos`].
+pub fn finish_report(
+    engine: &AdmissionEngine,
+    state: &ChaosState,
+) -> Result<ChaosReport, EngineError> {
+    let mut report = state.report.clone();
     report.orphans_final = engine.orphaned_reservations().len() as u64;
     report.guarantee_violations = engine.verify_guarantees()?.len() as u64;
-    report.live_final = live.len() as u64;
+    report.live_final = state.live.len() as u64;
     report.stats = engine.stats();
     Ok(report)
 }

@@ -25,5 +25,8 @@
 mod chaos;
 mod plan;
 
-pub use chaos::{endpoint_pairs, run_chaos, ChaosConfig, ChaosReport};
+pub use chaos::{
+    endpoint_pairs, finish_report, run_chaos, run_chaos_segment, ChaosConfig, ChaosDecision,
+    ChaosReport, ChaosState,
+};
 pub use plan::{FaultEvent, FaultPlan, MAX_CONCURRENT_DOWN};

@@ -14,12 +14,21 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
 use std::time::Duration;
 
 use rtcac_signaling::SetupRequest;
 
-use crate::proto::{Request, Response};
+use crate::proto::{ErrorCode, Request, Response};
 use crate::wire::{read_frame, write_frame, WireError};
+
+/// First retry delay when the server answers `SnapshotRestoring`.
+const RESTORE_BACKOFF_START: Duration = Duration::from_millis(25);
+/// Per-step backoff cap.
+const RESTORE_BACKOFF_MAX: Duration = Duration::from_millis(500);
+/// Retry attempts before giving up on a restoring server (the
+/// geometric backoff makes this several seconds of patience in total).
+const RESTORE_RETRIES: u32 = 40;
 
 /// A blocking connection to an `rtcac serve` process.
 #[derive(Debug)]
@@ -104,10 +113,30 @@ impl Client {
 
     /// Asks the server what it is serving.
     ///
+    /// A server that is warm-restarting from a snapshot answers every
+    /// request with the typed [`ErrorCode::SnapshotRestoring`] error;
+    /// this helper backs off geometrically and retries until the
+    /// restore finishes, so load generators ride out a restart instead
+    /// of misreading it as a refusal.
+    ///
     /// # Errors
     ///
-    /// Socket or codec failures.
+    /// Socket or codec failures, or the last `SnapshotRestoring` error
+    /// when the server is still restoring after the full retry budget.
     pub fn hello(&mut self) -> Result<Response, WireError> {
+        let mut backoff = RESTORE_BACKOFF_START;
+        for _ in 0..RESTORE_RETRIES {
+            match self.call(&Request::Hello)? {
+                Response::Error {
+                    code: ErrorCode::SnapshotRestoring,
+                    ..
+                } => {
+                    thread::sleep(backoff);
+                    backoff = (backoff * 2).min(RESTORE_BACKOFF_MAX);
+                }
+                reply => return Ok(reply),
+            }
+        }
         self.call(&Request::Hello)
     }
 

@@ -73,6 +73,11 @@ pub enum ErrorCode {
     UnknownConnection = 6,
     /// The admission engine failed internally.
     Internal = 7,
+    /// The server is restoring its state from a snapshot; the request
+    /// was not processed. Clients should back off and retry — the
+    /// restore finishes (or the server refuses the snapshot and goes
+    /// down) within bounded time.
+    SnapshotRestoring = 8,
 }
 
 impl ErrorCode {
@@ -86,6 +91,7 @@ impl ErrorCode {
             5 => ErrorCode::NotOwner,
             6 => ErrorCode::UnknownConnection,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::SnapshotRestoring,
             _ => return None,
         })
     }

@@ -20,16 +20,17 @@
 use std::collections::HashSet;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rtcac_bitstream::Time;
 use rtcac_cac::{ConnectionId, SwitchConfig};
 use rtcac_engine::{AdmissionEngine, EngineError, EngineOutcome, ServicePool};
 use rtcac_net::{builders, LinkId, MulticastTree, Route};
-use rtcac_obs::{Counter, Gauge, Registry};
+use rtcac_obs::{Counter, Gauge, Histogram, Registry};
 use rtcac_signaling::CdvPolicy;
 
 use crate::metrics_http::spawn_metrics_endpoint;
@@ -62,6 +63,15 @@ pub struct ServeConfig {
     /// every service-level handle is a no-op (near-zero observability
     /// cost; the exposition endpoint then serves an empty snapshot).
     pub snapshot_free: bool,
+    /// Warm-restart state file. When set, the server restores from it
+    /// on boot (a missing file is a cold start; a corrupt or
+    /// inconsistent file is refused and the server goes down without
+    /// serving) and writes it atomically on DRAIN — plus periodically,
+    /// per [`ServeConfig::snapshot_every`].
+    pub snapshot_path: Option<String>,
+    /// Seconds between periodic snapshot saves (requires
+    /// [`ServeConfig::snapshot_path`]; `None` = save on drain only).
+    pub snapshot_every: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +84,8 @@ impl Default for ServeConfig {
             bound: Time::from_integer(64),
             workers: 4,
             snapshot_free: false,
+            snapshot_path: None,
+            snapshot_every: None,
         }
     }
 }
@@ -91,12 +103,15 @@ pub struct DrainSummary {
     pub violations: usize,
     /// Connections still established after drain (guarantees kept).
     pub active: usize,
+    /// Why the boot-time snapshot restore failed, when it did — the
+    /// server refused the snapshot and drained without serving traffic.
+    pub restore_failed: Option<String>,
 }
 
 impl DrainSummary {
     /// Whether the shutdown left the engine in a provably clean state.
     pub fn is_clean(&self) -> bool {
-        self.orphans == 0 && self.violations == 0
+        self.orphans == 0 && self.violations == 0 && self.restore_failed.is_none()
     }
 }
 
@@ -131,6 +146,11 @@ struct ServiceState {
     engine: Arc<AdmissionEngine>,
     pool: ServicePool,
     shutdown: AtomicBool,
+    restoring: AtomicBool,
+    restore_error: Mutex<Option<String>>,
+    snapshot_path: Option<PathBuf>,
+    snapshot_every: Option<Duration>,
+    last_save: Mutex<Option<Instant>>,
     info: (u32, u32, u8, Time),
     admitted: AtomicU64,
     rejected: AtomicU64,
@@ -145,11 +165,100 @@ struct ServiceState {
     m_sessions: Counter,
     m_active: Gauge,
     m_draining: Gauge,
+    m_snapshot_save_ns: Histogram,
+    m_snapshot_restore_ns: Histogram,
+    m_snapshot_bytes: Gauge,
+    m_snapshot_age_seconds: Gauge,
+    m_snapshot_restore_ok: Gauge,
 }
 
 impl ServiceState {
     fn active(&self) -> u64 {
         self.engine.connection_count() as u64
+    }
+
+    /// Restores the engine from the configured snapshot file, if any.
+    /// Runs on the accept thread before any request is dispatched;
+    /// sessions accepted meanwhile get the typed `SnapshotRestoring`
+    /// error. A missing file is a cold start. On success the restored
+    /// engine has already passed the guarantee and orphan audits; on
+    /// refusal nothing was loaded and the server goes down unserved.
+    fn restore_on_boot(&self) -> Result<(), String> {
+        let Some(path) = &self.snapshot_path else {
+            return Ok(());
+        };
+        if !path.exists() {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let result =
+            rtcac_snap::load_file(path).and_then(|doc| rtcac_snap::adopt_into(&self.engine, &doc));
+        match result {
+            Ok(()) => {
+                self.m_snapshot_restore_ns
+                    .record(started.elapsed().as_nanos() as u64);
+                self.m_snapshot_restore_ok.set(1);
+                self.m_active.set(self.active());
+                // Seed the file gauges from the restored snapshot so a
+                // scrape right after boot reads its real size and age.
+                if let Ok(meta) = std::fs::metadata(path) {
+                    self.m_snapshot_bytes.set(meta.len());
+                    let age = meta
+                        .modified()
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .map_or(0, |d| d.as_secs());
+                    self.m_snapshot_age_seconds.set(age);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.m_snapshot_restore_ok.set(0);
+                Err(format!("snapshot {}: {e}", path.display()))
+            }
+        }
+    }
+
+    /// Writes the current engine state to the configured snapshot file
+    /// (atomic temp-then-rename). Failures are recorded, not fatal — a
+    /// full disk must not take the admission plane down.
+    fn save_snapshot(&self) {
+        let Some(path) = &self.snapshot_path else {
+            return;
+        };
+        let started = Instant::now();
+        let doc = rtcac_snap::snapshot_engine(&self.engine, "rtcac-serve");
+        match rtcac_snap::save_atomic(&doc, path) {
+            Ok(bytes) => {
+                self.m_snapshot_save_ns
+                    .record(started.elapsed().as_nanos() as u64);
+                self.m_snapshot_bytes.set(bytes);
+                self.m_snapshot_age_seconds.set(0);
+                *self.last_save.lock().expect("snapshot clock") = Some(Instant::now());
+            }
+            Err(e) => {
+                rtcac_obs::record_event("snapshot.save_failed", e.to_string());
+            }
+        }
+    }
+
+    /// Periodic-save tick, called from the accept loop's poll path:
+    /// refreshes the age gauge and saves when the configured interval
+    /// has elapsed.
+    fn snapshot_tick(&self) {
+        if self.snapshot_path.is_none() {
+            return;
+        }
+        let last = *self.last_save.lock().expect("snapshot clock");
+        if let Some(last) = last {
+            self.m_snapshot_age_seconds.set(last.elapsed().as_secs());
+        }
+        let Some(every) = self.snapshot_every else {
+            return;
+        };
+        if last.is_none_or(|t| t.elapsed() >= every) {
+            self.save_snapshot();
+        }
     }
 }
 
@@ -217,10 +326,24 @@ impl Server {
                 registry.gauge(name)
             }
         };
+        let snapshot_path = config.snapshot_path.as_ref().map(PathBuf::from);
+        let has_snapshot = snapshot_path.as_ref().is_some_and(|p| p.exists());
+        let histogram = |name: &str| {
+            if config.snapshot_free {
+                Histogram::noop()
+            } else {
+                registry.histogram(name)
+            }
+        };
         let state = Arc::new(ServiceState {
             engine,
             pool,
             shutdown: AtomicBool::new(false),
+            restoring: AtomicBool::new(has_snapshot),
+            restore_error: Mutex::new(None),
+            snapshot_path,
+            snapshot_every: config.snapshot_every.map(Duration::from_secs),
+            last_save: Mutex::new(None),
             info: (
                 config.nodes as u32,
                 config.terminals as u32,
@@ -240,6 +363,11 @@ impl Server {
             m_sessions: counter("serve_sessions_total"),
             m_active: gauge("serve_active_connections"),
             m_draining: gauge("serve_draining"),
+            m_snapshot_save_ns: histogram("snapshot_save_ns"),
+            m_snapshot_restore_ns: histogram("snapshot_restore_ns"),
+            m_snapshot_bytes: gauge("snapshot_bytes"),
+            m_snapshot_age_seconds: gauge("snapshot_age_seconds"),
+            m_snapshot_restore_ok: gauge("snapshot_restore_ok"),
         });
 
         let listener = TcpListener::bind(&config.addr)?;
@@ -325,6 +453,24 @@ fn begin_drain(state: &ServiceState) {
 /// The accept loop: non-blocking accept + shutdown poll, then the
 /// drain/audit sequence once shutdown is requested.
 fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) -> DrainSummary {
+    // Boot-time warm restart: the listener is already bound (so a
+    // restart doesn't lose the port race) and sessions are accepted
+    // while the restore runs — but dispatch is gated, so every request
+    // meanwhile is answered with the typed `SnapshotRestoring` error
+    // and clients back off and retry instead of hanging on shard locks.
+    if state.restoring.load(Ordering::SeqCst) {
+        let restore_state = Arc::clone(state);
+        thread::spawn(move || {
+            if let Err(why) = restore_state.restore_on_boot() {
+                *restore_state
+                    .restore_error
+                    .lock()
+                    .expect("restore error slot") = Some(why);
+                begin_drain(&restore_state);
+            }
+            restore_state.restoring.store(false, Ordering::SeqCst);
+        });
+    }
     let mut sessions: Vec<thread::JoinHandle<()>> = Vec::new();
     let mut served = 0u64;
     loop {
@@ -342,6 +488,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) -> DrainSummar
                 sessions.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                state.snapshot_tick();
                 thread::sleep(POLL_INTERVAL);
             }
             Err(_) => thread::sleep(POLL_INTERVAL),
@@ -354,6 +501,18 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) -> DrainSummar
         let _ = handle.join();
     }
     state.pool.shutdown();
+    let restore_failed = state
+        .restore_error
+        .lock()
+        .expect("restore error slot")
+        .clone();
+    // The drain-point snapshot: the engine is quiescent now, so this is
+    // the consistent cut a warm restart will resume from. Skipped when
+    // the boot restore failed — an empty engine must not clobber the
+    // (possibly repairable) snapshot that was refused.
+    if restore_failed.is_none() {
+        state.save_snapshot();
+    }
     let orphans = state.engine.publish_orphan_audit();
     state.last_orphans.store(orphans as u64, Ordering::Relaxed);
     let violations = state
@@ -367,6 +526,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) -> DrainSummar
         orphans,
         violations,
         active: state.engine.connection_count(),
+        restore_failed,
     }
 }
 
@@ -451,6 +611,16 @@ fn dispatch(
     owned: &mut HashSet<u64>,
     request: Request,
 ) -> Option<Response> {
+    if state.restoring.load(Ordering::SeqCst) {
+        // The engine is being rebuilt from a snapshot: nothing is
+        // dispatched (not even HELLO — the topology answer would be
+        // served from an engine mid-swap). Typed error, session
+        // survives, clients retry after a backoff.
+        return Some(Response::Error {
+            code: ErrorCode::SnapshotRestoring,
+            message: "server is restoring state from a snapshot; retry shortly".into(),
+        });
+    }
     let response = match request {
         Request::Hello => {
             let (nodes, terminals, levels, bound) = state.info;
