@@ -1708,6 +1708,18 @@ impl AdmissionEngine {
                 return Err(refuse(format!("duplicate connection {} in state", conn.id)));
             }
         }
+        // The id allocator must be past every restored connection:
+        // otherwise post-restore setups burn one DuplicateConnection
+        // failure per stale id until the counter catches up — an
+        // availability gap, so such a state is refused outright.
+        if let Some((&max_id, _)) = established.last_key_value() {
+            if state.next_id <= max_id.raw() {
+                return Err(refuse(format!(
+                    "next connection id {} is not past the largest established id {}",
+                    state.next_id, max_id
+                )));
+            }
+        }
         Ok((configs, switches, established))
     }
 

@@ -200,15 +200,20 @@ impl ServiceState {
                 self.m_snapshot_restore_ok.set(1);
                 self.m_active.set(self.active());
                 // Seed the file gauges from the restored snapshot so a
-                // scrape right after boot reads its real size and age.
+                // scrape right after boot reads its real size and age,
+                // and backdate the periodic-save clock to the file's
+                // mtime so the save cadence counts from the last
+                // on-disk write, not from this boot.
                 if let Ok(meta) = std::fs::metadata(path) {
                     self.m_snapshot_bytes.set(meta.len());
                     let age = meta
                         .modified()
                         .ok()
                         .and_then(|t| t.elapsed().ok())
-                        .map_or(0, |d| d.as_secs());
-                    self.m_snapshot_age_seconds.set(age);
+                        .unwrap_or_default();
+                    self.m_snapshot_age_seconds.set(age.as_secs());
+                    *self.last_save.lock().expect("snapshot clock") =
+                        Instant::now().checked_sub(age);
                 }
                 Ok(())
             }
@@ -244,9 +249,22 @@ impl ServiceState {
 
     /// Periodic-save tick, called from the accept loop's poll path:
     /// refreshes the age gauge and saves when the configured interval
-    /// has elapsed.
+    /// has elapsed. Gated on the boot restore: while the restore is
+    /// still running — or after it was refused — a tick here would
+    /// snapshot the empty pre-adopt engine and clobber the very file
+    /// being restored, so it does nothing instead. (The refusal is
+    /// published before the restoring gate clears, so checking the
+    /// gate first makes the error check race-free.)
     fn snapshot_tick(&self) {
-        if self.snapshot_path.is_none() {
+        if self.snapshot_path.is_none() || self.restoring.load(Ordering::SeqCst) {
+            return;
+        }
+        if self
+            .restore_error
+            .lock()
+            .expect("restore error slot")
+            .is_some()
+        {
             return;
         }
         let last = *self.last_save.lock().expect("snapshot clock");
@@ -343,7 +361,10 @@ impl Server {
             restore_error: Mutex::new(None),
             snapshot_path,
             snapshot_every: config.snapshot_every.map(Duration::from_secs),
-            last_save: Mutex::new(None),
+            // Start the periodic-save clock at boot: the first interval
+            // counts from here (or from the restored file's mtime once
+            // the boot restore backdates it), never "immediately".
+            last_save: Mutex::new(Some(Instant::now())),
             info: (
                 config.nodes as u32,
                 config.terminals as u32,

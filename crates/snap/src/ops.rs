@@ -90,8 +90,11 @@ pub fn load_file(path: &Path) -> Result<SnapshotDoc, SnapError> {
 }
 
 /// Writes a snapshot atomically: encode to a sibling temp file, fsync,
-/// then rename over the target. A crash mid-write leaves either the old
-/// snapshot or none — never a torn file.
+/// then rename over the target and fsync the parent directory (Unix),
+/// so the rename itself survives power loss. A crash mid-write leaves
+/// either the old snapshot or none — never a torn file. On non-Unix
+/// platforms rename durability is best-effort: the file contents are
+/// synced, but the directory entry may revert on power loss.
 ///
 /// # Errors
 ///
@@ -108,6 +111,17 @@ pub fn save_atomic(doc: &SnapshotDoc, path: &Path) -> Result<u64, SnapError> {
             file.sync_all()?;
         }
         fs::rename(&tmp, path)?;
+        // The rename is only durable once the new directory entry is on
+        // disk; without this a just-written snapshot can silently
+        // revert to the previous one after power loss.
+        #[cfg(unix)]
+        {
+            let parent = match path.parent() {
+                Some(p) if !p.as_os_str().is_empty() => p,
+                _ => Path::new("."),
+            };
+            fs::File::open(parent)?.sync_all()?;
+        }
         Ok(())
     })();
     if result.is_err() {

@@ -122,7 +122,7 @@ fn hostile_state_never_partially_restores() {
     let mut rng = SimRng::seed_from_u64(0x5EED);
     for round in 0..100 {
         let mut doc = pristine_doc.clone();
-        match rng.gen_below(4) {
+        match rng.gen_below(5) {
             0 => {
                 // Registry entry with no shard legs anywhere.
                 let victim = doc.state.connections
@@ -143,6 +143,18 @@ fn hostile_state_never_partially_restores() {
                 // A switch section for a node the topology doesn't have.
                 let extra = doc.state.switches[0].clone();
                 doc.state.switches.push(extra);
+            }
+            3 => {
+                // Id allocator at or behind an established connection:
+                // post-restore setups would collide with stale ids.
+                let max = doc
+                    .state
+                    .connections
+                    .iter()
+                    .map(|c| c.id.raw())
+                    .max()
+                    .expect("populated engine has connections");
+                doc.state.next_id = rng.gen_below(max + 1);
             }
             _ => {
                 // Health overlay naming a link beyond the topology.

@@ -220,6 +220,35 @@ fn inconsistent_state_is_refused_not_half_loaded() {
 }
 
 #[test]
+fn stale_id_allocator_is_refused() {
+    let (engine, _, _) = churned_engine(0xA1D, 60);
+    let mut doc = snapshot_engine(&engine, "tampered");
+    let max = doc
+        .state
+        .connections
+        .iter()
+        .map(|c| c.id.raw())
+        .max()
+        .expect("churn admitted something");
+    // next_id <= an established id would make post-restore setups fail
+    // with duplicate-id errors until the allocator caught up.
+    doc.state.next_id = max;
+    assert!(matches!(restore_engine(&doc), Err(SnapError::Refused(_))));
+
+    let target = restore_engine(&snapshot_engine(&engine, "target")).unwrap();
+    let before = target.export_state();
+    assert!(matches!(
+        adopt_into(&target, &doc),
+        Err(SnapError::Refused(_))
+    ));
+    assert_eq!(
+        target.export_state(),
+        before,
+        "refusal must not touch the engine"
+    );
+}
+
+#[test]
 fn draining_flag_and_counters_survive() {
     let (engine, _, _) = churned_engine(0xA0E, 60);
     engine.set_draining(true);
