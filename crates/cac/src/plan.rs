@@ -232,18 +232,54 @@ impl ReservationPlan {
         policy: CdvPolicy,
         contract: TrafficContract,
         priority: Priority,
+        advertised: impl FnMut(NodeId) -> Result<Time, E>,
+    ) -> Result<ReservationPlan, E> {
+        Self::price_inflated(plan, policy, contract, priority, advertised, |_| Time::ZERO)
+    }
+
+    /// [`price`](ReservationPlan::price) with per-link CDV inflation: a
+    /// degraded link contributes `inflation(link)` extra cell delay
+    /// variation to every hop downstream of it (its own ingress hop
+    /// included), on top of the policy-accumulated advertised bounds.
+    /// Inflation only ever *adds* CDV, so a degraded link can tighten an
+    /// admission decision but never loosen one; an all-zero lookup is
+    /// exactly [`price`](ReservationPlan::price).
+    ///
+    /// # Errors
+    ///
+    /// As [`price`](ReservationPlan::price).
+    pub fn price_inflated<E: From<CacError>>(
+        plan: &RoutePlan,
+        policy: CdvPolicy,
+        contract: TrafficContract,
+        priority: Priority,
         mut advertised: impl FnMut(NodeId) -> Result<Time, E>,
+        mut inflation: impl FnMut(LinkId) -> Time,
     ) -> Result<ReservationPlan, E> {
         let mut bounds = Vec::with_capacity(plan.hops().len());
+        let mut extras = Vec::with_capacity(plan.hops().len());
         for hop in plan.hops() {
             bounds.push(advertised(hop.node)?);
+            extras.push(inflation(hop.in_link));
         }
         let mut hops = Vec::with_capacity(plan.hops().len());
         for (k, hop) in plan.hops().iter().enumerate() {
             let mut through: Vec<Time> = hop.upstream.iter().map(|&i| bounds[i]).collect();
-            let cdv = policy.accumulate(&through).map_err(E::from)?;
+            // Jitter inflation accumulated over the upstream links plus
+            // this hop's own ingress link.
+            let inflate: Time = hop
+                .upstream
+                .iter()
+                .map(|&i| extras[i])
+                .chain(std::iter::once(extras[k]))
+                .sum();
+            let cdv = policy.accumulate(&through).map_err(E::from)? + inflate;
             through.push(bounds[k]);
-            let cdv_out = policy.accumulate(&through).map_err(E::from)?;
+            // The egress CDV picks up the out-link's inflation too, so
+            // on a path `rows[k].cdv_out == rows[k+1].cdv_in` still
+            // holds (hop k's out link is hop k+1's in link).
+            let cdv_out =
+                policy.accumulate(&through).map_err(E::from)? + inflate + inflation(hop.out_link);
             hops.push(PlannedHop {
                 node: hop.node,
                 out_link: hop.out_link,
@@ -471,6 +507,58 @@ mod tests {
         assert!(cdvs.contains(&Time::from_integer(32)));
         // Worst leaf crosses two switches: 64 cells achievable.
         assert_eq!(priced.achievable(), Time::from_integer(64));
+    }
+
+    #[test]
+    fn inflation_adds_cdv_downstream_and_zero_is_price() {
+        let (t, _, links) = two_level();
+        let route = Route::new(&t, vec![links[0], links[2], links[3]]).unwrap();
+        let plan = RoutePlan::from_route(&t, &route).unwrap();
+        let base = price(&t, &plan, 32);
+
+        // An all-zero inflation lookup is exactly `price`.
+        let zero = ReservationPlan::price_inflated::<CacError>(
+            &plan,
+            CdvPolicy::Hard,
+            contract(),
+            Priority::HIGHEST,
+            |_| Ok(Time::from_integer(32)),
+            |_| Time::ZERO,
+        )
+        .unwrap();
+        assert_eq!(zero, base);
+
+        // Degrading the trunk (hop 1's ingress, hop 0's egress) adds
+        // its inflation to hop 1's CDV and both hops' egress CDV, but
+        // leaves hop 0's ingress CDV alone.
+        let extra = Time::from_integer(5);
+        let inflated = ReservationPlan::price_inflated::<CacError>(
+            &plan,
+            CdvPolicy::Hard,
+            contract(),
+            Priority::HIGHEST,
+            |_| Ok(Time::from_integer(32)),
+            |l| if l == links[2] { extra } else { Time::ZERO },
+        )
+        .unwrap();
+        assert_eq!(inflated.hops()[0].cdv, base.hops()[0].cdv);
+        assert_eq!(inflated.hops()[0].cdv_out, base.hops()[0].cdv_out + extra);
+        assert_eq!(inflated.hops()[1].cdv, base.hops()[1].cdv + extra);
+        assert_eq!(inflated.hops()[1].cdv_out, base.hops()[1].cdv_out + extra);
+        // The path invariant survives inflation: hop k's egress CDV is
+        // hop k+1's ingress CDV.
+        assert_eq!(inflated.hops()[0].cdv_out, inflated.hops()[1].cdv);
+
+        // Inflation only ever *adds* CDV — every leg's admission input
+        // is at least its uninflated counterpart — and the advertised
+        // achievable delay (sums of advertised bounds) is untouched.
+        for (inf, plain) in inflated.hops().iter().zip(base.hops()) {
+            assert!(inf.cdv >= plain.cdv);
+            assert!(inf.cdv_out >= plain.cdv_out);
+            assert_eq!(inf.advertised, plain.advertised);
+        }
+        assert_eq!(inflated.achievable(), base.achievable());
+        assert_eq!(inflated.terminals(), base.terminals());
     }
 
     #[test]

@@ -106,11 +106,54 @@ pub fn check(scenario: &Scenario) -> Result<String, CliError> {
     let mut network = build_network(scenario)?;
     let mut out = String::new();
     let mut connected = 0;
+    let mut established: std::collections::BTreeMap<usize, rtcac_cac::ConnectionId> =
+        std::collections::BTreeMap::new();
     for action in &scenario.actions {
         match *action {
             ScenarioAction::Connect(i) => {
                 let spec = &scenario.connections[i];
-                connected += connect_one(&mut network, scenario, spec, &mut out)?;
+                if let Some(id) = connect_one(&mut network, scenario, spec, &mut out)? {
+                    connected += 1;
+                    established.insert(i, id);
+                }
+            }
+            ScenarioAction::Release(i) => {
+                let spec = &scenario.connections[i];
+                let live = match (&spec.route, established.get(&i)) {
+                    (RouteKind::Unicast(_), Some(&id)) if network.connection(id).is_some() => {
+                        network.teardown(id).map_err(CliError::domain)?;
+                        true
+                    }
+                    (RouteKind::Multicast(_), Some(&id))
+                        if network.multicast_connection(id).is_some() =>
+                    {
+                        network.teardown_multicast(id).map_err(CliError::domain)?;
+                        true
+                    }
+                    _ => false,
+                };
+                let _ = writeln!(
+                    out,
+                    "release {}: {}",
+                    spec.name,
+                    if live { "released" } else { "not established" }
+                );
+            }
+            ScenarioAction::DegradeLink(link, cdv) => {
+                network
+                    .set_link_cdv_inflation(link, cdv)
+                    .map_err(CliError::domain)?;
+                let _ = writeln!(
+                    out,
+                    "degrade-link {}: cdv +{cdv} cells",
+                    link_label(scenario, link)
+                );
+            }
+            ScenarioAction::RestoreLink(link) => {
+                network
+                    .set_link_cdv_inflation(link, Time::ZERO)
+                    .map_err(CliError::domain)?;
+                let _ = writeln!(out, "restore-link {}: restored", link_label(scenario, link));
             }
             ScenarioAction::FailLink(link) => {
                 let impact = network.fail_link(link).map_err(CliError::domain)?;
@@ -200,13 +243,14 @@ pub fn check(scenario: &Scenario) -> Result<String, CliError> {
 }
 
 /// Establishes one scenario connection over the live network,
-/// appending its report line; returns 1 if it connected.
+/// appending its report line; returns the connection id if it
+/// connected.
 fn connect_one(
     network: &mut Network,
     scenario: &Scenario,
     spec: &ConnectionSpec,
     out: &mut String,
-) -> Result<usize, CliError> {
+) -> Result<Option<rtcac_cac::ConnectionId>, CliError> {
     if let Some(retries) = spec.crankback {
         let RouteKind::Unicast(route) = &spec.route else {
             return Err(CliError::Usage(format!(
@@ -237,7 +281,7 @@ fn connect_one(
                     result.attempts.len(),
                     result.backoff_cells
                 );
-                1
+                Some(info.id())
             }
             SetupOutcome::Rejected(why) => {
                 let _ = writeln!(
@@ -246,7 +290,7 @@ fn connect_one(
                     spec.name,
                     result.attempts.len()
                 );
-                0
+                None
             }
         });
     }
@@ -263,11 +307,11 @@ fn connect_one(
                     info.guaranteed_delay(),
                     info.per_hop_bounds().len()
                 );
-                1
+                Some(info.id())
             }
             SetupOutcome::Rejected(why) => {
                 let _ = writeln!(out, "{}: REJECTED ({why})", spec.name);
-                0
+                None
             }
         },
         RouteKind::Multicast(tree) => match network
@@ -282,11 +326,11 @@ fn connect_one(
                     info.guaranteed_delay(),
                     info.per_leaf().len()
                 );
-                1
+                Some(info.id())
             }
             rtcac_signaling::MulticastOutcome::Rejected(why) => {
                 let _ = writeln!(out, "{}: REJECTED ({why})", spec.name);
-                0
+                None
             }
         },
     })
@@ -381,7 +425,7 @@ fn run_engine_scenario(
 
 /// Builds the sharded admission engine for a scenario's topology and
 /// switch configs, optionally observed by `registry`.
-fn build_engine(
+pub(crate) fn build_engine(
     scenario: &Scenario,
     registry: Option<&Arc<rtcac_obs::Registry>>,
 ) -> Result<AdmissionEngine, CliError> {
@@ -565,11 +609,51 @@ pub fn check_engine(scenario: &Scenario, metrics_path: Option<&str>) -> Result<S
     let engine = build_engine(scenario, Some(&registry))?;
     let mut out = String::new();
     let mut connected = 0;
+    let mut established: std::collections::BTreeMap<usize, rtcac_cac::ConnectionId> =
+        std::collections::BTreeMap::new();
     for action in &scenario.actions {
         match *action {
             ScenarioAction::Connect(i) => {
                 let spec = &scenario.connections[i];
-                connected += engine_connect_one(&engine, spec, &mut out)?;
+                if let Some(id) = engine_connect_one(&engine, spec, &mut out)? {
+                    connected += 1;
+                    established.insert(i, id);
+                }
+            }
+            ScenarioAction::Release(i) => {
+                let spec = &scenario.connections[i];
+                let live = match established.get(&i) {
+                    // A fault may have torn the connection down since
+                    // it was established; the registry probe keeps the
+                    // replay in lockstep with the serial driver.
+                    Some(&id) if engine.per_leaf_bounds(id).is_some() => {
+                        engine.release(id).map_err(CliError::domain)?;
+                        true
+                    }
+                    _ => false,
+                };
+                let _ = writeln!(
+                    out,
+                    "release {}: {}",
+                    spec.name,
+                    if live { "released" } else { "not established" }
+                );
+            }
+            ScenarioAction::DegradeLink(link, cdv) => {
+                engine
+                    .set_link_cdv_inflation(link, cdv)
+                    .map_err(CliError::domain)?;
+                let _ = writeln!(
+                    out,
+                    "degrade-link {}: cdv +{cdv} cells",
+                    link_label(scenario, link)
+                );
+            }
+            ScenarioAction::RestoreLink(link) => {
+                engine
+                    .set_link_cdv_inflation(link, Time::ZERO)
+                    .map_err(CliError::domain)?;
+                let _ = writeln!(out, "restore-link {}: restored", link_label(scenario, link));
             }
             ScenarioAction::FailLink(link) => {
                 let impact = engine.fail_link(link).map_err(CliError::domain)?;
@@ -660,7 +744,7 @@ fn engine_connect_one(
     engine: &AdmissionEngine,
     spec: &ConnectionSpec,
     out: &mut String,
-) -> Result<usize, CliError> {
+) -> Result<Option<rtcac_cac::ConnectionId>, CliError> {
     let outcome = match &spec.route {
         RouteKind::Unicast(route) => engine
             .admit(route, spec.request)
@@ -688,9 +772,10 @@ fn engine_connect_one(
                     spec.name
                 );
             }
-            1
+            Some(id)
         }
         EngineOutcome::Rerouted {
+            id,
             guaranteed_delay,
             attempts,
             ..
@@ -701,11 +786,11 @@ fn engine_connect_one(
                  (rerouted after {attempts} attempt(s))",
                 spec.name
             );
-            1
+            Some(id)
         }
         EngineOutcome::Rejected { rejection, .. } => {
             let _ = writeln!(out, "{}: REJECTED ({rejection})", spec.name);
-            0
+            None
         }
     })
 }
@@ -795,10 +880,49 @@ pub fn trace(
         if scenario.has_fault_actions() {
             let mut engine = build_engine(scenario, None)?;
             engine.set_tracer(tracer.clone());
+            let mut established: std::collections::BTreeMap<usize, rtcac_cac::ConnectionId> =
+                std::collections::BTreeMap::new();
             for action in &scenario.actions {
                 match *action {
                     ScenarioAction::Connect(i) => {
-                        engine_connect_one(&engine, &scenario.connections[i], &mut out)?;
+                        if let Some(id) =
+                            engine_connect_one(&engine, &scenario.connections[i], &mut out)?
+                        {
+                            established.insert(i, id);
+                        }
+                    }
+                    ScenarioAction::Release(i) => {
+                        let spec = &scenario.connections[i];
+                        let live = match established.get(&i) {
+                            Some(&id) if engine.per_leaf_bounds(id).is_some() => {
+                                engine.release(id).map_err(CliError::domain)?;
+                                true
+                            }
+                            _ => false,
+                        };
+                        let _ = writeln!(
+                            out,
+                            "release {}: {}",
+                            spec.name,
+                            if live { "released" } else { "not established" }
+                        );
+                    }
+                    ScenarioAction::DegradeLink(link, cdv) => {
+                        engine
+                            .set_link_cdv_inflation(link, cdv)
+                            .map_err(CliError::domain)?;
+                        let _ = writeln!(
+                            out,
+                            "degrade-link {}: cdv +{cdv} cells",
+                            link_label(scenario, link)
+                        );
+                    }
+                    ScenarioAction::RestoreLink(link) => {
+                        engine
+                            .set_link_cdv_inflation(link, Time::ZERO)
+                            .map_err(CliError::domain)?;
+                        let _ =
+                            writeln!(out, "restore-link {}: restored", link_label(scenario, link));
                     }
                     ScenarioAction::FailLink(link) => {
                         engine.fail_link(link).map_err(CliError::domain)?;
@@ -845,10 +969,54 @@ pub fn trace(
     } else {
         let mut network = build_network(scenario)?;
         network.set_tracer(tracer.clone());
+        let mut established: std::collections::BTreeMap<usize, rtcac_cac::ConnectionId> =
+            std::collections::BTreeMap::new();
         for action in &scenario.actions {
             match *action {
                 ScenarioAction::Connect(i) => {
-                    connect_one(&mut network, scenario, &scenario.connections[i], &mut out)?;
+                    if let Some(id) =
+                        connect_one(&mut network, scenario, &scenario.connections[i], &mut out)?
+                    {
+                        established.insert(i, id);
+                    }
+                }
+                ScenarioAction::Release(i) => {
+                    let spec = &scenario.connections[i];
+                    let live = match (&spec.route, established.get(&i)) {
+                        (RouteKind::Unicast(_), Some(&id)) if network.connection(id).is_some() => {
+                            network.teardown(id).map_err(CliError::domain)?;
+                            true
+                        }
+                        (RouteKind::Multicast(_), Some(&id))
+                            if network.multicast_connection(id).is_some() =>
+                        {
+                            network.teardown_multicast(id).map_err(CliError::domain)?;
+                            true
+                        }
+                        _ => false,
+                    };
+                    let _ = writeln!(
+                        out,
+                        "release {}: {}",
+                        spec.name,
+                        if live { "released" } else { "not established" }
+                    );
+                }
+                ScenarioAction::DegradeLink(link, cdv) => {
+                    network
+                        .set_link_cdv_inflation(link, cdv)
+                        .map_err(CliError::domain)?;
+                    let _ = writeln!(
+                        out,
+                        "degrade-link {}: cdv +{cdv} cells",
+                        link_label(scenario, link)
+                    );
+                }
+                ScenarioAction::RestoreLink(link) => {
+                    network
+                        .set_link_cdv_inflation(link, Time::ZERO)
+                        .map_err(CliError::domain)?;
+                    let _ = writeln!(out, "restore-link {}: restored", link_label(scenario, link));
                 }
                 ScenarioAction::FailLink(link) => {
                     network.fail_link(link).map_err(CliError::domain)?;
@@ -927,18 +1095,46 @@ pub fn why(scenario: &Scenario, conn_name: &str) -> Result<String, CliError> {
     let mut network = build_network(scenario)?;
     let mut scratch = String::new();
     let mut report: Option<rtcac_cac::AdmissionReport> = None;
+    let mut established: std::collections::BTreeMap<usize, rtcac_cac::ConnectionId> =
+        std::collections::BTreeMap::new();
     for action in &scenario.actions {
         match *action {
             ScenarioAction::Connect(i) => {
-                connect_one(
+                if let Some(id) = connect_one(
                     &mut network,
                     scenario,
                     &scenario.connections[i],
                     &mut scratch,
-                )?;
+                )? {
+                    established.insert(i, id);
+                }
                 if i == target {
                     report = network.last_admission_report().cloned();
                 }
+            }
+            ScenarioAction::Release(i) => {
+                let spec = &scenario.connections[i];
+                match (&spec.route, established.get(&i)) {
+                    (RouteKind::Unicast(_), Some(&id)) if network.connection(id).is_some() => {
+                        network.teardown(id).map_err(CliError::domain)?;
+                    }
+                    (RouteKind::Multicast(_), Some(&id))
+                        if network.multicast_connection(id).is_some() =>
+                    {
+                        network.teardown_multicast(id).map_err(CliError::domain)?;
+                    }
+                    _ => {}
+                }
+            }
+            ScenarioAction::DegradeLink(link, cdv) => {
+                network
+                    .set_link_cdv_inflation(link, cdv)
+                    .map_err(CliError::domain)?;
+            }
+            ScenarioAction::RestoreLink(link) => {
+                network
+                    .set_link_cdv_inflation(link, Time::ZERO)
+                    .map_err(CliError::domain)?;
             }
             ScenarioAction::FailLink(link) => {
                 network.fail_link(link).map_err(CliError::domain)?;
@@ -1373,7 +1569,7 @@ pub fn chaos(args: &ChaosArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn build_network(scenario: &Scenario) -> Result<Network, CliError> {
+pub(crate) fn build_network(scenario: &Scenario) -> Result<Network, CliError> {
     let default =
         rtcac_cac::SwitchConfig::uniform(1, Time::from_integer(32)).map_err(CliError::domain)?;
     let mut network = Network::new(scenario.topology.clone(), default, scenario.policy);

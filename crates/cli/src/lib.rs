@@ -20,5 +20,6 @@
 pub mod commands;
 pub mod error;
 pub mod scenario;
+pub mod storm;
 
 pub use error::CliError;

@@ -53,6 +53,19 @@ USAGE:
       non-conservation). With --metrics, writes the observability
       snapshot to PATH (Prometheus) and PATH.json before the verdict.
 
+  rtcac storm [--seed N] [--rounds N] [--topology KIND] [--profile KIND]
+              [--out PATH] [--metrics PATH] [--bench-json PATH]
+      Differential scenario fuzzer: each round generates a seeded
+      random valid scenario (topologies: star-of-rings, fat-tree, wan,
+      or 'mixed'; impairment profiles: flap, brownout, degrade-heal,
+      regional, 'none', or 'mixed') and replays it through both the
+      serial SETUP procedure and the concurrent sharded engine,
+      asserting verdict, guaranteed-delay, and admission-ledger parity,
+      plus orphan/guarantee audits after every round and periodic
+      kill/snapshot-restore checks of embedded chaos sessions. Exits
+      nonzero on the first violation, writing the minimized failing
+      scenario to --out.
+
   rtcac engine SCENARIO_FILE [--workers N] [--metrics PATH]
       Batch-admit the scenario through the concurrent sharded engine
       (two-phase reserve/commit, N worker threads) and report outcomes,
@@ -207,6 +220,18 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 rate,
                 metrics,
                 bench_json,
+            })
+        }
+        Some("storm") => {
+            let rest: Vec<&String> = it.collect();
+            rtcac_cli::storm::storm(&rtcac_cli::storm::StormArgs {
+                seed: flag_u64(&rest, "--seed")?.unwrap_or(1),
+                rounds: flag_u64(&rest, "--rounds")?.unwrap_or(1000),
+                profile: flag_value(&rest, "--profile")?.map(str::to_owned),
+                topology: flag_value(&rest, "--topology")?.map(str::to_owned),
+                out: flag_value(&rest, "--out")?.map(str::to_owned),
+                metrics: flag_value(&rest, "--metrics")?.map(str::to_owned),
+                bench_json: flag_value(&rest, "--bench-json")?.map(str::to_owned),
             })
         }
         Some("trace") => {

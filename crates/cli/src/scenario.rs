@@ -94,6 +94,13 @@ pub enum ScenarioAction {
     FailNode(NodeId),
     /// Restore a failed node.
     HealNode(NodeId),
+    /// Tear down `connections[i]`, if it is established.
+    Release(usize),
+    /// Add CDV inflation on a link: subsequent setups across it are
+    /// priced with the extra jitter (tightening admission).
+    DegradeLink(LinkId, Time),
+    /// Clear a link's CDV inflation.
+    RestoreLink(LinkId),
     /// Run a seeded chaos session over the scenario's topology.
     Chaos {
         /// Seed for both the fault plan and the traffic churn.
@@ -233,7 +240,8 @@ impl Scenario {
                     )?;
                 }
                 "connect" | "mconnect" | "connect-mcast" | "fail-link" | "heal-link"
-                | "fail-node" | "heal-node" | "chaos" => pending.push((line_no, tokens)),
+                | "fail-node" | "heal-node" | "degrade-link" | "restore-link" | "release"
+                | "chaos" => pending.push((line_no, tokens)),
                 other => return Err(err(format!("unknown directive '{other}'"))),
             }
         }
@@ -258,6 +266,15 @@ impl Scenario {
                     actions.push(ScenarioAction::Connect(connections.len() - 1));
                 }
                 "chaos" => actions.push(parse_chaos(&tokens, line_no)?),
+                "release" => actions.push(parse_release(&connections, &tokens, line_no)?),
+                "degrade-link" => {
+                    actions.push(parse_degrade(&link_names, &tokens, line_no)?);
+                }
+                "restore-link" => {
+                    let link =
+                        resolve_link_directive("restore-link", &link_names, &tokens, line_no)?;
+                    actions.push(ScenarioAction::RestoreLink(link));
+                }
                 fault => actions.push(parse_fault(fault, &names, &link_names, &tokens, line_no)?),
             }
         }
@@ -353,6 +370,85 @@ fn parse_fault(
             })
         }
     }
+}
+
+/// Resolves `release NAME` against the connections defined so far —
+/// a release can only name a connect that appears earlier in the
+/// file, matching replay order.
+fn parse_release(
+    connections: &[ConnectionSpec],
+    tokens: &[String],
+    line: usize,
+) -> Result<ScenarioAction, CliError> {
+    let name = tokens.get(1).ok_or_else(|| CliError::Parse {
+        line,
+        message: "release needs a connection name".into(),
+    })?;
+    if let Some(extra) = tokens.get(2) {
+        return Err(CliError::Parse {
+            line,
+            message: format!("unexpected token '{extra}' after release {name}"),
+        });
+    }
+    let index = connections
+        .iter()
+        .position(|spec| &spec.name == name)
+        .ok_or(CliError::Unknown {
+            kind: "connection",
+            name: name.clone(),
+            line,
+        })?;
+    Ok(ScenarioAction::Release(index))
+}
+
+/// Resolves the link name of a single-argument link directive,
+/// rejecting trailing tokens.
+fn resolve_link_directive(
+    directive: &str,
+    link_names: &BTreeMap<String, LinkId>,
+    tokens: &[String],
+    line: usize,
+) -> Result<LinkId, CliError> {
+    let name = tokens.get(1).ok_or_else(|| CliError::Parse {
+        line,
+        message: format!("{directive} needs a link name"),
+    })?;
+    let extra_at = if directive == "degrade-link" { 3 } else { 2 };
+    if let Some(extra) = tokens.get(extra_at) {
+        return Err(CliError::Parse {
+            line,
+            message: format!("unexpected token '{extra}' after {directive} {name}"),
+        });
+    }
+    link_names.get(name).copied().ok_or(CliError::Unknown {
+        kind: "link",
+        name: name.clone(),
+        line,
+    })
+}
+
+/// Parses `degrade-link NAME cdv=CELLS` (CELLS must be non-negative).
+fn parse_degrade(
+    link_names: &BTreeMap<String, LinkId>,
+    tokens: &[String],
+    line: usize,
+) -> Result<ScenarioAction, CliError> {
+    let err = |message: String| CliError::Parse { line, message };
+    let link = resolve_link_directive("degrade-link", link_names, tokens, line)?;
+    let opt = tokens
+        .get(2)
+        .ok_or_else(|| err("degrade-link needs cdv=CELLS".into()))?;
+    let value = opt
+        .strip_prefix("cdv=")
+        .ok_or_else(|| err(format!("unknown degrade-link option '{opt}'")))?;
+    let cells = value
+        .parse::<Ratio>()
+        .map(Time::new)
+        .map_err(|e| err(format!("bad cdv '{value}': {e}")))?;
+    if cells < Time::ZERO {
+        return Err(err(format!("cdv must be non-negative, got '{value}'")));
+    }
+    Ok(ScenarioAction::DegradeLink(link, cells))
 }
 
 /// Parses `chaos [seed=N] [steps=N] [rate=P]`.
@@ -895,22 +991,101 @@ chaos seed=7 steps=50 rate=30\n";
         assert_eq!(err.to_string(), "unknown link 'ghost' on line 4");
         let err = Scenario::parse(&format!("{base}fail-node ghost\n")).unwrap_err();
         assert_eq!(err.to_string(), "unknown node 'ghost' on line 4");
-        // Missing or trailing tokens.
-        assert!(Scenario::parse(&format!("{base}heal-link\n")).is_err());
-        assert!(Scenario::parse(&format!("{base}fail-link up extra\n")).is_err());
-        // Bad chaos options.
-        assert!(Scenario::parse(&format!("{base}chaos bogus\n")).is_err());
-        assert!(Scenario::parse(&format!("{base}chaos seed=x\n")).is_err());
-        assert!(Scenario::parse(&format!("{base}chaos rate=150\n")).is_err());
+        // Missing or trailing tokens name the directive / token.
+        let err = Scenario::parse(&format!("{base}heal-link\n")).unwrap_err();
+        assert_parse_error(&err, 4, "heal-link");
+        let err = Scenario::parse(&format!("{base}fail-link up extra\n")).unwrap_err();
+        assert_parse_error(&err, 4, "'extra'");
+        let err = Scenario::parse(&format!("{base}heal-node\n")).unwrap_err();
+        assert_parse_error(&err, 4, "heal-node");
+        // Bad chaos options carry the offending token.
+        let err = Scenario::parse(&format!("{base}chaos bogus\n")).unwrap_err();
+        assert_parse_error(&err, 4, "'bogus'");
+        let err = Scenario::parse(&format!("{base}chaos seed=x\n")).unwrap_err();
+        assert_parse_error(&err, 4, "'seed=x'");
+        let err = Scenario::parse(&format!("{base}chaos rate=150\n")).unwrap_err();
+        assert_parse_error(&err, 4, "150");
         // Crankback is unicast-only and must be a number.
-        assert!(Scenario::parse(&format!(
+        let err = Scenario::parse(&format!(
             "{base}endsystem h2\nlink d s h2\nmconnect m tree=up,d crankback=1 contract=cbr:1/8\n"
         ))
-        .is_err());
-        assert!(Scenario::parse(&format!(
+        .unwrap_err();
+        assert_parse_error(&err, 6, "crankback=");
+        let err = Scenario::parse(&format!(
             "{base}endsystem h2\nlink d s h2\nconnect c route=up,d crankback=no contract=cbr:1/8\n"
         ))
-        .is_err());
+        .unwrap_err();
+        assert_parse_error(&err, 6, "'no'");
+    }
+
+    /// Asserts a [`CliError::Parse`] at `line` whose message names
+    /// `token`.
+    fn assert_parse_error(err: &CliError, want_line: usize, token: &str) {
+        match err {
+            CliError::Parse { line, message } => {
+                assert_eq!(*line, want_line, "{err}");
+                assert!(message.contains(token), "missing '{token}' in: {message}");
+            }
+            other => panic!("expected parse error naming '{token}', got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_storm_directives_report_line_and_token() {
+        // Every directive the storm fuzzer can emit reports its line
+        // and the offending token on a parse failure.
+        let base = "switch s\nendsystem h\nlink up h s\n\
+connect c route=up contract=cbr:1/8\n";
+
+        // release: missing name, trailing token, unknown connection.
+        let err = Scenario::parse(&format!("{base}release\n")).unwrap_err();
+        assert_parse_error(&err, 5, "release needs a connection name");
+        let err = Scenario::parse(&format!("{base}release c extra\n")).unwrap_err();
+        assert_parse_error(&err, 5, "'extra'");
+        let err = Scenario::parse(&format!("{base}release ghost\n")).unwrap_err();
+        assert_eq!(err.to_string(), "unknown connection 'ghost' on line 5");
+        // A release may only name a connect that appears *earlier*.
+        let fwd = "switch s\nendsystem h\nlink up h s\nrelease c\n\
+connect c route=up contract=cbr:1/8\n";
+        let err = Scenario::parse(fwd).unwrap_err();
+        assert_eq!(err.to_string(), "unknown connection 'c' on line 4");
+
+        // degrade-link: missing link, unknown link, missing/bad cdv=.
+        let err = Scenario::parse(&format!("{base}degrade-link\n")).unwrap_err();
+        assert_parse_error(&err, 5, "degrade-link needs a link name");
+        let err = Scenario::parse(&format!("{base}degrade-link ghost cdv=4\n")).unwrap_err();
+        assert_eq!(err.to_string(), "unknown link 'ghost' on line 5");
+        let err = Scenario::parse(&format!("{base}degrade-link up\n")).unwrap_err();
+        assert_parse_error(&err, 5, "cdv=CELLS");
+        let err = Scenario::parse(&format!("{base}degrade-link up bogus=4\n")).unwrap_err();
+        assert_parse_error(&err, 5, "'bogus=4'");
+        let err = Scenario::parse(&format!("{base}degrade-link up cdv=junk\n")).unwrap_err();
+        assert_parse_error(&err, 5, "'junk'");
+        let err = Scenario::parse(&format!("{base}degrade-link up cdv=-3\n")).unwrap_err();
+        assert_parse_error(&err, 5, "'-3'");
+        let err = Scenario::parse(&format!("{base}degrade-link up cdv=4 extra\n")).unwrap_err();
+        assert_parse_error(&err, 5, "'extra'");
+
+        // restore-link: missing link, unknown link, trailing token.
+        let err = Scenario::parse(&format!("{base}restore-link\n")).unwrap_err();
+        assert_parse_error(&err, 5, "restore-link needs a link name");
+        let err = Scenario::parse(&format!("{base}restore-link ghost\n")).unwrap_err();
+        assert_eq!(err.to_string(), "unknown link 'ghost' on line 5");
+        let err = Scenario::parse(&format!("{base}restore-link up extra\n")).unwrap_err();
+        assert_parse_error(&err, 5, "'extra'");
+
+        // Degrade/restore round-trip on the happy path.
+        let s =
+            Scenario::parse(&format!("{base}degrade-link up cdv=3/2\nrestore-link up\n")).unwrap();
+        let up = s.link("up").unwrap();
+        assert_eq!(
+            s.actions,
+            vec![
+                ScenarioAction::Connect(0),
+                ScenarioAction::DegradeLink(up, Time::new(rtcac_rational::ratio(3, 2))),
+                ScenarioAction::RestoreLink(up),
+            ]
+        );
     }
 
     #[test]

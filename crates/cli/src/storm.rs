@@ -1,0 +1,1044 @@
+//! `rtcac storm`: the differential scenario fuzzer.
+//!
+//! Each round draws a seeded random — but always *valid* — `.rtcac`
+//! scenario from [`rtcac_storm::generate`] (generated topology,
+//! optional time-varying impairment profile, LRD-shaped connect
+//! volume), then replays it twice: once through the serial signaling
+//! [`Network`] and once through the concurrent sharded
+//! [`AdmissionEngine`], asserting decision parity step by step:
+//!
+//! - plain unicast connects must agree on the verdict, the guaranteed
+//!   delay, and the full per-hop [`AdmissionReport`] ledger (the same
+//!   explicit [`ConnectionId`] is submitted to both sides, so the
+//!   ledgers must be *identical* — the rendered bytes included);
+//! - multicast connects must agree on the verdict and worst-leaf delay;
+//! - crankback connects are compared loosely: the serial driver's
+//!   excluded-link search and the engine's reroute search may
+//!   legitimately pick different alternates, so a divergence downgrades
+//!   the rest of the round to invariant-only checking (counted, not
+//!   fatal);
+//! - fault/heal directives must agree on whether anything changed and
+//!   how many connections were torn down; releases must agree on
+//!   whether the connection was still live;
+//! - embedded `chaos` directives must hold their invariants, and on a
+//!   sampling of rounds are additionally run through a
+//!   kill/snapshot-restore cycle ([`rtcac_snap`]) that must be
+//!   decision-identical to the uninterrupted run;
+//! - after every round both sides must pass the orphaned-reservation
+//!   and guarantee audits, and at the end of the storm the engine's
+//!   lock-hold watchdog counter must still be zero.
+//!
+//! On a violation the failing scenario is minimized (greedy
+//! delta-debugging over the directive list) and written to `--out`,
+//! and the command exits nonzero.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use rtcac_bitstream::{Time, TrafficContract};
+use rtcac_cac::{AdmissionReport, ConnectionId};
+use rtcac_engine::{AdmissionEngine, EngineOutcome, EngineStats};
+use rtcac_fault::{
+    endpoint_pairs, finish_report, run_chaos_segment, ChaosConfig, ChaosReport, ChaosState,
+    FaultPlan,
+};
+use rtcac_signaling::{
+    CrankbackPolicy, MulticastOutcome, Network, SetupOutcome, SetupRejection, SignalError,
+};
+use rtcac_sim::SimRng;
+use rtcac_snap::{decode, encode, restore_engine, snapshot_engine};
+use rtcac_storm::{generate, FuzzConfig, ProfileKind, StormScenario, TopologyKind};
+
+use crate::commands::{build_engine, build_network, write_metrics_file};
+use crate::scenario::{RouteKind, Scenario, ScenarioAction};
+use crate::CliError;
+
+/// Parameters of `rtcac storm`.
+#[derive(Debug, Clone)]
+pub struct StormArgs {
+    /// Master seed: every round's scenario derives from it.
+    pub seed: u64,
+    /// Fuzz rounds to run.
+    pub rounds: u64,
+    /// Impairment profile: a profile name, `none`, or `mixed`
+    /// (default) to cycle through all of them plus unimpaired rounds.
+    pub profile: Option<String>,
+    /// Topology family: a family name or `mixed` (default) to cycle
+    /// through all of them.
+    pub topology: Option<String>,
+    /// Where to write the minimized failing scenario on a violation.
+    pub out: Option<String>,
+    /// Optional metrics output path (Prometheus text, plus `.json`).
+    pub metrics: Option<String>,
+    /// Optional bench JSON output path (`rtcac bench-report` input).
+    pub bench_json: Option<String>,
+}
+
+impl Default for StormArgs {
+    fn default() -> StormArgs {
+        StormArgs {
+            seed: 1,
+            rounds: 1000,
+            profile: None,
+            topology: None,
+            out: None,
+            metrics: None,
+            bench_json: None,
+        }
+    }
+}
+
+/// A deliberate fault injected into the comparison layer — the test
+/// double proving the harness actually catches parity bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tamper {
+    /// Honest comparison.
+    None,
+    /// Pretend the engine returned the opposite verdict for every
+    /// plain unicast connect.
+    FlipVerdicts,
+}
+
+/// Explicit connection ids start far above anything the internal
+/// allocators hand out, so multicast and crankback setups (which
+/// allocate their own ids on each side) can never collide with the
+/// shared ids the parity comparison depends on.
+const ID_BASE: u64 = 1 << 40;
+
+/// Every Nth round, the embedded chaos session (when the scenario has
+/// one) is re-run through a kill/snapshot-restore cycle.
+const RESUME_CHECK_EVERY: u64 = 5;
+
+/// What one directive replay produced on one side.
+struct SideOutcome {
+    /// `Some((id, guaranteed_delay))` when established.
+    established: Option<(ConnectionId, Time)>,
+    /// Rendered rejection, when rejected.
+    rejection: Option<String>,
+    /// The per-hop ledger, when the setup reached pricing.
+    report: Option<AdmissionReport>,
+}
+
+/// Counters of one storm run, folded into the exit report.
+#[derive(Default)]
+struct StormTotals {
+    directives: u64,
+    connects: u64,
+    releases: u64,
+    faults: u64,
+    degrades: u64,
+    chaos: u64,
+    resume_checks: u64,
+    crankback_divergences: u64,
+}
+
+/// `rtcac storm`: seeded differential fuzzing of the serial signaling
+/// walk against the concurrent engine (see the module docs).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown profile/topology names and
+/// [`CliError::Domain`] on the first parity violation or audit failure
+/// — after writing the minimized failing scenario to `--out`.
+pub fn storm(args: &StormArgs) -> Result<String, CliError> {
+    storm_with(args, Tamper::None)
+}
+
+/// [`storm`] with an injectable comparison-layer fault (tests only).
+pub(crate) fn storm_with(args: &StormArgs, tamper: Tamper) -> Result<String, CliError> {
+    let topologies: Vec<TopologyKind> = match args.topology.as_deref() {
+        None | Some("mixed") => TopologyKind::ALL.to_vec(),
+        Some(name) => vec![TopologyKind::parse(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown topology '{name}' (star-of-rings|fat-tree|wan|mixed)"
+            ))
+        })?],
+    };
+    let profiles: Vec<Option<ProfileKind>> = match args.profile.as_deref() {
+        None | Some("mixed") => {
+            let mut all: Vec<Option<ProfileKind>> = vec![None];
+            all.extend(ProfileKind::ALL.into_iter().map(Some));
+            all
+        }
+        Some("none") => vec![None],
+        Some(name) => vec![Some(ProfileKind::parse(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown profile '{name}' (flap|brownout|degrade-heal|regional|none|mixed)"
+            ))
+        })?)],
+    };
+
+    let registry = Arc::new(rtcac_obs::Registry::new());
+    let rounds_total = registry.counter("storm_rounds_total");
+    let violations_total = registry.counter("storm_parity_violations_total");
+    let round_ns = registry.histogram("storm_round_ns");
+
+    let mut master = SimRng::seed_from_u64(args.seed);
+    let mut totals = StormTotals::default();
+    let started = std::time::Instant::now();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "storm: seed={} rounds={} topologies={} profiles={}",
+        args.seed,
+        args.rounds,
+        topologies
+            .iter()
+            .map(|t| t.name())
+            .collect::<Vec<_>>()
+            .join(","),
+        profiles
+            .iter()
+            .map(|p| p.map_or("none", ProfileKind::name))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+
+    for round in 0..args.rounds {
+        let round_seed = master.next_u64();
+        let config = FuzzConfig {
+            topology: topologies[(round as usize) % topologies.len()],
+            profile: profiles[(round as usize) % profiles.len()],
+            ..FuzzConfig::default()
+        };
+        let check_resume = round % RESUME_CHECK_EVERY == 0;
+        let round_started = std::time::Instant::now();
+        let scenario = generate(round_seed, &config).map_err(CliError::domain)?;
+        let violations = run_differential(&scenario, &registry, tamper, check_resume, &mut totals)?;
+        round_ns.record(round_started.elapsed().as_nanos() as u64);
+        rounds_total.inc();
+        if !violations.is_empty() {
+            violations_total.add(violations.len() as u64);
+            let minimized = minimize(&scenario, &registry, tamper);
+            let _ = writeln!(
+                out,
+                "round {round} (seed {round_seed}, topology {}, profile {}): \
+                 {} parity violation(s)",
+                config.topology.name(),
+                config.profile.map_or("none", ProfileKind::name),
+                violations.len()
+            );
+            for v in &violations {
+                let _ = writeln!(out, "  - {v}");
+            }
+            if let Some(path) = &args.out {
+                write_metrics_file(path, &minimized.emit())?;
+                let _ = writeln!(
+                    out,
+                    "minimized failing scenario ({} of {} directive(s)) written to {path}",
+                    minimized.directives.len(),
+                    scenario.directives.len()
+                );
+            }
+            write_exports(
+                args,
+                &registry,
+                &totals,
+                started.elapsed().as_secs_f64(),
+                &mut out,
+            )?;
+            return Err(CliError::Domain(format!(
+                "storm round {round} (seed {round_seed}) violated parity:\n{out}"
+            )));
+        }
+    }
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let _ = writeln!(
+        out,
+        "rounds: {} clean ({} directives, {} connects, {} releases, {} faults, \
+         {} degrades, {} chaos, {} resume checks, {} tolerated crankback divergences)",
+        args.rounds,
+        totals.directives,
+        totals.connects,
+        totals.releases,
+        totals.faults,
+        totals.degrades,
+        totals.chaos,
+        totals.resume_checks,
+        totals.crankback_divergences,
+    );
+
+    // The lock-hold watchdog must have stayed quiet across every
+    // engine the storm built: a long hold under this workload means a
+    // shard lock was held across something unbounded.
+    let long_holds = registry.counter("engine_lock_hold_long_total").get();
+    if long_holds != 0 {
+        return Err(CliError::Domain(format!(
+            "lock-hold watchdog fired {long_holds} time(s) during the storm"
+        )));
+    }
+    let _ = writeln!(out, "lock-hold watchdog: quiet");
+    write_exports(args, &registry, &totals, elapsed, &mut out)?;
+    let _ = writeln!(out, "storm: OK");
+    Ok(out)
+}
+
+/// Writes the `--metrics` and `--bench-json` artifacts, if requested.
+fn write_exports(
+    args: &StormArgs,
+    registry: &Arc<rtcac_obs::Registry>,
+    totals: &StormTotals,
+    elapsed: f64,
+    out: &mut String,
+) -> Result<(), CliError> {
+    if let Some(path) = &args.metrics {
+        let snapshot = registry.snapshot();
+        let json_path = format!("{path}.json");
+        write_metrics_file(path, &snapshot.to_prometheus())?;
+        write_metrics_file(&json_path, &snapshot.to_json())?;
+        let _ = writeln!(
+            out,
+            "metrics: wrote {path} (prometheus) and {json_path} (json)"
+        );
+    }
+    if let Some(path) = &args.bench_json {
+        let snapshot = registry.snapshot();
+        let (p50, p99) = snapshot
+            .histogram("storm_round_ns")
+            .map_or((0, 0), |h| (h.p50(), h.p99()));
+        let ops = totals.directives as f64 / elapsed.max(1e-9);
+        let contents = format!(
+            "{{\"bench\":\"storm\",\"seed\":{},\"rounds\":{},\n\
+             \"rounds\":[\n\
+             {{\"workers\":1,\"ops_per_sec\":{ops:.1},\"p50_ns\":{p50},\"p99_ns\":{p99}}}\n\
+             ]}}\n",
+            args.seed, totals.directives
+        );
+        write_metrics_file(path, &contents)?;
+        let _ = writeln!(out, "bench: wrote {path} (bench json)");
+    }
+    Ok(())
+}
+
+/// Replays one generated scenario through both drivers and returns
+/// every parity violation found (empty = clean round).
+fn run_differential(
+    storm: &StormScenario,
+    registry: &Arc<rtcac_obs::Registry>,
+    tamper: Tamper,
+    check_resume: bool,
+    totals: &mut StormTotals,
+) -> Result<Vec<String>, CliError> {
+    let text = storm.emit();
+    let scenario = match Scenario::parse(&text) {
+        Ok(s) => s,
+        // The fuzzer promises valid files; a parse error IS a finding.
+        Err(e) => return Ok(vec![format!("generated scenario failed to parse: {e}")]),
+    };
+
+    let mut network = build_network(&scenario)?;
+    let engine = build_engine(&scenario, Some(registry))?;
+    engine.set_capture_reports(true);
+    // The serial driver never reroutes a plain connect off a dead
+    // route; pin the engine to the same behaviour so the verdicts are
+    // comparable. Crankback connects raise the budget per call.
+    engine.set_reroute_budget(0);
+
+    let mut violations = Vec::new();
+    // Once a tolerated crankback divergence splits the two sides'
+    // admitted sets, later decisions may legitimately differ — the
+    // rest of the round checks invariants only.
+    let mut strict = true;
+    let mut serial_est: std::collections::BTreeMap<usize, ConnectionId> = Default::default();
+    let mut engine_est: std::collections::BTreeMap<usize, ConnectionId> = Default::default();
+    let mut next_id = ID_BASE;
+
+    for action in &scenario.actions {
+        totals.directives += 1;
+        match *action {
+            ScenarioAction::Connect(i) => {
+                totals.connects += 1;
+                let spec = &scenario.connections[i];
+                if spec.crankback.is_some() {
+                    let diverged = replay_crankback(
+                        &mut network,
+                        &engine,
+                        &scenario,
+                        i,
+                        &mut serial_est,
+                        &mut engine_est,
+                    )?;
+                    if diverged {
+                        totals.crankback_divergences += 1;
+                    }
+                    // Even when both sides establish, the two search
+                    // strategies may have committed *different* routes,
+                    // silently splitting the admission state — so any
+                    // crankback connect ends strict checking.
+                    strict = false;
+                    continue;
+                }
+                let id = ConnectionId::new(next_id);
+                next_id += 1;
+                let serial = serial_connect(&mut network, &scenario, i, id)?;
+                let mut eng = engine_connect(&engine, &scenario, i, id)?;
+                if tamper == Tamper::FlipVerdicts && matches!(spec.route, RouteKind::Unicast(_)) {
+                    eng.established = match eng.established {
+                        Some(_) => None,
+                        None => Some((id, Time::ZERO)),
+                    };
+                }
+                if let Some((sid, _)) = serial.established {
+                    serial_est.insert(i, sid);
+                }
+                if let Some((eid, _)) = eng.established {
+                    engine_est.insert(i, eid);
+                }
+                if strict {
+                    compare_connect(&spec.name, &serial, &eng, &mut violations);
+                    // The first divergence splits the two sides'
+                    // state; everything after it is downstream noise.
+                    if !violations.is_empty() {
+                        strict = false;
+                    }
+                }
+            }
+            ScenarioAction::Release(i) => {
+                totals.releases += 1;
+                let spec = &scenario.connections[i];
+                let serial_live = match (&spec.route, serial_est.get(&i)) {
+                    (RouteKind::Unicast(_), Some(&id)) if network.connection(id).is_some() => {
+                        network.teardown(id).map_err(CliError::domain)?;
+                        true
+                    }
+                    (RouteKind::Multicast(_), Some(&id))
+                        if network.multicast_connection(id).is_some() =>
+                    {
+                        network.teardown_multicast(id).map_err(CliError::domain)?;
+                        true
+                    }
+                    _ => false,
+                };
+                let engine_live = match engine_est.get(&i) {
+                    Some(&id) if engine.per_leaf_bounds(id).is_some() => {
+                        engine.release(id).map_err(CliError::domain)?;
+                        true
+                    }
+                    _ => false,
+                };
+                if strict && serial_live != engine_live {
+                    violations.push(format!(
+                        "release {}: serial live={serial_live}, engine live={engine_live}",
+                        spec.name
+                    ));
+                }
+            }
+            ScenarioAction::DegradeLink(link, cdv) => {
+                totals.degrades += 1;
+                network
+                    .set_link_cdv_inflation(link, cdv)
+                    .map_err(CliError::domain)?;
+                engine
+                    .set_link_cdv_inflation(link, cdv)
+                    .map_err(CliError::domain)?;
+            }
+            ScenarioAction::RestoreLink(link) => {
+                totals.degrades += 1;
+                network
+                    .set_link_cdv_inflation(link, Time::ZERO)
+                    .map_err(CliError::domain)?;
+                engine
+                    .set_link_cdv_inflation(link, Time::ZERO)
+                    .map_err(CliError::domain)?;
+            }
+            ScenarioAction::FailLink(link) => {
+                totals.faults += 1;
+                let s = network.fail_link(link).map_err(CliError::domain)?;
+                let e = engine.fail_link(link).map_err(CliError::domain)?;
+                if strict
+                    && (s.is_changed(), s.torn_down().len())
+                        != (e.is_changed(), e.torn_down().len())
+                {
+                    violations.push(format!(
+                        "fail-link {link}: serial impact (changed={}, torn={}) vs \
+                         engine (changed={}, torn={})",
+                        s.is_changed(),
+                        s.torn_down().len(),
+                        e.is_changed(),
+                        e.torn_down().len()
+                    ));
+                }
+            }
+            ScenarioAction::HealLink(link) => {
+                totals.faults += 1;
+                let s = network.heal_link(link).map_err(CliError::domain)?;
+                let e = engine.heal_link(link).map_err(CliError::domain)?;
+                if strict && s != e {
+                    violations.push(format!(
+                        "heal-link {link}: serial changed={s}, engine changed={e}"
+                    ));
+                }
+            }
+            ScenarioAction::FailNode(node) => {
+                totals.faults += 1;
+                let s = network.fail_node(node).map_err(CliError::domain)?;
+                let e = engine.fail_node(node).map_err(CliError::domain)?;
+                if strict
+                    && (s.is_changed(), s.torn_down().len())
+                        != (e.is_changed(), e.torn_down().len())
+                {
+                    violations.push(format!(
+                        "fail-node {node}: serial impact (changed={}, torn={}) vs \
+                         engine (changed={}, torn={})",
+                        s.is_changed(),
+                        s.torn_down().len(),
+                        e.is_changed(),
+                        e.torn_down().len()
+                    ));
+                }
+            }
+            ScenarioAction::HealNode(node) => {
+                totals.faults += 1;
+                let s = network.heal_node(node).map_err(CliError::domain)?;
+                let e = engine.heal_node(node).map_err(CliError::domain)?;
+                if strict && s != e {
+                    violations.push(format!(
+                        "heal-node {node}: serial changed={s}, engine changed={e}"
+                    ));
+                }
+            }
+            ScenarioAction::Chaos { seed, steps, rate } => {
+                totals.chaos += 1;
+                if check_resume {
+                    totals.resume_checks += 1;
+                }
+                if let Some(v) = run_chaos_directive(&scenario, seed, steps, rate, check_resume)? {
+                    violations.push(v);
+                }
+            }
+        }
+    }
+
+    // End-of-round safety audits, both sides.
+    let serial_orphans = network.orphaned_reservations();
+    if !serial_orphans.is_empty() {
+        violations.push(format!(
+            "serial audit: {} orphaned reservation(s)",
+            serial_orphans.len()
+        ));
+    }
+    let serial_broken = network.verify_guarantees().map_err(CliError::domain)?;
+    if !serial_broken.is_empty() {
+        violations.push(format!(
+            "serial audit: {} violated guarantee(s)",
+            serial_broken.len()
+        ));
+    }
+    let engine_orphans = engine.publish_orphan_audit();
+    if engine_orphans != 0 {
+        violations.push(format!(
+            "engine audit: {engine_orphans} orphaned reservation(s)"
+        ));
+    }
+    let engine_broken = engine.verify_guarantees().map_err(CliError::domain)?;
+    if !engine_broken.is_empty() {
+        violations.push(format!(
+            "engine audit: {} violated guarantee(s)",
+            engine_broken.len()
+        ));
+    }
+    Ok(violations)
+}
+
+/// One plain (non-crankback) connect through the serial driver.
+fn serial_connect(
+    network: &mut Network,
+    scenario: &Scenario,
+    i: usize,
+    id: ConnectionId,
+) -> Result<SideOutcome, CliError> {
+    let spec = &scenario.connections[i];
+    Ok(match &spec.route {
+        RouteKind::Unicast(route) => {
+            match network
+                .setup_with_id(id, route, spec.request)
+                .map_err(CliError::domain)?
+            {
+                SetupOutcome::Connected(info) => SideOutcome {
+                    established: Some((info.id(), info.guaranteed_delay())),
+                    rejection: None,
+                    report: network.last_admission_report().cloned(),
+                },
+                SetupOutcome::Rejected(why) => SideOutcome {
+                    established: None,
+                    // A route-down refusal never reaches pricing, so
+                    // `last_admission_report` would be a stale ledger
+                    // from an earlier setup.
+                    report: if matches!(why, SetupRejection::RouteDown { .. }) {
+                        None
+                    } else {
+                        network.last_admission_report().cloned()
+                    },
+                    rejection: Some(why.to_string()),
+                },
+            }
+        }
+        RouteKind::Multicast(tree) => {
+            match network
+                .setup_multicast(tree, spec.request)
+                .map_err(CliError::domain)?
+            {
+                MulticastOutcome::Connected(info) => SideOutcome {
+                    established: Some((info.id(), info.guaranteed_delay())),
+                    rejection: None,
+                    report: None,
+                },
+                MulticastOutcome::Rejected(why) => SideOutcome {
+                    established: None,
+                    rejection: Some(why.to_string()),
+                    report: None,
+                },
+            }
+        }
+    })
+}
+
+/// One plain (non-crankback) connect through the engine.
+fn engine_connect(
+    engine: &AdmissionEngine,
+    scenario: &Scenario,
+    i: usize,
+    id: ConnectionId,
+) -> Result<SideOutcome, CliError> {
+    let spec = &scenario.connections[i];
+    let outcome = match &spec.route {
+        RouteKind::Unicast(route) => engine
+            .admit_with_id(id, route, spec.request)
+            .map_err(CliError::domain)?,
+        RouteKind::Multicast(tree) => engine
+            .admit_multicast(tree, spec.request)
+            .map_err(CliError::domain)?,
+    };
+    Ok(match outcome {
+        EngineOutcome::Admitted {
+            id,
+            guaranteed_delay,
+        }
+        | EngineOutcome::Rerouted {
+            id,
+            guaranteed_delay,
+            ..
+        } => SideOutcome {
+            established: Some((id, guaranteed_delay)),
+            rejection: None,
+            report: match spec.route {
+                RouteKind::Unicast(_) => engine.admission_report(id),
+                RouteKind::Multicast(_) => None,
+            },
+        },
+        EngineOutcome::Rejected { id, rejection } => SideOutcome {
+            established: None,
+            rejection: Some(rejection.to_string()),
+            report: match spec.route {
+                RouteKind::Unicast(_) => engine.admission_report(id),
+                RouteKind::Multicast(_) => None,
+            },
+        },
+    })
+}
+
+/// Strict comparison of one plain connect's two outcomes.
+fn compare_connect(
+    name: &str,
+    serial: &SideOutcome,
+    eng: &SideOutcome,
+    violations: &mut Vec<String>,
+) {
+    match (&serial.established, &eng.established) {
+        (Some((_, sd)), Some((_, ed))) => {
+            if sd != ed {
+                violations.push(format!(
+                    "connect {name}: guaranteed delay diverged (serial {sd}, engine {ed})"
+                ));
+            }
+        }
+        (None, None) => {
+            if serial.rejection != eng.rejection {
+                violations.push(format!(
+                    "connect {name}: rejection diverged (serial {:?}, engine {:?})",
+                    serial.rejection, eng.rejection
+                ));
+            }
+        }
+        (s, e) => {
+            violations.push(format!(
+                "connect {name}: verdict diverged (serial established={}, \
+                 engine established={})",
+                s.is_some(),
+                e.is_some()
+            ));
+            return;
+        }
+    }
+    if serial.report != eng.report {
+        let render = |r: &Option<AdmissionReport>| {
+            r.as_ref()
+                .map_or_else(|| "<no ledger>".into(), AdmissionReport::render)
+        };
+        violations.push(format!(
+            "connect {name}: admission ledgers diverged\n--- serial ---\n{}\
+             --- engine ---\n{}",
+            render(&serial.report),
+            render(&eng.report)
+        ));
+    }
+}
+
+/// Replays a crankback connect on both sides. The two search
+/// strategies may legitimately pick different alternates, so the
+/// verdicts are compared loosely: a divergence is tolerated and
+/// reported to the caller (`true`), which downgrades the rest of the
+/// round to invariant-only checking.
+fn replay_crankback(
+    network: &mut Network,
+    engine: &AdmissionEngine,
+    scenario: &Scenario,
+    i: usize,
+    serial_est: &mut std::collections::BTreeMap<usize, ConnectionId>,
+    engine_est: &mut std::collections::BTreeMap<usize, ConnectionId>,
+) -> Result<bool, CliError> {
+    let spec = &scenario.connections[i];
+    let retries = spec.crankback.unwrap_or(0);
+    let RouteKind::Unicast(route) = &spec.route else {
+        return Err(CliError::Usage(format!(
+            "'{}': crankback applies to unicast connects only",
+            spec.name
+        )));
+    };
+    let from = route.source(&scenario.topology).map_err(CliError::domain)?;
+    let to = route
+        .destination(&scenario.topology)
+        .map_err(CliError::domain)?;
+    let policy = CrankbackPolicy {
+        max_retries: retries,
+        ..CrankbackPolicy::default()
+    };
+    let serial_id = match network.setup_crankback(from, to, spec.request, policy) {
+        Ok(result) => match result.outcome {
+            SetupOutcome::Connected(info) => Some(info.id()),
+            SetupOutcome::Rejected(_) => None,
+        },
+        // No healthy route at all — the engine reports this as a
+        // rejection, so treat it the same here.
+        Err(SignalError::Net(_)) => None,
+        Err(e) => return Err(CliError::domain(e)),
+    };
+    engine.set_reroute_budget(retries as u64);
+    let engine_outcome = engine.admit(route, spec.request);
+    engine.set_reroute_budget(0);
+    let engine_id = match engine_outcome.map_err(CliError::domain)? {
+        EngineOutcome::Admitted { id, .. } | EngineOutcome::Rerouted { id, .. } => Some(id),
+        EngineOutcome::Rejected { .. } => None,
+    };
+    if let Some(id) = serial_id {
+        serial_est.insert(i, id);
+    }
+    if let Some(id) = engine_id {
+        engine_est.insert(i, id);
+    }
+    Ok(serial_id.is_some() != engine_id.is_some())
+}
+
+/// Cache counters are the one legitimate difference after a restore
+/// (the restored engine starts cold), so resume parity compares with
+/// both zeroed.
+fn normalized(mut report: ChaosReport) -> ChaosReport {
+    report.stats = EngineStats {
+        cache_hits: 0,
+        cache_misses: 0,
+        ..report.stats
+    };
+    report
+}
+
+/// Runs an embedded `chaos` directive on a fresh engine over the
+/// scenario's topology. The run always uses resumable
+/// [`ChaosState`] segments; with `check_resume` it is additionally
+/// killed at the halfway point, snapshot-restored, and finished on the
+/// restored engine — and must be decision-identical to the
+/// uninterrupted run.
+fn run_chaos_directive(
+    scenario: &Scenario,
+    seed: u64,
+    steps: u64,
+    rate: u64,
+    check_resume: bool,
+) -> Result<Option<String>, CliError> {
+    let config = ChaosConfig {
+        seed,
+        steps,
+        ..ChaosConfig::default()
+    };
+    let control = build_engine(scenario, None)?;
+    let endpoints = endpoint_pairs(control.topology());
+    let plan = FaultPlan::random(control.topology(), seed, steps, rate);
+    let mut control_state = ChaosState::new(&config);
+    run_chaos_segment(
+        &control,
+        &endpoints,
+        &plan,
+        &config,
+        &mut control_state,
+        steps,
+    )
+    .map_err(CliError::domain)?;
+    let control_report = finish_report(&control, &control_state).map_err(CliError::domain)?;
+    if !control_report.invariants_hold() {
+        return Ok(Some(format!(
+            "chaos seed={seed} violated its invariants:\n{}",
+            control_report.summary()
+        )));
+    }
+    if !check_resume {
+        return Ok(None);
+    }
+
+    // Kill at the halfway point, snapshot, restore, finish.
+    let victim = build_engine(scenario, None)?;
+    let mut state = ChaosState::new(&config);
+    let cut = (steps / 2).max(1);
+    run_chaos_segment(&victim, &endpoints, &plan, &config, &mut state, cut)
+        .map_err(CliError::domain)?;
+    let bytes = encode(&snapshot_engine(&victim, "storm-resume-check"));
+    drop(victim);
+    let doc = decode(&bytes).map_err(CliError::domain)?;
+    let restored = restore_engine(&doc).map_err(CliError::domain)?;
+    run_chaos_segment(
+        &restored,
+        &endpoints,
+        &plan,
+        &config,
+        &mut state,
+        steps - cut,
+    )
+    .map_err(CliError::domain)?;
+    let report = finish_report(&restored, &state).map_err(CliError::domain)?;
+    if control_state.decisions() != state.decisions() {
+        return Ok(Some(format!(
+            "chaos seed={seed}: decisions after kill/snapshot-restore diverged \
+             from the uninterrupted run"
+        )));
+    }
+    if normalized(control_report) != normalized(report) {
+        return Ok(Some(format!(
+            "chaos seed={seed}: final report after kill/snapshot-restore diverged \
+             from the uninterrupted run"
+        )));
+    }
+    Ok(None)
+}
+
+/// Greedy delta-debugging over the directive list: repeatedly drop
+/// chunks (halving down to singles) while the subset still fails, then
+/// return the smallest failing scenario found. `retain` drops dangling
+/// releases, so every candidate still parses.
+fn minimize(
+    storm: &StormScenario,
+    registry: &Arc<rtcac_obs::Registry>,
+    tamper: Tamper,
+) -> StormScenario {
+    let fails = |candidate: &StormScenario| -> bool {
+        let mut scratch = StormTotals::default();
+        run_differential(candidate, registry, tamper, false, &mut scratch)
+            .map(|v| !v.is_empty())
+            .unwrap_or(true)
+    };
+    let n = storm.directives.len();
+    if n == 0 {
+        return storm.clone();
+    }
+    let mut keep = vec![true; n];
+    let mut chunk = (n / 2).max(1);
+    loop {
+        let mut progress = false;
+        let active: Vec<usize> = (0..n).filter(|&i| keep[i]).collect();
+        for window in active.chunks(chunk) {
+            for &i in window {
+                keep[i] = false;
+            }
+            if fails(&storm.retain(&keep)) {
+                progress = true;
+            } else {
+                for &i in window {
+                    keep[i] = true;
+                }
+            }
+        }
+        if chunk == 1 {
+            if !progress {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    storm.retain(&keep)
+}
+
+/// The canonical directive signatures of a *parsed* scenario — the CLI
+/// half of the emitter round-trip: a [`StormScenario`] emitted to text
+/// and re-parsed must produce exactly
+/// [`StormScenario::signature`].
+pub fn scenario_signature(scenario: &Scenario) -> Vec<String> {
+    scenario
+        .actions
+        .iter()
+        .map(|action| match *action {
+            ScenarioAction::Connect(i) => {
+                let spec = &scenario.connections[i];
+                let (kind, links): (&str, Vec<String>) = match &spec.route {
+                    RouteKind::Unicast(route) => (
+                        "unicast",
+                        route
+                            .links()
+                            .iter()
+                            .map(|&l| scenario.link_name(l).unwrap_or("?").to_owned())
+                            .collect(),
+                    ),
+                    RouteKind::Multicast(tree) => (
+                        "tree",
+                        tree.links()
+                            .iter()
+                            .map(|&l| scenario.link_name(l).unwrap_or("?").to_owned())
+                            .collect(),
+                    ),
+                };
+                let contract = match spec.request.contract() {
+                    TrafficContract::Cbr(p) => format!("cbr:{}", p.pcr()),
+                    TrafficContract::Vbr(p) => {
+                        format!("vbr:{},{},{}", p.pcr(), p.scr(), p.mbs())
+                    }
+                };
+                let crankback = spec.crankback.map_or_else(|| "-".into(), |b| b.to_string());
+                format!(
+                    "connect {} {kind} links={} contract={contract} priority={} \
+                     delay={} crankback={crankback}",
+                    spec.name,
+                    links.join(","),
+                    spec.request.priority().level(),
+                    spec.request.delay_bound(),
+                )
+            }
+            ScenarioAction::Release(i) => {
+                format!("release {}", scenario.connections[i].name)
+            }
+            ScenarioAction::FailLink(l) => {
+                format!("fail-link {}", scenario.link_name(l).unwrap_or("?"))
+            }
+            ScenarioAction::HealLink(l) => {
+                format!("heal-link {}", scenario.link_name(l).unwrap_or("?"))
+            }
+            ScenarioAction::FailNode(n) => {
+                format!("fail-node {}", scenario.node_name(n).unwrap_or("?"))
+            }
+            ScenarioAction::HealNode(n) => {
+                format!("heal-node {}", scenario.node_name(n).unwrap_or("?"))
+            }
+            ScenarioAction::DegradeLink(l, cdv) => {
+                format!(
+                    "degrade-link {} cdv={cdv}",
+                    scenario.link_name(l).unwrap_or("?")
+                )
+            }
+            ScenarioAction::RestoreLink(l) => {
+                format!("restore-link {}", scenario.link_name(l).unwrap_or("?"))
+            }
+            ScenarioAction::Chaos { seed, steps, rate } => {
+                format!("chaos seed={seed} steps={steps} rate={rate}")
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_args() -> StormArgs {
+        StormArgs {
+            seed: 0xBEEF,
+            rounds: 6,
+            ..StormArgs::default()
+        }
+    }
+
+    #[test]
+    fn small_storm_is_clean() {
+        let report = storm(&tiny_args()).expect("clean storm");
+        assert!(report.contains("storm: OK"), "{report}");
+        assert!(report.contains("lock-hold watchdog: quiet"), "{report}");
+    }
+
+    #[test]
+    fn storm_is_deterministic() {
+        let a = storm(&tiny_args()).expect("first run");
+        let b = storm(&tiny_args()).expect("second run");
+        assert_eq!(a, b);
+    }
+
+    /// The injected-parity-bug proof: a comparison layer that flips
+    /// the engine's verdict on every plain connect must be caught on
+    /// the very first round and minimized down to (nearly) a single
+    /// connect directive.
+    #[test]
+    fn tampered_comparison_is_caught_and_minimized() {
+        let dir = std::env::temp_dir().join(format!("rtcac-storm-{}", std::process::id()));
+        let out = dir.join("minimized.rtcac");
+        let args = StormArgs {
+            seed: 7,
+            rounds: 3,
+            out: Some(out.display().to_string()),
+            ..StormArgs::default()
+        };
+        let err = storm_with(&args, Tamper::FlipVerdicts).expect_err("tamper must be caught");
+        let message = err.to_string();
+        assert!(
+            message.contains("verdict diverged"),
+            "tamper not reported: {message}"
+        );
+        let minimized = std::fs::read_to_string(&out).expect("minimized scenario written");
+        // The minimized scenario must still parse and still fail —
+        // and a verdict flip needs exactly one plain connect.
+        let parsed = Scenario::parse(&minimized).expect("minimized scenario parses");
+        let connects = parsed
+            .actions
+            .iter()
+            .filter(|a| matches!(a, ScenarioAction::Connect(_)))
+            .count();
+        assert_eq!(
+            connects, 1,
+            "minimizer should reduce a flip-every-verdict bug to one connect:\n{minimized}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: the emitter round-trip. 500 seeded scenarios are
+    /// emitted, re-parsed, and must describe structurally identical
+    /// directive lists — canonical signature for canonical signature.
+    #[test]
+    fn emitter_round_trip_500_seeds() {
+        let mut rng = SimRng::seed_from_u64(0x500);
+        for case in 0..500u64 {
+            let config = FuzzConfig {
+                topology: TopologyKind::ALL[(case as usize) % TopologyKind::ALL.len()],
+                profile: match case % 5 {
+                    0 => None,
+                    k => Some(ProfileKind::ALL[(k - 1) as usize]),
+                },
+                ..FuzzConfig::default()
+            };
+            let seed = rng.next_u64();
+            let storm = generate(seed, &config).expect("generate");
+            let text = storm.emit();
+            let parsed = Scenario::parse(&text).unwrap_or_else(|e| {
+                panic!("case {case} (seed {seed}) failed to re-parse: {e}\n{text}")
+            });
+            assert_eq!(
+                storm.signature(),
+                scenario_signature(&parsed),
+                "case {case} (seed {seed}) round-trip diverged\n{text}"
+            );
+        }
+    }
+}

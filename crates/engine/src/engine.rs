@@ -71,6 +71,13 @@ impl EngineOutcome {
     }
 }
 
+/// Default lock-health watchdog threshold: a single setup's full-route
+/// shard-lock hold is normally microseconds, so a 100 ms hold signals
+/// pathology (a stuck commit, runaway pricing under the locks) rather
+/// than load. Override per engine with
+/// [`AdmissionEngine::set_lock_hold_threshold_ns`].
+pub const DEFAULT_LOCK_HOLD_THRESHOLD_NS: u64 = 100_000_000;
+
 /// Registry entry for an established connection (unicast or tree).
 #[derive(Debug, Clone)]
 struct Established {
@@ -209,6 +216,14 @@ pub struct AdmissionEngine {
     tracer: Tracer,
     capture_reports: AtomicBool,
     reports: Mutex<BTreeMap<ConnectionId, AdmissionReport>>,
+    /// Per-link CDV inflation applied at pricing time (impairment
+    /// overlay): a degraded link adds jitter to every plan crossing it.
+    /// Not part of the exported snapshot state — impairments are an
+    /// environment property, re-applied by whoever drives them.
+    cdv_inflation: Mutex<BTreeMap<LinkId, Time>>,
+    /// Lock-health watchdog threshold in nanoseconds: shard-lock holds
+    /// longer than this bump `engine_lock_hold_long_total`.
+    lock_hold_threshold_ns: AtomicU64,
     /// Test-only trap: a link to mark down after the reserve phase of
     /// the next setup, before the commit-time health re-check — lets
     /// tests inject a failure into the reserve→commit window
@@ -271,6 +286,8 @@ impl AdmissionEngine {
             tracer: Tracer::noop(),
             capture_reports: AtomicBool::new(false),
             reports: Mutex::new(BTreeMap::new()),
+            cdv_inflation: Mutex::new(BTreeMap::new()),
+            lock_hold_threshold_ns: AtomicU64::new(DEFAULT_LOCK_HOLD_THRESHOLD_NS),
             #[cfg(test)]
             test_fail_after_reserve: Mutex::new(None),
         }
@@ -364,6 +381,61 @@ impl AdmissionEngine {
     /// The CDV accumulation policy in force.
     pub fn policy(&self) -> CdvPolicy {
         self.policy
+    }
+
+    /// Sets the CDV inflation of one link: `extra` cell times of jitter
+    /// that a degraded (but still up) link adds to every plan priced
+    /// across it, tightening subsequent admission decisions — the
+    /// engine-side analogue of
+    /// [`rtcac_signaling::Network::set_link_cdv_inflation`].
+    /// `Time::ZERO` restores the link. Established connections are
+    /// unaffected: inflation changes pricing, not reservations, so the
+    /// guarantee audit stays valid across degrade/restore edges.
+    ///
+    /// Inflation is an environment property, not admission state — it
+    /// is deliberately absent from [`AdmissionEngine::export_state`],
+    /// and must be re-applied after a warm restart by whoever drives
+    /// the impairment schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Net`] for a foreign link id, or
+    /// [`EngineError::Cac`] for a negative inflation.
+    pub fn set_link_cdv_inflation(&self, link: LinkId, extra: Time) -> Result<(), EngineError> {
+        self.topology.link(link)?;
+        if extra < Time::ZERO {
+            return Err(EngineError::Cac(rtcac_cac::CacError::BadConfig(
+                "CDV inflation must be non-negative",
+            )));
+        }
+        let mut inflation = self.lock_cdv_inflation();
+        if extra == Time::ZERO {
+            inflation.remove(&link);
+        } else {
+            inflation.insert(link, extra);
+        }
+        Ok(())
+    }
+
+    /// The CDV inflation currently applied to a link (zero by default).
+    pub fn link_cdv_inflation(&self, link: LinkId) -> Time {
+        self.lock_cdv_inflation()
+            .get(&link)
+            .copied()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Sets the lock-health watchdog threshold: shard-lock holds longer
+    /// than `ns` nanoseconds bump `engine_lock_hold_long_total` (every
+    /// hold is recorded in the `engine_lock_hold_ns` histogram
+    /// regardless). Defaults to [`DEFAULT_LOCK_HOLD_THRESHOLD_NS`].
+    pub fn set_lock_hold_threshold_ns(&self, ns: u64) {
+        self.lock_hold_threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The lock-health watchdog threshold in nanoseconds.
+    pub fn lock_hold_threshold_ns(&self) -> u64 {
+        self.lock_hold_threshold_ns.load(Ordering::Relaxed)
     }
 
     /// Replaces the configuration of one switch shard (exclusive
@@ -819,19 +891,23 @@ impl AdmissionEngine {
         // the core from the static per-node configurations: the
         // advertised bounds never change while setups are in flight.
         let price_span = ctx.begin("price");
-        let priced = ReservationPlan::price(
-            plan,
-            self.policy,
-            request.contract(),
-            request.priority(),
-            |node| {
-                self.configs
-                    .get(&node)
-                    .ok_or(EngineError::NoSwitchAt(node))?
-                    .bound(request.priority())
-                    .map_err(EngineError::from)
-            },
-        )?;
+        let priced = {
+            let inflation = self.lock_cdv_inflation();
+            ReservationPlan::price_inflated(
+                plan,
+                self.policy,
+                request.contract(),
+                request.priority(),
+                |node| {
+                    self.configs
+                        .get(&node)
+                        .ok_or(EngineError::NoSwitchAt(node))?
+                        .bound(request.priority())
+                        .map_err(EngineError::from)
+                },
+                |link| inflation.get(&link).copied().unwrap_or(Time::ZERO),
+            )?
+        };
         ctx.end(price_span);
         // Provenance rows are assembled during the walk only when
         // someone is guaranteed to see them: a sampled trace, or a
@@ -1547,6 +1623,8 @@ impl AdmissionEngine {
             tracer: Tracer::noop(),
             capture_reports: AtomicBool::new(false),
             reports: Mutex::new(BTreeMap::new()),
+            cdv_inflation: Mutex::new(BTreeMap::new()),
+            lock_hold_threshold_ns: AtomicU64::new(DEFAULT_LOCK_HOLD_THRESHOLD_NS),
             #[cfg(test)]
             test_fail_after_reserve: Mutex::new(None),
         };
@@ -1774,11 +1852,13 @@ impl AdmissionEngine {
     /// Locks the shards of the given route nodes in ascending `NodeId`
     /// order (duplicates collapse), returning the guards keyed by node.
     /// With live metrics, the wait for each shard lock is recorded in
-    /// that shard's `engine_shard_lock_wait_ns` histogram.
+    /// that shard's `engine_shard_lock_wait_ns` histogram, and the
+    /// watchdog measures how long the full guard set is held (recorded
+    /// when the guards drop).
     fn lock_route_shards(
         &self,
         nodes: impl Iterator<Item = NodeId>,
-    ) -> Result<BTreeMap<NodeId, MutexGuard<'_, ShardState>>, EngineError> {
+    ) -> Result<ShardGuards<'_>, EngineError> {
         let unique: std::collections::BTreeSet<NodeId> = nodes.collect();
         let mut guards = BTreeMap::new();
         for node in unique {
@@ -1792,7 +1872,12 @@ impl AdmissionEngine {
             }
             guards.insert(node, guard);
         }
-        Ok(guards)
+        Ok(ShardGuards {
+            guards,
+            hold_start: self.metrics.start(),
+            metrics: &self.metrics,
+            threshold_ns: self.lock_hold_threshold_ns.load(Ordering::Relaxed),
+        })
     }
 
     /// Poisons one shard's mutex by panicking a thread that holds it —
@@ -1815,6 +1900,51 @@ impl AdmissionEngine {
 
     fn lock_health(&self) -> MutexGuard<'_, HealthState> {
         self.health.lock().expect("health mutex poisoned")
+    }
+
+    fn lock_cdv_inflation(&self) -> MutexGuard<'_, BTreeMap<LinkId, Time>> {
+        self.cdv_inflation
+            .lock()
+            .expect("cdv inflation mutex poisoned")
+    }
+}
+
+/// The full set of shard locks one setup/release holds, instrumented
+/// by the lock-health watchdog: on drop (i.e. just before the locks
+/// release) the hold duration lands in `engine_lock_hold_ns`, and
+/// holds past the engine's threshold bump
+/// `engine_lock_hold_long_total` — the ouisync
+/// `expect_short_lifetime` discipline, as metrics instead of panics.
+struct ShardGuards<'e> {
+    guards: BTreeMap<NodeId, MutexGuard<'e, ShardState>>,
+    hold_start: Option<Instant>,
+    metrics: &'e EngineMetrics,
+    threshold_ns: u64,
+}
+
+impl<'e> std::ops::Deref for ShardGuards<'e> {
+    type Target = BTreeMap<NodeId, MutexGuard<'e, ShardState>>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.guards
+    }
+}
+
+impl std::ops::DerefMut for ShardGuards<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.guards
+    }
+}
+
+impl Drop for ShardGuards<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.hold_start {
+            let held = start.elapsed();
+            self.metrics.lock_hold_ns.record_duration(held);
+            if held.as_nanos() > u128::from(self.threshold_ns) {
+                self.metrics.lock_hold_long.inc();
+            }
+        }
     }
 }
 
@@ -2053,6 +2183,43 @@ mod tests {
             stats.cache_misses
         );
         assert!(stats.cache_hits + stats.cache_misses > 0);
+    }
+
+    #[test]
+    fn lock_watchdog_records_holds_and_fires_at_zero_threshold() {
+        let (topology, src, _sw, dst) = builders::line(3).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+        let route = topology.shortest_route(src, dst).unwrap();
+        let registry = std::sync::Arc::new(rtcac_obs::Registry::new());
+        let engine = AdmissionEngine::with_registry(
+            topology,
+            config,
+            CdvPolicy::Hard,
+            std::sync::Arc::clone(&registry),
+        );
+
+        // Under the default (100 ms) threshold, holds are recorded but
+        // none counts as long.
+        assert_eq!(engine.lock_hold_threshold_ns(), 100_000_000);
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(500));
+        engine.admit(&route, req).unwrap();
+        let snap = registry.snapshot();
+        let holds = snap.histogram("engine_lock_hold_ns").unwrap();
+        assert!(holds.count > 0, "shard-lock holds must be recorded");
+        assert!(holds.max > 0, "a hold takes measurable time");
+        assert_eq!(snap.counter("engine_lock_hold_long_total").unwrap_or(0), 0);
+
+        // At threshold zero every positive hold is long — the counter
+        // must fire, proving the watchdog path is live and the quiet
+        // assertions elsewhere are not vacuous.
+        engine.set_lock_hold_threshold_ns(0);
+        assert_eq!(engine.lock_hold_threshold_ns(), 0);
+        engine.admit(&route, req).unwrap();
+        let snap = registry.snapshot();
+        assert!(
+            snap.counter("engine_lock_hold_long_total").unwrap_or(0) > 0,
+            "threshold 0 must flag every hold as long"
+        );
     }
 
     #[test]

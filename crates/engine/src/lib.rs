@@ -46,7 +46,10 @@ mod shard;
 mod state;
 mod stats;
 
-pub use engine::{AdmissionEngine, EngineOutcome, FailureImpact, GuaranteeViolation};
+pub use engine::{
+    AdmissionEngine, EngineOutcome, FailureImpact, GuaranteeViolation,
+    DEFAULT_LOCK_HOLD_THRESHOLD_NS,
+};
 pub use error::EngineError;
 pub use pool::{run_batch, EnginePool, JobResult, ServicePool};
 pub use state::{ConnectionState, EngineState, HealthOverlayState, SwitchState};

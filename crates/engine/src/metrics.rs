@@ -47,6 +47,12 @@ pub(crate) struct EngineMetrics {
     pub rollback_ns: Histogram,
     pub reroute_ns: Histogram,
     pub lock_wait_ns: BTreeMap<NodeId, Histogram>,
+    /// Lock-health watchdog: how long each setup/release held its full
+    /// set of shard locks, and how often a hold exceeded the engine's
+    /// configured threshold (see
+    /// `AdmissionEngine::set_lock_hold_threshold_ns`).
+    pub lock_hold_ns: Histogram,
+    pub lock_hold_long: Counter,
 }
 
 impl EngineMetrics {
@@ -96,6 +102,8 @@ impl EngineMetrics {
             rollback_ns: r.histogram("engine_rollback_ns"),
             reroute_ns: r.histogram("engine_reroute_ns"),
             lock_wait_ns,
+            lock_hold_ns: r.histogram("engine_lock_hold_ns"),
+            lock_hold_long: r.counter("engine_lock_hold_long_total"),
             registry: Some(registry),
         }
     }

@@ -1,0 +1,227 @@
+//! CDV-inflation semantics under the Alg 4.1 admission test, checked
+//! on both drivers: a degraded link inflates the CDV every connection
+//! priced across it carries into each downstream hop's admission
+//! check, so degradation can only *tighten* decisions (an admitted
+//! request may flip to rejected, never the reverse), and healing the
+//! link restores the original decisions exactly.
+//!
+//! Every decision is taken twice — once through the serial signaling
+//! walk and once through the sharded engine — and the two
+//! [`AdmissionReport`]s must stay byte-identical at both edges of the
+//! degrade/heal cycle, the same parity contract `rtcac storm`
+//! enforces under random workloads.
+//!
+//! The tightening test needs fan-in: Alg 4.1 knows that connections
+//! sharing one input link are already serialized by it, so a clump on
+//! a lone access link cannot overload its own switch. The star below
+//! converges five background sources and the probe through distinct
+//! access links onto one output port, where the probe's inflated
+//! clump (cdv·rate cells released at full link rate) meets 5/8 of the
+//! port already spoken for and the backlog breaches the 64-cell bound.
+
+use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract};
+use rtcac_cac::{AdmissionReport, ConnectionId, Priority, SwitchConfig};
+use rtcac_engine::{AdmissionEngine, EngineOutcome};
+use rtcac_net::{builders, LinkId, Route, Topology};
+use rtcac_rational::ratio;
+use rtcac_signaling::{CdvPolicy, Network, SetupRequest};
+
+fn cbr(num: i128, den: i128) -> TrafficContract {
+    TrafficContract::cbr(CbrParams::new(Rate::new(ratio(num, den))).unwrap())
+}
+
+/// Five background sources and one probe source fanning into a single
+/// switch with one downstream destination. Returns the topology, the
+/// background routes, the probe's route, and the probe's access link.
+fn star() -> (Topology, Vec<Route>, Route, LinkId) {
+    let mut t = Topology::new();
+    let s = t.add_switch("s");
+    let d = t.add_end_system("d");
+    t.add_link(s, d).unwrap();
+    let mut background = Vec::new();
+    for k in 0..5 {
+        let h = t.add_end_system(format!("h{k}"));
+        t.add_link(h, s).unwrap();
+        background.push((h, d));
+    }
+    let hp = t.add_end_system("hp");
+    let access = t.add_link(hp, s).unwrap();
+    let background = background
+        .into_iter()
+        .map(|(h, to)| t.shortest_route(h, to).unwrap())
+        .collect();
+    let probe = t.shortest_route(hp, d).unwrap();
+    (t, background, probe, access)
+}
+
+/// Decides one probe on fresh serial and engine instances: `background`
+/// connections are established first with healthy links, then `extra`
+/// CDV inflation is applied to `link` (established connections keep
+/// their reservations — inflation changes pricing, not state), then
+/// the probe is priced and admitted. Asserts the two drivers' reports
+/// are identical and returns (established, report).
+fn decide(
+    topology: &Topology,
+    background: &[(Route, SetupRequest)],
+    link: LinkId,
+    extra: Time,
+    probe_route: &Route,
+    probe: SetupRequest,
+) -> (bool, AdmissionReport) {
+    let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+    let mut network = Network::new(topology.clone(), config.clone(), CdvPolicy::Hard);
+    let engine = AdmissionEngine::new(topology.clone(), config, CdvPolicy::Hard);
+    engine.set_capture_reports(true);
+    engine.set_reroute_budget(0);
+
+    for (k, (route, request)) in background.iter().enumerate() {
+        let id = ConnectionId::new(100 + k as u64);
+        let outcome = network.setup_with_id(id, route, *request).unwrap();
+        assert!(outcome.is_connected(), "background {k} must fit");
+        let engine_outcome = engine.admit_with_id(id, route, *request).unwrap();
+        assert!(matches!(engine_outcome, EngineOutcome::Admitted { .. }));
+    }
+
+    network.set_link_cdv_inflation(link, extra).unwrap();
+    engine.set_link_cdv_inflation(link, extra).unwrap();
+
+    let id = ConnectionId::new(1);
+    let outcome = network.setup_with_id(id, probe_route, probe).unwrap();
+    let serial_report = network
+        .last_admission_report()
+        .cloned()
+        .expect("serial report");
+    let engine_outcome = engine.admit_with_id(id, probe_route, probe).unwrap();
+    let engine_report = engine.admission_report(id).expect("engine report");
+
+    let serial_ok = outcome.is_connected();
+    let engine_ok = matches!(engine_outcome, EngineOutcome::Admitted { .. });
+    assert_eq!(
+        serial_ok, engine_ok,
+        "verdict diverged at inflation {extra}: serial={serial_ok} engine={engine_ok}"
+    );
+    assert_eq!(
+        serial_report, engine_report,
+        "admission ledgers diverged at inflation {extra}"
+    );
+    (serial_ok, serial_report)
+}
+
+#[test]
+fn degrade_tightens_heal_restores_with_engine_parity() {
+    let (topology, bg_routes, probe_route, access) = star();
+    let degraded = Time::from_integer(1_000);
+
+    // 5/8 of the output port spoken for before the probe arrives.
+    let background: Vec<(Route, SetupRequest)> = bg_routes
+        .into_iter()
+        .map(|route| {
+            (
+                route,
+                SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(10_000)),
+            )
+        })
+        .collect();
+
+    // A probe ladder from comfortable to infeasible: a trickle whose
+    // clump still fits, a rate whose clump breaches the bound, and a
+    // budget below the guaranteed floor (rejected either way).
+    let probes = [
+        SetupRequest::new(cbr(1, 256), Priority::HIGHEST, Time::from_integer(10_000)),
+        SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(10_000)),
+        SetupRequest::new(cbr(1, 64), Priority::HIGHEST, Time::from_integer(1)),
+    ];
+
+    let mut flipped = 0;
+    for (k, &probe) in probes.iter().enumerate() {
+        let (ok_before, report_before) = decide(
+            &topology,
+            &background,
+            access,
+            Time::ZERO,
+            &probe_route,
+            probe,
+        );
+        let (ok_degraded, _) = decide(
+            &topology,
+            &background,
+            access,
+            degraded,
+            &probe_route,
+            probe,
+        );
+
+        // Inflation only ever adds CDV, so it can flip admit → reject
+        // but never reject → admit.
+        assert!(
+            ok_before || !ok_degraded,
+            "probe {k}: degradation loosened the decision"
+        );
+        if ok_before && !ok_degraded {
+            flipped += 1;
+        }
+
+        // Healing (inflation back to zero) restores the original
+        // decision and the original ledger, on both drivers.
+        let (ok_healed, report_healed) = decide(
+            &topology,
+            &background,
+            access,
+            Time::ZERO,
+            &probe_route,
+            probe,
+        );
+        assert_eq!(ok_healed, ok_before, "probe {k}: heal changed the verdict");
+        assert_eq!(
+            report_healed, report_before,
+            "probe {k}: heal changed the ledger"
+        );
+    }
+    assert!(
+        flipped > 0,
+        "degradation never tightened any probe — the ladder is too easy"
+    );
+}
+
+#[test]
+fn degrade_and_heal_on_one_live_network_round_trips() {
+    // Degrading and then restoring the same link on *one* network (and
+    // one engine) leaves subsequent decisions exactly as if the link
+    // had never degraded — inflation changes pricing, not state.
+    let (topology, src, _switches, dst) = builders::line(3).unwrap();
+    let route = topology.shortest_route(src, dst).unwrap();
+    let first = route.links()[0];
+    let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+    let request = SetupRequest::new(cbr(1, 4), Priority::HIGHEST, Time::from_integer(500));
+
+    let mut network = Network::new(topology.clone(), config.clone(), CdvPolicy::Hard);
+    let engine = AdmissionEngine::new(topology.clone(), config, CdvPolicy::Hard);
+    engine.set_capture_reports(true);
+    engine.set_reroute_budget(0);
+
+    // Degrade, then heal, then decide.
+    network
+        .set_link_cdv_inflation(first, Time::from_integer(1_000))
+        .unwrap();
+    network.set_link_cdv_inflation(first, Time::ZERO).unwrap();
+    assert_eq!(network.link_cdv_inflation(first), Time::ZERO);
+    engine
+        .set_link_cdv_inflation(first, Time::from_integer(1_000))
+        .unwrap();
+    engine.set_link_cdv_inflation(first, Time::ZERO).unwrap();
+    assert_eq!(engine.link_cdv_inflation(first), Time::ZERO);
+
+    let id = ConnectionId::new(1);
+    network.setup_with_id(id, &route, request).unwrap();
+    let serial = network
+        .last_admission_report()
+        .cloned()
+        .expect("serial report");
+    engine.admit_with_id(id, &route, request).unwrap();
+    let concurrent = engine.admission_report(id).expect("engine report");
+    assert_eq!(serial, concurrent);
+
+    // And it matches a network that never saw the degradation.
+    let (_, pristine) = decide(&topology, &[], first, Time::ZERO, &route, request);
+    assert_eq!(serial, pristine);
+}

@@ -2,7 +2,9 @@
 //! seeds on a 16-node star-ring: after a full churn-and-fail session,
 //! (a) the orphaned-reservation gauge reads 0, (b) every surviving
 //! connection's recomputed Algorithm 4.1 bound meets its contracted
-//! delay, and (c) the engine's terminal counters conserve.
+//! delay, (c) the lock-health watchdog recorded every shard-lock hold
+//! and saw none cross the long-hold threshold, and (d) the engine's
+//! terminal counters conserve.
 
 use std::sync::Arc;
 
@@ -69,7 +71,23 @@ fn chaos_invariants_hold_across_seeds() {
         );
         assert!(engine.verify_guarantees().unwrap().is_empty());
 
-        // (c) Terminal-counter conservation.
+        // (c) The lock-health watchdog stayed quiet: every shard-lock
+        // hold was recorded, and none crossed the long-hold threshold
+        // even under full churn-and-fail load.
+        let holds = snapshot
+            .histogram("engine_lock_hold_ns")
+            .expect("lock-hold histogram must be registered");
+        assert!(
+            holds.count > 0,
+            "seed {seed}: no lock holds recorded — the watchdog is not wired"
+        );
+        assert_eq!(
+            snapshot.counter("engine_lock_hold_long_total").unwrap_or(0),
+            0,
+            "seed {seed}: a shard lock was held past the watchdog threshold"
+        );
+
+        // (d) Terminal-counter conservation.
         let stats = report.stats;
         assert_eq!(
             stats.submitted,

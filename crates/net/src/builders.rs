@@ -379,6 +379,116 @@ impl StarRing {
     }
 }
 
+/// Joins `nodes` into a bidirectional ring of duplex links. A ring of
+/// two collapses to a single duplex pair (the closing link would
+/// duplicate it).
+fn ring_duplex(t: &mut Topology, nodes: &[NodeId]) -> Result<(), NetError> {
+    for i in 0..nodes.len() {
+        if nodes.len() == 2 && i == 1 {
+            break;
+        }
+        t.add_duplex(nodes[i], nodes[(i + 1) % nodes.len()])?;
+    }
+    Ok(())
+}
+
+/// A two-level "metro of campuses" topology: `regions` hub switches on
+/// a bidirectional top-level ring, each hub feeding its own
+/// bidirectional sub-ring of `ring_nodes` campus switches (one duplex
+/// uplink from the hub into the sub-ring), and every campus switch
+/// carrying `terminals_per_node` end systems on duplex access links.
+/// All links are duplex, so breadth-first routing reaches every
+/// terminal pair. Scales linearly: `star_of_star_rings(40, 50, 1)` is
+/// a 2 040-switch network.
+///
+/// # Errors
+///
+/// Returns [`NetError::BadParameter`] unless `regions >= 2`,
+/// `ring_nodes >= 2` and `terminals_per_node >= 1`.
+pub fn star_of_star_rings(
+    regions: usize,
+    ring_nodes: usize,
+    terminals_per_node: usize,
+) -> Result<Topology, NetError> {
+    if regions < 2 {
+        return Err(NetError::BadParameter(
+            "star_of_star_rings needs at least two regions",
+        ));
+    }
+    if ring_nodes < 2 {
+        return Err(NetError::BadParameter(
+            "star_of_star_rings needs at least two ring nodes per region",
+        ));
+    }
+    if terminals_per_node == 0 {
+        return Err(NetError::BadParameter(
+            "star_of_star_rings needs at least one terminal per node",
+        ));
+    }
+    let mut t = Topology::new();
+    let hubs: Vec<NodeId> = (0..regions)
+        .map(|r| t.add_switch(format!("hub{r}")))
+        .collect();
+    ring_duplex(&mut t, &hubs)?;
+    for (r, &hub) in hubs.iter().enumerate() {
+        let ring: Vec<NodeId> = (0..ring_nodes)
+            .map(|i| t.add_switch(format!("r{r}s{i}")))
+            .collect();
+        ring_duplex(&mut t, &ring)?;
+        t.add_duplex(hub, ring[0])?;
+        for (i, &sw) in ring.iter().enumerate() {
+            for j in 0..terminals_per_node {
+                let h = t.add_end_system(format!("r{r}s{i}h{j}"));
+                t.add_duplex(h, sw)?;
+            }
+        }
+    }
+    Ok(t)
+}
+
+/// A `k`-ary fat-tree (the classic three-tier Clos): `k` pods of `k/2`
+/// edge and `k/2` aggregation switches, `(k/2)²` core switches, and
+/// `k/2` end systems per edge switch — `5k²/4` switches and `k³/4`
+/// hosts in total, all links duplex. `fat_tree(64)` is a 5 120-switch
+/// network.
+///
+/// # Errors
+///
+/// Returns [`NetError::BadParameter`] unless `k` is even and `>= 2`.
+pub fn fat_tree(k: usize) -> Result<Topology, NetError> {
+    if k < 2 || !k.is_multiple_of(2) {
+        return Err(NetError::BadParameter("fat_tree needs an even k >= 2"));
+    }
+    let half = k / 2;
+    let mut t = Topology::new();
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|c| t.add_switch(format!("core{c}")))
+        .collect();
+    for p in 0..k {
+        let aggs: Vec<NodeId> = (0..half)
+            .map(|a| t.add_switch(format!("p{p}a{a}")))
+            .collect();
+        let edges: Vec<NodeId> = (0..half)
+            .map(|e| t.add_switch(format!("p{p}e{e}")))
+            .collect();
+        for (a, &agg) in aggs.iter().enumerate() {
+            for &edge in &edges {
+                t.add_duplex(agg, edge)?;
+            }
+            for c in 0..half {
+                t.add_duplex(cores[a * half + c], agg)?;
+            }
+        }
+        for (e, &edge) in edges.iter().enumerate() {
+            for h in 0..half {
+                let host = t.add_end_system(format!("p{p}e{e}h{h}"));
+                t.add_duplex(host, edge)?;
+            }
+        }
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,6 +592,44 @@ mod tests {
         let qps = tree.queueing_points(sr.topology()).unwrap();
         assert_eq!(qps.len(), 10);
         assert!(sr.broadcast_tree(9, 0).is_err());
+    }
+
+    #[test]
+    fn star_of_star_rings_routes_across_regions() {
+        let t = star_of_star_rings(3, 4, 2).unwrap();
+        // 3 hubs + 3*4 campus switches; 3*4*2 terminals.
+        assert_eq!(t.switches().count(), 15);
+        assert_eq!(t.end_systems().count(), 24);
+        let hosts: Vec<NodeId> = t.end_systems().map(|n| n.id()).collect();
+        // Any terminal reaches any other (all links duplex).
+        let r = t.shortest_route(hosts[0], *hosts.last().unwrap()).unwrap();
+        assert!(r.hops() >= 4, "cross-region route crosses both rings");
+        assert!(star_of_star_rings(1, 4, 1).is_err());
+        assert!(star_of_star_rings(2, 1, 1).is_err());
+        assert!(star_of_star_rings(2, 2, 0).is_err());
+    }
+
+    #[test]
+    fn star_of_star_rings_scales_to_thousands_of_switches() {
+        let t = star_of_star_rings(40, 50, 1).unwrap();
+        assert_eq!(t.switches().count(), 40 + 40 * 50);
+        // Routing still works at this scale.
+        let hosts: Vec<NodeId> = t.end_systems().map(|n| n.id()).take(2).collect();
+        assert!(t.shortest_route(hosts[0], hosts[1]).is_ok());
+    }
+
+    #[test]
+    fn fat_tree_structure_and_routing() {
+        let k = 4;
+        let t = fat_tree(k).unwrap();
+        assert_eq!(t.switches().count(), 5 * k * k / 4);
+        assert_eq!(t.end_systems().count(), k * k * k / 4);
+        let hosts: Vec<NodeId> = t.end_systems().map(|n| n.id()).collect();
+        // Same-pod route stays under the core; cross-pod goes through it.
+        let cross = t.shortest_route(hosts[0], *hosts.last().unwrap()).unwrap();
+        assert_eq!(cross.hops(), 6, "host-edge-agg-core-agg-edge-host");
+        assert!(fat_tree(3).is_err());
+        assert!(fat_tree(0).is_err());
     }
 
     #[test]

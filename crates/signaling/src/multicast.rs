@@ -75,6 +75,17 @@ impl Network {
         tree: &MulticastTree,
         request: SetupRequest,
     ) -> Result<MulticastOutcome, SignalError> {
+        // A tree over a dead element is refused outright — same gate,
+        // same scan order as [`Network::setup`] on a unicast route, so
+        // the serial walk and the engine reject identically.
+        for &link in tree.links() {
+            if !self.topology().link_usable(link)? {
+                self.metrics().setup_rejected_route_down();
+                return Ok(MulticastOutcome::Rejected(SetupRejection::RouteDown {
+                    link,
+                }));
+            }
+        }
         let id = self.allocate_id();
 
         // Shape and price the tree through the same admission core as

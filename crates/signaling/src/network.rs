@@ -125,6 +125,7 @@ pub struct Network {
     metrics: NetworkMetrics,
     tracer: Tracer,
     last_report: Option<AdmissionReport>,
+    cdv_inflation: BTreeMap<LinkId, Time>,
 }
 
 impl Network {
@@ -146,7 +147,38 @@ impl Network {
             metrics: NetworkMetrics::from_global(),
             tracer: Tracer::noop(),
             last_report: None,
+            cdv_inflation: BTreeMap::new(),
         }
+    }
+
+    /// Sets the CDV inflation of one link: `extra` cell times of jitter
+    /// that a degraded (but still up) link adds to every connection
+    /// priced across it, tightening subsequent admission decisions.
+    /// `Time::ZERO` restores the link. Established connections are
+    /// unaffected — inflation changes pricing, not reservations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::Net`] for an unknown link, or
+    /// [`SignalError::Cac`] for a negative inflation.
+    pub fn set_link_cdv_inflation(&mut self, link: LinkId, extra: Time) -> Result<(), SignalError> {
+        self.topology.link(link)?;
+        if extra < Time::ZERO {
+            return Err(SignalError::Cac(rtcac_cac::CacError::BadConfig(
+                "CDV inflation must be non-negative",
+            )));
+        }
+        if extra == Time::ZERO {
+            self.cdv_inflation.remove(&link);
+        } else {
+            self.cdv_inflation.insert(link, extra);
+        }
+        Ok(())
+    }
+
+    /// The CDV inflation currently applied to a link (zero by default).
+    pub fn link_cdv_inflation(&self, link: LinkId) -> Time {
+        self.cdv_inflation.get(&link).copied().unwrap_or(Time::ZERO)
     }
 
     /// Rebinds this network's observability handles to an explicit
@@ -454,13 +486,20 @@ impl Network {
         contract: TrafficContract,
         priority: Priority,
     ) -> Result<ReservationPlan, SignalError> {
-        ReservationPlan::price(plan, self.policy, contract, priority, |node| {
-            self.switches
-                .get(&node)
-                .ok_or(SignalError::NoSwitchAt(node))?
-                .advertised_bound(priority)
-                .map_err(SignalError::from)
-        })
+        ReservationPlan::price_inflated(
+            plan,
+            self.policy,
+            contract,
+            priority,
+            |node| {
+                self.switches
+                    .get(&node)
+                    .ok_or(SignalError::NoSwitchAt(node))?
+                    .advertised_bound(priority)
+                    .map_err(SignalError::from)
+            },
+            |link| self.cdv_inflation.get(&link).copied().unwrap_or(Time::ZERO),
+        )
     }
 
     /// Runs the core reserve walk with the serial driver (live switch

@@ -39,6 +39,16 @@ impl SimRng {
         debug_assert!(bound > 0);
         ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
+
+    /// Splits off an independent child stream, advancing this
+    /// generator by one draw. SplitMix64 is the standard seeding
+    /// generator, so a forked stream is as well-mixed as the parent —
+    /// the storm harness forks one stream per fuzz round so rounds
+    /// stay reproducible in isolation (and resumable mid-run) without
+    /// replaying every earlier round's draws.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.next_u64())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,162 @@
+//! Topology generators for storm rounds.
+//!
+//! The star-ring family of [`rtcac_net::builders`] covers the paper's
+//! reference fabric; storm rounds also need *shapes the admission
+//! paths were never tuned for*. The deterministic generators
+//! (star-of-star-rings, fat-tree) live in `rtcac_net::builders`; this
+//! module adds the seeded sparse-WAN generator and the kind selector
+//! the fuzzer draws from.
+
+use rtcac_net::{builders, NetError, NodeId, Topology};
+use rtcac_sim::SimRng;
+
+/// The topology families a storm round can draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Two-level hierarchy: a top ring of region hubs, each hanging a
+    /// star-ring of its own (`rtcac_net::builders::star_of_star_rings`).
+    StarOfRings,
+    /// A k-ary fat-tree (core/aggregation/edge) with hosts on the
+    /// edge switches (`rtcac_net::builders::fat_tree`).
+    FatTree,
+    /// A seeded sparse WAN: a random spanning tree over the switches
+    /// plus a few chord links, one terminal per switch.
+    SparseWan,
+}
+
+impl TopologyKind {
+    /// Every generator, in the order the `mixed` CLI mode cycles.
+    pub const ALL: [TopologyKind; 3] = [
+        TopologyKind::StarOfRings,
+        TopologyKind::FatTree,
+        TopologyKind::SparseWan,
+    ];
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::StarOfRings => "star-of-rings",
+            TopologyKind::FatTree => "fat-tree",
+            TopologyKind::SparseWan => "wan",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    pub fn parse(name: &str) -> Option<TopologyKind> {
+        TopologyKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A modest instance of `kind`, sized from seeded draws — small
+/// enough that a fuzz round stays fast, varied enough that shard
+/// counts, route lengths, and branch degrees differ between rounds.
+///
+/// # Errors
+///
+/// Propagates [`NetError`] from the underlying builders (unreachable
+/// for the parameter ranges drawn here).
+pub fn generate_topology(kind: TopologyKind, rng: &mut SimRng) -> Result<Topology, NetError> {
+    match kind {
+        TopologyKind::StarOfRings => {
+            let regions = 2 + rng.gen_below(2) as usize;
+            let ring_nodes = 2 + rng.gen_below(2) as usize;
+            let terminals = 1 + rng.gen_below(2) as usize;
+            builders::star_of_star_rings(regions, ring_nodes, terminals)
+        }
+        TopologyKind::FatTree => builders::fat_tree(4),
+        TopologyKind::SparseWan => {
+            let switches = 5 + rng.gen_below(6) as usize;
+            let chords = 1 + rng.gen_below(3) as usize;
+            sparse_wan(rng, switches, chords)
+        }
+    }
+}
+
+/// A seeded sparse WAN: `switches` switch nodes joined by a random
+/// spanning tree (every switch after the first picks a random earlier
+/// switch as its uplink), plus up to `chords` extra duplex links
+/// between random non-adjacent switches, and one terminal per switch.
+/// Equal seeds give equal graphs.
+///
+/// # Errors
+///
+/// Propagates [`NetError`] from link insertion (unreachable for
+/// `switches >= 2`).
+pub fn sparse_wan(rng: &mut SimRng, switches: usize, chords: usize) -> Result<Topology, NetError> {
+    let switches = switches.max(2);
+    let mut topology = Topology::new();
+    let ids: Vec<NodeId> = (0..switches)
+        .map(|i| topology.add_switch(format!("w{i}")))
+        .collect();
+    let mut adjacent: Vec<(usize, usize)> = Vec::new();
+    for i in 1..switches {
+        let up = rng.gen_below(i as u64) as usize;
+        topology.add_duplex(ids[i], ids[up])?;
+        adjacent.push((up.min(i), up.max(i)));
+    }
+    for _ in 0..chords {
+        let a = rng.gen_below(switches as u64) as usize;
+        let b = rng.gen_below(switches as u64) as usize;
+        let key = (a.min(b), a.max(b));
+        if a != b && !adjacent.contains(&key) {
+            topology.add_duplex(ids[a], ids[b])?;
+            adjacent.push(key);
+        }
+    }
+    for (i, &switch) in ids.iter().enumerate() {
+        let host = topology.add_end_system(format!("w{i}h"));
+        topology.add_duplex(host, switch)?;
+    }
+    Ok(topology)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_their_names() {
+        for kind in TopologyKind::ALL {
+            assert_eq!(TopologyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(TopologyKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn sparse_wan_is_connected_and_deterministic() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let t = sparse_wan(&mut rng, 9, 3).unwrap();
+        assert_eq!(t.switches().count(), 9);
+        assert_eq!(t.end_systems().count(), 9);
+        // Spanning tree construction ⇒ every terminal reaches every
+        // other terminal.
+        let hosts: Vec<NodeId> = t.end_systems().map(|n| n.id()).collect();
+        for &to in &hosts[1..] {
+            assert!(t.shortest_route(hosts[0], to).is_ok());
+        }
+        // Equal seeds give byte-equal graphs.
+        let mut rng2 = SimRng::seed_from_u64(11);
+        let t2 = sparse_wan(&mut rng2, 9, 3).unwrap();
+        assert_eq!(t.links().len(), t2.links().len());
+        assert_eq!(
+            t.nodes().iter().map(|n| n.name()).collect::<Vec<_>>(),
+            t2.nodes().iter().map(|n| n.name()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn generate_topology_covers_every_kind() {
+        let mut rng = SimRng::seed_from_u64(5);
+        for kind in TopologyKind::ALL {
+            let t = generate_topology(kind, &mut rng).unwrap();
+            assert!(t.switches().count() >= 2, "{kind}: too few switches");
+            assert!(t.end_systems().count() >= 2, "{kind}: too few terminals");
+        }
+    }
+}

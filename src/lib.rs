@@ -32,7 +32,13 @@
 //!   open-loop load generator;
 //! - [`obs`] — std-only observability: counters, log2 histograms,
 //!   trace spans, a bounded event ring, and Prometheus/JSON
-//!   exposition, wired through the engine, signaling, and simulator.
+//!   exposition, wired through the engine, signaling, and simulator;
+//! - [`snap`] — versioned snapshots and warm restart of admission
+//!   state;
+//! - [`storm`] — the adversarial workload engine: time-varying
+//!   impairment profiles, self-similar background traffic, topology
+//!   generators, and the differential scenario fuzzer behind
+//!   `rtcac storm`.
 //!
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
@@ -73,3 +79,5 @@ pub use rtcac_rtnet as rtnet;
 pub use rtcac_serve as serve;
 pub use rtcac_signaling as signaling;
 pub use rtcac_sim as sim;
+pub use rtcac_snap as snap;
+pub use rtcac_storm as storm;
