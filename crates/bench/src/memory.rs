@@ -1,0 +1,104 @@
+//! Heap measurement: a counting global allocator and an RSS reader.
+//!
+//! Two independent views of memory, cross-checkable against each other:
+//!
+//! * [`CountingAlloc`] — a zero-dependency `GlobalAlloc` wrapper over
+//!   the system allocator that reports every alloc/dealloc into the
+//!   process-wide counters in `rtcac_obs` ([`rtcac_obs::alloc_live_bytes`]).
+//!   Exact to the byte for what the program *requested*, blind to
+//!   allocator overhead. Install it from a binary root:
+//!
+//!   ```ignore
+//!   #[global_allocator]
+//!   static ALLOC: rtcac_bench::memory::CountingAlloc = rtcac_bench::memory::CountingAlloc;
+//!   ```
+//!
+//! * [`vm_rss_bytes`] — the kernel's resident-set figure from
+//!   `/proc/self/status` (Linux; `0` elsewhere). Includes allocator
+//!   slack, code and stacks — the number an operator sees in `top`.
+//!
+//! The `mem_footprint` bench records both so a reader can see that the
+//! per-connection deltas are real memory, not accounting artifacts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// A counting wrapper around the system allocator. Every successful
+/// allocation and deallocation is recorded into the `rtcac_obs` heap
+/// counters with relaxed atomics; the allocation itself is delegated
+/// untouched, so behavior (alignment, zeroing) is exactly [`System`]'s.
+pub struct CountingAlloc;
+
+// SAFETY: pure delegation to `System`, which upholds the `GlobalAlloc`
+// contract; the counter updates are lock-free atomics and never
+// allocate, so there is no reentrancy.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            rtcac_obs::note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        rtcac_obs::note_dealloc(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            rtcac_obs::note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            rtcac_obs::note_dealloc(layout.size());
+            rtcac_obs::note_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+/// The process's resident set size in bytes, from `VmRSS` in
+/// `/proc/self/status`. Returns `0` when the file or field is absent
+/// (non-Linux platforms) — callers treat `0` as "unavailable".
+#[cfg(target_os = "linux")]
+pub fn vm_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kib: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kib * 1024;
+        }
+    }
+    0
+}
+
+/// The process's resident set size in bytes; always `0` off Linux.
+#[cfg(not(target_os = "linux"))]
+pub fn vm_rss_bytes() -> u64 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn rss_is_positive_on_linux() {
+        assert!(vm_rss_bytes() > 0, "a running process is resident");
+    }
+}

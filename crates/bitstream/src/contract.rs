@@ -49,7 +49,7 @@ impl std::error::Error for ContractError {}
 /// The source may emit up to `MBS` cells back to back at the peak cell
 /// rate `PCR`, provided its average rate never exceeds the sustainable
 /// cell rate `SCR` (token-bucket semantics, Equation 1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VbrParams {
     pcr: Rate,
     scr: Rate,
@@ -109,7 +109,7 @@ impl VbrParams {
 
 /// CBR traffic parameters: a peak cell rate only (paper §2 treats CBR
 /// as VBR with `SCR = PCR`, `MBS = 1`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CbrParams {
     pcr: Rate,
 }
@@ -159,7 +159,7 @@ impl CbrParams {
 /// assert_eq!(s.long_run_rate(), Rate::new(ratio(1, 10)));
 /// # Ok::<(), rtcac_bitstream::ContractError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TrafficContract {
     /// Constant bit rate.
     Cbr(CbrParams),

@@ -187,6 +187,13 @@ impl BitStream {
         &self.segments
     }
 
+    /// Approximate resident heap bytes of this stream: the segment
+    /// buffer it owns (capacity, not length — what the allocator is
+    /// actually holding).
+    pub fn resident_bytes(&self) -> usize {
+        self.segments.capacity() * core::mem::size_of::<Segment>()
+    }
+
     /// Number of segments (the paper's `m + 1`). Never zero: even the
     /// zero stream has one (zero-rate) segment.
     pub fn segment_count(&self) -> usize {

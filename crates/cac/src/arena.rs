@@ -1,0 +1,156 @@
+//! The dense-id leg arena: `Vec`-backed storage for a switch's
+//! established connection legs.
+//!
+//! Each admitted leg lives in a slab slot addressed by a dense per-
+//! switch `u32` id; freed slots chain into an in-slab free list and are
+//! reused before the slab grows, so a switch under steady churn never
+//! reallocates. Public iteration order is provided by the switch's
+//! sorted `(connection, out-link)` index, not the arena — slots move
+//! through the free list in LIFO order and carry no ordering of their
+//! own.
+
+use rtcac_net::LinkId;
+
+use crate::intern::ContractHandle;
+use crate::{ConnectionId, Priority};
+
+/// One established leg: the identifying links plus a handle to the
+/// interned `(contract, CDV)` entry that induced its arrival envelope.
+/// Everything a [`crate::ConnectionRequest`] carries is recoverable
+/// from the leg and its intern entry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Leg {
+    pub id: ConnectionId,
+    pub handle: ContractHandle,
+    pub in_link: LinkId,
+    pub out_link: LinkId,
+    pub priority: Priority,
+}
+
+/// Sentinel terminating the free list.
+const NO_SLOT: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Occupied(Leg),
+    Free { next: u32 },
+}
+
+/// The slab of legs with its free list.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LegArena {
+    slots: Vec<Slot>,
+    free_head: u32,
+    live: usize,
+}
+
+impl LegArena {
+    pub(crate) fn new() -> LegArena {
+        LegArena {
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+            live: 0,
+        }
+    }
+
+    /// Stores a leg, reusing the most recently freed slot if any, and
+    /// returns its dense id.
+    pub(crate) fn insert(&mut self, leg: Leg) -> u32 {
+        self.live += 1;
+        if self.free_head != NO_SLOT {
+            let slot = self.free_head;
+            match self.slots[slot as usize] {
+                Slot::Free { next } => self.free_head = next,
+                Slot::Occupied(_) => unreachable!("free head points at a live slot"),
+            }
+            self.slots[slot as usize] = Slot::Occupied(leg);
+            slot
+        } else {
+            assert!(self.slots.len() < NO_SLOT as usize, "leg arena full");
+            self.slots.push(Slot::Occupied(leg));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Removes and returns the leg at `slot`, chaining the slot onto
+    /// the free list.
+    pub(crate) fn remove(&mut self, slot: u32) -> Leg {
+        let leg = match self.slots[slot as usize] {
+            Slot::Occupied(leg) => leg,
+            Slot::Free { .. } => panic!("remove of a free leg slot"),
+        };
+        self.slots[slot as usize] = Slot::Free {
+            next: self.free_head,
+        };
+        self.free_head = slot;
+        self.live -= 1;
+        leg
+    }
+
+    /// The leg at a live slot.
+    pub(crate) fn get(&self, slot: u32) -> &Leg {
+        match &self.slots[slot as usize] {
+            Slot::Occupied(leg) => leg,
+            Slot::Free { .. } => panic!("use of a free leg slot"),
+        }
+    }
+
+    /// Number of live legs.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Total slab slots, live or free.
+    pub(crate) fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate resident heap bytes of the slab.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leg(id: u64) -> Leg {
+        Leg {
+            id: ConnectionId::new(id),
+            handle: ContractHandle::from_raw_for_test(0),
+            in_link: LinkId::external(0),
+            out_link: LinkId::external(1),
+            priority: Priority::HIGHEST,
+        }
+    }
+
+    #[test]
+    fn insert_remove_reuses_slots_lifo() {
+        let mut arena = LegArena::new();
+        let a = arena.insert(leg(1));
+        let b = arena.insert(leg(2));
+        let c = arena.insert(leg(3));
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.remove(b).id, ConnectionId::new(2));
+        assert_eq!(arena.remove(a).id, ConnectionId::new(1));
+        assert_eq!(arena.len(), 1);
+        // LIFO reuse: the last freed slot comes back first; the slab
+        // does not grow.
+        assert_eq!(arena.insert(leg(4)), a);
+        assert_eq!(arena.insert(leg(5)), b);
+        assert_eq!(arena.slots(), 3);
+        assert_eq!(arena.get(c).id, ConnectionId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "free leg slot")]
+    fn double_remove_panics() {
+        let mut arena = LegArena::new();
+        let a = arena.insert(leg(1));
+        arena.remove(a);
+        arena.remove(a);
+    }
+}

@@ -1,0 +1,288 @@
+//! Contract interning: one arrival envelope per distinct
+//! `(contract, CDV)` pair, shared by every leg that carries it.
+//!
+//! A switch near capacity holds thousands of legs, but the set of
+//! *distinct* admission parameters is tiny — a handful of traffic
+//! contracts crossed with the few CDV values the upstream hop depths
+//! produce. Storing the worst-case arrival [`BitStream`] per leg (as
+//! the original `BTreeMap` tables did) duplicates the same envelope
+//! thousands of times; interning stores it once, refcounted in a slab,
+//! and hands each leg a copyable [`ContractHandle`].
+//!
+//! The interned stream is the same pure function of `(contract, cdv,
+//! grid)` the admission check evaluates —
+//! [`ConnectionRequest::arrival_stream`] plus the config's coarsening
+//! grid — so sharing it is invisible to every bound: aggregates built
+//! from interned streams are bit-identical to aggregates built from
+//! per-leg copies.
+//!
+//! [`ConnectionRequest::arrival_stream`]: crate::ConnectionRequest::arrival_stream
+
+use std::collections::BTreeMap;
+
+use rtcac_bitstream::{BitStream, Time, TrafficContract};
+
+use crate::CacError;
+
+/// A cheap, copyable reference to an interned `(contract, CDV)` entry
+/// of **one switch's** [`ContractIntern`]. Handles are per-switch slab
+/// indices: never mix handles across switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContractHandle(u32);
+
+impl ContractHandle {
+    /// The raw slab index (stable for the life of the entry).
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    #[cfg(test)]
+    pub(crate) fn from_raw_for_test(raw: u32) -> ContractHandle {
+        ContractHandle(raw)
+    }
+}
+
+/// Sentinel terminating the in-slab free list.
+const NO_SLOT: u32 = u32::MAX;
+
+/// One live intern entry: the admission parameters and the arrival
+/// envelope they induce, plus the number of legs referencing it.
+#[derive(Debug, Clone)]
+struct Entry {
+    contract: TrafficContract,
+    cdv: Time,
+    stream: BitStream,
+    refs: u32,
+}
+
+/// A slab slot: either a live entry or a link in the free list.
+#[derive(Debug, Clone)]
+enum Slot {
+    Occupied(Entry),
+    Free { next: u32 },
+}
+
+/// The per-switch contract intern table: a slab of refcounted
+/// [`Entry`]s with an ordered index from `(contract, cdv)` to slot, so
+/// lookups are deterministic and freed slots are reused before the slab
+/// grows.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ContractIntern {
+    slots: Vec<Slot>,
+    free_head: u32,
+    index: BTreeMap<(TrafficContract, Time), u32>,
+}
+
+impl ContractIntern {
+    pub(crate) fn new() -> ContractIntern {
+        ContractIntern {
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// Acquires a handle for `(contract, cdv)`, bumping the refcount of
+    /// an existing entry or computing the stream via `make` for a new
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `make`'s error (the entry is not created).
+    pub(crate) fn acquire(
+        &mut self,
+        contract: TrafficContract,
+        cdv: Time,
+        make: impl FnOnce() -> Result<BitStream, CacError>,
+    ) -> Result<ContractHandle, CacError> {
+        if let Some(&slot) = self.index.get(&(contract, cdv)) {
+            match &mut self.slots[slot as usize] {
+                Slot::Occupied(entry) => entry.refs += 1,
+                Slot::Free { .. } => unreachable!("indexed slot is free"),
+            }
+            return Ok(ContractHandle(slot));
+        }
+        let stream = make()?;
+        let entry = Entry {
+            contract,
+            cdv,
+            stream,
+            refs: 1,
+        };
+        let slot = if self.free_head != NO_SLOT {
+            let slot = self.free_head;
+            match self.slots[slot as usize] {
+                Slot::Free { next } => self.free_head = next,
+                Slot::Occupied(_) => unreachable!("free head points at a live slot"),
+            }
+            self.slots[slot as usize] = Slot::Occupied(entry);
+            slot
+        } else {
+            self.slots.push(Slot::Occupied(entry));
+            (self.slots.len() - 1) as u32
+        };
+        self.index.insert((contract, cdv), slot);
+        Ok(ContractHandle(slot))
+    }
+
+    /// Drops one reference. When the last reference goes, the entry is
+    /// removed from the index and its slot chained onto the free list;
+    /// returns whether the entry died.
+    pub(crate) fn release(&mut self, handle: ContractHandle) -> bool {
+        let slot = handle.0;
+        let entry = match &mut self.slots[slot as usize] {
+            Slot::Occupied(entry) => entry,
+            Slot::Free { .. } => panic!("release of a dead intern handle"),
+        };
+        debug_assert!(entry.refs > 0);
+        entry.refs -= 1;
+        if entry.refs > 0 {
+            return false;
+        }
+        let key = (entry.contract, entry.cdv);
+        self.index.remove(&key);
+        self.slots[slot as usize] = Slot::Free {
+            next: self.free_head,
+        };
+        self.free_head = slot;
+        true
+    }
+
+    /// The interned stream for `(contract, cdv)` if present, without
+    /// touching any refcount — the read-only check path reuses it
+    /// instead of recomputing Alg 2.1 + 3.1 + coarsening.
+    pub(crate) fn lookup(&self, contract: TrafficContract, cdv: Time) -> Option<&BitStream> {
+        self.index
+            .get(&(contract, cdv))
+            .map(|&slot| match &self.slots[slot as usize] {
+                Slot::Occupied(entry) => &entry.stream,
+                Slot::Free { .. } => unreachable!("indexed slot is free"),
+            })
+    }
+
+    fn entry(&self, handle: ContractHandle) -> &Entry {
+        match &self.slots[handle.0 as usize] {
+            Slot::Occupied(entry) => entry,
+            Slot::Free { .. } => panic!("use of a dead intern handle"),
+        }
+    }
+
+    /// The interned arrival envelope.
+    pub(crate) fn stream(&self, handle: ContractHandle) -> &BitStream {
+        &self.entry(handle).stream
+    }
+
+    /// The interned traffic contract.
+    pub(crate) fn contract(&self, handle: ContractHandle) -> TrafficContract {
+        self.entry(handle).contract
+    }
+
+    /// The interned accumulated CDV.
+    pub(crate) fn cdv(&self, handle: ContractHandle) -> Time {
+        self.entry(handle).cdv
+    }
+
+    /// The current refcount of a live entry.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn refs(&self, handle: ContractHandle) -> u32 {
+        self.entry(handle).refs
+    }
+
+    /// Number of live (distinct) entries.
+    pub(crate) fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Total slab slots, live or free — how far the slab has ever grown.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate resident heap bytes of the intern table: slab +
+    /// index nodes + the interned stream segments.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        let slab = self.slots.capacity() * std::mem::size_of::<Slot>();
+        let index = self.index.len()
+            * (std::mem::size_of::<(TrafficContract, Time)>() + std::mem::size_of::<u32>());
+        let streams: usize = self
+            .slots
+            .iter()
+            .map(|slot| match slot {
+                Slot::Occupied(entry) => entry.stream.resident_bytes(),
+                Slot::Free { .. } => 0,
+            })
+            .sum();
+        slab + index + streams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtcac_bitstream::{CbrParams, Rate};
+    use rtcac_rational::ratio;
+
+    fn cbr(num: i128, den: i128) -> TrafficContract {
+        TrafficContract::cbr(CbrParams::new(Rate::new(ratio(num, den))).unwrap())
+    }
+
+    fn stream_of(contract: TrafficContract, cdv: Time) -> BitStream {
+        contract.worst_case_stream().delay(cdv)
+    }
+
+    #[test]
+    fn acquire_dedups_and_counts_refs() {
+        let mut intern = ContractIntern::new();
+        let c = cbr(1, 8);
+        let cdv = Time::from_integer(16);
+        let h1 = intern.acquire(c, cdv, || Ok(stream_of(c, cdv))).unwrap();
+        let h2 = intern
+            .acquire(c, cdv, || panic!("second acquire must hit"))
+            .unwrap();
+        assert_eq!(h1, h2);
+        assert_eq!(intern.refs(h1), 2);
+        assert_eq!(intern.len(), 1);
+        // A different CDV is a distinct entry.
+        let h3 = intern
+            .acquire(c, Time::ZERO, || Ok(stream_of(c, Time::ZERO)))
+            .unwrap();
+        assert_ne!(h1, h3);
+        assert_eq!(intern.len(), 2);
+        assert_eq!(intern.contract(h1), c);
+        assert_eq!(intern.cdv(h1), cdv);
+        assert_eq!(*intern.stream(h1), stream_of(c, cdv));
+    }
+
+    #[test]
+    fn release_frees_slot_for_reuse() {
+        let mut intern = ContractIntern::new();
+        let c = cbr(1, 4);
+        let h = intern
+            .acquire(c, Time::ZERO, || Ok(stream_of(c, Time::ZERO)))
+            .unwrap();
+        let h2 = intern.acquire(c, Time::ZERO, || unreachable!()).unwrap();
+        assert!(!intern.release(h));
+        assert!(intern.release(h2));
+        assert_eq!(intern.len(), 0);
+        // The freed slot is reused before the slab grows.
+        let c2 = cbr(1, 2);
+        let h3 = intern
+            .acquire(c2, Time::ZERO, || Ok(stream_of(c2, Time::ZERO)))
+            .unwrap();
+        assert_eq!(h3.raw(), h.raw());
+        assert_eq!(intern.slots(), 1);
+    }
+
+    #[test]
+    fn failed_make_leaves_table_untouched() {
+        let mut intern = ContractIntern::new();
+        let c = cbr(1, 8);
+        let r = intern.acquire(c, Time::ZERO, || {
+            Err(CacError::BadConfig("synthetic failure"))
+        });
+        assert!(r.is_err());
+        assert_eq!(intern.len(), 0);
+        assert_eq!(intern.slots(), 0);
+    }
+}

@@ -55,11 +55,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 pub mod baseline;
 mod cdv;
 mod config;
 mod connection;
 mod error;
+mod intern;
 mod plan;
 mod report;
 mod sof_cache;
@@ -70,6 +72,7 @@ pub use cdv::CdvPolicy;
 pub use config::{Priority, SwitchConfig};
 pub use connection::{ConnectionId, ConnectionRequest};
 pub use error::{CacError, RejectReason};
+pub use intern::ContractHandle;
 pub use plan::{
     release_order, HopDriver, HopSpec, PlannedHop, ReservationPlan, ReserveOutcome, RoutePlan,
     LOCAL_INJECTION,

@@ -151,12 +151,20 @@ impl RoutePlan {
     }
 }
 
-/// One priced hop of a [`ReservationPlan`]: the per-leg
-/// [`ConnectionRequest`] a driver submits to the switch at `node`.
+/// One priced hop of a [`ReservationPlan`]: the pricing of one leg.
+///
+/// The hop carries only what *varies* per leg — links and accumulated
+/// CDV. The traffic contract and priority are stored **once** on the
+/// owning [`ReservationPlan`] (they are identical for every leg of a
+/// connection); [`ReservationPlan::request_for`] materializes the full
+/// [`ConnectionRequest`] at the driver boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlannedHop {
     /// The switch running the CAC check.
     pub node: NodeId,
+    /// The link the connection's cells arrive on ([`LOCAL_INJECTION`]
+    /// when the connection originates at this switch).
+    pub in_link: LinkId,
     /// The outgoing link whose FIFO the connection joins.
     pub out_link: LinkId,
     /// The CDV accumulated over this hop's upstream queueing points.
@@ -166,8 +174,6 @@ pub struct PlannedHop {
     /// The CDV leaving this hop (upstream plus this hop's advertised
     /// bound under the same policy) — the next hop's `cdv` on a path.
     pub cdv_out: Time,
-    /// The fully-formed per-leg admission request.
-    pub request: ConnectionRequest,
 }
 
 /// What a [`ReservationPlan::reserve`] walk concluded.
@@ -198,8 +204,15 @@ pub trait HopDriver {
     type Error;
 
     /// Runs the CAC check for one leg at its switch, reserving capacity
-    /// if it admits.
-    fn admit(&mut self, index: usize, hop: &PlannedHop) -> Result<AdmissionDecision, Self::Error>;
+    /// if it admits. `request` is the leg's admission request,
+    /// materialized by the walk from the plan's shared contract and the
+    /// hop's pricing.
+    fn admit(
+        &mut self,
+        index: usize,
+        hop: &PlannedHop,
+        request: ConnectionRequest,
+    ) -> Result<AdmissionDecision, Self::Error>;
 
     /// Rolls back every leg previously reserved at `node` (one release
     /// frees all legs of the connection at that switch).
@@ -213,6 +226,10 @@ pub trait HopDriver {
 /// requested QoS, and [`reserve`](ReservationPlan::reserve) it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReservationPlan {
+    /// The source contract, stored once for every leg of the plan.
+    contract: TrafficContract,
+    /// The transmission priority, shared by every leg.
+    priority: Priority,
     hops: Vec<PlannedHop>,
     terminals: Vec<(NodeId, Time)>,
 }
@@ -282,11 +299,11 @@ impl ReservationPlan {
                 policy.accumulate(&through).map_err(E::from)? + inflate + inflation(hop.out_link);
             hops.push(PlannedHop {
                 node: hop.node,
+                in_link: hop.in_link,
                 out_link: hop.out_link,
                 cdv,
                 advertised: bounds[k],
                 cdv_out,
-                request: ConnectionRequest::new(contract, cdv, hop.in_link, hop.out_link, priority),
             });
         }
         let terminals = plan
@@ -294,12 +311,44 @@ impl ReservationPlan {
             .iter()
             .map(|(node, indices)| (*node, indices.iter().map(|&i| bounds[i]).sum()))
             .collect();
-        Ok(ReservationPlan { hops, terminals })
+        Ok(ReservationPlan {
+            contract,
+            priority,
+            hops,
+            terminals,
+        })
     }
 
     /// The priced hops, in reservation order.
     pub fn hops(&self) -> &[PlannedHop] {
         &self.hops
+    }
+
+    /// The source traffic contract every leg shares.
+    pub fn contract(&self) -> TrafficContract {
+        self.contract
+    }
+
+    /// The transmission priority every leg shares.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Materializes the full admission request of hop `index` from the
+    /// plan's shared contract/priority and the hop's own pricing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn request_for(&self, index: usize) -> ConnectionRequest {
+        let hop = &self.hops[index];
+        ConnectionRequest::new(
+            self.contract,
+            hop.cdv,
+            hop.in_link,
+            hop.out_link,
+            self.priority,
+        )
     }
 
     /// The guaranteed end-to-end queueing delay per terminal (sorted by
@@ -347,7 +396,7 @@ impl ReservationPlan {
     ) -> Result<ReserveOutcome, D::Error> {
         let mut reserved: Vec<NodeId> = Vec::new();
         for (index, hop) in self.hops.iter().enumerate() {
-            let decision = driver.admit(index, hop)?;
+            let decision = driver.admit(index, hop, self.request_for(index))?;
             observe(index, hop, &decision);
             match decision {
                 AdmissionDecision::Admitted(_) => reserved.push(hop.node),
@@ -390,9 +439,9 @@ impl ReservationPlan {
             .iter()
             .map(|hop| crate::HopRow {
                 node: hop.node,
-                in_link: hop.request.in_link(),
+                in_link: hop.in_link,
                 out_link: hop.out_link,
-                priority: hop.request.priority(),
+                priority: self.priority,
                 computed_bound: None,
                 deadline: hop.advertised,
                 cdv_in: hop.cdv,
@@ -597,12 +646,13 @@ mod tests {
             &mut self,
             _index: usize,
             hop: &PlannedHop,
+            request: ConnectionRequest,
         ) -> Result<AdmissionDecision, CacError> {
             self.trace.push(format!("admit {}", hop.node));
             self.switches
                 .get_mut(&hop.node)
                 .expect("switch present")
-                .admit(self.id, hop.request)
+                .admit(self.id, request)
         }
 
         fn rollback(&mut self, node: NodeId) -> Result<(), CacError> {

@@ -1,10 +1,10 @@
 //! The [`Switch`]: stateful per-switch admission control (§4.3).
 
-use std::collections::BTreeMap;
-
 use rtcac_bitstream::{BitStream, Rate, StreamError, Time};
 use rtcac_net::LinkId;
 
+use crate::arena::{Leg, LegArena};
+use crate::intern::ContractIntern;
 use crate::tables::Tables;
 use crate::{
     CacError, ConnectionId, ConnectionRequest, Priority, RejectReason, SofCache, SwitchConfig,
@@ -66,11 +66,26 @@ impl BoundsReport {
 /// A connection may hold several *legs* at one switch — one per
 /// outgoing link — which is how point-to-multipoint VCs reserve every
 /// branch port of their tree under a single connection id.
+///
+/// # Resident-state layout
+///
+/// Legs live in a dense-id [`LegArena`] (a `Vec` slab with an in-slot
+/// free list), each holding only its links, priority, and a refcounted
+/// [`ContractIntern`] handle to the `(contract, CDV)` entry that owns
+/// the arrival envelope — one envelope per *distinct* parameter pair,
+/// however many legs carry it. A sorted `(connection, out-link) → slot`
+/// index provides lookups and the **stable public iteration order**
+/// (ascending by `(connection, out-link)`, exactly the order the former
+/// `BTreeMap` storage iterated), so admission ledgers and snapshot
+/// encodings are byte-identical across the representation change.
 #[derive(Debug, Clone)]
 pub struct Switch {
     config: SwitchConfig,
     tables: Tables,
-    connections: BTreeMap<(ConnectionId, LinkId), (ConnectionRequest, BitStream)>,
+    intern: ContractIntern,
+    legs: LegArena,
+    /// Sorted by key; one entry per established leg.
+    index: Vec<((ConnectionId, LinkId), u32)>,
     epoch: u64,
 }
 
@@ -80,7 +95,9 @@ impl Switch {
         Switch {
             config,
             tables: Tables::new(),
-            connections: BTreeMap::new(),
+            intern: ContractIntern::new(),
+            legs: LegArena::new(),
+            index: Vec::new(),
             epoch: 0,
         }
     }
@@ -112,18 +129,10 @@ impl Switch {
         let mut switch = Switch::new(config);
         for (id, request) in legs {
             switch.config.bound(request.priority())?;
-            let key = (id, request.out_link());
-            if switch.connections.contains_key(&key) {
+            if switch.find_leg(id, request.out_link()).is_some() {
                 return Err(CacError::DuplicateConnection(id));
             }
-            let stream = switch.arrival_of(&request)?;
-            switch.tables.add(
-                request.in_link(),
-                request.out_link(),
-                request.priority(),
-                &stream,
-            );
-            switch.connections.insert(key, (request, stream));
+            switch.attach_leg(id, &request)?;
         }
         switch.epoch = epoch;
         Ok(switch)
@@ -179,29 +188,121 @@ impl Switch {
     /// Number of established connection legs (one per connection and
     /// outgoing link; a unicast connection has exactly one).
     pub fn connection_count(&self) -> usize {
-        self.connections.len()
+        self.index.len()
     }
 
     /// Whether a connection holds any leg here.
     pub fn has_connection(&self, id: ConnectionId) -> bool {
-        self.connections.keys().any(|&(cid, _)| cid == id)
+        !self.leg_range(id).is_empty()
     }
 
-    /// The established connection legs and their admission parameters.
-    pub fn connections(&self) -> impl Iterator<Item = (ConnectionId, &ConnectionRequest)> + '_ {
-        self.connections
-            .iter()
-            .map(|(&(id, _), (req, _))| (id, req))
+    /// The established connection legs and their admission parameters,
+    /// ascending by `(connection, out-link)`. Requests are
+    /// reconstructed from the leg and its interned `(contract, CDV)`
+    /// entry — bit-identical to the request originally admitted.
+    pub fn connections(&self) -> impl Iterator<Item = (ConnectionId, ConnectionRequest)> + '_ {
+        self.index.iter().map(move |&(_, slot)| {
+            let leg = self.legs.get(slot);
+            (leg.id, self.request_of(leg))
+        })
     }
 
     /// The long-run (sustained) load admitted on an outgoing link,
     /// normalized to the link bandwidth.
     pub fn sustained_load(&self, out_link: LinkId) -> Rate {
-        self.connections
-            .values()
-            .filter(|(req, _)| req.out_link() == out_link)
-            .map(|(req, _)| req.contract().sustained_rate())
+        self.index
+            .iter()
+            .filter_map(|&(_, slot)| {
+                let leg = self.legs.get(slot);
+                (leg.out_link == out_link)
+                    .then(|| self.intern.contract(leg.handle).sustained_rate())
+            })
             .sum()
+    }
+
+    /// Number of distinct interned `(contract, CDV)` entries currently
+    /// alive — at most the number of legs, typically far fewer.
+    pub fn interned_contracts(&self) -> usize {
+        self.intern.len()
+    }
+
+    /// Total leg-arena slots ever grown (live plus free-listed): how
+    /// large the resident population has peaked.
+    pub fn leg_slots(&self) -> usize {
+        self.legs.slots()
+    }
+
+    /// Approximate resident heap bytes of the admission state: the leg
+    /// arena, the sorted leg index, the intern table (envelopes
+    /// included), and the `(i, j, p)` stream aggregates.
+    pub fn resident_bytes(&self) -> usize {
+        self.legs.resident_bytes()
+            + self.index.capacity() * std::mem::size_of::<((ConnectionId, LinkId), u32)>()
+            + self.intern.resident_bytes()
+            + self.tables.resident_bytes()
+    }
+
+    /// Index positions of `id`'s legs (contiguous: the index is sorted
+    /// by `(connection, out-link)`).
+    fn leg_range(&self, id: ConnectionId) -> std::ops::Range<usize> {
+        let start = self.index.partition_point(|&((cid, _), _)| cid < id);
+        let len = self.index[start..].partition_point(|&((cid, _), _)| cid == id);
+        start..start + len
+    }
+
+    /// The arena slot of one leg, if established.
+    fn find_leg(&self, id: ConnectionId, out_link: LinkId) -> Option<u32> {
+        self.index
+            .binary_search_by(|&(key, _)| key.cmp(&(id, out_link)))
+            .ok()
+            .map(|pos| self.index[pos].1)
+    }
+
+    /// Reconstructs the admission request of an established leg.
+    fn request_of(&self, leg: &Leg) -> ConnectionRequest {
+        ConnectionRequest::new(
+            self.intern.contract(leg.handle),
+            self.intern.cdv(leg.handle),
+            leg.in_link,
+            leg.out_link,
+            leg.priority,
+        )
+    }
+
+    /// Commits one leg: acquires (or creates) its intern entry,
+    /// multiplexes the interned envelope into the stream tables, and
+    /// stores the leg in the arena + sorted index. The caller has
+    /// already checked for duplicates.
+    fn attach_leg(
+        &mut self,
+        id: ConnectionId,
+        request: &ConnectionRequest,
+    ) -> Result<(), CacError> {
+        let grid = self.config.quantization();
+        let handle = self.intern.acquire(request.contract(), request.cdv(), || {
+            let s = request.arrival_stream();
+            match grid {
+                Some(grid) => s.coarsen(grid).map_err(CacError::from),
+                None => Ok(s),
+            }
+        })?;
+        self.tables.add(
+            request.in_link(),
+            request.out_link(),
+            request.priority(),
+            self.intern.stream(handle),
+        );
+        let slot = self.legs.insert(Leg {
+            id,
+            handle,
+            in_link: request.in_link(),
+            out_link: request.out_link(),
+            priority: request.priority(),
+        });
+        let key = (id, request.out_link());
+        let pos = self.index.partition_point(|&(k, _)| k < key);
+        self.index.insert(pos, (key, slot));
+        Ok(())
     }
 
     /// **Steps 1–6 of §4.3**: checks whether a new connection fits,
@@ -351,20 +452,12 @@ impl Switch {
         request: ConnectionRequest,
         cache: Option<&mut SofCache>,
     ) -> Result<AdmissionDecision, CacError> {
-        if self.connections.contains_key(&(id, request.out_link())) {
+        if self.find_leg(id, request.out_link()).is_some() {
             return Err(CacError::DuplicateConnection(id));
         }
         let decision = self.check_inner(&request, cache)?;
         if decision.is_admitted() {
-            let s = self.arrival_of(&request)?;
-            self.tables.add(
-                request.in_link(),
-                request.out_link(),
-                request.priority(),
-                &s,
-            );
-            self.connections
-                .insert((id, request.out_link()), (request, s));
+            self.attach_leg(id, &request)?;
             self.epoch += 1;
         }
         Ok(decision)
@@ -378,30 +471,37 @@ impl Switch {
     /// Returns [`CacError::UnknownConnection`] if `id` holds no leg
     /// here.
     pub fn release(&mut self, id: ConnectionId) -> Result<Vec<ConnectionRequest>, CacError> {
-        let leg_keys: Vec<(ConnectionId, LinkId)> = self
-            .connections
-            .keys()
-            .filter(|&&(cid, _)| cid == id)
-            .copied()
-            .collect();
-        if leg_keys.is_empty() {
+        let range = self.leg_range(id);
+        if range.is_empty() {
             return Err(CacError::UnknownConnection(id));
         }
-        let mut released = Vec::with_capacity(leg_keys.len());
-        for key in leg_keys {
-            let (request, _) = self.connections.remove(&key).expect("key just listed");
-            released.push(request);
+        // The connection's legs are contiguous in the sorted index:
+        // drain that range directly, handing each slot to the arena
+        // free list and dropping its intern reference — no intermediate
+        // key list is materialized.
+        let mut released = Vec::with_capacity(range.len());
+        for (_, slot) in self.index.drain(range) {
+            let leg = self.legs.remove(slot);
+            released.push(ConnectionRequest::new(
+                self.intern.contract(leg.handle),
+                self.intern.cdv(leg.handle),
+                leg.in_link,
+                leg.out_link,
+                leg.priority,
+            ));
+            self.intern.release(leg.handle);
         }
         // Rebuild every affected aggregate from the remaining legs
-        // (exact, and immune to accumulated demultiplex ordering).
+        // (exact, and immune to accumulated demultiplex ordering),
+        // multiplexing in index order so the result is bit-identical
+        // to the aggregate the same legs originally produced.
         for request in &released {
             let key = (request.in_link(), request.out_link(), request.priority());
-            let rebuilt = BitStream::multiplex_all(
-                self.connections
-                    .values()
-                    .filter(|(r, _)| (r.in_link(), r.out_link(), r.priority()) == key)
-                    .map(|(_, s)| s),
-            );
+            let rebuilt = BitStream::multiplex_all(self.index.iter().filter_map(|&(_, slot)| {
+                let leg = self.legs.get(slot);
+                ((leg.in_link, leg.out_link, leg.priority) == key)
+                    .then(|| self.intern.stream(leg.handle))
+            }));
             self.tables.set(
                 request.in_link(),
                 request.out_link(),
@@ -459,7 +559,12 @@ impl Switch {
     }
 
     /// The (possibly quantized) worst-case arrival stream of a request.
+    /// When an identical `(contract, CDV)` pair is already interned,
+    /// its envelope is reused — the same pure function evaluated once.
     fn arrival_of(&self, request: &ConnectionRequest) -> Result<BitStream, CacError> {
+        if let Some(s) = self.intern.lookup(request.contract(), request.cdv()) {
+            return Ok(s.clone());
+        }
         let s = request.arrival_stream();
         match self.config.quantization() {
             Some(grid) => s.coarsen(grid).map_err(CacError::from),

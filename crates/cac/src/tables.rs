@@ -66,6 +66,14 @@ impl Tables {
         self.sia.len()
     }
 
+    /// Approximate resident heap bytes of the stored aggregates.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.sia
+            .values()
+            .map(|s| std::mem::size_of::<Key>() + s.resident_bytes())
+            .sum()
+    }
+
     /// The total long-run rate currently crossing incoming link `i`
     /// (all outgoing links and priorities).
     pub(crate) fn in_link_long_run(&self, i: LinkId) -> rtcac_bitstream::Rate {

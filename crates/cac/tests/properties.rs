@@ -202,6 +202,168 @@ fn admit_release_roundtrip_is_identity() {
     }
 }
 
+/// A small pool of distinct `(contract, CDV)` classes for the intern
+/// properties: interning keys on exactly that pair, so `k` distinct
+/// classes can never intern more than `k` entries no matter how many
+/// legs share them.
+fn class_pool() -> Vec<(TrafficContract, Time)> {
+    (0..8)
+        .map(|k| {
+            let contract = TrafficContract::vbr(
+                VbrParams::new(
+                    Rate::new(ratio(1, 6 + k)),
+                    Rate::new(ratio(1, 60 + 5 * k)),
+                    2 + k as u64 % 4,
+                )
+                .expect("valid by construction"),
+            );
+            (contract, Time::from_integer(8 * (k % 3)))
+        })
+        .collect()
+}
+
+fn class_request(pool: &[(TrafficContract, Time)], class: usize, salt: u64) -> ConnectionRequest {
+    let (contract, cdv) = pool[class % pool.len()];
+    ConnectionRequest::new(
+        contract,
+        cdv,
+        LinkId::external((salt % 3) as u32),
+        LinkId::external(100),
+        Priority::new((salt % 2) as u8),
+    )
+}
+
+/// Memory-scale satellite: under arbitrary admit/release churn, the
+/// intern table holds exactly one entry per *distinct live*
+/// `(contract, CDV)` class — never one per leg, and never a stale
+/// entry for a class whose last leg was released.
+#[test]
+fn intern_dedups_to_distinct_live_classes_under_churn() {
+    let pool = class_pool();
+    let mut rng = Rng(205);
+    for _ in 0..CASES {
+        let mut sw = two_level_switch();
+        let mut live: Vec<(ConnectionId, usize)> = Vec::new();
+        let mut next = 0u64;
+        for step in 0..60 {
+            if rng.range(0, 3) < 3 || live.is_empty() {
+                let class = rng.range(0, pool.len() as i128 - 1) as usize;
+                let req = class_request(&pool, class, rng.next());
+                let id = ConnectionId::new(next);
+                next += 1;
+                if sw.admit(id, req).unwrap().is_admitted() {
+                    live.push((id, class));
+                }
+            } else {
+                let k = rng.range(0, live.len() as i128 - 1) as usize;
+                let (id, _) = live.swap_remove(k);
+                sw.release(id).unwrap();
+            }
+            let distinct: std::collections::BTreeSet<usize> =
+                live.iter().map(|&(_, c)| c).collect();
+            assert_eq!(
+                sw.interned_contracts(),
+                distinct.len(),
+                "step {step}: {} interned for {} distinct live classes",
+                sw.interned_contracts(),
+                distinct.len()
+            );
+        }
+    }
+}
+
+/// Memory-scale satellite: 10 000 connect/release cycles through a
+/// bounded live window leak nothing — every refcount returns to zero
+/// (empty intern table) and the leg arena's free list caps the slot
+/// count at the peak concurrent population, not the cycle count.
+#[test]
+fn intern_refcounts_and_leg_slots_do_not_leak_over_10k_cycles() {
+    const CYCLES: u64 = 10_000;
+    const WINDOW: usize = 16;
+    let pool = class_pool();
+    let mut sw = two_level_switch();
+    let mut live: std::collections::VecDeque<ConnectionId> = Default::default();
+    let mut admitted = 0u64;
+    for cycle in 0..CYCLES {
+        let req = class_request(&pool, cycle as usize, cycle);
+        let id = ConnectionId::new(cycle);
+        if sw.admit(id, req).unwrap().is_admitted() {
+            admitted += 1;
+            live.push_back(id);
+        }
+        if live.len() > WINDOW {
+            sw.release(live.pop_front().unwrap()).unwrap();
+        }
+        assert!(
+            sw.leg_slots() <= WINDOW + 1,
+            "cycle {cycle}: {} slots for a window of {WINDOW}",
+            sw.leg_slots()
+        );
+        assert!(sw.interned_contracts() <= pool.len());
+    }
+    assert!(
+        admitted > CYCLES / 2,
+        "workload mostly rejected: {admitted}"
+    );
+    while let Some(id) = live.pop_front() {
+        sw.release(id).unwrap();
+    }
+    assert_eq!(sw.connection_count(), 0);
+    assert_eq!(
+        sw.interned_contracts(),
+        0,
+        "released everything but intern entries survive"
+    );
+}
+
+/// Memory-scale satellite: a quantizing switch's computed bounds
+/// dominate the exact switch's (coarsening never under-estimates
+/// traffic) and stay within the documented budget — a factor of 1.5
+/// plus two cell times at grid 64 (see `BitStream::coarsen` and
+/// DESIGN.md §12).
+#[test]
+fn coarsened_bounds_dominate_exact_within_budget() {
+    const GRID: i128 = 64;
+    let mut rng = Rng(206);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng, 29);
+        let mut exact = two_level_switch();
+        let mut coarse = Switch::new(
+            SwitchConfig::with_bounds([Time::from_integer(24), Time::from_integer(96)])
+                .unwrap()
+                .with_quantization(GRID)
+                .unwrap(),
+        );
+        let mut next = 0u64;
+        for op in &ops {
+            let Some(req) = request_of(op) else { continue };
+            // Admit to both only where both agree, so the two switches
+            // price the same committed population.
+            if !(exact.check(&req).unwrap().is_admitted()
+                && coarse.check(&req).unwrap().is_admitted())
+            {
+                continue;
+            }
+            let id = ConnectionId::new(next);
+            next += 1;
+            assert!(exact.admit(id, req).unwrap().is_admitted());
+            assert!(coarse.admit(id, req).unwrap().is_admitted());
+            for p in [Priority::new(0), Priority::new(1)] {
+                let d_exact = exact.computed_bound(LinkId::external(100), p).unwrap();
+                let d_coarse = coarse.computed_bound(LinkId::external(100), p).unwrap();
+                assert!(
+                    d_coarse >= d_exact,
+                    "priority {p}: coarsened bound {d_coarse} below exact {d_exact}"
+                );
+                assert!(
+                    d_coarse.to_f64() <= d_exact.to_f64() * 1.5 + 2.0,
+                    "priority {p}: coarsened bound {d_coarse} outside budget of exact {d_exact}"
+                );
+            }
+        }
+    }
+}
+
 /// Total sustained load of admitted connections never exceeds the link
 /// bandwidth (a consequence the admission must enforce).
 #[test]

@@ -1703,6 +1703,11 @@ pub struct LoadArgs {
     pub bench_json: Option<String>,
     /// Send DRAIN after the run (clean server shutdown).
     pub drain: bool,
+    /// Soak duration in minutes: repeat `ops`-sized batches until it
+    /// elapses, scraping the server's memory gauges throughout.
+    pub soak_minutes: Option<f64>,
+    /// Exposition endpoint to scrape during a soak.
+    pub metrics_addr: String,
 }
 
 /// `rtcac load`: drive the open-loop generator against a running
@@ -1721,6 +1726,9 @@ pub fn serve_load(args: &LoadArgs) -> Result<String, CliError> {
         rate: args.rate,
         seed: args.seed,
     };
+    if let Some(minutes) = args.soak_minutes {
+        return serve_soak(args, &config, minutes);
+    }
     let report = rtcac_serve::run_load(&config).map_err(CliError::domain)?;
     let mut out = String::new();
     let _ = writeln!(
@@ -1760,6 +1768,66 @@ pub fn serve_load(args: &LoadArgs) -> Result<String, CliError> {
             other => {
                 return Err(CliError::Domain(format!(
                     "load: unexpected DRAIN reply: {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `rtcac load --soak MINS`: repeated load batches under a wall-clock
+/// deadline, with the server's `engine_resident_bytes` /
+/// `alloc_live_bytes` gauges scraped throughout and summarized — the
+/// memory-stability probe for a resident service under sustained
+/// setup/release churn.
+fn serve_soak(
+    args: &LoadArgs,
+    config: &rtcac_serve::LoadConfig,
+    minutes: f64,
+) -> Result<String, CliError> {
+    let duration = std::time::Duration::from_secs_f64(minutes * 60.0);
+    let report =
+        rtcac_serve::run_soak(config, duration, &args.metrics_addr).map_err(CliError::domain)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "soak: {} batches ({} ops) in {:.1}s against {} — {:.0} ops/s, worst p99 {}ns",
+        report.batches,
+        report.ops,
+        report.elapsed_ns as f64 / 1e9,
+        args.addr,
+        report.ops_per_sec,
+        report.worst_p99_ns,
+    );
+    if report.samples.is_empty() {
+        let _ = writeln!(
+            out,
+            "soak: no memory samples (is the metrics endpoint at {} up?)",
+            args.metrics_addr
+        );
+    } else {
+        for s in &report.samples {
+            let _ = writeln!(
+                out,
+                "soak: t={:.0}s engine_resident_bytes={} alloc_live_bytes={}",
+                s.at_secs, s.resident_bytes, s.alloc_live_bytes
+            );
+        }
+        let _ = writeln!(
+            out,
+            "soak: peak engine_resident_bytes={}",
+            report.peak_resident_bytes()
+        );
+    }
+    if args.drain {
+        let mut client = rtcac_serve::Client::connect(&args.addr).map_err(CliError::domain)?;
+        match client.drain().map_err(CliError::domain)? {
+            rtcac_serve::Response::Draining { active } => {
+                let _ = writeln!(out, "soak: drain requested ({active} still active)");
+            }
+            other => {
+                return Err(CliError::Domain(format!(
+                    "soak: unexpected DRAIN reply: {other:?}"
                 )))
             }
         }

@@ -8,6 +8,12 @@ use rtcac_cli::scenario::Scenario;
 use rtcac_cli::CliError;
 use rtcac_rational::Ratio;
 
+/// Count every allocation into the process heap gauge, so `rtcac
+/// serve`'s `/metrics` endpoint exports a live `alloc_live_bytes`
+/// alongside `engine_resident_bytes`.
+#[global_allocator]
+static ALLOC: rtcac_bench::memory::CountingAlloc = rtcac_bench::memory::CountingAlloc;
+
 const USAGE: &str = "\
 rtcac — hard real-time ATM connection admission control toolkit
 
@@ -54,11 +60,13 @@ USAGE:
       snapshot to PATH (Prometheus) and PATH.json before the verdict.
 
   rtcac storm [--seed N] [--rounds N] [--topology KIND] [--profile KIND]
-              [--out PATH] [--metrics PATH] [--bench-json PATH]
+              [--nodes N] [--out PATH] [--metrics PATH] [--bench-json PATH]
       Differential scenario fuzzer: each round generates a seeded
       random valid scenario (topologies: star-of-rings, fat-tree, wan,
       or 'mixed'; impairment profiles: flap, brownout, degrade-heal,
-      regional, 'none', or 'mixed') and replays it through both the
+      regional, 'none', or 'mixed'; --nodes sizes every round's fabric
+      to roughly N switches instead of the default small draws) and
+      replays it through both the
       serial SETUP procedure and the concurrent sharded engine,
       asserting verdict, guaranteed-delay, and admission-ledger parity,
       plus orphan/guarantee audits after every round and periodic
@@ -106,13 +114,16 @@ USAGE:
 
   rtcac load [--addr HOST:PORT] [--threads N] [--ops N] [--pipeline N]
              [--rate OPS_PER_SEC] [--seed N] [--bench-json PATH]
-             [--smoke] [--drain]
+             [--smoke] [--drain] [--soak MINS [--metrics-addr HOST:PORT]]
       Open-loop multi-threaded load generator against a running
       'rtcac serve': pipelined setup+release churn over randomized
       star-ring routes, reporting ops/s and setup latency p50/p90/p99
       (measured from scheduled send times when --rate paces the run).
       --smoke is shorthand for a small CI-sized run; --drain sends
-      DRAIN afterwards; --bench-json writes BENCH_serve.json rounds
+      DRAIN afterwards; --bench-json writes BENCH_serve.json rounds.
+      --soak MINS repeats --ops-sized batches until the deadline while
+      scraping engine_resident_bytes / alloc_live_bytes from the
+      server's metrics endpoint — the churn memory-stability probe
       for 'rtcac bench-report'.
 
   rtcac stats SCENARIO_FILE [--workers N] [--json]
@@ -229,6 +240,15 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 rounds: flag_u64(&rest, "--rounds")?.unwrap_or(1000),
                 profile: flag_value(&rest, "--profile")?.map(str::to_owned),
                 topology: flag_value(&rest, "--topology")?.map(str::to_owned),
+                nodes: flag_u64(&rest, "--nodes")?
+                    .map(|n| {
+                        if n == 0 {
+                            Err(CliError::Usage("--nodes needs a positive count".into()))
+                        } else {
+                            Ok(n as usize)
+                        }
+                    })
+                    .transpose()?,
                 out: flag_value(&rest, "--out")?.map(str::to_owned),
                 metrics: flag_value(&rest, "--metrics")?.map(str::to_owned),
                 bench_json: flag_value(&rest, "--bench-json")?.map(str::to_owned),
@@ -346,6 +366,18 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 seed: flag_u64(&rest, "--seed")?.unwrap_or(7),
                 bench_json: flag_value(&rest, "--bench-json")?.map(str::to_owned),
                 drain: rest.iter().any(|a| a.as_str() == "--drain"),
+                soak_minutes: flag_value(&rest, "--soak")?
+                    .map(|v| {
+                        v.parse::<f64>().ok().filter(|m| *m > 0.0).ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "--soak needs a positive number of minutes, got '{v}'"
+                            ))
+                        })
+                    })
+                    .transpose()?,
+                metrics_addr: flag_value(&rest, "--metrics-addr")?
+                    .unwrap_or("127.0.0.1:7048")
+                    .to_owned(),
             })
         }
         Some("simulate") => {

@@ -66,6 +66,10 @@ pub struct StormArgs {
     /// Topology family: a family name or `mixed` (default) to cycle
     /// through all of them.
     pub topology: Option<String>,
+    /// Optional switch budget per generated topology. `None` keeps
+    /// the default small fuzz-round draws; `Some(n)` sizes every
+    /// round's fabric to roughly `n` switches.
+    pub nodes: Option<usize>,
     /// Where to write the minimized failing scenario on a violation.
     pub out: Option<String>,
     /// Optional metrics output path (Prometheus text, plus `.json`).
@@ -81,6 +85,7 @@ impl Default for StormArgs {
             rounds: 1000,
             profile: None,
             topology: None,
+            nodes: None,
             out: None,
             metrics: None,
             bench_json: None,
@@ -179,9 +184,11 @@ pub(crate) fn storm_with(args: &StormArgs, tamper: Tamper) -> Result<String, Cli
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "storm: seed={} rounds={} topologies={} profiles={}",
+        "storm: seed={} rounds={}{} topologies={} profiles={}",
         args.seed,
         args.rounds,
+        args.nodes
+            .map_or_else(String::new, |n| format!(" nodes={n}")),
         topologies
             .iter()
             .map(|t| t.name())
@@ -199,6 +206,7 @@ pub(crate) fn storm_with(args: &StormArgs, tamper: Tamper) -> Result<String, Cli
         let config = FuzzConfig {
             topology: topologies[(round as usize) % topologies.len()],
             profile: profiles[(round as usize) % profiles.len()],
+            nodes: args.nodes,
             ..FuzzConfig::default()
         };
         let check_resume = round % RESUME_CHECK_EVERY == 0;
@@ -968,6 +976,24 @@ mod tests {
         let report = storm(&tiny_args()).expect("clean storm");
         assert!(report.contains("storm: OK"), "{report}");
         assert!(report.contains("lock-hold watchdog: quiet"), "{report}");
+    }
+
+    /// The lifted-caps satellite: one full differential round over a
+    /// ~thousand-switch sparse WAN — topology generation, both
+    /// drivers, parity and audits all at memory scale.
+    #[test]
+    fn thousand_switch_round_is_clean() {
+        let args = StormArgs {
+            seed: 0x1000,
+            rounds: 1,
+            topology: Some("wan".into()),
+            profile: Some("none".into()),
+            nodes: Some(1000),
+            ..StormArgs::default()
+        };
+        let report = storm(&args).expect("clean thousand-switch round");
+        assert!(report.contains("nodes=1000"), "{report}");
+        assert!(report.contains("storm: OK"), "{report}");
     }
 
     #[test]

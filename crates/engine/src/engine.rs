@@ -7,9 +7,9 @@ use std::time::Instant;
 
 use rtcac_bitstream::Time;
 use rtcac_cac::{
-    AdmissionDecision, AdmissionReport, AdmissionVerdict, ConnectionId, HopDriver, HopVerdict,
-    PlannedHop, Priority, ReservationPlan, ReserveOutcome, RoutePlan, SofCache, Switch,
-    SwitchConfig,
+    AdmissionDecision, AdmissionReport, AdmissionVerdict, ConnectionId, ConnectionRequest,
+    HopDriver, HopVerdict, PlannedHop, Priority, ReservationPlan, ReserveOutcome, RoutePlan,
+    SofCache, Switch, SwitchConfig,
 };
 use rtcac_net::{LinkId, MulticastTree, NodeId, Route, Topology};
 use rtcac_obs::{Registry, TraceCtx, Tracer};
@@ -1506,11 +1506,7 @@ impl AdmissionEngine {
                 node: *node,
                 config: self.configs[node].clone(),
                 epoch: state.switch.epoch(),
-                legs: state
-                    .switch
-                    .connections()
-                    .map(|(id, request)| (id, *request))
-                    .collect(),
+                legs: state.switch.connections().collect(),
             })
             .collect();
         let connections = registry
@@ -1554,6 +1550,19 @@ impl AdmissionEngine {
                 mcast_rejected: self.counters.mcast_rejected.load(Ordering::Relaxed),
             },
         }
+    }
+
+    /// Approximate resident heap bytes of the engine's admission state:
+    /// the sum of every shard switch's
+    /// [`resident_bytes`](rtcac_cac::Switch::resident_bytes). Each
+    /// shard is locked briefly in ascending order (not all at once —
+    /// the figure is a gauge, not a consistent cut), so scraping it
+    /// from a metrics endpoint does not stall admissions.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards
+            .values()
+            .map(|shard| shard.lock().switch.resident_bytes())
+            .sum()
     }
 
     /// Rebuilds an engine from an exported state — the warm-restart
@@ -1980,10 +1989,15 @@ struct ShardDriver<'a, 'g> {
 impl HopDriver for ShardDriver<'_, '_> {
     type Error = EngineError;
 
-    fn admit(&mut self, _index: usize, hop: &PlannedHop) -> Result<AdmissionDecision, EngineError> {
+    fn admit(
+        &mut self,
+        _index: usize,
+        hop: &PlannedHop,
+        request: ConnectionRequest,
+    ) -> Result<AdmissionDecision, EngineError> {
         let state = self.guards.get_mut(&hop.node).expect("plan shard locked");
         let ShardState { switch, cache } = &mut **state;
-        let decision = switch.admit_cached(self.id, hop.request, cache)?;
+        let decision = switch.admit_cached(self.id, request, cache)?;
         if !decision.is_admitted() {
             self.metrics
                 .record_since(self.reserve_start.take(), &self.metrics.reserve_ns);

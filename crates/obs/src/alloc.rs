@@ -1,0 +1,63 @@
+//! Process-wide heap accounting counters.
+//!
+//! The counters live here — in the crate everything already depends on
+//! — so any component can *read* live heap figures, while the actual
+//! `#[global_allocator]` wrapper that *feeds* them lives in
+//! `rtcac-bench` (it needs `unsafe` for the `GlobalAlloc` impl, which
+//! this crate forbids). A binary that wants the numbers installs the
+//! bench allocator in its `main.rs`; everything else sees zeros, and
+//! every recorder below is a single relaxed atomic op, safe on the
+//! allocation hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Records `bytes` newly allocated. Called by the counting allocator on
+/// every `alloc`; must not allocate itself.
+#[inline]
+pub fn note_alloc(bytes: usize) {
+    LIVE_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records `bytes` freed. Called by the counting allocator on every
+/// `dealloc`; must not allocate itself.
+#[inline]
+pub fn note_dealloc(bytes: usize) {
+    LIVE_BYTES.fetch_sub(bytes as u64, Ordering::Relaxed);
+}
+
+/// Bytes currently allocated and not yet freed, as seen by the counting
+/// allocator. Zero when no counting allocator is installed.
+pub fn alloc_live_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// Cumulative number of allocations since process start. Zero when no
+/// counting allocator is installed.
+pub fn alloc_count() -> u64 {
+    TOTAL_ALLOCS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorders_balance() {
+        // Other tests in the process never call the recorders (no
+        // counting allocator is installed under `cargo test`), so the
+        // deltas observed here are exactly ours.
+        let live0 = alloc_live_bytes();
+        let count0 = alloc_count();
+        note_alloc(128);
+        note_alloc(64);
+        assert_eq!(alloc_live_bytes() - live0, 192);
+        assert_eq!(alloc_count() - count0, 2);
+        note_dealloc(64);
+        note_dealloc(128);
+        assert_eq!(alloc_live_bytes(), live0);
+    }
+}

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alloc;
 mod expo;
 mod histogram;
 mod registry;
@@ -60,6 +61,7 @@ mod ring;
 mod span;
 mod trace;
 
+pub use alloc::{alloc_count, alloc_live_bytes, note_alloc, note_dealloc};
 pub use expo::{EventsSnapshot, Snapshot};
 pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKET_COUNT};
 pub use registry::{Counter, Gauge, MetricId, Registry};

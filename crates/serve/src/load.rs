@@ -103,6 +103,135 @@ impl LoadReport {
     }
 }
 
+/// One periodic scrape of the served engine's memory gauges during a
+/// soak run.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakSample {
+    /// Seconds since the soak started.
+    pub at_secs: f64,
+    /// `engine_resident_bytes` from the server's exposition endpoint.
+    pub resident_bytes: u64,
+    /// `alloc_live_bytes` from the same scrape (0 when the server runs
+    /// without the counting allocator).
+    pub alloc_live_bytes: u64,
+}
+
+/// Aggregate result of a soak run: load batches plus the memory-gauge
+/// trajectory scraped while they ran.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Load batches completed before the deadline.
+    pub batches: u64,
+    /// Total frames served across all batches.
+    pub ops: u64,
+    /// Wall-clock of the whole soak.
+    pub elapsed_ns: u64,
+    /// Served frames per second over the whole soak.
+    pub ops_per_sec: f64,
+    /// Worst per-batch p99 setup latency seen.
+    pub worst_p99_ns: u64,
+    /// The scraped memory trajectory, in time order.
+    pub samples: Vec<SoakSample>,
+}
+
+impl SoakReport {
+    /// Largest `engine_resident_bytes` scraped during the soak.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.samples
+            .iter()
+            .map(|s| s.resident_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Pulls one gauge value out of a Prometheus exposition body.
+fn scrape_gauge(body: &str, name: &str) -> Option<u64> {
+    body.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        rest.trim().parse().ok()
+    })
+}
+
+/// Soaks a live server: repeats `config`-sized load batches until
+/// `duration` elapses while a scraper thread samples the server's
+/// `engine_resident_bytes` / `alloc_live_bytes` gauges from
+/// `metrics_addr` every few seconds. Each batch holds a steady resident
+/// population under setup/release churn (the generator keeps up to 16
+/// admitted connections per thread in flight and releases the rest), so
+/// the resident-bytes trajectory shows what sustained churn does to the
+/// admission state's footprint.
+///
+/// # Errors
+///
+/// Same failures as [`run_load`]; a scrape failure is not an error
+/// (the sample is skipped — the service, not the scraper, is under
+/// test).
+pub fn run_soak(
+    config: &LoadConfig,
+    duration: Duration,
+    metrics_addr: &str,
+) -> Result<SoakReport, WireError> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let addr = metrics_addr.to_owned();
+        let started = Instant::now();
+        thread::spawn(move || {
+            let mut samples = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(body) = crate::metrics_http::http_get(&addr, "/metrics") {
+                    samples.push(SoakSample {
+                        at_secs: started.elapsed().as_secs_f64(),
+                        resident_bytes: scrape_gauge(&body, "engine_resident_bytes").unwrap_or(0),
+                        alloc_live_bytes: scrape_gauge(&body, "alloc_live_bytes").unwrap_or(0),
+                    });
+                }
+                // Sleep in short slices so stop is honored promptly.
+                for _ in 0..20 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(100));
+                }
+            }
+            samples
+        })
+    };
+
+    let started = Instant::now();
+    let mut batches = 0u64;
+    let mut ops = 0u64;
+    let mut worst_p99_ns = 0u64;
+    let result = loop {
+        if started.elapsed() >= duration {
+            break Ok(());
+        }
+        match run_load(config) {
+            Ok(report) => {
+                batches += 1;
+                ops += report.ops;
+                worst_p99_ns = worst_p99_ns.max(report.p99_ns);
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    stop.store(true, Ordering::Relaxed);
+    let samples = scraper.join().expect("soak scraper panicked");
+    result?;
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    Ok(SoakReport {
+        batches,
+        ops,
+        elapsed_ns,
+        ops_per_sec: ops as f64 / (elapsed_ns.max(1) as f64 / 1e9),
+        worst_p99_ns,
+        samples,
+    })
+}
+
 /// What one worker thread tallied.
 #[derive(Debug, Default, Clone, Copy)]
 struct ThreadTally {

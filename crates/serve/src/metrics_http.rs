@@ -71,6 +71,7 @@ fn serve_one(stream: TcpStream, registry: &Registry, engine: &AdmissionEngine) {
     } else {
         match path {
             "/metrics" => {
+                refresh_memory_gauges(registry, engine);
                 engine.publish_orphan_audit();
                 (
                     "200 OK",
@@ -79,6 +80,7 @@ fn serve_one(stream: TcpStream, registry: &Registry, engine: &AdmissionEngine) {
                 )
             }
             "/metrics.json" => {
+                refresh_memory_gauges(registry, engine);
                 engine.publish_orphan_audit();
                 ("200 OK", "application/json", registry.snapshot().to_json())
             }
@@ -93,6 +95,20 @@ fn serve_one(stream: TcpStream, registry: &Registry, engine: &AdmissionEngine) {
         body.len(),
     );
     let _ = writer.flush();
+}
+
+/// Refreshes the memory gauges at scrape time so the figures on the
+/// wire are current, never stale: `engine_resident_bytes` sums every
+/// shard switch's admission-state footprint (brief per-shard locks),
+/// `alloc_live_bytes` reads the process heap counter (non-zero only
+/// when the binary installed the counting allocator from `rtcac-bench`).
+fn refresh_memory_gauges(registry: &Registry, engine: &AdmissionEngine) {
+    registry
+        .gauge("engine_resident_bytes")
+        .set(engine.resident_bytes() as u64);
+    registry
+        .gauge("alloc_live_bytes")
+        .set(rtcac_obs::alloc_live_bytes());
 }
 
 /// A minimal blocking HTTP GET, for `rtcac stats --addr` and the tests:

@@ -5,8 +5,9 @@ use std::collections::BTreeMap;
 
 use rtcac_bitstream::{Time, TrafficContract};
 use rtcac_cac::{
-    release_order, AdmissionDecision, AdmissionReport, AdmissionVerdict, ConnectionId, HopDriver,
-    PlannedHop, Priority, ReservationPlan, ReserveOutcome, RoutePlan, Switch, SwitchConfig,
+    release_order, AdmissionDecision, AdmissionReport, AdmissionVerdict, ConnectionId,
+    ConnectionRequest, HopDriver, PlannedHop, Priority, ReservationPlan, ReserveOutcome, RoutePlan,
+    Switch, SwitchConfig,
 };
 use rtcac_net::{LinkId, NodeId, Route, Topology};
 use rtcac_obs::Tracer;
@@ -885,12 +886,17 @@ struct SerialDriver<'a> {
 impl HopDriver for SerialDriver<'_> {
     type Error = SignalError;
 
-    fn admit(&mut self, _index: usize, hop: &PlannedHop) -> Result<AdmissionDecision, SignalError> {
+    fn admit(
+        &mut self,
+        _index: usize,
+        hop: &PlannedHop,
+        request: ConnectionRequest,
+    ) -> Result<AdmissionDecision, SignalError> {
         let switch = self
             .switches
             .get_mut(&hop.node)
             .ok_or(SignalError::NoSwitchAt(hop.node))?;
-        let decision = switch.admit(self.id, hop.request)?;
+        let decision = switch.admit(self.id, request)?;
         match decision {
             AdmissionDecision::Admitted(_) => {
                 self.metrics.hop_admitted(hop.cdv);

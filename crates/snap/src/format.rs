@@ -1,6 +1,6 @@
 //! The versioned snapshot container and its section codecs.
 //!
-//! # Byte layout (format version 1)
+//! # Byte layout (format versions 1 and 2)
 //!
 //! ```text
 //! offset  size  field
@@ -12,7 +12,7 @@
 //! end-8   8     whole-file FNV-1a 64 over every preceding byte
 //! ```
 //!
-//! Version 1 has exactly six sections, all mandatory:
+//! Both versions have exactly six sections, all mandatory:
 //!
 //! | id | section  | contents |
 //! |----|----------|----------|
@@ -23,11 +23,22 @@
 //! | 5  | health   | down links/nodes, health epoch |
 //! | 6  | counters | the eleven outcome counters |
 //!
+//! Versions differ only in the switches section. Version 1 repeats the
+//! full `(contract, CDV)` pair on every leg; version 2 mirrors the
+//! switch's in-memory contract intern: each shard carries a dedup table
+//! of its distinct `(contract, CDV)` pairs in first-use order, and each
+//! leg references a table index — a shard with a million legs over a
+//! handful of contracts shrinks by roughly the contract size per leg.
+//! The table is derived from the legs at encode time, so the in-memory
+//! state structs are version-free.
+//!
 //! **Version policy:** a reader refuses any version it does not know
 //! (`SnapError::UnsupportedVersion`) rather than best-effort decoding —
 //! admission state is a contract ledger, and guessing at it voids
-//! guarantees. Compatible additions (new optional section ids) bump the
-//! version; readers are only ever written for explicit versions.
+//! guarantees. This build reads versions [`MIN_VERSION`]..=[`VERSION`]
+//! and writes only [`VERSION`] (except [`encode_with_version`], for
+//! downgrade tooling); readers are only ever written for explicit
+//! versions.
 //!
 //! Encoding is a pure function of the document — no timestamps, no
 //! randomness — so `snapshot → restore → snapshot` is byte-identical.
@@ -45,7 +56,9 @@ use crate::SnapError;
 pub const MAGIC: [u8; 4] = *b"RTSN";
 /// The newest format version this build reads and the only one it
 /// writes.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
+/// The oldest format version this build still reads.
+pub const MIN_VERSION: u16 = 1;
 /// Decode refuses files larger than this (a forged length can not
 /// force a giant allocation).
 pub const MAX_SNAPSHOT: u64 = 256 << 20;
@@ -167,12 +180,38 @@ pub struct SectionInfo {
 // ── encode ──────────────────────────────────────────────────────────
 
 /// Encodes a snapshot into its container bytes (a pure function of the
-/// document).
+/// document), always at the newest format version.
 pub fn encode(doc: &SnapshotDoc) -> Vec<u8> {
+    encode_at(doc, VERSION)
+}
+
+/// Encodes a snapshot at an explicit supported format version — for
+/// downgrade tooling and cross-version compatibility tests. Normal
+/// writers use [`encode`].
+///
+/// # Errors
+///
+/// [`SnapError::UnsupportedVersion`] when `version` is outside
+/// [`MIN_VERSION`]..=[`VERSION`].
+pub fn encode_with_version(doc: &SnapshotDoc, version: u16) -> Result<Vec<u8>, SnapError> {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(SnapError::UnsupportedVersion {
+            got: version,
+            supported: VERSION,
+        });
+    }
+    Ok(encode_at(doc, version))
+}
+
+fn encode_at(doc: &SnapshotDoc, version: u16) -> Vec<u8> {
+    let switches = match version {
+        1 => encode_switches_v1(&doc.state.switches),
+        _ => encode_switches(&doc.state.switches),
+    };
     let payloads: Vec<(u8, Vec<u8>)> = vec![
         (1, encode_meta(&doc.meta, &doc.state)),
         (2, encode_topology(&doc.topology)),
-        (3, encode_switches(&doc.state.switches)),
+        (3, switches),
         (4, encode_registry(&doc.state.connections)),
         (5, encode_health(&doc.state.health)),
         (6, encode_counters(&doc.state.counters)),
@@ -181,7 +220,7 @@ pub fn encode(doc: &SnapshotDoc) -> Vec<u8> {
     for &b in &MAGIC {
         header.u8(b);
     }
-    header.u16(VERSION);
+    header.u16(version);
     header.u8(payloads.len() as u8);
     let dir_start = 4 + 2 + 1;
     let mut offset = (dir_start + payloads.len() * 25) as u64;
@@ -239,7 +278,53 @@ fn encode_config(enc: &mut Enc, config: &SwitchConfig) {
     };
 }
 
+/// The version-2 switches codec: per shard, a dedup table of distinct
+/// `(contract, CDV)` pairs in first-use order, then legs referencing
+/// table indices. Derived from the legs at encode time — first
+/// occurrence assigns the index — so it is deterministic for a given
+/// leg order.
 fn encode_switches(switches: &[SwitchState]) -> Vec<u8> {
+    use std::collections::BTreeMap;
+    let mut enc = Enc::new();
+    enc.u32(switches.len() as u32);
+    for shard in switches {
+        enc.u32(shard.node.index() as u32);
+        encode_config(&mut enc, &shard.config);
+        enc.u64(shard.epoch);
+        let mut table: Vec<(rtcac_bitstream::TrafficContract, rtcac_bitstream::Time)> = Vec::new();
+        let mut lookup = BTreeMap::new();
+        let refs: Vec<u32> = shard
+            .legs
+            .iter()
+            .map(|(_, request)| {
+                let key = (request.contract(), request.cdv());
+                *lookup.entry(key).or_insert_with(|| {
+                    table.push(key);
+                    (table.len() - 1) as u32
+                })
+            })
+            .collect();
+        enc.u32(table.len() as u32);
+        for &(contract, cdv) in &table {
+            encode_contract(&mut enc, contract);
+            enc.time(cdv);
+        }
+        enc.u32(shard.legs.len() as u32);
+        for ((id, request), entry) in shard.legs.iter().zip(refs) {
+            enc.u64(id.raw())
+                .u32(entry)
+                .u32(request.in_link().index() as u32)
+                .u32(request.out_link().index() as u32)
+                .u8(request.priority().level());
+        }
+    }
+    enc.finish()
+}
+
+/// The version-1 switches codec: the full `(contract, CDV)` pair
+/// repeated on every leg. Kept for [`encode_with_version`] and its
+/// cross-version tests.
+fn encode_switches_v1(switches: &[SwitchState]) -> Vec<u8> {
     let mut enc = Enc::new();
     enc.u32(switches.len() as u32);
     for shard in switches {
@@ -323,11 +408,17 @@ fn encode_counters(counters: &EngineStats) -> Vec<u8> {
 
 // ── decode ──────────────────────────────────────────────────────────
 
+/// Parses and verifies the container header like [`parse_header`],
+/// returning only the section directory.
+pub fn parse_sections(bytes: &[u8]) -> Result<Vec<SectionInfo>, SnapError> {
+    parse_header(bytes).map(|(_, sections)| sections)
+}
+
 /// Parses and verifies the container header: magic, version, section
 /// directory bounds, per-section checksums and the whole-file checksum.
-/// Returns the directory without decoding any payload — `inspect` stops
-/// here.
-pub fn parse_sections(bytes: &[u8]) -> Result<Vec<SectionInfo>, SnapError> {
+/// Returns the format version and the directory without decoding any
+/// payload — `inspect` stops here.
+pub fn parse_header(bytes: &[u8]) -> Result<(u16, Vec<SectionInfo>), SnapError> {
     if bytes.len() as u64 > MAX_SNAPSHOT {
         return Err(SnapError::Oversized {
             len: bytes.len() as u64,
@@ -345,7 +436,7 @@ pub fn parse_sections(bytes: &[u8]) -> Result<Vec<SectionInfo>, SnapError> {
     }
     let mut head = Dec::new(&bytes[4..7]);
     let version = head.u16()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(SnapError::UnsupportedVersion {
             got: version,
             supported: VERSION,
@@ -358,7 +449,7 @@ pub fn parse_sections(bytes: &[u8]) -> Result<Vec<SectionInfo>, SnapError> {
     }
     let count = head.u8()? as usize;
     if count != SECTION_IDS.len() {
-        return Err(SnapError::BadSection("version 1 has exactly six sections"));
+        return Err(SnapError::BadSection("snapshot has exactly six sections"));
     }
     let dir_end = 7 + count * 25;
     if dir_end > body_end {
@@ -403,20 +494,23 @@ pub fn parse_sections(bytes: &[u8]) -> Result<Vec<SectionInfo>, SnapError> {
     if expected_offset != body_end as u64 {
         return Err(SnapError::BadSection("payload bytes outside any section"));
     }
-    Ok(sections)
+    Ok((version, sections))
 }
 
 /// Decodes a full snapshot: header and checksum verification via
-/// [`parse_sections`], then every section payload (each consumed
-/// exactly).
+/// [`parse_header`], then every section payload (each consumed
+/// exactly) with the switches codec picked by the file's version.
 pub fn decode(bytes: &[u8]) -> Result<SnapshotDoc, SnapError> {
-    let sections = parse_sections(bytes)?;
+    let (version, sections) = parse_header(bytes)?;
     let payload = |idx: usize| {
         &bytes[sections[idx].offset as usize..(sections[idx].offset + sections[idx].len) as usize]
     };
     let (meta, policy, reroute_budget, next_id, draining) = decode_meta(payload(0))?;
     let topology = decode_topology(payload(1))?;
-    let switches = decode_switches(payload(2))?;
+    let switches = match version {
+        1 => decode_switches_v1(payload(2))?,
+        _ => decode_switches(payload(2))?,
+    };
     let connections = decode_registry(payload(3))?;
     let health = decode_health(payload(4))?;
     let counters = decode_counters(payload(5))?;
@@ -521,7 +615,55 @@ fn decode_contract(dec: &mut Dec<'_>) -> Result<rtcac_bitstream::TrafficContract
     }
 }
 
+/// The version-2 switches decoder: dedup table first, then legs
+/// referencing table indices.
 fn decode_switches(bytes: &[u8]) -> Result<Vec<SwitchState>, SnapError> {
+    let mut dec = Dec::new(bytes);
+    let count = dec.u32()?;
+    let count = dec.check_count(count, 4 + 1 + 1 + 8 + 4 + 4)?;
+    let mut switches = Vec::with_capacity(count);
+    for _ in 0..count {
+        let node = NodeId::external(dec.u32()?);
+        let config = decode_config(&mut dec)?;
+        let epoch = dec.u64()?;
+        let table_count = dec.u32()?;
+        let table_count = dec.check_count(table_count, 1 + 32 + 32)?;
+        let mut table = Vec::with_capacity(table_count);
+        for _ in 0..table_count {
+            let contract = decode_contract(&mut dec)?;
+            let cdv = dec.time()?;
+            table.push((contract, cdv));
+        }
+        let leg_count = dec.u32()?;
+        let leg_count = dec.check_count(leg_count, 8 + 4 + 4 + 4 + 1)?;
+        let mut legs = Vec::with_capacity(leg_count);
+        for _ in 0..leg_count {
+            let id = ConnectionId::new(dec.u64()?);
+            let entry = dec.u32()? as usize;
+            let &(contract, cdv) = table
+                .get(entry)
+                .ok_or(SnapError::BadPayload("leg references a missing contract"))?;
+            let in_link = LinkId::external(dec.u32()?);
+            let out_link = LinkId::external(dec.u32()?);
+            let priority = Priority::new(dec.u8()?);
+            legs.push((
+                id,
+                ConnectionRequest::new(contract, cdv, in_link, out_link, priority),
+            ));
+        }
+        switches.push(SwitchState {
+            node,
+            config,
+            epoch,
+            legs,
+        });
+    }
+    dec.expect_end()?;
+    Ok(switches)
+}
+
+/// The version-1 switches decoder: full contract on every leg.
+fn decode_switches_v1(bytes: &[u8]) -> Result<Vec<SwitchState>, SnapError> {
     let mut dec = Dec::new(bytes);
     let count = dec.u32()?;
     let count = dec.check_count(count, 4 + 1 + 1 + 8 + 4)?;

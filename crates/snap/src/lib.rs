@@ -38,7 +38,10 @@ mod ops;
 
 pub use codec::fnv64;
 pub use error::SnapError;
-pub use format::{SectionInfo, SnapMeta, SnapshotDoc, TopologySpec, MAGIC, MAX_SNAPSHOT, VERSION};
+pub use format::{
+    encode_with_version, parse_header, parse_sections, SectionInfo, SnapMeta, SnapshotDoc,
+    TopologySpec, MAGIC, MAX_SNAPSHOT, MIN_VERSION, VERSION,
+};
 pub use ops::{
     adopt_into, decode, diff, encode, inspect, load_file, recapture, restore_engine,
     restore_engine_with_registry, save_atomic, sections_of, snapshot_engine, topology_of,

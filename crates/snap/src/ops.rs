@@ -139,14 +139,13 @@ pub fn save_atomic(doc: &SnapshotDoc, path: &Path) -> Result<u64, SnapError> {
 /// still reports the header before failing.
 pub fn inspect(path: &Path) -> Result<String, SnapError> {
     let bytes = read_capped(path)?;
-    let sections = format::parse_sections(&bytes)?;
+    let (version, sections) = format::parse_header(&bytes)?;
     let mut out = String::new();
     push(&mut out, format_args!("snapshot {}", path.display()));
     push(
         &mut out,
         format_args!(
-            "  container: magic RTSN, version {}, {} bytes",
-            format::VERSION,
+            "  container: magic RTSN, version {version}, {} bytes",
             bytes.len()
         ),
     );

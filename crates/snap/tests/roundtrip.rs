@@ -285,7 +285,7 @@ fn save_atomic_and_load_file_roundtrip() {
 
     let report = rtcac_snap::inspect(&path).unwrap();
     assert!(
-        report.contains("version 1"),
+        report.contains(&format!("version {}", rtcac_snap::VERSION)),
         "inspect must name the version:\n{report}"
     );
     assert!(
@@ -322,4 +322,79 @@ fn topology_spec_rebuild_is_exact() {
     assert!(spec.matches(&rebuilt));
     assert_eq!(rebuilt.nodes().len(), engine.topology().nodes().len());
     assert_eq!(rebuilt.links().len(), engine.topology().links().len());
+}
+
+/// Version-1 files (full contract repeated per leg) must keep decoding
+/// to the exact same document as the interned version-2 codec — old
+/// snapshots on disk stay restorable across the format bump — and the
+/// dedup must actually shrink the container when legs share contracts.
+#[test]
+fn v1_snapshots_stay_restorable_and_v2_is_smaller() {
+    let (engine, _, _) = churned_engine(0x51AB, 120);
+    let doc = snapshot_engine(&engine, "compat");
+
+    let v2 = encode(&doc);
+    let v1 = rtcac_snap::encode_with_version(&doc, 1).unwrap();
+    assert_ne!(v1, v2, "the versions are distinct on the wire");
+    assert_eq!(decode(&v1).unwrap(), doc, "v1 reader path");
+    assert_eq!(decode(&v2).unwrap(), doc, "v2 reader path");
+    assert!(
+        v2.len() < v1.len(),
+        "interned switches section must shrink the file: v1 {} <= v2 {}",
+        v1.len(),
+        v2.len()
+    );
+
+    // A restored engine is decision-identical regardless of which
+    // version carried the state.
+    let from_v1 = restore_engine(&decode(&v1).unwrap()).unwrap();
+    let from_v2 = restore_engine(&decode(&v2).unwrap()).unwrap();
+    assert_eq!(from_v1.export_state(), from_v2.export_state());
+
+    // Unknown versions — past and future — are refused as versions.
+    assert!(matches!(
+        rtcac_snap::encode_with_version(&doc, 0),
+        Err(SnapError::UnsupportedVersion { got: 0, .. })
+    ));
+    assert!(matches!(
+        rtcac_snap::encode_with_version(&doc, rtcac_snap::VERSION + 1),
+        Err(SnapError::UnsupportedVersion { .. })
+    ));
+}
+
+/// A version-2 leg referencing past the end of its shard's contract
+/// table is a payload error, not a panic or a silent default.
+#[test]
+fn v2_dangling_table_reference_is_refused() {
+    let (engine, _, _) = churned_engine(0x0DD, 40);
+    let doc = snapshot_engine(&engine, "dangling");
+    let good = encode(&doc);
+    let sections = rtcac_snap::parse_sections(&good).unwrap();
+    // Corrupt the first leg's table index inside the switches section:
+    // node u32 + config (levels u8 + bounds + grid flag) is variable,
+    // so instead re-encode with a hostile document is not possible —
+    // walk the real bytes: find the section, bump every plausible
+    // index byte, and require decode to fail loudly rather than panic.
+    let s = sections
+        .iter()
+        .find(|s| s.name == "switches")
+        .expect("switches section present");
+    let mut refused = 0;
+    for off in s.offset..s.offset + s.len {
+        let mut bytes = good.clone();
+        bytes[off as usize] ^= 0x80;
+        // Fix both checksums so only the payload semantics differ.
+        let sum = rtcac_snap::fnv64(&bytes[s.offset as usize..(s.offset + s.len) as usize]);
+        let dir_entry = 7 + 2 * 25; // third directory slot (switches)
+        bytes[dir_entry + 1 + 8 + 8..dir_entry + 1 + 8 + 8 + 8].copy_from_slice(&sum.to_be_bytes());
+        let body_end = bytes.len() - 8;
+        let file_sum = rtcac_snap::fnv64(&bytes[..body_end]);
+        bytes[body_end..].copy_from_slice(&file_sum.to_be_bytes());
+        // A flip may land on another valid encoding; every other
+        // outcome must be a refusal, never a panic.
+        if decode(&bytes).is_err() {
+            refused += 1;
+        }
+    }
+    assert!(refused > 0, "semantic corruption must be refusable");
 }

@@ -24,7 +24,7 @@ use rtcac_net::{LinkId, MulticastTree, NetError, NodeId, Topology};
 use rtcac_sim::SimRng;
 
 use crate::impairment::{compile_profile, ImpairmentEvent, ProfileKind};
-use crate::topo::{generate_topology, TopologyKind};
+use crate::topo::{generate_topology_sized, TopologyKind};
 use crate::traffic::LrdVbrSource;
 
 /// How a generated connect names its path.
@@ -229,6 +229,11 @@ pub struct FuzzConfig {
     pub slots: u64,
     /// Whether a round may append an embedded `chaos` directive.
     pub allow_chaos: bool,
+    /// Optional switch budget: `None` keeps the small seeded draws
+    /// that make fuzz rounds fast; `Some(n)` sizes the topology to
+    /// roughly `n` switches (see
+    /// [`generate_topology_sized`](crate::generate_topology_sized)).
+    pub nodes: Option<usize>,
 }
 
 impl Default for FuzzConfig {
@@ -238,6 +243,7 @@ impl Default for FuzzConfig {
             profile: None,
             slots: 20,
             allow_chaos: true,
+            nodes: None,
         }
     }
 }
@@ -313,7 +319,7 @@ impl StormScenario {
 /// resolution (unreachable over the connected generated graphs).
 pub fn generate(seed: u64, config: &FuzzConfig) -> Result<StormScenario, NetError> {
     let mut rng = SimRng::seed_from_u64(seed);
-    let topology = generate_topology(config.topology, &mut rng)?;
+    let topology = generate_topology_sized(config.topology, &mut rng, config.nodes)?;
 
     let link_names: BTreeMap<LinkId, String> = topology
         .links()

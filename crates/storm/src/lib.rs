@@ -40,5 +40,5 @@ mod traffic;
 
 pub use fuzz::{generate, ConnectForm, Directive, FuzzConfig, StormScenario};
 pub use impairment::{compile_profile, fault_plan_of, ImpairmentEvent, ProfileKind};
-pub use topo::{generate_topology, sparse_wan, TopologyKind};
+pub use topo::{generate_topology, generate_topology_sized, sparse_wan, TopologyKind};
 pub use traffic::LrdVbrSource;

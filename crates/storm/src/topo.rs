@@ -62,19 +62,73 @@ impl std::fmt::Display for TopologyKind {
 /// Propagates [`NetError`] from the underlying builders (unreachable
 /// for the parameter ranges drawn here).
 pub fn generate_topology(kind: TopologyKind, rng: &mut SimRng) -> Result<Topology, NetError> {
+    generate_topology_sized(kind, rng, None)
+}
+
+/// [`generate_topology`] with an optional switch budget. With
+/// `nodes = None` the fuzzer's small seeded draws apply; with
+/// `Some(budget)` each family is sized to land *near* `budget`
+/// switches (each generator's combinatorics quantize the count — a
+/// fat-tree needs `5k²/4` switches for even `k` — so the realized
+/// count is the closest shape at or under the budget, never more than
+/// a constant factor below it).
+///
+/// # Errors
+///
+/// Propagates [`NetError`] from the underlying builders (unreachable
+/// for the parameter ranges produced here).
+pub fn generate_topology_sized(
+    kind: TopologyKind,
+    rng: &mut SimRng,
+    nodes: Option<usize>,
+) -> Result<Topology, NetError> {
+    let Some(budget) = nodes else {
+        return match kind {
+            TopologyKind::StarOfRings => {
+                let regions = 2 + rng.gen_below(2) as usize;
+                let ring_nodes = 2 + rng.gen_below(2) as usize;
+                let terminals = 1 + rng.gen_below(2) as usize;
+                builders::star_of_star_rings(regions, ring_nodes, terminals)
+            }
+            TopologyKind::FatTree => builders::fat_tree(4),
+            TopologyKind::SparseWan => {
+                let switches = 5 + rng.gen_below(6) as usize;
+                let chords = 1 + rng.gen_below(3) as usize;
+                sparse_wan(rng, switches, chords)
+            }
+        };
+    };
+    let budget = budget.max(4);
     match kind {
         TopologyKind::StarOfRings => {
-            let regions = 2 + rng.gen_below(2) as usize;
-            let ring_nodes = 2 + rng.gen_below(2) as usize;
-            let terminals = 1 + rng.gen_below(2) as usize;
-            builders::star_of_star_rings(regions, ring_nodes, terminals)
+            // switches = regions × (ring_nodes + 1); a square-ish
+            // split keeps both the top ring and the per-region rings
+            // proportional to √budget.
+            let regions = isqrt(budget).max(2);
+            let ring_nodes = (budget / regions).saturating_sub(1).max(2);
+            builders::star_of_star_rings(regions, ring_nodes, 1)
         }
-        TopologyKind::FatTree => builders::fat_tree(4),
-        TopologyKind::SparseWan => {
-            let switches = 5 + rng.gen_below(6) as usize;
-            let chords = 1 + rng.gen_below(3) as usize;
-            sparse_wan(rng, switches, chords)
+        TopologyKind::FatTree => {
+            // switches = 5k²/4 for even k ≥ 2.
+            let k = (isqrt(budget * 4 / 5) & !1).max(2);
+            builders::fat_tree(k)
         }
+        TopologyKind::SparseWan => sparse_wan(rng, budget, budget / 4),
+    }
+}
+
+/// Integer square root: the largest `r` with `r * r <= n`.
+fn isqrt(n: usize) -> usize {
+    if n < 2 {
+        return n;
+    }
+    let mut r = n / 2;
+    loop {
+        let next = (r + n / r) / 2;
+        if next >= r {
+            return r;
+        }
+        r = next;
     }
 }
 
@@ -157,6 +211,49 @@ mod tests {
             let t = generate_topology(kind, &mut rng).unwrap();
             assert!(t.switches().count() >= 2, "{kind}: too few switches");
             assert!(t.end_systems().count() >= 2, "{kind}: too few terminals");
+        }
+    }
+
+    /// The lifted-caps satellite: every family must scale to a
+    /// thousand-switch fabric, landing near (and never over 2× under)
+    /// the requested budget.
+    #[test]
+    fn sized_generation_reaches_a_thousand_switches() {
+        for kind in TopologyKind::ALL {
+            let mut rng = SimRng::seed_from_u64(0x1000);
+            let t = generate_topology_sized(kind, &mut rng, Some(1000)).unwrap();
+            let switches = t.switches().count();
+            assert!(
+                (500..=1000).contains(&switches),
+                "{kind}: {switches} switches for a budget of 1000"
+            );
+            assert!(t.end_systems().count() >= 2, "{kind}: too few terminals");
+        }
+    }
+
+    #[test]
+    fn sized_generation_is_deterministic_and_handles_tiny_budgets() {
+        for kind in TopologyKind::ALL {
+            for budget in [1, 4, 37] {
+                let mut a = SimRng::seed_from_u64(9);
+                let mut b = SimRng::seed_from_u64(9);
+                let ta = generate_topology_sized(kind, &mut a, Some(budget)).unwrap();
+                let tb = generate_topology_sized(kind, &mut b, Some(budget)).unwrap();
+                assert!(ta.switches().count() >= 2);
+                assert_eq!(
+                    ta.nodes().iter().map(|n| n.name()).collect::<Vec<_>>(),
+                    tb.nodes().iter().map(|n| n.name()).collect::<Vec<_>>(),
+                    "{kind} budget {budget}: not deterministic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isqrt_is_exact() {
+        for n in 0..2000usize {
+            let r = isqrt(n);
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "isqrt({n}) = {r}");
         }
     }
 }

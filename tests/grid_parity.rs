@@ -1,0 +1,150 @@
+//! Serial-vs-engine parity with envelope coarsening off and on.
+//!
+//! The memory-scale refactor runs `BitStream::coarsen` (Algorithm 2.1
+//! quantization) on the switch admission path whenever the
+//! `SwitchConfig` carries a grid. Coarsening changes *which* bounds
+//! the switches compute — but it must change them identically on both
+//! drivers: the serial `signaling::Network` walk and the concurrent
+//! sharded `AdmissionEngine` share the switch core, so for every
+//! request, under any grid setting, both sides must return the same
+//! verdict and the same guaranteed delay, and release must behave the
+//! same. A divergence here would mean the quantization grid leaks into
+//! driver-specific state.
+
+use rtcac::bitstream::{CbrParams, Rate, Time, TrafficContract, VbrParams};
+use rtcac::cac::{ConnectionId, Priority, SwitchConfig};
+use rtcac::engine::{AdmissionEngine, EngineOutcome};
+use rtcac::net::builders;
+use rtcac::rational::ratio;
+use rtcac::signaling::{CdvPolicy, Network, SetupOutcome, SetupRequest};
+
+/// SplitMix64 — the same deterministic generator used across the test
+/// suite.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+fn seeded_request(rng: &mut Rng) -> SetupRequest {
+    let contract = if rng.below(2) == 0 {
+        let den = 4 + i128::from(rng.below(8));
+        TrafficContract::cbr(CbrParams::new(Rate::new(ratio(1, den))).unwrap())
+    } else {
+        let peak_den = 3 + i128::from(rng.below(4));
+        let sust_den = 12 + i128::from(rng.below(12));
+        TrafficContract::vbr(
+            VbrParams::new(
+                Rate::new(ratio(1, peak_den)),
+                Rate::new(ratio(1, sust_den)),
+                2 + rng.below(4),
+            )
+            .unwrap(),
+        )
+    };
+    SetupRequest::new(
+        contract,
+        Priority::new(rng.below(2) as u8),
+        Time::from_integer(10_000),
+    )
+}
+
+/// Runs one seeded setup/release churn through both drivers under
+/// `config` and asserts step-by-step parity. Returns the admit count
+/// so callers can prove the workload exercised both verdicts.
+fn assert_parity(seed: u64, config: &SwitchConfig) -> (usize, usize) {
+    let sr = builders::star_ring(5, 2).unwrap();
+    let mut net = Network::new(sr.topology().clone(), config.clone(), CdvPolicy::Hard);
+    let engine = AdmissionEngine::new(sr.topology().clone(), config.clone(), CdvPolicy::Hard);
+
+    let mut rng = Rng(seed);
+    let mut live: Vec<ConnectionId> = Vec::new();
+    let (mut admitted, mut rejected) = (0usize, 0usize);
+    for step in 0..120u64 {
+        if rng.below(4) < 3 || live.is_empty() {
+            let from = (rng.below(5) as usize, rng.below(2) as usize);
+            let to = ((from.0 + 1 + rng.below(3) as usize) % 5, 0);
+            let route = sr.terminal_route(from, to).unwrap();
+            let request = seeded_request(&mut rng);
+            let id = ConnectionId::new(1 + step);
+            let serial = net.setup_with_id(id, &route, request).unwrap();
+            let eng = engine.admit_with_id(id, &route, request).unwrap();
+            match (&serial, &eng) {
+                (
+                    SetupOutcome::Connected(info),
+                    EngineOutcome::Admitted {
+                        guaranteed_delay, ..
+                    },
+                ) => {
+                    assert_eq!(
+                        info.guaranteed_delay(),
+                        *guaranteed_delay,
+                        "step {step}: guaranteed delay diverged"
+                    );
+                    live.push(id);
+                    admitted += 1;
+                }
+                (SetupOutcome::Rejected(why), EngineOutcome::Rejected { rejection, .. }) => {
+                    assert_eq!(
+                        why.to_string(),
+                        rejection.to_string(),
+                        "step {step}: rejection reason diverged"
+                    );
+                    rejected += 1;
+                }
+                _ => panic!(
+                    "step {step}: verdict diverged (serial connected={}, engine admitted={})",
+                    serial.is_connected(),
+                    matches!(eng, EngineOutcome::Admitted { .. })
+                ),
+            }
+        } else {
+            let id = live.swap_remove(rng.below(live.len() as u64) as usize);
+            net.teardown(id).unwrap();
+            engine.release(id).unwrap();
+        }
+    }
+    assert!(net.orphaned_reservations().is_empty());
+    assert_eq!(engine.publish_orphan_audit(), 0);
+    assert!(net.verify_guarantees().unwrap().is_empty());
+    assert!(engine.verify_guarantees().unwrap().is_empty());
+    (admitted, rejected)
+}
+
+/// Parity with coarsening disabled: the pre-refactor baseline.
+#[test]
+fn serial_and_engine_agree_with_grid_off() {
+    let config = SwitchConfig::uniform(2, Time::from_integer(48)).unwrap();
+    for seed in [1, 0xA5A5, 0xDECAF] {
+        let (admitted, rejected) = assert_parity(seed, &config);
+        assert!(admitted > 0, "seed {seed}: nothing admitted");
+        assert!(rejected > 0, "seed {seed}: nothing rejected");
+    }
+}
+
+/// Parity with coarsening enabled: the quantization grid must change
+/// both drivers' arithmetic identically.
+#[test]
+fn serial_and_engine_agree_with_grid_on() {
+    for grid in [16, 64, 1024] {
+        let config = SwitchConfig::uniform(2, Time::from_integer(48))
+            .unwrap()
+            .with_quantization(grid)
+            .unwrap();
+        for seed in [1, 0xA5A5, 0xDECAF] {
+            let (admitted, rejected) = assert_parity(seed, &config);
+            assert!(admitted > 0, "grid {grid} seed {seed}: nothing admitted");
+            assert!(rejected > 0, "grid {grid} seed {seed}: nothing rejected");
+        }
+    }
+}

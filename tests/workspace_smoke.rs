@@ -105,11 +105,16 @@ fn cac_reservation_plan_core() {
     }
     impl HopDriver for Driver {
         type Error = CacError;
-        fn admit(&mut self, _: usize, hop: &PlannedHop) -> Result<AdmissionDecision, CacError> {
+        fn admit(
+            &mut self,
+            _: usize,
+            hop: &PlannedHop,
+            request: rtcac::cac::ConnectionRequest,
+        ) -> Result<AdmissionDecision, CacError> {
             self.switches
                 .get_mut(&hop.node)
                 .expect("planned hop has a switch")
-                .admit(self.id, hop.request)
+                .admit(self.id, request)
         }
         fn rollback(&mut self, node: NodeId) -> Result<(), CacError> {
             self.switches
