@@ -3,12 +3,14 @@
 //! per-ring-node terminal routes so the shards are disjoint and the
 //! worker pool can scale.
 //!
-//! Besides the worker sweep, the run ends with two A/B arms: the same
-//! batch timed with no metrics registry (no-op handles) versus an
-//! explicit [`rtcac_obs::Registry`], and with no tracer versus an
+//! Besides the worker sweep, the run ends with three A/B arms: the
+//! same batch timed with no metrics registry (no-op handles) versus an
+//! explicit [`rtcac_obs::Registry`]; with no tracer versus an
 //! installed [`rtcac_obs::Tracer`] whose sampling is hard-off
 //! ([`Sampling::Never`] — the cost of the disabled instrumentation
-//! branches alone).
+//! branches alone); and with the windowed-series sampler thread plus
+//! flight recorder live versus paused (the cost of the whole time
+//! dimension).
 //!
 //! Flags:
 //! - `--smoke` — a seconds-long run for CI (small batches, short
@@ -20,14 +22,14 @@
 //!   deltas) for `rtcac bench-report` to diff across commits.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rtcac_bench::{columns, f, header, row};
 use rtcac_bitstream::{CbrParams, Rate, Time, TrafficContract, VbrParams};
 use rtcac_cac::{Priority, SwitchConfig};
 use rtcac_engine::{AdmissionEngine, EnginePool};
 use rtcac_net::builders::{self, StarRing};
-use rtcac_obs::{Registry, Sampling, Tracer};
+use rtcac_obs::{FlightConfig, FlightRecorder, Registry, Sampler, Sampling, Tracer};
 use rtcac_rational::ratio;
 use rtcac_signaling::{CdvPolicy, SetupRequest};
 
@@ -284,6 +286,62 @@ fn main() {
         ),
     );
 
+    // Flight A/B: the same registry-enabled batch with the whole time
+    // dimension live — a 5ms sampler thread snapshotting the registry
+    // into a windowed series plus an armed flight recorder checking
+    // its triggers on every tick — versus the sampler paused
+    // (`set_active(false)`: the thread sleeps through its interval
+    // without snapshotting). Both arms share one registry, so the
+    // delta isolates the sampler+recorder cost from handle cost (which
+    // obs_overhead above already prices).
+    let flight_registry = Arc::new(Registry::new());
+    let flight_dir =
+        std::env::temp_dir().join(format!("rtcac-bench-flight-{}", std::process::id()));
+    let recorder = FlightRecorder::new(
+        Arc::clone(&flight_registry),
+        FlightConfig {
+            dir: flight_dir.clone(),
+            ..FlightConfig::default()
+        },
+    );
+    let tick_recorder = Arc::clone(&recorder);
+    let sampler = Sampler::spawn_with_observer(
+        Arc::clone(&flight_registry),
+        Duration::from_millis(5),
+        120,
+        Some(Box::new(move |series, _snapshot| {
+            if let Some(tick) = series.latest() {
+                tick_recorder.observe_tick(tick);
+            }
+        })),
+    );
+    let flight_total = (RING_NODES * ab_setups_per_node) as f64;
+    sampler.set_active(true);
+    let _ = run_round(&sr, 4, ab_setups_per_node, Some(&flight_registry), None);
+    sampler.set_active(false);
+    let _ = run_round(&sr, 4, ab_setups_per_node, Some(&flight_registry), None);
+    let mut times_live = Vec::with_capacity(ab_pairs as usize);
+    let mut times_paused = Vec::with_capacity(ab_pairs as usize);
+    for _ in 0..ab_pairs {
+        sampler.set_active(true);
+        times_live.push(run_round(&sr, 4, ab_setups_per_node, Some(&flight_registry), None).0);
+        sampler.set_active(false);
+        times_paused.push(run_round(&sr, 4, ab_setups_per_node, Some(&flight_registry), None).0);
+    }
+    sampler.stop();
+    let flight_off = flight_total / median(&mut times_paused);
+    let flight_on = flight_total / median(&mut times_live);
+    let flight_delta = (flight_off / flight_on - 1.0) * 100.0;
+    header(
+        "flight_overhead",
+        format!(
+            "sampler paused {flight_off:.0} setups/s vs sampler+recorder live \
+             {flight_on:.0} setups/s ({flight_delta:+.1}% when live)"
+        ),
+    );
+    header("flight_dumps", recorder.dumps_written());
+    let _ = std::fs::remove_dir_all(&flight_dir);
+
     if let Some(path) = &bench_json_path {
         let mut json = String::from("{\"bench\":\"engine_throughput\",");
         json.push_str(&format!("\"smoke\":{smoke},\n\"rounds\":[\n"));
@@ -295,6 +353,9 @@ fn main() {
         }
         json.push_str(&format!(
             "],\n\"trace_ab\":{{\"off_ops_per_sec\":{trace_off:.1},\"on_ops_per_sec\":{trace_on:.1},\"delta_percent\":{trace_delta:.2}}},\n"
+        ));
+        json.push_str(&format!(
+            "\"flight_ab\":{{\"off_ops_per_sec\":{flight_off:.1},\"on_ops_per_sec\":{flight_on:.1},\"delta_percent\":{flight_delta:.2}}},\n"
         ));
         json.push_str(&format!(
             "\"obs_ab\":{{\"off_ops_per_sec\":{off:.1},\"on_ops_per_sec\":{on:.1},\"delta_percent\":{:.2}}}}}\n",

@@ -1270,7 +1270,7 @@ pub fn bench_report(baseline_path: &str, candidate_path: &str) -> Result<String,
             );
         }
     }
-    for key in ["trace_ab", "obs_ab"] {
+    for key in ["trace_ab", "obs_ab", "flight_ab"] {
         let deltas: Vec<Option<f64>> = [&baseline_text, &candidate_text]
             .iter()
             .map(|text| {
@@ -1602,6 +1602,12 @@ pub struct ServeArgs {
     pub snapshot: Option<String>,
     /// Seconds between periodic snapshot saves (needs `snapshot`).
     pub snapshot_every: Option<u64>,
+    /// Flight-recorder dump directory: arms the always-on black box
+    /// (and the 1 s registry sampler feeding it).
+    pub flight_dir: Option<String>,
+    /// Lock-hold watchdog threshold override, ns (0 = trip on every
+    /// setup — the CI lever for forcing a dump).
+    pub watchdog_ns: Option<u64>,
 }
 
 /// `rtcac serve`: run the resident admission service until a client
@@ -1630,6 +1636,9 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
         snapshot_free: args.snapshot_free,
         snapshot_path: args.snapshot.clone(),
         snapshot_every: args.snapshot_every,
+        flight_dir: args.flight_dir.clone(),
+        lock_hold_threshold_ns: args.watchdog_ns,
+        ..rtcac_serve::ServeConfig::default()
     };
     let server = rtcac_serve::Server::start(&config).map_err(CliError::domain)?;
     println!(
@@ -1654,6 +1663,15 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
             match args.snapshot_every {
                 Some(secs) => format!(" (saved on drain and every {secs}s)"),
                 None => " (saved on drain)".into(),
+            }
+        );
+    }
+    if let Some(dir) = &args.flight_dir {
+        println!(
+            "serve: flight recorder armed — anomaly black boxes land in {dir}{}",
+            match args.watchdog_ns {
+                Some(ns) => format!(" (lock-hold watchdog threshold {ns}ns)"),
+                None => String::new(),
             }
         );
     }
@@ -1776,18 +1794,32 @@ pub fn serve_load(args: &LoadArgs) -> Result<String, CliError> {
 }
 
 /// `rtcac load --soak MINS`: repeated load batches under a wall-clock
-/// deadline, with the server's `engine_resident_bytes` /
-/// `alloc_live_bytes` gauges scraped throughout and summarized — the
-/// memory-stability probe for a resident service under sustained
-/// setup/release churn.
+/// deadline, with the server scraped throughout. Every scrape prints a
+/// one-line live status (rate, sliding p99, resident bytes — computed
+/// from the windowed time-series over the scrapes, so the figures are
+/// "now", not since-boot averages), and the summary reports the memory
+/// trajectory — the stability probe for a resident service under
+/// sustained setup/release churn.
 fn serve_soak(
     args: &LoadArgs,
     config: &rtcac_serve::LoadConfig,
     minutes: f64,
 ) -> Result<String, CliError> {
     let duration = std::time::Duration::from_secs_f64(minutes * 60.0);
-    let report =
-        rtcac_serve::run_soak(config, duration, &args.metrics_addr).map_err(CliError::domain)?;
+    let status: rtcac_serve::SoakObserver = Box::new(|s| {
+        println!(
+            "soak: t={:>5.0}s setups/s={:<8.0} rejects/s={:<6.0} reserve_p99={}ns resident={}",
+            s.at_secs,
+            s.setups_per_sec,
+            s.rejects_per_sec,
+            s.reserve_p99_ns,
+            human_bytes(s.resident_bytes),
+        );
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    });
+    let report = rtcac_serve::run_soak(config, duration, &args.metrics_addr, Some(status))
+        .map_err(CliError::domain)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -1809,8 +1841,14 @@ fn serve_soak(
         for s in &report.samples {
             let _ = writeln!(
                 out,
-                "soak: t={:.0}s engine_resident_bytes={} alloc_live_bytes={}",
-                s.at_secs, s.resident_bytes, s.alloc_live_bytes
+                "soak: t={:.0}s setups/s={:.0} rejects/s={:.0} reserve_p99={}ns \
+                 engine_resident_bytes={} alloc_live_bytes={}",
+                s.at_secs,
+                s.setups_per_sec,
+                s.rejects_per_sec,
+                s.reserve_p99_ns,
+                s.resident_bytes,
+                s.alloc_live_bytes
             );
         }
         let _ = writeln!(
@@ -1833,6 +1871,23 @@ fn serve_soak(
         }
     }
     Ok(out)
+}
+
+/// Renders a byte count with a binary-unit suffix (`1.5MiB`), for the
+/// soak status lines and `rtcac top`.
+pub(crate) fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes}B")
+    } else {
+        format!("{value:.1}{}", UNITS[unit])
+    }
 }
 
 /// `rtcac stats --addr`: scrape a live server's exposition endpoint
@@ -1939,6 +1994,92 @@ pub fn snapshot_diff(a: &str, b: &str) -> Result<String, CliError> {
         Ok(format!("snapshot: {a} and {b} are identical\n"))
     } else {
         Ok(report)
+    }
+}
+
+/// `rtcac flight inspect`: decode a flight-recorder black box and
+/// render its header plus the human-readable tick timeline.
+///
+/// # Errors
+///
+/// Returns [`CliError::Domain`] when the file is unreadable, truncated,
+/// or fails its checksums — a tampered black box is refused, never
+/// partially rendered.
+pub fn flight_inspect(path: &str) -> Result<String, CliError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| CliError::Domain(format!("flight: cannot read {path}: {e}")))?;
+    let dump = rtcac_obs::FlightDump::decode(&bytes)
+        .map_err(|e| CliError::Domain(format!("flight: {path}: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "flight: {path} ({} bytes) — dump #{} reason={} {}",
+        bytes.len(),
+        dump.seq,
+        dump.reason,
+        if dump.forced { "(forced)" } else { "(anomaly)" },
+    );
+    let _ = writeln!(out, "flight: detail: {}", dump.detail);
+    let _ = writeln!(
+        out,
+        "flight: {} tick(s) retained, trigger at tick {}; {} span(s), {} event(s), {} gauge(s)",
+        dump.ticks.len(),
+        dump.trigger_tick,
+        dump.spans.len(),
+        dump.events.events.len(),
+        dump.gauges.len(),
+    );
+    let _ = writeln!(out);
+    out.push_str(&dump.render_timeline());
+    Ok(out)
+}
+
+/// `rtcac flight export`: convert a black box's span section to Chrome
+/// `trace_event` JSON (load it at `chrome://tracing` or in Perfetto).
+/// Writes to `out` when given, else returns the JSON itself.
+///
+/// # Errors
+///
+/// Returns [`CliError::Domain`] on unreadable/corrupt input or an
+/// unwritable output path.
+pub fn flight_export(path: &str, out: Option<&str>) -> Result<String, CliError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| CliError::Domain(format!("flight: cannot read {path}: {e}")))?;
+    let dump = rtcac_obs::FlightDump::decode(&bytes)
+        .map_err(|e| CliError::Domain(format!("flight: {path}: {e}")))?;
+    let json = dump.chrome_trace();
+    match out {
+        Some(dest) => {
+            std::fs::write(dest, &json)
+                .map_err(|e| CliError::Domain(format!("flight: cannot write {dest}: {e}")))?;
+            Ok(format!(
+                "flight: exported {} span(s) from {path} to {dest}\n",
+                dump.spans.len()
+            ))
+        }
+        None => Ok(json),
+    }
+}
+
+/// `rtcac flight dump --addr`: ask a running server to write a black
+/// box now (the wire form of `SIGUSR1`), bypassing the once-latch.
+///
+/// # Errors
+///
+/// Returns [`CliError::Domain`] when the server is unreachable or has
+/// no flight recorder armed.
+pub fn flight_dump_remote(addr: &str) -> Result<String, CliError> {
+    let mut client = rtcac_serve::Client::connect(addr).map_err(CliError::domain)?;
+    match client.dump().map_err(CliError::domain)? {
+        rtcac_serve::Response::Dumped { path, dumps } => Ok(format!(
+            "flight: server wrote {path} (dump #{dumps} this run)\n"
+        )),
+        rtcac_serve::Response::Error { code, message } => Err(CliError::Domain(format!(
+            "flight: server refused DUMP ({code:?}): {message}"
+        ))),
+        other => Err(CliError::Domain(format!(
+            "flight: unexpected DUMP reply: {other:?}"
+        ))),
     }
 }
 

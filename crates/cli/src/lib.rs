@@ -21,5 +21,6 @@ pub mod commands;
 pub mod error;
 pub mod scenario;
 pub mod storm;
+pub mod top;
 
 pub use error::CliError;

@@ -61,6 +61,7 @@ USAGE:
 
   rtcac storm [--seed N] [--rounds N] [--topology KIND] [--profile KIND]
               [--nodes N] [--out PATH] [--metrics PATH] [--bench-json PATH]
+              [--flight DIR]
       Differential scenario fuzzer: each round generates a seeded
       random valid scenario (topologies: star-of-rings, fat-tree, wan,
       or 'mixed'; impairment profiles: flap, brownout, degrade-heal,
@@ -72,7 +73,10 @@ USAGE:
       plus orphan/guarantee audits after every round and periodic
       kill/snapshot-restore checks of embedded chaos sessions. Exits
       nonzero on the first violation, writing the minimized failing
-      scenario to --out.
+      scenario to --out. With --flight, each round becomes one tick of
+      a windowed series feeding an armed flight recorder: the first
+      violation dumps ONE black box of the recent rounds into DIR
+      ('rtcac flight inspect' reads it); clean storms write nothing.
 
   rtcac engine SCENARIO_FILE [--workers N] [--metrics PATH]
       Batch-admit the scenario through the concurrent sharded engine
@@ -85,6 +89,7 @@ USAGE:
   rtcac serve [--addr HOST:PORT] [--metrics-addr HOST:PORT] [--nodes N]
               [--terminals N] [--bound CELLS] [--workers N]
               [--snapshot-free] [--snapshot PATH] [--snapshot-every SECS]
+              [--flight-dir DIR] [--watchdog-ns NS]
       Run the resident admission service on a star-ring: a TCP server
       speaking the length-prefixed SETUP / SETUP-MCAST / RELEASE /
       QUERY / DRAIN / STATS protocol, dispatching onto the concurrent
@@ -96,9 +101,16 @@ USAGE:
       restores its admission state from PATH on boot (answering the
       typed SNAPSHOT-RESTORING error until the restore audit passes)
       and saves it atomically on DRAIN — plus every SECS seconds with
-      --snapshot-every. Blocks until a client sends DRAIN, then exits
-      nonzero unless the final audit is clean (no orphaned
-      reservations, no violated guarantees, no refused restore).
+      --snapshot-every. With --flight-dir, a sampler thread keeps a
+      windowed time-series and an always-on flight recorder arms:
+      anomalies (orphans, guarantee-audit failures, watchdogged lock
+      holds, resident-bytes jumps, panics) each dump ONE bounded black
+      box into DIR; the DUMP wire op ('rtcac flight dump') forces more.
+      --watchdog-ns sets the shard lock-hold watchdog threshold (0
+      trips on every setup — a CI lever). Blocks until a client sends
+      DRAIN, then exits nonzero unless the final audit is clean (no
+      orphaned reservations, no violated guarantees, no refused
+      restore).
 
   rtcac snapshot save SCENARIO_FILE OUT [--workers N]
   rtcac snapshot restore FILE
@@ -122,9 +134,30 @@ USAGE:
       --smoke is shorthand for a small CI-sized run; --drain sends
       DRAIN afterwards; --bench-json writes BENCH_serve.json rounds.
       --soak MINS repeats --ops-sized batches until the deadline while
-      scraping engine_resident_bytes / alloc_live_bytes from the
-      server's metrics endpoint — the churn memory-stability probe
-      for 'rtcac bench-report'.
+      scraping the server's metrics endpoint into a windowed
+      time-series, printing one live status line per sample (setup and
+      reject rates, sliding reserve p99, resident bytes) — the churn
+      memory-stability probe for 'rtcac bench-report'.
+
+  rtcac top [--addr HOST:PORT] [--interval MS] [--samples N] [--no-tui]
+      Live terminal view of a running 'rtcac serve': scrapes /metrics
+      on an interval into a windowed time-series and shows per-second
+      admission/reject/reroute rates, sliding-window reserve and
+      lock-wait quantiles, resident bytes, active sessions, and
+      snapshot age. Default is a redrawn full-screen dashboard;
+      --no-tui prints one line per sample (for CI logs), --samples N
+      exits after N scrapes.
+
+  rtcac flight inspect FILE
+  rtcac flight export FILE [--out PATH]
+  rtcac flight dump --addr HOST:PORT
+      Work with flight-recorder black boxes ('rtcac serve
+      --flight-dir' dumps). 'inspect' verifies the checksums and
+      renders the header plus the per-tick anomaly timeline (a
+      tampered file is refused, never half-rendered); 'export'
+      converts the captured spans to Chrome trace_event JSON
+      (chrome://tracing, Perfetto); 'dump' asks a live server to write
+      a black box now, bypassing the once-per-reason latch.
 
   rtcac stats SCENARIO_FILE [--workers N] [--json]
   rtcac stats --addr HOST:PORT [--json]
@@ -252,6 +285,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 out: flag_value(&rest, "--out")?.map(str::to_owned),
                 metrics: flag_value(&rest, "--metrics")?.map(str::to_owned),
                 bench_json: flag_value(&rest, "--bench-json")?.map(str::to_owned),
+                flight: flag_value(&rest, "--flight")?.map(str::to_owned),
             })
         }
         Some("trace") => {
@@ -316,6 +350,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 snapshot_free: rest.iter().any(|a| a.as_str() == "--snapshot-free"),
                 snapshot: flag_value(&rest, "--snapshot")?.map(str::to_owned),
                 snapshot_every: flag_u64(&rest, "--snapshot-every")?,
+                flight_dir: flag_value(&rest, "--flight-dir")?.map(str::to_owned),
+                watchdog_ns: flag_u64(&rest, "--watchdog-ns")?,
             })
         }
         Some("snapshot") => {
@@ -379,6 +415,48 @@ fn run(args: &[String]) -> Result<String, CliError> {
                     .unwrap_or("127.0.0.1:7048")
                     .to_owned(),
             })
+        }
+        Some("top") => {
+            let rest: Vec<&String> = it.collect();
+            rtcac_cli::top::top(&rtcac_cli::top::TopArgs {
+                addr: flag_value(&rest, "--addr")?
+                    .unwrap_or("127.0.0.1:7048")
+                    .to_owned(),
+                interval_ms: flag_u64(&rest, "--interval")?.unwrap_or(1000),
+                samples: flag_u64(&rest, "--samples")?,
+                no_tui: rest.iter().any(|a| a.as_str() == "--no-tui"),
+            })
+        }
+        Some("flight") => {
+            let action = it
+                .next()
+                .ok_or_else(|| {
+                    CliError::Usage("flight needs an action: inspect|export|dump".into())
+                })?
+                .as_str();
+            let rest: Vec<&String> = it.collect();
+            let positional = |n: usize, what: &str| -> Result<&str, CliError> {
+                rest.iter()
+                    .filter(|a| !a.starts_with("--"))
+                    .nth(n)
+                    .map(|s| s.as_str())
+                    .ok_or_else(|| CliError::Usage(format!("flight {action} needs {what}")))
+            };
+            match action {
+                "inspect" => commands::flight_inspect(positional(0, "a dump file")?),
+                "export" => commands::flight_export(
+                    positional(0, "a dump file")?,
+                    flag_value(&rest, "--out")?,
+                ),
+                "dump" => {
+                    let addr = flag_value(&rest, "--addr")?
+                        .ok_or_else(|| CliError::Usage("flight dump needs --addr".into()))?;
+                    commands::flight_dump_remote(addr)
+                }
+                other => Err(CliError::Usage(format!(
+                    "unknown flight action '{other}' (inspect|export|dump)"
+                ))),
+            }
         }
         Some("simulate") => {
             let path = it

@@ -76,6 +76,10 @@ pub struct StormArgs {
     pub metrics: Option<String>,
     /// Optional bench JSON output path (`rtcac bench-report` input).
     pub bench_json: Option<String>,
+    /// Optional flight-recorder directory: each round becomes one
+    /// tick of a windowed series, and the first parity violation dumps
+    /// a black box there (clean storms write nothing).
+    pub flight: Option<String>,
 }
 
 impl Default for StormArgs {
@@ -89,6 +93,7 @@ impl Default for StormArgs {
             out: None,
             metrics: None,
             bench_json: None,
+            flight: None,
         }
     }
 }
@@ -178,6 +183,24 @@ pub(crate) fn storm_with(args: &StormArgs, tamper: Tamper) -> Result<String, Cli
     let violations_total = registry.counter("storm_parity_violations_total");
     let round_ns = registry.histogram("storm_round_ns");
 
+    // With --flight, every round becomes one tick of a windowed series
+    // feeding an armed flight recorder: the first parity violation (or
+    // a tick-level anomaly like an orphan edge) dumps a black box of
+    // the recent rounds; clean storms write nothing at all.
+    let flight = args.flight.as_ref().map(|dir| {
+        rtcac_obs::FlightRecorder::new(
+            Arc::clone(&registry),
+            rtcac_obs::FlightConfig {
+                dir: std::path::PathBuf::from(dir),
+                ..rtcac_obs::FlightConfig::default()
+            },
+        )
+    });
+    let mut flight_series = rtcac_obs::TimeSeries::default();
+    if flight.is_some() {
+        flight_series.observe(&registry.snapshot(), 0);
+    }
+
     let mut master = SimRng::seed_from_u64(args.seed);
     let mut totals = StormTotals::default();
     let started = std::time::Instant::now();
@@ -215,8 +238,18 @@ pub(crate) fn storm_with(args: &StormArgs, tamper: Tamper) -> Result<String, Cli
         let violations = run_differential(&scenario, &registry, tamper, check_resume, &mut totals)?;
         round_ns.record(round_started.elapsed().as_nanos() as u64);
         rounds_total.inc();
+        if let Some(recorder) = &flight {
+            let elapsed_ms = (round_started.elapsed().as_millis() as u64).max(1);
+            let tick = flight_series.observe(&registry.snapshot(), elapsed_ms);
+            recorder.observe_tick(tick);
+        }
         if !violations.is_empty() {
             violations_total.add(violations.len() as u64);
+            if let Some(recorder) = &flight {
+                if let Some(path) = recorder.trigger("parity", violations[0].clone()) {
+                    let _ = writeln!(out, "flight: black box written to {}", path.display());
+                }
+            }
             let minimized = minimize(&scenario, &registry, tamper);
             let _ = writeln!(
                 out,
@@ -277,6 +310,13 @@ pub(crate) fn storm_with(args: &StormArgs, tamper: Tamper) -> Result<String, Cli
         )));
     }
     let _ = writeln!(out, "lock-hold watchdog: quiet");
+    if let Some(recorder) = &flight {
+        let _ = writeln!(
+            out,
+            "flight recorder: {} dump(s) written",
+            recorder.dumps_written()
+        );
+    }
     write_exports(args, &registry, &totals, elapsed, &mut out)?;
     let _ = writeln!(out, "storm: OK");
     Ok(out)
@@ -1035,6 +1075,67 @@ mod tests {
         assert_eq!(
             connects, 1,
             "minimizer should reduce a flip-every-verdict bug to one connect:\n{minimized}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The storm half of the flight-recorder proof: a tampered run
+    /// produces exactly ONE black box whose timeline carries the
+    /// trigger tick, and `rtcac flight inspect` renders it.
+    #[test]
+    fn tampered_storm_dumps_exactly_one_black_box() {
+        let dir = std::env::temp_dir().join(format!("rtcac-storm-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = StormArgs {
+            seed: 7,
+            rounds: 3,
+            flight: Some(dir.display().to_string()),
+            ..StormArgs::default()
+        };
+        storm_with(&args, Tamper::FlipVerdicts).expect_err("tamper must be caught");
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("flight dir exists")
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(files.len(), 1, "exactly one black box: {files:?}");
+        let dump = rtcac_obs::FlightDump::decode(&std::fs::read(&files[0]).unwrap())
+            .expect("dump decodes");
+        assert_eq!(dump.reason, "parity");
+        assert!(dump.detail.contains("verdict diverged"), "{}", dump.detail);
+        // The violating round's tick is both retained and marked.
+        assert!(
+            dump.ticks.iter().any(|t| t.tick == dump.trigger_tick),
+            "trigger tick {} missing from the retained window",
+            dump.trigger_tick
+        );
+        let timeline = dump.render_timeline();
+        assert!(timeline.contains("<< trigger"), "{timeline}");
+        let rendered = crate::commands::flight_inspect(&files[0].display().to_string())
+            .expect("inspect renders the dump");
+        assert!(rendered.contains("reason=parity"), "{rendered}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The clean half of the proof: a 200-round clean storm with the
+    /// recorder armed writes ZERO dumps.
+    #[test]
+    fn clean_200_round_storm_writes_no_dumps() {
+        let dir = std::env::temp_dir().join(format!("rtcac-storm-clean-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = StormArgs {
+            seed: 0xC1EA4,
+            rounds: 200,
+            flight: Some(dir.display().to_string()),
+            ..StormArgs::default()
+        };
+        let report = storm(&args).expect("clean storm");
+        assert!(
+            report.contains("flight recorder: 0 dump(s) written"),
+            "{report}"
+        );
+        assert!(
+            !dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none(),
+            "no dump files on disk"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

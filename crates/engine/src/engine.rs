@@ -200,6 +200,22 @@ enum AttemptResult {
 /// check-and-commit, the concurrent execution is serializable: the
 /// committed state always equals *some* serial order of the same
 /// setups through [`rtcac_signaling::Network`].
+/// The anomaly-hook signature: `(reason, detail)`. See
+/// [`AdmissionEngine::set_anomaly_hook`].
+pub type AnomalyHook = std::sync::Arc<dyn Fn(&'static str, String) + Send + Sync>;
+
+/// Mutex-guarded hook slot with an opaque `Debug` (closures have
+/// none).
+#[derive(Default)]
+struct AnomalyHookCell(Mutex<Option<AnomalyHook>>);
+
+impl std::fmt::Debug for AnomalyHookCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let installed = self.0.lock().map(|hook| hook.is_some()).unwrap_or_default();
+        f.debug_tuple("AnomalyHookCell").field(&installed).finish()
+    }
+}
+
 #[derive(Debug)]
 pub struct AdmissionEngine {
     topology: Topology,
@@ -224,6 +240,10 @@ pub struct AdmissionEngine {
     /// Lock-health watchdog threshold in nanoseconds: shard-lock holds
     /// longer than this bump `engine_lock_hold_long_total`.
     lock_hold_threshold_ns: AtomicU64,
+    /// Anomaly hook (flight recorder): called with `(reason, detail)`
+    /// on watchdog/audit findings. Behind a mutex consulted only on
+    /// those rare paths — never on the admission hot path.
+    anomaly_hook: AnomalyHookCell,
     /// Test-only trap: a link to mark down after the reserve phase of
     /// the next setup, before the commit-time health re-check — lets
     /// tests inject a failure into the reserve→commit window
@@ -288,6 +308,7 @@ impl AdmissionEngine {
             reports: Mutex::new(BTreeMap::new()),
             cdv_inflation: Mutex::new(BTreeMap::new()),
             lock_hold_threshold_ns: AtomicU64::new(DEFAULT_LOCK_HOLD_THRESHOLD_NS),
+            anomaly_hook: AnomalyHookCell::default(),
             #[cfg(test)]
             test_fail_after_reserve: Mutex::new(None),
         }
@@ -431,6 +452,29 @@ impl AdmissionEngine {
     /// regardless). Defaults to [`DEFAULT_LOCK_HOLD_THRESHOLD_NS`].
     pub fn set_lock_hold_threshold_ns(&self, ns: u64) {
         self.lock_hold_threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Installs the anomaly hook, called with `(reason, detail)` when
+    /// the lock-hold watchdog trips, the orphan audit finds leaked
+    /// reservations, or the guarantee audit finds violations. The
+    /// flight recorder is the intended listener; the hook must not call
+    /// back into the engine.
+    pub fn set_anomaly_hook(&self, hook: AnomalyHook) {
+        *self.anomaly_hook.0.lock().expect("anomaly hook poisoned") = Some(hook);
+    }
+
+    /// Fires the anomaly hook, if installed. Clones the hook out of
+    /// the mutex first so a slow listener never extends the lock.
+    fn fire_anomaly(&self, reason: &'static str, detail: String) {
+        let hook = self
+            .anomaly_hook
+            .0
+            .lock()
+            .expect("anomaly hook poisoned")
+            .clone();
+        if let Some(hook) = hook {
+            hook(reason, detail);
+        }
     }
 
     /// The lock-health watchdog threshold in nanoseconds.
@@ -654,6 +698,7 @@ impl AdmissionEngine {
             self.metrics.rejected.inc();
             self.metrics.mcast_rejected.inc();
             self.metrics.reject_draining.inc();
+            self.metrics.exemplar_draining.record_from(ctx);
             return Ok(EngineOutcome::Rejected {
                 id,
                 rejection: SetupRejection::Draining,
@@ -694,6 +739,7 @@ impl AdmissionEngine {
                 self.metrics.rejected.inc();
                 self.metrics.mcast_rejected.inc();
                 self.metrics.reject_route_down.inc();
+                self.metrics.exemplar_route_down.record_from(ctx);
                 Ok(EngineOutcome::Rejected {
                     id,
                     rejection: SetupRejection::RouteDown { link },
@@ -727,6 +773,7 @@ impl AdmissionEngine {
             Counters::bump(&self.counters.rejected);
             self.metrics.rejected.inc();
             self.metrics.reject_draining.inc();
+            self.metrics.exemplar_draining.record_from(ctx);
             return Ok(EngineOutcome::Rejected {
                 id,
                 rejection: SetupRejection::Draining,
@@ -801,6 +848,7 @@ impl AdmissionEngine {
                             Counters::bump(&self.counters.rejected);
                             self.metrics.rejected.inc();
                             self.metrics.reject_route_down.inc();
+                            self.metrics.exemplar_route_down.record_from(ctx);
                             return Ok(EngineOutcome::Rejected {
                                 id,
                                 rejection: SetupRejection::RouteDown { link },
@@ -924,6 +972,7 @@ impl AdmissionEngine {
         let achievable = priced.achievable();
         if request.delay_bound() < achievable {
             self.metrics.reject_qos.inc();
+            self.metrics.exemplar_qos.record_from(ctx);
             if want_report || ctx.can_flush() {
                 // Refused before the walk: every row is NotEvaluated,
                 // so the skeleton is the exact ledger either way.
@@ -1020,6 +1069,7 @@ impl AdmissionEngine {
                     ));
                 }
                 self.metrics.reject_switch.inc();
+                self.metrics.exemplar_switch.record_from(ctx);
                 if want_report || ctx.can_flush() {
                     let rows = if want_report {
                         rows
@@ -1402,6 +1452,9 @@ impl AdmissionEngine {
         if self.metrics.live {
             self.metrics.orphaned.set(orphans as u64);
         }
+        if orphans > 0 {
+            self.fire_anomaly("orphans", format!("{orphans} orphaned reservation(s)"));
+        }
         orphans
     }
 
@@ -1452,6 +1505,18 @@ impl AdmissionEngine {
                     limit: entry.delay_bound,
                 });
             }
+        }
+        if let Some(v) = violations.first() {
+            self.fire_anomaly(
+                "guarantee_audit",
+                format!(
+                    "{} violation(s); first: connection {} computed {} > limit {}",
+                    violations.len(),
+                    v.id,
+                    v.computed,
+                    v.limit
+                ),
+            );
         }
         Ok(violations)
     }
@@ -1634,6 +1699,7 @@ impl AdmissionEngine {
             reports: Mutex::new(BTreeMap::new()),
             cdv_inflation: Mutex::new(BTreeMap::new()),
             lock_hold_threshold_ns: AtomicU64::new(DEFAULT_LOCK_HOLD_THRESHOLD_NS),
+            anomaly_hook: AnomalyHookCell::default(),
             #[cfg(test)]
             test_fail_after_reserve: Mutex::new(None),
         };
@@ -1884,7 +1950,7 @@ impl AdmissionEngine {
         Ok(ShardGuards {
             guards,
             hold_start: self.metrics.start(),
-            metrics: &self.metrics,
+            engine: self,
             threshold_ns: self.lock_hold_threshold_ns.load(Ordering::Relaxed),
         })
     }
@@ -1927,7 +1993,7 @@ impl AdmissionEngine {
 struct ShardGuards<'e> {
     guards: BTreeMap<NodeId, MutexGuard<'e, ShardState>>,
     hold_start: Option<Instant>,
-    metrics: &'e EngineMetrics,
+    engine: &'e AdmissionEngine,
     threshold_ns: u64,
 }
 
@@ -1949,9 +2015,20 @@ impl Drop for ShardGuards<'_> {
     fn drop(&mut self) {
         if let Some(start) = self.hold_start {
             let held = start.elapsed();
-            self.metrics.lock_hold_ns.record_duration(held);
+            let metrics = &self.engine.metrics;
+            metrics.lock_hold_ns.record_duration(held);
             if held.as_nanos() > u128::from(self.threshold_ns) {
-                self.metrics.lock_hold_long.inc();
+                metrics.lock_hold_long.inc();
+                // Rare path only: the hook mutex is never touched on
+                // an in-threshold hold.
+                self.engine.fire_anomaly(
+                    "lock_hold",
+                    format!(
+                        "shard locks held {}ns (threshold {}ns)",
+                        held.as_nanos(),
+                        self.threshold_ns
+                    ),
+                );
             }
         }
     }
@@ -2234,6 +2311,72 @@ mod tests {
             snap.counter("engine_lock_hold_long_total").unwrap_or(0) > 0,
             "threshold 0 must flag every hold as long"
         );
+    }
+
+    #[test]
+    fn rejections_leave_exemplars_and_audits_fire_the_anomaly_hook() {
+        use std::sync::atomic::AtomicUsize;
+
+        let (topology, src, _sw, dst) = builders::line(3).unwrap();
+        let config = SwitchConfig::uniform(1, Time::from_integer(64)).unwrap();
+        let route = topology.shortest_route(src, dst).unwrap();
+        let registry = std::sync::Arc::new(rtcac_obs::Registry::new());
+        let mut engine = AdmissionEngine::with_registry(
+            topology,
+            config,
+            CdvPolicy::Hard,
+            std::sync::Arc::clone(&registry),
+        );
+        engine.set_tracer(rtcac_obs::Tracer::new(rtcac_obs::Sampling::Always));
+
+        // An impossible delay bound forces a qos rejection; the
+        // exemplar slot must then carry the rejected setup's trace id.
+        let req = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(1));
+        match engine.admit(&route, req).unwrap() {
+            EngineOutcome::Rejected { .. } => {}
+            other => panic!("expected qos rejection, got {other:?}"),
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_with("engine_rejections_total", &[("reason", "qos")]),
+            Some(1)
+        );
+        let exemplar = snap
+            .exemplars
+            .iter()
+            .find(|(id, _)| {
+                id.name() == "engine_rejections_total"
+                    && id.labels() == [("reason".to_owned(), "qos".to_owned())]
+            })
+            .map(|&(_, raw)| raw);
+        let raw = exemplar.expect("qos rejection must leave an exemplar");
+        assert!(raw > 0, "trace ids are never zero");
+        // The exposition surfaces it in both formats.
+        assert!(snap.to_prometheus().contains(&format!(
+            "# exemplar engine_rejections_total{{reason=\"qos\"}} trace=t{raw}"
+        )));
+        assert!(snap.to_json().contains(&format!("\"t{raw}\"")));
+
+        // The anomaly hook fires from the watchdog (threshold 0) and
+        // carries a reason string the flight recorder latches on.
+        let fired = std::sync::Arc::new(AtomicUsize::new(0));
+        let seen = std::sync::Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let (fired2, seen2) = (std::sync::Arc::clone(&fired), std::sync::Arc::clone(&seen));
+        engine.set_anomaly_hook(std::sync::Arc::new(move |reason, _detail| {
+            fired2.fetch_add(1, Ordering::Relaxed);
+            seen2.lock().unwrap().push(reason);
+        }));
+        engine.set_lock_hold_threshold_ns(0);
+        let ok = SetupRequest::new(cbr(1, 8), Priority::HIGHEST, Time::from_integer(500));
+        engine.admit(&route, ok).unwrap();
+        assert!(fired.load(Ordering::Relaxed) > 0, "watchdog must fire hook");
+        assert!(seen.lock().unwrap().contains(&"lock_hold"));
+        // Clean audits stay silent.
+        engine.set_lock_hold_threshold_ns(DEFAULT_LOCK_HOLD_THRESHOLD_NS);
+        let before = fired.load(Ordering::Relaxed);
+        assert_eq!(engine.publish_orphan_audit(), 0);
+        assert!(engine.verify_guarantees().unwrap().is_empty());
+        assert_eq!(fired.load(Ordering::Relaxed), before);
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod state;
 mod stats;
 
 pub use engine::{
-    AdmissionEngine, EngineOutcome, FailureImpact, GuaranteeViolation,
+    AdmissionEngine, AnomalyHook, EngineOutcome, FailureImpact, GuaranteeViolation,
     DEFAULT_LOCK_HOLD_THRESHOLD_NS,
 };
 pub use error::EngineError;

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rtcac_net::NodeId;
-use rtcac_obs::{Counter, Gauge, Histogram, Registry};
+use rtcac_obs::{Counter, Exemplar, Gauge, Histogram, Registry};
 
 /// The engine's metric handles (all no-op by default).
 #[derive(Debug, Default)]
@@ -35,6 +35,12 @@ pub(crate) struct EngineMetrics {
     pub reject_switch: Counter,
     pub reject_route_down: Counter,
     pub reject_draining: Counter,
+    /// Most-recent rejected trace per reason — lets an operator jump
+    /// from "rejects/s spiked" to a concrete trace's provenance.
+    pub exemplar_qos: Exemplar,
+    pub exemplar_switch: Exemplar,
+    pub exemplar_route_down: Exemplar,
+    pub exemplar_draining: Exemplar,
     pub link_failures: Counter,
     pub link_heals: Counter,
     pub node_failures: Counter,
@@ -90,6 +96,12 @@ impl EngineMetrics {
             reject_route_down: r
                 .counter_with("engine_rejections_total", &[("reason", "route_down")]),
             reject_draining: r.counter_with("engine_rejections_total", &[("reason", "draining")]),
+            exemplar_qos: r.exemplar_with("engine_rejections_total", &[("reason", "qos")]),
+            exemplar_switch: r.exemplar_with("engine_rejections_total", &[("reason", "switch")]),
+            exemplar_route_down: r
+                .exemplar_with("engine_rejections_total", &[("reason", "route_down")]),
+            exemplar_draining: r
+                .exemplar_with("engine_rejections_total", &[("reason", "draining")]),
             link_failures: r.counter_with("engine_element_failures_total", &[("element", "link")]),
             link_heals: r.counter_with("engine_element_heals_total", &[("element", "link")]),
             node_failures: r.counter_with("engine_element_failures_total", &[("element", "node")]),

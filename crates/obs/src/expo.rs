@@ -29,6 +29,9 @@ pub struct Snapshot {
     pub gauges: Vec<(MetricId, u64)>,
     /// Histogram snapshots, sorted by metric id.
     pub histograms: Vec<(MetricId, HistogramSnapshot)>,
+    /// Exemplars: the raw trace id most recently recorded alongside a
+    /// counter series (rejection reasons), sorted by metric id.
+    pub exemplars: Vec<(MetricId, u64)>,
     /// The event ring.
     pub events: EventsSnapshot,
 }
@@ -187,6 +190,17 @@ impl Snapshot {
         let _ = writeln!(out, "obs_events_dropped {}", self.events.dropped);
         let _ = writeln!(out, "# TYPE obs_events_evicted counter");
         let _ = writeln!(out, "obs_events_evicted {}", self.events.evicted);
+        // Exemplars ride along as comment lines (the 0.0.4 text format
+        // has no exemplar syntax; comments are ignored by scrapers but
+        // visible to `rtcac stats` readers and our own parser).
+        for (id, raw) in &self.exemplars {
+            let name = prom_name(id.name());
+            let _ = writeln!(
+                out,
+                "# exemplar {name}{} trace=t{raw}",
+                prom_labels(id.labels(), None)
+            );
+        }
         out
     }
 
@@ -238,6 +252,13 @@ impl Snapshot {
             }
             out.push_str("]}");
         }
+        out.push_str("},\"exemplars\":{");
+        for (i, (id, raw)) in self.exemplars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:\"t{raw}\"", json_string(&id.to_string()));
+        }
         let _ = write!(
             out,
             "}},\"events\":{{\"recorded\":{},\"dropped\":{},\"evicted\":{},\"entries\":[",
@@ -258,6 +279,177 @@ impl Snapshot {
         out.push_str("]}}");
         out
     }
+
+    /// Parses a snapshot back out of our own Prometheus text exposition
+    /// (the inverse of [`to_prometheus`](Snapshot::to_prometheus)).
+    ///
+    /// This is what lets `rtcac top` and `--soak` status lines build a
+    /// windowed time-series from a *remote* server: scrape `/metrics`,
+    /// reconstruct the raw log2 buckets from the cumulative
+    /// `_bucket{le=...}` series (the JSON endpoint only carries
+    /// pre-computed cumulative quantiles, useless for windows), and
+    /// feed the result to `TimeSeries::observe`.
+    ///
+    /// Lenient by design: unknown or malformed lines are skipped, so a
+    /// scrape of a newer/older server still yields every series both
+    /// sides understand. Event ring *entries* are not representable in
+    /// the text format; only the recorded/dropped/evicted totals round
+    /// trip.
+    pub fn from_prometheus(text: &str) -> Snapshot {
+        use std::collections::BTreeMap;
+        let mut kinds: BTreeMap<&str, &str> = BTreeMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                if let (Some(name), Some(kind)) = (it.next(), it.next()) {
+                    kinds.insert(name, kind);
+                }
+            }
+        }
+        let mut counters: BTreeMap<MetricId, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<MetricId, u64> = BTreeMap::new();
+        let mut hists: BTreeMap<MetricId, HistogramSnapshot> = BTreeMap::new();
+        let mut prev_cumulative: BTreeMap<MetricId, u64> = BTreeMap::new();
+        let mut exemplars: BTreeMap<MetricId, u64> = BTreeMap::new();
+        let mut events = EventsSnapshot::default();
+        let hist_base = |kinds: &BTreeMap<&str, &str>, name: &str, suffix: &str| {
+            name.strip_suffix(suffix)
+                .filter(|base| kinds.get(base) == Some(&"histogram"))
+                .map(str::to_owned)
+        };
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# exemplar ") {
+                if let Some((series, trace)) = rest.rsplit_once(" trace=t") {
+                    if let (Some(id), Ok(raw)) = (parse_series(series), trace.parse::<u64>()) {
+                        exemplars.insert(id, raw);
+                    }
+                }
+                continue;
+            }
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let Some((series, value)) = line.rsplit_once(' ') else {
+                continue;
+            };
+            let Ok(value) = value.parse::<u64>() else {
+                // Histogram +Inf bucket lines land here too (the count
+                // is re-derived from the finite buckets).
+                continue;
+            };
+            let Some(mut id) = parse_series(series) else {
+                continue;
+            };
+            match id.name() {
+                "obs_events_recorded" => events.recorded = value,
+                "obs_events_dropped" => events.dropped = value,
+                "obs_events_evicted" => events.evicted = value,
+                name => {
+                    if let Some(base) = hist_base(&kinds, name, "_bucket") {
+                        let Some(le) = id.take_label("le").and_then(|le| le.parse::<u64>().ok())
+                        else {
+                            continue;
+                        };
+                        let id = MetricId::from_parts(base, id.labels().to_vec());
+                        let h = hists.entry(id.clone()).or_default();
+                        // `bucket_index` inverts `bucket_upper_bound`:
+                        // the edge 2^i - 1 has bit length i.
+                        let idx = crate::histogram::bucket_index(le);
+                        let prev = prev_cumulative.entry(id).or_insert(0);
+                        h.buckets[idx] = value.saturating_sub(*prev);
+                        *prev = value;
+                    } else if let Some(base) = hist_base(&kinds, name, "_sum") {
+                        let id = MetricId::from_parts(base, id.labels().to_vec());
+                        hists.entry(id).or_default().sum = value;
+                    } else if let Some(base) = hist_base(&kinds, name, "_max") {
+                        let id = MetricId::from_parts(base, id.labels().to_vec());
+                        hists.entry(id).or_default().max = value;
+                    } else if hist_base(&kinds, name, "_count").is_some() {
+                        // Derived from the buckets below.
+                    } else {
+                        match kinds.get(name).copied() {
+                            Some("gauge") => {
+                                gauges.insert(id, value);
+                            }
+                            // Untyped lines default to counters: rates
+                            // over a wrongly-typed series are garbage
+                            // either way, but dropping them would hide
+                            // the series entirely.
+                            _ => {
+                                counters.insert(id, value);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for h in hists.values_mut() {
+            h.count = h.buckets.iter().sum();
+        }
+        Snapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: hists.into_iter().collect(),
+            exemplars: exemplars.into_iter().collect(),
+            events,
+        }
+    }
+}
+
+/// Parses `name{k="v",...}` (as rendered by `to_prometheus`) into a
+/// [`MetricId`]; label values may contain escaped `\"` and `\\`.
+fn parse_series(series: &str) -> Option<MetricId> {
+    let series = series.trim();
+    let Some((name, rest)) = series.split_once('{') else {
+        return valid_name(series).then(|| MetricId::new(series));
+    };
+    let body = rest.strip_suffix('}')?;
+    if !valid_name(name) {
+        return None;
+    }
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    while chars.peek().is_some() {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return None;
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => value.push(chars.next()?),
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        if !closed || key.is_empty() {
+            return None;
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some(',') | None => {}
+            Some(_) => return None,
+        }
+    }
+    Some(MetricId::from_parts(name.to_owned(), labels))
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && !name.chars().next().is_some_and(|c| c.is_ascii_digit())
 }
 
 /// Sanitizes a metric name to the Prometheus charset
@@ -414,6 +606,52 @@ mod tests {
         assert!(text.contains("obs_events_recorded 5"));
         assert!(text.contains("obs_events_evicted 3"));
         assert!(snap.to_json().contains("\"recorded\":5"));
+    }
+
+    // The remote-series path (`rtcac top`, soak status) depends on the
+    // text exposition being losslessly invertible for counters, gauges,
+    // raw histogram buckets, and exemplars.
+    #[test]
+    fn prometheus_text_round_trips() {
+        let r = Registry::new();
+        r.counter("setups_admitted_total").add(41);
+        r.counter_with("engine_rejections_total", &[("reason", "qos")])
+            .add(7);
+        r.gauge("engine_resident_bytes").set(123_456);
+        r.gauge_with("engine_shard_lock_wait_ns", &[("shard", "3")])
+            .set(99);
+        let h = r.histogram("engine_reserve_ns");
+        for v in [0u64, 3, 900, 4096, 1_000_000] {
+            h.record(v);
+        }
+        r.exemplar_with("engine_rejections_total", &[("reason", "qos")])
+            .record(crate::TraceId::new(515));
+        r.events().record("tick", "x");
+        let snap = r.snapshot();
+        let parsed = Snapshot::from_prometheus(&snap.to_prometheus());
+        assert_eq!(parsed.counters, snap.counters);
+        assert_eq!(parsed.gauges, snap.gauges);
+        assert_eq!(parsed.exemplars, snap.exemplars);
+        assert_eq!(parsed.histograms.len(), 1);
+        let (id, ph) = &parsed.histograms[0];
+        let oh = snap.histogram("engine_reserve_ns").unwrap();
+        assert_eq!(id.name(), "engine_reserve_ns");
+        assert_eq!(ph.buckets, oh.buckets);
+        assert_eq!(ph.count, oh.count);
+        assert_eq!(ph.sum, oh.sum);
+        assert_eq!(ph.max, oh.max);
+        assert_eq!(ph.p99(), oh.p99());
+        assert_eq!(parsed.events.recorded, 1);
+        // Escaped label values survive the trip.
+        let r2 = Registry::new();
+        r2.counter_with("odd_total", &[("msg", "say \"hi\\bye\"")])
+            .inc();
+        let p2 = Snapshot::from_prometheus(&r2.snapshot().to_prometheus());
+        assert_eq!(p2.counters, r2.snapshot().counters);
+        // Garbage lines are skipped, not fatal.
+        let p3 = Snapshot::from_prometheus("not a metric\n{=\"\"} 3\nx 1\n");
+        assert_eq!(p3.counters.len(), 1);
+        assert_eq!(p3.counter("x"), Some(1));
     }
 
     // Scrape-side mean — rate(sum)/rate(count) — must agree exactly

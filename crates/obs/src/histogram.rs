@@ -136,9 +136,14 @@ impl Default for HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// An upper bound on the `q`-quantile (0.0 ..= 1.0): the upper edge
-    /// of the bucket holding the rank-`ceil(q*count)` observation,
-    /// clamped by the true observed maximum. Returns 0 when empty.
+    /// An estimate of the `q`-quantile (0.0 ..= 1.0): linear
+    /// interpolation within the log2 bucket holding the
+    /// rank-`ceil(q*count)` observation, clamped by the true observed
+    /// maximum. Bare bucket edges would make every quantile a power of
+    /// two minus one — a p99 of 8388607 whether the real tail is 4.2ms
+    /// or 8.3ms — so the position of the rank *inside* the winning
+    /// bucket scales linearly across the bucket's value range instead.
+    /// Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -146,25 +151,42 @@ impl HistogramSnapshot {
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen;
             seen += c;
             if seen >= rank {
-                return bucket_upper_bound(i).min(self.max);
+                let lo = if i == 0 {
+                    0
+                } else {
+                    bucket_upper_bound(i - 1) + 1
+                };
+                let hi = bucket_upper_bound(i).min(self.max);
+                if lo >= hi {
+                    return hi;
+                }
+                // Rank position inside this bucket, 1..=c; pos == c
+                // lands exactly on the (clamped) upper edge.
+                let pos = rank - before;
+                let span = (hi - lo) as u128;
+                return lo + (span * u128::from(pos) / u128::from(c)) as u64;
             }
         }
         self.max
     }
 
-    /// Median upper bound.
+    /// Median estimate.
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
     }
 
-    /// 90th-percentile upper bound.
+    /// 90th-percentile estimate.
     pub fn p90(&self) -> u64 {
         self.quantile(0.90)
     }
 
-    /// 99th-percentile upper bound.
+    /// 99th-percentile estimate.
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
@@ -176,6 +198,40 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The observations recorded since `earlier` was taken of the same
+    /// histogram: per-bucket saturating differences, with the count
+    /// re-derived from the difference buckets. The true maximum of just
+    /// the new observations is unrecoverable from cumulative state, so
+    /// `max` carries the running maximum (an upper bound for the
+    /// window), which quantiles keep using as their clamp.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+            .map(|(&now, &then)| now.saturating_sub(then))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+
+    /// Folds another snapshot of the same-shaped histogram into this
+    /// one: bucket-wise sums (used to merge per-tick deltas into one
+    /// sliding-window distribution).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, &theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(theirs);
+        }
+        self.count = self.buckets.iter().sum();
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -215,10 +271,65 @@ mod tests {
         assert_eq!(snap.count, 100);
         assert_eq!(snap.sum, 5050);
         assert_eq!(snap.max, 100);
-        // The median of 1..=100 is ~50; its bucket [33..=64] caps at 63.
-        assert!(snap.p50() >= 50 && snap.p50() <= 63, "{}", snap.p50());
-        assert_eq!(snap.p99(), 100); // clamped by the true max
+        // Interpolated within bucket [32..=63]: the true median of
+        // 1..=100 is 50, and linear interpolation lands on it exactly
+        // (rank 50 is position 19 of 32 inside the bucket).
+        assert_eq!(snap.p50(), 50);
+        // Rank 99 interpolates inside [64..=100] (clamped by max).
+        assert!(snap.p99() >= 95 && snap.p99() <= 100, "{}", snap.p99());
         assert!((snap.mean() - 50.5).abs() < 1e-9);
+    }
+
+    // The satellite fidelity case: with bare bucket edges every
+    // quantile is a power of two minus one, so a 1.5x latency shift
+    // reads as either "no change" or "2x". Interpolated quantiles must
+    // track the true values closely enough that bench trajectories see
+    // sub-2x regressions.
+    #[test]
+    fn quantiles_interpolate_within_wide_buckets() {
+        let uniform = |lo: u64, hi: u64| {
+            let core = HistogramCore::new();
+            for k in 0..1000u64 {
+                core.record(lo + k * ((hi - lo) / 1000));
+            }
+            core.snapshot()
+        };
+        // ~[1ms, 8ms] in nanosecond-scale values, spanning 4 buckets.
+        let base = uniform(1_000_000, 8_000_000);
+        let p50 = base.p50();
+        let p99 = base.p99();
+        // True median ~4.5e6; the estimate must be within ~15%, not the
+        // bucket edge 8388607.
+        assert!(p50 > 3_800_000 && p50 < 5_200_000, "p50={p50}");
+        assert!(p99 > p50 && p99 <= base.max, "p99={p99}");
+        // A 1.5x shift must read as roughly 1.5x, not 1x or 2x.
+        let shifted = uniform(1_500_000, 12_000_000);
+        let ratio = shifted.p50() as f64 / p50 as f64;
+        assert!(
+            (1.25..=1.75).contains(&ratio),
+            "1.5x shift read as {ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn delta_and_merge_recover_windows() {
+        let core = HistogramCore::new();
+        for v in [10u64, 20, 30] {
+            core.record(v);
+        }
+        let first = core.snapshot();
+        for v in [1000u64, 2000] {
+            core.record(v);
+        }
+        let second = core.snapshot();
+        let delta = second.delta(&first);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 3000);
+        let mut merged = first.clone();
+        merged.merge(&delta);
+        assert_eq!(merged.count, second.count);
+        assert_eq!(merged.sum, second.sum);
+        assert_eq!(merged.buckets, second.buckets);
     }
 
     #[test]

@@ -55,17 +55,21 @@
 
 mod alloc;
 mod expo;
+pub mod flight;
 mod histogram;
 mod registry;
 mod ring;
+pub mod series;
 mod span;
 mod trace;
 
 pub use alloc::{alloc_count, alloc_live_bytes, note_alloc, note_dealloc};
 pub use expo::{EventsSnapshot, Snapshot};
+pub use flight::{FlightConfig, FlightDump, FlightError, FlightRecorder};
 pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKET_COUNT};
-pub use registry::{Counter, Gauge, MetricId, Registry};
+pub use registry::{Counter, Exemplar, Gauge, MetricId, Registry};
 pub use ring::{Event, EventRing};
+pub use series::{Sampler, TickDelta, TimeSeries};
 pub use span::Span;
 pub use trace::{
     chrome_trace, render_spans, Sampling, SpanId, SpanRecord, TraceCtx, TraceId, Tracer,

@@ -39,6 +39,19 @@ impl MetricId {
         }
     }
 
+    /// An id assembled from already-owned parts (labels re-sorted to
+    /// the canonical order); used by the Prometheus-text parser.
+    pub(crate) fn from_parts(name: String, mut labels: Vec<(String, String)>) -> MetricId {
+        labels.sort();
+        MetricId { name, labels }
+    }
+
+    /// Removes and returns the value of label `key`, if present.
+    pub(crate) fn take_label(&mut self, key: &str) -> Option<String> {
+        let pos = self.labels.iter().position(|(k, _)| k == key)?;
+        Some(self.labels.remove(pos).1)
+    }
+
     /// The metric name.
     pub fn name(&self) -> &str {
         &self.name
@@ -137,6 +150,56 @@ impl Gauge {
     }
 }
 
+/// A last-seen trace-id slot attached to a counter series: when the
+/// counter is bumped on an interesting path (a rejection), the trace id
+/// of the setup that bumped it is stored alongside, so an operator can
+/// jump from "this counter spiked" straight to the span tree / `rtcac
+/// why` provenance of a *concrete* recent instance. Zero means "no
+/// exemplar yet" (trace ids are never zero). No-op without a registry.
+#[derive(Debug, Clone, Default)]
+pub struct Exemplar(Option<Arc<AtomicU64>>);
+
+impl Exemplar {
+    /// A handle that ignores every record.
+    pub fn noop() -> Exemplar {
+        Exemplar(None)
+    }
+
+    /// Whether records actually land somewhere.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records the trace id of the most recent instance.
+    pub fn record(&self, trace: crate::TraceId) {
+        if let Some(slot) = &self.0 {
+            slot.store(trace.get(), Ordering::Relaxed);
+        }
+    }
+
+    /// Records the trace id of `ctx`, when it carries one — the
+    /// one-line form for engine rejection sites.
+    pub fn record_from(&self, ctx: &crate::TraceCtx) {
+        if self.0.is_some() {
+            if let Some(trace) = ctx.trace() {
+                self.record(trace);
+            }
+        }
+    }
+
+    /// The most recent trace id (`None` when nothing was recorded or
+    /// the handle is a no-op).
+    pub fn get(&self) -> Option<crate::TraceId> {
+        match &self.0 {
+            Some(slot) => match slot.load(Ordering::Relaxed) {
+                0 => None,
+                raw => Some(crate::TraceId::new(raw)),
+            },
+            None => None,
+        }
+    }
+}
+
 /// A registry of named metrics plus an event ring.
 ///
 /// Handle acquisition (`counter`/`gauge`/`histogram`) takes a write
@@ -148,6 +211,7 @@ pub struct Registry {
     counters: RwLock<BTreeMap<MetricId, Arc<AtomicU64>>>,
     gauges: RwLock<BTreeMap<MetricId, Arc<AtomicU64>>>,
     histograms: RwLock<BTreeMap<MetricId, Arc<HistogramCore>>>,
+    exemplars: RwLock<BTreeMap<MetricId, Arc<AtomicU64>>>,
     events: EventRing,
 }
 
@@ -214,6 +278,15 @@ impl Registry {
         )))
     }
 
+    /// The exemplar slot of the series `name{labels}`, created on
+    /// first use. The id should match an existing counter's id, so the
+    /// exposition can pair them up.
+    pub fn exemplar_with(&self, name: &str, labels: &[(&str, &str)]) -> Exemplar {
+        let id = MetricId::with_labels(name, labels);
+        let mut map = self.exemplars.write().expect("exemplar map poisoned");
+        Exemplar(Some(Arc::clone(map.entry(id).or_default())))
+    }
+
     /// The event ring.
     pub fn events(&self) -> &EventRing {
         &self.events
@@ -242,10 +315,21 @@ impl Registry {
             .iter()
             .map(|(id, h)| (id.clone(), h.snapshot()))
             .collect();
+        let exemplars = self
+            .exemplars
+            .read()
+            .expect("exemplar map poisoned")
+            .iter()
+            .filter_map(|(id, e)| match e.load(Ordering::Relaxed) {
+                0 => None,
+                raw => Some((id.clone(), raw)),
+            })
+            .collect();
         Snapshot {
             counters,
             gauges,
             histograms,
+            exemplars,
             events: self.events.snapshot(),
         }
     }

@@ -204,4 +204,14 @@ impl Client {
     pub fn drain(&mut self) -> Result<Response, WireError> {
         self.call(&Request::Drain)
     }
+
+    /// Forces the server's flight recorder to write a black box now.
+    ///
+    /// # Errors
+    ///
+    /// Socket or codec failures. A server without a flight recorder
+    /// answers with a typed [`Response::Error`], not a wire error.
+    pub fn dump(&mut self) -> Result<Response, WireError> {
+        self.call(&Request::Dump)
+    }
 }

@@ -40,7 +40,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::Client;
-pub use load::{run_load, run_soak, LoadConfig, LoadReport, SoakReport, SoakSample};
+pub use load::{run_load, run_soak, LoadConfig, LoadReport, SoakObserver, SoakReport, SoakSample};
 pub use metrics_http::http_get;
 pub use proto::{ErrorCode, Request, Response};
 pub use server::{DrainSummary, ServeConfig, ServeError, Server};

@@ -103,8 +103,12 @@ impl LoadReport {
     }
 }
 
-/// One periodic scrape of the served engine's memory gauges during a
-/// soak run.
+/// One periodic scrape of the served engine during a soak run. The
+/// rate and quantile figures come from a windowed [`TimeSeries`] built
+/// over the scrapes (scrape-to-scrape deltas), so they describe "now",
+/// not the since-boot average.
+///
+/// [`TimeSeries`]: rtcac_obs::TimeSeries
 #[derive(Debug, Clone, Copy)]
 pub struct SoakSample {
     /// Seconds since the soak started.
@@ -114,7 +118,18 @@ pub struct SoakSample {
     /// `alloc_live_bytes` from the same scrape (0 when the server runs
     /// without the counting allocator).
     pub alloc_live_bytes: u64,
+    /// Engine setups per second since the previous scrape.
+    pub setups_per_sec: f64,
+    /// Engine rejections per second since the previous scrape.
+    pub rejects_per_sec: f64,
+    /// Sliding-window p99 of `engine_reserve_ns` (0 until the window
+    /// holds at least one reserve).
+    pub reserve_p99_ns: u64,
 }
+
+/// Called with each scraped [`SoakSample`] as the soak runs — the CLI
+/// prints its periodic one-line status through this.
+pub type SoakObserver = Box<dyn Fn(&SoakSample) + Send>;
 
 /// Aggregate result of a soak run: load batches plus the memory-gauge
 /// trajectory scraped while they ran.
@@ -145,14 +160,6 @@ impl SoakReport {
     }
 }
 
-/// Pulls one gauge value out of a Prometheus exposition body.
-fn scrape_gauge(body: &str, name: &str) -> Option<u64> {
-    body.lines().find_map(|line| {
-        let rest = line.strip_prefix(name)?;
-        rest.trim().parse().ok()
-    })
-}
-
 /// Soaks a live server: repeats `config`-sized load batches until
 /// `duration` elapses while a scraper thread samples the server's
 /// `engine_resident_bytes` / `alloc_live_bytes` gauges from
@@ -171,6 +178,7 @@ pub fn run_soak(
     config: &LoadConfig,
     duration: Duration,
     metrics_addr: &str,
+    on_sample: Option<SoakObserver>,
 ) -> Result<SoakReport, WireError> {
     use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -181,13 +189,33 @@ pub fn run_soak(
         let started = Instant::now();
         thread::spawn(move || {
             let mut samples = Vec::new();
+            // Each scrape becomes one tick of a windowed series: the
+            // Prometheus text is parsed back into a snapshot, and the
+            // scrape-to-scrape deltas yield live rates and a sliding
+            // p99 instead of since-boot averages.
+            let mut series = rtcac_obs::TimeSeries::default();
+            let mut last_scrape: Option<Instant> = None;
             while !stop.load(Ordering::Relaxed) {
                 if let Ok(body) = crate::metrics_http::http_get(&addr, "/metrics") {
-                    samples.push(SoakSample {
+                    let now = Instant::now();
+                    let elapsed_ms = last_scrape
+                        .map(|t| now.duration_since(t).as_millis() as u64)
+                        .unwrap_or(0);
+                    last_scrape = Some(now);
+                    let snap = rtcac_obs::Snapshot::from_prometheus(&body);
+                    series.observe(&snap, elapsed_ms);
+                    let sample = SoakSample {
                         at_secs: started.elapsed().as_secs_f64(),
-                        resident_bytes: scrape_gauge(&body, "engine_resident_bytes").unwrap_or(0),
-                        alloc_live_bytes: scrape_gauge(&body, "alloc_live_bytes").unwrap_or(0),
-                    });
+                        resident_bytes: series.last_gauge("engine_resident_bytes").unwrap_or(0),
+                        alloc_live_bytes: series.last_gauge("alloc_live_bytes").unwrap_or(0),
+                        setups_per_sec: series.rate_last("engine_setups_submitted_total"),
+                        rejects_per_sec: series.rate_last("engine_setups_rejected_total"),
+                        reserve_p99_ns: series.window_quantile("engine_reserve_ns", 0.99),
+                    };
+                    if let Some(observer) = &on_sample {
+                        observer(&sample);
+                    }
+                    samples.push(sample);
                 }
                 // Sleep in short slices so stop is honored promptly.
                 for _ in 0..20 {

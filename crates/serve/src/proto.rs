@@ -3,9 +3,10 @@
 //! The vocabulary mirrors the paper's §4.1 signaling verbs, promoted
 //! from in-process calls to wire frames: SETUP (unicast), SETUP-MCAST
 //! (point-to-multipoint), RELEASE, QUERY, plus the service-management
-//! verbs HELLO, STATS and DRAIN. Requests use type bytes `0x01..=0x07`,
-//! responses `0x81..=0x87` and `0xEF` (ERROR), so a frame's direction
-//! is visible in its type byte alone.
+//! verbs HELLO, STATS, DRAIN and DUMP (force a flight-recorder black
+//! box to disk). Requests use type bytes `0x01..=0x08`, responses
+//! `0x81..=0x88` and `0xEF` (ERROR), so a frame's direction is visible
+//! in its type byte alone.
 //!
 //! Routes travel as raw link-index lists: the server re-validates them
 //! against its own topology (`Route::new` / `MulticastTree::new`), so a
@@ -35,6 +36,9 @@ pub mod frame_type {
     pub const DRAIN: u8 = 0x06;
     /// Service statistics request.
     pub const STATS: u8 = 0x07;
+    /// Force a flight-recorder dump (the wire form of SIGUSR1, which
+    /// a std-only binary cannot catch).
+    pub const DUMP: u8 = 0x08;
 
     /// Topology description reply to HELLO.
     pub const SERVER_INFO: u8 = 0x81;
@@ -50,6 +54,8 @@ pub mod frame_type {
     pub const DRAINING: u8 = 0x86;
     /// Statistics reply.
     pub const STATS_REPLY: u8 = 0x87;
+    /// Flight dump written; the reply carries its path.
+    pub const DUMPED: u8 = 0x88;
     /// Typed request failure.
     pub const ERROR: u8 = 0xEF;
 }
@@ -133,6 +139,10 @@ pub enum Request {
     Drain,
     /// Service statistics snapshot.
     Stats,
+    /// Force the server's flight recorder to write a black box now
+    /// (bypasses the per-reason once-latch). Fails with a typed error
+    /// when the server runs without a flight recorder.
+    Dump,
 }
 
 /// A server-to-client frame.
@@ -198,6 +208,13 @@ pub enum Response {
         orphans: u64,
         /// Whether the service is draining.
         draining: bool,
+    },
+    /// Reply to [`Request::Dump`]: the black box is on disk.
+    Dumped {
+        /// Filesystem path of the written dump (server-local).
+        path: String,
+        /// Dumps the recorder has written over its lifetime.
+        dumps: u64,
     },
     /// The request failed at the service layer.
     Error {
@@ -299,6 +316,7 @@ impl Request {
             }
             Request::Drain => Enc::frame(frame_type::DRAIN).finish(),
             Request::Stats => Enc::frame(frame_type::STATS).finish(),
+            Request::Dump => Enc::frame(frame_type::DUMP).finish(),
         }
     }
 
@@ -329,6 +347,7 @@ impl Request {
             frame_type::QUERY => Request::Query { id: dec.u64()? },
             frame_type::DRAIN => Request::Drain,
             frame_type::STATS => Request::Stats,
+            frame_type::DUMP => Request::Dump,
             got => return Err(WireError::UnknownFrame { got }),
         };
         dec.expect_end()?;
@@ -407,6 +426,12 @@ impl Response {
                 enc.u8(u8::from(*draining));
                 enc.finish()
             }
+            Response::Dumped { path, dumps } => {
+                let mut enc = Enc::frame(frame_type::DUMPED);
+                enc.string(path);
+                enc.u64(*dumps);
+                enc.finish()
+            }
             Response::Error { code, message } => {
                 let mut enc = Enc::frame(frame_type::ERROR);
                 enc.u8(*code as u8);
@@ -458,6 +483,10 @@ impl Response {
                 released: dec.u64()?,
                 orphans: dec.u64()?,
                 draining: dec.u8()? != 0,
+            },
+            frame_type::DUMPED => Response::Dumped {
+                path: dec.string()?,
+                dumps: dec.u64()?,
             },
             frame_type::ERROR => Response::Error {
                 code: ErrorCode::from_u8(dec.u8()?)

@@ -30,7 +30,10 @@ use rtcac_bitstream::Time;
 use rtcac_cac::{ConnectionId, SwitchConfig};
 use rtcac_engine::{AdmissionEngine, EngineError, EngineOutcome, ServicePool};
 use rtcac_net::{builders, LinkId, MulticastTree, Route};
-use rtcac_obs::{Counter, Gauge, Histogram, Registry};
+use rtcac_obs::series::DEFAULT_TICKS;
+use rtcac_obs::{
+    Counter, FlightConfig, FlightRecorder, Gauge, Histogram, Registry, Sampler, Sampling, Tracer,
+};
 use rtcac_signaling::CdvPolicy;
 
 use crate::metrics_http::spawn_metrics_endpoint;
@@ -72,6 +75,20 @@ pub struct ServeConfig {
     /// Seconds between periodic snapshot saves (requires
     /// [`ServeConfig::snapshot_path`]; `None` = save on drain only).
     pub snapshot_every: Option<u64>,
+    /// Flight-recorder dump directory. When set (and the server is not
+    /// running snapshot-free), a 1 s registry sampler and an always-on
+    /// flight recorder are armed: anomalies (orphans, lock-hold
+    /// watchdog, resident-byte jumps, panics) dump a bounded black box
+    /// here, and the DUMP wire op forces one on demand.
+    pub flight_dir: Option<String>,
+    /// Sampler tick interval in milliseconds (the flight recorder's
+    /// time resolution). Tests shrink this; operators keep the 1 s
+    /// default.
+    pub flight_tick_ms: u64,
+    /// Override of the engine's lock-hold watchdog threshold, in
+    /// nanoseconds. `Some(0)` makes every setup trip the watchdog —
+    /// the CI lever for forcing a flight dump on demand.
+    pub lock_hold_threshold_ns: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +103,9 @@ impl Default for ServeConfig {
             snapshot_free: false,
             snapshot_path: None,
             snapshot_every: None,
+            flight_dir: None,
+            flight_tick_ms: 1000,
+            lock_hold_threshold_ns: None,
         }
     }
 }
@@ -145,8 +165,9 @@ impl From<std::io::Error> for ServeError {
 struct ServiceState {
     engine: Arc<AdmissionEngine>,
     pool: ServicePool,
+    recorder: Option<Arc<FlightRecorder>>,
     shutdown: AtomicBool,
-    restoring: AtomicBool,
+    restoring: Arc<AtomicBool>,
     restore_error: Mutex<Option<String>>,
     snapshot_path: Option<PathBuf>,
     snapshot_every: Option<Duration>,
@@ -290,6 +311,9 @@ pub struct Server {
     state: Arc<ServiceState>,
     registry: Arc<Registry>,
     accept: Option<thread::JoinHandle<DrainSummary>>,
+    /// The 1 s registry sampler feeding the flight recorder; kept here
+    /// so dropping the server joins its thread.
+    sampler: Option<Sampler>,
 }
 
 impl std::fmt::Debug for Server {
@@ -315,21 +339,69 @@ impl Server {
             .map_err(|e| ServeError::Build(e.to_string()))?;
         let switch_config =
             SwitchConfig::uniform(1, config.bound).map_err(|e| ServeError::Build(e.to_string()))?;
-        let engine = if config.snapshot_free {
-            Arc::new(AdmissionEngine::new(
-                sr.topology().clone(),
-                switch_config,
-                CdvPolicy::Hard,
-            ))
+        let flight_armed = config.flight_dir.is_some() && !config.snapshot_free;
+        let mut engine = if config.snapshot_free {
+            AdmissionEngine::new(sr.topology().clone(), switch_config, CdvPolicy::Hard)
         } else {
-            Arc::new(AdmissionEngine::with_registry(
+            AdmissionEngine::with_registry(
                 sr.topology().clone(),
                 switch_config,
                 CdvPolicy::Hard,
                 Arc::clone(&registry),
-            ))
+            )
         };
+        if flight_armed {
+            // A flight-enabled server keeps rejection span trees: the
+            // black box embeds recent spans, and the rejection-reason
+            // exemplars need trace ids to point at. RejectsOnly is the
+            // cheapest live setting — admitted setups pay one branch.
+            engine.set_tracer(Tracer::with_registry(
+                Sampling::RejectsOnly,
+                Arc::clone(&registry),
+            ));
+        }
+        if let Some(ns) = config.lock_hold_threshold_ns {
+            engine.set_lock_hold_threshold_ns(ns);
+        }
+        let engine = Arc::new(engine);
         let pool = ServicePool::new(Arc::clone(&engine), config.workers);
+        let (recorder, sampler) = if flight_armed {
+            let dir = config.flight_dir.as_deref().unwrap_or("flight");
+            let recorder = FlightRecorder::new(
+                Arc::clone(&registry),
+                FlightConfig {
+                    dir: PathBuf::from(dir),
+                    ..FlightConfig::default()
+                },
+            );
+            let span_engine = Arc::clone(&engine);
+            recorder.set_span_provider(Box::new(move || span_engine.tracer().snapshot()));
+            let hook = Arc::clone(&recorder);
+            engine.set_anomaly_hook(Arc::new(move |reason, detail| {
+                hook.trigger(reason, detail);
+            }));
+            FlightRecorder::install_panic_hook(&recorder);
+            let ticker = Arc::clone(&recorder);
+            let tick_engine = Arc::clone(&engine);
+            let resident_gauge = registry.gauge("engine_resident_bytes");
+            let sampler = Sampler::spawn_with_observer(
+                Arc::clone(&registry),
+                Duration::from_millis(config.flight_tick_ms.max(10)),
+                DEFAULT_TICKS,
+                Some(Box::new(move |series, _snapshot| {
+                    if let Some(tick) = series.latest() {
+                        ticker.observe_tick(tick);
+                    }
+                    // Refresh the resident gauge for the *next* tick, so
+                    // the jump trigger works even when nobody scrapes
+                    // `/metrics` (scrapes refresh it too).
+                    resident_gauge.set(tick_engine.resident_bytes() as u64);
+                })),
+            );
+            (Some(recorder), Some(sampler))
+        } else {
+            (None, None)
+        };
         let counter = |name: &str| {
             if config.snapshot_free {
                 Counter::noop()
@@ -356,8 +428,9 @@ impl Server {
         let state = Arc::new(ServiceState {
             engine,
             pool,
+            recorder,
             shutdown: AtomicBool::new(false),
-            restoring: AtomicBool::new(has_snapshot),
+            restoring: Arc::new(AtomicBool::new(has_snapshot)),
             restore_error: Mutex::new(None),
             snapshot_path,
             snapshot_every: config.snapshot_every.map(Duration::from_secs),
@@ -399,6 +472,7 @@ impl Server {
                 maddr,
                 Arc::clone(&registry),
                 Arc::clone(&state.engine),
+                Arc::clone(&state.restoring),
             )?),
             None => None,
         };
@@ -411,6 +485,7 @@ impl Server {
             state,
             registry,
             accept: Some(accept),
+            sampler,
         })
     }
 
@@ -432,6 +507,17 @@ impl Server {
     /// The metrics registry backing the exposition endpoint.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The armed flight recorder, when the server was started with a
+    /// flight directory (tests assert on its dump count directly).
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.state.recorder.as_ref()
+    }
+
+    /// The registry sampler feeding the flight recorder, when armed.
+    pub fn sampler(&self) -> Option<&Sampler> {
+        self.sampler.as_ref()
     }
 
     /// Whether a DRAIN has been requested.
@@ -748,6 +834,22 @@ fn dispatch(
             released: state.released.load(Ordering::Relaxed),
             orphans: state.last_orphans.load(Ordering::Relaxed),
             draining: state.shutdown.load(Ordering::Relaxed),
+        },
+        Request::Dump => match &state.recorder {
+            Some(recorder) => match recorder.force_dump("wire", "DUMP frame") {
+                Ok(path) => Response::Dumped {
+                    path: path.display().to_string(),
+                    dumps: recorder.dumps_written(),
+                },
+                Err(e) => Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("flight dump failed: {e}"),
+                },
+            },
+            None => Response::Error {
+                code: ErrorCode::Internal,
+                message: "no flight recorder armed (start the server with a flight dir)".into(),
+            },
         },
     };
     Some(response)
